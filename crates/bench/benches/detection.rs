@@ -1,0 +1,37 @@
+//! Detection throughput: parser, sqlcheck (intra / full), and the dbdeo
+//! baseline over a generated repository script.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sqlcheck::{ContextBuilder, DetectionConfig, Detector};
+use sqlcheck_workload::github::{generate_corpus, CorpusConfig};
+
+fn bench_detection(c: &mut Criterion) {
+    let corpus = generate_corpus(CorpusConfig {
+        repositories: 1,
+        statements_per_repo: 200,
+        seed: 0x9178B,
+    });
+    let script = corpus[0].script();
+    let bytes = script.len() as u64;
+
+    let mut g = c.benchmark_group("detection_throughput");
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("parse_only", |b| b.iter(|| sqlcheck_parser::parse(&script).len()));
+    g.bench_function("sqlcheck_intra", |b| {
+        b.iter(|| {
+            let ctx = ContextBuilder::new().add_script(&script).build();
+            Detector::new(DetectionConfig::intra_only()).detect(&ctx).detections.len()
+        })
+    });
+    g.bench_function("sqlcheck_full", |b| {
+        b.iter(|| {
+            let ctx = ContextBuilder::new().add_script(&script).build();
+            Detector::default().detect(&ctx).detections.len()
+        })
+    });
+    g.bench_function("dbdeo", |b| b.iter(|| sqlcheck_dbdeo::detect_script(&script).len()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_detection);
+criterion_main!(benches);

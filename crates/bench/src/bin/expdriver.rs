@@ -1,0 +1,112 @@
+//! `expdriver` — regenerate every table and figure of the SQLCheck paper.
+//!
+//! ```text
+//! expdriver all            # everything (default scales)
+//! expdriver fig3           # Fig 3a–c   MVA task timings
+//! expdriver fig7           # Fig 6/7    ranking model + Example 6
+//! expdriver fig8           # Fig 8a–i   per-AP timings
+//! expdriver table2         # Table 2    sqlcheck vs dbdeo accuracy
+//! expdriver table3         # Table 3    AP distributions (GitHub + study)
+//! expdriver table4         # Table 4/7  Django applications
+//! expdriver table5         # Table 5/6  Kaggle databases
+//! expdriver table8         # Table 8    sqlcheck vs DETA features
+//! expdriver user-study     # §8.3       acceptance statistics
+//! ```
+//!
+//! `--quick` shrinks scales for a fast smoke run.
+
+use sqlcheck_bench::experiments::*;
+use sqlcheck_workload::github::CorpusConfig;
+use sqlcheck_workload::globaleaks::Scale;
+use sqlcheck_workload::user_study::StudyConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let run_all = what == "all";
+    if run_all || what == "fig3" {
+        section("Figure 3 — Multi-Valued Attribute AP (GlobaLeaks tasks)");
+        let scale = if quick {
+            Scale { users: 2_000, tenants: 200, memberships: 2, seed: 0x61EA }
+        } else {
+            Scale::default()
+        };
+        let t = fig3::run(scale, 5);
+        println!("{}", t.report());
+        println!("(paper: 636x / 256x / 193x on PostgreSQL with 10M rows)");
+    }
+    if run_all || what == "fig7" {
+        section("Figures 6 & 7 — ranking model (Example 6)");
+        print!("{}", fig7::render_example6());
+    }
+    if run_all || what == "fig8" {
+        section("Figure 8 — per-AP performance impact");
+        let scale = if quick {
+            fig8::Fig8Scale { rows: 5_000, seed: 0xF18 }
+        } else {
+            fig8::Fig8Scale::default()
+        };
+        let t = fig8::run(scale, if quick { 2 } else { 5 });
+        println!("{}", t.report());
+        println!(
+            "(paper: 8a ~10x, 8b ~1.3x, 8c index LOSES, 8d/8e ~1x, 8f 142x, 8g >1000x, 8h >100x, 8i ~1x)"
+        );
+    }
+    let table2_result = if run_all || what == "table2" || what == "table3" {
+        let cfg = if quick {
+            CorpusConfig { repositories: 60, statements_per_repo: 60, seed: 0x9178B }
+        } else {
+            CorpusConfig { repositories: 400, statements_per_repo: 124, seed: 0x9178B }
+        };
+        Some(table2::run(cfg))
+    } else {
+        None
+    };
+    if run_all || what == "table2" {
+        section("Table 2 — detection of anti-patterns (sqlcheck vs dbdeo)");
+        print!("{}", table2::render(table2_result.as_ref().unwrap()));
+    }
+    if run_all || what == "table3" {
+        section("Table 3 — AP distribution: GitHub corpus (D vs S)");
+        print!("{}", table2::render_histogram(table2_result.as_ref().unwrap()));
+        section("Table 3 — AP distribution: user study (D vs S)");
+        let cfg = if quick {
+            StudyConfig { participants: 8, total_statements: 320, seed: 0xB1CE }
+        } else {
+            StudyConfig::default()
+        };
+        let dist = table345::user_study_distribution(cfg);
+        print!("{}", table345::render_user_study_distribution(&dist));
+    }
+    if run_all || what == "table4" {
+        section("Table 4 / Table 7 — Django web applications");
+        print!("{}", table345::render_django(&table345::django_rows()));
+    }
+    if run_all || what == "table5" {
+        section("Table 5 / Table 6 — Kaggle databases (data analysis only)");
+        print!("{}", table345::render_kaggle(&table345::kaggle_rows()));
+    }
+    if run_all || what == "table8" {
+        section("Table 8 — sqlcheck vs Microsoft DETA");
+        print!("{}", fig7::render_table8());
+    }
+    if run_all || what == "user-study" {
+        section("§8.3 — user study acceptance statistics");
+        let cfg = if quick {
+            StudyConfig { participants: 8, total_statements: 320, seed: 0xB1CE }
+        } else {
+            StudyConfig::default()
+        };
+        print!("{}", table345::render_user_study_stats(&table345::user_study_stats(cfg)));
+    }
+}
+
+fn section(title: &str) {
+    println!("\n=== {title} ===");
+}

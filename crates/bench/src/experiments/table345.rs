@@ -1,0 +1,345 @@
+//! **Tables 3, 4/7, 5/6** and the §8.3 user-study statistics.
+
+use sqlcheck::{
+    AntiPatternKind, ContextBuilder, DataAnalysisConfig, Detector, FixEngine, Ranker,
+};
+use sqlcheck_workload::{django, kaggle, user_study};
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------------
+// Table 3 — user-study column (D vs S on participants' statements)
+// ---------------------------------------------------------------------------
+
+/// Per-kind detection counts for the user-study statements.
+#[derive(Debug, Clone, Default)]
+pub struct UserStudyDistribution {
+    /// (dbdeo count, sqlcheck count) per kind.
+    pub counts: BTreeMap<AntiPatternKind, (usize, usize)>,
+    /// Total statements.
+    pub statements: usize,
+}
+
+/// Run both detectors over every participant's statements.
+pub fn user_study_distribution(cfg: user_study::StudyConfig) -> UserStudyDistribution {
+    let cohort = user_study::generate(cfg);
+    let mut out = UserStudyDistribution::default();
+    for p in &cohort {
+        let script: String = p
+            .statements
+            .iter()
+            .map(|s| s.sql.as_str())
+            .collect::<Vec<_>>()
+            .join(";\n");
+        out.statements += p.statements.len();
+        let ctx = ContextBuilder::new().add_script(&script).build();
+        for d in Detector::default().detect(&ctx).detections {
+            out.counts.entry(d.kind).or_default().1 += 1;
+        }
+        for d in sqlcheck_dbdeo::detect_script(&script) {
+            out.counts.entry(d.kind).or_default().0 += 1;
+        }
+    }
+    out
+}
+
+/// Render the user-study distribution.
+pub fn render_user_study_distribution(dist: &UserStudyDistribution) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<28} {:>8} {:>8}\n", "Anti-Pattern", "D", "S"));
+    let (mut td, mut ts) = (0, 0);
+    for (kind, (d, s)) in &dist.counts {
+        out.push_str(&format!("{:<28} {:>8} {:>8}\n", kind.name(), d, s));
+        td += d;
+        ts += s;
+    }
+    out.push_str(&format!("{:<28} {:>8} {:>8}\n", "Total:", td, ts));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// §8.3 — user-study acceptance statistics
+// ---------------------------------------------------------------------------
+
+/// The §8.3 headline numbers, computed from the simulated cohort.
+#[derive(Debug, Clone, Default)]
+pub struct UserStudyStats {
+    /// Total statements written.
+    pub statements: usize,
+    /// APs detected (fix suggestions made).
+    pub detected: usize,
+    /// APs considered by engaged participants.
+    pub considered: usize,
+    /// Fixes applied.
+    pub resolved: usize,
+    /// Fixes found ambiguous.
+    pub ambiguous: usize,
+    /// Fixes judged incorrect.
+    pub incorrect: usize,
+}
+
+impl UserStudyStats {
+    /// Raw efficacy (paper: 51%).
+    pub fn efficacy(&self) -> f64 {
+        if self.considered == 0 {
+            0.0
+        } else {
+            self.resolved as f64 / self.considered as f64
+        }
+    }
+
+    /// Adjusted efficacy counting ambiguous as non-failures (paper: 67%).
+    pub fn adjusted_efficacy(&self) -> f64 {
+        if self.considered == 0 {
+            0.0
+        } else {
+            (self.resolved + self.ambiguous) as f64 / self.considered as f64
+        }
+    }
+}
+
+/// Run the full §8.3 pipeline: detect per participant, suggest fixes, and
+/// replay the acceptance model.
+pub fn user_study_stats(cfg: user_study::StudyConfig) -> UserStudyStats {
+    let cohort = user_study::generate(cfg);
+    let mut stats = UserStudyStats::default();
+    for p in &cohort {
+        let script: String = p
+            .statements
+            .iter()
+            .map(|s| s.sql.as_str())
+            .collect::<Vec<_>>()
+            .join(";\n");
+        stats.statements += p.statements.len();
+        let ctx = ContextBuilder::new().add_script(&script).build();
+        let report = Detector::default().detect(&ctx);
+        let ranked = Ranker::default().rank(&report);
+        let ordered: Vec<_> = ranked.iter().map(|r| r.detection.clone()).collect();
+        let fixes = FixEngine.fix_all(&ordered, &ctx);
+        stats.detected += fixes.len();
+        if !user_study::engages(p) {
+            continue;
+        }
+        for (i, _fix) in fixes.iter().enumerate() {
+            stats.considered += 1;
+            match user_study::respond(p, i) {
+                user_study::FixResponse::Resolved => stats.resolved += 1,
+                user_study::FixResponse::Ambiguous => stats.ambiguous += 1,
+                user_study::FixResponse::Incorrect => stats.incorrect += 1,
+            }
+        }
+    }
+    stats
+}
+
+/// Render the §8.3 statistics.
+pub fn render_user_study_stats(s: &UserStudyStats) -> String {
+    format!(
+        "statements written:        {}\n\
+         APs detected (suggested):  {}\n\
+         APs considered:            {}\n\
+         fixes resolved:            {}\n\
+         fixes ambiguous:           {}\n\
+         fixes judged incorrect:    {}\n\
+         efficacy:                  {:.0}%  (paper: 51%)\n\
+         adjusted efficacy:         {:.0}%  (paper: 67%)\n",
+        s.statements,
+        s.detected,
+        s.considered,
+        s.resolved,
+        s.ambiguous,
+        s.incorrect,
+        s.efficacy() * 100.0,
+        s.adjusted_efficacy() * 100.0
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Table 4/7 — Django applications
+// ---------------------------------------------------------------------------
+
+/// Result for one Django application.
+#[derive(Debug, Clone)]
+pub struct DjangoRow {
+    /// Application name.
+    pub name: &'static str,
+    /// Domain.
+    pub domain: &'static str,
+    /// APs the paper detected.
+    pub paper_detected: usize,
+    /// AP kinds we detected on the generated trace.
+    pub measured_kinds: usize,
+    /// Total detections on the generated trace.
+    pub measured_detections: usize,
+    /// Reported kinds all re-detected?
+    pub reported_covered: bool,
+}
+
+/// Run sqlcheck over every Django app trace.
+pub fn django_rows() -> Vec<DjangoRow> {
+    django::APPS
+        .iter()
+        .map(|app| {
+            let ctx = ContextBuilder::new()
+                .add_script(&django::sql_trace(app))
+                .with_database(django::database(app), DataAnalysisConfig::default())
+                .build();
+            let report = Detector::default().detect(&ctx);
+            let kinds = report.kinds();
+            DjangoRow {
+                name: app.name,
+                domain: app.domain,
+                paper_detected: app.detected,
+                measured_kinds: kinds.len(),
+                measured_detections: report.detections.len(),
+                reported_covered: app.reported.iter().all(|k| kinds.contains(k)),
+            }
+        })
+        .collect()
+}
+
+/// Render Table 4.
+pub fn render_django(rows: &[DjangoRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} {:<14} {:>10} {:>12} {:>12} {:>9}\n",
+        "GitHub Repo", "Domain", "paper #AP", "our kinds", "our total", "reported?"
+    ));
+    let mut paper = 0;
+    let mut ours = 0;
+    for r in rows {
+        out.push_str(&format!(
+            "{:<22} {:<14} {:>10} {:>12} {:>12} {:>9}\n",
+            r.name,
+            r.domain,
+            r.paper_detected,
+            r.measured_kinds,
+            r.measured_detections,
+            if r.reported_covered { "yes" } else { "NO" }
+        ));
+        paper += r.paper_detected;
+        ours += r.measured_kinds;
+    }
+    out.push_str(&format!(
+        "{:<22} {:<14} {:>10} {:>12}\n",
+        "Total:", "", paper, ours
+    ));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Table 5/6 — Kaggle databases (data analysis only)
+// ---------------------------------------------------------------------------
+
+/// Result for one Kaggle database.
+#[derive(Debug, Clone)]
+pub struct KaggleRow {
+    /// Database name.
+    pub name: &'static str,
+    /// AP kinds the paper lists in Table 6.
+    pub paper_kinds: usize,
+    /// Detections we measured (data rules only — no queries supplied).
+    pub measured: usize,
+    /// Names of detected kinds.
+    pub kinds: Vec<&'static str>,
+    /// All paper-listed kinds re-detected?
+    pub covered: bool,
+}
+
+/// Run data-analysis-only detection over the 31 databases.
+pub fn kaggle_rows() -> Vec<KaggleRow> {
+    kaggle::SPECS
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let db = kaggle::build(spec, i as u64);
+            let ctx = ContextBuilder::new()
+                .with_database(db, DataAnalysisConfig::default())
+                .build();
+            let report = Detector::default().detect(&ctx);
+            let kinds = report.kinds();
+            KaggleRow {
+                name: spec.name,
+                paper_kinds: spec.aps.len(),
+                measured: report.detections.len(),
+                kinds: kinds.iter().map(|k| k.name()).collect(),
+                covered: spec.aps.iter().all(|k| kinds.contains(k)),
+            }
+        })
+        .collect()
+}
+
+/// Render Table 5/6.
+pub fn render_kaggle(rows: &[KaggleRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<36} {:>10} {:>9} {:>8}  kinds\n",
+        "Kaggle Database", "paper #AP", "measured", "covered"
+    ));
+    let mut total = 0;
+    for r in rows {
+        out.push_str(&format!(
+            "{:<36} {:>10} {:>9} {:>8}  {}\n",
+            r.name,
+            r.paper_kinds,
+            r.measured,
+            if r.covered { "yes" } else { "NO" },
+            r.kinds.join(", ")
+        ));
+        total += r.measured;
+    }
+    out.push_str(&format!("{:<36} {:>10} {:>9}\n", "Total:", 200, total));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_study_stats_track_the_paper() {
+        let s = user_study_stats(user_study::StudyConfig::default());
+        assert_eq!(s.statements, 987);
+        assert!(s.detected > 100, "plenty of APs detected: {}", s.detected);
+        assert!(
+            (0.40..0.62).contains(&s.efficacy()),
+            "efficacy ≈ 51%, got {:.2}",
+            s.efficacy()
+        );
+        assert!(
+            s.adjusted_efficacy() > s.efficacy(),
+            "counting ambiguous raises efficacy"
+        );
+    }
+
+    #[test]
+    fn user_study_distribution_s_exceeds_d() {
+        let d = user_study_distribution(user_study::StudyConfig {
+            participants: 6,
+            total_statements: 240,
+            seed: 2,
+        });
+        let total_d: usize = d.counts.values().map(|(d, _)| d).sum();
+        let total_s: usize = d.counts.values().map(|(_, s)| s).sum();
+        assert!(total_s > total_d, "sqlcheck {total_s} vs dbdeo {total_d}");
+    }
+
+    #[test]
+    fn django_rows_cover_reported_kinds() {
+        let rows = django_rows();
+        assert_eq!(rows.len(), 15);
+        for r in &rows {
+            assert!(r.reported_covered, "{} did not re-detect its reported kinds", r.name);
+        }
+    }
+
+    #[test]
+    fn kaggle_rows_cover_table6() {
+        let rows = kaggle_rows();
+        assert_eq!(rows.len(), 31);
+        for r in &rows {
+            assert!(r.covered, "{} did not re-detect its Table 6 kinds", r.name);
+        }
+        let total: usize = rows.iter().map(|r| r.measured).sum();
+        assert!(total >= 60, "substantial data-AP volume, got {total}");
+    }
+}

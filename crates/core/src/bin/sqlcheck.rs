@@ -1,0 +1,136 @@
+//! `sqlcheck` — command-line interface (the paper's §7 interactive-shell
+//! analogue).
+//!
+//! ```text
+//! sqlcheck [FLAGS] [FILE]          # FILE omitted or '-' reads stdin
+//!
+//!   --intra-only         intra-query analysis only (§8.1 configuration 1)
+//!   --weights c1|c2      ranking weight preset (Fig 7a; default c1)
+//!   --rank-by count      inter-query model: AP count per query
+//!   --no-fix             detection + ranking only
+//!   --summary            per-kind histogram instead of full listing
+//! ```
+//!
+//! Example:
+//!
+//! ```text
+//! echo "INSERT INTO Users VALUES (1, 'foo')" | sqlcheck -
+//! ```
+
+use sqlcheck::{DetectionConfig, Fix, InterQueryModel, RankWeights, SqlCheck};
+use std::io::Read;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return;
+    }
+    let intra_only = args.iter().any(|a| a == "--intra-only");
+    let no_fix = args.iter().any(|a| a == "--no-fix");
+    let summary = args.iter().any(|a| a == "--summary");
+    let weights = match arg_value(&args, "--weights").unwrap_or("c1").to_ascii_lowercase().as_str()
+    {
+        "c2" => RankWeights::C2,
+        _ => RankWeights::C1,
+    };
+    let inter_model = match arg_value(&args, "--rank-by") {
+        Some("count") => InterQueryModel::ByApCount,
+        _ => InterQueryModel::ByScore,
+    };
+
+    let input = args
+        .iter()
+        .rev()
+        .find(|a| !a.starts_with("--") && !is_flag_value(&args, a))
+        .map(String::as_str)
+        .unwrap_or("-");
+    let sql = if input == "-" {
+        let mut buf = String::new();
+        if std::io::stdin().read_to_string(&mut buf).is_err() {
+            eprintln!("sqlcheck: failed to read stdin");
+            std::process::exit(2);
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(input) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("sqlcheck: cannot read {input}: {e}");
+                std::process::exit(2);
+            }
+        }
+    };
+
+    let mut tool = SqlCheck::new().with_weights(weights).with_inter_query_model(inter_model);
+    if intra_only {
+        tool = tool.with_detection(DetectionConfig::intra_only());
+    }
+    let outcome = tool.check_script(&sql);
+
+    if outcome.ranked.is_empty() {
+        println!("no anti-patterns detected in {} statement(s)", outcome.context.len());
+        return;
+    }
+
+    if summary {
+        println!("{:<30} {:>6}", "anti-pattern", "count");
+        for (kind, n) in outcome.report.by_kind() {
+            println!("{:<30} {:>6}", kind.name(), n);
+        }
+        println!("{:<30} {:>6}", "total", outcome.report.detections.len());
+        return;
+    }
+
+    for (i, (r, f)) in outcome.ranked.iter().zip(&outcome.fixes).enumerate() {
+        println!(
+            "{:>3}. [{:.3}] {} ({}) @ {}",
+            i + 1,
+            r.score,
+            r.detection.kind,
+            r.detection.kind.category(),
+            r.detection.locus
+        );
+        println!("     {}", r.detection.message);
+        if no_fix {
+            continue;
+        }
+        match &f.fix {
+            Fix::Rewrite { fixed, .. } => println!("     fix: {fixed}"),
+            Fix::SchemaChange { statements, impacted_queries } => {
+                for s in statements {
+                    println!("     fix: {s}");
+                }
+                for (idx, q) in impacted_queries {
+                    println!("     impacted #{idx}: {q}");
+                }
+            }
+            Fix::Textual { advice } => println!("     advice: {advice}"),
+        }
+    }
+    // Exit code signals findings, like familiar linters.
+    std::process::exit(1);
+}
+
+fn arg_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn is_flag_value(args: &[String], candidate: &String) -> bool {
+    args.iter()
+        .position(|a| a == candidate)
+        .map(|i| {
+            i > 0 && matches!(args[i - 1].as_str(), "--weights" | "--rank-by")
+        })
+        .unwrap_or(false)
+}
+
+fn print_help() {
+    println!(
+        "sqlcheck — detect, rank, and fix SQL anti-patterns (SIGMOD 2020 reproduction)\n\n\
+         usage: sqlcheck [--intra-only] [--weights c1|c2] [--rank-by count] \n\
+                         [--no-fix] [--summary] [FILE|-]\n\n\
+         Reads SQL from FILE (or stdin with '-'), prints ranked anti-patterns\n\
+         with suggested fixes. Exits 1 when anti-patterns are found."
+    );
+}

@@ -1,0 +1,241 @@
+//! Data context: column profiles extracted from a live database.
+//!
+//! The paper's data analyzer (§4.2) scans the database for schemata and
+//! per-column distributions, then samples each table. Here the "database
+//! server" is a [`sqlcheck_minidb::database::Database`]; the profiles are
+//! computed once and cached in the context, "reused across several checks"
+//! as the paper prescribes.
+
+use sqlcheck_minidb::database::Database;
+use sqlcheck_minidb::schema::Check;
+use sqlcheck_minidb::stats::{profile_table, ColumnStats};
+use sqlcheck_minidb::value::DataType;
+use std::collections::BTreeMap;
+
+/// Configuration of the data analyzer.
+#[derive(Debug, Clone)]
+pub struct DataAnalysisConfig {
+    /// Reservoir sample size per column.
+    pub sample_size: usize,
+    /// PRNG seed (profiles are deterministic given the seed).
+    pub seed: u64,
+    /// Minimum rows before distribution-based rules fire (tiny tables are
+    /// all "low cardinality" — a false-positive source).
+    pub min_rows: usize,
+    /// Distinct-ratio threshold under which a textual column is considered
+    /// enum-like (Example 4's threshold).
+    pub enum_distinct_ratio: f64,
+    /// Maximum distinct values for an enum-like column.
+    pub enum_max_distinct: usize,
+    /// Fraction of sampled values that must contain a delimiter for the
+    /// multi-valued-attribute data rule to fire.
+    pub mva_fraction: f64,
+    /// Fraction of sampled text values that must parse as numbers for the
+    /// incorrect-data-type rule to fire.
+    pub wrong_type_fraction: f64,
+    /// Distinct-ratio threshold under which an indexed column is too
+    /// low-cardinality for the index to help (Fig 8c's false-positive
+    /// eliminator).
+    pub low_cardinality_ratio: f64,
+}
+
+impl Default for DataAnalysisConfig {
+    fn default() -> Self {
+        DataAnalysisConfig {
+            sample_size: 64,
+            seed: 0xC0FFEE,
+            min_rows: 20,
+            enum_distinct_ratio: 0.05,
+            enum_max_distinct: 16,
+            mva_fraction: 0.5,
+            wrong_type_fraction: 0.9,
+            low_cardinality_ratio: 0.01,
+        }
+    }
+}
+
+/// Profile of one column, combining declared type and observed stats.
+#[derive(Debug, Clone)]
+pub struct ColumnProfile {
+    /// Column name.
+    pub name: String,
+    /// Declared engine type.
+    pub dtype: DataType,
+    /// Whether a timestamp column declared a timezone.
+    pub with_timezone: bool,
+    /// Observed statistics (with sample).
+    pub stats: ColumnStats,
+}
+
+/// Profile of one table.
+#[derive(Debug, Clone)]
+pub struct TableProfile {
+    /// Table name (as declared).
+    pub name: String,
+    /// Live row count at profiling time.
+    pub row_count: usize,
+    /// Column profiles in schema order.
+    pub columns: Vec<ColumnProfile>,
+    /// Primary key column names.
+    pub primary_key: Vec<String>,
+    /// Names of columns covered by CHECK constraints.
+    pub checked_columns: Vec<String>,
+    /// Names of columns participating in FOREIGN KEY constraints — a
+    /// declared FK already normalises/constrains the column, so several
+    /// data rules exempt these.
+    pub foreign_key_columns: Vec<String>,
+    /// Index descriptions `(name, leading column, distinct keys)`.
+    pub indexes: Vec<(String, String, usize)>,
+}
+
+impl TableProfile {
+    /// Find a column profile by name.
+    pub fn column(&self, name: &str) -> Option<&ColumnProfile> {
+        self.columns.iter().find(|c| c.name.eq_ignore_ascii_case(name))
+    }
+}
+
+/// The data context over a whole database.
+#[derive(Debug, Clone, Default)]
+pub struct DataProfile {
+    tables: BTreeMap<String, TableProfile>,
+}
+
+impl DataProfile {
+    /// Profile every table in `db`.
+    pub fn build(db: &Database, cfg: &DataAnalysisConfig) -> Self {
+        let mut out = DataProfile::default();
+        for table in db.tables() {
+            let stats = profile_table(table, cfg.sample_size, cfg.seed);
+            let columns = table
+                .schema
+                .columns
+                .iter()
+                .zip(stats)
+                .map(|(col, stats)| ColumnProfile {
+                    name: col.name.clone(),
+                    dtype: col.dtype,
+                    with_timezone: col.with_timezone,
+                    stats,
+                })
+                .collect();
+            let checked_columns = table
+                .schema
+                .checks
+                .iter()
+                .map(|c| match c {
+                    Check::InList { column, .. } | Check::Range { column, .. } => column.clone(),
+                })
+                .collect();
+            let foreign_key_columns = table
+                .schema
+                .foreign_keys
+                .iter()
+                .flat_map(|fk| fk.columns.iter().cloned())
+                .collect();
+            let indexes = table
+                .indexes()
+                .iter()
+                .map(|i| {
+                    let leading = i
+                        .columns
+                        .first()
+                        .map(|&c| table.schema.columns[c].name.clone())
+                        .unwrap_or_default();
+                    (i.name.clone(), leading, i.distinct_keys())
+                })
+                .collect();
+            out.tables.insert(
+                table.schema.name.to_ascii_lowercase(),
+                TableProfile {
+                    name: table.schema.name.clone(),
+                    row_count: table.len(),
+                    columns,
+                    primary_key: table.schema.primary_key.clone(),
+                    checked_columns,
+                    foreign_key_columns,
+                    indexes,
+                },
+            );
+        }
+        out
+    }
+
+    /// Look up a table profile (case-insensitive).
+    pub fn table(&self, name: &str) -> Option<&TableProfile> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    /// All table profiles.
+    pub fn tables(&self) -> impl Iterator<Item = &TableProfile> {
+        self.tables.values()
+    }
+
+    /// Number of profiled tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlcheck_minidb::prelude::*;
+
+    fn demo_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new("Tenants")
+                .column(Column::new("Tenant_ID", DataType::Text).not_null())
+                .column(Column::new("User_IDs", DataType::Text))
+                .primary_key(&["Tenant_ID"]),
+        )
+        .unwrap();
+        for i in 0..50 {
+            db.insert(
+                "Tenants",
+                vec![
+                    Value::text(format!("T{i}")),
+                    Value::text(format!("U{},U{}", i * 2, i * 2 + 1)),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn profiles_every_table_and_column() {
+        let db = demo_db();
+        let p = DataProfile::build(&db, &DataAnalysisConfig::default());
+        assert_eq!(p.table_count(), 1);
+        let t = p.table("tenants").unwrap();
+        assert_eq!(t.row_count, 50);
+        assert_eq!(t.columns.len(), 2);
+        assert_eq!(t.primary_key, vec!["Tenant_ID"]);
+        let uid = t.column("user_ids").unwrap();
+        assert!(uid.stats.sample.len() > 0);
+        assert_eq!(uid.dtype, DataType::Text);
+    }
+
+    #[test]
+    fn index_metadata_captured() {
+        let db = demo_db();
+        let p = DataProfile::build(&db, &DataAnalysisConfig::default());
+        let t = p.table("tenants").unwrap();
+        assert_eq!(t.indexes.len(), 1, "pkey index");
+        assert_eq!(t.indexes[0].1, "Tenant_ID");
+        assert_eq!(t.indexes[0].2, 50);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let db = demo_db();
+        let cfg = DataAnalysisConfig { sample_size: 8, ..Default::default() };
+        let p1 = DataProfile::build(&db, &cfg);
+        let p2 = DataProfile::build(&db, &cfg);
+        let s1 = &p1.table("tenants").unwrap().column("user_ids").unwrap().stats.sample;
+        let s2 = &p2.table("tenants").unwrap().column("user_ids").unwrap().stats.sample;
+        assert_eq!(s1, s2);
+    }
+}

@@ -1,0 +1,270 @@
+//! The application context (Algorithm 1's `Context-Builder`).
+//!
+//! The context combines three ingredients:
+//!
+//! 1. **query context** — every statement, parsed and annotated;
+//! 2. **schema context** — the catalog folded from DDL (or, when a
+//!    database is attached, from its live schema);
+//! 3. **data context** — per-column profiles sampled from the database,
+//!    when one is available.
+//!
+//! Detection rules receive the whole [`Context`]; contextual rules use it
+//! to "resolve cases where the presence or absence of an AP cannot be
+//! determined with high precision by only looking at a given query".
+
+pub mod data;
+pub mod schema;
+pub mod workload;
+
+pub use data::{ColumnProfile, DataAnalysisConfig, DataProfile, TableProfile};
+pub use schema::{CheckInfo, ColumnInfo, FkInfo, IndexInfo, SchemaCatalog, TableInfo};
+pub use workload::{ColumnUsage, JoinEdge, WorkloadProfile};
+
+use sqlcheck_minidb::database::Database;
+use sqlcheck_parser::annotate::{annotate, Annotations};
+use sqlcheck_parser::ast::ParsedStatement;
+use sqlcheck_parser::parse;
+
+/// One statement with its annotations, as stored in the context.
+#[derive(Debug, Clone)]
+pub struct AnalyzedStatement {
+    /// The parsed statement.
+    pub parsed: ParsedStatement,
+    /// Its annotation digest.
+    pub ann: Annotations,
+}
+
+/// The application context.
+#[derive(Debug, Clone, Default)]
+pub struct Context {
+    /// All analysed statements, in script order.
+    pub statements: Vec<AnalyzedStatement>,
+    /// Schema catalog (from DDL and/or the attached database).
+    pub schema: SchemaCatalog,
+    /// Workload profile.
+    pub workload: WorkloadProfile,
+    /// Data profiles, when a database was attached.
+    pub data: Option<DataProfile>,
+}
+
+impl Context {
+    /// Statement count.
+    pub fn len(&self) -> usize {
+        self.statements.len()
+    }
+
+    /// True when no statements were analysed.
+    pub fn is_empty(&self) -> bool {
+        self.statements.is_empty()
+    }
+
+    /// Whether data analysis is available.
+    pub fn has_data(&self) -> bool {
+        self.data.is_some()
+    }
+
+    /// Re-profile the database, replacing the cached data context. The
+    /// paper's data analyzer "periodically refreshes the context over
+    /// time [and] whenever the schema evolves" (§4.2) — profiles are
+    /// cached and reused across checks, so a long-lived context must be
+    /// refreshed explicitly when the data changes underneath it.
+    pub fn refresh_data(&mut self, db: &Database, cfg: &DataAnalysisConfig) {
+        for table in db.tables() {
+            if self.schema.table(&table.schema.name).is_none() {
+                let ddl = synthesize_ddl(table);
+                for p in parse(&ddl) {
+                    self.schema.apply(&p.stmt);
+                }
+            }
+        }
+        self.data = Some(DataProfile::build(db, cfg));
+    }
+}
+
+/// Builder for [`Context`].
+#[derive(Default)]
+pub struct ContextBuilder {
+    statements: Vec<ParsedStatement>,
+    database: Option<(Database, DataAnalysisConfig)>,
+}
+
+impl ContextBuilder {
+    /// Start an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add every statement in a SQL script.
+    pub fn add_script(mut self, script: &str) -> Self {
+        self.statements.extend(parse(script));
+        self
+    }
+
+    /// Add pre-parsed statements.
+    pub fn add_statements(mut self, stmts: impl IntoIterator<Item = ParsedStatement>) -> Self {
+        self.statements.extend(stmts);
+        self
+    }
+
+    /// Attach a database for data analysis (the optional input of Fig 4).
+    pub fn with_database(mut self, db: Database, cfg: DataAnalysisConfig) -> Self {
+        self.database = Some((db, cfg));
+        self
+    }
+
+    /// Build the context: annotate queries, fold the schema, profile the
+    /// workload, and (when a database is attached) profile the data.
+    pub fn build(self) -> Context {
+        let analyzed: Vec<AnalyzedStatement> = self
+            .statements
+            .into_iter()
+            .map(|parsed| {
+                let ann = annotate(&parsed.stmt);
+                AnalyzedStatement { parsed, ann }
+            })
+            .collect();
+
+        let mut schema =
+            SchemaCatalog::from_statements(analyzed.iter().map(|a| &a.parsed.stmt));
+
+        // When a database is attached, its live schema augments the DDL-
+        // derived catalog (tables created outside the script become
+        // visible to the rules).
+        let data = self.database.map(|(db, cfg)| {
+            for table in db.tables() {
+                if schema.table(&table.schema.name).is_none() {
+                    let ddl = synthesize_ddl(table);
+                    for p in parse(&ddl) {
+                        schema.apply(&p.stmt);
+                    }
+                }
+            }
+            DataProfile::build(&db, &cfg)
+        });
+
+        let pairs: Vec<_> =
+            analyzed.iter().map(|a| (a.parsed.stmt.clone(), a.ann.clone())).collect();
+        let workload = WorkloadProfile::build(&pairs, &schema);
+
+        Context { statements: analyzed, schema, workload, data }
+    }
+}
+
+/// Render a minidb table schema as `CREATE TABLE` DDL so the generic
+/// catalog code can ingest it.
+fn synthesize_ddl(table: &sqlcheck_minidb::table::Table) -> String {
+    use sqlcheck_minidb::value::DataType as DT;
+    let mut cols: Vec<String> = table
+        .schema
+        .columns
+        .iter()
+        .map(|c| {
+            let ty = match c.dtype {
+                DT::Int => "INTEGER",
+                DT::Float => "FLOAT",
+                DT::Text => "TEXT",
+                DT::Bool => "BOOLEAN",
+                DT::Timestamp => {
+                    if c.with_timezone {
+                        "TIMESTAMPTZ"
+                    } else {
+                        "TIMESTAMP"
+                    }
+                }
+            };
+            let nn = if c.not_null { " NOT NULL" } else { "" };
+            format!("{} {}{}", c.name, ty, nn)
+        })
+        .collect();
+    if !table.schema.primary_key.is_empty() {
+        cols.push(format!("PRIMARY KEY ({})", table.schema.primary_key.join(", ")));
+    }
+    for fk in &table.schema.foreign_keys {
+        cols.push(format!(
+            "FOREIGN KEY ({}) REFERENCES {} ({})",
+            fk.columns.join(", "),
+            fk.ref_table,
+            fk.ref_columns.join(", ")
+        ));
+    }
+    format!("CREATE TABLE {} ({})", table.schema.name, cols.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlcheck_minidb::prelude::*;
+
+    #[test]
+    fn builds_query_and_schema_context() {
+        let ctx = ContextBuilder::new()
+            .add_script(
+                "CREATE TABLE t (a INT PRIMARY KEY, b INT);\
+                 SELECT * FROM t WHERE a = 1;",
+            )
+            .build();
+        assert_eq!(ctx.len(), 2);
+        assert!(ctx.schema.table("t").is_some());
+        assert_eq!(ctx.workload.usage("t", "a").unwrap().eq_predicates, 1);
+        assert!(!ctx.has_data());
+    }
+
+    #[test]
+    fn database_schema_merged_into_catalog() {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new("Users")
+                .column(sqlcheck_minidb::schema::Column::new("User_ID", DataType::Text).not_null())
+                .column(sqlcheck_minidb::schema::Column::new("Name", DataType::Text))
+                .primary_key(&["User_ID"]),
+        )
+        .unwrap();
+        db.insert("Users", vec![Value::text("U1"), Value::text("N")]).unwrap();
+
+        let ctx = ContextBuilder::new()
+            .add_script("SELECT * FROM Users WHERE Name = 'N'")
+            .with_database(db, DataAnalysisConfig::default())
+            .build();
+        let t = ctx.schema.table("users").expect("table from db visible in catalog");
+        assert!(t.has_primary_key());
+        assert!(ctx.has_data());
+        assert_eq!(ctx.data.as_ref().unwrap().table("users").unwrap().row_count, 1);
+    }
+
+    #[test]
+    fn empty_context() {
+        let ctx = ContextBuilder::new().build();
+        assert!(ctx.is_empty());
+        assert_eq!(ctx.schema.table_count(), 0);
+    }
+
+    #[test]
+    fn refresh_data_tracks_schema_and_data_evolution() {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new("a")
+                .column(sqlcheck_minidb::schema::Column::new("x", DataType::Int).not_null())
+                .primary_key(&["x"]),
+        )
+        .unwrap();
+        db.insert("a", vec![Value::Int(1)]).unwrap();
+        let cfg = DataAnalysisConfig::default();
+        let mut ctx = ContextBuilder::new().with_database(db.clone(), cfg.clone()).build();
+        assert_eq!(ctx.data.as_ref().unwrap().table("a").unwrap().row_count, 1);
+
+        // The database evolves: a new table appears, rows accrete.
+        db.create_table(
+            TableSchema::new("b")
+                .column(sqlcheck_minidb::schema::Column::new("y", DataType::Int).not_null())
+                .primary_key(&["y"]),
+        )
+        .unwrap();
+        db.insert("a", vec![Value::Int(2)]).unwrap();
+        // Stale until refreshed.
+        assert!(ctx.data.as_ref().unwrap().table("b").is_none());
+        ctx.refresh_data(&db, &cfg);
+        assert_eq!(ctx.data.as_ref().unwrap().table("a").unwrap().row_count, 2);
+        assert!(ctx.data.as_ref().unwrap().table("b").is_some());
+        assert!(ctx.schema.table("b").is_some(), "schema catalog follows");
+    }
+}

@@ -1,0 +1,314 @@
+//! Workload profile: how the application's queries use tables and columns.
+//!
+//! The inter-query detection rules (§4.1 ❷) and the index advisor rules
+//! (Example 5) need aggregate knowledge of the whole statement set: which
+//! columns appear in equality predicates, which tables are joined on which
+//! columns, how often each table is read or written.
+
+use super::schema::SchemaCatalog;
+use sqlcheck_parser::annotate::Annotations;
+use sqlcheck_parser::ast::{Statement, TableRef};
+use std::collections::BTreeMap;
+
+/// Usage counters for one `(table, column)` pair.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnUsage {
+    /// Equality predicates (`=`, `IN`).
+    pub eq_predicates: usize,
+    /// Range predicates (`<`, `>`, `BETWEEN`, ...).
+    pub range_predicates: usize,
+    /// Pattern predicates (`LIKE`, `REGEXP`, ...).
+    pub pattern_predicates: usize,
+    /// GROUP BY occurrences.
+    pub group_by: usize,
+    /// ORDER BY occurrences.
+    pub order_by: usize,
+    /// Join-condition occurrences.
+    pub join: usize,
+    /// Writes (UPDATE SET / INSERT).
+    pub writes: usize,
+}
+
+impl ColumnUsage {
+    /// Total read-side references.
+    pub fn reads(&self) -> usize {
+        self.eq_predicates
+            + self.range_predicates
+            + self.pattern_predicates
+            + self.group_by
+            + self.order_by
+            + self.join
+    }
+}
+
+/// One join-graph edge observed in a query.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct JoinEdge {
+    /// `(table, column)` — lexicographically smaller side first.
+    pub left: (String, String),
+    /// The other side.
+    pub right: (String, String),
+}
+
+/// Aggregated workload profile.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadProfile {
+    /// Per-(table-lowercase, column-lowercase) usage counters.
+    usage: BTreeMap<(String, String), ColumnUsage>,
+    /// Join edges with observation counts.
+    pub join_edges: BTreeMap<JoinEdge, usize>,
+    /// Statements per table (reads + writes).
+    pub table_refs: BTreeMap<String, usize>,
+    /// Total statements profiled.
+    pub statement_count: usize,
+}
+
+impl WorkloadProfile {
+    /// Build a profile from annotated statements, resolving alias
+    /// qualifiers against each statement's own scope and falling back to
+    /// the schema catalog for unqualified columns.
+    pub fn build(stmts: &[(Statement, Annotations)], schema: &SchemaCatalog) -> Self {
+        let mut w = WorkloadProfile::default();
+        for (stmt, ann) in stmts {
+            w.statement_count += 1;
+            let scope = Scope::of(stmt);
+            for t in &ann.tables {
+                *w.table_refs.entry(t.to_ascii_lowercase()).or_default() += 1;
+            }
+            for p in &ann.predicates {
+                let Some(table) = scope.resolve(p.qualifier.as_deref(), &p.column, schema) else {
+                    continue;
+                };
+                let u = w.usage_mut(&table, &p.column);
+                match p.op.as_str() {
+                    "=" | "==" | "IN" | "<=>" => u.eq_predicates += 1,
+                    "LIKE" | "ILIKE" | "REGEXP" | "GLOB" | "SIMILAR TO" => {
+                        u.pattern_predicates += 1
+                    }
+                    "IS NULL" => {}
+                    _ => u.range_predicates += 1,
+                }
+            }
+            for c in &ann.columns {
+                use sqlcheck_parser::annotate::ColumnRole::*;
+                let Some(table) = scope.resolve(c.qualifier.as_deref(), &c.column, schema) else {
+                    continue;
+                };
+                let u = w.usage_mut(&table, &c.column);
+                match c.role {
+                    Grouped => u.group_by += 1,
+                    Ordered => u.order_by += 1,
+                    Joined => u.join += 1,
+                    Written => u.writes += 1,
+                    _ => {}
+                }
+            }
+            for jc in &ann.join_conditions {
+                let (Some(lt), Some((rq, rc))) = (
+                    scope.resolve(jc.left.0.as_deref(), &jc.left.1, schema),
+                    jc.right.clone(),
+                ) else {
+                    continue;
+                };
+                let Some(rt) = scope.resolve(rq.as_deref(), &rc, schema) else { continue };
+                let a = (lt.to_ascii_lowercase(), jc.left.1.to_ascii_lowercase());
+                let b = (rt.to_ascii_lowercase(), rc.to_ascii_lowercase());
+                let edge = if a <= b {
+                    JoinEdge { left: a, right: b }
+                } else {
+                    JoinEdge { left: b, right: a }
+                };
+                *w.join_edges.entry(edge).or_default() += 1;
+            }
+        }
+        w
+    }
+
+    fn usage_mut(&mut self, table: &str, column: &str) -> &mut ColumnUsage {
+        self.usage
+            .entry((table.to_ascii_lowercase(), column.to_ascii_lowercase()))
+            .or_default()
+    }
+
+    /// Usage counters for `(table, column)`, if any reference was seen.
+    pub fn usage(&self, table: &str, column: &str) -> Option<&ColumnUsage> {
+        self.usage.get(&(table.to_ascii_lowercase(), column.to_ascii_lowercase()))
+    }
+
+    /// Iterate all `(table, column, usage)` entries.
+    pub fn iter_usage(&self) -> impl Iterator<Item = (&str, &str, &ColumnUsage)> {
+        self.usage.iter().map(|((t, c), u)| (t.as_str(), c.as_str(), u))
+    }
+
+    /// Number of statements referencing a table.
+    pub fn table_ref_count(&self, table: &str) -> usize {
+        self.table_refs.get(&table.to_ascii_lowercase()).copied().unwrap_or(0)
+    }
+}
+
+/// Alias scope of one statement.
+struct Scope {
+    /// `(binding-lowercase, table name)` pairs.
+    bindings: Vec<(String, String)>,
+}
+
+impl Scope {
+    fn of(stmt: &Statement) -> Scope {
+        let mut bindings = Vec::new();
+        let mut add_ref = |t: &TableRef| {
+            if t.subquery.is_none() {
+                bindings.push((t.binding().to_ascii_lowercase(), t.name.name().to_string()));
+                // The bare table name also resolves even when aliased.
+                bindings
+                    .push((t.name.name().to_ascii_lowercase(), t.name.name().to_string()));
+            }
+        };
+        match stmt {
+            Statement::Select(s) => {
+                for t in s.tables() {
+                    add_ref(t);
+                }
+            }
+            Statement::Insert(i) => {
+                bindings.push((
+                    i.table.name().to_ascii_lowercase(),
+                    i.table.name().to_string(),
+                ));
+            }
+            Statement::Update(u) => {
+                bindings.push((
+                    u.table.name().to_ascii_lowercase(),
+                    u.table.name().to_string(),
+                ));
+            }
+            Statement::Delete(d) => {
+                bindings.push((
+                    d.table.name().to_ascii_lowercase(),
+                    d.table.name().to_string(),
+                ));
+            }
+            _ => {}
+        }
+        Scope { bindings }
+    }
+
+    /// Resolve a column reference to its table name.
+    fn resolve(
+        &self,
+        qualifier: Option<&str>,
+        column: &str,
+        schema: &SchemaCatalog,
+    ) -> Option<String> {
+        if let Some(q) = qualifier {
+            let ql = q.to_ascii_lowercase();
+            return self
+                .bindings
+                .iter()
+                .find(|(b, _)| *b == ql)
+                .map(|(_, t)| t.clone())
+                .or(Some(q.to_string()));
+        }
+        // Unqualified: unique scope table wins; otherwise consult the schema.
+        let mut distinct_tables: Vec<&String> = Vec::new();
+        for (_, t) in &self.bindings {
+            if !distinct_tables.iter().any(|x| x.eq_ignore_ascii_case(t)) {
+                distinct_tables.push(t);
+            }
+        }
+        match distinct_tables.len() {
+            0 => None,
+            1 => Some(distinct_tables[0].clone()),
+            _ => distinct_tables
+                .iter()
+                .find(|t| {
+                    schema.table(t).map(|ti| ti.column(column).is_some()).unwrap_or(false)
+                })
+                .map(|t| t.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlcheck_parser::{annotate, parse};
+
+    fn profile(sql: &str) -> (WorkloadProfile, SchemaCatalog) {
+        let parsed = parse(sql);
+        let schema = SchemaCatalog::from_statements(parsed.iter().map(|p| &p.stmt));
+        let stmts: Vec<_> =
+            parsed.into_iter().map(|p| (p.stmt.clone(), annotate(&p.stmt))).collect();
+        (WorkloadProfile::build(&stmts, &schema), schema)
+    }
+
+    #[test]
+    fn eq_predicates_counted_per_table_column() {
+        let (w, _) = profile(
+            "CREATE TABLE t (a INT, b INT);\
+             SELECT * FROM t WHERE a = 1;\
+             SELECT * FROM t WHERE a = 2 AND b > 3;",
+        );
+        assert_eq!(w.usage("t", "a").unwrap().eq_predicates, 2);
+        assert_eq!(w.usage("t", "b").unwrap().range_predicates, 1);
+    }
+
+    #[test]
+    fn alias_resolution() {
+        let (w, _) = profile(
+            "CREATE TABLE tenant (id INT, zone INT);\
+             SELECT * FROM tenant AS t WHERE t.zone = 1;",
+        );
+        assert_eq!(w.usage("tenant", "zone").unwrap().eq_predicates, 1);
+    }
+
+    #[test]
+    fn unqualified_column_resolved_via_schema() {
+        let (w, _) = profile(
+            "CREATE TABLE a (x INT);\
+             CREATE TABLE b (y INT);\
+             SELECT * FROM a JOIN b ON a.x = b.y WHERE y = 5;",
+        );
+        assert_eq!(w.usage("b", "y").unwrap().eq_predicates, 1);
+        assert!(w.usage("a", "y").is_none());
+    }
+
+    #[test]
+    fn join_edges_normalised() {
+        let (w, _) = profile(
+            "SELECT * FROM q JOIN t ON t.tid = q.tid;\
+             SELECT * FROM t JOIN q ON q.tid = t.tid;",
+        );
+        assert_eq!(w.join_edges.len(), 1, "both orders collapse to one edge");
+        assert_eq!(*w.join_edges.values().next().unwrap(), 2);
+    }
+
+    #[test]
+    fn writes_counted() {
+        let (w, _) = profile(
+            "CREATE TABLE t (a INT, b INT);\
+             UPDATE t SET a = 5 WHERE b = 1;\
+             INSERT INTO t (a, b) VALUES (1, 2);",
+        );
+        assert_eq!(w.usage("t", "a").unwrap().writes, 2);
+        assert_eq!(w.usage("t", "b").unwrap().eq_predicates, 1);
+    }
+
+    #[test]
+    fn group_and_order_counted() {
+        let (w, _) = profile(
+            "CREATE TABLE t (g INT, v INT);\
+             SELECT g, SUM(v) FROM t GROUP BY g ORDER BY g;",
+        );
+        let u = w.usage("t", "g").unwrap();
+        assert_eq!(u.group_by, 1);
+        assert_eq!(u.order_by, 1);
+    }
+
+    #[test]
+    fn table_ref_counts() {
+        let (w, _) = profile("SELECT * FROM t; SELECT * FROM t; SELECT * FROM u;");
+        assert_eq!(w.table_ref_count("t"), 2);
+        assert_eq!(w.table_ref_count("u"), 1);
+        assert_eq!(w.statement_count, 3);
+    }
+}

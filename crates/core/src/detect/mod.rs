@@ -1,0 +1,154 @@
+//! `ap-detect`: the anti-pattern detection engine (Algorithms 1–3).
+//!
+//! Detection runs in three phases, mirroring §4:
+//!
+//! 1. **Intra-query** ([`intra`]): rules applied to each statement in
+//!    isolation. High recall, lower precision.
+//! 2. **Inter-query** ([`inter`]): rules that need the application context
+//!    (schema + workload) — both to detect APs no single statement reveals
+//!    (No Foreign Key, Index Over/Underuse, Clone Table) and to *suppress*
+//!    intra-query false positives (e.g. a `CREATE TABLE` without a PK that
+//!    a later `ALTER TABLE` fixes).
+//! 3. **Data analysis** ([`data`]): rules over sampled column profiles,
+//!    when a database is attached.
+
+pub mod data;
+pub mod inter;
+pub mod intra;
+
+use crate::context::{Context, DataAnalysisConfig};
+use crate::report::{Detection, Locus, Report};
+
+/// Detector configuration (thresholds are the paper's defaults where it
+/// names one; Table 1 mentions the God Table threshold of 10).
+#[derive(Debug, Clone)]
+pub struct DetectionConfig {
+    /// Run only intra-query rules (the paper's first evaluation
+    /// configuration in §8.1).
+    pub intra_only: bool,
+    /// Column-count threshold for the God Table AP.
+    pub god_table_columns: usize,
+    /// Join-count threshold for the Too Many Joins AP.
+    pub too_many_joins: usize,
+    /// Data-analysis thresholds.
+    pub data: DataAnalysisConfig,
+}
+
+impl Default for DetectionConfig {
+    fn default() -> Self {
+        DetectionConfig {
+            intra_only: false,
+            god_table_columns: 10,
+            too_many_joins: 5,
+            data: DataAnalysisConfig::default(),
+        }
+    }
+}
+
+impl DetectionConfig {
+    /// The paper's intra-only configuration.
+    pub fn intra_only() -> Self {
+        DetectionConfig { intra_only: true, ..Default::default() }
+    }
+}
+
+/// The detection engine.
+#[derive(Debug, Clone, Default)]
+pub struct Detector {
+    /// Configuration.
+    pub cfg: DetectionConfig,
+}
+
+impl Detector {
+    /// Detector with a custom configuration.
+    pub fn new(cfg: DetectionConfig) -> Self {
+        Detector { cfg }
+    }
+
+    /// Run all applicable phases over the context and return the merged,
+    /// de-duplicated report.
+    pub fn detect(&self, ctx: &Context) -> Report {
+        let mut report = Report::default();
+        let use_context = !self.cfg.intra_only;
+
+        for (idx, stmt) in ctx.statements.iter().enumerate() {
+            report
+                .detections
+                .extend(intra::detect_statement(idx, stmt, ctx, &self.cfg, use_context));
+        }
+        if use_context {
+            report.detections.extend(inter::detect(ctx, &self.cfg));
+        }
+        if let Some(data) = &ctx.data {
+            report.detections.extend(data::detect(data, ctx, &self.cfg));
+        }
+        dedup(&mut report.detections);
+        report
+    }
+}
+
+/// Drop later detections that duplicate an earlier `(kind, locus)` pair —
+/// the same AP found by several phases is reported once, crediting the
+/// earliest (most specific) phase.
+fn dedup(detections: &mut Vec<Detection>) {
+    let mut seen: Vec<(crate::anti_pattern::AntiPatternKind, Locus)> = Vec::new();
+    detections.retain(|d| {
+        let key = (d.kind, d.locus.clone());
+        if seen.contains(&key) {
+            false
+        } else {
+            seen.push(key);
+            true
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anti_pattern::AntiPatternKind;
+    use crate::context::ContextBuilder;
+
+    fn run(sql: &str) -> Report {
+        let ctx = ContextBuilder::new().add_script(sql).build();
+        Detector::default().detect(&ctx)
+    }
+
+    fn run_intra(sql: &str) -> Report {
+        let ctx = ContextBuilder::new().add_script(sql).build();
+        Detector::new(DetectionConfig::intra_only()).detect(&ctx)
+    }
+
+    #[test]
+    fn end_to_end_detects_multiple_kinds() {
+        let r = run(
+            "CREATE TABLE t (a INT, b FLOAT);\
+             INSERT INTO t VALUES (1, 2.5);\
+             SELECT * FROM t ORDER BY RAND();",
+        );
+        assert!(r.count(AntiPatternKind::NoPrimaryKey) >= 1);
+        assert!(r.count(AntiPatternKind::RoundingErrors) >= 1);
+        assert!(r.count(AntiPatternKind::ImplicitColumns) >= 1);
+        assert!(r.count(AntiPatternKind::ColumnWildcard) >= 1);
+        assert!(r.count(AntiPatternKind::OrderingByRand) >= 1);
+    }
+
+    #[test]
+    fn inter_query_suppresses_no_pk_false_positive() {
+        let sql = "CREATE TABLE t (a INT);\
+                   ALTER TABLE t ADD CONSTRAINT pk PRIMARY KEY (a);";
+        let intra = run_intra(sql);
+        let full = run(sql);
+        assert_eq!(intra.count(AntiPatternKind::NoPrimaryKey), 1, "intra-only FP");
+        assert_eq!(full.count(AntiPatternKind::NoPrimaryKey), 0, "context eliminates FP");
+    }
+
+    #[test]
+    fn dedup_keeps_single_detection_per_locus() {
+        // God Table detected intra; ensure no duplicate from other phases.
+        let cols: Vec<String> = (0..12).map(|i| format!("c{i} INT")).collect();
+        let sql = format!("CREATE TABLE wide ({})", cols.join(", "));
+        let r = run(&sql);
+        assert_eq!(r.count(AntiPatternKind::GodTable), 1);
+    }
+}

@@ -1,0 +1,635 @@
+//! Non-ambiguous query/schema transformations (§6.1).
+//!
+//! Each function returns `Some(Fix)` when the context carries enough
+//! syntactic information to transform safely, `None` to fall back to a
+//! textual fix. Rewrites go through the AST and are rendered with
+//! [`ToSql`], matching the paper's "transforms the parse tree to a SQL
+//! string" step.
+
+use crate::context::Context;
+use crate::fix::Fix;
+use crate::report::{Detection, Locus};
+use sqlcheck_parser::ast::*;
+use sqlcheck_parser::render::ToSql;
+
+fn statement_at<'c>(d: &Detection, ctx: &'c Context) -> Option<&'c ParsedStatement> {
+    d.statement_index().and_then(|i| ctx.statements.get(i)).map(|a| &a.parsed)
+}
+
+/// Implicit Columns (Example 2): add the explicit column list from the
+/// schema. Requires the schema to know the table and the arities to match.
+pub fn implicit_columns(d: &Detection, ctx: &Context) -> Option<Fix> {
+    let parsed = statement_at(d, ctx)?;
+    let Statement::Insert(ins) = &parsed.stmt else { return None };
+    if !ins.columns.is_empty() {
+        return None;
+    }
+    let table = ctx.schema.table(ins.table.name())?;
+    let InsertSource::Values(rows) = &ins.source else { return None };
+    let arity = rows.first()?.len();
+    if table.columns.len() != arity {
+        return None; // ambiguous — the paper falls back to a textual fix
+    }
+    let mut fixed = ins.clone();
+    fixed.columns = table.columns.iter().map(|c| c.name.clone()).collect();
+    Some(Fix::Rewrite { original: parsed.text(), fixed: fixed.to_sql() })
+}
+
+/// Column Wildcard: expand `*` to the explicit column list when every
+/// table in scope is known to the schema.
+pub fn column_wildcard(d: &Detection, ctx: &Context) -> Option<Fix> {
+    let parsed = statement_at(d, ctx)?;
+    let Statement::Select(sel) = &parsed.stmt else { return None };
+    let mut fixed = sel.clone();
+    let mut new_items = Vec::new();
+    for item in &fixed.items {
+        match item {
+            SelectItem::Wildcard { qualifier } => {
+                let expansions = expand_wildcard(sel, qualifier.as_deref(), ctx)?;
+                new_items.extend(expansions);
+            }
+            other => new_items.push(other.clone()),
+        }
+    }
+    fixed.items = new_items;
+    Some(Fix::Rewrite { original: parsed.text(), fixed: fixed.to_sql() })
+}
+
+fn expand_wildcard(
+    sel: &Select,
+    qualifier: Option<&str>,
+    ctx: &Context,
+) -> Option<Vec<SelectItem>> {
+    let tables: Vec<&TableRef> = match qualifier {
+        Some(q) => sel
+            .tables()
+            .into_iter()
+            .filter(|t| t.binding().eq_ignore_ascii_case(q))
+            .collect(),
+        None => sel.tables(),
+    };
+    if tables.is_empty() {
+        return None;
+    }
+    let mut items = Vec::new();
+    let multi = tables.len() > 1;
+    for t in tables {
+        if t.subquery.is_some() {
+            return None;
+        }
+        let info = ctx.schema.table(t.name.name())?;
+        if info.columns.is_empty() {
+            return None;
+        }
+        for c in &info.columns {
+            let expr = if multi || qualifier.is_some() {
+                Expr::Ident(vec![t.binding().to_string(), c.name.clone()])
+            } else {
+                Expr::ident(c.name.clone())
+            };
+            items.push(SelectItem::Expr { expr, alias: None });
+        }
+    }
+    Some(items)
+}
+
+/// Concatenate Nulls: wrap nullable identifier operands of `||` in
+/// `COALESCE(x, '')`.
+pub fn concatenate_nulls(d: &Detection, ctx: &Context) -> Option<Fix> {
+    let parsed = statement_at(d, ctx)?;
+    let Statement::Select(sel) = &parsed.stmt else { return None };
+    let mut fixed = sel.clone();
+    let mut changed = false;
+    for item in &mut fixed.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            let new = rewrite_concat(expr.clone(), &mut changed);
+            *expr = new;
+        }
+    }
+    if let Some(w) = fixed.where_clause.take() {
+        fixed.where_clause = Some(rewrite_concat(w, &mut changed));
+    }
+    if !changed {
+        return None;
+    }
+    Some(Fix::Rewrite { original: parsed.text(), fixed: fixed.to_sql() })
+}
+
+fn rewrite_concat(e: Expr, changed: &mut bool) -> Expr {
+    match e {
+        Expr::Binary { left, op, right } if op == "||" => {
+            let l = coalesce_ident(rewrite_concat(*left, changed), changed);
+            let r = coalesce_ident(rewrite_concat(*right, changed), changed);
+            Expr::Binary { left: Box::new(l), op, right: Box::new(r) }
+        }
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(rewrite_concat(*left, changed)),
+            op,
+            right: Box::new(rewrite_concat(*right, changed)),
+        },
+        Expr::Paren(inner) => Expr::Paren(Box::new(rewrite_concat(*inner, changed))),
+        other => other,
+    }
+}
+
+fn coalesce_ident(e: Expr, changed: &mut bool) -> Expr {
+    if let Expr::Ident(_) = &e {
+        *changed = true;
+        Expr::Function {
+            name: "COALESCE".into(),
+            args: vec![e, Expr::StringLit(String::new())],
+            distinct: false,
+        }
+    } else {
+        e
+    }
+}
+
+/// Distinct + Join: when the select list only touches the FROM table,
+/// rewrite the join as an EXISTS semi-join (which cannot produce
+/// duplicates), dropping the DISTINCT.
+pub fn distinct_join(d: &Detection, ctx: &Context) -> Option<Fix> {
+    let parsed = statement_at(d, ctx)?;
+    let Statement::Select(sel) = &parsed.stmt else { return None };
+    if !sel.distinct || sel.joins.len() != 1 || sel.from.is_none() {
+        return None;
+    }
+    let from = sel.from.as_ref().unwrap();
+    let join = &sel.joins[0];
+    let on = join.on.as_ref()?;
+    if join.table.subquery.is_some() || from.subquery.is_some() {
+        return None;
+    }
+    // Every projected column must belong to the outer table.
+    let outer_binding = from.binding().to_ascii_lowercase();
+    let inner_binding = join.table.binding().to_ascii_lowercase();
+    for item in &sel.items {
+        match item {
+            SelectItem::Wildcard { qualifier: Some(q) }
+                if q.to_ascii_lowercase() == outer_binding => {}
+            SelectItem::Wildcard { .. } => return None,
+            SelectItem::Expr { expr, .. } => {
+                for (q, _) in expr.column_refs() {
+                    match q {
+                        Some(q) if q.to_ascii_lowercase() == inner_binding => return None,
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    let sub = Select {
+        distinct: false,
+        items: vec![SelectItem::Expr { expr: Expr::NumberLit("1".into()), alias: None }],
+        from: Some(join.table.clone()),
+        joins: vec![],
+        where_clause: Some(on.clone()),
+        group_by: vec![],
+        having: None,
+        order_by: vec![],
+        limit: None,
+        set_op_tail: None,
+    };
+    let exists =
+        Expr::Unary { op: "EXISTS".into(), expr: Box::new(Expr::Subquery(Box::new(sub))) };
+    let mut fixed = sel.clone();
+    fixed.distinct = false;
+    fixed.joins.clear();
+    fixed.where_clause = Some(match fixed.where_clause.take() {
+        Some(w) => Expr::Binary { left: Box::new(w), op: "AND".into(), right: Box::new(exists) },
+        None => exists,
+    });
+    Some(Fix::Rewrite { original: parsed.text(), fixed: fixed.to_sql() })
+}
+
+/// Enumerated Types (Fig 5): introduce a lookup table and re-point the
+/// column at it.
+pub fn enumerated_types(d: &Detection, ctx: &Context) -> Option<Fix> {
+    // Identify (table, column, values) from the locus or the statement.
+    let (table, column, values) = enum_site(d, ctx)?;
+    let lookup = format!("{}_{}", table, column);
+    let mut statements = vec![
+        format!(
+            "CREATE TABLE {lookup} ({column}_ID INTEGER PRIMARY KEY, {column}_Name VARCHAR(30) NOT NULL UNIQUE)"
+        ),
+    ];
+    for (i, v) in values.iter().enumerate() {
+        statements.push(format!(
+            "INSERT INTO {lookup} ({column}_ID, {column}_Name) VALUES ({}, '{}')",
+            i + 1,
+            v.replace('\'', "''")
+        ));
+    }
+    statements.push(format!(
+        "ALTER TABLE {table} ADD COLUMN {column}_ID INTEGER REFERENCES {lookup}({column}_ID)"
+    ));
+    statements.push(format!(
+        "-- backfill: UPDATE {table} SET {column}_ID = (SELECT {column}_ID FROM {lookup} WHERE {column}_Name = {table}.{column})"
+    ));
+    statements.push(format!("ALTER TABLE {table} DROP COLUMN {column}"));
+    let impacted = impacted_statements(ctx, &table, &column);
+    Some(Fix::SchemaChange { statements, impacted_queries: impacted })
+}
+
+fn enum_site(d: &Detection, ctx: &Context) -> Option<(String, String, Vec<String>)> {
+    match &d.locus {
+        Locus::Column { table, column } => {
+            let values = ctx
+                .schema
+                .table(table)
+                .and_then(|t| {
+                    t.checks.iter().find_map(|c| {
+                        c.in_list.as_ref().and_then(|(col, vals)| {
+                            col.eq_ignore_ascii_case(column).then(|| vals.clone())
+                        })
+                    })
+                })
+                .unwrap_or_default();
+            Some((table.clone(), column.clone(), values))
+        }
+        Locus::Statement { index } => {
+            let stmt = &ctx.statements.get(*index)?.parsed.stmt;
+            match stmt {
+                Statement::AlterTable(at) => {
+                    if let AlterAction::AddConstraint(tc) = &at.action {
+                        if let TableConstraintKind::Check(ch) = &tc.kind {
+                            if let Some((col, vals)) = &ch.in_list {
+                                return Some((
+                                    at.table.name().to_string(),
+                                    col.clone(),
+                                    vals.clone(),
+                                ));
+                            }
+                        }
+                    }
+                    None
+                }
+                Statement::CreateTable(ct) => {
+                    // ENUM column or CHECK IN-list.
+                    for col in &ct.columns {
+                        if let Some(ty) = &col.data_type {
+                            if ty.name == "ENUM" {
+                                let vals = ty
+                                    .args
+                                    .iter()
+                                    .map(|a| a.trim_matches('\'').to_string())
+                                    .collect();
+                                return Some((
+                                    ct.name.name().to_string(),
+                                    col.name.clone(),
+                                    vals,
+                                ));
+                            }
+                        }
+                    }
+                    for tc in &ct.constraints {
+                        if let TableConstraintKind::Check(ch) = &tc.kind {
+                            if let Some((col, vals)) = &ch.in_list {
+                                return Some((
+                                    ct.name.name().to_string(),
+                                    col.clone(),
+                                    vals.clone(),
+                                ));
+                            }
+                        }
+                    }
+                    None
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Multi-Valued Attribute (§2.1.1 / §6): create the intersection table,
+/// drop the list column, and rewrite impacted queries as index joins.
+pub fn multi_valued_attribute(d: &Detection, ctx: &Context) -> Option<Fix> {
+    let (table, column) = mva_site(d, ctx)?;
+    // Guess the referenced entity from the column name: `User_IDs` → Users.
+    let stem = column
+        .trim_end_matches("_ids")
+        .trim_end_matches("_IDS")
+        .trim_end_matches("IDs")
+        .trim_end_matches("ids")
+        .trim_end_matches('_');
+    let entity = if stem.is_empty() { "Item".to_string() } else { format!("{stem}s") };
+    let entity_id = format!("{stem}_ID");
+    let owner_pk = ctx
+        .schema
+        .table(&table)
+        .and_then(|t| t.primary_key.first().cloned())
+        .unwrap_or_else(|| format!("{table}_ID"));
+    let intersection = format!("{table}_{entity}");
+    let statements = vec![
+        format!(
+            "CREATE TABLE {intersection} ({entity_id} VARCHAR(10) REFERENCES {entity}({entity_id}), \
+             {owner_pk} VARCHAR(10) REFERENCES {table}({owner_pk}), \
+             PRIMARY KEY ({entity_id}, {owner_pk}))"
+        ),
+        format!("-- backfill {intersection} by splitting {table}.{column}"),
+        format!("ALTER TABLE {table} DROP COLUMN {column}"),
+    ];
+    let impacted = impacted_statements(ctx, &table, &column)
+        .into_iter()
+        .map(|(idx, _orig)| {
+            (
+                idx,
+                format!(
+                    "SELECT * FROM {intersection} AS H JOIN {table} AS T ON H.{owner_pk} = T.{owner_pk} \
+                     WHERE H.{entity_id} = ?"
+                ),
+            )
+        })
+        .collect();
+    Some(Fix::SchemaChange { statements, impacted_queries: impacted })
+}
+
+fn mva_site(d: &Detection, ctx: &Context) -> Option<(String, String)> {
+    match &d.locus {
+        Locus::Column { table, column } => Some((table.clone(), column.clone())),
+        Locus::Statement { index } => {
+            let stmt = &ctx.statements.get(*index)?.parsed.stmt;
+            // DDL site: the id-list text column itself.
+            if let Statement::CreateTable(ct) = stmt {
+                for col in &ct.columns {
+                    let textual =
+                        col.data_type.as_ref().map(|t| t.is_textual()).unwrap_or(false);
+                    if textual && crate::detect::intra::id_list_column(&col.name) {
+                        return Some((ct.name.name().to_string(), col.name.clone()));
+                    }
+                }
+            }
+            let ann = &ctx.statements.get(*index)?.ann;
+            // Pick the pattern-predicate column, resolved to its table.
+            let col = ann
+                .predicates
+                .iter()
+                .find(|p| {
+                    matches!(p.op.as_str(), "LIKE" | "ILIKE" | "REGEXP" | "GLOB" | "SIMILAR TO")
+                })
+                .map(|p| p.column.clone())
+                .or_else(|| {
+                    ann.join_conditions
+                        .iter()
+                        .find(|j| j.is_pattern)
+                        .map(|j| j.left.1.clone())
+                })?;
+            let table = ann.tables.first()?.clone();
+            Some((table, col))
+        }
+        _ => None,
+    }
+}
+
+/// No Foreign Key: emit the ALTER TABLE that declares the constraint.
+pub fn no_foreign_key(d: &Detection, ctx: &Context) -> Option<Fix> {
+    let Locus::Column { table, column } = &d.locus else { return None };
+    // Find the PK side from the workload's join graph.
+    let target = ctx.workload.join_edges.keys().find_map(|e| {
+        if e.left.0.eq_ignore_ascii_case(table) && e.left.1.eq_ignore_ascii_case(column) {
+            Some(e.right.clone())
+        } else if e.right.0.eq_ignore_ascii_case(table) && e.right.1.eq_ignore_ascii_case(column)
+        {
+            Some(e.left.clone())
+        } else {
+            None
+        }
+    })?;
+    let stmt = format!(
+        "ALTER TABLE {table} ADD CONSTRAINT fk_{table}_{column} FOREIGN KEY ({column}) REFERENCES {}({})",
+        target.0, target.1
+    );
+    Some(Fix::SchemaChange { statements: vec![stmt], impacted_queries: vec![] })
+}
+
+/// Index Underuse: emit the CREATE INDEX.
+pub fn index_underuse(d: &Detection, _ctx: &Context) -> Option<Fix> {
+    let Locus::Column { table, column } = &d.locus else { return None };
+    Some(Fix::SchemaChange {
+        statements: vec![format!("CREATE INDEX idx_{table}_{column} ON {table} ({column})")],
+        impacted_queries: vec![],
+    })
+}
+
+/// Index Overuse: emit the DROP INDEX.
+pub fn index_overuse(d: &Detection, _ctx: &Context) -> Option<Fix> {
+    let Locus::Index { index } = &d.locus else { return None };
+    Some(Fix::SchemaChange {
+        statements: vec![format!("DROP INDEX {index}")],
+        impacted_queries: vec![],
+    })
+}
+
+/// Rounding Errors: switch FLOAT columns to exact NUMERIC.
+pub fn rounding_errors(d: &Detection, ctx: &Context) -> Option<Fix> {
+    match &d.locus {
+        Locus::Column { table, column } => Some(Fix::SchemaChange {
+            statements: vec![format!(
+                "ALTER TABLE {table} ALTER COLUMN {column} TYPE NUMERIC(19, 4)"
+            )],
+            impacted_queries: vec![],
+        }),
+        Locus::Statement { index } => {
+            let parsed = &ctx.statements.get(*index)?.parsed;
+            let Statement::CreateTable(ct) = &parsed.stmt else { return None };
+            let mut fixed = ct.clone();
+            let mut changed = false;
+            for col in &mut fixed.columns {
+                if let Some(ty) = &mut col.data_type {
+                    if ty.is_inexact_fractional() {
+                        *ty = TypeName {
+                            name: "NUMERIC".into(),
+                            args: vec!["19".into(), "4".into()],
+                            modifiers: vec![],
+                        };
+                        changed = true;
+                    }
+                }
+            }
+            changed.then(|| Fix::Rewrite { original: parsed.text(), fixed: fixed.to_sql() })
+        }
+        _ => None,
+    }
+}
+
+/// Statements whose annotations reference `table.column` — the paper's
+/// `GetImpactedQueries`.
+fn impacted_statements(ctx: &Context, table: &str, column: &str) -> Vec<(usize, String)> {
+    ctx.statements
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| {
+            let touches_table =
+                s.ann.tables.iter().any(|t| t.eq_ignore_ascii_case(table));
+            let touches_col = s
+                .ann
+                .columns
+                .iter()
+                .any(|c| c.column.eq_ignore_ascii_case(column))
+                || s.ann
+                    .predicates
+                    .iter()
+                    .any(|p| p.column.eq_ignore_ascii_case(column));
+            touches_table && touches_col
+        })
+        .map(|(i, s)| (i, s.parsed.text()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anti_pattern::AntiPatternKind;
+    use crate::context::ContextBuilder;
+    use crate::detect::Detector;
+    use crate::fix::FixEngine;
+
+    fn fix_for(sql: &str, kind: AntiPatternKind) -> Fix {
+        let ctx = ContextBuilder::new().add_script(sql).build();
+        let report = Detector::default().detect(&ctx);
+        let d = report
+            .detections
+            .iter()
+            .find(|d| d.kind == kind)
+            .unwrap_or_else(|| panic!("{kind} not detected in: {sql}"));
+        FixEngine.fix(d, &ctx)
+    }
+
+    #[test]
+    fn implicit_columns_rewritten_from_schema() {
+        // Example 2 from the paper.
+        let f = fix_for(
+            "CREATE TABLE Tenant (Tenant_ID TEXT PRIMARY KEY, Zone_ID TEXT, Active BOOLEAN, User_IDs TEXT);\
+             INSERT INTO Tenant VALUES ('T1', 'Z1', True, 'U9');",
+            AntiPatternKind::ImplicitColumns,
+        );
+        let Fix::Rewrite { fixed, .. } = f else { panic!("expected rewrite, got {f:?}") };
+        assert!(
+            fixed.contains("(Tenant_ID, Zone_ID, Active, User_IDs)"),
+            "column list injected: {fixed}"
+        );
+    }
+
+    #[test]
+    fn implicit_columns_arity_mismatch_falls_back() {
+        let f = fix_for(
+            "CREATE TABLE t (a INT, b INT, c INT);\
+             INSERT INTO t VALUES (1, 2);",
+            AntiPatternKind::ImplicitColumns,
+        );
+        assert!(matches!(f, Fix::Textual { .. }), "ambiguous → textual");
+    }
+
+    #[test]
+    fn wildcard_expanded() {
+        let f = fix_for(
+            "CREATE TABLE t (a INT PRIMARY KEY, b TEXT);\
+             SELECT * FROM t WHERE b = 'x';",
+            AntiPatternKind::ColumnWildcard,
+        );
+        let Fix::Rewrite { fixed, .. } = f else { panic!("{f:?}") };
+        assert!(fixed.starts_with("SELECT a, b FROM t"), "{fixed}");
+    }
+
+    #[test]
+    fn wildcard_unknown_table_is_textual() {
+        let f = fix_for("SELECT * FROM mystery", AntiPatternKind::ColumnWildcard);
+        assert!(matches!(f, Fix::Textual { .. }));
+    }
+
+    #[test]
+    fn concat_nulls_coalesced() {
+        let f = fix_for(
+            "CREATE TABLE u (first TEXT, last TEXT);\
+             SELECT first || last FROM u;",
+            AntiPatternKind::ConcatenateNulls,
+        );
+        let Fix::Rewrite { fixed, .. } = f else { panic!("{f:?}") };
+        assert!(fixed.contains("COALESCE(first, '')"), "{fixed}");
+        assert!(fixed.contains("COALESCE(last, '')"), "{fixed}");
+    }
+
+    #[test]
+    fn distinct_join_becomes_exists() {
+        let f = fix_for(
+            "SELECT DISTINCT t.a FROM t JOIN u ON t.id = u.tid",
+            AntiPatternKind::DistinctJoin,
+        );
+        let Fix::Rewrite { fixed, .. } = f else { panic!("{f:?}") };
+        assert!(fixed.contains("EXISTS"), "{fixed}");
+        assert!(!fixed.contains("DISTINCT"), "{fixed}");
+        assert!(!fixed.contains("JOIN"), "{fixed}");
+    }
+
+    #[test]
+    fn enumerated_types_lookup_table_from_paper_example4() {
+        let f = fix_for(
+            "CREATE TABLE User (User_ID TEXT PRIMARY KEY, Role VARCHAR(5));\
+             ALTER TABLE User ADD CONSTRAINT User_Role_Check CHECK (Role IN ('R1','R2','R3'));",
+            AntiPatternKind::EnumeratedTypes,
+        );
+        let Fix::SchemaChange { statements, .. } = f else { panic!("{f:?}") };
+        assert!(statements[0].contains("CREATE TABLE User_Role"), "{statements:?}");
+        assert!(statements.iter().any(|s| s.contains("'R2'")));
+        assert!(statements.iter().any(|s| s.contains("DROP COLUMN Role")));
+    }
+
+    #[test]
+    fn mva_intersection_table_from_paper() {
+        let f = fix_for(
+            "CREATE TABLE Tenants (Tenant_ID TEXT PRIMARY KEY, User_IDs TEXT);\
+             SELECT * FROM Tenants WHERE User_IDs LIKE '[[:<:]]U1[[:>:]]';",
+            AntiPatternKind::MultiValuedAttribute,
+        );
+        let Fix::SchemaChange { statements, impacted_queries } = f else { panic!("{f:?}") };
+        assert!(statements.iter().any(|s| s.contains("CREATE TABLE")), "{statements:?}");
+        assert!(statements.iter().any(|s| s.contains("DROP COLUMN User_IDs")));
+        assert!(!impacted_queries.is_empty(), "LIKE query must be rewritten");
+        assert!(impacted_queries[0].1.contains("JOIN"));
+    }
+
+    #[test]
+    fn no_foreign_key_alter_statement() {
+        let f = fix_for(
+            "CREATE TABLE Tenant (Tenant_ID INTEGER PRIMARY KEY);\
+             CREATE TABLE Q (Q_ID INTEGER PRIMARY KEY, Tenant_ID INTEGER);\
+             SELECT * FROM Q JOIN Tenant t ON t.Tenant_ID = Q.Tenant_ID;",
+            AntiPatternKind::NoForeignKey,
+        );
+        let Fix::SchemaChange { statements, .. } = f else { panic!("{f:?}") };
+        assert!(statements[0].contains("FOREIGN KEY (tenant_id)"), "{statements:?}");
+        assert!(statements[0].to_lowercase().contains("references tenant"));
+    }
+
+    #[test]
+    fn index_fixes() {
+        let f = fix_for(
+            "CREATE TABLE t (id INT PRIMARY KEY, zone TEXT);\
+             SELECT * FROM t WHERE zone = 'Z';",
+            AntiPatternKind::IndexUnderuse,
+        );
+        let Fix::SchemaChange { statements, .. } = f else { panic!("{f:?}") };
+        assert!(statements[0].starts_with("CREATE INDEX"));
+
+        let f = fix_for(
+            "CREATE TABLE t (id INT PRIMARY KEY, a INT);\
+             CREATE INDEX ia ON t (a);\
+             SELECT * FROM t WHERE id = 1;",
+            AntiPatternKind::IndexOveruse,
+        );
+        let Fix::SchemaChange { statements, .. } = f else { panic!("{f:?}") };
+        assert_eq!(statements[0], "DROP INDEX ia");
+    }
+
+    #[test]
+    fn rounding_errors_rewrites_create_table() {
+        let f = fix_for(
+            "CREATE TABLE p (id INT PRIMARY KEY, price FLOAT)",
+            AntiPatternKind::RoundingErrors,
+        );
+        let Fix::Rewrite { fixed, .. } = f else { panic!("{f:?}") };
+        assert!(fixed.contains("NUMERIC(19, 4)"), "{fixed}");
+        assert!(!fixed.contains("FLOAT"));
+    }
+}

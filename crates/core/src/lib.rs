@@ -1,0 +1,270 @@
+//! # sqlcheck
+//!
+//! Rust reproduction of *SQLCheck: Automated Detection and Diagnosis of
+//! SQL Anti-Patterns* (Dintyala, Narechania, Arulraj — SIGMOD 2020).
+//!
+//! sqlcheck takes an application's SQL statements and, optionally, a
+//! connection to its database, and produces a **ranked list of
+//! anti-patterns with suggested fixes**:
+//!
+//! 1. [`detect`] (`ap-detect`) finds 27 anti-pattern kinds using
+//!    intra-query, inter-query, and data analysis;
+//! 2. [`rank`] (`ap-rank`) orders them with the weighted impact model of
+//!    Fig 6/7 (read/write performance, maintainability, data
+//!    amplification, data integrity, accuracy);
+//! 3. [`fix`] (`ap-fix`) suggests rule-based query/schema transformations,
+//!    falling back to context-tailored textual fixes.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sqlcheck::find_anti_patterns;
+//!
+//! let results = find_anti_patterns("INSERT INTO Users VALUES (1, 'foo')");
+//! assert!(results.iter().any(|d| d.kind.name() == "Implicit Columns"));
+//! ```
+//!
+//! The full pipeline, with a database attached for data analysis:
+//!
+//! ```
+//! use sqlcheck::{SqlCheck, RankWeights};
+//! use sqlcheck_minidb::prelude::*;
+//!
+//! let mut db = Database::new();
+//! db.create_table(
+//!     TableSchema::new("Users")
+//!         .column(Column::new("id", DataType::Int).not_null())
+//!         .column(Column::new("role", DataType::Text))
+//!         .primary_key(&["id"]),
+//! ).unwrap();
+//! for i in 0..100 {
+//!     db.insert("Users", vec![Value::Int(i), Value::text(format!("R{}", i % 3))]).unwrap();
+//! }
+//!
+//! let outcome = SqlCheck::new()
+//!     .with_weights(RankWeights::C2)
+//!     .with_database(db)
+//!     .check_script("SELECT * FROM Users WHERE role = 'R1'");
+//! assert!(!outcome.ranked.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod anti_pattern;
+pub mod context;
+pub mod detect;
+pub mod fix;
+pub mod rank;
+pub mod registry;
+pub mod report;
+
+pub use anti_pattern::{AntiPatternKind, Category, MetricImpact};
+pub use context::{Context, ContextBuilder, DataAnalysisConfig};
+pub use detect::{DetectionConfig, Detector};
+pub use fix::{Fix, FixEngine, SuggestedFix};
+pub use rank::{
+    ApMetrics, InterQueryModel, MetricsTable, RankWeights, RankedDetection, Ranker, Severity,
+};
+pub use registry::{CustomRule, RuleRegistry};
+pub use report::{Detection, DetectionSource, Locus, Report};
+
+use sqlcheck_minidb::database::Database;
+
+/// Detect anti-patterns in a SQL string — the paper's interactive-shell
+/// entry point (`from sqlcheck.finder import find_anti_patterns`, §7).
+pub fn find_anti_patterns(sql: &str) -> Vec<Detection> {
+    let ctx = ContextBuilder::new().add_script(sql).build();
+    Detector::default().detect(&ctx).detections
+}
+
+/// The result of a full sqlcheck run: the raw report, the ranked
+/// detections, and the suggested fixes, plus the context for inspection.
+#[derive(Debug)]
+pub struct CheckOutcome {
+    /// The application context that was built.
+    pub context: Context,
+    /// The unranked detection report.
+    pub report: Report,
+    /// Ranked detections, highest impact first.
+    pub ranked: Vec<RankedDetection>,
+    /// One suggested fix per ranked detection, in rank order.
+    pub fixes: Vec<SuggestedFix>,
+}
+
+impl CheckOutcome {
+    /// Render a human-readable summary (ranked, with fixes).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for (i, (r, f)) in self.ranked.iter().zip(&self.fixes).enumerate() {
+            out.push_str(&format!(
+                "{:>3}. [{:.3}] {} @ {}\n     {}\n",
+                i + 1,
+                r.score,
+                r.detection.kind,
+                r.detection.locus,
+                r.detection.message
+            ));
+            match &f.fix {
+                Fix::Rewrite { fixed, .. } => {
+                    out.push_str(&format!("     fix: {fixed}\n"));
+                }
+                Fix::SchemaChange { statements, impacted_queries } => {
+                    for s in statements {
+                        out.push_str(&format!("     fix: {s}\n"));
+                    }
+                    for (idx, q) in impacted_queries {
+                        out.push_str(&format!("     impacted #{idx}: {q}\n"));
+                    }
+                }
+                Fix::Textual { advice } => {
+                    out.push_str(&format!("     advice: {advice}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The top-level toolchain facade (Fig 4): configure, attach inputs, run.
+pub struct SqlCheck {
+    detector: Detector,
+    ranker: Ranker,
+    registry: RuleRegistry,
+    database: Option<Database>,
+    data_cfg: DataAnalysisConfig,
+}
+
+impl Default for SqlCheck {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SqlCheck {
+    /// Default-configured toolchain.
+    pub fn new() -> Self {
+        SqlCheck {
+            detector: Detector::default(),
+            ranker: Ranker::default(),
+            registry: RuleRegistry::new(),
+            database: None,
+            data_cfg: DataAnalysisConfig::default(),
+        }
+    }
+
+    /// Use a custom detection configuration.
+    pub fn with_detection(mut self, cfg: DetectionConfig) -> Self {
+        self.detector = Detector::new(cfg);
+        self
+    }
+
+    /// Restrict detection to intra-query analysis (the paper's first
+    /// evaluation configuration).
+    pub fn intra_only(mut self) -> Self {
+        self.detector = Detector::new(DetectionConfig::intra_only());
+        self
+    }
+
+    /// Use custom ranking weights (Fig 7a's C1/C2 or bespoke).
+    pub fn with_weights(mut self, weights: RankWeights) -> Self {
+        self.ranker.weights = weights;
+        self
+    }
+
+    /// Choose the inter-query ranking model.
+    pub fn with_inter_query_model(mut self, model: InterQueryModel) -> Self {
+        self.ranker.inter_model = model;
+        self
+    }
+
+    /// Override metric rows with locally calibrated measurements.
+    pub fn with_metrics(mut self, metrics: MetricsTable) -> Self {
+        self.ranker.metrics = metrics;
+        self
+    }
+
+    /// Attach a database for data analysis.
+    pub fn with_database(mut self, db: Database) -> Self {
+        self.database = Some(db);
+        self
+    }
+
+    /// Configure the data analyzer (sampling, thresholds).
+    pub fn with_data_config(mut self, cfg: DataAnalysisConfig) -> Self {
+        self.data_cfg = cfg;
+        self
+    }
+
+    /// Register a custom rule (§7 extensibility).
+    pub fn with_rule(mut self, rule: Box<dyn CustomRule>) -> Self {
+        self.registry.register(rule);
+        self
+    }
+
+    /// Run the full pipeline over a SQL script.
+    pub fn check_script(self, script: &str) -> CheckOutcome {
+        let mut builder = ContextBuilder::new().add_script(script);
+        if let Some(db) = self.database {
+            builder = builder.with_database(db, self.data_cfg.clone());
+        }
+        let context = builder.build();
+        let mut report = self.detector.detect(&context);
+        report.detections.extend(self.registry.detect_all(&context));
+        let ranked = self.ranker.rank(&report);
+        let ordered: Vec<Detection> =
+            ranked.iter().map(|r| r.detection.clone()).collect();
+        let fixes = FixEngine.fix_all(&ordered, &context);
+        CheckOutcome { context, report, ranked, fixes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shell_entry_point_matches_paper_example() {
+        // §7: find_anti_patterns("INSERT INTO Users VALUES (1, 'foo')")
+        let results = find_anti_patterns("INSERT INTO Users VALUES (1, 'foo')");
+        assert!(results.iter().any(|d| d.kind == AntiPatternKind::ImplicitColumns));
+    }
+
+    #[test]
+    fn pipeline_orders_by_impact_and_fixes_everything() {
+        let outcome = SqlCheck::new().check_script(
+            "CREATE TABLE t (a INT, price FLOAT);\
+             SELECT * FROM t WHERE price > 1;",
+        );
+        assert!(!outcome.ranked.is_empty());
+        assert_eq!(outcome.ranked.len(), outcome.fixes.len());
+        for w in outcome.ranked.windows(2) {
+            assert!(w[0].score >= w[1].score, "ranked descending");
+        }
+        assert!(!outcome.summary().is_empty());
+    }
+
+    #[test]
+    fn weights_change_ordering() {
+        // A script with both an Index Underuse and an Enumerated Types AP —
+        // Example 6's scenario end-to-end.
+        let sql = "CREATE TABLE u (id INT PRIMARY KEY, zone TEXT, role TEXT, \
+                     CONSTRAINT rc CHECK (role IN ('R1','R2','R3')));\
+                   SELECT * FROM u WHERE zone = 'Z1';";
+        let pick_first = |w: RankWeights| {
+            let outcome = SqlCheck::new().with_weights(w).check_script(sql);
+            outcome
+                .ranked
+                .iter()
+                .map(|r| r.detection.kind)
+                .find(|k| {
+                    matches!(
+                        k,
+                        AntiPatternKind::IndexUnderuse | AntiPatternKind::EnumeratedTypes
+                    )
+                })
+                .unwrap()
+        };
+        assert_eq!(pick_first(RankWeights::C1), AntiPatternKind::IndexUnderuse);
+        assert_eq!(pick_first(RankWeights::C2), AntiPatternKind::EnumeratedTypes);
+    }
+}

@@ -1,0 +1,9 @@
+//! `ap-rank`: ordering detected anti-patterns by estimated impact (§5).
+
+pub mod metrics;
+pub mod model;
+
+pub use metrics::{default_metrics, ApMetrics};
+pub use model::{
+    score, InterQueryModel, MetricsTable, RankWeights, RankedDetection, Ranker, Severity,
+};

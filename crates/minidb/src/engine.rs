@@ -1,0 +1,132 @@
+//! Timing harness over the engine.
+//!
+//! The paper's ranking metrics (RP/WP) come from measuring query execution
+//! time "in the presence and absence of each AP" (§5.1). [`timed`] and
+//! [`Timings`] provide the measurement plumbing used by `ap-rank`'s
+//! calibration and by the benchmark harness.
+
+use std::time::{Duration, Instant};
+
+/// Run `f` and return its result with the elapsed wall time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Run `f` `runs` times and return the mean duration of the results (the
+/// paper reports "the average execution time of five runs").
+pub fn timed_mean<T>(runs: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+    assert!(runs > 0);
+    let mut total = Duration::ZERO;
+    let mut last = None;
+    for _ in 0..runs {
+        let (out, d) = timed(&mut f);
+        total += d;
+        last = Some(out);
+    }
+    (last.unwrap(), total / runs as u32)
+}
+
+/// A labelled pair of measurements: with the anti-pattern present and with
+/// it fixed — the unit of every Fig 3 / Fig 8 panel.
+#[derive(Debug, Clone)]
+pub struct ApComparison {
+    /// Panel label (e.g. `"Index Overuse: Update"`).
+    pub label: String,
+    /// Mean execution time with the AP present.
+    pub with_ap: Duration,
+    /// Mean execution time with the AP fixed.
+    pub without_ap: Duration,
+}
+
+impl ApComparison {
+    /// Speedup factor obtained by fixing the AP (>1 means the fix wins).
+    pub fn speedup(&self) -> f64 {
+        let fixed = self.without_ap.as_secs_f64();
+        if fixed == 0.0 {
+            f64::INFINITY
+        } else {
+            self.with_ap.as_secs_f64() / fixed
+        }
+    }
+
+    /// One formatted row, matching the paper's figure captions.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<45} AP: {:>10.6}s   no-AP: {:>10.6}s   speedup: {:>8.1}x",
+            self.label,
+            self.with_ap.as_secs_f64(),
+            self.without_ap.as_secs_f64(),
+            self.speedup()
+        )
+    }
+}
+
+/// Collected comparisons for a whole experiment (one figure).
+#[derive(Debug, Default, Clone)]
+pub struct Timings {
+    /// All comparisons in presentation order.
+    pub comparisons: Vec<ApComparison>,
+}
+
+impl Timings {
+    /// Measure one panel: run both closures `runs` times and record means.
+    pub fn measure<T, U>(
+        &mut self,
+        label: &str,
+        runs: usize,
+        mut with_ap: impl FnMut() -> T,
+        mut without_ap: impl FnMut() -> U,
+    ) {
+        let (_, d_ap) = timed_mean(runs, &mut with_ap);
+        let (_, d_fixed) = timed_mean(runs, &mut without_ap);
+        self.comparisons.push(ApComparison {
+            label: label.to_string(),
+            with_ap: d_ap,
+            without_ap: d_fixed,
+        });
+    }
+
+    /// Render all rows.
+    pub fn report(&self) -> String {
+        self.comparisons.iter().map(ApComparison::row).collect::<Vec<_>>().join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_returns_result() {
+        let (v, d) = timed(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(d >= Duration::ZERO);
+    }
+
+    #[test]
+    fn timed_mean_runs_n_times() {
+        let mut calls = 0;
+        let (_, _) = timed_mean(5, || calls += 1);
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn speedup_math() {
+        let c = ApComparison {
+            label: "x".into(),
+            with_ap: Duration::from_millis(100),
+            without_ap: Duration::from_millis(10),
+        };
+        assert!((c.speedup() - 10.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn measure_records_comparison() {
+        let mut t = Timings::default();
+        t.measure("demo", 2, || std::hint::black_box(1 + 1), || std::hint::black_box(2 + 2));
+        assert_eq!(t.comparisons.len(), 1);
+        assert!(t.report().contains("demo"));
+    }
+}

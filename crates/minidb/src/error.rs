@@ -1,0 +1,132 @@
+//! Engine error types.
+
+use crate::value::DataType;
+use std::fmt;
+
+/// Errors raised by the storage engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// Row arity does not match the schema.
+    Arity {
+        /// Table name.
+        table: String,
+        /// Expected number of columns.
+        expected: usize,
+        /// Provided number of values.
+        got: usize,
+    },
+    /// NULL in a NOT NULL column.
+    NotNull {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+    },
+    /// A value could not be coerced to the column type.
+    TypeMismatch {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+        /// Declared type.
+        expected: DataType,
+    },
+    /// A CHECK constraint rejected a value.
+    CheckViolation {
+        /// Table name.
+        table: String,
+        /// Constraint name.
+        constraint: String,
+    },
+    /// A unique index rejected a duplicate key.
+    Unique {
+        /// Table name.
+        table: String,
+        /// Index name.
+        index: String,
+    },
+    /// A foreign key reference has no matching row.
+    ForeignKey {
+        /// Referencing table.
+        table: String,
+        /// Constraint name.
+        constraint: String,
+    },
+    /// Deleting a row still referenced by another table (RESTRICT).
+    RestrictViolation {
+        /// Referenced table.
+        table: String,
+        /// Referencing table.
+        referencing: String,
+    },
+    /// Unknown table.
+    UnknownTable {
+        /// The missing table name.
+        table: String,
+    },
+    /// Unknown column.
+    UnknownColumn {
+        /// Table name.
+        table: String,
+        /// The missing column name.
+        column: String,
+    },
+    /// Unknown index.
+    UnknownIndex {
+        /// The missing index name.
+        index: String,
+    },
+    /// Index name already in use.
+    DuplicateIndex {
+        /// The duplicate name.
+        index: String,
+    },
+    /// Table name already in use.
+    DuplicateTable {
+        /// The duplicate name.
+        table: String,
+    },
+    /// Row id does not refer to a live row.
+    NoSuchRow {
+        /// The offending row id.
+        rid: usize,
+    },
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Arity { table, expected, got } => {
+                write!(f, "table {table}: expected {expected} values, got {got}")
+            }
+            DbError::NotNull { table, column } => {
+                write!(f, "NOT NULL violation on {table}.{column}")
+            }
+            DbError::TypeMismatch { table, column, expected } => {
+                write!(f, "type mismatch on {table}.{column}: expected {expected}")
+            }
+            DbError::CheckViolation { table, constraint } => {
+                write!(f, "CHECK constraint {constraint} violated on {table}")
+            }
+            DbError::Unique { table, index } => {
+                write!(f, "unique index {index} violated on {table}")
+            }
+            DbError::ForeignKey { table, constraint } => {
+                write!(f, "foreign key {constraint} violated on {table}")
+            }
+            DbError::RestrictViolation { table, referencing } => {
+                write!(f, "row in {table} is still referenced by {referencing}")
+            }
+            DbError::UnknownTable { table } => write!(f, "unknown table {table}"),
+            DbError::UnknownColumn { table, column } => {
+                write!(f, "unknown column {table}.{column}")
+            }
+            DbError::UnknownIndex { index } => write!(f, "unknown index {index}"),
+            DbError::DuplicateIndex { index } => write!(f, "index {index} already exists"),
+            DbError::DuplicateTable { table } => write!(f, "table {table} already exists"),
+            DbError::NoSuchRow { rid } => write!(f, "no such row id {rid}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}

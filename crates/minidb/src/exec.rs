@@ -1,0 +1,446 @@
+//! Query execution operators.
+//!
+//! The operators are deliberately explicit — callers pick the physical
+//! plan. That asymmetry is the point: the paper's performance experiments
+//! compare *plans* (expression join vs index join, table scan vs index
+//! scan, hash vs index-assisted aggregation), and the benchmark harness
+//! needs to select each side of the comparison directly.
+
+use crate::expr::PExpr;
+use crate::index::IndexKey;
+use crate::table::Table;
+use crate::value::{Row, RowId, Value};
+use std::collections::HashMap;
+
+/// Sequential scan with a filter predicate. Returns matching rows.
+pub fn seq_scan_filter(table: &Table, pred: &PExpr) -> Vec<Row> {
+    table.scan().filter(|(_, r)| pred.eval_bool(r)).map(|(_, r)| r.clone()).collect()
+}
+
+/// Count matching rows without materialising them.
+pub fn seq_scan_count(table: &Table, pred: &PExpr) -> usize {
+    table.scan().filter(|(_, r)| pred.eval_bool(r)).count()
+}
+
+/// Index point lookup: rows whose indexed column equals `key`. The caller
+/// may pass a residual predicate evaluated on the fetched rows.
+pub fn index_scan_eq(
+    table: &Table,
+    index_name: &str,
+    key: &Value,
+    residual: Option<&PExpr>,
+) -> Vec<Row> {
+    let Some(idx) = table.index(index_name) else { return Vec::new() };
+    idx.lookup_value(key)
+        .iter()
+        .filter_map(|&rid| table.get(rid))
+        .filter(|r| residual.map(|p| p.eval_bool(r)).unwrap_or(true))
+        .map(|r| r.to_vec())
+        .collect()
+}
+
+/// Index range scan over `[low, high]` on a single-column index.
+pub fn index_scan_range(
+    table: &Table,
+    index_name: &str,
+    low: Option<&Value>,
+    high: Option<&Value>,
+) -> Vec<Row> {
+    let Some(idx) = table.index(index_name) else { return Vec::new() };
+    let lo = low.map(|v| IndexKey(vec![v.clone()]));
+    let hi = high.map(|v| IndexKey(vec![v.clone()]));
+    idx.range(lo.as_ref(), hi.as_ref())
+        .into_iter()
+        .filter_map(|rid| table.get(rid))
+        .map(|r| r.to_vec())
+        .collect()
+}
+
+/// Nested-loop join with an arbitrary ON expression evaluated over the
+/// concatenated row `[left ++ right]`. This is the only plan available for
+/// expression joins (e.g. the multi-valued-attribute LIKE join) — the
+/// paper's Fig 3 slow path.
+pub fn nested_loop_join(left: &Table, right: &Table, on: &PExpr) -> Vec<Row> {
+    let mut out = Vec::new();
+    for (_, l) in left.scan() {
+        let mut combined = l.clone();
+        let left_len = combined.len();
+        for (_, r) in right.scan() {
+            combined.truncate(left_len);
+            combined.extend(r.iter().cloned());
+            if on.eval_bool(&combined) {
+                out.push(combined.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Hash equi-join on `left.cols[left_col] = right.cols[right_col]`.
+pub fn hash_join(left: &Table, left_col: usize, right: &Table, right_col: usize) -> Vec<Row> {
+    // Build on the smaller side.
+    let mut build: HashMap<String, Vec<RowId>> = HashMap::new();
+    for (rid, r) in right.scan() {
+        if r[right_col].is_null() {
+            continue;
+        }
+        build.entry(hash_key(&r[right_col])).or_default().push(rid);
+    }
+    let mut out = Vec::new();
+    for (_, l) in left.scan() {
+        if l[left_col].is_null() {
+            continue;
+        }
+        if let Some(rids) = build.get(&hash_key(&l[left_col])) {
+            for &rid in rids {
+                if let Some(r) = right.get(rid) {
+                    if l[left_col].sql_eq(&r[right_col]) == Some(true) {
+                        let mut row = l.clone();
+                        row.extend(r.iter().cloned());
+                        out.push(row);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Index nested-loop join: for each outer row, probe an index on the inner
+/// table. `inner_index` must be a single-column index over the join column.
+/// This is the fast path that replaces the LIKE join after the MVA fix.
+pub fn index_nl_join(
+    outer: &Table,
+    outer_col: usize,
+    inner: &Table,
+    inner_index: &str,
+) -> Vec<Row> {
+    let Some(idx) = inner.index(inner_index) else { return Vec::new() };
+    let mut out = Vec::new();
+    for (_, o) in outer.scan() {
+        if o[outer_col].is_null() {
+            continue;
+        }
+        for &rid in idx.lookup_value(&o[outer_col]) {
+            if let Some(r) = inner.get(rid) {
+                let mut row = o.clone();
+                row.extend(r.iter().cloned());
+                out.push(row);
+            }
+        }
+    }
+    out
+}
+
+/// Supported aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)`
+    Count,
+    /// `SUM(col)`
+    Sum,
+    /// `AVG(col)`
+    Avg,
+    /// `MIN(col)`
+    Min,
+    /// `MAX(col)`
+    Max,
+}
+
+/// Accumulator for one aggregate.
+#[derive(Debug, Clone, Default)]
+struct AggState {
+    count: u64,
+    sum: f64,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl AggState {
+    fn feed(&mut self, v: &Value) {
+        if v.is_null() {
+            return;
+        }
+        self.count += 1;
+        if let Some(f) = v.as_f64() {
+            self.sum += f;
+        }
+        match &self.min {
+            Some(m) if v.total_cmp(m) != std::cmp::Ordering::Less => {}
+            _ => self.min = Some(v.clone()),
+        }
+        match &self.max {
+            Some(m) if v.total_cmp(m) != std::cmp::Ordering::Greater => {}
+            _ => self.max = Some(v.clone()),
+        }
+    }
+
+    fn finish(&self, f: AggFunc) -> Value {
+        match f {
+            AggFunc::Count => Value::Int(self.count as i64),
+            AggFunc::Sum => Value::Float(self.sum),
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Ungrouped aggregate over a whole column.
+pub fn aggregate(table: &Table, col: usize, func: AggFunc) -> Value {
+    let mut st = AggState::default();
+    for (_, r) in table.scan() {
+        if func == AggFunc::Count {
+            st.count += 1; // COUNT(*) counts rows, not non-null values
+        } else {
+            st.feed(&r[col]);
+        }
+    }
+    st.finish(func)
+}
+
+/// Hash-based grouped aggregation: `SELECT group_col, f(agg_col) ... GROUP
+/// BY group_col`. Output rows are `[group value, aggregate]`, unordered.
+pub fn hash_group_aggregate(
+    table: &Table,
+    group_col: usize,
+    agg_col: usize,
+    func: AggFunc,
+) -> Vec<Row> {
+    let mut groups: HashMap<String, (Value, AggState)> = HashMap::new();
+    for (_, r) in table.scan() {
+        let key = hash_key(&r[group_col]);
+        let entry = groups
+            .entry(key)
+            .or_insert_with(|| (r[group_col].clone(), AggState::default()));
+        if func == AggFunc::Count {
+            entry.1.count += 1;
+        } else {
+            entry.1.feed(&r[agg_col]);
+        }
+    }
+    groups
+        .into_values()
+        .map(|(g, st)| vec![g, st.finish(func)])
+        .collect()
+}
+
+/// Index-assisted grouped aggregation: walks an index on the group column
+/// in key order, so groups arrive pre-clustered (the fix side of Fig 8b).
+pub fn sorted_group_aggregate(
+    table: &Table,
+    index_name: &str,
+    agg_col: usize,
+    func: AggFunc,
+) -> Vec<Row> {
+    let Some(idx) = table.index(index_name) else { return Vec::new() };
+    let mut out = Vec::new();
+    for (key, rids) in idx.scan_ordered() {
+        let mut st = AggState::default();
+        for &rid in rids {
+            if let Some(r) = table.get(rid) {
+                if func == AggFunc::Count {
+                    st.count += 1;
+                } else {
+                    st.feed(&r[agg_col]);
+                }
+            }
+        }
+        out.push(vec![key.0[0].clone(), st.finish(func)]);
+    }
+    out
+}
+
+/// Remove duplicate rows (the executor behind `SELECT DISTINCT`).
+pub fn distinct(rows: Vec<Row>) -> Vec<Row> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for r in rows {
+        let key: String = r.iter().map(hash_key).collect::<Vec<_>>().join("\u{1}");
+        if seen.insert(key) {
+            out.push(r);
+        }
+    }
+    out
+}
+
+/// Sort rows by a column (total order).
+pub fn sort_by_column(mut rows: Vec<Row>, col: usize, asc: bool) -> Vec<Row> {
+    rows.sort_by(|a, b| {
+        let o = a[col].total_cmp(&b[col]);
+        if asc {
+            o
+        } else {
+            o.reverse()
+        }
+    });
+    rows
+}
+
+fn hash_key(v: &Value) -> String {
+    match v {
+        Value::Null => "\u{0}N".into(),
+        Value::Int(i) => format!("i{i}"),
+        Value::Float(f) => format!("f{}", f.to_bits()),
+        Value::Text(s) => format!("t{s}"),
+        Value::Bool(b) => format!("b{b}"),
+        Value::Timestamp(t) => format!("s{t}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+    use crate::schema::{Column, TableSchema};
+    use crate::value::DataType;
+
+    fn orders() -> Table {
+        let mut t = Table::new(
+            TableSchema::new("orders")
+                .column(Column::new("id", DataType::Int).not_null())
+                .column(Column::new("cust", DataType::Text))
+                .column(Column::new("amount", DataType::Float))
+                .primary_key(&["id"]),
+        );
+        let rows = [
+            (1, "a", 10.0),
+            (2, "b", 20.0),
+            (3, "a", 30.0),
+            (4, "c", 5.0),
+            (5, "b", 15.0),
+        ];
+        for (id, c, amt) in rows {
+            t.insert(vec![Value::Int(id), Value::text(c), Value::Float(amt)]).unwrap();
+        }
+        t
+    }
+
+    fn customers() -> Table {
+        let mut t = Table::new(
+            TableSchema::new("cust")
+                .column(Column::new("name", DataType::Text).not_null())
+                .column(Column::new("city", DataType::Text))
+                .primary_key(&["name"]),
+        );
+        for (n, city) in [("a", "x"), ("b", "y"), ("c", "z")] {
+            t.insert(vec![Value::text(n), Value::text(city)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn seq_scan_and_index_scan_agree() {
+        let mut t = orders();
+        t.create_index("idx_cust", &["cust"], false).unwrap();
+        let pred = PExpr::col_eq(1, Value::text("a"));
+        let mut via_scan = seq_scan_filter(&t, &pred);
+        let mut via_index = index_scan_eq(&t, "idx_cust", &Value::text("a"), None);
+        via_scan.sort_by(|x, y| x[0].total_cmp(&y[0]));
+        via_index.sort_by(|x, y| x[0].total_cmp(&y[0]));
+        assert_eq!(via_scan, via_index);
+        assert_eq!(via_scan.len(), 2);
+    }
+
+    #[test]
+    fn index_range_scan() {
+        let t = orders();
+        let rows = index_scan_range(&t, "orders_pkey", Some(&Value::Int(2)), Some(&Value::Int(4)));
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn join_plans_agree() {
+        let o = orders();
+        let c = customers();
+        // customers joined to orders on name = cust
+        let on = PExpr::Cmp(
+            Box::new(PExpr::Col(1)),       // orders.cust in combined row
+            CmpOp::Eq,
+            Box::new(PExpr::Col(3)),       // cust.name at offset 3
+        );
+        let mut nl = nested_loop_join(&o, &c, &on);
+        let mut hj = hash_join(&o, 1, &c, 0);
+        let mut inl = index_nl_join(&o, 1, &c, "cust_pkey");
+        for v in [&mut nl, &mut hj, &mut inl] {
+            v.sort_by(|a, b| {
+                a[0].total_cmp(&b[0]).then(a[3].total_cmp(&b[3]))
+            });
+        }
+        assert_eq!(nl, hj);
+        assert_eq!(hj, inl);
+        assert_eq!(nl.len(), 5);
+    }
+
+    #[test]
+    fn aggregates() {
+        let t = orders();
+        assert_eq!(aggregate(&t, 2, AggFunc::Sum), Value::Float(80.0));
+        assert_eq!(aggregate(&t, 0, AggFunc::Count), Value::Int(5));
+        assert_eq!(aggregate(&t, 2, AggFunc::Min), Value::Float(5.0));
+        assert_eq!(aggregate(&t, 2, AggFunc::Max), Value::Float(30.0));
+        assert_eq!(aggregate(&t, 2, AggFunc::Avg), Value::Float(16.0));
+    }
+
+    #[test]
+    fn grouped_aggregation_hash_vs_sorted() {
+        let mut t = orders();
+        t.create_index("idx_cust", &["cust"], false).unwrap();
+        let mut h = hash_group_aggregate(&t, 1, 2, AggFunc::Sum);
+        let s = sorted_group_aggregate(&t, "idx_cust", 2, AggFunc::Sum);
+        h = sort_by_column(h, 0, true);
+        assert_eq!(h, s, "hash and index-assisted aggregation agree");
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0], vec![Value::text("a"), Value::Float(40.0)]);
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let rows = vec![
+            vec![Value::Int(1)],
+            vec![Value::Int(1)],
+            vec![Value::Int(2)],
+            vec![Value::Null],
+            vec![Value::Null],
+        ];
+        assert_eq!(distinct(rows).len(), 3);
+    }
+
+    #[test]
+    fn count_star_counts_null_rows() {
+        let mut t = Table::new(
+            TableSchema::new("n").column(Column::new("x", DataType::Int)),
+        );
+        t.insert(vec![Value::Null]).unwrap();
+        t.insert(vec![Value::Int(1)]).unwrap();
+        assert_eq!(aggregate(&t, 0, AggFunc::Count), Value::Int(2));
+        // but SUM skips NULLs
+        assert_eq!(aggregate(&t, 0, AggFunc::Sum), Value::Float(1.0));
+    }
+
+    #[test]
+    fn sort_desc() {
+        let t = orders();
+        let rows = sort_by_column(seq_scan_filter(&t, &PExpr::Const(Value::Bool(true))), 2, false);
+        assert_eq!(rows[0][2], Value::Float(30.0));
+    }
+
+    #[test]
+    fn float_aggregation_rounding_error_is_observable() {
+        // Rounding Errors AP: summing many 0.1s in FLOAT drifts.
+        let mut t = Table::new(
+            TableSchema::new("f").column(Column::new("x", DataType::Float)),
+        );
+        for _ in 0..1000 {
+            t.insert(vec![Value::Float(0.1)]).unwrap();
+        }
+        let Value::Float(sum) = aggregate(&t, 0, AggFunc::Sum) else { panic!() };
+        assert!((sum - 100.0).abs() > 0.0, "IEEE drift expected: {sum}");
+    }
+}

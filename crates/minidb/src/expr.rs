@@ -1,0 +1,346 @@
+//! Physical row expressions.
+//!
+//! These are the expressions the executor evaluates per row: column
+//! references, constants, comparisons under three-valued logic, string
+//! concatenation with NULL propagation (`||`), and SQL `LIKE` matching —
+//! including the POSIX word-boundary markers (`[[:<:]]`, `[[:>:]]`) used by
+//! the paper's multi-valued-attribute queries.
+
+use crate::value::{Row, Value};
+use std::cmp::Ordering;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn apply(self, o: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => o == Ordering::Equal,
+            CmpOp::Ne => o != Ordering::Equal,
+            CmpOp::Lt => o == Ordering::Less,
+            CmpOp::Le => o != Ordering::Greater,
+            CmpOp::Gt => o == Ordering::Greater,
+            CmpOp::Ge => o != Ordering::Less,
+        }
+    }
+}
+
+/// A physical expression over a row (or a pair of concatenated rows when
+/// evaluated inside a join).
+#[derive(Debug, Clone)]
+pub enum PExpr {
+    /// Column at position `usize`.
+    Col(usize),
+    /// Constant value.
+    Const(Value),
+    /// Comparison.
+    Cmp(Box<PExpr>, CmpOp, Box<PExpr>),
+    /// Logical AND (three-valued).
+    And(Box<PExpr>, Box<PExpr>),
+    /// Logical OR (three-valued).
+    Or(Box<PExpr>, Box<PExpr>),
+    /// Logical NOT (three-valued).
+    Not(Box<PExpr>),
+    /// `IS NULL` test.
+    IsNull(Box<PExpr>),
+    /// String concatenation (`||`). NULL-propagating: any NULL operand
+    /// yields NULL — the Concatenate Nulls AP mechanism.
+    Concat(Box<PExpr>, Box<PExpr>),
+    /// `expr LIKE pattern`, pattern itself an expression (possibly built
+    /// with `Concat` per row, as in the paper's Task #2 join).
+    Like(Box<PExpr>, Box<PExpr>),
+    /// Arithmetic addition (numeric).
+    Add(Box<PExpr>, Box<PExpr>),
+    /// `expr IN (values)`.
+    InList(Box<PExpr>, Vec<Value>),
+}
+
+impl PExpr {
+    /// Convenience: `Col(i) = const`.
+    pub fn col_eq(col: usize, v: Value) -> PExpr {
+        PExpr::Cmp(Box::new(PExpr::Col(col)), CmpOp::Eq, Box::new(PExpr::Const(v)))
+    }
+
+    /// Convenience: `Col(a) = Col(b)`.
+    pub fn cols_eq(a: usize, b: usize) -> PExpr {
+        PExpr::Cmp(Box::new(PExpr::Col(a)), CmpOp::Eq, Box::new(PExpr::Col(b)))
+    }
+
+    /// Evaluate to a value.
+    pub fn eval(&self, row: &Row) -> Value {
+        match self {
+            PExpr::Col(i) => row.get(*i).cloned().unwrap_or(Value::Null),
+            PExpr::Const(v) => v.clone(),
+            PExpr::Cmp(l, op, r) => {
+                let (lv, rv) = (l.eval(row), r.eval(row));
+                match lv.sql_cmp(&rv) {
+                    Some(o) => Value::Bool(op.apply(o)),
+                    None => Value::Null,
+                }
+            }
+            PExpr::And(l, r) => match (truth(&l.eval(row)), truth(&r.eval(row))) {
+                (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+                (Some(true), Some(true)) => Value::Bool(true),
+                _ => Value::Null,
+            },
+            PExpr::Or(l, r) => match (truth(&l.eval(row)), truth(&r.eval(row))) {
+                (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+                (Some(false), Some(false)) => Value::Bool(false),
+                _ => Value::Null,
+            },
+            PExpr::Not(e) => match truth(&e.eval(row)) {
+                Some(b) => Value::Bool(!b),
+                None => Value::Null,
+            },
+            PExpr::IsNull(e) => Value::Bool(e.eval(row).is_null()),
+            PExpr::Concat(l, r) => {
+                let (lv, rv) = (l.eval(row), r.eval(row));
+                if lv.is_null() || rv.is_null() {
+                    Value::Null
+                } else {
+                    Value::Text(format!("{lv}{rv}"))
+                }
+            }
+            PExpr::Like(e, p) => {
+                let (tv, pv) = (e.eval(row), p.eval(row));
+                match (tv.as_str(), pv.as_str()) {
+                    (Some(t), Some(p)) => Value::Bool(like_match(t, p)),
+                    _ => Value::Null,
+                }
+            }
+            PExpr::Add(l, r) => {
+                let (lv, rv) = (l.eval(row), r.eval(row));
+                match (&lv, &rv) {
+                    (Value::Int(a), Value::Int(b)) => Value::Int(a + b),
+                    _ => match (lv.as_f64(), rv.as_f64()) {
+                        (Some(a), Some(b)) => Value::Float(a + b),
+                        _ => Value::Null,
+                    },
+                }
+            }
+            PExpr::InList(e, values) => {
+                let v = e.eval(row);
+                if v.is_null() {
+                    return Value::Null;
+                }
+                for candidate in values {
+                    if v.sql_eq(candidate) == Some(true) {
+                        return Value::Bool(true);
+                    }
+                }
+                Value::Bool(false)
+            }
+        }
+    }
+
+    /// Evaluate as a predicate: true only when the expression evaluates to
+    /// TRUE (UNKNOWN/NULL filters the row out — SQL semantics).
+    pub fn eval_bool(&self, row: &Row) -> bool {
+        truth(&self.eval(row)) == Some(true)
+    }
+}
+
+fn truth(v: &Value) -> Option<bool> {
+    match v {
+        Value::Bool(b) => Some(*b),
+        Value::Null => None,
+        Value::Int(i) => Some(*i != 0),
+        _ => None,
+    }
+}
+
+/// SQL `LIKE` matching with `%` and `_` wildcards, extended with the POSIX
+/// word-boundary markers `[[:<:]]` and `[[:>:]]` that appear in the
+/// paper's multi-valued-attribute queries. Matching is case-sensitive.
+///
+/// A pattern without any leading/trailing `%` is anchored at both ends,
+/// per the SQL standard.
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    // Fast path for the word-boundary form: [[:<:]]WORD[[:>:]]
+    if let Some(word) = pattern
+        .strip_prefix("[[:<:]]")
+        .and_then(|rest| rest.strip_suffix("[[:>:]]"))
+    {
+        return contains_word(text, word);
+    }
+    like_rec(text.as_bytes(), pattern.as_bytes())
+}
+
+fn like_rec(t: &[u8], p: &[u8]) -> bool {
+    if p.is_empty() {
+        return t.is_empty();
+    }
+    match p[0] {
+        b'%' => {
+            // collapse consecutive %
+            let rest = &p[1..];
+            if rest.is_empty() {
+                return true;
+            }
+            for skip in 0..=t.len() {
+                if like_rec(&t[skip..], rest) {
+                    return true;
+                }
+            }
+            false
+        }
+        b'_' => !t.is_empty() && like_rec(&t[1..], &p[1..]),
+        b'\\' if p.len() > 1 => {
+            !t.is_empty() && t[0] == p[1] && like_rec(&t[1..], &p[2..])
+        }
+        c => !t.is_empty() && t[0] == c && like_rec(&t[1..], &p[1..]),
+    }
+}
+
+/// True when `word` occurs in `text` delimited by non-word characters —
+/// the semantics of `[[:<:]]word[[:>:]]`.
+pub fn contains_word(text: &str, word: &str) -> bool {
+    if word.is_empty() {
+        return false;
+    }
+    let tb = text.as_bytes();
+    let mut start = 0usize;
+    while let Some(pos) = text[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_word_byte(tb[at - 1]);
+        let end = at + word.len();
+        let after_ok = end >= tb.len() || !is_word_byte(tb[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + 1;
+        if start >= text.len() {
+            break;
+        }
+    }
+    false
+}
+
+fn is_word_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn like_basic() {
+        assert!(like_match("hello", "hello"));
+        assert!(like_match("hello", "h%"));
+        assert!(like_match("hello", "%llo"));
+        assert!(like_match("hello", "%ell%"));
+        assert!(like_match("hello", "h_llo"));
+        assert!(!like_match("hello", "h_"));
+        assert!(!like_match("hello", "world"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+    }
+
+    #[test]
+    fn like_anchoring() {
+        assert!(!like_match("xhello", "hello"));
+        assert!(!like_match("hellox", "hello"));
+        assert!(like_match("xhellox", "%hello%"));
+    }
+
+    #[test]
+    fn word_boundary_patterns() {
+        // 'U1' must match in "U1,U2" but not inside "U11,U12".
+        assert!(like_match("U1,U2", "[[:<:]]U1[[:>:]]"));
+        assert!(!like_match("U11,U12", "[[:<:]]U1[[:>:]]"));
+        assert!(like_match("U2;U1", "[[:<:]]U1[[:>:]]"));
+        assert!(like_match("U1", "[[:<:]]U1[[:>:]]"));
+        assert!(!like_match("XU1", "[[:<:]]U1[[:>:]]"));
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let t = PExpr::Const(Value::Bool(true));
+        let f = PExpr::Const(Value::Bool(false));
+        let n = PExpr::Const(Value::Null);
+        let row: Row = vec![];
+        // NULL AND FALSE = FALSE
+        assert_eq!(
+            PExpr::And(Box::new(n.clone()), Box::new(f.clone())).eval(&row),
+            Value::Bool(false)
+        );
+        // NULL AND TRUE = NULL
+        assert_eq!(PExpr::And(Box::new(n.clone()), Box::new(t.clone())).eval(&row), Value::Null);
+        // NULL OR TRUE = TRUE
+        assert_eq!(
+            PExpr::Or(Box::new(n.clone()), Box::new(t.clone())).eval(&row),
+            Value::Bool(true)
+        );
+        // NOT NULL = NULL
+        assert_eq!(PExpr::Not(Box::new(n.clone())).eval(&row), Value::Null);
+    }
+
+    #[test]
+    fn null_comparison_filters_rows() {
+        let e = PExpr::col_eq(0, Value::Int(1));
+        assert!(!e.eval_bool(&vec![Value::Null]), "NULL = 1 is UNKNOWN, row filtered");
+        assert!(e.eval_bool(&vec![Value::Int(1)]));
+    }
+
+    #[test]
+    fn concat_propagates_null() {
+        let e = PExpr::Concat(
+            Box::new(PExpr::Col(0)),
+            Box::new(PExpr::Const(Value::text("x"))),
+        );
+        assert_eq!(e.eval(&vec![Value::Null]), Value::Null);
+        assert_eq!(e.eval(&vec![Value::text("a")]), Value::text("ax"));
+    }
+
+    #[test]
+    fn dynamic_like_pattern_from_row() {
+        // ON t.User_IDs LIKE '[[:<:]]' || u.User_ID || '[[:>:]]'
+        let pattern = PExpr::Concat(
+            Box::new(PExpr::Concat(
+                Box::new(PExpr::Const(Value::text("[[:<:]]"))),
+                Box::new(PExpr::Col(1)),
+            )),
+            Box::new(PExpr::Const(Value::text("[[:>:]]"))),
+        );
+        let e = PExpr::Like(Box::new(PExpr::Col(0)), Box::new(pattern));
+        assert!(e.eval_bool(&vec![Value::text("U1,U2"), Value::text("U2")]));
+        assert!(!e.eval_bool(&vec![Value::text("U1,U2"), Value::text("U3")]));
+    }
+
+    #[test]
+    fn in_list_three_valued() {
+        let e = PExpr::InList(Box::new(PExpr::Col(0)), vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(e.eval(&vec![Value::Int(2)]), Value::Bool(true));
+        assert_eq!(e.eval(&vec![Value::Int(3)]), Value::Bool(false));
+        assert_eq!(e.eval(&vec![Value::Null]), Value::Null);
+    }
+
+    #[test]
+    fn add_mixes_types() {
+        let e = PExpr::Add(Box::new(PExpr::Col(0)), Box::new(PExpr::Const(Value::Int(1))));
+        assert_eq!(e.eval(&vec![Value::Int(2)]), Value::Int(3));
+        assert_eq!(e.eval(&vec![Value::Float(2.5)]), Value::Float(3.5));
+        assert_eq!(e.eval(&vec![Value::Null]), Value::Null);
+    }
+
+    #[test]
+    fn escaped_like_wildcard() {
+        assert!(like_match("100%", "100\\%"));
+        assert!(!like_match("1000", "100\\%"));
+    }
+}

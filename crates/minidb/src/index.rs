@@ -1,0 +1,206 @@
+//! Ordered secondary indexes.
+//!
+//! Indexes are `BTreeMap`s from encoded key tuples to row-id postings.
+//! They provide point and range lookups and — crucially for the paper's
+//! Figure 8 experiments — they impose a maintenance cost on every INSERT,
+//! UPDATE, and DELETE, which is exactly the mechanism behind the Index
+//! Overuse AP.
+
+use crate::value::{Row, RowId, Value};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// A key in an index: a tuple of values with a total order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexKey(pub Vec<Value>);
+
+impl Eq for IndexKey {}
+
+impl PartialOrd for IndexKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for IndexKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for (a, b) in self.0.iter().zip(other.0.iter()) {
+            match a.total_cmp(b) {
+                Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        self.0.len().cmp(&other.0.len())
+    }
+}
+
+/// A secondary index over one or more columns.
+#[derive(Debug, Clone)]
+pub struct Index {
+    /// Index name.
+    pub name: String,
+    /// Indexed column positions within the table schema.
+    pub columns: Vec<usize>,
+    /// Whether duplicate keys are rejected.
+    pub unique: bool,
+    map: BTreeMap<IndexKey, Vec<RowId>>,
+    entries: usize,
+}
+
+/// Error returned when a unique index rejects a duplicate key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniqueViolation {
+    /// The violating index.
+    pub index: String,
+    /// Rendered key.
+    pub key: String,
+}
+
+impl Index {
+    /// Create an empty index.
+    pub fn new(name: impl Into<String>, columns: Vec<usize>, unique: bool) -> Self {
+        Index { name: name.into(), columns, unique, map: BTreeMap::new(), entries: 0 }
+    }
+
+    /// Extract this index's key from a row.
+    pub fn key_of(&self, row: &Row) -> IndexKey {
+        IndexKey(self.columns.iter().map(|&c| row[c].clone()).collect())
+    }
+
+    /// Insert a row's entry. Unique indexes reject duplicate non-NULL keys.
+    pub fn insert(&mut self, row: &Row, rid: RowId) -> Result<(), UniqueViolation> {
+        let key = self.key_of(row);
+        let postings = self.map.entry(key.clone()).or_default();
+        if self.unique && !postings.is_empty() && !key.0.iter().any(Value::is_null) {
+            return Err(UniqueViolation {
+                index: self.name.clone(),
+                key: format!("{:?}", key.0),
+            });
+        }
+        postings.push(rid);
+        self.entries += 1;
+        Ok(())
+    }
+
+    /// Remove a row's entry.
+    pub fn remove(&mut self, row: &Row, rid: RowId) {
+        let key = self.key_of(row);
+        if let Some(postings) = self.map.get_mut(&key) {
+            if let Some(p) = postings.iter().position(|&r| r == rid) {
+                postings.swap_remove(p);
+                self.entries -= 1;
+            }
+            if postings.is_empty() {
+                self.map.remove(&key);
+            }
+        }
+    }
+
+    /// Point lookup.
+    pub fn lookup(&self, key: &IndexKey) -> &[RowId] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Point lookup by single value (for single-column indexes).
+    pub fn lookup_value(&self, v: &Value) -> &[RowId] {
+        self.map
+            .get(&IndexKey(vec![v.clone()]))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Range scan over `[low, high]` (inclusive, either side optional).
+    pub fn range(&self, low: Option<&IndexKey>, high: Option<&IndexKey>) -> Vec<RowId> {
+        let lo = low.map(|k| Bound::Included(k.clone())).unwrap_or(Bound::Unbounded);
+        let hi = high.map(|k| Bound::Included(k.clone())).unwrap_or(Bound::Unbounded);
+        self.map.range((lo, hi)).flat_map(|(_, v)| v.iter().copied()).collect()
+    }
+
+    /// Iterate all row ids in key order — the mechanism behind
+    /// index-assisted (sorted) grouped aggregation in Fig 8b.
+    pub fn scan_ordered(&self) -> impl Iterator<Item = (&IndexKey, &[RowId])> {
+        self.map.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total number of entries.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(vals: &[i64]) -> Row {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut idx = Index::new("i", vec![0], false);
+        idx.insert(&row(&[5, 1]), 0).unwrap();
+        idx.insert(&row(&[5, 2]), 1).unwrap();
+        idx.insert(&row(&[7, 3]), 2).unwrap();
+        assert_eq!(idx.lookup_value(&Value::Int(5)), &[0, 1]);
+        idx.remove(&row(&[5, 1]), 0);
+        assert_eq!(idx.lookup_value(&Value::Int(5)), &[1]);
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn unique_index_rejects_duplicates() {
+        let mut idx = Index::new("u", vec![0], true);
+        idx.insert(&row(&[1]), 0).unwrap();
+        assert!(idx.insert(&row(&[1]), 1).is_err());
+        // NULL keys do not collide
+        let mut idx2 = Index::new("u2", vec![0], true);
+        idx2.insert(&vec![Value::Null], 0).unwrap();
+        idx2.insert(&vec![Value::Null], 1).unwrap();
+    }
+
+    #[test]
+    fn range_scan_inclusive() {
+        let mut idx = Index::new("i", vec![0], false);
+        for (rid, v) in [2i64, 4, 6, 8].iter().enumerate() {
+            idx.insert(&row(&[*v]), rid).unwrap();
+        }
+        let lo = IndexKey(vec![Value::Int(4)]);
+        let hi = IndexKey(vec![Value::Int(6)]);
+        assert_eq!(idx.range(Some(&lo), Some(&hi)), vec![1, 2]);
+        assert_eq!(idx.range(None, Some(&lo)), vec![0, 1]);
+        assert_eq!(idx.range(Some(&hi), None), vec![2, 3]);
+    }
+
+    #[test]
+    fn composite_key_ordering() {
+        let mut idx = Index::new("c", vec![0, 1], false);
+        idx.insert(&row(&[1, 9]), 0).unwrap();
+        idx.insert(&row(&[1, 2]), 1).unwrap();
+        idx.insert(&row(&[0, 5]), 2).unwrap();
+        let order: Vec<RowId> =
+            idx.scan_ordered().flat_map(|(_, rids)| rids.to_vec()).collect();
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn distinct_keys_counts_groups() {
+        let mut idx = Index::new("g", vec![0], false);
+        for (rid, v) in [1i64, 1, 2, 2, 2, 3].iter().enumerate() {
+            idx.insert(&row(&[*v]), rid).unwrap();
+        }
+        assert_eq!(idx.distinct_keys(), 3);
+        assert_eq!(idx.len(), 6);
+    }
+}

@@ -1,0 +1,236 @@
+//! Table schemas and declarative constraints.
+
+use crate::value::{DataType, Value};
+
+/// One column in a table schema.
+#[derive(Debug, Clone)]
+pub struct Column {
+    /// Column name.
+    pub name: String,
+    /// Data type.
+    pub dtype: DataType,
+    /// `NOT NULL` declared.
+    pub not_null: bool,
+    /// For [`DataType::Timestamp`]: whether the declaration carried a
+    /// timezone (drives the Missing Timezone data rule).
+    pub with_timezone: bool,
+}
+
+impl Column {
+    /// Construct a nullable column.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Column { name: name.into(), dtype, not_null: false, with_timezone: false }
+    }
+
+    /// Builder: mark NOT NULL.
+    pub fn not_null(mut self) -> Self {
+        self.not_null = true;
+        self
+    }
+
+    /// Builder: mark timestamp as timezone-aware.
+    pub fn with_timezone(mut self) -> Self {
+        self.with_timezone = true;
+        self
+    }
+}
+
+/// A CHECK constraint enforced on ingest.
+#[derive(Debug, Clone)]
+pub enum Check {
+    /// `col IN (v1, v2, ...)` — the Enumerated Types AP's usual encoding.
+    InList {
+        /// Constraint name (needed for `ALTER TABLE ... DROP CONSTRAINT`).
+        name: String,
+        /// Constrained column.
+        column: String,
+        /// Permitted values.
+        values: Vec<Value>,
+    },
+    /// `col BETWEEN min AND max` — a domain constraint.
+    Range {
+        /// Constraint name.
+        name: String,
+        /// Constrained column.
+        column: String,
+        /// Inclusive lower bound.
+        min: Value,
+        /// Inclusive upper bound.
+        max: Value,
+    },
+}
+
+impl Check {
+    /// The constraint's name.
+    pub fn name(&self) -> &str {
+        match self {
+            Check::InList { name, .. } | Check::Range { name, .. } => name,
+        }
+    }
+
+    /// The constrained column.
+    pub fn column(&self) -> &str {
+        match self {
+            Check::InList { column, .. } | Check::Range { column, .. } => column,
+        }
+    }
+
+    /// Evaluate the check against a candidate value. NULL passes (SQL CHECK
+    /// semantics: only FALSE rejects).
+    pub fn passes(&self, v: &Value) -> bool {
+        if v.is_null() {
+            return true;
+        }
+        match self {
+            Check::InList { values, .. } => {
+                values.iter().any(|p| v.sql_eq(p) == Some(true))
+            }
+            Check::Range { min, max, .. } => {
+                v.sql_cmp(min).map(|o| o != std::cmp::Ordering::Less).unwrap_or(false)
+                    && v.sql_cmp(max).map(|o| o != std::cmp::Ordering::Greater).unwrap_or(false)
+            }
+        }
+    }
+}
+
+/// A foreign key constraint.
+#[derive(Debug, Clone)]
+pub struct ForeignKey {
+    /// Constraint name.
+    pub name: String,
+    /// Referencing columns in this table.
+    pub columns: Vec<String>,
+    /// Referenced table.
+    pub ref_table: String,
+    /// Referenced columns.
+    pub ref_columns: Vec<String>,
+    /// Cascade deletes from the referenced table.
+    pub on_delete_cascade: bool,
+}
+
+/// A table schema.
+#[derive(Debug, Clone)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// Columns in order.
+    pub columns: Vec<Column>,
+    /// Primary key column names (empty ⇒ no PK — itself an AP).
+    pub primary_key: Vec<String>,
+    /// CHECK constraints.
+    pub checks: Vec<Check>,
+    /// Foreign keys.
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl TableSchema {
+    /// Start building a schema.
+    pub fn new(name: impl Into<String>) -> Self {
+        TableSchema {
+            name: name.into(),
+            columns: Vec::new(),
+            primary_key: Vec::new(),
+            checks: Vec::new(),
+            foreign_keys: Vec::new(),
+        }
+    }
+
+    /// Builder: append a column.
+    pub fn column(mut self, col: Column) -> Self {
+        self.columns.push(col);
+        self
+    }
+
+    /// Builder: set the primary key.
+    pub fn primary_key(mut self, cols: &[&str]) -> Self {
+        self.primary_key = cols.iter().map(|c| c.to_string()).collect();
+        self
+    }
+
+    /// Builder: add a CHECK constraint.
+    pub fn check(mut self, check: Check) -> Self {
+        self.checks.push(check);
+        self
+    }
+
+    /// Builder: add a foreign key.
+    pub fn foreign_key(mut self, fk: ForeignKey) -> Self {
+        self.foreign_keys.push(fk);
+        self
+    }
+
+    /// Index of a column by name (case-insensitive).
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Column by name.
+    pub fn get_column(&self, name: &str) -> Option<&Column> {
+        self.column_index(name).map(|i| &self.columns[i])
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Indices of the primary key columns.
+    pub fn primary_key_indices(&self) -> Vec<usize> {
+        self.primary_key.iter().filter_map(|c| self.column_index(c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TableSchema {
+        TableSchema::new("User")
+            .column(Column::new("User_ID", DataType::Text).not_null())
+            .column(Column::new("Name", DataType::Text))
+            .column(Column::new("Role", DataType::Text))
+            .primary_key(&["User_ID"])
+            .check(Check::InList {
+                name: "User_Role_Check".into(),
+                column: "Role".into(),
+                values: vec![Value::text("R1"), Value::text("R2"), Value::text("R3")],
+            })
+    }
+
+    #[test]
+    fn column_lookup_is_case_insensitive() {
+        let s = sample();
+        assert_eq!(s.column_index("user_id"), Some(0));
+        assert_eq!(s.column_index("ROLE"), Some(2));
+        assert_eq!(s.column_index("missing"), None);
+    }
+
+    #[test]
+    fn check_in_list() {
+        let s = sample();
+        let c = &s.checks[0];
+        assert!(c.passes(&Value::text("R1")));
+        assert!(!c.passes(&Value::text("R9")));
+        assert!(c.passes(&Value::Null), "NULL passes CHECK");
+    }
+
+    #[test]
+    fn check_range() {
+        let c = Check::Range {
+            name: "rating_range".into(),
+            column: "rating".into(),
+            min: Value::Int(1),
+            max: Value::Int(5),
+        };
+        assert!(c.passes(&Value::Int(3)));
+        assert!(!c.passes(&Value::Int(0)));
+        assert!(!c.passes(&Value::Int(6)));
+        assert!(!c.passes(&Value::text("x")), "incomparable fails the check");
+    }
+
+    #[test]
+    fn pk_indices() {
+        let s = sample();
+        assert_eq!(s.primary_key_indices(), vec![0]);
+    }
+}

@@ -1,0 +1,248 @@
+//! Column statistics and sampling — the engine half of the paper's data
+//! analyzer (§4.2): *"The data analyzer first scans the database to
+//! collect (1) the schemata of the component tables, and (2) the
+//! distribution of the data in the component columns (e.g., unique values,
+//! mean, median, etc.). It then collects samples from each table."*
+
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::HashSet;
+
+/// Profile of one column.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    /// Column name.
+    pub name: String,
+    /// Live row count at profiling time.
+    pub row_count: usize,
+    /// Number of NULLs.
+    pub null_count: usize,
+    /// Number of distinct non-NULL values.
+    pub distinct_count: usize,
+    /// Minimum (total order), ignoring NULLs.
+    pub min: Option<Value>,
+    /// Maximum (total order), ignoring NULLs.
+    pub max: Option<Value>,
+    /// Mean of numeric values.
+    pub mean: Option<f64>,
+    /// Median of numeric values.
+    pub median: Option<f64>,
+    /// A reservoir sample of non-NULL values.
+    pub sample: Vec<Value>,
+}
+
+impl ColumnStats {
+    /// NULL fraction in `[0, 1]`.
+    pub fn null_fraction(&self) -> f64 {
+        if self.row_count == 0 {
+            0.0
+        } else {
+            self.null_count as f64 / self.row_count as f64
+        }
+    }
+
+    /// Distinct-to-rows ratio in `[0, 1]` (cardinality). Low values flag
+    /// enum-like columns and useless low-cardinality indexes.
+    pub fn distinct_ratio(&self) -> f64 {
+        let non_null = self.row_count - self.null_count;
+        if non_null == 0 {
+            0.0
+        } else {
+            self.distinct_count as f64 / non_null as f64
+        }
+    }
+
+    /// True when every non-NULL value is identical (Redundant Column AP).
+    pub fn is_constant(&self) -> bool {
+        self.row_count > self.null_count && self.distinct_count == 1
+    }
+}
+
+/// Deterministic xorshift64* PRNG for reservoir sampling. A tiny local
+/// generator keeps `minidb` dependency-free and the profiles reproducible.
+#[derive(Debug, Clone)]
+pub struct SmallRng(u64);
+
+impl SmallRng {
+    /// Seeded constructor (seed 0 is remapped).
+    pub fn new(seed: u64) -> Self {
+        SmallRng(if seed == 0 { 0x9E3779B97F4A7C15 } else { seed })
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `[0, n)`.
+    pub fn gen_range(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+}
+
+/// Profile one column of a table: full pass for counts/min/max/mean plus a
+/// seeded reservoir sample of at most `sample_size` values.
+pub fn profile_column(table: &Table, col: usize, sample_size: usize, seed: u64) -> ColumnStats {
+    let name = table.schema.columns[col].name.clone();
+    let mut rng = SmallRng::new(seed ^ col as u64 ^ 0xA5A5_5A5A);
+    let mut null_count = 0usize;
+    let mut row_count = 0usize;
+    let mut distinct: HashSet<String> = HashSet::new();
+    let mut min: Option<Value> = None;
+    let mut max: Option<Value> = None;
+    let mut numeric: Vec<f64> = Vec::new();
+    let mut sample: Vec<Value> = Vec::with_capacity(sample_size);
+    let mut seen_non_null = 0usize;
+
+    for (_, row) in table.scan() {
+        row_count += 1;
+        let v = &row[col];
+        if v.is_null() {
+            null_count += 1;
+            continue;
+        }
+        seen_non_null += 1;
+        distinct.insert(format!("{v:?}"));
+        if min.as_ref().map(|m| v.total_cmp(m) == std::cmp::Ordering::Less).unwrap_or(true) {
+            min = Some(v.clone());
+        }
+        if max.as_ref().map(|m| v.total_cmp(m) == std::cmp::Ordering::Greater).unwrap_or(true) {
+            max = Some(v.clone());
+        }
+        if let Some(f) = v.as_f64() {
+            numeric.push(f);
+        }
+        // Reservoir sampling (Algorithm R).
+        if sample.len() < sample_size {
+            sample.push(v.clone());
+        } else if sample_size > 0 {
+            let j = rng.gen_range(seen_non_null);
+            if j < sample_size {
+                sample[j] = v.clone();
+            }
+        }
+    }
+
+    let mean = if numeric.is_empty() {
+        None
+    } else {
+        Some(numeric.iter().sum::<f64>() / numeric.len() as f64)
+    };
+    let median = if numeric.is_empty() {
+        None
+    } else {
+        let mut sorted = numeric.clone();
+        sorted.sort_by(f64::total_cmp);
+        Some(sorted[sorted.len() / 2])
+    };
+
+    ColumnStats {
+        name,
+        row_count,
+        null_count,
+        distinct_count: distinct.len(),
+        min,
+        max,
+        mean,
+        median,
+        sample,
+    }
+}
+
+/// Profile every column of a table.
+pub fn profile_table(table: &Table, sample_size: usize, seed: u64) -> Vec<ColumnStats> {
+    (0..table.schema.arity())
+        .map(|c| profile_column(table, c, sample_size, seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, TableSchema};
+    use crate::value::DataType;
+
+    fn table_with(vals: Vec<Value>) -> Table {
+        let mut t = Table::new(
+            TableSchema::new("t").column(Column::new("x", DataType::Text)),
+        );
+        // Use a second loosely-typed column? keep single text column; coerce
+        for v in vals {
+            let v = match v {
+                Value::Int(i) => Value::text(i.to_string()),
+                other => other,
+            };
+            t.insert(vec![v]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn counts_and_ratios() {
+        let t = table_with(vec![
+            Value::text("a"),
+            Value::text("a"),
+            Value::text("b"),
+            Value::Null,
+        ]);
+        let s = profile_column(&t, 0, 10, 42);
+        assert_eq!(s.row_count, 4);
+        assert_eq!(s.null_count, 1);
+        assert_eq!(s.distinct_count, 2);
+        assert!((s.null_fraction() - 0.25).abs() < 1e-9);
+        assert!((s.distinct_ratio() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_column_detected() {
+        let t = table_with(vec![Value::text("en-us"); 5]);
+        let s = profile_column(&t, 0, 10, 1);
+        assert!(s.is_constant());
+    }
+
+    #[test]
+    fn numeric_stats() {
+        let mut t = Table::new(
+            TableSchema::new("n").column(Column::new("x", DataType::Int)),
+        );
+        for i in 1..=5 {
+            t.insert(vec![Value::Int(i)]).unwrap();
+        }
+        let s = profile_column(&t, 0, 10, 7);
+        assert_eq!(s.min, Some(Value::Int(1)));
+        assert_eq!(s.max, Some(Value::Int(5)));
+        assert_eq!(s.mean, Some(3.0));
+        assert_eq!(s.median, Some(3.0));
+    }
+
+    #[test]
+    fn reservoir_sample_is_bounded_and_deterministic() {
+        let mut t = Table::new(
+            TableSchema::new("n").column(Column::new("x", DataType::Int)),
+        );
+        for i in 0..1000 {
+            t.insert(vec![Value::Int(i)]).unwrap();
+        }
+        let s1 = profile_column(&t, 0, 32, 99);
+        let s2 = profile_column(&t, 0, 32, 99);
+        assert_eq!(s1.sample.len(), 32);
+        assert_eq!(s1.sample, s2.sample, "same seed → same sample");
+        let s3 = profile_column(&t, 0, 32, 100);
+        assert_ne!(s1.sample, s3.sample, "different seed → different sample");
+    }
+
+    #[test]
+    fn empty_table_profile() {
+        let t = table_with(vec![]);
+        let s = profile_column(&t, 0, 8, 5);
+        assert_eq!(s.row_count, 0);
+        assert_eq!(s.distinct_ratio(), 0.0);
+        assert!(s.sample.is_empty());
+        assert!(!s.is_constant());
+    }
+}

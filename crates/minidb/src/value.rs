@@ -1,0 +1,264 @@
+//! Runtime values and SQL three-valued comparison semantics.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Column data types supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float — deliberately inexact, so the Rounding Errors AP
+    /// can be demonstrated on real data.
+    Float,
+    /// UTF-8 text.
+    Text,
+    /// Boolean.
+    Bool,
+    /// Microseconds since the epoch. `with_timezone` records whether the
+    /// schema declared a timezone (the Missing Timezone data AP).
+    Timestamp,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Text => "TEXT",
+            DataType::Bool => "BOOL",
+            DataType::Timestamp => "TIMESTAMP",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// Text.
+    Text(String),
+    /// Boolean.
+    Bool(bool),
+    /// Timestamp (epoch microseconds).
+    Timestamp(i64),
+}
+
+impl Value {
+    /// Shorthand text constructor.
+    pub fn text(s: impl Into<String>) -> Value {
+        Value::Text(s.into())
+    }
+
+    /// True if the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The value's runtime type, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Text(_) => Some(DataType::Text),
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Timestamp(_) => Some(DataType::Timestamp),
+        }
+    }
+
+    /// Numeric view (ints and floats), used by arithmetic and aggregates.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Text view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// SQL comparison: returns `None` when either side is NULL (UNKNOWN) or
+    /// the types are incomparable.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Float(a), Float(b)) => a.partial_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Text(a), Text(b)) => Some(a.cmp(b)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Timestamp(a), Timestamp(b)) => Some(a.cmp(b)),
+            (Timestamp(a), Int(b)) | (Int(b), Timestamp(a)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// SQL equality under three-valued logic: `None` for NULL operands.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        self.sql_cmp(other).map(|o| o == Ordering::Equal)
+    }
+
+    /// Total order used for index keys and sorting (NULLs first, then by
+    /// type discriminant, then by value; NaN sorts greatest among floats).
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Null => 0,
+                Bool(_) => 1,
+                Int(_) | Float(_) | Timestamp(_) => 2,
+                Text(_) => 3,
+            }
+        }
+        let (ra, rb) = (rank(self), rank(other));
+        if ra != rb {
+            return ra.cmp(&rb);
+        }
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Text(a), Text(b)) => a.cmp(b),
+            (a, b) => {
+                // numeric family: compare as f64 with total order on NaN
+                let fa = match a {
+                    Int(i) => *i as f64,
+                    Float(f) => *f,
+                    Timestamp(t) => *t as f64,
+                    _ => unreachable!(),
+                };
+                let fb = match b {
+                    Int(i) => *i as f64,
+                    Float(f) => *f,
+                    Timestamp(t) => *t as f64,
+                    _ => unreachable!(),
+                };
+                fa.total_cmp(&fb)
+            }
+        }
+    }
+
+    /// Coerce the value to `ty` if losslessly possible (used by INSERT
+    /// validation and by the Incorrect Data Type detection rule).
+    pub fn coerce(&self, ty: DataType) -> Option<Value> {
+        match (self, ty) {
+            (Value::Null, _) => Some(Value::Null),
+            (v, t) if v.data_type() == Some(t) => Some(v.clone()),
+            (Value::Int(i), DataType::Float) => Some(Value::Float(*i as f64)),
+            (Value::Int(i), DataType::Timestamp) => Some(Value::Timestamp(*i)),
+            (Value::Int(i), DataType::Bool) if *i == 0 || *i == 1 => {
+                Some(Value::Bool(*i == 1))
+            }
+            (Value::Float(f), DataType::Int) if f.fract() == 0.0 => Some(Value::Int(*f as i64)),
+            (Value::Text(s), DataType::Int) => s.trim().parse().ok().map(Value::Int),
+            (Value::Text(s), DataType::Float) => s.trim().parse().ok().map(Value::Float),
+            (Value::Text(s), DataType::Bool) => match s.to_ascii_lowercase().as_str() {
+                "true" | "t" | "1" => Some(Value::Bool(true)),
+                "false" | "f" | "0" => Some(Value::Bool(false)),
+                _ => None,
+            },
+            (v, DataType::Text) => Some(Value::Text(v.to_string())),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => f.write_str(s),
+            Value::Bool(b) => f.write_str(if *b { "true" } else { "false" }),
+            Value::Timestamp(t) => write!(f, "ts:{t}"),
+        }
+    }
+}
+
+/// A table row: one value per column.
+pub type Row = Vec<Value>;
+
+/// Stable row identifier within a table.
+pub type RowId = usize;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), None);
+        assert_eq!(Value::Null.sql_eq(&Value::Null), None, "NULL = NULL is UNKNOWN");
+    }
+
+    #[test]
+    fn numeric_cross_type_comparison() {
+        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.0)), Some(Ordering::Equal));
+        assert_eq!(Value::Float(1.5).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn incomparable_types() {
+        assert_eq!(Value::Int(1).sql_cmp(&Value::text("1")), None);
+        assert_eq!(Value::Bool(true).sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn total_order_puts_nulls_first() {
+        let mut vals = vec![Value::Int(3), Value::Null, Value::Int(1)];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Int(1));
+    }
+
+    #[test]
+    fn total_order_handles_nan() {
+        let a = Value::Float(f64::NAN);
+        let b = Value::Float(1.0);
+        // must not panic, must be consistent
+        let o1 = a.total_cmp(&b);
+        let o2 = b.total_cmp(&a);
+        assert_eq!(o1, o2.reverse());
+    }
+
+    #[test]
+    fn coercions() {
+        assert_eq!(Value::text("42").coerce(DataType::Int), Some(Value::Int(42)));
+        assert_eq!(Value::text("4.5").coerce(DataType::Float), Some(Value::Float(4.5)));
+        assert_eq!(Value::text("abc").coerce(DataType::Int), None);
+        assert_eq!(Value::Int(1).coerce(DataType::Bool), Some(Value::Bool(true)));
+        assert_eq!(Value::Int(7).coerce(DataType::Text), Some(Value::text("7")));
+        assert_eq!(Value::Null.coerce(DataType::Int), Some(Value::Null));
+    }
+
+    #[test]
+    fn float_storage_is_inexact() {
+        // The Rounding Errors AP mechanism: 0.1 + 0.2 != 0.3 in FLOAT.
+        let sum = Value::Float(0.1 + 0.2);
+        assert_eq!(sum.sql_eq(&Value::Float(0.3)), Some(false));
+    }
+}

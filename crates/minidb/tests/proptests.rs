@@ -1,0 +1,150 @@
+//! Property-based tests for engine invariants.
+
+use proptest::prelude::*;
+use sqlcheck_minidb::prelude::*;
+
+fn int_table() -> Table {
+    Table::new(
+        TableSchema::new("t")
+            .column(Column::new("k", DataType::Int))
+            .column(Column::new("v", DataType::Int)),
+    )
+}
+
+proptest! {
+    /// Index scans must return exactly the rows a filtered sequential scan
+    /// returns, for any data set and probe key.
+    #[test]
+    fn index_scan_equals_seq_scan(
+        rows in prop::collection::vec((0i64..20, 0i64..1000), 0..200),
+        probe in 0i64..20,
+    ) {
+        let mut t = int_table();
+        for (k, v) in &rows {
+            t.insert(vec![Value::Int(*k), Value::Int(*v)]).unwrap();
+        }
+        t.create_index("idx_k", &["k"], false).unwrap();
+        let pred = PExpr::col_eq(0, Value::Int(probe));
+        let mut a = seq_scan_filter(&t, &pred);
+        let mut b = index_scan_eq(&t, "idx_k", &Value::Int(probe), None);
+        a.sort_by(|x, y| x[1].total_cmp(&y[1]));
+        b.sort_by(|x, y| x[1].total_cmp(&y[1]));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Insert + delete round-trips preserve the surviving row multiset and
+    /// the index stays consistent with storage.
+    #[test]
+    fn delete_preserves_survivors(
+        rows in prop::collection::vec((0i64..10, 0i64..100), 1..100),
+        victim in 0i64..10,
+    ) {
+        let mut t = int_table();
+        t.create_index("idx_k", &["k"], false).unwrap();
+        for (k, v) in &rows {
+            t.insert(vec![Value::Int(*k), Value::Int(*v)]).unwrap();
+        }
+        let expected_survivors =
+            rows.iter().filter(|(k, _)| *k != victim).count();
+        let rids: Vec<_> = t
+            .scan()
+            .filter(|(_, r)| r[0] == Value::Int(victim))
+            .map(|(rid, _)| rid)
+            .collect();
+        for rid in rids {
+            t.delete_row(rid).unwrap();
+        }
+        prop_assert_eq!(t.len(), expected_survivors);
+        prop_assert!(t.index("idx_k").unwrap().lookup_value(&Value::Int(victim)).is_empty());
+        prop_assert_eq!(t.index("idx_k").unwrap().len(), expected_survivors);
+    }
+
+    /// Hash join agrees with nested-loop join on any pair of tables.
+    #[test]
+    fn hash_join_equals_nested_loop(
+        left in prop::collection::vec(0i64..8, 0..40),
+        right in prop::collection::vec(0i64..8, 0..40),
+    ) {
+        let mk = |vals: &[i64]| {
+            let mut t = Table::new(
+                TableSchema::new("x").column(Column::new("k", DataType::Int)),
+            );
+            for v in vals {
+                t.insert(vec![Value::Int(*v)]).unwrap();
+            }
+            t
+        };
+        let lt = mk(&left);
+        let rt = mk(&right);
+        let on = PExpr::cols_eq(0, 1);
+        let mut nl = nested_loop_join(&lt, &rt, &on);
+        let mut hj = hash_join(&lt, 0, &rt, 0);
+        let key = |r: &Row| (format!("{:?}", r));
+        nl.sort_by_key(key);
+        hj.sort_by_key(key);
+        prop_assert_eq!(nl, hj);
+    }
+
+    /// Grouped aggregation via hash and via index produce identical groups.
+    #[test]
+    fn group_aggregation_plans_agree(
+        rows in prop::collection::vec((0i64..6, 0i64..50), 0..100),
+    ) {
+        let mut t = int_table();
+        for (k, v) in &rows {
+            t.insert(vec![Value::Int(*k), Value::Int(*v)]).unwrap();
+        }
+        t.create_index("idx_k", &["k"], false).unwrap();
+        let h = sort_by_column(hash_group_aggregate(&t, 0, 1, AggFunc::Sum), 0, true);
+        let s = sorted_group_aggregate(&t, "idx_k", 1, AggFunc::Sum);
+        prop_assert_eq!(h, s);
+    }
+
+    /// LIKE with only literal characters is exact equality.
+    #[test]
+    fn literal_like_is_equality(s in "[a-z0-9]{0,12}", t in "[a-z0-9]{0,12}") {
+        prop_assert_eq!(like_match(&s, &t), s == t);
+    }
+
+    /// `%pattern%` is substring containment.
+    #[test]
+    fn contains_like(hay in "[a-z]{0,16}", needle in "[a-z]{0,4}") {
+        let pat = format!("%{needle}%");
+        prop_assert_eq!(like_match(&hay, &pat), hay.contains(&needle));
+    }
+
+    /// Word-boundary containment never yields false positives inside words.
+    #[test]
+    fn word_boundary_semantics(ids in prop::collection::vec(1u32..300, 1..10), probe in 1u32..300) {
+        let joined = ids.iter().map(|i| format!("U{i}")).collect::<Vec<_>>().join(",");
+        let pat = format!("[[:<:]]U{probe}[[:>:]]");
+        let expected = ids.contains(&probe);
+        prop_assert_eq!(like_match(&joined, &pat), expected, "text={} probe=U{}", joined, probe);
+    }
+
+    /// update_where touches exactly the matching rows.
+    #[test]
+    fn update_where_is_exact(
+        rows in prop::collection::vec((0i64..5, 0i64..50), 0..60),
+        target in 0i64..5,
+    ) {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new("t")
+                .column(Column::new("k", DataType::Int))
+                .column(Column::new("v", DataType::Int)),
+        ).unwrap();
+        for (k, v) in &rows {
+            db.insert("t", vec![Value::Int(*k), Value::Int(*v)]).unwrap();
+        }
+        let n = db
+            .update_where("t", &PExpr::col_eq(0, Value::Int(target)), &[(1, Value::Int(-1))])
+            .unwrap();
+        let expect = rows.iter().filter(|(k, _)| *k == target).count();
+        prop_assert_eq!(n, expect);
+        let t = db.table("t").unwrap();
+        let minus_ones = t.scan().filter(|(_, r)| r[1] == Value::Int(-1)).count();
+        // every matching row is -1 now; rows that already had v == -1 are impossible (v >= 0)
+        prop_assert_eq!(minus_ones, expect);
+    }
+}

@@ -1,0 +1,418 @@
+//! Annotation layer over the loose parse tree.
+//!
+//! The paper (§4.1): *"unlike a typical DBMS parser, [the non-validating
+//! parser] does not generate a semantically-rich parse tree. We address
+//! this limitation by annotating the parse tree returned by sqlparse."*
+//!
+//! [`Annotations`] is that enrichment: a per-statement digest of table
+//! references, column references, predicates, join conditions, pattern
+//! predicates, and function calls, computed once and shared by the
+//! detection rules and the context builder.
+
+use crate::ast::*;
+
+/// The role in which a column is referenced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnRole {
+    /// In the select list.
+    Projected,
+    /// In a WHERE/HAVING predicate.
+    Filtered,
+    /// In a JOIN ON condition.
+    Joined,
+    /// In GROUP BY.
+    Grouped,
+    /// In ORDER BY.
+    Ordered,
+    /// Assigned by UPDATE SET or INSERT column list.
+    Written,
+}
+
+/// One annotated column reference.
+#[derive(Debug, Clone)]
+pub struct ColumnRef {
+    /// Table qualifier or alias, when written (`t` in `t.a`).
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub column: String,
+    /// Where the reference occurred.
+    pub role: ColumnRole,
+}
+
+/// A predicate of the shape `column <op> value-ish`, extracted from WHERE
+/// clauses for workload analysis (index advisor rules).
+#[derive(Debug, Clone)]
+pub struct SimplePredicate {
+    /// Qualifier, if any.
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub column: String,
+    /// Operator text (`=`, `<`, `LIKE`, `IN`, ...).
+    pub op: String,
+}
+
+/// A join condition of the shape `a.x = b.y` (equi) or an expression join
+/// (the Multi-Valued Attribute smell when it is a LIKE over `||`).
+#[derive(Debug, Clone)]
+pub struct JoinCondition {
+    /// Left side `(qualifier, column)`.
+    pub left: (Option<String>, String),
+    /// Right side `(qualifier, column)`; `None` when the right side is an
+    /// expression rather than a bare column.
+    pub right: Option<(Option<String>, String)>,
+    /// True when the condition uses LIKE/REGEXP instead of equality.
+    pub is_pattern: bool,
+}
+
+/// Statement annotations.
+#[derive(Debug, Clone, Default)]
+pub struct Annotations {
+    /// Every table referenced (FROM, JOIN, INSERT INTO, UPDATE, DELETE).
+    pub tables: Vec<String>,
+    /// Every column reference with its role.
+    pub columns: Vec<ColumnRef>,
+    /// Simple WHERE predicates (for index-usage analysis).
+    pub predicates: Vec<SimplePredicate>,
+    /// Join conditions.
+    pub join_conditions: Vec<JoinCondition>,
+    /// Uppercased names of all functions called anywhere in the statement.
+    pub functions: Vec<String>,
+    /// Pattern operators appearing in WHERE/ON (`LIKE`, `REGEXP`, ...).
+    pub pattern_ops: Vec<LikeOp>,
+    /// Number of JOIN clauses (comma joins included).
+    pub join_count: usize,
+    /// DISTINCT present on the (outer) SELECT.
+    pub distinct: bool,
+    /// A wildcard `*` appears in the select list.
+    pub wildcard: bool,
+    /// String-literal values appearing in comparisons (for data-in-metadata
+    /// and MVA heuristics).
+    pub compared_strings: Vec<String>,
+}
+
+/// Compute annotations for one statement.
+pub fn annotate(stmt: &Statement) -> Annotations {
+    let mut a = Annotations::default();
+    match stmt {
+        Statement::Select(s) => annotate_select(s, &mut a),
+        Statement::Insert(i) => {
+            a.tables.push(i.table.name().to_string());
+            for c in &i.columns {
+                a.columns.push(ColumnRef {
+                    qualifier: None,
+                    column: c.clone(),
+                    role: ColumnRole::Written,
+                });
+            }
+            if let InsertSource::Select(s) = &i.source {
+                annotate_select(s, &mut a);
+            }
+            if let InsertSource::Values(rows) = &i.source {
+                for row in rows {
+                    for e in row {
+                        collect_functions(e, &mut a);
+                    }
+                }
+            }
+        }
+        Statement::Update(u) => {
+            a.tables.push(u.table.name().to_string());
+            for (col, e) in &u.assignments {
+                a.columns.push(ColumnRef {
+                    qualifier: None,
+                    column: col.clone(),
+                    role: ColumnRole::Written,
+                });
+                collect_functions(e, &mut a);
+            }
+            if let Some(w) = &u.where_clause {
+                annotate_where(w, &mut a);
+            }
+        }
+        Statement::Delete(d) => {
+            a.tables.push(d.table.name().to_string());
+            if let Some(w) = &d.where_clause {
+                annotate_where(w, &mut a);
+            }
+        }
+        Statement::CreateTable(c) => {
+            a.tables.push(c.name.name().to_string());
+        }
+        Statement::CreateIndex(i) => {
+            a.tables.push(i.table.name().to_string());
+        }
+        Statement::AlterTable(t) => {
+            a.tables.push(t.table.name().to_string());
+        }
+        Statement::Drop(d) => {
+            a.tables.push(d.name.name().to_string());
+        }
+        Statement::Other(_) => {}
+    }
+    a
+}
+
+fn annotate_select(s: &Select, a: &mut Annotations) {
+    a.distinct |= s.distinct;
+    a.wildcard |= s.has_wildcard();
+    a.join_count += s.join_count();
+    for t in s.tables() {
+        if t.subquery.is_some() {
+            if let Some(sub) = &t.subquery {
+                annotate_select(sub, a);
+            }
+        } else {
+            a.tables.push(t.name.name().to_string());
+        }
+    }
+    for item in &s.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            for (q, c) in expr.column_refs() {
+                a.columns.push(ColumnRef { qualifier: q, column: c, role: ColumnRole::Projected });
+            }
+            collect_functions(expr, a);
+        }
+    }
+    for j in &s.joins {
+        if let Some(on) = &j.on {
+            annotate_join_condition(on, a);
+            collect_functions(on, a);
+            collect_patterns(on, a);
+            for (q, c) in on.column_refs() {
+                a.columns.push(ColumnRef { qualifier: q, column: c, role: ColumnRole::Joined });
+            }
+        }
+        for u in &j.using {
+            a.columns.push(ColumnRef {
+                qualifier: None,
+                column: u.clone(),
+                role: ColumnRole::Joined,
+            });
+        }
+    }
+    if let Some(w) = &s.where_clause {
+        annotate_where(w, a);
+    }
+    for g in &s.group_by {
+        for (q, c) in g.column_refs() {
+            a.columns.push(ColumnRef { qualifier: q, column: c, role: ColumnRole::Grouped });
+        }
+    }
+    if let Some(h) = &s.having {
+        annotate_where(h, a);
+    }
+    for o in &s.order_by {
+        for (q, c) in o.expr.column_refs() {
+            a.columns.push(ColumnRef { qualifier: q, column: c, role: ColumnRole::Ordered });
+        }
+        collect_functions(&o.expr, a);
+    }
+}
+
+fn annotate_where(e: &Expr, a: &mut Annotations) {
+    collect_functions(e, a);
+    collect_patterns(e, a);
+    collect_predicates(e, a);
+    for (q, c) in e.column_refs() {
+        a.columns.push(ColumnRef { qualifier: q, column: c, role: ColumnRole::Filtered });
+    }
+    // subqueries
+    e.walk(&mut |node| {
+        if let Expr::Subquery(sub) = node {
+            annotate_select(sub, a);
+        }
+    });
+}
+
+fn collect_functions(e: &Expr, a: &mut Annotations) {
+    a.functions.extend(e.function_calls());
+}
+
+fn collect_patterns(e: &Expr, a: &mut Annotations) {
+    e.walk(&mut |node| {
+        if let Expr::Like { op, pattern, .. } = node {
+            a.pattern_ops.push(*op);
+            if let Expr::StringLit(s) = pattern.as_ref() {
+                a.compared_strings.push(s.clone());
+            }
+        }
+    });
+}
+
+fn collect_predicates(e: &Expr, a: &mut Annotations) {
+    e.walk(&mut |node| match node {
+        Expr::Binary { left, op, right } if is_comparison(op) => {
+            if let Expr::Ident(parts) = left.as_ref() {
+                push_pred(a, parts, op);
+                if let Expr::StringLit(s) = right.as_ref() {
+                    a.compared_strings.push(s.clone());
+                }
+            } else if let Expr::Ident(parts) = right.as_ref() {
+                push_pred(a, parts, op);
+                if let Expr::StringLit(s) = left.as_ref() {
+                    a.compared_strings.push(s.clone());
+                }
+            }
+        }
+        Expr::Like { expr, op, .. } => {
+            if let Expr::Ident(parts) = expr.as_ref() {
+                push_pred_str(a, parts, op.sql());
+            }
+        }
+        Expr::InList { expr, .. } => {
+            if let Expr::Ident(parts) = expr.as_ref() {
+                push_pred_str(a, parts, "IN");
+            }
+        }
+        Expr::Between { expr, .. } => {
+            if let Expr::Ident(parts) = expr.as_ref() {
+                push_pred_str(a, parts, "BETWEEN");
+            }
+        }
+        Expr::IsNull { expr, .. } => {
+            if let Expr::Ident(parts) = expr.as_ref() {
+                push_pred_str(a, parts, "IS NULL");
+            }
+        }
+        _ => {}
+    });
+}
+
+fn is_comparison(op: &str) -> bool {
+    matches!(op, "=" | "==" | "<>" | "!=" | "<" | "<=" | ">" | ">=" | "<=>")
+}
+
+fn push_pred(a: &mut Annotations, parts: &[String], op: &str) {
+    push_pred_str(a, parts, op)
+}
+
+fn push_pred_str(a: &mut Annotations, parts: &[String], op: &str) {
+    let (q, c) = match parts.len() {
+        1 => (None, parts[0].clone()),
+        2 => (Some(parts[0].clone()), parts[1].clone()),
+        _ => return,
+    };
+    a.predicates.push(SimplePredicate { qualifier: q, column: c, op: op.to_string() });
+}
+
+fn annotate_join_condition(on: &Expr, a: &mut Annotations) {
+    // Unwrap parens.
+    let mut e = on;
+    while let Expr::Paren(inner) = e {
+        e = inner;
+    }
+    match e {
+        Expr::Binary { left, op, right } if is_comparison(op) => {
+            let l = ident_parts(left);
+            let r = ident_parts(right);
+            if let Some(l) = l {
+                a.join_conditions.push(JoinCondition {
+                    left: l,
+                    right: r,
+                    is_pattern: false,
+                });
+            }
+        }
+        Expr::Binary { left, op, right } if op == "AND" => {
+            annotate_join_condition(left, a);
+            annotate_join_condition(right, a);
+        }
+        Expr::Like { expr, .. } => {
+            if let Some(l) = ident_parts(expr) {
+                a.join_conditions.push(JoinCondition { left: l, right: None, is_pattern: true });
+            }
+        }
+        _ => {}
+    }
+}
+
+fn ident_parts(e: &Expr) -> Option<(Option<String>, String)> {
+    if let Expr::Ident(parts) = e {
+        match parts.len() {
+            1 => Some((None, parts[0].clone())),
+            2 => Some((Some(parts[0].clone()), parts[1].clone())),
+            _ => None,
+        }
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_one;
+
+    fn ann(sql: &str) -> Annotations {
+        annotate(&parse_one(sql).stmt)
+    }
+
+    #[test]
+    fn select_annotations() {
+        let a = ann("SELECT t.a, b FROM t JOIN u ON t.id = u.tid WHERE t.c = 'x' GROUP BY t.a ORDER BY b");
+        assert_eq!(a.tables, vec!["t", "u"]);
+        assert!(a.columns.iter().any(|c| c.role == ColumnRole::Projected && c.column == "a"));
+        assert!(a.columns.iter().any(|c| c.role == ColumnRole::Joined && c.column == "tid"));
+        assert!(a.columns.iter().any(|c| c.role == ColumnRole::Filtered && c.column == "c"));
+        assert!(a.columns.iter().any(|c| c.role == ColumnRole::Grouped));
+        assert!(a.columns.iter().any(|c| c.role == ColumnRole::Ordered));
+        assert_eq!(a.join_count, 1);
+        assert_eq!(a.join_conditions.len(), 1);
+        assert!(!a.join_conditions[0].is_pattern);
+        assert_eq!(a.compared_strings, vec!["x"]);
+    }
+
+    #[test]
+    fn pattern_join_is_flagged() {
+        let a = ann("SELECT * FROM t JOIN u ON t.ids LIKE '%' || u.id || '%'");
+        assert_eq!(a.join_conditions.len(), 1);
+        assert!(a.join_conditions[0].is_pattern);
+        assert!(a.wildcard);
+        assert!(a.pattern_ops.contains(&LikeOp::Like));
+    }
+
+    #[test]
+    fn update_annotations() {
+        let a = ann("UPDATE u SET r = LOWER('R5') WHERE r = 'R2'");
+        assert_eq!(a.tables, vec!["u"]);
+        assert!(a.columns.iter().any(|c| c.role == ColumnRole::Written && c.column == "r"));
+        assert!(a.functions.contains(&"LOWER".to_string()));
+        assert_eq!(a.predicates.len(), 1);
+        assert_eq!(a.predicates[0].op, "=");
+    }
+
+    #[test]
+    fn insert_annotations() {
+        let a = ann("INSERT INTO t (a, b) VALUES (1, NOW())");
+        assert_eq!(a.tables, vec!["t"]);
+        assert_eq!(
+            a.columns.iter().filter(|c| c.role == ColumnRole::Written).count(),
+            2
+        );
+        assert!(a.functions.contains(&"NOW".to_string()));
+    }
+
+    #[test]
+    fn predicates_from_in_between_null() {
+        let a = ann("SELECT * FROM t WHERE a IN (1,2) AND b BETWEEN 1 AND 2 AND c IS NULL AND d LIKE 'x%'");
+        let ops: Vec<&str> = a.predicates.iter().map(|p| p.op.as_str()).collect();
+        assert!(ops.contains(&"IN"));
+        assert!(ops.contains(&"BETWEEN"));
+        assert!(ops.contains(&"IS NULL"));
+        assert!(ops.contains(&"LIKE"));
+    }
+
+    #[test]
+    fn subquery_tables_are_collected() {
+        let a = ann("SELECT * FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.id = t.id)");
+        assert!(a.tables.contains(&"u".to_string()));
+    }
+
+    #[test]
+    fn distinct_and_join_count() {
+        let a = ann("SELECT DISTINCT a FROM t JOIN u ON t.x = u.x JOIN v ON u.y = v.y");
+        assert!(a.distinct);
+        assert_eq!(a.join_count, 2);
+        assert_eq!(a.join_conditions.len(), 2);
+    }
+}

@@ -1,0 +1,774 @@
+//! Loose (non-validating) statement model.
+//!
+//! The parser shapes statements *best-effort*: everything it understands is
+//! represented structurally; everything else is preserved verbatim as raw
+//! token sequences ([`Expr::Raw`], [`Statement::Other`]). This mirrors the
+//! annotated-parse-tree design the paper builds on top of `sqlparse` — the
+//! detection rules need structure where available but must never reject a
+//! statement from an unsupported dialect.
+
+use crate::token::Token;
+
+/// A parsed statement together with the raw tokens it came from.
+#[derive(Debug, Clone)]
+pub struct ParsedStatement {
+    /// Structural interpretation of the statement.
+    pub stmt: Statement,
+    /// The original token stream (trivia included) — the fallback
+    /// representation used when a fix cannot be expressed structurally.
+    pub tokens: Vec<Token>,
+}
+
+impl ParsedStatement {
+    /// Original statement text.
+    pub fn text(&self) -> String {
+        self.tokens.iter().map(|t| t.text.as_str()).collect()
+    }
+}
+
+/// Top-level statement classification.
+#[derive(Debug, Clone)]
+pub enum Statement {
+    /// `CREATE TABLE ...`
+    CreateTable(CreateTable),
+    /// `CREATE [UNIQUE] INDEX ...`
+    CreateIndex(CreateIndex),
+    /// `ALTER TABLE ...`
+    AlterTable(AlterTable),
+    /// `SELECT ...` (including set operations, loosely)
+    Select(Select),
+    /// `INSERT INTO ...`
+    Insert(Insert),
+    /// `UPDATE ...`
+    Update(Update),
+    /// `DELETE FROM ...`
+    Delete(Delete),
+    /// `DROP TABLE|INDEX ...`
+    Drop(Drop),
+    /// Any statement the parser does not model structurally.
+    Other(OtherStatement),
+}
+
+impl Statement {
+    /// Short uppercase tag naming the statement type (for reports).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Statement::CreateTable(_) => "CREATE TABLE",
+            Statement::CreateIndex(_) => "CREATE INDEX",
+            Statement::AlterTable(_) => "ALTER TABLE",
+            Statement::Select(_) => "SELECT",
+            Statement::Insert(_) => "INSERT",
+            Statement::Update(_) => "UPDATE",
+            Statement::Delete(_) => "DELETE",
+            Statement::Drop(_) => "DROP",
+            Statement::Other(_) => "OTHER",
+        }
+    }
+
+    /// Whether this is a DDL statement.
+    pub fn is_ddl(&self) -> bool {
+        matches!(
+            self,
+            Statement::CreateTable(_)
+                | Statement::CreateIndex(_)
+                | Statement::AlterTable(_)
+                | Statement::Drop(_)
+        )
+    }
+}
+
+/// An unmodelled statement: first significant keyword plus all tokens.
+#[derive(Debug, Clone)]
+pub struct OtherStatement {
+    /// The leading keyword (uppercased), e.g. `PRAGMA`, `GRANT`; empty when
+    /// the statement does not start with a keyword.
+    pub leading_keyword: String,
+}
+
+/// A (possibly qualified) object name such as `schema.table`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct ObjectName(pub Vec<String>);
+
+impl ObjectName {
+    /// Single-part name.
+    pub fn simple(name: impl Into<String>) -> Self {
+        ObjectName(vec![name.into()])
+    }
+
+    /// The final path component (the object's own name).
+    pub fn name(&self) -> &str {
+        self.0.last().map(String::as_str).unwrap_or("")
+    }
+
+    /// Case-insensitive comparison on the final component.
+    pub fn name_eq(&self, other: &str) -> bool {
+        self.name().eq_ignore_ascii_case(other)
+    }
+}
+
+impl std::fmt::Display for ObjectName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0.join("."))
+    }
+}
+
+/// A SQL type name with optional arguments and modifiers, e.g.
+/// `VARCHAR(30)`, `DECIMAL(10, 2)`, `ENUM('a','b')`, `INT UNSIGNED`,
+/// `TIMESTAMP WITH TIME ZONE`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TypeName {
+    /// Uppercased base name (`VARCHAR`, `ENUM`, `TIMESTAMP`, ...).
+    pub name: String,
+    /// Raw argument texts inside parentheses (numbers or quoted strings).
+    pub args: Vec<String>,
+    /// Trailing modifiers, uppercased (`UNSIGNED`, `WITH TIME ZONE`, ...).
+    pub modifiers: Vec<String>,
+}
+
+impl TypeName {
+    /// Construct a simple type without args.
+    pub fn simple(name: &str) -> Self {
+        TypeName { name: name.to_ascii_uppercase(), ..Default::default() }
+    }
+
+    /// True for textual types (`CHAR`, `VARCHAR`, `TEXT`, ...).
+    pub fn is_textual(&self) -> bool {
+        matches!(self.name.as_str(), "CHAR" | "VARCHAR" | "TEXT" | "CHARACTER" | "CLOB" | "STRING" | "NVARCHAR")
+    }
+
+    /// True for binary floating point types (the Rounding Errors AP).
+    pub fn is_inexact_fractional(&self) -> bool {
+        matches!(self.name.as_str(), "FLOAT" | "REAL" | "DOUBLE")
+    }
+
+    /// True for integer types.
+    pub fn is_integral(&self) -> bool {
+        matches!(
+            self.name.as_str(),
+            "INT" | "INTEGER" | "BIGINT" | "SMALLINT" | "TINYINT" | "MEDIUMINT" | "SERIAL"
+        )
+    }
+
+    /// True for date/time types.
+    pub fn is_temporal(&self) -> bool {
+        matches!(self.name.as_str(), "DATE" | "TIME" | "DATETIME" | "TIMESTAMP" | "TIMESTAMPTZ")
+    }
+
+    /// True when the type carries timezone information.
+    pub fn has_timezone(&self) -> bool {
+        self.name == "TIMESTAMPTZ"
+            || self.modifiers.iter().any(|m| m == "WITH TIME ZONE")
+    }
+}
+
+/// One column definition in `CREATE TABLE`.
+#[derive(Debug, Clone)]
+pub struct ColumnDef {
+    /// Column name (quoting stripped).
+    pub name: String,
+    /// Declared type; `None` when omitted (SQLite allows this).
+    pub data_type: Option<TypeName>,
+    /// Column-level constraints in declaration order.
+    pub constraints: Vec<ColumnConstraint>,
+}
+
+impl ColumnDef {
+    /// Whether the column is declared PRIMARY KEY at column level.
+    pub fn is_primary_key(&self) -> bool {
+        self.constraints.iter().any(|c| matches!(c, ColumnConstraint::PrimaryKey))
+    }
+
+    /// The referenced table if the column carries a `REFERENCES` clause.
+    pub fn references(&self) -> Option<&ForeignKeyRef> {
+        self.constraints.iter().find_map(|c| match c {
+            ColumnConstraint::References(r) => Some(r),
+            _ => None,
+        })
+    }
+}
+
+/// Column-level constraint.
+#[derive(Debug, Clone)]
+pub enum ColumnConstraint {
+    /// `PRIMARY KEY`
+    PrimaryKey,
+    /// `NOT NULL`
+    NotNull,
+    /// `NULL`
+    Null,
+    /// `UNIQUE`
+    Unique,
+    /// `AUTO_INCREMENT` / `AUTOINCREMENT` / `SERIAL`-like
+    AutoIncrement,
+    /// `DEFAULT <expr>` (expression kept raw).
+    Default(String),
+    /// `CHECK (<expr>)`
+    Check(CheckConstraint),
+    /// `REFERENCES table (cols)`
+    References(ForeignKeyRef),
+    /// Anything else (`COLLATE`, dialect-specific), preserved as text.
+    Other(String),
+}
+
+/// The target of a foreign key reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKeyRef {
+    /// Referenced table.
+    pub table: ObjectName,
+    /// Referenced columns (may be empty → the table's PK).
+    pub columns: Vec<String>,
+    /// Referential actions (e.g. `ON DELETE CASCADE`), raw text.
+    pub actions: Vec<String>,
+}
+
+/// A CHECK constraint body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckConstraint {
+    /// Raw text of the check expression (inside the parentheses).
+    pub expr_text: String,
+    /// When the check has the shape `col IN ('a','b',...)` — the paper's
+    /// Enumerated Types AP — the column and the permitted values.
+    pub in_list: Option<(String, Vec<String>)>,
+}
+
+/// Table-level constraint.
+#[derive(Debug, Clone)]
+pub struct TableConstraint {
+    /// Optional constraint name (`CONSTRAINT name ...`).
+    pub name: Option<String>,
+    /// The constraint body.
+    pub kind: TableConstraintKind,
+}
+
+/// Table-level constraint body.
+#[derive(Debug, Clone)]
+pub enum TableConstraintKind {
+    /// `PRIMARY KEY (cols)`
+    PrimaryKey(Vec<String>),
+    /// `UNIQUE (cols)`
+    Unique(Vec<String>),
+    /// `FOREIGN KEY (cols) REFERENCES table (cols)`
+    ForeignKey {
+        /// Referencing columns.
+        columns: Vec<String>,
+        /// The reference target.
+        reference: ForeignKeyRef,
+    },
+    /// `CHECK (expr)`
+    Check(CheckConstraint),
+    /// Unrecognised constraint, preserved as text.
+    Other(String),
+}
+
+/// `CREATE TABLE` statement.
+#[derive(Debug, Clone)]
+pub struct CreateTable {
+    /// Table name.
+    pub name: ObjectName,
+    /// `IF NOT EXISTS` present.
+    pub if_not_exists: bool,
+    /// Column definitions.
+    pub columns: Vec<ColumnDef>,
+    /// Table-level constraints.
+    pub constraints: Vec<TableConstraint>,
+    /// Trailing table options (engine, charset...), raw text.
+    pub options: String,
+}
+
+impl CreateTable {
+    /// The set of primary-key columns, from either a column-level or a
+    /// table-level declaration.
+    pub fn primary_key_columns(&self) -> Vec<String> {
+        for tc in &self.constraints {
+            if let TableConstraintKind::PrimaryKey(cols) = &tc.kind {
+                return cols.clone();
+            }
+        }
+        self.columns
+            .iter()
+            .filter(|c| c.is_primary_key())
+            .map(|c| c.name.clone())
+            .collect()
+    }
+
+    /// True if the table declares any primary key.
+    pub fn has_primary_key(&self) -> bool {
+        !self.primary_key_columns().is_empty()
+    }
+
+    /// All foreign key references declared in this table (column level and
+    /// table level), as `(local columns, reference)` pairs.
+    pub fn foreign_keys(&self) -> Vec<(Vec<String>, ForeignKeyRef)> {
+        let mut out = Vec::new();
+        for col in &self.columns {
+            if let Some(r) = col.references() {
+                out.push((vec![col.name.clone()], r.clone()));
+            }
+        }
+        for tc in &self.constraints {
+            if let TableConstraintKind::ForeignKey { columns, reference } = &tc.kind {
+                out.push((columns.clone(), reference.clone()));
+            }
+        }
+        out
+    }
+
+    /// Find a column by name (case-insensitive).
+    pub fn column(&self, name: &str) -> Option<&ColumnDef> {
+        self.columns.iter().find(|c| c.name.eq_ignore_ascii_case(name))
+    }
+}
+
+/// `CREATE INDEX` statement.
+#[derive(Debug, Clone)]
+pub struct CreateIndex {
+    /// Index name (may be empty for anonymous dialect forms).
+    pub name: String,
+    /// Indexed table.
+    pub table: ObjectName,
+    /// Indexed columns, in order.
+    pub columns: Vec<String>,
+    /// `UNIQUE` index.
+    pub unique: bool,
+}
+
+/// `ALTER TABLE` statement.
+#[derive(Debug, Clone)]
+pub struct AlterTable {
+    /// Target table.
+    pub table: ObjectName,
+    /// The action performed.
+    pub action: AlterAction,
+}
+
+/// Recognised `ALTER TABLE` actions.
+#[derive(Debug, Clone)]
+pub enum AlterAction {
+    /// `ADD [COLUMN] <def>`
+    AddColumn(ColumnDef),
+    /// `DROP [COLUMN] <name>`
+    DropColumn(String),
+    /// `ADD CONSTRAINT ...`
+    AddConstraint(TableConstraint),
+    /// `DROP CONSTRAINT [IF EXISTS] <name>`
+    DropConstraint(String),
+    /// Anything else, preserved as text.
+    Other(String),
+}
+
+/// One item of a `SELECT` list.
+#[derive(Debug, Clone)]
+pub enum SelectItem {
+    /// `*` or `t.*`
+    Wildcard {
+        /// Optional table qualifier (`t` in `t.*`).
+        qualifier: Option<String>,
+    },
+    /// An expression with an optional alias.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// `AS alias` (or bare alias).
+        alias: Option<String>,
+    },
+}
+
+/// A table reference in `FROM`, with optional alias. Subqueries in FROM are
+/// kept raw in `Expr::Raw` via `subquery`.
+#[derive(Debug, Clone)]
+pub struct TableRef {
+    /// Table name; empty when the source is a subquery.
+    pub name: ObjectName,
+    /// Alias, if any.
+    pub alias: Option<String>,
+    /// A derived table `( SELECT ... )`, boxed to keep the struct small.
+    pub subquery: Option<Box<Select>>,
+}
+
+impl TableRef {
+    /// Name bound in the query scope: alias if present, else the table name.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or_else(|| self.name.name())
+    }
+}
+
+/// Join type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    /// `[INNER] JOIN`
+    Inner,
+    /// `LEFT [OUTER] JOIN`
+    Left,
+    /// `RIGHT [OUTER] JOIN`
+    Right,
+    /// `FULL [OUTER] JOIN`
+    Full,
+    /// `CROSS JOIN`
+    Cross,
+    /// comma-join in FROM
+    Comma,
+}
+
+/// One JOIN clause.
+#[derive(Debug, Clone)]
+pub struct Join {
+    /// Join type.
+    pub join_type: JoinType,
+    /// Joined table.
+    pub table: TableRef,
+    /// `ON <expr>`, if present.
+    pub on: Option<Expr>,
+    /// `USING (cols)`, if present.
+    pub using: Vec<String>,
+}
+
+/// `SELECT` statement (loosely parsed).
+#[derive(Debug, Clone)]
+pub struct Select {
+    /// `DISTINCT` present.
+    pub distinct: bool,
+    /// Select list.
+    pub items: Vec<SelectItem>,
+    /// First FROM table (additional comma tables appear as `Comma` joins).
+    pub from: Option<TableRef>,
+    /// JOIN clauses in order.
+    pub joins: Vec<Join>,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate.
+    pub having: Option<Expr>,
+    /// ORDER BY items.
+    pub order_by: Vec<OrderItem>,
+    /// LIMIT expression text.
+    pub limit: Option<String>,
+    /// Trailing set-operation text (`UNION SELECT ...`), preserved raw.
+    pub set_op_tail: Option<String>,
+}
+
+impl Select {
+    /// All table references in scope (FROM plus all JOINs).
+    pub fn tables(&self) -> Vec<&TableRef> {
+        let mut v: Vec<&TableRef> = Vec::new();
+        if let Some(f) = &self.from {
+            v.push(f);
+        }
+        v.extend(self.joins.iter().map(|j| &j.table));
+        v
+    }
+
+    /// Number of join clauses (comma joins included).
+    pub fn join_count(&self) -> usize {
+        self.joins.len()
+    }
+
+    /// True if any select item is a wildcard.
+    pub fn has_wildcard(&self) -> bool {
+        self.items.iter().any(|i| matches!(i, SelectItem::Wildcard { .. }))
+    }
+}
+
+/// One `ORDER BY` item.
+#[derive(Debug, Clone)]
+pub struct OrderItem {
+    /// Ordering expression.
+    pub expr: Expr,
+    /// `true` for ASC (default), `false` for DESC.
+    pub asc: bool,
+}
+
+/// `INSERT` statement.
+#[derive(Debug, Clone)]
+pub struct Insert {
+    /// Target table.
+    pub table: ObjectName,
+    /// Explicit column list; empty ⇒ implicit columns (the Implicit
+    /// Columns AP).
+    pub columns: Vec<String>,
+    /// The row source.
+    pub source: InsertSource,
+}
+
+/// Source of inserted rows.
+#[derive(Debug, Clone)]
+pub enum InsertSource {
+    /// `VALUES (..), (..)`
+    Values(Vec<Vec<Expr>>),
+    /// `INSERT ... SELECT`
+    Select(Box<Select>),
+    /// Unparsed source text.
+    Raw(String),
+}
+
+/// `UPDATE` statement.
+#[derive(Debug, Clone)]
+pub struct Update {
+    /// Target table.
+    pub table: ObjectName,
+    /// `SET col = expr` assignments.
+    pub assignments: Vec<(String, Expr)>,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+}
+
+/// `DELETE` statement.
+#[derive(Debug, Clone)]
+pub struct Delete {
+    /// Target table.
+    pub table: ObjectName,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+}
+
+/// `DROP TABLE|INDEX` statement.
+#[derive(Debug, Clone)]
+pub struct Drop {
+    /// What is dropped: `TABLE`, `INDEX`, `VIEW`, ... (uppercased).
+    pub object_kind: String,
+    /// Object name.
+    pub name: ObjectName,
+    /// `IF EXISTS` present.
+    pub if_exists: bool,
+}
+
+/// The comparison-like operator used in pattern predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LikeOp {
+    /// `LIKE`
+    Like,
+    /// `ILIKE`
+    ILike,
+    /// `REGEXP` / `RLIKE`
+    Regexp,
+    /// `GLOB`
+    Glob,
+    /// `SIMILAR TO`
+    Similar,
+}
+
+impl LikeOp {
+    /// SQL spelling.
+    pub fn sql(&self) -> &'static str {
+        match self {
+            LikeOp::Like => "LIKE",
+            LikeOp::ILike => "ILIKE",
+            LikeOp::Regexp => "REGEXP",
+            LikeOp::Glob => "GLOB",
+            LikeOp::Similar => "SIMILAR TO",
+        }
+    }
+}
+
+/// Expression tree. Constructs the parser cannot shape fall back to
+/// [`Expr::Raw`]; every variant can be rendered back to SQL.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// Possibly-qualified identifier (`a`, `t.a`).
+    Ident(Vec<String>),
+    /// String literal (unescaped value).
+    StringLit(String),
+    /// Numeric literal (original text).
+    NumberLit(String),
+    /// `TRUE` / `FALSE`
+    BoolLit(bool),
+    /// `NULL`
+    Null,
+    /// Bind parameter (original text, e.g. `?`, `$1`, `%s`).
+    Param(String),
+    /// Unary operator (`NOT`, `-`).
+    Unary {
+        /// Operator spelling (uppercased for word operators).
+        op: String,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operator.
+    Binary {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Operator spelling (uppercased for word operators like `AND`).
+        op: String,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Function call.
+    Function {
+        /// Function name (original case).
+        name: String,
+        /// Arguments; a lone `*` argument is `Expr::Ident(vec!["*"])`.
+        args: Vec<Expr>,
+        /// `DISTINCT` inside the call.
+        distinct: bool,
+    },
+    /// Parenthesised expression.
+    Paren(Box<Expr>),
+    /// `expr [NOT] IN (list)` — subquery forms fall back to Raw.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// List elements.
+        list: Vec<Expr>,
+        /// `NOT IN`.
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN low AND high`
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound.
+        low: Box<Expr>,
+        /// Upper bound.
+        high: Box<Expr>,
+        /// `NOT BETWEEN`.
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE|REGEXP|... pattern`
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// The pattern operator.
+        op: LikeOp,
+        /// Pattern expression.
+        pattern: Box<Expr>,
+        /// Negated form.
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// `IS NOT NULL`.
+        negated: bool,
+    },
+    /// A scalar subquery or `EXISTS (...)` body, parsed recursively.
+    Subquery(Box<Select>),
+    /// Fallback: the raw token texts joined (significant tokens only).
+    Raw(String),
+}
+
+impl Expr {
+    /// Convenience constructor for an unqualified identifier.
+    pub fn ident(name: impl Into<String>) -> Expr {
+        Expr::Ident(vec![name.into()])
+    }
+
+    /// Walk the expression tree, calling `f` on every node (pre-order).
+    pub fn walk(&self, f: &mut dyn FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Unary { expr, .. } | Expr::Paren(expr) => expr.walk(f),
+            Expr::Binary { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            Expr::Function { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.walk(f);
+                for e in list {
+                    e.walk(f);
+                }
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.walk(f);
+                low.walk(f);
+                high.walk(f);
+            }
+            Expr::Like { expr, pattern, .. } => {
+                expr.walk(f);
+                pattern.walk(f);
+            }
+            Expr::IsNull { expr, .. } => expr.walk(f),
+            Expr::Subquery(_) => {}
+            _ => {}
+        }
+    }
+
+    /// Collect every column reference `(qualifier, column)` in the tree.
+    pub fn column_refs(&self) -> Vec<(Option<String>, String)> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let Expr::Ident(parts) = e {
+                match parts.len() {
+                    1 if parts[0] != "*" => out.push((None, parts[0].clone())),
+                    2 => out.push((Some(parts[0].clone()), parts[1].clone())),
+                    _ => {}
+                }
+            }
+        });
+        out
+    }
+
+    /// Collect every function name called in the tree (uppercased).
+    pub fn function_calls(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let Expr::Function { name, .. } = e {
+                out.push(name.to_ascii_uppercase());
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_name_display_and_eq() {
+        let n = ObjectName(vec!["public".into(), "Tenant".into()]);
+        assert_eq!(n.to_string(), "public.Tenant");
+        assert!(n.name_eq("tenant"));
+    }
+
+    #[test]
+    fn type_name_classifiers() {
+        assert!(TypeName::simple("VARCHAR").is_textual());
+        assert!(TypeName::simple("FLOAT").is_inexact_fractional());
+        assert!(TypeName::simple("BIGINT").is_integral());
+        assert!(TypeName::simple("TIMESTAMPTZ").has_timezone());
+        let mut t = TypeName::simple("TIMESTAMP");
+        assert!(!t.has_timezone());
+        t.modifiers.push("WITH TIME ZONE".into());
+        assert!(t.has_timezone());
+    }
+
+    #[test]
+    fn expr_walk_collects_columns_and_functions() {
+        let e = Expr::Binary {
+            left: Box::new(Expr::Ident(vec!["t".into(), "a".into()])),
+            op: "=".into(),
+            right: Box::new(Expr::Function {
+                name: "lower".into(),
+                args: vec![Expr::ident("b")],
+                distinct: false,
+            }),
+        };
+        let cols = e.column_refs();
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[0], (Some("t".into()), "a".into()));
+        assert_eq!(e.function_calls(), vec!["LOWER".to_string()]);
+    }
+
+    #[test]
+    fn create_table_pk_helpers() {
+        let ct = CreateTable {
+            name: ObjectName::simple("t"),
+            if_not_exists: false,
+            columns: vec![ColumnDef {
+                name: "id".into(),
+                data_type: Some(TypeName::simple("INT")),
+                constraints: vec![ColumnConstraint::PrimaryKey],
+            }],
+            constraints: vec![],
+            options: String::new(),
+        };
+        assert!(ct.has_primary_key());
+        assert_eq!(ct.primary_key_columns(), vec!["id".to_string()]);
+    }
+}

@@ -1,0 +1,403 @@
+//! Dialect-tolerant SQL tokenizer.
+//!
+//! The lexer never fails: any byte sequence it cannot classify becomes an
+//! [`TokenKind::Unknown`] token. It is also lossless — whitespace and
+//! comments are emitted as tokens — so the original statement can always be
+//! reconstructed exactly. Both properties mirror the contract of the
+//! `sqlparse` library the paper builds on.
+
+use crate::token::{is_keyword, Span, Token, TokenKind};
+
+/// Tokenize `input` into a lossless token stream.
+///
+/// ```
+/// use sqlcheck_parser::lexer::tokenize;
+/// use sqlcheck_parser::token::TokenKind;
+/// let toks = tokenize("SELECT * FROM t WHERE a = 'x'");
+/// assert_eq!(toks[0].kind, TokenKind::Keyword);
+/// let rebuilt: String = toks.iter().map(|t| t.text.as_str()).collect();
+/// assert_eq!(rebuilt, "SELECT * FROM t WHERE a = 'x'");
+/// ```
+pub fn tokenize(input: &str) -> Vec<Token> {
+    Lexer::new(input).run()
+}
+
+/// Tokenize and drop whitespace/comment trivia. Convenient for detection
+/// rules that only care about the significant token sequence.
+pub fn tokenize_significant(input: &str) -> Vec<Token> {
+    tokenize(input).into_iter().filter(|t| !t.is_trivia()).collect()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, bytes: src.as_bytes(), pos: 0, out: Vec::new() }
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let b = self.bytes[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.lex_whitespace(start),
+                b'-' if self.peek(1) == Some(b'-') => self.lex_line_comment(start),
+                b'/' if self.peek(1) == Some(b'*') => self.lex_block_comment(start),
+                b'\'' => self.lex_single_quoted(start),
+                b'"' => self.lex_delimited(start, b'"', TokenKind::QuotedIdent),
+                b'`' => self.lex_delimited(start, b'`', TokenKind::QuotedIdent),
+                b'[' => self.lex_bracket_ident(start),
+                b'$' => self.lex_dollar(start),
+                b'?' => self.emit_one(start, TokenKind::Param),
+                b'%' if matches!(self.peek(1), Some(b's') | Some(b'(')) => {
+                    self.lex_format_param(start)
+                }
+                b':' if self
+                    .peek(1)
+                    .map(|c| c.is_ascii_alphabetic() || c == b'_')
+                    .unwrap_or(false) =>
+                {
+                    self.lex_named_param(start)
+                }
+                b'0'..=b'9' => self.lex_number(start),
+                b'.' if self.peek(1).map(|c| c.is_ascii_digit()).unwrap_or(false) => {
+                    self.lex_number(start)
+                }
+                b'(' | b')' | b',' | b';' | b'.' => self.emit_one(start, TokenKind::Punct),
+                _ if b.is_ascii_alphabetic() || b == b'_' || b >= 0x80 => self.lex_word(start),
+                _ => self.lex_operator_or_unknown(start),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn emit(&mut self, start: usize, kind: TokenKind) {
+        let text = &self.src[start..self.pos];
+        self.out.push(Token::new(kind, text, Span::new(start, self.pos)));
+    }
+
+    fn emit_one(&mut self, start: usize, kind: TokenKind) {
+        self.pos += 1;
+        self.emit(start, kind);
+    }
+
+    fn lex_whitespace(&mut self, start: usize) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\r' | b'\n')
+        {
+            self.pos += 1;
+        }
+        self.emit(start, TokenKind::Whitespace);
+    }
+
+    fn lex_line_comment(&mut self, start: usize) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.emit(start, TokenKind::Comment);
+    }
+
+    fn lex_block_comment(&mut self, start: usize) {
+        self.pos += 2; // consume "/*"
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else {
+                self.pos += 1;
+            }
+        }
+        self.emit(start, TokenKind::Comment);
+    }
+
+    fn lex_single_quoted(&mut self, start: usize) {
+        self.pos += 1; // opening quote
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'\'' {
+                if self.peek(1) == Some(b'\'') {
+                    self.pos += 2; // escaped quote
+                } else {
+                    self.pos += 1; // closing quote
+                    break;
+                }
+            } else if self.bytes[self.pos] == b'\\' && self.pos + 1 < self.bytes.len() {
+                // Tolerate backslash escapes (MySQL); harmless elsewhere.
+                self.pos += 2;
+            } else {
+                self.pos += 1;
+            }
+        }
+        self.emit(start, TokenKind::StringLit);
+    }
+
+    fn lex_delimited(&mut self, start: usize, quote: u8, kind: TokenKind) {
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == quote {
+                if self.peek(1) == Some(quote) {
+                    self.pos += 2; // doubled delimiter escape
+                } else {
+                    self.pos += 1;
+                    break;
+                }
+            } else {
+                self.pos += 1;
+            }
+        }
+        self.emit(start, kind);
+    }
+
+    fn lex_bracket_ident(&mut self, start: usize) {
+        // `[name]` T-SQL quoting; but a bare `[` followed by something that
+        // is not a simple name..`]` is treated as an unknown/operator char
+        // (e.g. the POSIX classes `[[:<:]]` appear *inside* string literals,
+        // so they never reach here).
+        let mut i = self.pos + 1;
+        while i < self.bytes.len() && self.bytes[i] != b']' && self.bytes[i] != b'\n' {
+            i += 1;
+        }
+        if i < self.bytes.len() && self.bytes[i] == b']' {
+            self.pos = i + 1;
+            self.emit(start, TokenKind::QuotedIdent);
+        } else {
+            self.emit_one(start, TokenKind::Unknown);
+        }
+    }
+
+    fn lex_dollar(&mut self, start: usize) {
+        // $1 positional param, or $tag$...$tag$ dollar-quoted string.
+        if self.peek(1).map(|c| c.is_ascii_digit()).unwrap_or(false) {
+            self.pos += 1;
+            while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+                self.pos += 1;
+            }
+            self.emit(start, TokenKind::Param);
+            return;
+        }
+        // find closing '$' of the opening tag
+        let mut i = self.pos + 1;
+        while i < self.bytes.len()
+            && (self.bytes[i].is_ascii_alphanumeric() || self.bytes[i] == b'_')
+        {
+            i += 1;
+        }
+        if i < self.bytes.len() && self.bytes[i] == b'$' {
+            let tag = &self.src[self.pos..=i];
+            if let Some(close) = self.src[i + 1..].find(tag) {
+                self.pos = i + 1 + close + tag.len();
+                self.emit(start, TokenKind::StringLit);
+                return;
+            }
+            // Unterminated dollar-quote: consume the rest as a string.
+            self.pos = self.bytes.len();
+            self.emit(start, TokenKind::StringLit);
+            return;
+        }
+        self.emit_one(start, TokenKind::Unknown);
+    }
+
+    fn lex_format_param(&mut self, start: usize) {
+        // %s or %(name)s — Python DB-API style parameters commonly embedded
+        // in the GitHub corpus statements.
+        if self.peek(1) == Some(b's') {
+            self.pos += 2;
+            self.emit(start, TokenKind::Param);
+            return;
+        }
+        // %(name)s
+        let mut i = self.pos + 2;
+        while i < self.bytes.len() && self.bytes[i] != b')' && self.bytes[i] != b'\n' {
+            i += 1;
+        }
+        if i + 1 < self.bytes.len() && self.bytes[i] == b')' && self.bytes[i + 1] == b's' {
+            self.pos = i + 2;
+            self.emit(start, TokenKind::Param);
+        } else {
+            self.emit_one(start, TokenKind::Unknown);
+        }
+    }
+
+    fn lex_named_param(&mut self, start: usize) {
+        self.pos += 1;
+        while self.pos < self.bytes.len()
+            && (self.bytes[self.pos].is_ascii_alphanumeric() || self.bytes[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        self.emit(start, TokenKind::Param);
+    }
+
+    fn lex_number(&mut self, start: usize) {
+        let mut seen_dot = false;
+        let mut seen_exp = false;
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_digit() {
+                self.pos += 1;
+            } else if b == b'.' && !seen_dot && !seen_exp {
+                seen_dot = true;
+                self.pos += 1;
+            } else if (b == b'e' || b == b'E')
+                && !seen_exp
+                && self
+                    .peek(1)
+                    .map(|c| c.is_ascii_digit() || c == b'+' || c == b'-')
+                    .unwrap_or(false)
+            {
+                seen_exp = true;
+                self.pos += 2;
+            } else {
+                break;
+            }
+        }
+        self.emit(start, TokenKind::NumberLit);
+    }
+
+    fn lex_word(&mut self, start: usize) {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'$' || b >= 0x80 {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let word = &self.src[start..self.pos];
+        let kind = if is_keyword(word) { TokenKind::Keyword } else { TokenKind::Ident };
+        self.emit(start, kind);
+    }
+
+    fn lex_operator_or_unknown(&mut self, start: usize) {
+        // Multi-char operators first, longest match wins.
+        const OPS: &[&str] = &[
+            "<=>", "!=", "<>", "<=", ">=", "||", "::", ":=", "==", "->>", "->", "<<", ">>",
+        ];
+        for op in OPS {
+            if self.src[self.pos..].starts_with(op) {
+                self.pos += op.len();
+                self.emit(start, TokenKind::Operator);
+                return;
+            }
+        }
+        let b = self.bytes[self.pos];
+        if matches!(b, b'=' | b'<' | b'>' | b'+' | b'-' | b'*' | b'/' | b'%' | b'&' | b'|' | b'!' | b'~' | b'^' | b':' | b'#' | b'@')
+        {
+            self.emit_one(start, TokenKind::Operator);
+        } else {
+            self.emit_one(start, TokenKind::Unknown);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize_significant(sql).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lossless_reconstruction() {
+        let sql = "SELECT a, b FROM t -- trailing\n WHERE x = 'it''s' /* c */;";
+        let rebuilt: String = tokenize(sql).iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(rebuilt, sql);
+    }
+
+    #[test]
+    fn classifies_basic_select() {
+        let k = kinds("SELECT * FROM t WHERE a = 1");
+        assert_eq!(k, vec![Keyword, Operator, Keyword, Ident, Keyword, Ident, Operator, NumberLit]);
+    }
+
+    #[test]
+    fn string_with_escaped_quote() {
+        let toks = tokenize_significant("'it''s'");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].kind, StringLit);
+        assert_eq!(toks[0].string_value().unwrap(), "it's");
+    }
+
+    #[test]
+    fn quoting_dialects() {
+        let toks = tokenize_significant("\"a\" `b` [c]");
+        assert!(toks.iter().all(|t| t.kind == QuotedIdent));
+        assert_eq!(toks[0].ident_value(), "a");
+        assert_eq!(toks[1].ident_value(), "b");
+        assert_eq!(toks[2].ident_value(), "c");
+    }
+
+    #[test]
+    fn dollar_quoted_string() {
+        let toks = tokenize_significant("$tag$hello 'world'$tag$");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].kind, StringLit);
+    }
+
+    #[test]
+    fn positional_and_named_params() {
+        let k = kinds("? $1 :name %s %(key)s");
+        assert_eq!(k, vec![Param, Param, Param, Param, Param]);
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = tokenize_significant("1 2.5 .5 1e10 3.14E-2");
+        assert!(toks.iter().all(|t| t.kind == NumberLit), "{toks:?}");
+        assert_eq!(toks.len(), 5);
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let toks = tokenize("/* outer /* inner */ still */x");
+        assert_eq!(toks[0].kind, Comment);
+        assert_eq!(toks[1].text, "x");
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        let k = kinds("a <> b != c || d :: e == f");
+        let ops: Vec<_> = tokenize_significant("a <> b != c || d :: e == f")
+            .into_iter()
+            .filter(|t| t.kind == Operator)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(ops, vec!["<>", "!=", "||", "::", "=="]);
+        assert_eq!(k.len(), 11);
+    }
+
+    #[test]
+    fn unterminated_string_does_not_panic() {
+        let toks = tokenize("SELECT 'oops");
+        let rebuilt: String = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(rebuilt, "SELECT 'oops");
+    }
+
+    #[test]
+    fn unknown_bytes_preserved() {
+        let sql = "SELECT \u{7f}\u{1} FROM t";
+        let rebuilt: String = tokenize(sql).iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(rebuilt, sql);
+    }
+
+    #[test]
+    fn like_pattern_with_posix_classes_stays_in_string() {
+        let toks = tokenize_significant("SELECT * FROM t WHERE c LIKE '[[:<:]]U1[[:>:]]'");
+        let lit = toks.iter().find(|t| t.kind == StringLit).unwrap();
+        assert!(lit.text.contains("[[:<:]]"));
+    }
+}

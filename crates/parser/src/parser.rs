@@ -1,0 +1,1498 @@
+//! Best-effort, non-validating SQL parser.
+//!
+//! The parser is **total**: it never returns an error. Statements it can
+//! shape structurally become typed [`Statement`] values; anything else is
+//! preserved as [`Statement::Other`] (and sub-expressions it cannot shape
+//! become [`Expr::Raw`]). This is the same contract as the `sqlparse`
+//! library used by the paper, and it is what gives sqlcheck its dialect
+//! coverage (§4.1 of the paper).
+
+use crate::ast::*;
+use crate::splitter::{split, RawStatement};
+use crate::token::{Token, TokenKind};
+
+/// Parse a script into statements.
+pub fn parse(script: &str) -> Vec<ParsedStatement> {
+    split(script).into_iter().map(|raw| parse_statement(&raw)).collect()
+}
+
+/// Parse a single statement. If the input contains several statements the
+/// first one is returned; an all-trivia input yields `Statement::Other`.
+pub fn parse_one(sql: &str) -> ParsedStatement {
+    parse(sql).into_iter().next().unwrap_or_else(|| ParsedStatement {
+        stmt: Statement::Other(OtherStatement { leading_keyword: String::new() }),
+        tokens: crate::lexer::tokenize(sql),
+    })
+}
+
+/// Parse one pre-split raw statement.
+pub fn parse_statement(raw: &RawStatement) -> ParsedStatement {
+    let sig: Vec<Token> = raw.tokens.iter().filter(|t| !t.is_trivia()).cloned().collect();
+    let stmt = parse_tokens(&sig);
+    ParsedStatement { stmt, tokens: raw.tokens.clone() }
+}
+
+fn parse_tokens(sig: &[Token]) -> Statement {
+    let cur = Cursor::new(sig);
+    let Some(first) = cur.peek() else {
+        return Statement::Other(OtherStatement { leading_keyword: String::new() });
+    };
+    let leading = first.upper();
+    let parsed = match leading.as_str() {
+        "SELECT" => parse_select(&mut Cursor::new(sig)).map(Statement::Select),
+        "CREATE" => parse_create(&mut Cursor::new(sig)),
+        "ALTER" => parse_alter(&mut Cursor::new(sig)).map(Statement::AlterTable),
+        "INSERT" | "REPLACE" => parse_insert(&mut Cursor::new(sig)).map(Statement::Insert),
+        "UPDATE" => parse_update(&mut Cursor::new(sig)).map(Statement::Update),
+        "DELETE" => parse_delete(&mut Cursor::new(sig)).map(Statement::Delete),
+        "DROP" => parse_drop(&mut Cursor::new(sig)).map(Statement::Drop),
+        _ => None,
+    };
+    parsed.unwrap_or(Statement::Other(OtherStatement { leading_keyword: leading }))
+}
+
+// ---------------------------------------------------------------------------
+// Cursor
+// ---------------------------------------------------------------------------
+
+struct Cursor<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(toks: &'a [Token]) -> Self {
+        Cursor { toks, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&'a Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<&'a Token> {
+        self.toks.get(self.pos + ahead)
+    }
+
+    fn next(&mut self) -> Option<&'a Token> {
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek().map(|t| t.is_keyword(kw)).unwrap_or(false) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keywords(&mut self, kws: &[&str]) -> bool {
+        let save = self.pos;
+        for kw in kws {
+            if !self.eat_keyword(kw) {
+                self.pos = save;
+                return false;
+            }
+        }
+        true
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if self.peek().map(|t| t.is_punct(ch)).unwrap_or(false) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        self.peek().map(|t| t.is_keyword(kw)).unwrap_or(false)
+    }
+
+    /// Consume an identifier-like token (identifier, quoted identifier, or —
+    /// tolerantly — a keyword used as a name).
+    fn eat_name(&mut self) -> Option<String> {
+        let t = self.peek()?;
+        match t.kind {
+            TokenKind::Ident | TokenKind::QuotedIdent | TokenKind::Keyword => {
+                self.pos += 1;
+                Some(t.ident_value().to_string())
+            }
+            _ => None,
+        }
+    }
+
+    /// Consume a possibly-qualified object name (`a.b.c`).
+    fn eat_object_name(&mut self) -> Option<ObjectName> {
+        let mut parts = vec![self.eat_name()?];
+        while self.peek().map(|t| t.is_punct('.')).unwrap_or(false)
+            && self
+                .peek_at(1)
+                .map(|t| {
+                    matches!(t.kind, TokenKind::Ident | TokenKind::QuotedIdent | TokenKind::Keyword)
+                })
+                .unwrap_or(false)
+        {
+            self.pos += 1; // '.'
+            parts.push(self.eat_name()?);
+        }
+        Some(ObjectName(parts))
+    }
+
+    /// Collect the token range until the cursor reaches (at paren depth 0)
+    /// one of the stop conditions, returning the sub-slice.
+    fn take_until(&mut self, stop: impl Fn(&Token) -> bool) -> &'a [Token] {
+        let start = self.pos;
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            if t.is_punct('(') {
+                depth += 1;
+            } else if t.is_punct(')') {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            } else if depth == 0 && stop(t) {
+                break;
+            }
+            self.pos += 1;
+        }
+        &self.toks[start..self.pos]
+    }
+
+    /// Take a balanced `( ... )` group, returning the inner tokens.
+    fn take_paren_group(&mut self) -> Option<&'a [Token]> {
+        if !self.peek().map(|t| t.is_punct('(')).unwrap_or(false) {
+            return None;
+        }
+        let mut depth = 0i32;
+        let start = self.pos + 1;
+        let mut i = self.pos;
+        while i < self.toks.len() {
+            if self.toks[i].is_punct('(') {
+                depth += 1;
+            } else if self.toks[i].is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    let inner = &self.toks[start..i];
+                    self.pos = i + 1;
+                    return Some(inner);
+                }
+            }
+            i += 1;
+        }
+        // Unbalanced: consume the rest.
+        let inner = &self.toks[start..];
+        self.pos = self.toks.len();
+        Some(inner)
+    }
+
+    /// Remaining tokens as text.
+    fn rest_text(&self) -> String {
+        join_tokens(&self.toks[self.pos.min(self.toks.len())..])
+    }
+}
+
+/// Join significant tokens with single spaces (except around `.`, `(`/`)`
+/// and before commas) — a readable raw form.
+pub(crate) fn join_tokens(toks: &[Token]) -> String {
+    let mut out = String::new();
+    for (i, t) in toks.iter().enumerate() {
+        if i > 0 {
+            let prev = &toks[i - 1];
+            let no_space = prev.is_punct('(')
+                || prev.is_punct('.')
+                || t.is_punct('.')
+                || t.is_punct(')')
+                || t.is_punct(',')
+                || (prev.kind == TokenKind::Ident && t.is_punct('('));
+            if !no_space {
+                out.push(' ');
+            }
+        }
+        out.push_str(&t.text);
+    }
+    out
+}
+
+/// Split a token slice on top-level commas.
+fn split_on_commas(toks: &[Token]) -> Vec<&[Token]> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct(',') {
+            out.push(&toks[start..i]);
+            start = i + 1;
+        }
+    }
+    out.push(&toks[start..]);
+    out.retain(|s| !s.is_empty());
+    out
+}
+
+// ---------------------------------------------------------------------------
+// SELECT
+// ---------------------------------------------------------------------------
+
+const CLAUSE_STARTERS: &[&str] = &[
+    "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "OFFSET", "UNION", "EXCEPT",
+    "INTERSECT",
+];
+const JOIN_STARTERS: &[&str] = &["JOIN", "INNER", "LEFT", "RIGHT", "FULL", "CROSS", "NATURAL"];
+
+fn is_clause_boundary(t: &Token) -> bool {
+    t.kind == TokenKind::Keyword && CLAUSE_STARTERS.iter().any(|k| t.is_keyword(k))
+}
+
+fn is_join_or_clause_boundary(t: &Token) -> bool {
+    is_clause_boundary(t)
+        || (t.kind == TokenKind::Keyword && JOIN_STARTERS.iter().any(|k| t.is_keyword(k)))
+        || t.is_punct(',')
+}
+
+fn parse_select(cur: &mut Cursor) -> Option<Select> {
+    if !cur.eat_keyword("SELECT") {
+        return None;
+    }
+    let distinct = cur.eat_keyword("DISTINCT");
+    let _ = cur.eat_keyword("ALL");
+
+    let item_toks = cur.take_until(is_clause_boundary);
+    let items = split_on_commas(item_toks)
+        .into_iter()
+        .map(parse_select_item)
+        .collect::<Vec<_>>();
+
+    let mut select = Select {
+        distinct,
+        items,
+        from: None,
+        joins: Vec::new(),
+        where_clause: None,
+        group_by: Vec::new(),
+        having: None,
+        order_by: Vec::new(),
+        limit: None,
+        set_op_tail: None,
+    };
+
+    if cur.eat_keyword("FROM") {
+        select.from = parse_table_ref(cur);
+        loop {
+            if cur.eat_punct(',') {
+                if let Some(table) = parse_table_ref(cur) {
+                    select.joins.push(Join {
+                        join_type: JoinType::Comma,
+                        table,
+                        on: None,
+                        using: Vec::new(),
+                    });
+                    continue;
+                }
+                break;
+            }
+            let Some(jt) = parse_join_type(cur) else { break };
+            let Some(table) = parse_table_ref(cur) else { break };
+            let mut join = Join { join_type: jt, table, on: None, using: Vec::new() };
+            if cur.eat_keyword("ON") {
+                let on_toks = cur.take_until(is_join_or_clause_boundary);
+                join.on = Some(parse_expr_tokens(on_toks));
+            } else if cur.eat_keyword("USING") {
+                if let Some(inner) = cur.take_paren_group() {
+                    join.using = split_on_commas(inner)
+                        .into_iter()
+                        .filter_map(|s| s.first().map(|t| t.ident_value().to_string()))
+                        .collect();
+                }
+            }
+            select.joins.push(join);
+        }
+    }
+
+    if cur.eat_keyword("WHERE") {
+        let toks = cur.take_until(is_clause_boundary);
+        select.where_clause = Some(parse_expr_tokens(toks));
+    }
+    if cur.eat_keywords(&["GROUP", "BY"]) {
+        let toks = cur.take_until(is_clause_boundary);
+        select.group_by =
+            split_on_commas(toks).into_iter().map(parse_expr_tokens).collect();
+    }
+    if cur.eat_keyword("HAVING") {
+        let toks = cur.take_until(is_clause_boundary);
+        select.having = Some(parse_expr_tokens(toks));
+    }
+    if cur.eat_keywords(&["ORDER", "BY"]) {
+        let toks = cur.take_until(is_clause_boundary);
+        for part in split_on_commas(toks) {
+            let (part, asc) = match part.last() {
+                Some(t) if t.is_keyword("DESC") => (&part[..part.len() - 1], false),
+                Some(t) if t.is_keyword("ASC") => (&part[..part.len() - 1], true),
+                _ => (part, true),
+            };
+            select.order_by.push(OrderItem { expr: parse_expr_tokens(part), asc });
+        }
+    }
+    if cur.eat_keyword("LIMIT") {
+        let toks = cur.take_until(|t| {
+            t.is_keyword("UNION") || t.is_keyword("EXCEPT") || t.is_keyword("INTERSECT")
+                || t.is_keyword("OFFSET")
+        });
+        select.limit = Some(join_tokens(toks));
+        if cur.eat_keyword("OFFSET") {
+            let off = cur.take_until(|t| {
+                t.is_keyword("UNION") || t.is_keyword("EXCEPT") || t.is_keyword("INTERSECT")
+            });
+            if let Some(l) = &mut select.limit {
+                l.push_str(" OFFSET ");
+                l.push_str(&join_tokens(off));
+            }
+        }
+    }
+    if !cur.at_end() {
+        select.set_op_tail = Some(cur.rest_text());
+    }
+    Some(select)
+}
+
+fn parse_select_item(toks: &[Token]) -> SelectItem {
+    // `*`
+    if toks.len() == 1 && toks[0].is_operator("*") {
+        return SelectItem::Wildcard { qualifier: None };
+    }
+    // `t.*`
+    if toks.len() == 3 && toks[1].is_punct('.') && toks[2].is_operator("*") {
+        return SelectItem::Wildcard { qualifier: Some(toks[0].ident_value().to_string()) };
+    }
+    // Trailing `AS alias` or bare alias.
+    let (expr_toks, alias) = detach_alias(toks);
+    SelectItem::Expr { expr: parse_expr_tokens(expr_toks), alias }
+}
+
+/// Split `expr [AS] alias` — the alias must be a lone trailing identifier.
+fn detach_alias(toks: &[Token]) -> (&[Token], Option<String>) {
+    if toks.len() >= 3 && toks[toks.len() - 2].is_keyword("AS") {
+        let alias_tok = &toks[toks.len() - 1];
+        if matches!(alias_tok.kind, TokenKind::Ident | TokenKind::QuotedIdent) {
+            return (&toks[..toks.len() - 2], Some(alias_tok.ident_value().to_string()));
+        }
+    }
+    if toks.len() >= 2 {
+        let last = &toks[toks.len() - 1];
+        let prev = &toks[toks.len() - 2];
+        let prev_ends_expr = matches!(
+            prev.kind,
+            TokenKind::Ident
+                | TokenKind::QuotedIdent
+                | TokenKind::NumberLit
+                | TokenKind::StringLit
+        ) || prev.is_punct(')');
+        if matches!(last.kind, TokenKind::Ident | TokenKind::QuotedIdent) && prev_ends_expr {
+            // Heuristic bare alias: `expr alias` where both sides are atoms
+            // and the pair is not a qualified name (no dot between).
+            return (&toks[..toks.len() - 1], Some(last.ident_value().to_string()));
+        }
+    }
+    (toks, None)
+}
+
+fn parse_join_type(cur: &mut Cursor) -> Option<JoinType> {
+    let _natural = cur.eat_keyword("NATURAL");
+    if cur.eat_keyword("JOIN") {
+        return Some(JoinType::Inner);
+    }
+    if cur.eat_keyword("INNER") {
+        cur.eat_keyword("JOIN");
+        return Some(JoinType::Inner);
+    }
+    if cur.eat_keyword("LEFT") {
+        cur.eat_keyword("OUTER");
+        cur.eat_keyword("JOIN");
+        return Some(JoinType::Left);
+    }
+    if cur.eat_keyword("RIGHT") {
+        cur.eat_keyword("OUTER");
+        cur.eat_keyword("JOIN");
+        return Some(JoinType::Right);
+    }
+    if cur.eat_keyword("FULL") {
+        cur.eat_keyword("OUTER");
+        cur.eat_keyword("JOIN");
+        return Some(JoinType::Full);
+    }
+    if cur.eat_keyword("CROSS") {
+        cur.eat_keyword("JOIN");
+        return Some(JoinType::Cross);
+    }
+    None
+}
+
+fn parse_table_ref(cur: &mut Cursor) -> Option<TableRef> {
+    // Derived table: ( SELECT ... ) [AS] alias
+    if cur.peek().map(|t| t.is_punct('(')).unwrap_or(false) {
+        let inner = cur.take_paren_group()?;
+        let sub = parse_select(&mut Cursor::new(inner));
+        let alias = parse_optional_alias(cur);
+        return Some(TableRef {
+            name: ObjectName::default(),
+            alias,
+            subquery: sub.map(Box::new),
+        });
+    }
+    let name = cur.eat_object_name()?;
+    let alias = parse_optional_alias(cur);
+    Some(TableRef { name, alias, subquery: None })
+}
+
+fn parse_optional_alias(cur: &mut Cursor) -> Option<String> {
+    if cur.eat_keyword("AS") {
+        return cur.eat_name();
+    }
+    // Bare alias: an identifier that is not a clause/join keyword.
+    if let Some(t) = cur.peek() {
+        if matches!(t.kind, TokenKind::Ident | TokenKind::QuotedIdent) {
+            cur.pos += 1;
+            return Some(t.ident_value().to_string());
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (Pratt parser, total via Raw fallback)
+// ---------------------------------------------------------------------------
+
+/// Parse a token slice into an expression. If the slice cannot be fully
+/// consumed, the whole slice is preserved as [`Expr::Raw`].
+pub fn parse_expr_tokens(toks: &[Token]) -> Expr {
+    if toks.is_empty() {
+        return Expr::Raw(String::new());
+    }
+    let mut cur = Cursor::new(toks);
+    match parse_expr_bp(&mut cur, 0) {
+        Some(e) if cur.at_end() => e,
+        _ => Expr::Raw(join_tokens(toks)),
+    }
+}
+
+/// Parse an expression string (helper for tests and the fix engine).
+pub fn parse_expr_str(sql: &str) -> Expr {
+    let toks = crate::lexer::tokenize_significant(sql);
+    parse_expr_tokens(&toks)
+}
+
+fn binding_power(tok: &Token) -> Option<(u8, &'static str)> {
+    // (left binding power, canonical op). Right bp = lbp + 1 (left assoc).
+    if tok.kind == TokenKind::Keyword {
+        let u = tok.upper();
+        return match u.as_str() {
+            "OR" => Some((1, "OR")),
+            "AND" => Some((3, "AND")),
+            _ => None,
+        };
+    }
+    if tok.kind == TokenKind::Operator {
+        return match tok.text.as_str() {
+            "=" | "==" | "<>" | "!=" | "<" | "<=" | ">" | ">=" | "<=>" => Some((7, "cmp")),
+            "||" => Some((9, "||")),
+            "+" | "-" => Some((9, "add")),
+            "*" | "/" | "%" => Some((11, "mul")),
+            _ => None,
+        };
+    }
+    None
+}
+
+fn parse_expr_bp(cur: &mut Cursor, min_bp: u8) -> Option<Expr> {
+    let mut lhs = parse_prefix(cur)?;
+
+    loop {
+        let Some(tok) = cur.peek() else { break };
+
+        // Postfix-ish keyword operators: IS [NOT] NULL, [NOT] IN, [NOT]
+        // BETWEEN, [NOT] LIKE/ILIKE/REGEXP/RLIKE/GLOB/SIMILAR TO.
+        if tok.kind == TokenKind::Keyword && min_bp <= 5 {
+            let u = tok.upper();
+            match u.as_str() {
+                "IS" => {
+                    cur.pos += 1;
+                    let negated = cur.eat_keyword("NOT");
+                    if cur.eat_keyword("NULL") {
+                        lhs = Expr::IsNull { expr: Box::new(lhs), negated };
+                        continue;
+                    }
+                    // IS TRUE / IS FALSE / IS DISTINCT FROM ... — raw-ish
+                    let rhs = parse_prefix(cur)?;
+                    lhs = Expr::Binary {
+                        left: Box::new(lhs),
+                        op: if negated { "IS NOT".into() } else { "IS".into() },
+                        right: Box::new(rhs),
+                    };
+                    continue;
+                }
+                "NOT" | "IN" | "BETWEEN" | "LIKE" | "ILIKE" | "REGEXP" | "RLIKE" | "GLOB"
+                | "SIMILAR" => {
+                    let save = cur.pos;
+                    let negated = cur.eat_keyword("NOT");
+                    if let Some(e) = parse_like_in_between(cur, lhs.clone(), negated) {
+                        lhs = e;
+                        continue;
+                    }
+                    cur.pos = save;
+                }
+                _ => {}
+            }
+        }
+
+        let Some((lbp, class)) = binding_power(tok) else { break };
+        if lbp < min_bp {
+            break;
+        }
+        let op_text = if tok.kind == TokenKind::Keyword { tok.upper() } else { tok.text.clone() };
+        let _ = class;
+        cur.pos += 1;
+        let rhs = parse_expr_bp(cur, lbp + 1)?;
+        lhs = Expr::Binary { left: Box::new(lhs), op: op_text, right: Box::new(rhs) };
+    }
+    Some(lhs)
+}
+
+fn parse_like_in_between(cur: &mut Cursor, lhs: Expr, negated: bool) -> Option<Expr> {
+    if cur.eat_keyword("IN") {
+        let inner = cur.take_paren_group()?;
+        // Subquery IN — keep raw to stay total.
+        if inner.first().map(|t| t.is_keyword("SELECT")).unwrap_or(false) {
+            let sub = parse_select(&mut Cursor::new(inner))?;
+            return Some(Expr::InList {
+                expr: Box::new(lhs),
+                list: vec![Expr::Subquery(Box::new(sub))],
+                negated,
+            });
+        }
+        let list = split_on_commas(inner).into_iter().map(parse_expr_tokens).collect();
+        return Some(Expr::InList { expr: Box::new(lhs), list, negated });
+    }
+    if cur.eat_keyword("BETWEEN") {
+        let low = parse_expr_bp(cur, 8)?;
+        if !cur.eat_keyword("AND") {
+            return None;
+        }
+        let high = parse_expr_bp(cur, 8)?;
+        return Some(Expr::Between {
+            expr: Box::new(lhs),
+            low: Box::new(low),
+            high: Box::new(high),
+            negated,
+        });
+    }
+    let op = if cur.eat_keyword("LIKE") {
+        LikeOp::Like
+    } else if cur.eat_keyword("ILIKE") {
+        LikeOp::ILike
+    } else if cur.eat_keyword("REGEXP") || cur.eat_keyword("RLIKE") {
+        LikeOp::Regexp
+    } else if cur.eat_keyword("GLOB") {
+        LikeOp::Glob
+    } else if cur.eat_keywords(&["SIMILAR", "TO"]) {
+        LikeOp::Similar
+    } else {
+        return None;
+    };
+    let pattern = parse_expr_bp(cur, 8)?;
+    Some(Expr::Like { expr: Box::new(lhs), op, pattern: Box::new(pattern), negated })
+}
+
+fn parse_prefix(cur: &mut Cursor) -> Option<Expr> {
+    let tok = cur.peek()?;
+    match tok.kind {
+        TokenKind::Keyword => {
+            let u = tok.upper();
+            match u.as_str() {
+                "NOT" => {
+                    cur.pos += 1;
+                    let e = parse_expr_bp(cur, 5)?;
+                    Some(Expr::Unary { op: "NOT".into(), expr: Box::new(e) })
+                }
+                "NULL" => {
+                    cur.pos += 1;
+                    Some(Expr::Null)
+                }
+                "TRUE" => {
+                    cur.pos += 1;
+                    Some(Expr::BoolLit(true))
+                }
+                "FALSE" => {
+                    cur.pos += 1;
+                    Some(Expr::BoolLit(false))
+                }
+                "EXISTS" => {
+                    cur.pos += 1;
+                    let inner = cur.take_paren_group()?;
+                    let sub = parse_select(&mut Cursor::new(inner))?;
+                    Some(Expr::Unary {
+                        op: "EXISTS".into(),
+                        expr: Box::new(Expr::Subquery(Box::new(sub))),
+                    })
+                }
+                "CASE" => parse_case_raw(cur),
+                "CAST" => {
+                    cur.pos += 1;
+                    let inner = cur.take_paren_group()?;
+                    Some(Expr::Function {
+                        name: "CAST".into(),
+                        args: vec![Expr::Raw(join_tokens(inner))],
+                        distinct: false,
+                    })
+                }
+                "INTERVAL" => {
+                    cur.pos += 1;
+                    let arg = parse_prefix(cur)?;
+                    Some(Expr::Unary { op: "INTERVAL".into(), expr: Box::new(arg) })
+                }
+                // Keyword used as function (REPLACE(...), RAND(), etc.) or
+                // bare keyword-ish identifier (dialect-tolerant).
+                _ => {
+                    if cur.peek_at(1).map(|t| t.is_punct('(')).unwrap_or(false) {
+                        parse_function(cur)
+                    } else if matches!(
+                        u.as_str(),
+                        "CURRENT_TIMESTAMP" | "CURRENT_DATE" | "CURRENT_TIME"
+                    ) {
+                        cur.pos += 1;
+                        Some(Expr::Function { name: u, args: vec![], distinct: false })
+                    } else {
+                        cur.pos += 1;
+                        Some(Expr::ident(tok.ident_value()))
+                    }
+                }
+            }
+        }
+        TokenKind::Ident | TokenKind::QuotedIdent => {
+            if cur.peek_at(1).map(|t| t.is_punct('(')).unwrap_or(false) {
+                return parse_function(cur);
+            }
+            // qualified identifier chain, possibly ending in `.*`
+            let mut parts = vec![tok.ident_value().to_string()];
+            cur.pos += 1;
+            while cur.peek().map(|t| t.is_punct('.')).unwrap_or(false) {
+                if let Some(nxt) = cur.peek_at(1) {
+                    if nxt.is_operator("*") {
+                        cur.pos += 2;
+                        parts.push("*".into());
+                        break;
+                    }
+                    if matches!(
+                        nxt.kind,
+                        TokenKind::Ident | TokenKind::QuotedIdent | TokenKind::Keyword
+                    ) {
+                        cur.pos += 2;
+                        parts.push(nxt.ident_value().to_string());
+                        continue;
+                    }
+                }
+                break;
+            }
+            Some(Expr::Ident(parts))
+        }
+        TokenKind::StringLit => {
+            cur.pos += 1;
+            Some(Expr::StringLit(tok.string_value().unwrap_or_default()))
+        }
+        TokenKind::NumberLit => {
+            cur.pos += 1;
+            Some(Expr::NumberLit(tok.text.clone()))
+        }
+        TokenKind::Param => {
+            cur.pos += 1;
+            Some(Expr::Param(tok.text.clone()))
+        }
+        TokenKind::Operator => {
+            let t = tok.text.clone();
+            if t == "-" || t == "+" || t == "~" {
+                cur.pos += 1;
+                let e = parse_expr_bp(cur, 13)?;
+                return Some(Expr::Unary { op: t, expr: Box::new(e) });
+            }
+            if t == "*" {
+                cur.pos += 1;
+                return Some(Expr::ident("*"));
+            }
+            None
+        }
+        TokenKind::Punct => {
+            if tok.is_punct('(') {
+                let inner = cur.take_paren_group()?;
+                if inner.first().map(|t| t.is_keyword("SELECT")).unwrap_or(false) {
+                    let sub = parse_select(&mut Cursor::new(inner))?;
+                    return Some(Expr::Subquery(Box::new(sub)));
+                }
+                let e = parse_expr_tokens(inner);
+                return Some(Expr::Paren(Box::new(e)));
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+fn parse_case_raw(cur: &mut Cursor) -> Option<Expr> {
+    // CASE ... END preserved raw (detection rules don't descend into CASE).
+    let start = cur.pos;
+    let mut depth = 0i32;
+    while let Some(t) = cur.next() {
+        if t.is_keyword("CASE") {
+            depth += 1;
+        } else if t.is_keyword("END") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(Expr::Raw(join_tokens(&cur.toks[start..cur.pos])));
+            }
+        }
+    }
+    Some(Expr::Raw(join_tokens(&cur.toks[start..])))
+}
+
+fn parse_function(cur: &mut Cursor) -> Option<Expr> {
+    let name_tok = cur.next()?;
+    let name = name_tok.ident_value().to_string();
+    let inner = cur.take_paren_group()?;
+    let mut distinct = false;
+    let arg_toks: &[Token] = if inner.first().map(|t| t.is_keyword("DISTINCT")).unwrap_or(false) {
+        distinct = true;
+        &inner[1..]
+    } else {
+        inner
+    };
+    let args = if arg_toks.is_empty() {
+        Vec::new()
+    } else {
+        split_on_commas(arg_toks).into_iter().map(parse_expr_tokens).collect()
+    };
+    Some(Expr::Function { name, args, distinct })
+}
+
+// ---------------------------------------------------------------------------
+// CREATE TABLE / CREATE INDEX
+// ---------------------------------------------------------------------------
+
+fn parse_create(cur: &mut Cursor) -> Option<Statement> {
+    if !cur.eat_keyword("CREATE") {
+        return None;
+    }
+    let unique = cur.eat_keyword("UNIQUE");
+    let _ = cur.eat_keyword("TEMP") || cur.eat_keyword("TEMPORARY");
+    if cur.eat_keyword("TABLE") {
+        return parse_create_table(cur).map(Statement::CreateTable);
+    }
+    if cur.eat_keyword("INDEX") {
+        return parse_create_index(cur, unique).map(Statement::CreateIndex);
+    }
+    None
+}
+
+fn parse_create_table(cur: &mut Cursor) -> Option<CreateTable> {
+    let if_not_exists = cur.eat_keywords(&["IF", "NOT", "EXISTS"]);
+    let name = cur.eat_object_name()?;
+    let body = cur.take_paren_group()?;
+    let mut columns = Vec::new();
+    let mut constraints = Vec::new();
+    for element in split_on_commas(body) {
+        let mut ec = Cursor::new(element);
+        if let Some(tc) = try_parse_table_constraint(&mut ec) {
+            constraints.push(tc);
+        } else if let Some(cd) = parse_column_def(&mut Cursor::new(element)) {
+            columns.push(cd);
+        }
+        // Unparseable elements are dropped from the structure but remain in
+        // the raw tokens of the statement.
+    }
+    let options = cur.rest_text();
+    Some(CreateTable { name, if_not_exists, columns, constraints, options })
+}
+
+fn try_parse_table_constraint(cur: &mut Cursor) -> Option<TableConstraint> {
+    let mut name = None;
+    if cur.peek_keyword("CONSTRAINT") {
+        cur.pos += 1;
+        name = cur.eat_name();
+    }
+    let kind = if cur.eat_keywords(&["PRIMARY", "KEY"]) {
+        let cols = cur.take_paren_group().map(parse_name_list).unwrap_or_default();
+        TableConstraintKind::PrimaryKey(cols)
+    } else if cur.eat_keyword("UNIQUE") {
+        let cols = cur.take_paren_group().map(parse_name_list)?;
+        TableConstraintKind::Unique(cols)
+    } else if cur.eat_keywords(&["FOREIGN", "KEY"]) {
+        let cols = cur.take_paren_group().map(parse_name_list).unwrap_or_default();
+        if !cur.eat_keyword("REFERENCES") {
+            return Some(TableConstraint {
+                name,
+                kind: TableConstraintKind::Other(cur.rest_text()),
+            });
+        }
+        let reference = parse_fk_ref(cur)?;
+        TableConstraintKind::ForeignKey { columns: cols, reference }
+    } else if cur.eat_keyword("CHECK") {
+        let inner = cur.take_paren_group()?;
+        TableConstraintKind::Check(parse_check(inner))
+    } else {
+        return None;
+    };
+    Some(TableConstraint { name, kind })
+}
+
+fn parse_name_list(toks: &[Token]) -> Vec<String> {
+    split_on_commas(toks)
+        .into_iter()
+        .filter_map(|s| s.first().map(|t| t.ident_value().to_string()))
+        .collect()
+}
+
+fn parse_fk_ref(cur: &mut Cursor) -> Option<ForeignKeyRef> {
+    let table = cur.eat_object_name()?;
+    let columns = if cur.peek().map(|t| t.is_punct('(')).unwrap_or(false) {
+        cur.take_paren_group().map(parse_name_list).unwrap_or_default()
+    } else {
+        Vec::new()
+    };
+    let mut actions = Vec::new();
+    while cur.peek_keyword("ON") {
+        let start = cur.pos;
+        cur.pos += 1; // ON
+        let evt = cur.eat_name(); // DELETE / UPDATE
+        let act1 = cur.eat_name(); // CASCADE / SET / RESTRICT / NO
+        let act2 = if matches!(act1.as_deref().map(str::to_ascii_uppercase).as_deref(), Some("SET") | Some("NO"))
+        {
+            cur.eat_name()
+        } else {
+            None
+        };
+        if evt.is_none() || act1.is_none() {
+            cur.pos = start;
+            break;
+        }
+        let mut s = format!("ON {}", evt.unwrap().to_ascii_uppercase());
+        s.push(' ');
+        s.push_str(&act1.unwrap().to_ascii_uppercase());
+        if let Some(a2) = act2 {
+            s.push(' ');
+            s.push_str(&a2.to_ascii_uppercase());
+        }
+        actions.push(s);
+    }
+    Some(ForeignKeyRef { table, columns, actions })
+}
+
+fn parse_check(inner: &[Token]) -> CheckConstraint {
+    let expr_text = join_tokens(inner);
+    // Recognise `col IN ('a', 'b', ...)` — the Enumerated Types AP shape.
+    let mut cur = Cursor::new(inner);
+    let in_list = (|| {
+        let col = cur.eat_name()?;
+        if !cur.eat_keyword("IN") {
+            return None;
+        }
+        let list = cur.take_paren_group()?;
+        if !cur.at_end() {
+            return None;
+        }
+        let values: Vec<String> = split_on_commas(list)
+            .iter()
+            .filter_map(|s| s.first())
+            .filter(|t| t.kind == TokenKind::StringLit || t.kind == TokenKind::NumberLit)
+            .map(|t| t.string_value().unwrap_or_else(|| t.text.clone()))
+            .collect();
+        if values.is_empty() {
+            None
+        } else {
+            Some((col, values))
+        }
+    })();
+    CheckConstraint { expr_text, in_list }
+}
+
+const COLUMN_CONSTRAINT_STARTERS: &[&str] = &[
+    "PRIMARY", "NOT", "NULL", "UNIQUE", "DEFAULT", "CHECK", "REFERENCES", "AUTO_INCREMENT",
+    "AUTOINCREMENT", "COLLATE", "CONSTRAINT",
+];
+
+fn parse_column_def(cur: &mut Cursor) -> Option<ColumnDef> {
+    let name = match cur.peek()?.kind {
+        TokenKind::Ident | TokenKind::QuotedIdent => cur.eat_name()?,
+        // Tolerate keywords as column names (e.g. `key`, `order` in sloppy
+        // schemas) unless it *starts* a constraint.
+        TokenKind::Keyword
+            if !COLUMN_CONSTRAINT_STARTERS
+                .iter()
+                .any(|k| cur.peek().unwrap().is_keyword(k)) =>
+        {
+            cur.eat_name()?
+        }
+        _ => return None,
+    };
+    let data_type = parse_type_name(cur);
+    let mut constraints = Vec::new();
+    while !cur.at_end() {
+        if cur.eat_keywords(&["PRIMARY", "KEY"]) {
+            constraints.push(ColumnConstraint::PrimaryKey);
+        } else if cur.eat_keywords(&["NOT", "NULL"]) {
+            constraints.push(ColumnConstraint::NotNull);
+        } else if cur.eat_keyword("NULL") {
+            constraints.push(ColumnConstraint::Null);
+        } else if cur.eat_keyword("UNIQUE") {
+            constraints.push(ColumnConstraint::Unique);
+        } else if cur.eat_keyword("AUTO_INCREMENT") || cur.eat_keyword("AUTOINCREMENT") {
+            constraints.push(ColumnConstraint::AutoIncrement);
+        } else if cur.eat_keyword("DEFAULT") {
+            let toks = cur.take_until(|t| {
+                t.kind == TokenKind::Keyword
+                    && COLUMN_CONSTRAINT_STARTERS.iter().any(|k| t.is_keyword(k))
+            });
+            constraints.push(ColumnConstraint::Default(join_tokens(toks)));
+        } else if cur.eat_keyword("CHECK") {
+            if let Some(inner) = cur.take_paren_group() {
+                constraints.push(ColumnConstraint::Check(parse_check(inner)));
+            }
+        } else if cur.eat_keyword("REFERENCES") {
+            if let Some(r) = parse_fk_ref(cur) {
+                constraints.push(ColumnConstraint::References(r));
+            }
+        } else {
+            // Preserve whatever is left (COLLATE ..., dialect noise).
+            let rest = cur.rest_text();
+            cur.pos = cur.toks.len();
+            if !rest.is_empty() {
+                constraints.push(ColumnConstraint::Other(rest));
+            }
+        }
+    }
+    Some(ColumnDef { name, data_type, constraints })
+}
+
+fn parse_type_name(cur: &mut Cursor) -> Option<TypeName> {
+    let tok = cur.peek()?;
+    let is_type_word = matches!(tok.kind, TokenKind::Keyword | TokenKind::Ident);
+    if !is_type_word {
+        return None;
+    }
+    // Words that start a constraint cannot be a type.
+    if COLUMN_CONSTRAINT_STARTERS.iter().any(|k| tok.is_keyword(k)) {
+        return None;
+    }
+    let mut name = tok.upper();
+    cur.pos += 1;
+    // Two-word types: DOUBLE PRECISION, CHARACTER VARYING.
+    if name == "DOUBLE" && cur.eat_keyword("PRECISION") {
+        name = "DOUBLE".into();
+    } else if name == "CHARACTER" && cur.eat_keyword("VARYING") {
+        name = "VARCHAR".into();
+    }
+    let mut ty = TypeName { name, args: Vec::new(), modifiers: Vec::new() };
+    if cur.peek().map(|t| t.is_punct('(')).unwrap_or(false) {
+        if let Some(inner) = cur.take_paren_group() {
+            ty.args = split_on_commas(inner).iter().map(|s| join_tokens(s)).collect();
+        }
+    }
+    if cur.eat_keyword("UNSIGNED") {
+        ty.modifiers.push("UNSIGNED".into());
+    }
+    if cur.eat_keywords(&["WITH", "TIME", "ZONE"]) {
+        ty.modifiers.push("WITH TIME ZONE".into());
+    } else if cur.eat_keywords(&["WITHOUT", "TIME", "ZONE"]) {
+        ty.modifiers.push("WITHOUT TIME ZONE".into());
+    }
+    Some(ty)
+}
+
+fn parse_create_index(cur: &mut Cursor, unique: bool) -> Option<CreateIndex> {
+    let _ = cur.eat_keywords(&["IF", "NOT", "EXISTS"]);
+    let name = cur.eat_name().unwrap_or_default();
+    if !cur.eat_keyword("ON") {
+        return None;
+    }
+    let table = cur.eat_object_name()?;
+    let columns = cur.take_paren_group().map(parse_name_list).unwrap_or_default();
+    Some(CreateIndex { name, table, columns, unique })
+}
+
+// ---------------------------------------------------------------------------
+// ALTER / INSERT / UPDATE / DELETE / DROP
+// ---------------------------------------------------------------------------
+
+fn parse_alter(cur: &mut Cursor) -> Option<AlterTable> {
+    if !cur.eat_keyword("ALTER") || !cur.eat_keyword("TABLE") {
+        return None;
+    }
+    let _ = cur.eat_keywords(&["IF", "EXISTS"]);
+    let table = cur.eat_object_name()?;
+    let action = if cur.eat_keyword("ADD") {
+        if cur.peek_keyword("CONSTRAINT")
+            || cur.peek_keyword("PRIMARY")
+            || cur.peek_keyword("FOREIGN")
+            || cur.peek_keyword("UNIQUE")
+            || cur.peek_keyword("CHECK")
+        {
+            match try_parse_table_constraint(cur) {
+                Some(tc) => AlterAction::AddConstraint(tc),
+                None => AlterAction::Other(cur.rest_text()),
+            }
+        } else {
+            let _ = cur.eat_keyword("COLUMN");
+            match parse_column_def(cur) {
+                Some(cd) => AlterAction::AddColumn(cd),
+                None => AlterAction::Other(cur.rest_text()),
+            }
+        }
+    } else if cur.eat_keyword("DROP") {
+        if cur.eat_keyword("CONSTRAINT") {
+            let _ = cur.eat_keywords(&["IF", "EXISTS"]);
+            match cur.eat_name() {
+                Some(n) => AlterAction::DropConstraint(n),
+                None => AlterAction::Other(cur.rest_text()),
+            }
+        } else {
+            let _ = cur.eat_keyword("COLUMN");
+            match cur.eat_name() {
+                Some(n) => AlterAction::DropColumn(n),
+                None => AlterAction::Other(cur.rest_text()),
+            }
+        }
+    } else {
+        AlterAction::Other(cur.rest_text())
+    };
+    Some(AlterTable { table, action })
+}
+
+fn parse_insert(cur: &mut Cursor) -> Option<Insert> {
+    let _ = cur.eat_keyword("INSERT") || cur.eat_keyword("REPLACE");
+    let _ = cur.eat_keyword("OR"); // INSERT OR REPLACE / IGNORE (SQLite)
+    let _ = cur.eat_keyword("REPLACE");
+    let _ = cur.eat_name_if("IGNORE");
+    cur.eat_keyword("INTO");
+    let table = cur.eat_object_name()?;
+    let mut columns = Vec::new();
+    if cur.peek().map(|t| t.is_punct('(')).unwrap_or(false) && !cur.peek_paren_is_select() {
+        columns = cur.take_paren_group().map(parse_name_list).unwrap_or_default();
+    }
+    let source = if cur.eat_keyword("VALUES") {
+        let mut rows = Vec::new();
+        loop {
+            let Some(inner) = cur.take_paren_group() else { break };
+            rows.push(split_on_commas(inner).into_iter().map(parse_expr_tokens).collect());
+            if !cur.eat_punct(',') {
+                break;
+            }
+        }
+        InsertSource::Values(rows)
+    } else if cur.peek_keyword("SELECT") {
+        match parse_select(cur) {
+            Some(s) => InsertSource::Select(Box::new(s)),
+            None => InsertSource::Raw(cur.rest_text()),
+        }
+    } else {
+        InsertSource::Raw(cur.rest_text())
+    };
+    Some(Insert { table, columns, source })
+}
+
+impl<'a> Cursor<'a> {
+    fn eat_name_if(&mut self, word: &str) -> bool {
+        if let Some(t) = self.peek() {
+            if t.text.eq_ignore_ascii_case(word) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_paren_is_select(&self) -> bool {
+        if !self.peek().map(|t| t.is_punct('(')).unwrap_or(false) {
+            return false;
+        }
+        self.peek_at(1).map(|t| t.is_keyword("SELECT")).unwrap_or(false)
+    }
+}
+
+fn parse_update(cur: &mut Cursor) -> Option<Update> {
+    if !cur.eat_keyword("UPDATE") {
+        return None;
+    }
+    let table = cur.eat_object_name()?;
+    let _alias = parse_optional_alias(cur);
+    if !cur.eat_keyword("SET") {
+        return None;
+    }
+    let set_toks = cur.take_until(|t| t.is_keyword("WHERE"));
+    let mut assignments = Vec::new();
+    for part in split_on_commas(set_toks) {
+        // col = expr   (col may be qualified)
+        let eq = part.iter().position(|t| t.is_operator("="))?;
+        let col_toks = &part[..eq];
+        let col = col_toks.last()?.ident_value().to_string();
+        let val = parse_expr_tokens(&part[eq + 1..]);
+        assignments.push((col, val));
+    }
+    let where_clause = if cur.eat_keyword("WHERE") {
+        let toks = cur.take_until(|_| false);
+        Some(parse_expr_tokens(toks))
+    } else {
+        None
+    };
+    Some(Update { table, assignments, where_clause })
+}
+
+fn parse_delete(cur: &mut Cursor) -> Option<Delete> {
+    if !cur.eat_keyword("DELETE") || !cur.eat_keyword("FROM") {
+        return None;
+    }
+    let table = cur.eat_object_name()?;
+    let _alias = parse_optional_alias(cur);
+    let where_clause = if cur.eat_keyword("WHERE") {
+        let toks = cur.take_until(|_| false);
+        Some(parse_expr_tokens(toks))
+    } else {
+        None
+    };
+    Some(Delete { table, where_clause })
+}
+
+fn parse_drop(cur: &mut Cursor) -> Option<Drop> {
+    if !cur.eat_keyword("DROP") {
+        return None;
+    }
+    let kind_tok = cur.next()?;
+    let object_kind = kind_tok.upper();
+    if !matches!(object_kind.as_str(), "TABLE" | "INDEX" | "VIEW" | "TRIGGER" | "DATABASE") {
+        return None;
+    }
+    let if_exists = cur.eat_keywords(&["IF", "EXISTS"]);
+    let name = cur.eat_object_name()?;
+    Some(Drop { object_kind, name, if_exists })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sel(sql: &str) -> Select {
+        match parse_one(sql).stmt {
+            Statement::Select(s) => s,
+            other => panic!("expected SELECT, got {other:?}"),
+        }
+    }
+
+    fn ct(sql: &str) -> CreateTable {
+        match parse_one(sql).stmt {
+            Statement::CreateTable(c) => c,
+            other => panic!("expected CREATE TABLE, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_select() {
+        let s = sel("SELECT a, b FROM t WHERE a = 1");
+        assert_eq!(s.items.len(), 2);
+        assert_eq!(s.from.as_ref().unwrap().name.name(), "t");
+        assert!(s.where_clause.is_some());
+    }
+
+    #[test]
+    fn select_wildcard_and_qualified_wildcard() {
+        let s = sel("SELECT *, t.* FROM t");
+        assert!(matches!(s.items[0], SelectItem::Wildcard { qualifier: None }));
+        assert!(
+            matches!(&s.items[1], SelectItem::Wildcard { qualifier: Some(q) } if q == "t")
+        );
+    }
+
+    #[test]
+    fn select_with_join_on() {
+        let s = sel(
+            "SELECT q.Name FROM Questionnaire q JOIN Tenant t ON t.Tenant_ID = q.Tenant_ID \
+             WHERE q.Editable = true",
+        );
+        assert_eq!(s.joins.len(), 1);
+        assert_eq!(s.joins[0].table.name.name(), "Tenant");
+        assert_eq!(s.joins[0].table.alias.as_deref(), Some("t"));
+        let on = s.joins[0].on.as_ref().unwrap();
+        assert_eq!(on.column_refs().len(), 2);
+    }
+
+    #[test]
+    fn join_with_like_expression_on_clause() {
+        // The paper's Task #2 query: expression join via LIKE.
+        let s = sel(
+            "SELECT * FROM Tenants AS t JOIN Users AS u \
+             ON t.User_IDs LIKE '%' || u.User_ID || '%' WHERE t.Tenant_ID = 'T1'",
+        );
+        assert_eq!(s.joins.len(), 1);
+        let on = s.joins[0].on.as_ref().unwrap();
+        let mut saw_like = false;
+        on.walk(&mut |e| {
+            if matches!(e, Expr::Like { .. }) {
+                saw_like = true;
+            }
+        });
+        assert!(saw_like, "LIKE in ON clause must be shaped: {on:?}");
+        assert!(s.where_clause.is_some());
+    }
+
+    #[test]
+    fn group_order_limit() {
+        let s = sel("SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2 ORDER BY a DESC LIMIT 10");
+        assert_eq!(s.group_by.len(), 1);
+        assert!(s.having.is_some());
+        assert_eq!(s.order_by.len(), 1);
+        assert!(!s.order_by[0].asc);
+        assert_eq!(s.limit.as_deref(), Some("10"));
+    }
+
+    #[test]
+    fn order_by_rand() {
+        let s = sel("SELECT * FROM t ORDER BY RAND()");
+        let fns = match &s.order_by[0].expr {
+            e => e.function_calls(),
+        };
+        assert_eq!(fns, vec!["RAND".to_string()]);
+    }
+
+    #[test]
+    fn comma_join() {
+        let s = sel("SELECT * FROM a, b WHERE a.id = b.id");
+        assert_eq!(s.joins.len(), 1);
+        assert_eq!(s.joins[0].join_type, JoinType::Comma);
+    }
+
+    #[test]
+    fn union_tail_preserved() {
+        let s = sel("SELECT a FROM t UNION SELECT b FROM u");
+        assert!(s.set_op_tail.as_deref().unwrap().contains("UNION"));
+    }
+
+    #[test]
+    fn create_table_with_constraints() {
+        let c = ct(
+            "CREATE TABLE Hosting (\
+               User_ID VARCHAR(10) REFERENCES Users(User_ID),\
+               Tenant_ID VARCHAR(10) REFERENCES Tenants(Tenant_ID),\
+               PRIMARY KEY (User_ID, Tenant_ID))",
+        );
+        assert_eq!(c.columns.len(), 2);
+        assert_eq!(c.primary_key_columns(), vec!["User_ID", "Tenant_ID"]);
+        let fks = c.foreign_keys();
+        assert_eq!(fks.len(), 2);
+        assert!(fks[0].1.table.name_eq("Users"));
+    }
+
+    #[test]
+    fn create_table_column_types() {
+        let c = ct(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, price FLOAT, name VARCHAR(30) NOT NULL, \
+             role ENUM('a','b'), created TIMESTAMP WITH TIME ZONE, big DOUBLE PRECISION)",
+        );
+        assert!(c.column("price").unwrap().data_type.as_ref().unwrap().is_inexact_fractional());
+        let role = c.column("role").unwrap().data_type.as_ref().unwrap();
+        assert_eq!(role.name, "ENUM");
+        assert_eq!(role.args.len(), 2);
+        assert!(c.column("created").unwrap().data_type.as_ref().unwrap().has_timezone());
+        assert_eq!(c.column("big").unwrap().data_type.as_ref().unwrap().name, "DOUBLE");
+    }
+
+    #[test]
+    fn create_table_check_in_list() {
+        let c = ct("CREATE TABLE u (role VARCHAR(5), CHECK (role IN ('R1','R2','R3')))");
+        let check = c
+            .constraints
+            .iter()
+            .find_map(|tc| match &tc.kind {
+                TableConstraintKind::Check(ch) => Some(ch),
+                _ => None,
+            })
+            .unwrap();
+        let (col, vals) = check.in_list.as_ref().unwrap();
+        assert_eq!(col, "role");
+        assert_eq!(vals, &vec!["R1".to_string(), "R2".into(), "R3".into()]);
+    }
+
+    #[test]
+    fn alter_add_check_constraint() {
+        let p = parse_one(
+            "ALTER TABLE User ADD CONSTRAINT User_Role_Check CHECK (ROLE IN ('R1','R2','R3'))",
+        );
+        let Statement::AlterTable(a) = p.stmt else { panic!() };
+        assert!(a.table.name_eq("User"));
+        let AlterAction::AddConstraint(tc) = a.action else { panic!() };
+        assert_eq!(tc.name.as_deref(), Some("User_Role_Check"));
+        assert!(matches!(tc.kind, TableConstraintKind::Check(_)));
+    }
+
+    #[test]
+    fn alter_drop_constraint_if_exists() {
+        let p = parse_one("ALTER TABLE User DROP CONSTRAINT IF EXISTS User_Role_Check");
+        let Statement::AlterTable(a) = p.stmt else { panic!() };
+        assert!(matches!(a.action, AlterAction::DropConstraint(ref n) if n == "User_Role_Check"));
+    }
+
+    #[test]
+    fn alter_drop_column() {
+        let p = parse_one("ALTER TABLE Tenants DROP COLUMN User_IDs");
+        let Statement::AlterTable(a) = p.stmt else { panic!() };
+        assert!(matches!(a.action, AlterAction::DropColumn(ref n) if n == "User_IDs"));
+    }
+
+    #[test]
+    fn insert_without_columns() {
+        let p = parse_one("INSERT INTO Tenant VALUES ('T1', 'Z1', True, 'U1,U2')");
+        let Statement::Insert(i) = p.stmt else { panic!() };
+        assert!(i.columns.is_empty());
+        let InsertSource::Values(rows) = i.source else { panic!() };
+        assert_eq!(rows[0].len(), 4);
+    }
+
+    #[test]
+    fn insert_with_columns_multi_row() {
+        let p = parse_one("INSERT INTO t (a, b) VALUES (1, 2), (3, 4)");
+        let Statement::Insert(i) = p.stmt else { panic!() };
+        assert_eq!(i.columns, vec!["a", "b"]);
+        let InsertSource::Values(rows) = i.source else { panic!() };
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn insert_select() {
+        let p = parse_one("INSERT INTO t (a) SELECT x FROM u");
+        let Statement::Insert(i) = p.stmt else { panic!() };
+        assert!(matches!(i.source, InsertSource::Select(_)));
+    }
+
+    #[test]
+    fn update_statement() {
+        let p = parse_one("UPDATE User SET Role = 'R5', active = TRUE WHERE Role = 'R2'");
+        let Statement::Update(u) = p.stmt else { panic!() };
+        assert_eq!(u.assignments.len(), 2);
+        assert_eq!(u.assignments[0].0, "Role");
+        assert!(u.where_clause.is_some());
+    }
+
+    #[test]
+    fn delete_statement() {
+        let p = parse_one("DELETE FROM Users WHERE User_ID = 'U1'");
+        let Statement::Delete(d) = p.stmt else { panic!() };
+        assert!(d.table.name_eq("Users"));
+        assert!(d.where_clause.is_some());
+    }
+
+    #[test]
+    fn drop_statements() {
+        let p = parse_one("DROP TABLE IF EXISTS t");
+        let Statement::Drop(d) = p.stmt else { panic!() };
+        assert_eq!(d.object_kind, "TABLE");
+        assert!(d.if_exists);
+    }
+
+    #[test]
+    fn create_index_statement() {
+        let p = parse_one("CREATE UNIQUE INDEX idx_zone ON Tenant (Zone_ID, Active)");
+        let Statement::CreateIndex(i) = p.stmt else { panic!() };
+        assert!(i.unique);
+        assert_eq!(i.name, "idx_zone");
+        assert_eq!(i.columns, vec!["Zone_ID", "Active"]);
+    }
+
+    #[test]
+    fn unknown_statement_is_other() {
+        let p = parse_one("PRAGMA journal_mode = WAL");
+        let Statement::Other(o) = p.stmt else { panic!() };
+        assert_eq!(o.leading_keyword, "PRAGMA");
+    }
+
+    #[test]
+    fn garbage_never_panics() {
+        for sql in ["", ";;;", "SELECT FROM WHERE", "CREATE TABLE", ")(", "INSERT INTO"] {
+            let _ = parse(sql);
+        }
+    }
+
+    #[test]
+    fn expr_in_list() {
+        let e = parse_expr_str("role IN ('R1', 'R2')");
+        let Expr::InList { list, negated, .. } = e else { panic!() };
+        assert!(!negated);
+        assert_eq!(list.len(), 2);
+    }
+
+    #[test]
+    fn expr_not_in_and_between() {
+        let e = parse_expr_str("a NOT IN (1,2) AND b BETWEEN 1 AND 10");
+        let Expr::Binary { left, op, right } = e else { panic!() };
+        assert_eq!(op, "AND");
+        assert!(matches!(*left, Expr::InList { negated: true, .. }));
+        assert!(matches!(*right, Expr::Between { negated: false, .. }));
+    }
+
+    #[test]
+    fn expr_is_null() {
+        let e = parse_expr_str("a IS NOT NULL");
+        assert!(matches!(e, Expr::IsNull { negated: true, .. }));
+    }
+
+    #[test]
+    fn expr_concat_operator() {
+        let e = parse_expr_str("first_name || ' ' || last_name");
+        let Expr::Binary { op, .. } = &e else { panic!() };
+        assert_eq!(op, "||");
+    }
+
+    #[test]
+    fn expr_precedence_and_or() {
+        // a = 1 OR b = 2 AND c = 3  →  OR(a=1, AND(b=2, c=3))
+        let e = parse_expr_str("a = 1 OR b = 2 AND c = 3");
+        let Expr::Binary { op, right, .. } = &e else { panic!() };
+        assert_eq!(op, "OR");
+        let Expr::Binary { op: rop, .. } = right.as_ref() else { panic!() };
+        assert_eq!(rop, "AND");
+    }
+
+    #[test]
+    fn expr_exists_subquery() {
+        let e = parse_expr_str("EXISTS (SELECT 1 FROM t WHERE t.id = u.id)");
+        let Expr::Unary { op, expr } = e else { panic!() };
+        assert_eq!(op, "EXISTS");
+        assert!(matches!(*expr, Expr::Subquery(_)));
+    }
+
+    #[test]
+    fn expr_unparseable_falls_back_to_raw() {
+        let e = parse_expr_str("a = = = b ~~~");
+        assert!(matches!(e, Expr::Raw(_)));
+    }
+
+    #[test]
+    fn derived_table_in_from() {
+        let s = sel("SELECT x FROM (SELECT a AS x FROM t) d WHERE x > 1");
+        let f = s.from.as_ref().unwrap();
+        assert!(f.subquery.is_some());
+        assert_eq!(f.alias.as_deref(), Some("d"));
+    }
+
+    #[test]
+    fn distinct_flag() {
+        assert!(sel("SELECT DISTINCT a FROM t").distinct);
+        assert!(!sel("SELECT a FROM t").distinct);
+    }
+}

@@ -1,0 +1,117 @@
+//! Statement splitter.
+//!
+//! Splits a SQL script into individual statements on top of the token
+//! stream, so that semicolons inside string literals, comments, or
+//! dollar-quoted bodies never split a statement.
+
+use crate::lexer::tokenize;
+use crate::token::{Span, Token};
+
+/// One raw statement: its tokens (trivia included) and overall span.
+#[derive(Debug, Clone)]
+pub struct RawStatement {
+    /// All tokens of the statement, excluding the terminating semicolon.
+    pub tokens: Vec<Token>,
+    /// Span covering the statement in the original script.
+    pub span: Span,
+}
+
+impl RawStatement {
+    /// The statement's source text, reconstructed from its tokens.
+    pub fn text(&self) -> String {
+        self.tokens.iter().map(|t| t.text.as_str()).collect()
+    }
+
+    /// Significant (non-trivia) tokens.
+    pub fn significant(&self) -> Vec<&Token> {
+        self.tokens.iter().filter(|t| !t.is_trivia()).collect()
+    }
+
+    /// True if the statement has no significant tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.iter().all(|t| t.is_trivia())
+    }
+}
+
+/// Split a script into statements. Empty statements (runs of trivia between
+/// semicolons) are dropped.
+///
+/// ```
+/// use sqlcheck_parser::splitter::split;
+/// let stmts = split("SELECT 1; SELECT ';'; -- done");
+/// assert_eq!(stmts.len(), 2);
+/// assert_eq!(stmts[1].text().trim(), "SELECT ';'");
+/// ```
+pub fn split(script: &str) -> Vec<RawStatement> {
+    let tokens = tokenize(script);
+    let mut stmts = Vec::new();
+    let mut current: Vec<Token> = Vec::new();
+    for tok in tokens {
+        if tok.is_punct(';') {
+            push_statement(&mut stmts, std::mem::take(&mut current));
+        } else {
+            current.push(tok);
+        }
+    }
+    push_statement(&mut stmts, current);
+    stmts
+}
+
+fn push_statement(out: &mut Vec<RawStatement>, tokens: Vec<Token>) {
+    // Trim leading/trailing trivia but keep interior trivia for lossless text.
+    let first = tokens.iter().position(|t| !t.is_trivia());
+    let Some(first) = first else { return };
+    let last = tokens.iter().rposition(|t| !t.is_trivia()).unwrap();
+    let trimmed: Vec<Token> = tokens[first..=last].to_vec();
+    let span = trimmed
+        .first()
+        .map(|f| f.span.merge(trimmed.last().unwrap().span))
+        .unwrap_or(Span::new(0, 0));
+    out.push(RawStatement { tokens: trimmed, span });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_semicolons() {
+        let stmts = split("CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t");
+        assert_eq!(stmts.len(), 3);
+        assert!(stmts[0].text().starts_with("CREATE"));
+        assert!(stmts[2].text().starts_with("SELECT"));
+    }
+
+    #[test]
+    fn semicolon_in_string_is_not_a_split() {
+        let stmts = split("SELECT 'a;b' FROM t; SELECT 2");
+        assert_eq!(stmts.len(), 2);
+        assert!(stmts[0].text().contains("'a;b'"));
+    }
+
+    #[test]
+    fn semicolon_in_comment_is_not_a_split() {
+        let stmts = split("SELECT 1 -- one; two\n; SELECT 2");
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn empty_statements_dropped() {
+        let stmts = split(";;  ; SELECT 1; ;");
+        assert_eq!(stmts.len(), 1);
+    }
+
+    #[test]
+    fn whole_script_without_semicolon() {
+        let stmts = split("SELECT 1");
+        assert_eq!(stmts.len(), 1);
+        assert_eq!(stmts[0].text(), "SELECT 1");
+    }
+
+    #[test]
+    fn spans_index_into_original(){
+        let script = "SELECT a FROM t;  UPDATE t SET a = 1";
+        let stmts = split(script);
+        assert_eq!(&script[stmts[1].span.start..stmts[1].span.end], "UPDATE t SET a = 1");
+    }
+}

@@ -1,0 +1,247 @@
+//! Token model for the non-validating SQL lexer.
+//!
+//! The lexer is *lossless*: concatenating the `text` of every token in order
+//! reproduces the input byte-for-byte. This property is what lets the
+//! annotation layer and the repair engine operate on a tree while still
+//! being able to fall back to the original SQL text for constructs the
+//! parser does not model (mirroring the paper's use of the non-validating
+//! `sqlparse` library).
+
+use std::fmt;
+
+/// Byte range of a token within the original SQL text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Inclusive start byte offset.
+    pub start: usize,
+    /// Exclusive end byte offset.
+    pub end: usize,
+}
+
+impl Span {
+    /// Create a new span covering `start..end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the span is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    pub fn merge(&self, other: Span) -> Span {
+        Span::new(self.start.min(other.start), self.end.max(other.end))
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// The lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// A recognised SQL keyword (`SELECT`, `FROM`, ...). Keyword matching is
+    /// case-insensitive; the original casing is preserved in the token text.
+    Keyword,
+    /// A bare identifier (table, column, alias, function name, ...).
+    Ident,
+    /// A quoted identifier: `"x"`, `` `x` ``, or `[x]`.
+    QuotedIdent,
+    /// A string literal: `'...'` (with `''` escapes) or dollar-quoted.
+    StringLit,
+    /// A numeric literal: integer, decimal, or scientific notation.
+    NumberLit,
+    /// An operator such as `=`, `<>`, `||`, `::`.
+    Operator,
+    /// Punctuation: `(`, `)`, `,`, `;`, `.`.
+    Punct,
+    /// A bind parameter: `?`, `$1`, `:name`, `%s`, `%(name)s`.
+    Param,
+    /// A `--` line comment or `/* ... */` block comment.
+    Comment,
+    /// Whitespace (spaces, tabs, newlines).
+    Whitespace,
+    /// A byte sequence the lexer could not classify. Never dropped: the
+    /// non-validating contract requires the input to be preserved.
+    Unknown,
+}
+
+/// A single lexed token. Owns its text so that token streams can outlive
+/// the input buffer (statements are routinely stored in the application
+/// context for inter-query analysis).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// Location in the original input.
+    pub span: Span,
+}
+
+impl Token {
+    /// Construct a token.
+    pub fn new(kind: TokenKind, text: impl Into<String>, span: Span) -> Self {
+        Token { kind, text: text.into(), span }
+    }
+
+    /// Uppercased text, used for case-insensitive keyword comparisons.
+    pub fn upper(&self) -> String {
+        self.text.to_ascii_uppercase()
+    }
+
+    /// True if this token is the given keyword (case-insensitive).
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        self.kind == TokenKind::Keyword && self.text.eq_ignore_ascii_case(kw)
+    }
+
+    /// True if this token is the given punctuation character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+
+    /// True if this token is the given operator text.
+    pub fn is_operator(&self, op: &str) -> bool {
+        self.kind == TokenKind::Operator && self.text == op
+    }
+
+    /// True for tokens that carry no syntactic meaning (whitespace/comments).
+    pub fn is_trivia(&self) -> bool {
+        matches!(self.kind, TokenKind::Whitespace | TokenKind::Comment)
+    }
+
+    /// The identifier value with any quoting stripped: `"User"` -> `User`,
+    /// `` `t` `` -> `t`, `[col]` -> `col`. Bare identifiers are returned
+    /// unchanged (original case preserved).
+    pub fn ident_value(&self) -> &str {
+        match self.kind {
+            TokenKind::QuotedIdent => {
+                let t = self.text.as_str();
+                if t.len() >= 2 {
+                    &t[1..t.len() - 1]
+                } else {
+                    t
+                }
+            }
+            _ => self.text.as_str(),
+        }
+    }
+
+    /// The contents of a string literal with quotes stripped and `''`
+    /// unescaped. Returns `None` for non-string tokens.
+    pub fn string_value(&self) -> Option<String> {
+        if self.kind != TokenKind::StringLit {
+            return None;
+        }
+        let t = self.text.as_str();
+        if t.starts_with('\'') && t.ends_with('\'') && t.len() >= 2 {
+            Some(t[1..t.len() - 1].replace("''", "'"))
+        } else if t.starts_with('$') {
+            // dollar-quoted: $tag$...$tag$
+            let close = t[1..].find('$').map(|i| i + 2)?;
+            let tag = &t[..close];
+            Some(t[close..t.len().saturating_sub(tag.len())].to_string())
+        } else {
+            Some(t.to_string())
+        }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// The set of words the lexer classifies as keywords. The list is
+/// intentionally broad (union of common dialects) because the parser is
+/// non-validating: treating a dialect-specific word as a keyword never
+/// rejects a statement, it only enriches the token classification.
+pub const KEYWORDS: &[&str] = &[
+    "ADD", "ALL", "ALTER", "ANALYZE", "AND", "ANY", "AS", "ASC", "AUTOINCREMENT",
+    "AUTO_INCREMENT", "BEGIN", "BETWEEN", "BIGINT", "BLOB", "BOOL", "BOOLEAN", "BY",
+    "CASCADE", "CASE", "CAST", "CHAR", "CHARACTER", "CHECK", "COLLATE", "COLUMN",
+    "COMMIT", "CONCAT", "CONSTRAINT", "CREATE", "CROSS", "CURRENT_DATE",
+    "CURRENT_TIME", "CURRENT_TIMESTAMP", "DATABASE", "DATE", "DATETIME", "DECIMAL",
+    "DEFAULT", "DELETE", "DESC", "DISTINCT", "DOUBLE", "DROP", "ELSE", "END", "ENUM",
+    "ESCAPE", "EXCEPT", "EXISTS", "EXPLAIN", "FALSE", "FLOAT", "FOREIGN", "FROM",
+    "FULL", "FUNCTION", "GLOB", "GRANT", "GROUP", "HAVING", "IF", "ILIKE", "IN",
+    "INDEX", "INNER", "INSERT", "INT", "INTEGER", "INTERSECT", "INTERVAL", "INTO",
+    "IS", "JOIN", "KEY", "LEFT", "LIKE", "LIMIT", "MATERIALIZED", "MEDIUMINT",
+    "MODIFY", "NATURAL", "NOT", "NULL", "NUMERIC", "OFFSET", "ON", "OR", "ORDER",
+    "OUTER", "PRAGMA", "PRECISION", "PRIMARY", "RAND", "RANDOM", "REAL",
+    "REFERENCES", "REGEXP", "RENAME", "REPLACE", "RESTRICT", "REVOKE", "RIGHT",
+    "RLIKE", "ROLLBACK", "ROW", "SELECT", "SERIAL", "SET", "SIMILAR", "SMALLINT",
+    "TABLE", "TEMP", "TEMPORARY", "TEXT", "THEN", "TIME", "TIMESTAMP", "TIMESTAMPTZ",
+    "TINYINT", "TO", "TRANSACTION", "TRIGGER", "TRUE", "TRUNCATE", "UNION", "UNIQUE",
+    "UNSIGNED", "UPDATE", "USING", "VACUUM", "VALUES", "VARCHAR", "VARYING", "VIEW",
+    "WHEN", "WHERE", "WITH", "WITHOUT", "ZONE",
+];
+
+/// Check whether `word` is a SQL keyword (case-insensitive).
+pub fn is_keyword(word: &str) -> bool {
+    let upper = word.to_ascii_uppercase();
+    KEYWORDS.binary_search(&upper.as_str()).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_are_sorted_for_binary_search() {
+        let mut sorted = KEYWORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, KEYWORDS, "KEYWORDS must stay sorted");
+    }
+
+    #[test]
+    fn keyword_lookup_is_case_insensitive() {
+        assert!(is_keyword("select"));
+        assert!(is_keyword("SELECT"));
+        assert!(is_keyword("SeLeCt"));
+        assert!(!is_keyword("tenant"));
+    }
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(2, 5);
+        let b = Span::new(7, 9);
+        assert_eq!(a.merge(b), Span::new(2, 9));
+        assert_eq!(b.merge(a), Span::new(2, 9));
+    }
+
+    #[test]
+    fn quoted_ident_value_strips_quotes() {
+        let t = Token::new(TokenKind::QuotedIdent, "\"User\"", Span::new(0, 6));
+        assert_eq!(t.ident_value(), "User");
+        let t = Token::new(TokenKind::QuotedIdent, "`tbl`", Span::new(0, 5));
+        assert_eq!(t.ident_value(), "tbl");
+        let t = Token::new(TokenKind::QuotedIdent, "[col]", Span::new(0, 5));
+        assert_eq!(t.ident_value(), "col");
+    }
+
+    #[test]
+    fn string_value_unescapes_quotes() {
+        let t = Token::new(TokenKind::StringLit, "'it''s'", Span::new(0, 7));
+        assert_eq!(t.string_value().unwrap(), "it's");
+    }
+
+    #[test]
+    fn is_keyword_helpers() {
+        let t = Token::new(TokenKind::Keyword, "Select", Span::new(0, 6));
+        assert!(t.is_keyword("SELECT"));
+        assert!(!t.is_keyword("FROM"));
+        let p = Token::new(TokenKind::Punct, "(", Span::new(0, 1));
+        assert!(p.is_punct('('));
+    }
+}

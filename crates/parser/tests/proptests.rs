@@ -1,0 +1,66 @@
+//! Property-based tests for the non-validating parser contract.
+
+use proptest::prelude::*;
+use sqlcheck_parser::lexer::tokenize;
+use sqlcheck_parser::parser::{parse, parse_one};
+use sqlcheck_parser::render::ToSql;
+
+proptest! {
+    /// The lexer must be lossless on arbitrary input: the concatenation of
+    /// token texts reproduces the input byte-for-byte, and lexing never
+    /// panics.
+    #[test]
+    fn lexer_is_lossless_on_arbitrary_input(input in ".{0,200}") {
+        let toks = tokenize(&input);
+        let rebuilt: String = toks.iter().map(|t| t.text.as_str()).collect();
+        prop_assert_eq!(rebuilt, input);
+    }
+
+    /// Token spans are contiguous and cover the input exactly.
+    #[test]
+    fn lexer_spans_are_contiguous(input in ".{0,200}") {
+        let toks = tokenize(&input);
+        let mut pos = 0usize;
+        for t in &toks {
+            prop_assert_eq!(t.span.start, pos);
+            pos = t.span.end;
+        }
+        prop_assert_eq!(pos, input.len());
+    }
+
+    /// The parser is total: any input parses without panicking.
+    #[test]
+    fn parser_is_total(input in ".{0,300}") {
+        let _ = parse(&input);
+    }
+
+    /// Rendering a parsed statement and re-parsing it must be stable: the
+    /// second render equals the first (render is a fixpoint after one
+    /// normalisation step).
+    #[test]
+    fn render_is_fixpoint_on_generated_selects(
+        cols in prop::collection::vec("[a-z][a-z0-9_]{0,8}", 1..5),
+        table in "[a-z][a-z0-9_]{0,8}",
+        val in 0i64..1000,
+    ) {
+        let sql = format!(
+            "SELECT {} FROM {} WHERE {} = {}",
+            cols.join(", "), table, cols[0], val
+        );
+        let once = parse_one(&sql).to_sql();
+        let twice = parse_one(&once).to_sql();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Keywords injected between identifiers still produce a total parse
+    /// and a statement tag.
+    #[test]
+    fn statement_tag_is_always_defined(
+        kw in prop::sample::select(vec!["SELECT", "INSERT", "UPDATE", "DELETE", "CREATE", "DROP", "ALTER", "PRAGMA"]),
+        rest in "[ a-z0-9_,()*=']{0,80}",
+    ) {
+        let sql = format!("{kw} {rest}");
+        let p = parse_one(&sql);
+        let _ = p.stmt.tag();
+    }
+}

@@ -1,0 +1,543 @@
+//! The GlobaLeaks evaluation application (§2.1, §8.2).
+//!
+//! The paper recreates GlobaLeaks' schema on PostgreSQL and loads a
+//! synthetic dataset (10M records over 11 tables), then measures each AP's
+//! performance impact by executing query tasks before and after the fix.
+//! This module builds the same application on `minidb` at configurable
+//! scale: an **AP-laden** variant (comma-separated `User_IDs`, CHECK-IN
+//! enum on `Role`, no FK between `Questionnaire` and `Tenant`) and the
+//! **refactored** variant of Fig 2/Fig 5 (the `Hosting` intersection table
+//! and the `Role` lookup table).
+
+use sqlcheck_minidb::prelude::*;
+
+/// Scale knobs for the synthetic dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Number of users.
+    pub users: usize,
+    /// Number of tenants. Each user belongs to `memberships` tenants.
+    pub tenants: usize,
+    /// Tenant memberships per user.
+    pub memberships: usize,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        // Laptop-scale stand-in for the paper's 10M-row deployment.
+        Scale { users: 20_000, tenants: 2_000, memberships: 2, seed: 0x61EA }
+    }
+}
+
+impl Scale {
+    /// A small scale for unit tests.
+    pub fn tiny() -> Self {
+        Scale { users: 200, tenants: 40, memberships: 2, seed: 7 }
+    }
+}
+
+/// Number of distinct roles in the `Role` domain.
+pub const ROLES: usize = 3;
+
+/// The AP-laden GlobaLeaks database (Fig 1): `Tenants.User_IDs` is a
+/// comma-separated list, `Users.Role` is CHECK-IN constrained, and the
+/// remaining application tables carry the paper's other inherent APs.
+pub fn build_ap_database(scale: Scale) -> Database {
+    let mut db = Database::new();
+    let mut rng = SmallRng::new(scale.seed);
+
+    db.create_table(
+        TableSchema::new("Users")
+            .column(Column::new("User_ID", DataType::Text).not_null())
+            .column(Column::new("Name", DataType::Text))
+            .column(Column::new("Role", DataType::Text))
+            .column(Column::new("Email", DataType::Text))
+            .primary_key(&["User_ID"])
+            .check(Check::InList {
+                name: "User_Role_Check".into(),
+                column: "Role".into(),
+                values: (0..ROLES).map(|r| Value::text(format!("R{}", r + 1))).collect(),
+            }),
+    )
+    .unwrap();
+
+    db.create_table(
+        TableSchema::new("Tenants")
+            .column(Column::new("Tenant_ID", DataType::Text).not_null())
+            .column(Column::new("Zone_ID", DataType::Text))
+            .column(Column::new("Active", DataType::Bool))
+            .column(Column::new("User_IDs", DataType::Text)) // the MVA column
+            .primary_key(&["Tenant_ID"]),
+    )
+    .unwrap();
+
+    // No FK from Questionnaire.Tenant_ID → Tenants (Example 3's AP).
+    db.create_table(
+        TableSchema::new("Questionnaire")
+            .column(Column::new("Questionnaire_ID", DataType::Int).not_null())
+            .column(Column::new("Tenant_ID", DataType::Text))
+            .column(Column::new("Name", DataType::Text))
+            .column(Column::new("Editable", DataType::Bool))
+            .primary_key(&["Questionnaire_ID"]),
+    )
+    .unwrap();
+
+    create_common_tables(&mut db);
+
+    // Users.
+    for u in 0..scale.users {
+        db.insert(
+            "Users",
+            vec![
+                Value::text(format!("U{u}")),
+                Value::text(format!("Name{u}")),
+                Value::text(format!("R{}", u % ROLES + 1)),
+                Value::text(format!("user{u}@example.org")),
+            ],
+        )
+        .unwrap();
+    }
+    // Tenants with comma-separated user lists (each user in `memberships`
+    // tenants, assignment derived from the PRNG for irregularity).
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); scale.tenants];
+    for u in 0..scale.users {
+        for _ in 0..scale.memberships {
+            let t = rng.gen_range(scale.tenants);
+            members[t].push(u);
+        }
+    }
+    for (t, users) in members.iter().enumerate() {
+        let list =
+            users.iter().map(|u| format!("U{u}")).collect::<Vec<_>>().join(",");
+        db.insert(
+            "Tenants",
+            vec![
+                Value::text(format!("T{t}")),
+                Value::text(format!("Z{}", t % 10)),
+                Value::Bool(t % 7 != 0),
+                Value::text(list),
+            ],
+        )
+        .unwrap();
+    }
+    // Questionnaires (2 per tenant), some rows dangle (no FK enforcement!).
+    for q in 0..scale.tenants * 2 {
+        let t = if q % 97 == 0 { scale.tenants + q } else { q % scale.tenants };
+        db.insert(
+            "Questionnaire",
+            vec![
+                Value::Int(q as i64),
+                Value::text(format!("T{t}")),
+                Value::text(format!("Q{q}")),
+                Value::Bool(q % 2 == 0),
+            ],
+        )
+        .unwrap();
+    }
+    fill_common_tables(&mut db, scale);
+    db
+}
+
+/// The refactored database (Fig 2 + Fig 5): `Hosting` intersection table,
+/// `Role` lookup table with integer FK, declared FKs, and supporting
+/// indexes.
+pub fn build_fixed_database(scale: Scale) -> Database {
+    let mut db = Database::new();
+    let mut rng = SmallRng::new(scale.seed);
+
+    db.create_table(
+        TableSchema::new("Role")
+            .column(Column::new("Role_ID", DataType::Int).not_null())
+            .column(Column::new("Role_Name", DataType::Text).not_null())
+            .primary_key(&["Role_ID"]),
+    )
+    .unwrap();
+    for r in 0..ROLES {
+        db.insert("Role", vec![Value::Int(r as i64 + 1), Value::text(format!("R{}", r + 1))])
+            .unwrap();
+    }
+
+    db.create_table(
+        TableSchema::new("Users")
+            .column(Column::new("User_ID", DataType::Text).not_null())
+            .column(Column::new("Name", DataType::Text))
+            .column(Column::new("Role", DataType::Int))
+            .column(Column::new("Email", DataType::Text))
+            .primary_key(&["User_ID"])
+            .foreign_key(ForeignKey {
+                name: "fk_user_role".into(),
+                columns: vec!["Role".into()],
+                ref_table: "Role".into(),
+                ref_columns: vec!["Role_ID".into()],
+                on_delete_cascade: false,
+            }),
+    )
+    .unwrap();
+
+    db.create_table(
+        TableSchema::new("Tenants")
+            .column(Column::new("Tenant_ID", DataType::Text).not_null())
+            .column(Column::new("Zone_ID", DataType::Text))
+            .column(Column::new("Active", DataType::Bool))
+            .primary_key(&["Tenant_ID"]),
+    )
+    .unwrap();
+
+    db.create_table(
+        TableSchema::new("Hosting")
+            .column(Column::new("User_ID", DataType::Text).not_null())
+            .column(Column::new("Tenant_ID", DataType::Text).not_null())
+            .primary_key(&["User_ID", "Tenant_ID"])
+            .foreign_key(ForeignKey {
+                name: "fk_hosting_user".into(),
+                columns: vec!["User_ID".into()],
+                ref_table: "Users".into(),
+                ref_columns: vec!["User_ID".into()],
+                on_delete_cascade: true,
+            })
+            .foreign_key(ForeignKey {
+                name: "fk_hosting_tenant".into(),
+                columns: vec!["Tenant_ID".into()],
+                ref_table: "Tenants".into(),
+                ref_columns: vec!["Tenant_ID".into()],
+                on_delete_cascade: true,
+            }),
+    )
+    .unwrap();
+
+    db.create_table(
+        TableSchema::new("Questionnaire")
+            .column(Column::new("Questionnaire_ID", DataType::Int).not_null())
+            .column(Column::new("Tenant_ID", DataType::Text))
+            .column(Column::new("Name", DataType::Text))
+            .column(Column::new("Editable", DataType::Bool))
+            .primary_key(&["Questionnaire_ID"])
+            .foreign_key(ForeignKey {
+                name: "fk_q_tenant".into(),
+                columns: vec!["Tenant_ID".into()],
+                ref_table: "Tenants".into(),
+                ref_columns: vec!["Tenant_ID".into()],
+                on_delete_cascade: false,
+            }),
+    )
+    .unwrap();
+
+    create_common_tables(&mut db);
+
+    for u in 0..scale.users {
+        db.insert(
+            "Users",
+            vec![
+                Value::text(format!("U{u}")),
+                Value::text(format!("Name{u}")),
+                Value::Int((u % ROLES) as i64 + 1),
+                Value::text(format!("user{u}@example.org")),
+            ],
+        )
+        .unwrap();
+    }
+    for t in 0..scale.tenants {
+        db.insert(
+            "Tenants",
+            vec![
+                Value::text(format!("T{t}")),
+                Value::text(format!("Z{}", t % 10)),
+                Value::Bool(t % 7 != 0),
+            ],
+        )
+        .unwrap();
+    }
+    // Hosting rows — same membership distribution as the AP variant.
+    let mut seen = std::collections::HashSet::new();
+    for u in 0..scale.users {
+        for _ in 0..scale.memberships {
+            let t = rng.gen_range(scale.tenants);
+            if seen.insert((u, t)) {
+                db.insert(
+                    "Hosting",
+                    vec![Value::text(format!("U{u}")), Value::text(format!("T{t}"))],
+                )
+                .unwrap();
+            }
+        }
+    }
+    // Index on the Hosting join columns (User_ID is the PK prefix; add a
+    // standalone index on Tenant_ID for task #2).
+    db.table_mut("Hosting").unwrap().create_index("idx_hosting_tenant", &["Tenant_ID"], false).unwrap();
+    for q in 0..scale.tenants * 2 {
+        db.insert(
+            "Questionnaire",
+            vec![
+                Value::Int(q as i64),
+                Value::text(format!("T{}", q % scale.tenants)),
+                Value::text(format!("Q{q}")),
+                Value::Bool(q % 2 == 0),
+            ],
+        )
+        .unwrap();
+    }
+    fill_common_tables(&mut db, scale);
+    db
+}
+
+/// The remaining application tables (the paper's deployment spans 11
+/// tables); content is incidental to the experiments but gives the data
+/// analyzer realistic surface.
+fn create_common_tables(db: &mut Database) {
+    for (name, extra) in [
+        ("Submission", Column::new("Payload", DataType::Text)),
+        ("Receiver", Column::new("Address", DataType::Text)),
+        ("Context", Column::new("Description", DataType::Text)),
+        ("InternalFile", Column::new("File_Path", DataType::Text)),
+        ("Comment", Column::new("Body", DataType::Text)),
+        ("Message", Column::new("Body", DataType::Text)),
+    ] {
+        db.create_table(
+            TableSchema::new(name)
+                .column(Column::new("ID", DataType::Int).not_null())
+                .column(Column::new("Created_At", DataType::Timestamp))
+                .column(extra)
+                .primary_key(&["ID"]),
+        )
+        .unwrap();
+    }
+}
+
+fn fill_common_tables(db: &mut Database, scale: Scale) {
+    let n = (scale.users / 10).max(10);
+    for i in 0..n {
+        for name in ["Submission", "Receiver", "Context", "InternalFile", "Comment", "Message"] {
+            let extra = match name {
+                "InternalFile" => Value::text(format!("/var/globaleaks/files/{i}.bin")),
+                "Receiver" => Value::text(format!("{i} Liberty Ave, Floor {}", i % 5)),
+                _ => Value::text(format!("payload {i}")),
+            };
+            db.insert(name, vec![Value::Int(i as i64), Value::Timestamp(i as i64 * 1000), extra])
+                .unwrap();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The paper's query tasks (§2.1) as physical plans on each variant.
+// ---------------------------------------------------------------------------
+
+/// Task #1 (AP): tenants a user belongs to, via word-boundary LIKE on the
+/// comma-separated list. Full scan + pattern match per row.
+pub fn task1_ap(db: &Database, user: &str) -> Vec<Row> {
+    let tenants = db.table("Tenants").unwrap();
+    let uid_col = tenants.schema.column_index("User_IDs").unwrap();
+    let pattern = format!("[[:<:]]{user}[[:>:]]");
+    let pred = PExpr::Like(
+        Box::new(PExpr::Col(uid_col)),
+        Box::new(PExpr::Const(Value::text(pattern))),
+    );
+    seq_scan_filter(tenants, &pred)
+}
+
+/// Task #1 (fixed): index lookup on `Hosting.User_ID`, join to `Tenants`.
+pub fn task1_fixed(db: &Database, user: &str) -> Vec<Row> {
+    let hosting = db.table("Hosting").unwrap();
+    let tenants = db.table("Tenants").unwrap();
+    let mut out = Vec::new();
+    let pkey = hosting.index("Hosting_pkey").unwrap();
+    // PK is (User_ID, Tenant_ID) — range scan on the User_ID prefix.
+    let lo = IndexKey(vec![Value::text(user), Value::text("")]);
+    let hi = IndexKey(vec![Value::text(user), Value::text("\u{10FFFF}")]);
+    for rid in pkey.range(Some(&lo), Some(&hi)) {
+        let hrow = hosting.get(rid).unwrap();
+        let tid = &hrow[1];
+        let tkey = tenants.index("Tenants_pkey").unwrap();
+        for &trid in tkey.lookup_value(tid) {
+            let mut row = hrow.clone();
+            row.extend(tenants.get(trid).unwrap().iter().cloned());
+            out.push(row);
+        }
+    }
+    out
+}
+
+/// Task #2 (AP): users served by a tenant — the LIKE expression join.
+pub fn task2_ap(db: &Database, tenant: &str) -> Vec<Row> {
+    let tenants = db.table("Tenants").unwrap();
+    let users = db.table("Users").unwrap();
+    let tid_col = tenants.schema.column_index("Tenant_ID").unwrap();
+    let uid_list_col = tenants.schema.column_index("User_IDs").unwrap();
+    let tenant_arity = tenants.schema.arity();
+    // ON t.User_IDs LIKE '[[:<:]]' || u.User_ID || '[[:>:]]'
+    let pattern = PExpr::Concat(
+        Box::new(PExpr::Concat(
+            Box::new(PExpr::Const(Value::text("[[:<:]]"))),
+            Box::new(PExpr::Col(tenant_arity)), // Users.User_ID in combined row
+        )),
+        Box::new(PExpr::Const(Value::text("[[:>:]]"))),
+    );
+    let on = PExpr::And(
+        Box::new(PExpr::Like(Box::new(PExpr::Col(uid_list_col)), Box::new(pattern))),
+        Box::new(PExpr::col_eq(tid_col, Value::text(tenant))),
+    );
+    nested_loop_join(tenants, users, &on)
+}
+
+/// Task #2 (fixed): index probe on `Hosting.Tenant_ID`, then PK lookups
+/// into `Users`.
+pub fn task2_fixed(db: &Database, tenant: &str) -> Vec<Row> {
+    let hosting = db.table("Hosting").unwrap();
+    let users = db.table("Users").unwrap();
+    let idx = hosting.index("idx_hosting_tenant").unwrap();
+    let ukey = users.index("Users_pkey").unwrap();
+    let mut out = Vec::new();
+    for &rid in idx.lookup_value(&Value::text(tenant)) {
+        let hrow = hosting.get(rid).unwrap();
+        for &urid in ukey.lookup_value(&hrow[0]) {
+            let mut row = hrow.clone();
+            row.extend(users.get(urid).unwrap().iter().cloned());
+            out.push(row);
+        }
+    }
+    out
+}
+
+/// Task #3 (AP): remove a deleted user from every tenant's list — string
+/// surgery over a full scan (the §5.1 data-integrity example).
+pub fn task3_ap(db: &mut Database, user: &str) -> usize {
+    let tenants = db.table("Tenants").unwrap();
+    let uid_col = tenants.schema.column_index("User_IDs").unwrap();
+    let needle = format!("[[:<:]]{user}[[:>:]]");
+    let victims: Vec<(RowId, String)> = tenants
+        .scan()
+        .filter_map(|(rid, row)| {
+            row[uid_col].as_str().and_then(|s| {
+                like_match(s, &needle).then(|| (rid, s.to_string()))
+            })
+        })
+        .collect();
+    let n = victims.len();
+    let table = db.table_mut("Tenants").unwrap();
+    for (rid, list) in victims {
+        let new_list: String = list
+            .split(',')
+            .filter(|t| *t != user)
+            .collect::<Vec<_>>()
+            .join(",");
+        let mut row = table.get(rid).unwrap().clone();
+        row[uid_col] = Value::text(new_list);
+        table.update_row(rid, row).unwrap();
+    }
+    n
+}
+
+/// Task #3 (fixed): delete the user's `Hosting` rows via the PK index.
+pub fn task3_fixed(db: &mut Database, user: &str) -> usize {
+    let hosting = db.table_mut("Hosting").unwrap();
+    let pkey = hosting.index("Hosting_pkey").unwrap();
+    let lo = IndexKey(vec![Value::text(user), Value::text("")]);
+    let hi = IndexKey(vec![Value::text(user), Value::text("\u{10FFFF}")]);
+    let rids = pkey.range(Some(&lo), Some(&hi));
+    let n = rids.len();
+    for rid in rids {
+        hosting.delete_row(rid).unwrap();
+    }
+    n
+}
+
+/// The application's SQL trace (schema + representative queries), used to
+/// run the sqlcheck pipeline against GlobaLeaks (Table 4's first row: 10
+/// APs detected).
+pub fn sql_trace() -> String {
+    r#"
+CREATE TABLE Users (User_ID VARCHAR(10) PRIMARY KEY, Name TEXT, Role VARCHAR(5), Email TEXT, CHECK (Role IN ('R1','R2','R3')));
+CREATE TABLE Tenants (Tenant_ID VARCHAR(10) PRIMARY KEY, Zone_ID VARCHAR(30), Active BOOLEAN, User_IDs TEXT);
+CREATE TABLE Questionnaire (Questionnaire_ID INTEGER PRIMARY KEY, Tenant_ID VARCHAR(10), Name VARCHAR(30), Editable BOOLEAN);
+CREATE TABLE Submission (ID INTEGER PRIMARY KEY, Created_At TIMESTAMP, Payload TEXT);
+CREATE TABLE InternalFile (ID INTEGER PRIMARY KEY, Created_At TIMESTAMP, File_Path TEXT);
+CREATE INDEX idx_zone_actv ON Tenants (Zone_ID, Active);
+CREATE INDEX idx_zone ON Tenants (Zone_ID);
+CREATE INDEX idx_actv ON Tenants (Active);
+SELECT * FROM Tenants WHERE User_IDs LIKE '[[:<:]]U1[[:>:]]';
+SELECT * FROM Tenants AS t JOIN Users AS u ON t.User_IDs LIKE '[[:<:]]' || u.User_ID || '[[:>:]]' WHERE t.Tenant_ID = 'T1';
+SELECT q.Name, q.Editable, t.Active FROM Questionnaire q JOIN Tenants t ON t.Tenant_ID = q.Tenant_ID WHERE q.Editable = true;
+SELECT Tenant_ID FROM Tenants WHERE Zone_ID = 'Z1' AND Active = true;
+INSERT INTO Tenants VALUES ('T1', 'Z1', true, 'U1,U2');
+UPDATE Tenants SET User_IDs = REPLACE(User_IDs, ',u1', '') WHERE User_IDs LIKE '%u1%';
+SELECT * FROM Submission ORDER BY RAND();
+SELECT DISTINCT t.Zone_ID FROM Tenants t JOIN Questionnaire q ON q.Tenant_ID = t.Tenant_ID;
+"#
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ap_and_fixed_tasks_agree_on_results() {
+        let scale = Scale::tiny();
+        let ap = build_ap_database(scale);
+        let fixed = build_fixed_database(scale);
+        // Same membership distribution ⇒ same answer cardinalities.
+        for user in ["U1", "U17", "U42"] {
+            let a = task1_ap(&ap, user).len();
+            let f = task1_fixed(&fixed, user).len();
+            assert_eq!(a, f, "task1 cardinality for {user}");
+        }
+        for tenant in ["T1", "T5"] {
+            let a = task2_ap(&ap, tenant).len();
+            let f = task2_fixed(&fixed, tenant).len();
+            assert_eq!(a, f, "task2 cardinality for {tenant}");
+        }
+    }
+
+    #[test]
+    fn task3_removes_user_everywhere() {
+        let scale = Scale::tiny();
+        let mut ap = build_ap_database(scale);
+        let mut fixed = build_fixed_database(scale);
+        let n_ap = task3_ap(&mut ap, "U3");
+        let n_fixed = task3_fixed(&mut fixed, "U3");
+        assert_eq!(n_ap, n_fixed, "same memberships removed");
+        assert!(task1_ap(&ap, "U3").is_empty());
+        assert!(task1_fixed(&fixed, "U3").is_empty());
+    }
+
+    #[test]
+    fn trace_detects_the_inherent_aps() {
+        use sqlcheck::{AntiPatternKind, ContextBuilder, Detector};
+        let ctx = ContextBuilder::new().add_script(&sql_trace()).build();
+        let report = Detector::default().detect(&ctx);
+        let kinds = report.kinds();
+        for expected in [
+            AntiPatternKind::MultiValuedAttribute,
+            AntiPatternKind::EnumeratedTypes,
+            AntiPatternKind::NoForeignKey,
+            AntiPatternKind::IndexOveruse,
+            AntiPatternKind::ColumnWildcard,
+            AntiPatternKind::OrderingByRand,
+            AntiPatternKind::ImplicitColumns,
+            AntiPatternKind::ExternalDataStorage,
+            AntiPatternKind::MissingTimezone,
+            AntiPatternKind::PatternMatching,
+        ] {
+            assert!(kinds.contains(&expected), "missing {expected} in {kinds:?}");
+        }
+        assert!(kinds.len() >= 10, "GlobaLeaks inherently carries ≥10 AP kinds");
+    }
+
+    #[test]
+    fn dangling_questionnaires_exist_in_ap_variant() {
+        let ap = build_ap_database(Scale::tiny());
+        let q = ap.table("Questionnaire").unwrap();
+        let t = ap.table("Tenants").unwrap();
+        let tenant_ids: std::collections::HashSet<String> = t
+            .scan()
+            .map(|(_, r)| r[0].as_str().unwrap().to_string())
+            .collect();
+        let dangling = q
+            .scan()
+            .filter(|(_, r)| !tenant_ids.contains(r[1].as_str().unwrap()))
+            .count();
+        assert!(dangling > 0, "no FK ⇒ dangling references accumulate");
+    }
+}

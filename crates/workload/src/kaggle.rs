@@ -1,0 +1,296 @@
+//! The 31 Kaggle databases (§8.4 data analysis, Appendix A / Table 6).
+//!
+//! The paper downloads 31 SQLite databases from Kaggle and applies only
+//! sqlcheck's data-analysis rules (no queries). Each entry in [`SPECS`]
+//! mirrors one Table 6 row: the database name and the AP kinds the paper
+//! reports for it. The builder materialises a `minidb` database whose
+//! *data* genuinely exhibits those APs, so detection exercises the same
+//! code path as the paper's experiment.
+
+use sqlcheck::AntiPatternKind;
+use sqlcheck_minidb::prelude::*;
+
+/// One Table 6 database specification.
+#[derive(Debug, Clone, Copy)]
+pub struct KaggleSpec {
+    /// Database name as listed in Table 6.
+    pub name: &'static str,
+    /// AP kinds Table 6 reports for it.
+    pub aps: &'static [AntiPatternKind],
+    /// Total AP count Table 6 reports for it.
+    pub count: usize,
+}
+
+use AntiPatternKind::*;
+
+/// The 31 databases of Table 6 with their reported AP kinds.
+pub const SPECS: &[KaggleSpec] = &[
+    KaggleSpec { name: "Board Games", aps: &[NoPrimaryKey, DataInMetadata, IncorrectDataType] , count: 12 },
+    KaggleSpec { name: "Pennsylvania Safe Schools Report", aps: &[NoPrimaryKey] , count: 1 },
+    KaggleSpec {
+        name: "Soccer Dataset",
+        aps: &[GenericPrimaryKey, DataInMetadata, MissingTimezone, MultiValuedAttribute],
+        count: 20,
+    },
+    KaggleSpec {
+        name: "SF Bay Area Bike Share",
+        aps: &[NoPrimaryKey, GenericPrimaryKey, IncorrectDataType, MissingTimezone, DenormalizedTable],
+        count: 11,
+    },
+    KaggleSpec { name: "US Baby Names", aps: &[GenericPrimaryKey] , count: 2 },
+    KaggleSpec {
+        name: "Pitchfork Music Data",
+        aps: &[NoPrimaryKey, MissingTimezone, InformationDuplication, DenormalizedTable],
+        count: 10,
+    },
+    KaggleSpec {
+        name: "Acad. Research from Indian Univ.",
+        aps: &[NoPrimaryKey, IncorrectDataType, RedundantColumn, MultiValuedAttribute],
+        count: 17,
+    },
+    KaggleSpec { name: "What.CD HipHop", aps: &[NoPrimaryKey, MultiValuedAttribute] , count: 3 },
+    KaggleSpec { name: "Snap Meme-Tracker", aps: &[MissingTimezone] , count: 1 },
+    KaggleSpec { name: "NIPS papers", aps: &[GenericPrimaryKey, DenormalizedTable] , count: 4 },
+    KaggleSpec { name: "US Wildfires", aps: &[NoPrimaryKey, RedundantColumn] , count: 2 },
+    KaggleSpec { name: "Que from crossvalidated StackExc", aps: &[NoPrimaryKey] , count: 3 },
+    KaggleSpec {
+        name: "The History of Baseball",
+        aps: &[NoPrimaryKey, DataInMetadata, IncorrectDataType, MultiValuedAttribute],
+        count: 41,
+    },
+    KaggleSpec { name: "Twitter US Airline Sentiment", aps: &[DenormalizedTable] , count: 2 },
+    KaggleSpec { name: "Hilary Clinton Emails", aps: &[GenericPrimaryKey, IncorrectDataType] , count: 8 },
+    KaggleSpec { name: "SEPTA - Regional Rail", aps: &[IncorrectDataType, MissingTimezone] , count: 2 },
+    KaggleSpec {
+        name: "US Consumer finance Complaints",
+        aps: &[NoPrimaryKey, IncorrectDataType, MultiValuedAttribute, DenormalizedTable],
+        count: 9,
+    },
+    KaggleSpec { name: "1st GOP Debate Twitter Sentiment", aps: &[GenericPrimaryKey] , count: 1 },
+    KaggleSpec { name: "SF Salaries", aps: &[GenericPrimaryKey, DenormalizedTable] , count: 2 },
+    KaggleSpec {
+        name: "Freight Matrix Transportation",
+        aps: &[NoPrimaryKey, DataInMetadata, RedundantColumn],
+        count: 5,
+    },
+    KaggleSpec { name: "WDIdata", aps: &[NoPrimaryKey, MultiValuedAttribute] , count: 9 },
+    KaggleSpec { name: "Amazon Movie Reviews Dataset", aps: &[NoPrimaryKey, MultiValuedAttribute] , count: 2 },
+    KaggleSpec { name: "UK Arms Export License", aps: &[NoPrimaryKey] , count: 3 },
+    KaggleSpec { name: "Amazon Fine Food Reviews", aps: &[GenericPrimaryKey] , count: 1 },
+    KaggleSpec { name: "Stackoverflow Question Favourites", aps: &[MultiValuedAttribute] , count: 1 },
+    KaggleSpec { name: "Iron March", aps: &[RedundantColumn] , count: 1 },
+    KaggleSpec { name: "C# Methods with Doc. Comments", aps: &[GenericPrimaryKey] , count: 4 },
+    KaggleSpec {
+        name: "Pesticide Data Program",
+        aps: &[NoPrimaryKey, IncorrectDataType, RedundantColumn],
+        count: 13,
+    },
+    KaggleSpec {
+        name: "Monty Python Flying Circus",
+        aps: &[NoPrimaryKey, MissingTimezone, DenormalizedTable],
+        count: 4,
+    },
+    KaggleSpec { name: "Twitter Conv. about Black Panther", aps: &[] , count: 0 },
+    KaggleSpec {
+        name: "2016 US Election",
+        aps: &[NoPrimaryKey, DataInMetadata, DenormalizedTable],
+        count: 6,
+    },
+];
+
+/// Rows per generated table.
+pub const ROWS: usize = 400;
+
+/// Build the database for one spec. Every listed AP is physically present
+/// in the data; a clean companion table keeps the database from being
+/// pure pathology.
+pub fn build(spec: &KaggleSpec, seed: u64) -> Database {
+    let mut db = Database::new();
+    let mut rng = SmallRng::new(seed ^ KAGGLE_SEED_SALT);
+    // Real Kaggle databases spread their APs over several tables; the
+    // Table 6 `count` column drives how many AP-bearing tables we build so
+    // per-database totals land near the paper's.
+    let replicas = spec.count.div_ceil(spec.aps.len().max(1) * 2).max(1);
+    const SEGMENTS: &[&str] = &[
+        "main_data", "season_stats", "player_info", "match_log", "venue_facts",
+        "meta_notes", "extra_attrs", "audit_trail", "raw_feed", "summary_view",
+        "lineup_data", "region_facts",
+    ];
+    for r in 0..replicas.min(SEGMENTS.len()) {
+        build_segment(&mut db, spec, SEGMENTS[r], &mut rng);
+    }
+    let has = |k: AntiPatternKind| spec.aps.contains(&k);
+
+    // When a database exhibits BOTH No Primary Key and Generic Primary
+    // Key (real Kaggle databases have many tables), a second key-less
+    // table carries the former.
+    if has(NoPrimaryKey) && has(GenericPrimaryKey) {
+        db.create_table(
+            TableSchema::new("raw_import")
+                .column(Column::new("line_no", DataType::Int))
+                .column(Column::new("content", DataType::Text)),
+        )
+        .unwrap();
+        for i in 0..50 {
+            db.insert("raw_import", vec![Value::Int(i), Value::text(format!("row {i}"))])
+                .unwrap();
+        }
+    }
+
+    // Clean companion table.
+    db.create_table(
+        TableSchema::new("source_info")
+            .column(Column::new("source_key", DataType::Int).not_null())
+            .column(Column::new("url", DataType::Text))
+            .primary_key(&["source_key"]),
+    )
+    .unwrap();
+    for i in 0..10 {
+        db.insert(
+            "source_info",
+            vec![Value::Int(i), Value::text(format!("https://kaggle.com/ds/{i}"))],
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// Build one AP-bearing table into `db`.
+fn build_segment(db: &mut Database, spec: &KaggleSpec, table_name: &str, rng: &mut SmallRng) {
+    let has = |k: AntiPatternKind| spec.aps.contains(&k);
+
+    // Main table: columns assembled from the AP list.
+    let mut schema = TableSchema::new(table_name);
+    let mut pk_cols: Vec<&str> = Vec::new();
+    if has(GenericPrimaryKey) {
+        schema = schema.column(Column::new("id", DataType::Int).not_null());
+        pk_cols.push("id");
+    } else if !has(NoPrimaryKey) {
+        schema = schema.column(Column::new("record_key", DataType::Int).not_null());
+        pk_cols.push("record_key");
+    } else {
+        schema = schema.column(Column::new("seq", DataType::Int).not_null());
+        // no PK declared
+    }
+    schema = schema.column(Column::new("title", DataType::Text));
+    if has(DataInMetadata) {
+        for i in 1..=3 {
+            schema = schema.column(Column::new(format!("stat{i}"), DataType::Float));
+        }
+    }
+    if has(IncorrectDataType) {
+        schema = schema.column(Column::new("year", DataType::Text));
+    }
+    if has(MissingTimezone) {
+        schema = schema.column(Column::new("recorded_at", DataType::Timestamp));
+    }
+    if has(MultiValuedAttribute) {
+        schema = schema.column(Column::new("member_ids", DataType::Text));
+    }
+    if has(DenormalizedTable) {
+        schema = schema.column(Column::new("team_name", DataType::Text));
+    }
+    if has(InformationDuplication) {
+        schema = schema
+            .column(Column::new("birth_date", DataType::Timestamp).with_timezone())
+            .column(Column::new("age", DataType::Int));
+    }
+    if has(RedundantColumn) {
+        schema = schema.column(Column::new("locale", DataType::Text));
+    }
+    if has(NoDomainConstraint) {
+        schema = schema.column(Column::new("rating", DataType::Int));
+    }
+    if !pk_cols.is_empty() {
+        schema = schema.primary_key(&pk_cols);
+    }
+    let arity = schema.columns.len();
+    let col_names: Vec<String> = schema.columns.iter().map(|c| c.name.clone()).collect();
+    db.create_table(schema).unwrap();
+
+    for i in 0..ROWS {
+        let mut row: Row = Vec::with_capacity(arity);
+        for name in &col_names {
+            row.push(synth_value(name, i, rng));
+        }
+        db.insert(table_name, row).unwrap();
+    }
+}
+
+const KAGGLE_SEED_SALT: u64 = 0x4B41_4747_4C45;
+
+fn synth_value(col: &str, i: usize, rng: &mut SmallRng) -> Value {
+    match col {
+        "id" | "record_key" | "seq" => Value::Int(i as i64),
+        "title" => Value::text(format!("entry number {i} ({})", rng.gen_range(10_000))),
+        "year" => Value::text(format!("{}", 1990 + i % 30)),
+        "recorded_at" => Value::Timestamp(1_500_000_000_000 + i as i64 * 60_000),
+        "member_ids" => {
+            let a = rng.gen_range(500);
+            let b = rng.gen_range(500);
+            Value::text(format!("M{a},M{b},M{}", rng.gen_range(500)))
+        }
+        "team_name" => Value::text(format!("team_{}", i % 25)),
+        "birth_date" => Value::Timestamp(600_000_000_000 + (i as i64 % 40) * 31_536_000_000),
+        "age" => Value::Int(20 + (i as i64 % 40)),
+        "locale" => Value::text("en-us"),
+        "rating" => Value::Int(1 + (i as i64 % 5)),
+        s if s.starts_with("stat") => Value::Float(rng.gen_range(1000) as f64 / 10.0),
+        _ => Value::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlcheck::{ContextBuilder, DataAnalysisConfig, Detector};
+
+    #[test]
+    fn thirty_one_specs() {
+        assert_eq!(SPECS.len(), 31);
+    }
+
+    #[test]
+    fn every_spec_builds_and_detects_its_aps() {
+        for (i, spec) in SPECS.iter().enumerate() {
+            let db = build(spec, i as u64);
+            let ctx = ContextBuilder::new()
+                .with_database(db, DataAnalysisConfig::default())
+                .build();
+            let report = Detector::default().detect(&ctx);
+            let kinds = report.kinds();
+            for expected in spec.aps {
+                // DataInMetadata columns carry FLOAT stats → RoundingErrors
+                // may also fire; we only require the *listed* kinds appear.
+                assert!(
+                    kinds.contains(expected),
+                    "{}: expected {expected}, got {kinds:?}",
+                    spec.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clean_spec_reports_nothing_listed() {
+        // "Twitter Conv. about Black Panther" has zero APs in Table 6; the
+        // builder must not inject data APs into it.
+        let spec = SPECS.iter().find(|s| s.aps.is_empty()).unwrap();
+        let db = build(spec, 30);
+        let ctx = ContextBuilder::new()
+            .with_database(db, DataAnalysisConfig::default())
+            .build();
+        let report = Detector::default().detect(&ctx);
+        use AntiPatternKind::*;
+        for k in [NoPrimaryKey, MultiValuedAttribute, RedundantColumn, MissingTimezone] {
+            assert_eq!(report.count(k), 0, "unexpected {k}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = build(&SPECS[0], 0);
+        let b = build(&SPECS[0], 0);
+        assert_eq!(a.total_rows(), b.total_rows());
+    }
+}

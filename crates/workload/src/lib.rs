@@ -1,0 +1,25 @@
+//! # sqlcheck-workload
+//!
+//! Seeded, labelled evaluation workloads reproducing the SQLCheck paper's
+//! experimental inputs:
+//!
+//! * [`github`] — the 1406-repository embedded-SQL corpus of §8.1, with
+//!   ground-truth labels so precision/recall (Table 2) is computable;
+//! * [`globaleaks`] — the GlobaLeaks application of §2.1/§8.2: AP-laden
+//!   and refactored database variants plus the paper's query tasks
+//!   (Fig 3) and its SQL trace;
+//! * [`kaggle`] — the 31 Kaggle databases of Table 6 for data-analysis-
+//!   only detection (Table 5);
+//! * [`django`] — the 15 Django applications of Table 7 (Table 4);
+//! * [`user_study`] — the 23-participant study of §8.3.
+//!
+//! Every generator is deterministic given its seed, so experiment output
+//! is reproducible run-to-run.
+
+#![warn(missing_docs)]
+
+pub mod django;
+pub mod github;
+pub mod globaleaks;
+pub mod kaggle;
+pub mod user_study;

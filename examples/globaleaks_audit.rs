@@ -1,0 +1,58 @@
+//! Audit the GlobaLeaks application end-to-end (the paper's §2.1 case
+//! study): build the AP-laden deployment, attach its live database for
+//! data analysis, rank the findings under both Fig 7a weight
+//! configurations, and print the suggested fixes — then demonstrate the
+//! measured speedup of applying the multi-valued-attribute fix.
+//!
+//! ```text
+//! cargo run --release --example globaleaks_audit
+//! ```
+
+use sqlcheck::{RankWeights, SqlCheck};
+use sqlcheck_minidb::engine::timed;
+use sqlcheck_workload::globaleaks::*;
+
+fn main() {
+    let scale = Scale { users: 5_000, tenants: 500, memberships: 2, seed: 0x61EA };
+    println!("building GlobaLeaks deployment ({} users, {} tenants)...", scale.users, scale.tenants);
+    let db = build_ap_database(scale);
+
+    // Detect + rank + fix, with the database attached (data analysis on).
+    let outcome = SqlCheck::new()
+        .with_weights(RankWeights::C1)
+        .with_database(db.clone())
+        .check_script(&sql_trace());
+
+    println!("\n=== ranked anti-patterns (C1: read-heavy weights) ===");
+    print!("{}", outcome.summary());
+
+    let outcome_c2 = SqlCheck::new()
+        .with_weights(RankWeights::C2)
+        .with_database(db.clone())
+        .check_script(&sql_trace());
+    println!("\n=== top-5 under C2 (hybrid weights) — note the reordering ===");
+    for (i, r) in outcome_c2.ranked.iter().take(5).enumerate() {
+        println!("{:>3}. [{:.3}] {} @ {}", i + 1, r.score, r.detection.kind, r.detection.locus);
+    }
+
+    // Show the fix paying off: Task #1 before and after refactoring.
+    println!("\n=== applying the MVA fix: Task #1 before/after ===");
+    let fixed = build_fixed_database(scale);
+    let (rows_ap, d_ap) = timed(|| task1_ap(&db, "U7"));
+    let (rows_fixed, d_fixed) = timed(|| task1_fixed(&fixed, "U7"));
+    assert_eq!(rows_ap.len(), rows_fixed.len());
+    println!(
+        "  AP (LIKE scan):     {:>10.6}s  ({} rows)",
+        d_ap.as_secs_f64(),
+        rows_ap.len()
+    );
+    println!(
+        "  fixed (index join): {:>10.6}s  ({} rows)",
+        d_fixed.as_secs_f64(),
+        rows_fixed.len()
+    );
+    println!(
+        "  speedup: {:.0}x  (paper: 636x at 10M rows on PostgreSQL)",
+        d_ap.as_secs_f64() / d_fixed.as_secs_f64().max(1e-9)
+    );
+}

@@ -1,0 +1,32 @@
+//! Quickstart: the paper's §7 interactive-shell workflow in Rust.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use sqlcheck::{find_anti_patterns, SqlCheck};
+
+fn main() {
+    // One-shot API — the paper's `find_anti_patterns(query)`:
+    let query = "INSERT INTO Users VALUES (1, 'foo')";
+    println!("query: {query}\n");
+    for d in find_anti_patterns(query) {
+        println!("  -> {d}");
+    }
+
+    // The full pipeline over a small script: detect, rank, fix.
+    let script = "
+        CREATE TABLE Users (
+            User_ID VARCHAR(10) PRIMARY KEY,
+            Name TEXT,
+            Role VARCHAR(5),
+            password VARCHAR(64),
+            CHECK (Role IN ('R1','R2','R3'))
+        );
+        SELECT * FROM Users WHERE Name LIKE '%smith%';
+        INSERT INTO Users VALUES ('U1', 'Smith', 'R1', 'hunter2');
+    ";
+    println!("\nfull pipeline:\n");
+    let outcome = SqlCheck::new().check_script(script);
+    print!("{}", outcome.summary());
+}

@@ -1,0 +1,59 @@
+//! The repair engine in action (§6): detect an anti-pattern, apply the
+//! suggested rewrite, and verify the rewritten statement is AP-free —
+//! the iterative workflow the user-study participants followed.
+//!
+//! ```text
+//! cargo run --example repair_workflow
+//! ```
+
+use sqlcheck::{AntiPatternKind, Fix, SqlCheck};
+
+fn main() {
+    let script = "
+        CREATE TABLE Tenant (
+            Tenant_ID VARCHAR(10) PRIMARY KEY,
+            Zone_ID VARCHAR(30) NOT NULL,
+            Active BOOLEAN,
+            User_IDs TEXT
+        );
+        INSERT INTO Tenant VALUES ('T1', 'Z1', TRUE, 'U1,U2');
+        SELECT * FROM Tenant WHERE User_IDs LIKE '[[:<:]]U1[[:>:]]';
+    ";
+    println!("auditing:\n{script}");
+    let outcome = SqlCheck::new().check_script(script);
+
+    let mut remaining = script.to_string();
+    for sf in &outcome.fixes {
+        println!("\n[{}] {}", sf.detection.kind, sf.detection.message);
+        match &sf.fix {
+            Fix::Rewrite { original, fixed } => {
+                println!("  rewrite:");
+                println!("    - {original}");
+                println!("    + {fixed}");
+                remaining = remaining.replace(original.trim(), fixed);
+            }
+            Fix::SchemaChange { statements, impacted_queries } => {
+                println!("  schema change:");
+                for s in statements {
+                    println!("    + {s}");
+                }
+                for (idx, q) in impacted_queries {
+                    println!("    ~ statement #{idx} becomes: {q}");
+                }
+            }
+            Fix::Textual { advice } => println!("  advice: {advice}"),
+        }
+    }
+
+    // Re-check: the INSERT with an explicit column list no longer carries
+    // the Implicit Columns AP.
+    let recheck = SqlCheck::new().check_script(&remaining);
+    let implicit_before = outcome
+        .report
+        .count(AntiPatternKind::ImplicitColumns);
+    let implicit_after = recheck.report.count(AntiPatternKind::ImplicitColumns);
+    println!(
+        "\nImplicit Columns before: {implicit_before}, after applying rewrites: {implicit_after}"
+    );
+    assert!(implicit_after < implicit_before, "the rewrite eliminated the AP");
+}

@@ -1,0 +1,6 @@
+//! Meta-crate re-exporting the SQLCheck reproduction workspace.
+pub use sqlcheck;
+pub use sqlcheck_dbdeo as dbdeo;
+pub use sqlcheck_minidb as minidb;
+pub use sqlcheck_parser as parser;
+pub use sqlcheck_workload as workload;

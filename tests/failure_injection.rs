@@ -1,0 +1,131 @@
+//! Failure injection: malformed SQL, hostile dialect soup, and
+//! constraint-violating data must never panic any layer.
+
+use sqlcheck::{find_anti_patterns, SqlCheck};
+use sqlcheck_minidb::prelude::*;
+
+#[test]
+fn hostile_sql_never_panics_the_pipeline() {
+    let cases = [
+        "",
+        ";",
+        "SELEC * FORM t",
+        "SELECT ((((((((",
+        "CREATE TABLE (((",
+        "INSERT INTO",
+        "UPDATE SET WHERE",
+        "'unterminated",
+        "/* unterminated comment",
+        "$tag$ unterminated dollar quote",
+        "SELECT * FROM t WHERE a = 'x\\' AND b = 1",
+        "SELECT \u{0} \u{7f} FROM \u{1}",
+        "ALTER TABLE t ADD CONSTRAINT CHECK CHECK (CHECK)",
+        "CREATE TABLE t (a INT,,,, b INT)",
+        "SELECT 1 UNION SELECT 2 UNION SELECT",
+        "INSERT INTO t VALUES ((((1))))",
+        "SELECT * FROM a JOIN JOIN b",
+        "営業 テーブル FROM SELECT",
+    ];
+    for sql in cases {
+        let _ = find_anti_patterns(sql);
+        let _ = SqlCheck::new().check_script(sql);
+    }
+}
+
+#[test]
+fn deeply_nested_expressions_are_handled() {
+    let mut sql = String::from("SELECT ");
+    for _ in 0..200 {
+        sql.push('(');
+    }
+    sql.push('1');
+    for _ in 0..200 {
+        sql.push(')');
+    }
+    sql.push_str(" FROM t");
+    let _ = find_anti_patterns(&sql);
+}
+
+#[test]
+fn very_long_scripts_are_handled() {
+    let mut script = String::new();
+    for i in 0..2_000 {
+        script.push_str(&format!("SELECT c{i} FROM t{i} WHERE k = {i};\n"));
+    }
+    let outcome = SqlCheck::new().check_script(&script);
+    assert_eq!(outcome.context.len(), 2_000);
+}
+
+#[test]
+fn engine_rejects_bad_data_without_corruption() {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new("t")
+            .column(Column::new("id", DataType::Int).not_null())
+            .column(Column::new("score", DataType::Int))
+            .primary_key(&["id"])
+            .check(Check::Range {
+                name: "score_range".into(),
+                column: "score".into(),
+                min: Value::Int(0),
+                max: Value::Int(100),
+            }),
+    )
+    .unwrap();
+    db.insert("t", vec![Value::Int(1), Value::Int(50)]).unwrap();
+
+    // Every rejected insert leaves the table untouched.
+    let attempts: Vec<(Row, &str)> = vec![
+        (vec![Value::Int(1), Value::Int(60)], "duplicate pk"),
+        (vec![Value::Null, Value::Int(60)], "null pk"),
+        (vec![Value::Int(2), Value::Int(101)], "check violation"),
+        (vec![Value::Int(3)], "arity"),
+        (vec![Value::text("x"), Value::Int(1)], "type mismatch"),
+    ];
+    for (row, why) in attempts {
+        assert!(db.insert("t", row).is_err(), "{why} must fail");
+        assert_eq!(db.table("t").unwrap().len(), 1, "{why} must not mutate");
+    }
+    // Index is still consistent.
+    let t = db.table("t").unwrap();
+    assert_eq!(t.index("t_pkey").unwrap().len(), 1);
+}
+
+#[test]
+fn data_analysis_on_empty_and_degenerate_tables() {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new("empty")
+            .column(Column::new("a", DataType::Text)),
+    )
+    .unwrap();
+    db.create_table(TableSchema::new("no_columns_used").column(Column::new("x", DataType::Int)))
+        .unwrap();
+    db.insert("no_columns_used", vec![Value::Null]).unwrap();
+    let outcome = SqlCheck::new().with_database(db).check_script("SELECT 1");
+    // Must not panic; tiny tables stay below min_rows so no noisy data APs.
+    assert_eq!(
+        outcome
+            .report
+            .detections
+            .iter()
+            .filter(|d| d.source == sqlcheck::DetectionSource::DataAnalysis
+                && d.kind != sqlcheck::AntiPatternKind::NoPrimaryKey)
+            .count(),
+        0
+    );
+}
+
+#[test]
+fn dialect_soup_parses_totally() {
+    let script = r#"
+        CREATE TABLE `backticks` (a INT, PRIMARY KEY (a));
+        CREATE TABLE [brackets] ([weird col] NVARCHAR(10));
+        SELECT "quoted"."col" FROM "quoted" WHERE x = $1 AND y = :named AND z = %(py)s;
+        INSERT INTO t VALUES ($tag$body with 'quotes'$tag$);
+        SELECT a FROM t WHERE b <=> c AND d RLIKE 'x' LIMIT 5 OFFSET 10;
+    "#;
+    let parsed = sqlcheck_parser::parse(script);
+    assert_eq!(parsed.len(), 5);
+    let _ = SqlCheck::new().check_script(script);
+}

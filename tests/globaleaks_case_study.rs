@@ -1,0 +1,117 @@
+//! The §2.1 GlobaLeaks case study, end-to-end: the AP-laden deployment is
+//! audited with data analysis attached; the refactored deployment must
+//! come back (much) cleaner; the query tasks agree across designs.
+
+use sqlcheck::{AntiPatternKind, SqlCheck};
+use sqlcheck_workload::globaleaks::*;
+
+fn tiny() -> Scale {
+    Scale { users: 400, tenants: 60, memberships: 2, seed: 9 }
+}
+
+#[test]
+fn ap_deployment_reports_the_case_study_aps_with_data_analysis() {
+    let db = build_ap_database(tiny());
+    let outcome = SqlCheck::new().with_database(db).check_script(&sql_trace());
+    let kinds = outcome.report.kinds();
+    // The data analyzer must confirm the MVA on Tenants.User_IDs even
+    // without relying on the query heuristics (§4.2).
+    assert!(outcome.report.detections.iter().any(|d| {
+        d.kind == AntiPatternKind::MultiValuedAttribute
+            && matches!(&d.locus, sqlcheck::Locus::Column { table, column }
+                if table.eq_ignore_ascii_case("tenants") && column.eq_ignore_ascii_case("user_ids"))
+    }), "data rule pinpoints Tenants.User_IDs: {kinds:?}");
+    assert!(kinds.contains(&AntiPatternKind::EnumeratedTypes));
+    assert!(kinds.contains(&AntiPatternKind::NoForeignKey));
+    assert!(kinds.contains(&AntiPatternKind::IndexOveruse));
+}
+
+#[test]
+fn refactored_deployment_is_cleaner() {
+    let ap_db = build_ap_database(tiny());
+    let fixed_db = build_fixed_database(tiny());
+    // Audit only the data (no query trace) so the comparison isolates the
+    // schema/data quality.
+    let ap = SqlCheck::new().with_database(ap_db).check_script("");
+    let fixed = SqlCheck::new().with_database(fixed_db).check_script("");
+    assert!(
+        fixed.report.detections.len() < ap.report.detections.len(),
+        "refactored: {} vs AP: {}",
+        fixed.report.detections.len(),
+        ap.report.detections.len()
+    );
+    assert_eq!(
+        fixed.report.count(AntiPatternKind::MultiValuedAttribute),
+        0,
+        "the intersection table eliminated the MVA"
+    );
+}
+
+#[test]
+fn tasks_agree_between_designs() {
+    let scale = tiny();
+    let ap = build_ap_database(scale);
+    let fixed = build_fixed_database(scale);
+    for u in 0..20 {
+        let user = format!("U{u}");
+        assert_eq!(
+            task1_ap(&ap, &user).len(),
+            task1_fixed(&fixed, &user).len(),
+            "task1 answer for {user}"
+        );
+    }
+    for t in 0..10 {
+        let tenant = format!("T{t}");
+        assert_eq!(
+            task2_ap(&ap, &tenant).len(),
+            task2_fixed(&fixed, &tenant).len(),
+            "task2 answer for {tenant}"
+        );
+    }
+}
+
+#[test]
+fn referential_integrity_only_in_fixed_design() {
+    use sqlcheck_minidb::prelude::*;
+    let mut fixed = build_fixed_database(tiny());
+    // Inserting a Hosting row for a non-existent user must fail.
+    let err = fixed
+        .insert("Hosting", vec![Value::text("U999999"), Value::text("T1")])
+        .unwrap_err();
+    assert!(matches!(err, DbError::ForeignKey { .. }));
+
+    let mut ap = build_ap_database(tiny());
+    // The AP design happily accepts a dangling questionnaire.
+    ap.insert(
+        "Questionnaire",
+        vec![
+            Value::Int(999_999),
+            Value::text("T_DOES_NOT_EXIST"),
+            Value::text("q"),
+            Value::Bool(true),
+        ],
+    )
+    .expect("no FK, no enforcement");
+}
+
+#[test]
+fn deleting_a_user_cascades_in_fixed_design_only() {
+    use sqlcheck_minidb::prelude::*;
+    let scale = tiny();
+    let mut fixed = build_fixed_database(scale);
+    let before = fixed.table("Hosting").unwrap().len();
+    let n = fixed
+        .delete_where("Users", &PExpr::col_eq(0, Value::text("U3")))
+        .unwrap();
+    assert_eq!(n, 1);
+    let after = fixed.table("Hosting").unwrap().len();
+    assert!(after < before, "cascade removed hosting rows: {before} -> {after}");
+    assert!(task1_fixed(&fixed, "U3").is_empty());
+
+    // In the AP design the list still contains U3 until manual surgery.
+    let ap = build_ap_database(scale);
+    assert!(
+        !task1_ap(&ap, "U3").is_empty(),
+        "stale membership persists in the comma-separated list"
+    );
+}

@@ -1,0 +1,122 @@
+//! Pipeline-level property tests: the whole toolchain must be total,
+//! deterministic, and self-consistent on arbitrary and generated inputs.
+
+use proptest::prelude::*;
+use sqlcheck::{AntiPatternKind, SqlCheck};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The full pipeline never panics on arbitrary input.
+    #[test]
+    fn pipeline_is_total(input in ".{0,400}") {
+        let _ = SqlCheck::new().check_script(&input);
+    }
+
+    /// Detection is deterministic: the same script yields the same report.
+    #[test]
+    fn detection_is_deterministic(
+        tables in prop::collection::vec("[a-z][a-z0-9_]{0,10}", 1..4),
+        cols in prop::collection::vec("[a-z][a-z0-9_]{0,8}", 1..4),
+    ) {
+        let mut script = String::new();
+        for t in &tables {
+            script.push_str(&format!(
+                "CREATE TABLE {t} ({});\n",
+                cols.iter().map(|c| format!("{c} INT")).collect::<Vec<_>>().join(", ")
+            ));
+            script.push_str(&format!("SELECT * FROM {t};\n"));
+        }
+        let a = SqlCheck::new().check_script(&script);
+        let b = SqlCheck::new().check_script(&script);
+        let ka: Vec<_> = a.ranked.iter().map(|r| (r.detection.kind, r.score.to_bits())).collect();
+        let kb: Vec<_> = b.ranked.iter().map(|r| (r.detection.kind, r.score.to_bits())).collect();
+        prop_assert_eq!(ka, kb);
+    }
+
+    /// Every fix suggestion is non-empty, and rewrites always differ from
+    /// the original statement.
+    #[test]
+    fn fixes_are_well_formed(
+        table in "[a-z][a-z0-9_]{0,10}",
+        n_cols in 1usize..6,
+        vals in prop::collection::vec(0i64..100, 1..6),
+    ) {
+        let cols: Vec<String> = (0..n_cols).map(|i| format!("c{i} INT")).collect();
+        let script = format!(
+            "CREATE TABLE {table} ({});\nINSERT INTO {table} VALUES ({});",
+            cols.join(", "),
+            vals.iter().map(i64::to_string).collect::<Vec<_>>().join(", ")
+        );
+        let outcome = SqlCheck::new().check_script(&script);
+        for sf in &outcome.fixes {
+            match &sf.fix {
+                sqlcheck::Fix::Rewrite { original, fixed } => {
+                    prop_assert!(!fixed.is_empty());
+                    prop_assert_ne!(original.trim(), fixed.trim());
+                    // the rewrite itself must parse
+                    let reparsed = sqlcheck_parser::parse(fixed);
+                    prop_assert_eq!(reparsed.len(), 1);
+                }
+                sqlcheck::Fix::SchemaChange { statements, .. } => {
+                    prop_assert!(!statements.is_empty());
+                }
+                sqlcheck::Fix::Textual { advice } => prop_assert!(!advice.is_empty()),
+            }
+        }
+    }
+
+    /// Implicit-columns detection fires exactly when the column list is
+    /// missing and the arity rewrite preserves the VALUES.
+    #[test]
+    fn implicit_columns_invariant(
+        n_cols in 1usize..6,
+        with_list in any::<bool>(),
+    ) {
+        let cols: Vec<String> = (0..n_cols).map(|i| format!("c{i}")).collect();
+        let decl: Vec<String> = cols.iter().map(|c| format!("{c} INT")).collect();
+        let vals: Vec<String> = (0..n_cols).map(|i| i.to_string()).collect();
+        let insert = if with_list {
+            format!("INSERT INTO t ({}) VALUES ({})", cols.join(", "), vals.join(", "))
+        } else {
+            format!("INSERT INTO t VALUES ({})", vals.join(", "))
+        };
+        let script = format!("CREATE TABLE t ({});\n{insert};", decl.join(", "));
+        let outcome = SqlCheck::new().check_script(&script);
+        let found = outcome.report.count(AntiPatternKind::ImplicitColumns) > 0;
+        prop_assert_eq!(found, !with_list);
+        if !with_list {
+            let fix = outcome
+                .fixes
+                .iter()
+                .find(|f| f.detection.kind == AntiPatternKind::ImplicitColumns)
+                .unwrap();
+            if let sqlcheck::Fix::Rewrite { fixed, .. } = &fix.fix {
+                for c in &cols {
+                    prop_assert!(fixed.contains(c.as_str()), "{fixed} must list {c}");
+                }
+            } else {
+                prop_assert!(false, "arity matches, rewrite expected");
+            }
+        }
+    }
+
+    /// Ranked scores are monotone non-increasing and within [0, 1].
+    #[test]
+    fn scores_are_normalised_and_sorted(seed in 0u64..50) {
+        let corpus = sqlcheck_workload::github::generate_corpus(
+            sqlcheck_workload::github::CorpusConfig {
+                repositories: 1,
+                statements_per_repo: 30,
+                seed,
+            },
+        );
+        let outcome = SqlCheck::new().check_script(&corpus[0].script());
+        let mut prev = f64::INFINITY;
+        for r in &outcome.ranked {
+            prop_assert!((0.0..=1.0).contains(&r.score), "score {} out of range", r.score);
+            prop_assert!(r.score <= prev);
+            prev = r.score;
+        }
+    }
+}

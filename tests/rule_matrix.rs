@@ -1,0 +1,264 @@
+//! Rule matrix: for every anti-pattern kind, at least one minimal
+//! positive and one near-miss negative. This is the regression net that
+//! keeps detection rules from drifting as they are refined.
+
+use sqlcheck::{AntiPatternKind, DataAnalysisConfig, SqlCheck};
+use sqlcheck_minidb::prelude::*;
+use AntiPatternKind::*;
+
+fn detects(sql: &str, kind: AntiPatternKind) -> bool {
+    sqlcheck::find_anti_patterns(sql).iter().any(|d| d.kind == kind)
+}
+
+#[track_caller]
+fn assert_positive(sql: &str, kind: AntiPatternKind) {
+    assert!(detects(sql, kind), "{kind} should fire on: {sql}");
+}
+
+#[track_caller]
+fn assert_negative(sql: &str, kind: AntiPatternKind) {
+    assert!(!detects(sql, kind), "{kind} must not fire on: {sql}");
+}
+
+#[test]
+fn multi_valued_attribute_matrix() {
+    assert_positive("SELECT * FROM t WHERE user_ids LIKE '%,5,%'", MultiValuedAttribute);
+    assert_positive(
+        "INSERT INTO t (pk, members) VALUES (1, 'a,b,c')",
+        MultiValuedAttribute,
+    );
+    assert_negative("SELECT * FROM t WHERE user_id = 5", MultiValuedAttribute);
+    assert_negative(
+        "INSERT INTO t (pk, bio) VALUES (1, 'born in Springfield, raised in Shelbyville')",
+        MultiValuedAttribute,
+    );
+}
+
+#[test]
+fn primary_key_matrix() {
+    assert_positive("CREATE TABLE t (a INT, b INT)", NoPrimaryKey);
+    assert_negative("CREATE TABLE t (a INT PRIMARY KEY, b INT)", NoPrimaryKey);
+    assert_negative(
+        "CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))",
+        NoPrimaryKey,
+    );
+    assert_positive("CREATE TABLE t (id INT PRIMARY KEY)", GenericPrimaryKey);
+    assert_negative("CREATE TABLE t (user_id INT PRIMARY KEY)", GenericPrimaryKey);
+}
+
+#[test]
+fn foreign_key_matrix() {
+    let no_fk = "CREATE TABLE p (pk INT PRIMARY KEY);\
+                 CREATE TABLE c (ck INT PRIMARY KEY, pk INT);\
+                 SELECT * FROM c JOIN p ON p.pk = c.pk;";
+    assert_positive(no_fk, NoForeignKey);
+    let with_fk = "CREATE TABLE p (pk INT PRIMARY KEY);\
+                   CREATE TABLE c (ck INT PRIMARY KEY, pk INT REFERENCES p(pk));\
+                   SELECT * FROM c JOIN p ON p.pk = c.pk;";
+    assert_negative(with_fk, NoForeignKey);
+    // Join between two non-key columns: not confidently an FK site.
+    let fuzzy = "CREATE TABLE a (x INT PRIMARY KEY, t TEXT);\
+                 CREATE TABLE b (y INT PRIMARY KEY, t TEXT);\
+                 SELECT * FROM a JOIN b ON a.t = b.t;";
+    assert_negative(fuzzy, NoForeignKey);
+}
+
+#[test]
+fn data_in_metadata_matrix() {
+    assert_positive("CREATE TABLE t (pk INT PRIMARY KEY, q1 TEXT, q2 TEXT)", DataInMetadata);
+    assert_negative("CREATE TABLE t (pk INT PRIMARY KEY, question TEXT)", DataInMetadata);
+    assert_negative(
+        "CREATE TABLE t (pk INT PRIMARY KEY, sha256 TEXT)",
+        DataInMetadata,
+    );
+}
+
+#[test]
+fn adjacency_list_matrix() {
+    assert_positive(
+        "CREATE TABLE emp (id INT PRIMARY KEY, boss INT REFERENCES emp(id))",
+        AdjacencyList,
+    );
+    assert_negative(
+        "CREATE TABLE emp (id INT PRIMARY KEY, dept INT REFERENCES dept(id))",
+        AdjacencyList,
+    );
+}
+
+#[test]
+fn god_table_matrix() {
+    let wide: Vec<String> = (0..10).map(|i| format!("col_{} INT", (b'a' + i) as char)).collect();
+    assert_positive(
+        &format!("CREATE TABLE t (pk INT PRIMARY KEY, {})", wide.join(", ")),
+        GodTable,
+    );
+    assert_negative("CREATE TABLE t (pk INT PRIMARY KEY, a INT, b INT)", GodTable);
+}
+
+#[test]
+fn physical_design_matrix() {
+    assert_positive("CREATE TABLE t (price FLOAT)", RoundingErrors);
+    assert_positive("CREATE TABLE t (price DOUBLE PRECISION)", RoundingErrors);
+    assert_negative("CREATE TABLE t (price NUMERIC(10, 2))", RoundingErrors);
+
+    assert_positive("CREATE TABLE t (s ENUM('a'))", EnumeratedTypes);
+    assert_negative("CREATE TABLE t (s TEXT, CHECK (s <> ''))", EnumeratedTypes);
+
+    assert_positive("CREATE TABLE t (photo_path TEXT)", ExternalDataStorage);
+    assert_negative("CREATE TABLE t (photo BLOB)", ExternalDataStorage);
+}
+
+#[test]
+fn index_matrix() {
+    let underuse = "CREATE TABLE t (pk INT PRIMARY KEY, zone TEXT);\
+                    SELECT pk FROM t WHERE zone = 'a';";
+    assert_positive(underuse, IndexUnderuse);
+    let covered = "CREATE TABLE t (pk INT PRIMARY KEY, zone TEXT);\
+                   CREATE INDEX iz ON t (zone);\
+                   SELECT pk FROM t WHERE zone = 'a';";
+    assert_negative(covered, IndexUnderuse);
+    assert_positive(
+        "CREATE TABLE t (pk INT PRIMARY KEY, a INT);\
+         CREATE INDEX ia ON t (a);\
+         SELECT * FROM t WHERE pk = 1;",
+        IndexOveruse,
+    );
+    assert_negative(
+        "CREATE TABLE t (pk INT PRIMARY KEY, a INT);\
+         CREATE INDEX ia ON t (a);\
+         SELECT * FROM t WHERE a = 1;",
+        IndexOveruse,
+    );
+}
+
+#[test]
+fn clone_table_matrix() {
+    assert_positive(
+        "CREATE TABLE log_2019 (pk INT PRIMARY KEY); CREATE TABLE log_2020 (pk INT PRIMARY KEY);",
+        CloneTable,
+    );
+    assert_negative("CREATE TABLE log_2019 (pk INT PRIMARY KEY);", CloneTable);
+    assert_negative(
+        "CREATE TABLE log (pk INT PRIMARY KEY); CREATE TABLE blog (pk INT PRIMARY KEY);",
+        CloneTable,
+    );
+}
+
+#[test]
+fn query_ap_matrix() {
+    assert_positive("SELECT * FROM t", ColumnWildcard);
+    assert_negative("SELECT a, b FROM t", ColumnWildcard);
+    assert_negative("SELECT COUNT(*) FROM t", ColumnWildcard);
+
+    assert_positive("SELECT a FROM t ORDER BY RAND()", OrderingByRand);
+    assert_negative("SELECT a FROM t ORDER BY a", OrderingByRand);
+
+    assert_positive("SELECT a FROM t WHERE b LIKE '%x'", PatternMatching);
+    assert_negative("SELECT a FROM t WHERE b LIKE 'x%'", PatternMatching);
+    assert_negative("SELECT a FROM t WHERE b = 'x%literal'", PatternMatching);
+
+    assert_positive("INSERT INTO t VALUES (1)", ImplicitColumns);
+    assert_negative("INSERT INTO t (a) VALUES (1)", ImplicitColumns);
+    assert_negative("INSERT INTO t (a) SELECT x FROM u", ImplicitColumns);
+
+    assert_positive("SELECT DISTINCT a FROM t JOIN u ON t.x = u.y", DistinctJoin);
+    assert_negative("SELECT DISTINCT a FROM t", DistinctJoin);
+
+    assert_positive(
+        "CREATE TABLE u (name TEXT, password TEXT)",
+        ReadablePassword,
+    );
+    assert_negative("CREATE TABLE u (name TEXT, password_hash_id INT)", ReadablePassword);
+}
+
+#[test]
+fn concatenate_nulls_matrix() {
+    assert_positive(
+        "CREATE TABLE p (a TEXT, b TEXT); SELECT a || b FROM p;",
+        ConcatenateNulls,
+    );
+    assert_negative(
+        "CREATE TABLE p (a TEXT NOT NULL, b TEXT NOT NULL); SELECT a || b FROM p;",
+        ConcatenateNulls,
+    );
+    assert_negative("SELECT 'a' || 'b' FROM p", ConcatenateNulls);
+}
+
+// ---------------------------------------------------------------------------
+// Data rules need a live database.
+// ---------------------------------------------------------------------------
+
+fn data_detects(db: Database, kind: AntiPatternKind) -> bool {
+    SqlCheck::new()
+        .with_database(db)
+        .with_data_config(DataAnalysisConfig::default())
+        .check_script("")
+        .report
+        .count(kind)
+        > 0
+}
+
+fn one_col_db(name: &str, dtype: DataType, values: Vec<Value>) -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new("t")
+            .column(Column::new("pk", DataType::Int).not_null())
+            .column(Column::new(name, dtype))
+            .primary_key(&["pk"]),
+    )
+    .unwrap();
+    for (i, v) in values.into_iter().enumerate() {
+        db.insert("t", vec![Value::Int(i as i64), v]).unwrap();
+    }
+    db
+}
+
+#[test]
+fn data_rule_matrix() {
+    // Incorrect data type: numeric strings in TEXT.
+    let numeric = one_col_db(
+        "amount",
+        DataType::Text,
+        (0..40).map(|i| Value::text(format!("{i}"))).collect(),
+    );
+    assert!(data_detects(numeric, IncorrectDataType));
+    let words = one_col_db(
+        "amount",
+        DataType::Text,
+        (0..40).map(|i| Value::text(format!("word{i}x"))).collect(),
+    );
+    assert!(!data_detects(words, IncorrectDataType));
+
+    // Missing timezone.
+    let naive = one_col_db(
+        "at",
+        DataType::Timestamp,
+        (0..30).map(|i| Value::Timestamp(i)).collect(),
+    );
+    assert!(data_detects(naive, MissingTimezone));
+
+    // Redundant column: constant vs varied.
+    let constant =
+        one_col_db("locale", DataType::Text, vec![Value::text("en-us"); 40]);
+    assert!(data_detects(constant, RedundantColumn));
+    let varied = one_col_db(
+        "locale",
+        DataType::Text,
+        (0..40).map(|i| Value::text(format!("loc{i}"))).collect(),
+    );
+    assert!(!data_detects(varied, RedundantColumn));
+
+    // No domain constraint: bounded ints without a CHECK.
+    let rating = one_col_db(
+        "rating",
+        DataType::Int,
+        (0..40).map(|i| Value::Int(1 + i % 5)).collect(),
+    );
+    assert!(data_detects(rating, NoDomainConstraint));
+    let unbounded = one_col_db(
+        "amount",
+        DataType::Int,
+        (0..40).map(|i| Value::Int(i * 1000)).collect(),
+    );
+    assert!(!data_detects(unbounded, NoDomainConstraint));
+}
