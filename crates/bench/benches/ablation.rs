@@ -1,33 +1,28 @@
 //! Ablation benches for the design choices DESIGN.md calls out:
 //!
-//! * **context**: intra-only vs intra+inter detection cost;
 //! * **sampling**: data-analysis cost as the reservoir sample grows;
 //! * **join strategy**: expression join vs hash vs index join — the
 //!   asymmetry that powers Fig 3.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sqlcheck::{ContextBuilder, DataAnalysisConfig, Detector};
+use sqlcheck_bench::harness::{bench, group};
 use sqlcheck_minidb::prelude::*;
 use sqlcheck_workload::globaleaks::{build_fixed_database, Scale};
 
-fn bench_sampling(c: &mut Criterion) {
+fn bench_sampling() {
     let scale = Scale { users: 5_000, tenants: 500, memberships: 2, seed: 1 };
-    let mut g = c.benchmark_group("ablate_sampling_size");
-    g.sample_size(10);
+    group("ablate_sampling_size");
     for sample_size in [16usize, 64, 256, 1024] {
         let db = build_fixed_database(scale);
-        g.bench_function(format!("sample_{sample_size}"), |b| {
-            b.iter(|| {
-                let cfg = DataAnalysisConfig { sample_size, ..Default::default() };
-                let ctx = ContextBuilder::new().with_database(db.clone(), cfg).build();
-                Detector::default().detect(&ctx).detections.len()
-            })
+        bench(&format!("sample_{sample_size}"), || {
+            let cfg = DataAnalysisConfig { sample_size, ..Default::default() };
+            let ctx = ContextBuilder::new().with_database(db.clone(), cfg).build();
+            Detector::default().detect(&ctx).detections.len()
         });
     }
-    g.finish();
 }
 
-fn bench_join_strategies(c: &mut Criterion) {
+fn bench_join_strategies() {
     let rows = 3_000usize;
     let mk = |name: &str| {
         let mut t = Table::new(
@@ -48,15 +43,13 @@ fn bench_join_strategies(c: &mut Criterion) {
         CmpOp::Eq,
         Box::new(PExpr::Col(2)),
     );
-    let mut g = c.benchmark_group("ablate_join_strategy");
-    g.sample_size(10);
-    g.bench_function("nested_loop", |b| b.iter(|| nested_loop_join(&left, &right, &on).len()));
-    g.bench_function("hash_join", |b| b.iter(|| hash_join(&left, 0, &right, 0).len()));
-    g.bench_function("index_nl_join", |b| {
-        b.iter(|| index_nl_join(&left, 0, &right, "r_pkey").len())
-    });
-    g.finish();
+    group("ablate_join_strategy");
+    bench("nested_loop", || nested_loop_join(&left, &right, &on).len());
+    bench("hash_join", || hash_join(&left, 0, &right, 0).len());
+    bench("index_nl_join", || index_nl_join(&left, 0, &right, "r_pkey").len());
 }
 
-criterion_group!(benches, bench_sampling, bench_join_strategies);
-criterion_main!(benches);
+fn main() {
+    bench_sampling();
+    bench_join_strategies();
+}

@@ -1,11 +1,11 @@
 //! Detection throughput: parser, sqlcheck (intra / full), and the dbdeo
 //! baseline over a generated repository script.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use sqlcheck::{ContextBuilder, DetectionConfig, Detector};
+use sqlcheck_bench::harness::{bench, group};
 use sqlcheck_workload::github::{generate_corpus, CorpusConfig};
 
-fn bench_detection(c: &mut Criterion) {
+fn main() {
     let corpus = generate_corpus(CorpusConfig {
         repositories: 1,
         statements_per_repo: 200,
@@ -14,24 +14,16 @@ fn bench_detection(c: &mut Criterion) {
     let script = corpus[0].script();
     let bytes = script.len() as u64;
 
-    let mut g = c.benchmark_group("detection_throughput");
-    g.throughput(Throughput::Bytes(bytes));
-    g.bench_function("parse_only", |b| b.iter(|| sqlcheck_parser::parse(&script).len()));
-    g.bench_function("sqlcheck_intra", |b| {
-        b.iter(|| {
-            let ctx = ContextBuilder::new().add_script(&script).build();
-            Detector::new(DetectionConfig::intra_only()).detect(&ctx).detections.len()
-        })
+    group("detection_throughput");
+    println!("input: {bytes} bytes");
+    bench("parse_only", || sqlcheck_parser::parse(&script).len());
+    bench("sqlcheck_intra", || {
+        let ctx = ContextBuilder::new().add_script(&script).build();
+        Detector::new(DetectionConfig::intra_only()).detect(&ctx).detections.len()
     });
-    g.bench_function("sqlcheck_full", |b| {
-        b.iter(|| {
-            let ctx = ContextBuilder::new().add_script(&script).build();
-            Detector::default().detect(&ctx).detections.len()
-        })
+    bench("sqlcheck_full", || {
+        let ctx = ContextBuilder::new().add_script(&script).build();
+        Detector::default().detect(&ctx).detections.len()
     });
-    g.bench_function("dbdeo", |b| b.iter(|| sqlcheck_dbdeo::detect_script(&script).len()));
-    g.finish();
+    bench("dbdeo", || sqlcheck_dbdeo::detect_script(&script).len());
 }
-
-criterion_group!(benches, bench_detection);
-criterion_main!(benches);

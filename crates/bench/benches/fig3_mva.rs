@@ -1,43 +1,23 @@
-//! Criterion bench for **Figure 3**: the Multi-Valued Attribute AP's
-//! impact on the GlobaLeaks tasks, AP-laden vs refactored design.
+//! Bench for **Figure 3**: the Multi-Valued Attribute AP's impact on the
+//! GlobaLeaks tasks, AP-laden vs refactored design.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sqlcheck_bench::harness::{bench, bench_batched, group};
 use sqlcheck_workload::globaleaks::*;
 
-fn bench_fig3(c: &mut Criterion) {
+fn main() {
     let scale = Scale { users: 2_000, tenants: 200, memberships: 2, seed: 0x61EA };
     let ap = build_ap_database(scale);
     let fixed = build_fixed_database(scale);
 
-    let mut g = c.benchmark_group("fig3_task1_lookup");
-    g.bench_function("ap_like_scan", |b| b.iter(|| task1_ap(&ap, "U7")));
-    g.bench_function("fixed_index_join", |b| b.iter(|| task1_fixed(&fixed, "U7")));
-    g.finish();
+    group("fig3_task1_lookup");
+    bench("ap_like_scan", || task1_ap(&ap, "U7"));
+    bench("fixed_index_join", || task1_fixed(&fixed, "U7"));
 
-    let mut g = c.benchmark_group("fig3_task2_join");
-    g.sample_size(10);
-    g.bench_function("ap_expression_join", |b| b.iter(|| task2_ap(&ap, "T1")));
-    g.bench_function("fixed_index_nl_join", |b| b.iter(|| task2_fixed(&fixed, "T1")));
-    g.finish();
+    group("fig3_task2_join");
+    bench("ap_expression_join", || task2_ap(&ap, "T1"));
+    bench("fixed_index_nl_join", || task2_fixed(&fixed, "T1"));
 
-    let mut g = c.benchmark_group("fig3_task3_delete_user");
-    g.sample_size(10);
-    g.bench_function("ap_string_surgery", |b| {
-        b.iter_batched(
-            || ap.clone(),
-            |mut db| task3_ap(&mut db, "U3"),
-            BatchSize::LargeInput,
-        )
-    });
-    g.bench_function("fixed_index_delete", |b| {
-        b.iter_batched(
-            || fixed.clone(),
-            |mut db| task3_fixed(&mut db, "U3"),
-            BatchSize::LargeInput,
-        )
-    });
-    g.finish();
+    group("fig3_task3_delete_user");
+    bench_batched("ap_string_surgery", || ap.clone(), |mut db| task3_ap(&mut db, "U3"));
+    bench_batched("fixed_index_delete", || fixed.clone(), |mut db| task3_fixed(&mut db, "U3"));
 }
-
-criterion_group!(benches, bench_fig3);
-criterion_main!(benches);

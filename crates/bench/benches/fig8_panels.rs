@@ -1,7 +1,7 @@
-//! Criterion bench for **Figure 8**: per-AP performance impact panels.
+//! Bench for **Figure 8**: per-AP performance impact panels.
 //! Each group benchmarks the AP-present plan against the AP-fixed plan.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sqlcheck_bench::harness::{bench, bench_batched, group};
 use sqlcheck_minidb::prelude::*;
 
 const ROWS: usize = 20_000;
@@ -39,59 +39,51 @@ fn tenant_table(extra_indexes: usize) -> Table {
 
 /// Fig 8a — UPDATE under index maintenance, sweeping the index count
 /// (the ablation axis DESIGN.md calls out).
-fn bench_index_overuse(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8a_update_vs_index_count");
-    g.sample_size(10);
+fn bench_index_overuse() {
+    group("fig8a_update_vs_index_count");
     for k in [0usize, 1, 3, 5] {
         let table = tenant_table(k);
-        g.bench_function(format!("indexes_{k}"), |b| {
-            b.iter_batched(
-                || table.clone(),
-                |mut t| {
-                    let victims: Vec<RowId> = t
-                        .scan()
-                        .filter(|(_, r)| matches!(&r[1], Value::Text(z) if z == "Z3"))
-                        .map(|(rid, _)| rid)
-                        .collect();
-                    for rid in victims {
-                        let mut row = t.get(rid).unwrap().clone();
-                        row[1] = Value::text("Z3b");
-                        t.update_row(rid, row).unwrap();
-                    }
-                },
-                BatchSize::LargeInput,
-            )
-        });
+        bench_batched(
+            &format!("indexes_{k}"),
+            || table.clone(),
+            |mut t| {
+                let victims: Vec<RowId> = t
+                    .scan()
+                    .filter(|(_, r)| matches!(&r[1], Value::Text(z) if z == "Z3"))
+                    .map(|(rid, _)| rid)
+                    .collect();
+                for rid in victims {
+                    let mut row = t.get(rid).unwrap().clone();
+                    row[1] = Value::text("Z3b");
+                    t.update_row(rid, row).unwrap();
+                }
+            },
+        );
     }
-    g.finish();
 }
 
 /// Fig 8b/8c — grouped aggregation and the low-cardinality scan.
-fn bench_index_underuse(c: &mut Criterion) {
+fn bench_index_underuse() {
     let mut table = tenant_table(0);
     table.create_index("idx_zone", &["Zone_ID"], false).unwrap();
     table.create_index("idx_active", &["Active"], false).unwrap();
 
-    let mut g = c.benchmark_group("fig8b_grouped_aggregate");
-    g.bench_function("hash_aggregate_no_index", |b| {
-        b.iter(|| hash_group_aggregate(&table, 1, 3, AggFunc::Sum))
+    group("fig8b_grouped_aggregate");
+    bench("hash_aggregate_no_index", || hash_group_aggregate(&table, 1, 3, AggFunc::Sum));
+    bench("index_assisted_aggregate", || {
+        sorted_group_aggregate(&table, "idx_zone", 3, AggFunc::Sum)
     });
-    g.bench_function("index_assisted_aggregate", |b| {
-        b.iter(|| sorted_group_aggregate(&table, "idx_zone", 3, AggFunc::Sum))
-    });
-    g.finish();
 
-    let mut g = c.benchmark_group("fig8c_low_cardinality_scan");
+    group("fig8c_low_cardinality_scan");
     let pred = PExpr::col_eq(2, Value::Bool(true));
-    g.bench_function("seq_scan", |b| b.iter(|| seq_scan_count(&table, &pred)));
-    g.bench_function("index_scan", |b| {
-        b.iter(|| index_scan_eq(&table, "idx_active", &Value::Bool(true), None).len())
+    bench("seq_scan", || seq_scan_count(&table, &pred));
+    bench("index_scan", || {
+        index_scan_eq(&table, "idx_active", &Value::Bool(true), None).len()
     });
-    g.finish();
 }
 
 /// Fig 8g — the enumerated-types UPDATE (constraint surgery vs lookup).
-fn bench_enum_update(c: &mut Criterion) {
+fn bench_enum_update() {
     let mut ap = Database::new();
     ap.create_table(
         TableSchema::new("User")
@@ -122,47 +114,44 @@ fn bench_enum_update(c: &mut Criterion) {
         fixed.insert("Role", vec![Value::Int(r), Value::text(format!("R{r}"))]).unwrap();
     }
 
-    let mut g = c.benchmark_group("fig8g_enum_rename");
-    g.sample_size(10);
-    g.bench_function("ap_constraint_surgery", |b| {
-        b.iter_batched(
-            || ap.clone(),
-            |mut db| {
-                db.table_mut("User").unwrap().drop_check("rc");
-                db.update_where(
-                    "User",
-                    &PExpr::col_eq(1, Value::text("R2")),
-                    &[(1, Value::text("R5"))],
-                )
-                .unwrap();
-                db.table_mut("User")
-                    .unwrap()
-                    .add_check(Check::InList {
-                        name: "rc".into(),
-                        column: "Role".into(),
-                        values: vec![Value::text("R1"), Value::text("R5"), Value::text("R3")],
-                    })
-                    .unwrap();
-            },
-            BatchSize::LargeInput,
-        )
-    });
-    g.bench_function("fixed_lookup_update", |b| {
-        b.iter_batched(
-            || fixed.clone(),
-            |mut db| {
-                db.update_where(
-                    "Role",
-                    &PExpr::col_eq(1, Value::text("R2")),
-                    &[(1, Value::text("R5"))],
-                )
+    group("fig8g_enum_rename");
+    bench_batched(
+        "ap_constraint_surgery",
+        || ap.clone(),
+        |mut db| {
+            db.table_mut("User").unwrap().drop_check("rc");
+            db.update_where(
+                "User",
+                &PExpr::col_eq(1, Value::text("R2")),
+                &[(1, Value::text("R5"))],
+            )
+            .unwrap();
+            db.table_mut("User")
                 .unwrap()
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+                .add_check(Check::InList {
+                    name: "rc".into(),
+                    column: "Role".into(),
+                    values: vec![Value::text("R1"), Value::text("R5"), Value::text("R3")],
+                })
+                .unwrap();
+        },
+    );
+    bench_batched(
+        "fixed_lookup_update",
+        || fixed.clone(),
+        |mut db| {
+            db.update_where(
+                "Role",
+                &PExpr::col_eq(1, Value::text("R2")),
+                &[(1, Value::text("R5"))],
+            )
+            .unwrap()
+        },
+    );
 }
 
-criterion_group!(benches, bench_index_overuse, bench_index_underuse, bench_enum_update);
-criterion_main!(benches);
+fn main() {
+    bench_index_overuse();
+    bench_index_underuse();
+    bench_enum_update();
+}

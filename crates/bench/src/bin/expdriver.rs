@@ -11,6 +11,7 @@
 //! expdriver table5         # Table 5/6  Kaggle databases
 //! expdriver table8         # Table 8    sqlcheck vs DETA features
 //! expdriver user-study     # §8.3       acceptance statistics
+//! expdriver throughput     # batch detection engine vs sequential path
 //! ```
 //!
 //! `--quick` shrinks scales for a fast smoke run.
@@ -95,6 +96,18 @@ fn main() {
     if run_all || what == "table8" {
         section("Table 8 — sqlcheck vs Microsoft DETA");
         print!("{}", fig7::render_table8());
+    }
+    if run_all || what == "throughput" {
+        section("Throughput — batch detection engine vs sequential path");
+        let sizes: &[usize] = if quick { &[1_000, 10_000] } else { &[1_000, 10_000, 100_000] };
+        let rows = throughput::run(sizes, 100, 0xBA7C4);
+        print!("{}", throughput::render(&rows));
+        let json = throughput::to_json(&rows);
+        let path = "BENCH_throughput.json";
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
     }
     if run_all || what == "user-study" {
         section("§8.3 — user study acceptance statistics");

@@ -54,7 +54,8 @@ mod tests {
 
     #[test]
     fn fix_wins_every_task() {
-        let t = run(Scale { users: 3_000, tenants: 300, memberships: 2, seed: 3 }, 2);
+        let _serial = crate::harness::TIMING_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let t = run(Scale { users: 3_000, tenants: 300, memberships: 2, seed: 3 }, 5);
         assert_eq!(t.comparisons.len(), 3);
         for c in &t.comparisons {
             assert!(

@@ -296,6 +296,7 @@ mod tests {
 
     #[test]
     fn sqlcheck_beats_dbdeo_on_both_axes() {
+        let _serial = crate::harness::TIMING_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let r = small_result();
         assert!(
             r.sqlcheck.precision() > r.dbdeo.precision(),
@@ -316,6 +317,7 @@ mod tests {
 
     #[test]
     fn sqlcheck_detects_more_kinds_than_dbdeo() {
+        let _serial = crate::harness::TIMING_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let r = small_result();
         let s_kinds = r.histogram.iter().filter(|(_, (_, _, sf))| *sf > 0).count();
         let d_kinds = r.histogram.iter().filter(|(_, (d, _, _))| *d > 0).count();
@@ -324,6 +326,7 @@ mod tests {
 
     #[test]
     fn intra_only_finds_more_but_noisier() {
+        let _serial = crate::harness::TIMING_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         // The paper: intra-only finds 86656 (more, noisier); full finds
         // 63058 because inter-query context eliminates false positives.
         // Context analysis also *adds* kinds intra cannot see (Clone
@@ -343,6 +346,7 @@ mod tests {
 
     #[test]
     fn renders_are_nonempty() {
+        let _serial = crate::harness::TIMING_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let r = small_result();
         let t2 = render(&r);
         assert!(t2.contains("TP-S"));

@@ -297,6 +297,7 @@ mod tests {
 
     #[test]
     fn user_study_stats_track_the_paper() {
+        let _serial = crate::harness::TIMING_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let s = user_study_stats(user_study::StudyConfig::default());
         assert_eq!(s.statements, 987);
         assert!(s.detected > 100, "plenty of APs detected: {}", s.detected);
@@ -313,6 +314,7 @@ mod tests {
 
     #[test]
     fn user_study_distribution_s_exceeds_d() {
+        let _serial = crate::harness::TIMING_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let d = user_study_distribution(user_study::StudyConfig {
             participants: 6,
             total_statements: 240,
@@ -325,6 +327,7 @@ mod tests {
 
     #[test]
     fn django_rows_cover_reported_kinds() {
+        let _serial = crate::harness::TIMING_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let rows = django_rows();
         assert_eq!(rows.len(), 15);
         for r in &rows {
@@ -334,6 +337,7 @@ mod tests {
 
     #[test]
     fn kaggle_rows_cover_table6() {
+        let _serial = crate::harness::TIMING_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let rows = kaggle_rows();
         assert_eq!(rows.len(), 31);
         for r in &rows {

@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod harness;
+
 /// Experiment implementations, one module per paper artefact.
 pub mod experiments {
     pub mod fig3;
@@ -14,4 +16,5 @@ pub mod experiments {
     pub mod fig8;
     pub mod table2;
     pub mod table345;
+    pub mod throughput;
 }

@@ -9,6 +9,9 @@
 //!   --rank-by count      inter-query model: AP count per query
 //!   --no-fix             detection + ranking only
 //!   --summary            per-kind histogram instead of full listing
+//!   --parallel           batch engine: template dedup + threaded detection
+//!   --threads N          worker threads for --parallel (default: all cores)
+//!   --stats              batch engine + dedup/threading statistics on stderr
 //! ```
 //!
 //! Example:
@@ -17,7 +20,7 @@
 //! echo "INSERT INTO Users VALUES (1, 'foo')" | sqlcheck -
 //! ```
 
-use sqlcheck::{DetectionConfig, Fix, InterQueryModel, RankWeights, SqlCheck};
+use sqlcheck::{BatchOptions, DetectionConfig, Fix, InterQueryModel, RankWeights, SqlCheck};
 use std::io::Read;
 
 fn main() {
@@ -29,6 +32,19 @@ fn main() {
     let intra_only = args.iter().any(|a| a == "--intra-only");
     let no_fix = args.iter().any(|a| a == "--no-fix");
     let summary = args.iter().any(|a| a == "--summary");
+    let stats = args.iter().any(|a| a == "--stats");
+    let threads = match arg_value(&args, "--threads") {
+        Some(t) => match t.parse::<usize>() {
+            Ok(n) if n > 0 => Some(n),
+            _ => {
+                eprintln!("sqlcheck: --threads expects a positive integer, got '{t}'");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+    // An explicit thread count implies parallel execution.
+    let parallel = args.iter().any(|a| a == "--parallel") || threads.is_some();
     let weights = match arg_value(&args, "--weights").unwrap_or("c1").to_ascii_lowercase().as_str()
     {
         "c2" => RankWeights::C2,
@@ -66,7 +82,29 @@ fn main() {
     if intra_only {
         tool = tool.with_detection(DetectionConfig::intra_only());
     }
-    let outcome = tool.check_script(&sql);
+    // --parallel / --stats / --threads route through the batch engine
+    // (identical detections; template dedup + optional threading).
+    let outcome = if parallel || stats || threads.is_some() {
+        let opts = BatchOptions { parallel, threads };
+        let w = tool.check_workload(&sql, &opts);
+        if stats {
+            let s = &w.stats;
+            eprintln!(
+                "stats: {} statement(s), {} unique template(s), {} unique text(s), \
+                 {} cache hit(s), {} thread(s), intra {}us, total {}us",
+                s.statements,
+                s.unique_templates,
+                s.unique_texts,
+                s.cache_hits,
+                s.threads,
+                s.intra_micros,
+                s.total_micros
+            );
+        }
+        w.outcome
+    } else {
+        tool.check_script(&sql)
+    };
 
     if outcome.ranked.is_empty() {
         println!("no anti-patterns detected in {} statement(s)", outcome.context.len());
@@ -120,7 +158,7 @@ fn is_flag_value(args: &[String], candidate: &String) -> bool {
     args.iter()
         .position(|a| a == candidate)
         .map(|i| {
-            i > 0 && matches!(args[i - 1].as_str(), "--weights" | "--rank-by")
+            i > 0 && matches!(args[i - 1].as_str(), "--weights" | "--rank-by" | "--threads")
         })
         .unwrap_or(false)
 }
@@ -129,7 +167,8 @@ fn print_help() {
     println!(
         "sqlcheck — detect, rank, and fix SQL anti-patterns (SIGMOD 2020 reproduction)\n\n\
          usage: sqlcheck [--intra-only] [--weights c1|c2] [--rank-by count] \n\
-                         [--no-fix] [--summary] [FILE|-]\n\n\
+                         [--no-fix] [--summary] [--parallel] [--threads N] \n\
+                         [--stats] [FILE|-]\n\n\
          Reads SQL from FILE (or stdin with '-'), prints ranked anti-patterns\n\
          with suggested fixes. Exits 1 when anti-patterns are found."
     );

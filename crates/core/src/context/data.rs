@@ -214,7 +214,7 @@ mod tests {
         assert_eq!(t.columns.len(), 2);
         assert_eq!(t.primary_key, vec!["Tenant_ID"]);
         let uid = t.column("user_ids").unwrap();
-        assert!(uid.stats.sample.len() > 0);
+        assert!(!uid.stats.sample.is_empty());
         assert_eq!(uid.dtype, DataType::Text);
     }
 

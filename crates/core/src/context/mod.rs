@@ -32,6 +32,11 @@ pub struct AnalyzedStatement {
     pub parsed: ParsedStatement,
     /// Its annotation digest.
     pub ann: Annotations,
+    /// Literal-sensitive 128-bit content hash of the token stream
+    /// (span-insensitive), precomputed at build time so batch detection
+    /// can group duplicate statements in O(1) per statement without
+    /// re-walking tokens.
+    pub text_hash: u128,
 }
 
 /// The application context.
@@ -120,7 +125,8 @@ impl ContextBuilder {
             .into_iter()
             .map(|parsed| {
                 let ann = annotate(&parsed.stmt);
-                AnalyzedStatement { parsed, ann }
+                let text_hash = parsed.content_hash();
+                AnalyzedStatement { parsed, ann, text_hash }
             })
             .collect();
 
@@ -142,9 +148,10 @@ impl ContextBuilder {
             DataProfile::build(&db, &cfg)
         });
 
-        let pairs: Vec<_> =
-            analyzed.iter().map(|a| (a.parsed.stmt.clone(), a.ann.clone())).collect();
-        let workload = WorkloadProfile::build(&pairs, &schema);
+        // Borrow, don't clone: profiling must not duplicate every parsed
+        // statement and annotation on the hot path.
+        let workload =
+            WorkloadProfile::build(analyzed.iter().map(|a| (&a.parsed.stmt, &a.ann)), &schema);
 
         Context { statements: analyzed, schema, workload, data }
     }

@@ -66,8 +66,13 @@ pub struct WorkloadProfile {
 impl WorkloadProfile {
     /// Build a profile from annotated statements, resolving alias
     /// qualifiers against each statement's own scope and falling back to
-    /// the schema catalog for unqualified columns.
-    pub fn build(stmts: &[(Statement, Annotations)], schema: &SchemaCatalog) -> Self {
+    /// the schema catalog for unqualified columns. Takes borrowed pairs so
+    /// callers (notably `ContextBuilder::build`) never deep-clone the
+    /// statement list just to profile it.
+    pub fn build<'a>(
+        stmts: impl IntoIterator<Item = (&'a Statement, &'a Annotations)>,
+        schema: &SchemaCatalog,
+    ) -> Self {
         let mut w = WorkloadProfile::default();
         for (stmt, ann) in stmts {
             w.statement_count += 1;
@@ -238,7 +243,7 @@ mod tests {
         let schema = SchemaCatalog::from_statements(parsed.iter().map(|p| &p.stmt));
         let stmts: Vec<_> =
             parsed.into_iter().map(|p| (p.stmt.clone(), annotate(&p.stmt))).collect();
-        (WorkloadProfile::build(&stmts, &schema), schema)
+        (WorkloadProfile::build(stmts.iter().map(|(s, a)| (s, a)), &schema), schema)
     }
 
     #[test]

@@ -1,0 +1,372 @@
+//! Batched, parallel detection over large workloads (template dedup).
+//!
+//! Production logs contain millions of statements drawn from a few
+//! hundred templates. The batch engine exploits that redundancy:
+//!
+//! 1. **Grouping** — statements are grouped by their template
+//!    [fingerprint](sqlcheck_parser::fingerprint) and, within a template,
+//!    by exact statement text. Intra-query rules run **once per unique
+//!    text** and the results fan back out to every occurrence with
+//!    corrected loci. The exact-text key (rather than the fingerprint
+//!    alone) is what makes the fan-out byte-identical to the sequential
+//!    path: several rules inspect literal *values* (leading-wildcard
+//!    `LIKE`, token-list `INSERT`s), so two statements sharing a template
+//!    can still differ in their detections.
+//! 2. **Parallelism** — unique statements are analysed across scoped
+//!    worker threads (behind the `parallel` cargo feature). Workers are
+//!    assigned groups round-robin and write into per-group slots, so the
+//!    merge is deterministic regardless of scheduling.
+//! 3. **Deterministic merge** — detections are re-emitted in statement
+//!    order, then the inter-query and data phases run exactly as in
+//!    [`Detector::detect`], followed by the same `(kind, locus)` dedup.
+//!    `detect_batch` therefore returns the *same detections in the same
+//!    order* as the sequential path, for any input.
+
+use crate::context::Context;
+use crate::detect::{data, dedup, inter, intra, Detector};
+use crate::report::{Detection, Locus, Report};
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+use std::time::Instant;
+
+/// Pass-through hasher for keys that are already high-quality hashes
+/// (the precomputed 128-bit content hash). Folding the halves is enough;
+/// running FNV output through SipHash again would only burn cycles on
+/// the hottest map in the batch path.
+#[derive(Default)]
+struct PrehashedHasher(u64);
+
+impl Hasher for PrehashedHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        // Only u128 keys are ever hashed here; fold whatever arrives.
+        for chunk in bytes.chunks(8) {
+            let mut b = [0u8; 8];
+            b[..chunk.len()].copy_from_slice(chunk);
+            self.0 ^= u64::from_le_bytes(b);
+        }
+    }
+    fn write_u128(&mut self, i: u128) {
+        self.0 = (i as u64) ^ ((i >> 64) as u64);
+    }
+}
+
+/// Options for [`Detector::detect_batch`].
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// Run intra-query detection across worker threads. Ignored (always
+    /// sequential) when the `parallel` cargo feature is disabled.
+    pub parallel: bool,
+    /// Worker-thread count; `None` uses the machine's available
+    /// parallelism.
+    pub threads: Option<usize>,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions { parallel: cfg!(feature = "parallel"), threads: None }
+    }
+}
+
+impl BatchOptions {
+    /// Force the sequential (but still deduplicating) batch path.
+    pub fn sequential() -> Self {
+        BatchOptions { parallel: false, threads: None }
+    }
+}
+
+/// Instrumentation of one [`Detector::detect_batch`] run.
+#[derive(Debug, Clone, Default)]
+pub struct BatchStats {
+    /// Statements in the workload.
+    pub statements: usize,
+    /// Distinct template fingerprints (literal-insensitive).
+    pub unique_templates: usize,
+    /// Distinct exact statement texts — the number of intra-query rule
+    /// executions actually performed.
+    pub unique_texts: usize,
+    /// Statements whose intra-query results were reused from an earlier
+    /// identical statement (`statements - unique_texts`).
+    pub cache_hits: usize,
+    /// Worker threads used for the intra-query phase (1 = sequential).
+    pub threads: usize,
+    /// Wall-clock microseconds spent grouping statements.
+    pub group_micros: u128,
+    /// Wall-clock microseconds spent in the intra-query phase.
+    pub intra_micros: u128,
+    /// Wall-clock microseconds spent fanning results out to occurrences.
+    pub fanout_micros: u128,
+    /// Wall-clock microseconds for the whole batch detection.
+    pub total_micros: u128,
+}
+
+/// A [`Report`] plus the batch instrumentation that produced it.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// The detection report (identical to the sequential path's).
+    pub report: Report,
+    /// Instrumentation.
+    pub stats: BatchStats,
+}
+
+/// One group of statements sharing an exact text (and hence a template).
+struct Group {
+    /// Representative statement index (the first occurrence).
+    rep: usize,
+    /// All statement indexes with this text, ascending.
+    occurrences: Vec<usize>,
+}
+
+impl Detector {
+    /// Batched detection: like [`Detector::detect`], but runs intra-query
+    /// rules once per unique statement text (grouped under template
+    /// fingerprints) and optionally in parallel. The returned report is
+    /// byte-identical to the sequential path, in the same order.
+    pub fn detect_batch(&self, ctx: &Context, opts: &BatchOptions) -> BatchReport {
+        let t_start = Instant::now();
+        let t_group = Instant::now();
+        let use_context = !self.cfg.intra_only;
+
+        // Phase 1: group statements by their precomputed 128-bit content
+        // hash (literal-sensitive, span-insensitive — computed once at
+        // context-build time). Equal content implies equal fingerprints,
+        // so the content partition refines the template partition; the
+        // template fingerprint is only computed once per representative.
+        // 128 bits are treated as collision-free, the same assumption
+        // content-addressed systems make.
+        let mut groups: Vec<Group> = Vec::new();
+        let mut by_hash: HashMap<u128, usize, BuildHasherDefault<PrehashedHasher>> =
+            HashMap::with_capacity_and_hasher(
+                ctx.statements.len().min(1024),
+                BuildHasherDefault::default(),
+            );
+        let mut templates: HashSet<u64> = HashSet::new();
+        for (idx, stmt) in ctx.statements.iter().enumerate() {
+            match by_hash.entry(stmt.text_hash) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    groups[*e.get()].occurrences.push(idx);
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    templates.insert(stmt.parsed.fingerprint());
+                    v.insert(groups.len());
+                    groups.push(Group { rep: idx, occurrences: vec![idx] });
+                }
+            }
+        }
+
+        let group_micros = t_group.elapsed().as_micros();
+
+        // Phase 2: intra-query rules, once per group.
+        let t_intra = Instant::now();
+        let run_group =
+            |g: &Group| intra::detect_statement(g.rep, &ctx.statements[g.rep], ctx, &self.cfg, use_context);
+        let threads = self.plan_threads(opts, groups.len());
+        let results: Vec<Vec<Detection>> = if threads > 1 {
+            run_parallel(&groups, threads, &run_group)
+        } else {
+            groups.iter().map(run_group).collect()
+        };
+        let intra_micros = t_intra.elapsed().as_micros();
+
+        let t_fanout = Instant::now();
+        // Phase 3: deterministic fan-out in statement order. Singleton
+        // groups move their detections (loci already correct); shared
+        // groups clone per occurrence with the locus index rewritten.
+        let mut group_of = vec![0usize; ctx.statements.len()];
+        for (gi, g) in groups.iter().enumerate() {
+            for &i in &g.occurrences {
+                group_of[i] = gi;
+            }
+        }
+        let mut results = results;
+        let mut report = Report::default();
+        let total: usize = groups
+            .iter()
+            .enumerate()
+            .map(|(gi, g)| g.occurrences.len() * results[gi].len())
+            .sum();
+        report.detections.reserve_exact(total);
+        for (idx, &gi) in group_of.iter().enumerate() {
+            if groups[gi].occurrences.len() == 1 {
+                report.detections.append(&mut results[gi]);
+                continue;
+            }
+            for d in &results[gi] {
+                let mut d = d.clone();
+                if let Locus::Statement { index } = &mut d.locus {
+                    *index = idx;
+                }
+                report.detections.push(d);
+            }
+        }
+
+        let fanout_micros = t_fanout.elapsed().as_micros();
+
+        // Phases 4–5: inter-query and data analysis, exactly as in the
+        // sequential path, then the shared (kind, locus) dedup.
+        if use_context {
+            report.detections.extend(inter::detect(ctx, &self.cfg));
+        }
+        if let Some(data) = &ctx.data {
+            report.detections.extend(data::detect(data, ctx, &self.cfg));
+        }
+        dedup(&mut report.detections);
+
+        let stats = BatchStats {
+            statements: ctx.statements.len(),
+            unique_templates: templates.len(),
+            unique_texts: groups.len(),
+            cache_hits: ctx.statements.len() - groups.len(),
+            threads,
+            group_micros,
+            intra_micros,
+            fanout_micros,
+            total_micros: t_start.elapsed().as_micros(),
+        };
+        BatchReport { report, stats }
+    }
+
+    /// Decide the intra-phase worker count for this run.
+    fn plan_threads(&self, opts: &BatchOptions, groups: usize) -> usize {
+        if !cfg!(feature = "parallel") || !opts.parallel || groups < 2 {
+            return 1;
+        }
+        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        opts.threads.unwrap_or(hw).clamp(1, groups)
+    }
+}
+
+/// Run `f` over every group across `threads` scoped workers, returning
+/// results in group order. Workers take groups round-robin and report
+/// `(group_index, result)` pairs, so assembly is deterministic.
+#[cfg(feature = "parallel")]
+fn run_parallel<F>(groups: &[Group], threads: usize, f: &F) -> Vec<Vec<Detection>>
+where
+    F: Fn(&Group) -> Vec<Detection> + Sync,
+{
+    let partials: Vec<Vec<(usize, Vec<Detection>)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                s.spawn(move || {
+                    groups
+                        .iter()
+                        .enumerate()
+                        .skip(tid)
+                        .step_by(threads)
+                        .map(|(gi, g)| (gi, f(g)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("detection worker panicked")).collect()
+    });
+    let mut results: Vec<Vec<Detection>> = vec![Vec::new(); groups.len()];
+    for part in partials {
+        for (gi, dets) in part {
+            results[gi] = dets;
+        }
+    }
+    results
+}
+
+/// Sequential stand-in when the `parallel` feature is disabled
+/// (`plan_threads` never returns > 1 in that configuration).
+#[cfg(not(feature = "parallel"))]
+fn run_parallel<F>(groups: &[Group], _threads: usize, f: &F) -> Vec<Vec<Detection>>
+where
+    F: Fn(&Group) -> Vec<Detection> + Sync,
+{
+    groups.iter().map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ContextBuilder;
+
+    fn detections_debug(r: &Report) -> Vec<String> {
+        r.detections.iter().map(|d| format!("{d:?}")).collect()
+    }
+
+    fn script_with_duplicates() -> String {
+        let mut s = String::from(
+            "CREATE TABLE t (a INT, price FLOAT);\
+             CREATE TABLE u (id INT PRIMARY KEY, user_ids TEXT);\n",
+        );
+        for i in 0..40 {
+            s.push_str("SELECT * FROM t WHERE a = 1;\n");
+            s.push_str(&format!("SELECT * FROM t WHERE a = {i};\n"));
+            s.push_str("SELECT * FROM u WHERE user_ids LIKE '%U1%';\n");
+            s.push_str("INSERT INTO t VALUES (1, 2.5);\n");
+        }
+        s
+    }
+
+    #[test]
+    fn batch_matches_sequential_byte_for_byte() {
+        let ctx = ContextBuilder::new().add_script(&script_with_duplicates()).build();
+        let det = Detector::default();
+        let seq = det.detect(&ctx);
+        for opts in [BatchOptions::sequential(), BatchOptions::default()] {
+            let batch = det.detect_batch(&ctx, &opts);
+            assert_eq!(
+                detections_debug(&seq),
+                detections_debug(&batch.report),
+                "batch (parallel={}) must equal sequential",
+                opts.parallel
+            );
+        }
+    }
+
+    #[test]
+    fn stats_reflect_dedup() {
+        let ctx = ContextBuilder::new().add_script(&script_with_duplicates()).build();
+        let b = Detector::default().detect_batch(&ctx, &BatchOptions::default());
+        assert_eq!(b.stats.statements, ctx.len());
+        assert!(b.stats.unique_texts < b.stats.statements, "duplicates must dedup");
+        // The `a = {i}` family shares one template across 40 literals.
+        assert!(b.stats.unique_templates < b.stats.unique_texts);
+        assert_eq!(b.stats.cache_hits, b.stats.statements - b.stats.unique_texts);
+    }
+
+    #[test]
+    fn literal_sensitive_rules_survive_template_sharing() {
+        // Same template, different literal shape: only the leading-wildcard
+        // variant is a Pattern Matching AP. The exact-text cache must keep
+        // them apart.
+        let sql = "SELECT a FROM t WHERE a LIKE '%x%';\
+                   SELECT a FROM t WHERE a LIKE 'x%';";
+        let ctx = ContextBuilder::new().add_script(sql).build();
+        let det = Detector::default();
+        let seq = det.detect(&ctx);
+        let batch = det.detect_batch(&ctx, &BatchOptions::default());
+        assert_eq!(detections_debug(&seq), detections_debug(&batch.report));
+        use crate::anti_pattern::AntiPatternKind;
+        assert_eq!(batch.report.count(AntiPatternKind::PatternMatching), 1);
+    }
+
+    #[test]
+    fn empty_and_single_statement_workloads() {
+        for sql in ["", "SELECT * FROM t"] {
+            let ctx = ContextBuilder::new().add_script(sql).build();
+            let det = Detector::default();
+            let seq = det.detect(&ctx);
+            let batch = det.detect_batch(&ctx, &BatchOptions::default());
+            assert_eq!(detections_debug(&seq), detections_debug(&batch.report));
+        }
+    }
+
+    #[test]
+    fn explicit_thread_count_is_honoured() {
+        let ctx = ContextBuilder::new().add_script(&script_with_duplicates()).build();
+        let opts = BatchOptions { parallel: true, threads: Some(2) };
+        let b = Detector::default().detect_batch(&ctx, &opts);
+        if cfg!(feature = "parallel") {
+            assert_eq!(b.stats.threads, 2);
+        } else {
+            assert_eq!(b.stats.threads, 1);
+        }
+    }
+}

@@ -73,7 +73,7 @@ fn data_in_metadata(table: &TableProfile, out: &mut Vec<Detection>) {
                 message: format!(
                     "table '{}' encodes data in {n} numbered '{stem}N' columns",
                     table.name
-                ),
+                ).into(),
                 source: DetectionSource::DataAnalysis,
             });
         }
@@ -92,7 +92,7 @@ fn col_detection(
             Some(c) => Locus::Column { table: table.name.clone(), column: c.to_string() },
             None => Locus::Table { table: table.name.clone() },
         },
-        message,
+        message: message.into(),
         source: DetectionSource::DataAnalysis,
     }
 }

@@ -26,7 +26,7 @@ pub fn detect(ctx: &Context, cfg: &DetectionConfig) -> Vec<Detection> {
 /// with no declared FK between them, and one side is a primary key — the
 /// classic unenforced one-to-many relationship.
 fn no_foreign_key(ctx: &Context, out: &mut Vec<Detection>) {
-    for (edge, _count) in &ctx.workload.join_edges {
+    for edge in ctx.workload.join_edges.keys() {
         let (lt, lc) = (&edge.left.0, &edge.left.1);
         let (rt, rc) = (&edge.right.0, &edge.right.1);
         if lt == rt {
@@ -53,7 +53,7 @@ fn no_foreign_key(ctx: &Context, out: &mut Vec<Detection>) {
             locus: Locus::Column { table: ref_table.clone(), column: ref_col.clone() },
             message: format!(
                 "queries join {ref_table}.{ref_col} to {target}'s primary key but no foreign key is declared"
-            ),
+            ).into(),
             source: DetectionSource::InterQuery,
         });
     }
@@ -90,7 +90,7 @@ fn index_underuse(ctx: &Context, cfg: &DetectionConfig, out: &mut Vec<Detection>
             message: format!(
                 "{} equality predicate(s) and {} GROUP BY use(s) on {table}.{column}, which has no index",
                 usage.eq_predicates, usage.group_by
-            ),
+            ).into(),
             source: DetectionSource::InterQuery,
         });
     }
@@ -138,7 +138,7 @@ fn index_overuse(ctx: &Context, out: &mut Vec<Detection>) {
             out.push(Detection {
                 kind: AntiPatternKind::IndexOveruse,
                 locus: Locus::Index { index: idx.name.clone() },
-                message: reason,
+                message: reason.into(),
                 source: DetectionSource::InterQuery,
             });
         }
@@ -171,7 +171,7 @@ fn clone_table(ctx: &Context, out: &mut Vec<Detection>) {
                         "table '{table}' is one of {} clones of the '{stem}_N' pattern ({})",
                         tables.len(),
                         tables.join(", ")
-                    ),
+                    ).into(),
                     source: DetectionSource::InterQuery,
                 });
             }

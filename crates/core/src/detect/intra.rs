@@ -24,7 +24,7 @@ pub fn detect_statement(
         out.push(Detection {
             kind,
             locus: Locus::Statement { index: idx },
-            message,
+            message: message.into(),
             source: DetectionSource::IntraQuery,
         });
     };
@@ -603,7 +603,7 @@ pub(crate) fn looks_like_token_list(s: &str) -> bool {
         return false;
     }
     let tokens: Vec<&str> =
-        s.split(|c| c == ',' || c == ';').map(str::trim).collect();
+        s.split([',', ';']).map(str::trim).collect();
     tokens.len() >= 2
         && tokens.iter().all(|t| {
             !t.is_empty()

@@ -12,12 +12,16 @@
 //! 3. **Data analysis** ([`data`]): rules over sampled column profiles,
 //!    when a database is attached.
 
+pub mod batch;
 pub mod data;
 pub mod inter;
 pub mod intra;
 
+pub use batch::{BatchOptions, BatchReport, BatchStats};
+
 use crate::context::{Context, DataAnalysisConfig};
 use crate::report::{Detection, Locus, Report};
+use std::collections::HashSet;
 
 /// Detector configuration (thresholds are the paper's defaults where it
 /// names one; Table 1 mentions the God Table threshold of 10).
@@ -89,18 +93,12 @@ impl Detector {
 
 /// Drop later detections that duplicate an earlier `(kind, locus)` pair —
 /// the same AP found by several phases is reported once, crediting the
-/// earliest (most specific) phase.
-fn dedup(detections: &mut Vec<Detection>) {
-    let mut seen: Vec<(crate::anti_pattern::AntiPatternKind, Locus)> = Vec::new();
-    detections.retain(|d| {
-        let key = (d.kind, d.locus.clone());
-        if seen.contains(&key) {
-            false
-        } else {
-            seen.push(key);
-            true
-        }
-    });
+/// earliest (most specific) phase. Runs in O(n) via a hash set (the old
+/// `Vec::contains` scan was quadratic and dominated large workloads).
+pub(crate) fn dedup(detections: &mut Vec<Detection>) {
+    let mut seen: HashSet<(crate::anti_pattern::AntiPatternKind, Locus)> =
+        HashSet::with_capacity(detections.len());
+    detections.retain(|d| seen.insert((d.kind, d.locus.clone())));
 }
 
 #[cfg(test)]

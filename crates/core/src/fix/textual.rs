@@ -180,7 +180,7 @@ mod tests {
             let d = Detection {
                 kind,
                 locus: Locus::Application,
-                message: String::new(),
+                message: "".into(),
                 source: crate::report::DetectionSource::IntraQuery,
             };
             assert!(!advice(&d, &ctx).is_empty());

@@ -24,6 +24,42 @@
 //! assert!(results.iter().any(|d| d.kind.name() == "Implicit Columns"));
 //! ```
 //!
+//! ## Batch detection (workload scale)
+//!
+//! Application logs contain millions of statements drawn from a few
+//! hundred templates. [`SqlCheck::check_workload`] (and the lower-level
+//! [`Detector::detect_batch`]) exploit that redundancy:
+//!
+//! * statements are **fingerprinted** ([`sqlcheck_parser::fingerprint`]):
+//!   literals become `?` placeholders, literal lists collapse, keyword and
+//!   bare-identifier case folds, whitespace/comments vanish — statements
+//!   that differ only in bind values share a template;
+//! * intra-query rules run **once per unique statement text** within each
+//!   template group, and results fan back out to every occurrence with
+//!   corrected loci (exact text, not the fingerprint alone, keys the
+//!   result cache because some rules inspect literal values);
+//! * template groups are analysed **in parallel** with scoped threads
+//!   behind the `parallel` cargo feature (on by default; disable it for
+//!   strictly single-threaded builds), with a deterministic merge that
+//!   preserves statement order.
+//!
+//! The batch path returns byte-identical detections, in the same order,
+//! as the sequential path — plus [`BatchStats`] instrumentation
+//! (template/dedup counts, thread usage, phase timings).
+//!
+//! ```
+//! use sqlcheck::{BatchOptions, SqlCheck};
+//!
+//! let mut script = String::new();
+//! for i in 0..100 {
+//!     script.push_str(&format!("SELECT * FROM Users WHERE id = {i};\n"));
+//! }
+//! let w = SqlCheck::new().check_workload(&script, &BatchOptions::default());
+//! assert_eq!(w.stats.statements, 100);
+//! assert_eq!(w.stats.unique_templates, 1);
+//! assert!(!w.outcome.ranked.is_empty());
+//! ```
+//!
 //! The full pipeline, with a database attached for data analysis:
 //!
 //! ```
@@ -60,7 +96,7 @@ pub mod report;
 
 pub use anti_pattern::{AntiPatternKind, Category, MetricImpact};
 pub use context::{Context, ContextBuilder, DataAnalysisConfig};
-pub use detect::{DetectionConfig, Detector};
+pub use detect::{BatchOptions, BatchReport, BatchStats, DetectionConfig, Detector};
 pub use fix::{Fix, FixEngine, SuggestedFix};
 pub use rank::{
     ApMetrics, InterQueryModel, MetricsTable, RankWeights, RankedDetection, Ranker, Severity,
@@ -216,6 +252,39 @@ impl SqlCheck {
         let fixes = FixEngine.fix_all(&ordered, &context);
         CheckOutcome { context, report, ranked, fixes }
     }
+
+    /// Run the full pipeline over a large workload using the batch
+    /// detection engine: template-fingerprint grouping, per-unique-text
+    /// rule execution, and (with the `parallel` feature) data-parallel
+    /// intra-query analysis. Produces the same detections as
+    /// [`SqlCheck::check_script`] plus [`BatchStats`] instrumentation.
+    pub fn check_workload(self, script: &str, opts: &BatchOptions) -> WorkloadOutcome {
+        let mut builder = ContextBuilder::new().add_script(script);
+        if let Some(db) = self.database {
+            builder = builder.with_database(db, self.data_cfg.clone());
+        }
+        let context = builder.build();
+        let batch = self.detector.detect_batch(&context, opts);
+        let mut report = batch.report;
+        report.detections.extend(self.registry.detect_all(&context));
+        let ranked = self.ranker.rank(&report);
+        let ordered: Vec<Detection> =
+            ranked.iter().map(|r| r.detection.clone()).collect();
+        let fixes = FixEngine.fix_all(&ordered, &context);
+        WorkloadOutcome {
+            outcome: CheckOutcome { context, report, ranked, fixes },
+            stats: batch.stats,
+        }
+    }
+}
+
+/// A [`CheckOutcome`] plus the batch-engine instrumentation.
+#[derive(Debug)]
+pub struct WorkloadOutcome {
+    /// The regular pipeline outcome (context, report, ranking, fixes).
+    pub outcome: CheckOutcome,
+    /// Batch instrumentation: dedup effectiveness, thread usage, timings.
+    pub stats: BatchStats,
 }
 
 #[cfg(test)]

@@ -324,7 +324,7 @@ mod tests {
         Detection {
             kind,
             locus: Locus::Statement { index: idx },
-            message: String::new(),
+            message: "".into(),
             source: DetectionSource::IntraQuery,
         }
     }

@@ -2,9 +2,10 @@
 
 use crate::anti_pattern::AntiPatternKind;
 use std::fmt;
+use std::sync::Arc;
 
 /// Where a detection is anchored.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Locus {
     /// A statement, by index in the analysed script.
     Statement {
@@ -51,8 +52,10 @@ pub struct Detection {
     pub kind: AntiPatternKind,
     /// Where it was found.
     pub locus: Locus,
-    /// Human-readable explanation with concrete evidence.
-    pub message: String,
+    /// Human-readable explanation with concrete evidence. Shared
+    /// (`Arc<str>`) so batch detection can fan one analysis result out to
+    /// thousands of duplicate statements without re-allocating the text.
+    pub message: Arc<str>,
     /// Which analysis produced it (used for the intra/inter/data ablation).
     pub source: DetectionSource,
 }

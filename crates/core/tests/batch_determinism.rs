@@ -1,0 +1,121 @@
+//! Property test (satellite of the batch-engine PR): on randomized
+//! scripts full of duplicate templates, `Detector::detect_batch` — both
+//! sequential-deduped and parallel — must return **byte-identical
+//! detections, in the same order**, as the sequential per-statement path.
+//!
+//! The build environment has no access to the `proptest` crate, so the
+//! property runs over deterministically generated random scripts: same
+//! seeds, same cases, every run.
+
+use sqlcheck::{BatchOptions, ContextBuilder, DetectionConfig, Detector};
+use sqlcheck_minidb::stats::SmallRng;
+
+/// Build a random script that is heavy on duplicate templates: a small
+/// pool of statement shapes, instantiated with a small pool of literals
+/// (so exact duplicates, literal-only variants, and case/whitespace
+/// variants all occur), in random order, with some DDL mixed in.
+fn random_script(rng: &mut SmallRng, statements: usize) -> String {
+    let n_tables = 1 + rng.gen_range(4);
+    let tables: Vec<String> = (0..n_tables).map(|i| format!("tab{i}")).collect();
+    let mut script = String::new();
+    for (i, t) in tables.iter().enumerate() {
+        // Some tables get primary keys, some don't; one gets a FLOAT.
+        if i % 2 == 0 {
+            script.push_str(&format!(
+                "CREATE TABLE {t} (id INT PRIMARY KEY, name TEXT, price FLOAT, user_ids TEXT);\n"
+            ));
+        } else {
+            script.push_str(&format!("CREATE TABLE {t} (a INT, b TEXT);\n"));
+        }
+    }
+    // Literal pools kept tiny so duplicates dominate; pattern literals
+    // include both AP-triggering (leading-wildcard) and benign shapes —
+    // the pair shares a fingerprint but must not share detections.
+    let lits = ["1", "2", "42"];
+    let pats = ["'%x%'", "'x%'", "'[[:<:]]U1[[:>:]]'", "'U1,U2,U3'"];
+    for _ in 0..statements {
+        let t = &tables[rng.gen_range(tables.len())];
+        let stmt = match rng.gen_range(8) {
+            0 => format!("SELECT * FROM {t} WHERE id = {}", lits[rng.gen_range(lits.len())]),
+            1 => format!("select * from {t} where id = {}", lits[rng.gen_range(lits.len())]),
+            2 => format!("SELECT name FROM {t} WHERE name LIKE {}", pats[rng.gen_range(pats.len())]),
+            3 => format!("INSERT INTO {t} VALUES ({}, 'v', 1.5, {})",
+                lits[rng.gen_range(lits.len())], pats[rng.gen_range(pats.len())]),
+            4 => format!(
+                "SELECT DISTINCT a.id FROM {t} a JOIN {t} b ON a.id = b.id WHERE a.id > {}",
+                lits[rng.gen_range(lits.len())]
+            ),
+            5 => format!("UPDATE {t} SET name = {} WHERE id = {}",
+                pats[rng.gen_range(pats.len())], lits[rng.gen_range(lits.len())]),
+            6 => format!("SELECT * FROM {t}   WHERE  id IN ({}, {})",
+                lits[rng.gen_range(lits.len())], lits[rng.gen_range(lits.len())]),
+            _ => format!("SELECT * FROM {t} ORDER BY RANDOM()"),
+        };
+        script.push_str(&stmt);
+        script.push_str(";\n");
+    }
+    script
+}
+
+fn detections_debug(r: &sqlcheck::Report) -> Vec<String> {
+    r.detections.iter().map(|d| format!("{d:?}")).collect()
+}
+
+fn assert_batch_matches(det: &Detector, script: &str, label: &str) {
+    let ctx = ContextBuilder::new().add_script(script).build();
+    let seq = detections_debug(&det.detect(&ctx));
+    let configs = [
+        ("batch-sequential", BatchOptions::sequential()),
+        ("batch-default", BatchOptions::default()),
+        ("batch-2-threads", BatchOptions { parallel: true, threads: Some(2) }),
+        ("batch-3-threads", BatchOptions { parallel: true, threads: Some(3) }),
+    ];
+    for (name, opts) in configs {
+        let batch = det.detect_batch(&ctx, &opts);
+        let got = detections_debug(&batch.report);
+        assert_eq!(seq, got, "{label}/{name}: batch must be byte-identical to sequential");
+        // Order within the report is part of the contract, and so is the
+        // fan-out bookkeeping.
+        assert_eq!(batch.stats.statements, ctx.len(), "{label}/{name}");
+        assert_eq!(
+            batch.stats.cache_hits,
+            batch.stats.statements - batch.stats.unique_texts,
+            "{label}/{name}"
+        );
+        assert!(batch.stats.unique_templates <= batch.stats.unique_texts, "{label}/{name}");
+    }
+}
+
+/// The core property, across many random scripts and both detector
+/// configurations (full and intra-only).
+#[test]
+fn detect_batch_is_byte_identical_to_sequential() {
+    let mut rng = SmallRng::new(0xBA7C4);
+    for case in 0..40 {
+        let statements = 20 + rng.gen_range(120);
+        let script = random_script(&mut rng, statements);
+        assert_batch_matches(&Detector::default(), &script, &format!("case {case} full"));
+        assert_batch_matches(
+            &Detector::new(DetectionConfig::intra_only()),
+            &script,
+            &format!("case {case} intra"),
+        );
+    }
+}
+
+/// Duplicate-template-heavy scripts must actually exercise the dedup
+/// cache (the property above would pass vacuously on all-unique scripts).
+#[test]
+fn random_scripts_contain_duplicates() {
+    let mut rng = SmallRng::new(0xD0D0);
+    let script = random_script(&mut rng, 200);
+    let ctx = ContextBuilder::new().add_script(&script).build();
+    let b = Detector::default().detect_batch(&ctx, &BatchOptions::default());
+    assert!(
+        b.stats.cache_hits > 50,
+        "expected heavy duplication, got {} hits over {} statements",
+        b.stats.cache_hits,
+        b.stats.statements
+    );
+    assert!(b.stats.unique_templates < b.stats.unique_texts, "literal variants must fold");
+}

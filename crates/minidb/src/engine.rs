@@ -28,6 +28,23 @@ pub fn timed_mean<T>(runs: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
     (last.unwrap(), total / runs as u32)
 }
 
+/// Run `f` `runs` times and return the **minimum** duration. The minimum
+/// is the noise-robust estimator of a task's intrinsic cost: scheduler
+/// preemption and (on virtualised CI) hypervisor steal time only ever
+/// *add* to a run, so the fastest observation is the closest to the
+/// truth. On quiet hardware min ≈ mean.
+pub fn timed_min<T>(runs: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+    assert!(runs > 0);
+    let mut best = Duration::MAX;
+    let mut last = None;
+    for _ in 0..runs {
+        let (out, d) = timed(&mut f);
+        best = best.min(d);
+        last = Some(out);
+    }
+    (last.unwrap(), best)
+}
+
 /// A labelled pair of measurements: with the anti-pattern present and with
 /// it fixed — the unit of every Fig 3 / Fig 8 panel.
 #[derive(Debug, Clone)]
@@ -71,7 +88,10 @@ pub struct Timings {
 }
 
 impl Timings {
-    /// Measure one panel: run both closures `runs` times and record means.
+    /// Measure one panel: run both closures `runs` times and record the
+    /// best (minimum) observation of each. Min-of-N rather than mean
+    /// keeps speedup ratios stable on noisy/virtualised machines, where
+    /// steal-time spikes would otherwise poison an average.
     pub fn measure<T, U>(
         &mut self,
         label: &str,
@@ -79,8 +99,8 @@ impl Timings {
         mut with_ap: impl FnMut() -> T,
         mut without_ap: impl FnMut() -> U,
     ) {
-        let (_, d_ap) = timed_mean(runs, &mut with_ap);
-        let (_, d_fixed) = timed_mean(runs, &mut without_ap);
+        let (_, d_ap) = timed_min(runs, &mut with_ap);
+        let (_, d_fixed) = timed_min(runs, &mut without_ap);
         self.comparisons.push(ApComparison {
             label: label.to_string(),
             with_ap: d_ap,

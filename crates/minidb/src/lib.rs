@@ -53,7 +53,7 @@ pub mod value;
 /// Convenient glob import for applications and benchmarks.
 pub mod prelude {
     pub use crate::database::Database;
-    pub use crate::engine::{timed, timed_mean, ApComparison, Timings};
+    pub use crate::engine::{timed, timed_mean, timed_min, ApComparison, Timings};
     pub use crate::error::DbError;
     pub use crate::exec::{
         aggregate, distinct, hash_group_aggregate, hash_join, index_nl_join, index_scan_eq,

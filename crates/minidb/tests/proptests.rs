@@ -1,7 +1,12 @@
 //! Property-based tests for engine invariants.
+//!
+//! The build environment has no access to the `proptest` crate, so these
+//! properties run over deterministically generated random cases (the
+//! engine's own `SmallRng`): same seeds, same cases, every run.
 
-use proptest::prelude::*;
 use sqlcheck_minidb::prelude::*;
+
+const CASES: usize = 128;
 
 fn int_table() -> Table {
     Table::new(
@@ -11,14 +16,21 @@ fn int_table() -> Table {
     )
 }
 
-proptest! {
-    /// Index scans must return exactly the rows a filtered sequential scan
-    /// returns, for any data set and probe key.
-    #[test]
-    fn index_scan_equals_seq_scan(
-        rows in prop::collection::vec((0i64..20, 0i64..1000), 0..200),
-        probe in 0i64..20,
-    ) {
+fn gen_rows(rng: &mut SmallRng, max_len: usize, k_range: usize, v_range: usize) -> Vec<(i64, i64)> {
+    let len = rng.gen_range(max_len + 1);
+    (0..len)
+        .map(|_| (rng.gen_range(k_range) as i64, rng.gen_range(v_range) as i64))
+        .collect()
+}
+
+/// Index scans must return exactly the rows a filtered sequential scan
+/// returns, for any data set and probe key.
+#[test]
+fn index_scan_equals_seq_scan() {
+    let mut rng = SmallRng::new(0x1D5);
+    for case in 0..CASES {
+        let rows = gen_rows(&mut rng, 200, 20, 1000);
+        let probe = rng.gen_range(20) as i64;
         let mut t = int_table();
         for (k, v) in &rows {
             t.insert(vec![Value::Int(*k), Value::Int(*v)]).unwrap();
@@ -29,23 +41,27 @@ proptest! {
         let mut b = index_scan_eq(&t, "idx_k", &Value::Int(probe), None);
         a.sort_by(|x, y| x[1].total_cmp(&y[1]));
         b.sort_by(|x, y| x[1].total_cmp(&y[1]));
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    /// Insert + delete round-trips preserve the surviving row multiset and
-    /// the index stays consistent with storage.
-    #[test]
-    fn delete_preserves_survivors(
-        rows in prop::collection::vec((0i64..10, 0i64..100), 1..100),
-        victim in 0i64..10,
-    ) {
+/// Insert + delete round-trips preserve the surviving row multiset and
+/// the index stays consistent with storage.
+#[test]
+fn delete_preserves_survivors() {
+    let mut rng = SmallRng::new(0xDE1);
+    for case in 0..CASES {
+        let mut rows = gen_rows(&mut rng, 99, 10, 100);
+        if rows.is_empty() {
+            rows.push((1, 1));
+        }
+        let victim = rng.gen_range(10) as i64;
         let mut t = int_table();
         t.create_index("idx_k", &["k"], false).unwrap();
         for (k, v) in &rows {
             t.insert(vec![Value::Int(*k), Value::Int(*v)]).unwrap();
         }
-        let expected_survivors =
-            rows.iter().filter(|(k, _)| *k != victim).count();
+        let expected_survivors = rows.iter().filter(|(k, _)| *k != victim).count();
         let rids: Vec<_> = t
             .scan()
             .filter(|(_, r)| r[0] == Value::Int(victim))
@@ -54,21 +70,24 @@ proptest! {
         for rid in rids {
             t.delete_row(rid).unwrap();
         }
-        prop_assert_eq!(t.len(), expected_survivors);
-        prop_assert!(t.index("idx_k").unwrap().lookup_value(&Value::Int(victim)).is_empty());
-        prop_assert_eq!(t.index("idx_k").unwrap().len(), expected_survivors);
+        assert_eq!(t.len(), expected_survivors, "case {case}");
+        assert!(t.index("idx_k").unwrap().lookup_value(&Value::Int(victim)).is_empty());
+        assert_eq!(t.index("idx_k").unwrap().len(), expected_survivors, "case {case}");
     }
+}
 
-    /// Hash join agrees with nested-loop join on any pair of tables.
-    #[test]
-    fn hash_join_equals_nested_loop(
-        left in prop::collection::vec(0i64..8, 0..40),
-        right in prop::collection::vec(0i64..8, 0..40),
-    ) {
+/// Hash join agrees with nested-loop join on any pair of tables.
+#[test]
+fn hash_join_equals_nested_loop() {
+    let mut rng = SmallRng::new(0x10B);
+    for case in 0..CASES {
+        let left: Vec<i64> =
+            (0..rng.gen_range(40)).map(|_| rng.gen_range(8) as i64).collect();
+        let right: Vec<i64> =
+            (0..rng.gen_range(40)).map(|_| rng.gen_range(8) as i64).collect();
         let mk = |vals: &[i64]| {
-            let mut t = Table::new(
-                TableSchema::new("x").column(Column::new("k", DataType::Int)),
-            );
+            let mut t =
+                Table::new(TableSchema::new("x").column(Column::new("k", DataType::Int)));
             for v in vals {
                 t.insert(vec![Value::Int(*v)]).unwrap();
             }
@@ -79,17 +98,19 @@ proptest! {
         let on = PExpr::cols_eq(0, 1);
         let mut nl = nested_loop_join(&lt, &rt, &on);
         let mut hj = hash_join(&lt, 0, &rt, 0);
-        let key = |r: &Row| (format!("{:?}", r));
+        let key = |r: &Row| format!("{r:?}");
         nl.sort_by_key(key);
         hj.sort_by_key(key);
-        prop_assert_eq!(nl, hj);
+        assert_eq!(nl, hj, "case {case}");
     }
+}
 
-    /// Grouped aggregation via hash and via index produce identical groups.
-    #[test]
-    fn group_aggregation_plans_agree(
-        rows in prop::collection::vec((0i64..6, 0i64..50), 0..100),
-    ) {
+/// Grouped aggregation via hash and via index produce identical groups.
+#[test]
+fn group_aggregation_plans_agree() {
+    let mut rng = SmallRng::new(0xA66);
+    for case in 0..CASES {
+        let rows = gen_rows(&mut rng, 100, 6, 50);
         let mut t = int_table();
         for (k, v) in &rows {
             t.insert(vec![Value::Int(*k), Value::Int(*v)]).unwrap();
@@ -97,43 +118,71 @@ proptest! {
         t.create_index("idx_k", &["k"], false).unwrap();
         let h = sort_by_column(hash_group_aggregate(&t, 0, 1, AggFunc::Sum), 0, true);
         let s = sorted_group_aggregate(&t, "idx_k", 1, AggFunc::Sum);
-        prop_assert_eq!(h, s);
+        assert_eq!(h, s, "case {case}");
     }
+}
 
-    /// LIKE with only literal characters is exact equality.
-    #[test]
-    fn literal_like_is_equality(s in "[a-z0-9]{0,12}", t in "[a-z0-9]{0,12}") {
-        prop_assert_eq!(like_match(&s, &t), s == t);
+fn rand_lower(rng: &mut SmallRng, max_len: usize) -> String {
+    let len = rng.gen_range(max_len + 1);
+    (0..len).map(|_| (b'a' + rng.gen_range(26) as u8) as char).collect()
+}
+
+/// LIKE with only literal characters is exact equality.
+#[test]
+fn literal_like_is_equality() {
+    let mut rng = SmallRng::new(0x11E);
+    for case in 0..CASES {
+        let s = rand_lower(&mut rng, 12);
+        let t = rand_lower(&mut rng, 12);
+        assert_eq!(like_match(&s, &t), s == t, "case {case}: {s:?} LIKE {t:?}");
     }
+}
 
-    /// `%pattern%` is substring containment.
-    #[test]
-    fn contains_like(hay in "[a-z]{0,16}", needle in "[a-z]{0,4}") {
+/// `%pattern%` is substring containment.
+#[test]
+fn contains_like() {
+    let mut rng = SmallRng::new(0xC047);
+    for case in 0..CASES {
+        let hay = rand_lower(&mut rng, 16);
+        let needle = rand_lower(&mut rng, 4);
         let pat = format!("%{needle}%");
-        prop_assert_eq!(like_match(&hay, &pat), hay.contains(&needle));
+        assert_eq!(like_match(&hay, &pat), hay.contains(&needle), "case {case}");
     }
+}
 
-    /// Word-boundary containment never yields false positives inside words.
-    #[test]
-    fn word_boundary_semantics(ids in prop::collection::vec(1u32..300, 1..10), probe in 1u32..300) {
+/// Word-boundary containment never yields false positives inside words.
+#[test]
+fn word_boundary_semantics() {
+    let mut rng = SmallRng::new(0x30B);
+    for case in 0..CASES {
+        let ids: Vec<u32> =
+            (0..1 + rng.gen_range(9)).map(|_| 1 + rng.gen_range(299) as u32).collect();
+        let probe = 1 + rng.gen_range(299) as u32;
         let joined = ids.iter().map(|i| format!("U{i}")).collect::<Vec<_>>().join(",");
         let pat = format!("[[:<:]]U{probe}[[:>:]]");
         let expected = ids.contains(&probe);
-        prop_assert_eq!(like_match(&joined, &pat), expected, "text={} probe=U{}", joined, probe);
+        assert_eq!(
+            like_match(&joined, &pat),
+            expected,
+            "case {case}: text={joined} probe=U{probe}"
+        );
     }
+}
 
-    /// update_where touches exactly the matching rows.
-    #[test]
-    fn update_where_is_exact(
-        rows in prop::collection::vec((0i64..5, 0i64..50), 0..60),
-        target in 0i64..5,
-    ) {
+/// update_where touches exactly the matching rows.
+#[test]
+fn update_where_is_exact() {
+    let mut rng = SmallRng::new(0x0DD);
+    for case in 0..CASES {
+        let rows = gen_rows(&mut rng, 60, 5, 50);
+        let target = rng.gen_range(5) as i64;
         let mut db = Database::new();
         db.create_table(
             TableSchema::new("t")
                 .column(Column::new("k", DataType::Int))
                 .column(Column::new("v", DataType::Int)),
-        ).unwrap();
+        )
+        .unwrap();
         for (k, v) in &rows {
             db.insert("t", vec![Value::Int(*k), Value::Int(*v)]).unwrap();
         }
@@ -141,10 +190,10 @@ proptest! {
             .update_where("t", &PExpr::col_eq(0, Value::Int(target)), &[(1, Value::Int(-1))])
             .unwrap();
         let expect = rows.iter().filter(|(k, _)| *k == target).count();
-        prop_assert_eq!(n, expect);
+        assert_eq!(n, expect, "case {case}");
         let t = db.table("t").unwrap();
         let minus_ones = t.scan().filter(|(_, r)| r[1] == Value::Int(-1)).count();
         // every matching row is -1 now; rows that already had v == -1 are impossible (v >= 0)
-        prop_assert_eq!(minus_ones, expect);
+        assert_eq!(minus_ones, expect, "case {case}");
     }
 }

@@ -1,0 +1,227 @@
+//! Statement fingerprinting: literal-insensitive query templates.
+//!
+//! Real application logs contain millions of statements drawn from a few
+//! hundred *templates* — the same query shape re-issued with different
+//! bind values. The fingerprint collapses each statement onto its
+//! template so batch analysis (`sqlcheck::Detector::detect_batch`) can
+//! group duplicate shapes, and workload statistics can report unique
+//! template counts.
+//!
+//! ## What normalizes
+//!
+//! * **Literals** — string, numeric, and bind-parameter tokens all become
+//!   the placeholder `?`;
+//! * **Literal lists** — runs of comma-separated placeholders collapse to
+//!   one `?`, so `IN (1, 2, 3)` and `IN (?)` share a template;
+//! * **Case** — keywords uppercase, bare identifiers lowercase;
+//! * **Whitespace & comments** — dropped entirely (atoms are re-joined
+//!   with single spaces);
+//! * **Trailing semicolons** — dropped.
+//!
+//! ## What does *not* normalize
+//!
+//! * **Quoted identifiers** keep their exact case (`"User"` ≠ `"user"`,
+//!   per SQL semantics);
+//! * **Structure** — any difference in keywords, identifiers, operators,
+//!   or punctuation yields a different template;
+//! * **Literal *content*** is erased, which means two statements with the
+//!   same fingerprint can still behave differently under rules that
+//!   inspect literal values (e.g. leading-wildcard `LIKE` detection).
+//!   Consumers that need byte-identical analysis results must therefore
+//!   key their caches on the exact statement text *within* a fingerprint
+//!   group — which is exactly what `detect_batch` does.
+
+use crate::ast::ParsedStatement;
+use crate::token::{Token, TokenKind};
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hash arbitrary bytes with FNV-1a (64-bit). Deterministic across
+/// processes and platforms, unlike `DefaultHasher`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Render the normalized template of a token stream (see the module docs
+/// for the normalization rules).
+pub fn template_of(tokens: &[Token]) -> String {
+    let mut atoms: Vec<String> = Vec::with_capacity(tokens.len());
+    for t in tokens {
+        if t.is_trivia() {
+            continue;
+        }
+        let atom = match t.kind {
+            TokenKind::StringLit | TokenKind::NumberLit | TokenKind::Param => "?".to_string(),
+            TokenKind::Keyword => t.text.to_ascii_uppercase(),
+            TokenKind::Ident => t.text.to_ascii_lowercase(),
+            TokenKind::QuotedIdent => t.ident_value().to_string(),
+            _ => t.text.clone(),
+        };
+        if atom == "?" {
+            // Collapse `?, ?` into `?` so variable-length literal lists
+            // (IN lists, VALUES rows) share one template.
+            let n = atoms.len();
+            if n >= 2 && atoms[n - 1] == "," && atoms[n - 2] == "?" {
+                atoms.pop();
+                continue;
+            }
+        }
+        atoms.push(atom);
+    }
+    while atoms.last().map(String::as_str) == Some(";") {
+        atoms.pop();
+    }
+    atoms.join(" ")
+}
+
+/// Fingerprint of a token stream: the FNV-1a hash of its template.
+pub fn fingerprint_of(tokens: &[Token]) -> u64 {
+    fnv1a(template_of(tokens).as_bytes())
+}
+
+/// FNV-1a 128-bit offset basis.
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// FNV-1a 128-bit prime.
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// Content hash of a token stream: a 128-bit FNV-1a over every token's
+/// kind and exact text (spans excluded, so duplicate statements at
+/// different script offsets collide — by design). Unlike the fingerprint,
+/// this is **literal-sensitive**: it identifies statements whose analysis
+/// results are interchangeable. 128 bits make accidental collisions
+/// negligible, which lets batch analysis use the hash alone as a
+/// result-cache key.
+pub fn content_hash_of(tokens: &[Token]) -> u128 {
+    let mut h = FNV128_OFFSET;
+    let mut eat = |b: u8| {
+        h ^= b as u128;
+        h = h.wrapping_mul(FNV128_PRIME);
+    };
+    for t in tokens {
+        eat(t.kind as u8);
+        for b in t.text.as_bytes() {
+            eat(*b);
+        }
+        eat(0xFF); // token separator: ["ab"] must not collide with ["a","b"]
+    }
+    h
+}
+
+impl ParsedStatement {
+    /// The statement's normalized template (literals → `?`, case and
+    /// whitespace folded — see [`crate::fingerprint`] for exact
+    /// semantics).
+    pub fn template(&self) -> String {
+        template_of(&self.tokens)
+    }
+
+    /// The statement's template fingerprint: a deterministic 64-bit hash
+    /// of [`ParsedStatement::template`]. Statements that differ only in
+    /// literal values, literal-list lengths, keyword/identifier case, or
+    /// whitespace share a fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint_of(&self.tokens)
+    }
+
+    /// The statement's literal-sensitive content hash (see
+    /// [`content_hash_of`]).
+    pub fn content_hash(&self) -> u128 {
+        content_hash_of(&self.tokens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_one;
+
+    fn fp(sql: &str) -> u64 {
+        parse_one(sql).fingerprint()
+    }
+
+    #[test]
+    fn literals_fold_to_placeholders() {
+        assert_eq!(
+            fp("SELECT * FROM t WHERE a = 1"),
+            fp("SELECT * FROM t WHERE a = 42")
+        );
+        assert_eq!(
+            fp("SELECT * FROM t WHERE a = 'x'"),
+            fp("SELECT * FROM t WHERE a = 'other value'")
+        );
+        assert_eq!(
+            fp("SELECT * FROM t WHERE a = ?"),
+            fp("SELECT * FROM t WHERE a = 7")
+        );
+    }
+
+    #[test]
+    fn case_and_whitespace_fold() {
+        assert_eq!(
+            fp("select  *\nfrom T where A = 1"),
+            fp("SELECT * FROM t WHERE a = 2")
+        );
+        // comments are trivia
+        assert_eq!(
+            fp("SELECT * FROM t -- pick all\nWHERE a = 1"),
+            fp("SELECT * FROM t WHERE a = 1")
+        );
+    }
+
+    #[test]
+    fn in_lists_collapse() {
+        assert_eq!(
+            fp("SELECT * FROM t WHERE a IN (1, 2, 3)"),
+            fp("SELECT * FROM t WHERE a IN (4)")
+        );
+        assert_eq!(
+            fp("INSERT INTO t (a, b) VALUES (1, 'x')"),
+            fp("INSERT INTO t (a, b) VALUES (2, 'y')")
+        );
+    }
+
+    #[test]
+    fn trailing_semicolon_folds() {
+        assert_eq!(fp("SELECT 1"), fp("SELECT 1;"));
+    }
+
+    #[test]
+    fn structure_distinguishes() {
+        assert_ne!(fp("SELECT a FROM t"), fp("SELECT b FROM t"));
+        assert_ne!(fp("SELECT a FROM t"), fp("SELECT a FROM u"));
+        assert_ne!(
+            fp("SELECT * FROM t WHERE a = 1"),
+            fp("SELECT * FROM t WHERE a > 1")
+        );
+        assert_ne!(fp("DELETE FROM t"), fp("SELECT * FROM t"));
+    }
+
+    #[test]
+    fn quoted_identifiers_keep_case() {
+        assert_ne!(fp("SELECT \"A\" FROM t"), fp("SELECT \"a\" FROM t"));
+        // ...while bare identifiers fold
+        assert_eq!(fp("SELECT A FROM t"), fp("SELECT a FROM t"));
+    }
+
+    #[test]
+    fn template_text_is_readable() {
+        let t = parse_one("SELECT  *  FROM Users WHERE Name = 'N' AND id IN (1,2,3);").template();
+        assert_eq!(t, "SELECT * FROM users WHERE name = ? AND id IN ( ? )");
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned value: the fingerprint must not drift between releases,
+        // it is used as a cross-run cache key.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -35,6 +35,7 @@
 
 pub mod annotate;
 pub mod ast;
+pub mod fingerprint;
 pub mod lexer;
 pub mod parser;
 pub mod render;

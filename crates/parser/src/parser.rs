@@ -520,8 +520,7 @@ fn binding_power(tok: &Token) -> Option<(u8, &'static str)> {
 fn parse_expr_bp(cur: &mut Cursor, min_bp: u8) -> Option<Expr> {
     let mut lhs = parse_prefix(cur)?;
 
-    loop {
-        let Some(tok) = cur.peek() else { break };
+    while let Some(tok) = cur.peek() {
 
         // Postfix-ish keyword operators: IS [NOT] NULL, [NOT] IN, [NOT]
         // BETWEEN, [NOT] LIKE/ILIKE/REGEXP/RLIKE/GLOB/SIMILAR TO.
@@ -1090,8 +1089,7 @@ fn parse_insert(cur: &mut Cursor) -> Option<Insert> {
     }
     let source = if cur.eat_keyword("VALUES") {
         let mut rows = Vec::new();
-        loop {
-            let Some(inner) = cur.take_paren_group() else { break };
+        while let Some(inner) = cur.take_paren_group() {
             rows.push(split_on_commas(inner).into_iter().map(parse_expr_tokens).collect());
             if !cur.eat_punct(',') {
                 break;
@@ -1265,9 +1263,7 @@ mod tests {
     #[test]
     fn order_by_rand() {
         let s = sel("SELECT * FROM t ORDER BY RAND()");
-        let fns = match &s.order_by[0].expr {
-            e => e.function_calls(),
-        };
+        let fns = s.order_by[0].expr.function_calls();
         assert_eq!(fns, vec!["RAND".to_string()]);
     }
 

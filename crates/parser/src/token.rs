@@ -145,9 +145,9 @@ impl Token {
         let t = self.text.as_str();
         if t.starts_with('\'') && t.ends_with('\'') && t.len() >= 2 {
             Some(t[1..t.len() - 1].replace("''", "'"))
-        } else if t.starts_with('$') {
+        } else if let Some(rest) = t.strip_prefix('$') {
             // dollar-quoted: $tag$...$tag$
-            let close = t[1..].find('$').map(|i| i + 2)?;
+            let close = rest.find('$').map(|i| i + 2)?;
             let tag = &t[..close];
             Some(t[close..t.len().saturating_sub(tag.len())].to_string())
         } else {

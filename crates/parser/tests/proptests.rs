@@ -1,66 +1,160 @@
 //! Property-based tests for the non-validating parser contract.
+//!
+//! The build environment has no access to the `proptest` crate, so these
+//! properties are exercised with a small deterministic xorshift generator:
+//! same seeds, same cases, every run.
 
-use proptest::prelude::*;
 use sqlcheck_parser::lexer::tokenize;
 use sqlcheck_parser::parser::{parse, parse_one};
 use sqlcheck_parser::render::ToSql;
 
-proptest! {
-    /// The lexer must be lossless on arbitrary input: the concatenation of
-    /// token texts reproduces the input byte-for-byte, and lexing never
-    /// panics.
-    #[test]
-    fn lexer_is_lossless_on_arbitrary_input(input in ".{0,200}") {
+/// Deterministic xorshift64* generator for test-case synthesis.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+    /// Arbitrary-ish string: ASCII printable, SQL punctuation, quotes,
+    /// newlines, and some multi-byte unicode.
+    fn arbitrary_string(&mut self, max_len: usize) -> String {
+        const POOL: &[char] = &[
+            'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '\t', '\n', '(', ')', ',', ';', '.', '*',
+            '=', '<', '>', '\'', '"', '`', '[', ']', '%', '_', '$', ':', '?', '-', '/', '|',
+            '\\', '#', '@', 'é', 'λ', '中', '😀', '\u{0}',
+        ];
+        let len = self.below(max_len + 1);
+        (0..len).map(|_| POOL[self.below(POOL.len())]).collect()
+    }
+    fn ident(&mut self, max_extra: usize) -> String {
+        const HEAD: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+        const TAIL: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+        let mut s = String::new();
+        s.push(HEAD[self.below(HEAD.len())] as char);
+        for _ in 0..self.below(max_extra + 1) {
+            s.push(TAIL[self.below(TAIL.len())] as char);
+        }
+        s
+    }
+}
+
+const CASES: usize = 256;
+
+/// The lexer must be lossless on arbitrary input: the concatenation of
+/// token texts reproduces the input byte-for-byte, and lexing never
+/// panics.
+#[test]
+fn lexer_is_lossless_on_arbitrary_input() {
+    let mut rng = Rng::new(0x10A11);
+    for case in 0..CASES {
+        let input = rng.arbitrary_string(200);
         let toks = tokenize(&input);
         let rebuilt: String = toks.iter().map(|t| t.text.as_str()).collect();
-        prop_assert_eq!(rebuilt, input);
+        assert_eq!(rebuilt, input, "case {case}: lexer must be lossless");
     }
+}
 
-    /// Token spans are contiguous and cover the input exactly.
-    #[test]
-    fn lexer_spans_are_contiguous(input in ".{0,200}") {
+/// Token spans are contiguous and cover the input exactly.
+#[test]
+fn lexer_spans_are_contiguous() {
+    let mut rng = Rng::new(0x5BA5);
+    for case in 0..CASES {
+        let input = rng.arbitrary_string(200);
         let toks = tokenize(&input);
         let mut pos = 0usize;
         for t in &toks {
-            prop_assert_eq!(t.span.start, pos);
+            assert_eq!(t.span.start, pos, "case {case}: span start");
             pos = t.span.end;
         }
-        prop_assert_eq!(pos, input.len());
+        assert_eq!(pos, input.len(), "case {case}: spans cover input");
     }
+}
 
-    /// The parser is total: any input parses without panicking.
-    #[test]
-    fn parser_is_total(input in ".{0,300}") {
+/// The parser is total: any input parses without panicking.
+#[test]
+fn parser_is_total() {
+    let mut rng = Rng::new(0x707A1);
+    for _ in 0..CASES {
+        let input = rng.arbitrary_string(300);
         let _ = parse(&input);
     }
+}
 
-    /// Rendering a parsed statement and re-parsing it must be stable: the
-    /// second render equals the first (render is a fixpoint after one
-    /// normalisation step).
-    #[test]
-    fn render_is_fixpoint_on_generated_selects(
-        cols in prop::collection::vec("[a-z][a-z0-9_]{0,8}", 1..5),
-        table in "[a-z][a-z0-9_]{0,8}",
-        val in 0i64..1000,
-    ) {
+/// Rendering a parsed statement and re-parsing it must be stable: the
+/// second render equals the first (render is a fixpoint after one
+/// normalisation step).
+#[test]
+fn render_is_fixpoint_on_generated_selects() {
+    let mut rng = Rng::new(0xF1B);
+    for case in 0..CASES {
+        let n_cols = 1 + rng.below(4);
+        let cols: Vec<String> = (0..n_cols).map(|_| rng.ident(8)).collect();
+        let table = rng.ident(8);
+        let val = rng.below(1000);
         let sql = format!(
             "SELECT {} FROM {} WHERE {} = {}",
-            cols.join(", "), table, cols[0], val
+            cols.join(", "),
+            table,
+            cols[0],
+            val
         );
         let once = parse_one(&sql).to_sql();
         let twice = parse_one(&once).to_sql();
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice, "case {case}: render must be a fixpoint");
     }
+}
 
-    /// Keywords injected between identifiers still produce a total parse
-    /// and a statement tag.
-    #[test]
-    fn statement_tag_is_always_defined(
-        kw in prop::sample::select(vec!["SELECT", "INSERT", "UPDATE", "DELETE", "CREATE", "DROP", "ALTER", "PRAGMA"]),
-        rest in "[ a-z0-9_,()*=']{0,80}",
-    ) {
+/// Keywords injected between identifiers still produce a total parse
+/// and a statement tag; the fingerprint is insensitive to case and
+/// whitespace mangling of the same statement.
+#[test]
+fn statement_tag_is_always_defined() {
+    const KWS: &[&str] =
+        &["SELECT", "INSERT", "UPDATE", "DELETE", "CREATE", "DROP", "ALTER", "PRAGMA"];
+    const REST_POOL: &[char] =
+        &[' ', 'a', 'z', '0', '9', '_', ',', '(', ')', '*', '=', '\''];
+    let mut rng = Rng::new(0x7A6);
+    for _ in 0..CASES {
+        let kw = KWS[rng.below(KWS.len())];
+        let len = rng.below(81);
+        let rest: String = (0..len).map(|_| REST_POOL[rng.below(REST_POOL.len())]).collect();
         let sql = format!("{kw} {rest}");
         let p = parse_one(&sql);
         let _ = p.stmt.tag();
+    }
+}
+
+/// Fingerprints are literal-, case-, and whitespace-insensitive on
+/// generated statements, and the template never contains literal text.
+#[test]
+fn fingerprint_is_template_stable() {
+    let mut rng = Rng::new(0xF160);
+    for case in 0..CASES {
+        let table = rng.ident(8);
+        let col = rng.ident(6);
+        let v1 = rng.below(100_000);
+        let v2 = rng.below(100_000);
+        let a = format!("SELECT {col} FROM {table} WHERE {col} = {v1}");
+        let b = format!(
+            "select  {}  from {} where {} = {v2}",
+            col.to_ascii_uppercase(),
+            table.to_ascii_uppercase(),
+            col.to_ascii_uppercase()
+        );
+        let pa = parse_one(&a);
+        let pb = parse_one(&b);
+        assert_eq!(pa.fingerprint(), pb.fingerprint(), "case {case}: {a} vs {b}");
+        assert!(!pa.template().contains(&v1.to_string()), "case {case}: literal leaked");
     }
 }

@@ -116,8 +116,8 @@ pub fn build(spec: &KaggleSpec, seed: u64) -> Database {
         "meta_notes", "extra_attrs", "audit_trail", "raw_feed", "summary_view",
         "lineup_data", "region_facts",
     ];
-    for r in 0..replicas.min(SEGMENTS.len()) {
-        build_segment(&mut db, spec, SEGMENTS[r], &mut rng);
+    for seg in &SEGMENTS[..replicas.min(SEGMENTS.len())] {
+        build_segment(&mut db, spec, seg, &mut rng);
     }
     let has = |k: AntiPatternKind| spec.aps.contains(&k);
 

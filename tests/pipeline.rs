@@ -126,7 +126,7 @@ fn custom_rule_participates_in_pipeline() {
             .report
             .detections
             .iter()
-            .any(|d| d.message == "custom rule"),
+            .any(|d| &*d.message == "custom rule"),
         "custom rule ran"
     );
 }

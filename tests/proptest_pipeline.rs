@@ -1,24 +1,55 @@
 //! Pipeline-level property tests: the whole toolchain must be total,
 //! deterministic, and self-consistent on arbitrary and generated inputs.
+//!
+//! The build environment has no access to the `proptest` crate, so these
+//! properties run over deterministically generated random cases: same
+//! seeds, same cases, every run.
 
-use proptest::prelude::*;
 use sqlcheck::{AntiPatternKind, SqlCheck};
+use sqlcheck_minidb::stats::SmallRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn ident(rng: &mut SmallRng, max_extra: usize) -> String {
+    const HEAD: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    const TAIL: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+    let mut s = String::new();
+    s.push(HEAD[rng.gen_range(HEAD.len())] as char);
+    for _ in 0..rng.gen_range(max_extra + 1) {
+        s.push(TAIL[rng.gen_range(TAIL.len())] as char);
+    }
+    s
+}
 
-    /// The full pipeline never panics on arbitrary input.
-    #[test]
-    fn pipeline_is_total(input in ".{0,400}") {
+fn arbitrary_string(rng: &mut SmallRng, max_len: usize) -> String {
+    const POOL: &[char] = &[
+        'a', 'z', 'A', '0', '9', ' ', '\t', '\n', '(', ')', ',', ';', '.', '*', '=', '<',
+        '>', '\'', '"', '`', '[', ']', '%', '_', '$', ':', '?', '-', '/', '|', '\\', 'é',
+        '中',
+    ];
+    let len = rng.gen_range(max_len + 1);
+    (0..len).map(|_| POOL[rng.gen_range(POOL.len())]).collect()
+}
+
+const CASES: usize = 64;
+
+/// The full pipeline never panics on arbitrary input.
+#[test]
+fn pipeline_is_total() {
+    let mut rng = SmallRng::new(0x70741);
+    for _ in 0..CASES {
+        let input = arbitrary_string(&mut rng, 400);
         let _ = SqlCheck::new().check_script(&input);
     }
+}
 
-    /// Detection is deterministic: the same script yields the same report.
-    #[test]
-    fn detection_is_deterministic(
-        tables in prop::collection::vec("[a-z][a-z0-9_]{0,10}", 1..4),
-        cols in prop::collection::vec("[a-z][a-z0-9_]{0,8}", 1..4),
-    ) {
+/// Detection is deterministic: the same script yields the same report.
+#[test]
+fn detection_is_deterministic() {
+    let mut rng = SmallRng::new(0xDE7);
+    for case in 0..CASES {
+        let n_tables = 1 + rng.gen_range(3);
+        let n_cols = 1 + rng.gen_range(3);
+        let tables: Vec<String> = (0..n_tables).map(|_| ident(&mut rng, 10)).collect();
+        let cols: Vec<String> = (0..n_cols).map(|_| ident(&mut rng, 8)).collect();
         let mut script = String::new();
         for t in &tables {
             script.push_str(&format!(
@@ -29,50 +60,57 @@ proptest! {
         }
         let a = SqlCheck::new().check_script(&script);
         let b = SqlCheck::new().check_script(&script);
-        let ka: Vec<_> = a.ranked.iter().map(|r| (r.detection.kind, r.score.to_bits())).collect();
-        let kb: Vec<_> = b.ranked.iter().map(|r| (r.detection.kind, r.score.to_bits())).collect();
-        prop_assert_eq!(ka, kb);
+        let ka: Vec<_> =
+            a.ranked.iter().map(|r| (r.detection.kind, r.score.to_bits())).collect();
+        let kb: Vec<_> =
+            b.ranked.iter().map(|r| (r.detection.kind, r.score.to_bits())).collect();
+        assert_eq!(ka, kb, "case {case}");
     }
+}
 
-    /// Every fix suggestion is non-empty, and rewrites always differ from
-    /// the original statement.
-    #[test]
-    fn fixes_are_well_formed(
-        table in "[a-z][a-z0-9_]{0,10}",
-        n_cols in 1usize..6,
-        vals in prop::collection::vec(0i64..100, 1..6),
-    ) {
+/// Every fix suggestion is non-empty, and rewrites always differ from
+/// the original statement.
+#[test]
+fn fixes_are_well_formed() {
+    let mut rng = SmallRng::new(0xF13);
+    for case in 0..CASES {
+        let table = ident(&mut rng, 10);
+        let n_cols = 1 + rng.gen_range(5);
+        let n_vals = 1 + rng.gen_range(5);
         let cols: Vec<String> = (0..n_cols).map(|i| format!("c{i} INT")).collect();
+        let vals: Vec<String> = (0..n_vals).map(|_| rng.gen_range(100).to_string()).collect();
         let script = format!(
             "CREATE TABLE {table} ({});\nINSERT INTO {table} VALUES ({});",
             cols.join(", "),
-            vals.iter().map(i64::to_string).collect::<Vec<_>>().join(", ")
+            vals.join(", ")
         );
         let outcome = SqlCheck::new().check_script(&script);
         for sf in &outcome.fixes {
             match &sf.fix {
                 sqlcheck::Fix::Rewrite { original, fixed } => {
-                    prop_assert!(!fixed.is_empty());
-                    prop_assert_ne!(original.trim(), fixed.trim());
+                    assert!(!fixed.is_empty(), "case {case}");
+                    assert_ne!(original.trim(), fixed.trim(), "case {case}");
                     // the rewrite itself must parse
                     let reparsed = sqlcheck_parser::parse(fixed);
-                    prop_assert_eq!(reparsed.len(), 1);
+                    assert_eq!(reparsed.len(), 1, "case {case}: {fixed}");
                 }
                 sqlcheck::Fix::SchemaChange { statements, .. } => {
-                    prop_assert!(!statements.is_empty());
+                    assert!(!statements.is_empty(), "case {case}");
                 }
-                sqlcheck::Fix::Textual { advice } => prop_assert!(!advice.is_empty()),
+                sqlcheck::Fix::Textual { advice } => assert!(!advice.is_empty(), "case {case}"),
             }
         }
     }
+}
 
-    /// Implicit-columns detection fires exactly when the column list is
-    /// missing and the arity rewrite preserves the VALUES.
-    #[test]
-    fn implicit_columns_invariant(
-        n_cols in 1usize..6,
-        with_list in any::<bool>(),
-    ) {
+/// Implicit-columns detection fires exactly when the column list is
+/// missing and the arity rewrite preserves the VALUES.
+#[test]
+fn implicit_columns_invariant() {
+    let mut rng = SmallRng::new(0x1C01);
+    for case in 0..CASES {
+        let n_cols = 1 + rng.gen_range(5);
+        let with_list = rng.gen_range(2) == 1;
         let cols: Vec<String> = (0..n_cols).map(|i| format!("c{i}")).collect();
         let decl: Vec<String> = cols.iter().map(|c| format!("{c} INT")).collect();
         let vals: Vec<String> = (0..n_cols).map(|i| i.to_string()).collect();
@@ -84,7 +122,7 @@ proptest! {
         let script = format!("CREATE TABLE t ({});\n{insert};", decl.join(", "));
         let outcome = SqlCheck::new().check_script(&script);
         let found = outcome.report.count(AntiPatternKind::ImplicitColumns) > 0;
-        prop_assert_eq!(found, !with_list);
+        assert_eq!(found, !with_list, "case {case}");
         if !with_list {
             let fix = outcome
                 .fixes
@@ -93,17 +131,19 @@ proptest! {
                 .unwrap();
             if let sqlcheck::Fix::Rewrite { fixed, .. } = &fix.fix {
                 for c in &cols {
-                    prop_assert!(fixed.contains(c.as_str()), "{fixed} must list {c}");
+                    assert!(fixed.contains(c.as_str()), "case {case}: {fixed} must list {c}");
                 }
             } else {
-                prop_assert!(false, "arity matches, rewrite expected");
+                panic!("case {case}: arity matches, rewrite expected");
             }
         }
     }
+}
 
-    /// Ranked scores are monotone non-increasing and within [0, 1].
-    #[test]
-    fn scores_are_normalised_and_sorted(seed in 0u64..50) {
+/// Ranked scores are monotone non-increasing and within [0, 1].
+#[test]
+fn scores_are_normalised_and_sorted() {
+    for seed in 0u64..50 {
         let corpus = sqlcheck_workload::github::generate_corpus(
             sqlcheck_workload::github::CorpusConfig {
                 repositories: 1,
@@ -114,8 +154,8 @@ proptest! {
         let outcome = SqlCheck::new().check_script(&corpus[0].script());
         let mut prev = f64::INFINITY;
         for r in &outcome.ranked {
-            prop_assert!((0.0..=1.0).contains(&r.score), "score {} out of range", r.score);
-            prop_assert!(r.score <= prev);
+            assert!((0.0..=1.0).contains(&r.score), "seed {seed}: score {} range", r.score);
+            assert!(r.score <= prev, "seed {seed}: monotone");
             prev = r.score;
         }
     }

@@ -233,7 +233,7 @@ fn data_rule_matrix() {
     let naive = one_col_db(
         "at",
         DataType::Timestamp,
-        (0..30).map(|i| Value::Timestamp(i)).collect(),
+        (0..30).map(Value::Timestamp).collect(),
     );
     assert!(data_detects(naive, MissingTimezone));
 
