@@ -12,9 +12,12 @@
 //! expdriver table8         # Table 8    sqlcheck vs DETA features
 //! expdriver user-study     # §8.3       acceptance statistics
 //! expdriver throughput     # batch detection engine vs sequential path
+//! expdriver e2e            # parse-once front-end + incremental cache
+//! expdriver incremental    # warm re-check sweep over edit rates
 //! ```
 //!
-//! `--quick` shrinks scales for a fast smoke run.
+//! `--quick` shrinks scales for a fast smoke run. `--threads N` pins the
+//! worker count of the parallel configurations (default: all cores).
 
 use sqlcheck_bench::experiments::*;
 use sqlcheck_workload::github::CorpusConfig;
@@ -24,10 +27,16 @@ use sqlcheck_workload::user_study::StudyConfig;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let threads: Option<usize> = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|t| t.parse().ok());
     let what = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
+        .enumerate()
+        .find(|(i, a)| !(a.starts_with("--") || *i > 0 && args[i - 1] == "--threads"))
+        .map(|(_, a)| a.as_str())
         .unwrap_or("all");
 
     let run_all = what == "all";
@@ -100,13 +109,36 @@ fn main() {
     if run_all || what == "throughput" {
         section("Throughput — batch detection engine vs sequential path");
         let sizes: &[usize] = if quick { &[1_000, 10_000] } else { &[1_000, 10_000, 100_000] };
-        let rows = throughput::run(sizes, 100, 0xBA7C4);
+        let rows = throughput::run(sizes, 100, 0xBA7C4, threads);
         print!("{}", throughput::render(&rows));
         let json = throughput::to_json(&rows);
         let path = "BENCH_throughput.json";
         match std::fs::write(path, &json) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+    if run_all || what == "e2e" {
+        section("E2E — parse-once front-end + incremental cache vs legacy front-end");
+        let sizes: &[usize] = if quick { &[2_000] } else { &[10_000, 100_000] };
+        // 1% of statements edited for the warm re-check.
+        let rows = e2e::run(sizes, 100, 10, 0xE2E0, threads);
+        print!("{}", e2e::render(&rows));
+        write_e2e_json(&rows);
+    }
+    if run_all || what == "incremental" {
+        section("Incremental — warm re-check across edit rates (0‰/10‰/50‰/100‰)");
+        let (n, rates): (usize, &[usize]) =
+            if quick { (2_000, &[0, 50]) } else { (100_000, &[0, 10, 50, 100]) };
+        let rows = e2e::run_sweep(n, 100, rates, 0xE2E0, threads);
+        print!("{}", e2e::render(&rows));
+        // `BENCH_e2e.json` is the e2e experiment's artifact; when both
+        // experiments run (`all`), keep the e2e rows rather than letting
+        // the sweep clobber them.
+        if !run_all {
+            write_e2e_json(&rows);
+        } else {
+            check_identity(&rows);
         }
     }
     if run_all || what == "user-study" {
@@ -122,4 +154,25 @@ fn main() {
 
 fn section(title: &str) {
     println!("\n=== {title} ===");
+}
+
+// Byte-identity is the pipeline's correctness contract; CI runs the
+// quick scales specifically to catch a divergence, so fail loudly.
+fn check_identity(rows: &[e2e::E2eRow]) {
+    for r in rows {
+        assert!(
+            r.identical,
+            "{} statements / {} edited: pipeline or warm output diverged from legacy",
+            r.statements, r.edited
+        );
+    }
+}
+
+fn write_e2e_json(rows: &[e2e::E2eRow]) {
+    check_identity(rows);
+    let path = "BENCH_e2e.json";
+    match std::fs::write(path, e2e::to_json(rows)) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
 }

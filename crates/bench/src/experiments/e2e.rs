@@ -1,0 +1,328 @@
+//! **End-to-end front-end experiment** — the parse-once pipeline and the
+//! fingerprint-keyed incremental cache vs the pre-pipeline front-end.
+//!
+//! Three configurations over the same template-heavy workload
+//! (`workload_script` from the [throughput](crate::experiments::throughput)
+//! experiment):
+//!
+//! * `legacy` — the pre-PR front-end: every statement parsed and
+//!   annotated individually, single-threaded
+//!   ([`FrontendOptions::legacy`]), followed by batch detection;
+//! * `pipeline` — the parse-once front-end: split + fingerprint first,
+//!   parse/annotate each unique text once (threaded when available),
+//!   followed by batch detection;
+//! * `warm` — the pipeline plus an [`IncrementalCache`] primed by a
+//!   previous check of the workload, re-checking an edited variant where
+//!   a fraction of statements changed text.
+//!
+//! Every configuration is verified to produce byte-identical detections
+//! before any timing is reported.
+
+use sqlcheck::{
+    BatchOptions, ContextBuilder, Detector, FrontendOptions, FrontendStats, IncrementalCache,
+    Report,
+};
+use super::throughput::workload_script;
+use std::time::Instant;
+
+/// One measured workload configuration.
+#[derive(Debug, Clone)]
+pub struct E2eRow {
+    /// Statements in the workload.
+    pub statements: usize,
+    /// Unique templates the workload draws from.
+    pub templates: usize,
+    /// Statements whose text was edited for the warm re-check.
+    pub edited: usize,
+    /// Threads used by the pipeline front-end.
+    pub threads: usize,
+    /// Detections produced (identical across all configurations).
+    pub detections: usize,
+    /// Whether all configurations produced byte-identical reports.
+    pub identical: bool,
+    /// Wall-clock microseconds: legacy front-end + batch detection.
+    pub legacy_micros: u128,
+    /// Wall-clock microseconds: parse-once front-end + batch detection.
+    pub pipeline_micros: u128,
+    /// Wall-clock microseconds: warm re-check of the edited workload
+    /// (pipeline front-end + primed incremental cache).
+    pub warm_micros: u128,
+    /// Front-end phase breakdown of the cold pipeline run.
+    pub frontend: FrontendStats,
+    /// Incremental-cache hits during the warm re-check.
+    pub incremental_hits: usize,
+    /// Incremental-cache misses during the warm re-check (edited texts).
+    pub incremental_misses: usize,
+}
+
+impl E2eRow {
+    /// Cold speedup: legacy front-end vs parse-once pipeline.
+    pub fn cold_speedup(&self) -> f64 {
+        self.legacy_micros as f64 / self.pipeline_micros.max(1) as f64
+    }
+
+    /// Warm speedup: cold check (legacy front-end) vs cached re-check.
+    pub fn warm_speedup(&self) -> f64 {
+        self.legacy_micros as f64 / self.warm_micros.max(1) as f64
+    }
+
+    /// Warm re-check vs the cold pipeline (cache contribution alone).
+    pub fn warm_vs_pipeline(&self) -> f64 {
+        self.pipeline_micros as f64 / self.warm_micros.max(1) as f64
+    }
+}
+
+/// Deterministically edit `permille`/1000 of the statements in a
+/// workload script (one statement per line), giving each edited line a
+/// literal no template in the pool uses — a genuinely new statement text,
+/// as an application edit would produce.
+pub fn edit_script(script: &str, permille: usize, seed: u64) -> (String, usize) {
+    let mut rng = sqlcheck_minidb::stats::SmallRng::new(seed);
+    let mut edited = 0usize;
+    let mut out = String::with_capacity(script.len() + 64);
+    for (i, line) in script.lines().enumerate() {
+        if !line.is_empty() && rng.gen_range(1000) < permille {
+            edited += 1;
+            // Swap the statement for an edited sibling: same table
+            // universe, fresh literal, so the text (and usually the
+            // template) is new to the cache.
+            out.push_str(&format!(
+                "SELECT * FROM app_t{} WHERE c0 = {};\n",
+                i % 97,
+                1_000_000 + i
+            ));
+        } else {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    (out, edited)
+}
+
+/// Render a report's detections for byte-identity comparison.
+fn report_key(r: &Report) -> Vec<String> {
+    r.detections.iter().map(|d| format!("{d:?}")).collect()
+}
+
+/// Repetitions per measurement; the minimum observation is reported
+/// (noise-robust: preemption and hypervisor steal only ever add time).
+const REPS: usize = 3;
+
+fn best_of<T>(mut f: impl FnMut() -> T) -> (T, u128) {
+    let mut best = u128::MAX;
+    let mut last = None;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let out = f();
+        best = best.min(t.elapsed().as_micros());
+        last = Some(out);
+    }
+    (last.unwrap(), best)
+}
+
+/// One full end-to-end check: front-end + batch detection.
+fn check(
+    script: &str,
+    fe: FrontendOptions,
+    opts: &BatchOptions,
+    cache: Option<&mut IncrementalCache>,
+) -> sqlcheck::BatchReport {
+    let (ctx, fe_stats) =
+        ContextBuilder::new().with_frontend(fe).add_script(script).build_with_stats();
+    let mut batch = Detector::default().detect_batch_with(&ctx, opts, cache);
+    batch.stats.absorb_frontend(&fe_stats);
+    batch.stats.threads = batch.stats.threads.max(fe_stats.threads);
+    batch
+}
+
+/// Run the experiment at one workload size. `threads` pins the worker
+/// count of the parallel configurations (`None` = all cores).
+pub fn run_one(
+    statements: usize,
+    templates: usize,
+    edit_permille: usize,
+    seed: u64,
+    threads: Option<usize>,
+) -> E2eRow {
+    let script = workload_script(statements, templates, seed);
+    let (edited_script, edited) = edit_script(&script, edit_permille, seed ^ 0xE017);
+    let opts = BatchOptions { parallel: true, threads };
+
+    // Cold, legacy front-end (the pre-pipeline baseline). Detection uses
+    // the same batch options as the pipeline runs so the measured delta
+    // isolates the front-end.
+    let (legacy, legacy_micros) =
+        best_of(|| check(&script, FrontendOptions::legacy(), &opts, None));
+
+    // Cold, parse-once pipeline.
+    let pipeline_fe = FrontendOptions { dedup: true, parallel: true, threads };
+    let (pipeline, pipeline_micros) =
+        best_of(|| check(&script, pipeline_fe.clone(), &opts, None));
+
+    // Warm: prime a cache with the original workload, then re-check the
+    // edited variant. Each timed repetition starts from a freshly cloned
+    // primed cache so later reps don't measure a fully warmed cache.
+    let mut primed = IncrementalCache::default();
+    let _ = check(&script, pipeline_fe.clone(), &opts, Some(&mut primed));
+    let mut caches: Vec<IncrementalCache> = (0..REPS).map(|_| primed.clone()).collect();
+    let (warm, warm_micros) = best_of(|| {
+        let mut c = caches.pop().unwrap_or_else(|| primed.clone());
+        check(&edited_script, pipeline_fe.clone(), &opts, Some(&mut c))
+    });
+
+    // Byte-identity: pipeline ≡ legacy on the original workload, and the
+    // warm cached re-check ≡ a cold legacy check of the edited workload.
+    let legacy_edited = check(&edited_script, FrontendOptions::legacy(), &opts, None);
+    let identical = report_key(&legacy.report) == report_key(&pipeline.report)
+        && report_key(&legacy_edited.report) == report_key(&warm.report);
+
+    E2eRow {
+        statements,
+        templates,
+        edited,
+        threads: pipeline.stats.threads,
+        detections: legacy.report.detections.len(),
+        identical,
+        legacy_micros,
+        pipeline_micros,
+        warm_micros,
+        frontend: FrontendStats {
+            statements: pipeline.stats.statements,
+            unique_texts: pipeline.stats.unique_texts,
+            threads: pipeline.stats.threads,
+            split_micros: pipeline.stats.split_micros,
+            parse_micros: pipeline.stats.parse_micros,
+            annotate_micros: pipeline.stats.annotate_micros,
+            context_micros: pipeline.stats.context_micros,
+        },
+        incremental_hits: warm.stats.incremental_hits,
+        incremental_misses: warm.stats.incremental_misses,
+    }
+}
+
+/// Run the experiment over several workload sizes at one edit rate.
+pub fn run(
+    sizes: &[usize],
+    templates: usize,
+    edit_permille: usize,
+    seed: u64,
+    threads: Option<usize>,
+) -> Vec<E2eRow> {
+    sizes.iter().map(|&n| run_one(n, templates, edit_permille, seed, threads)).collect()
+}
+
+/// Sweep edit rates at one workload size (the `incremental` experiment).
+pub fn run_sweep(
+    statements: usize,
+    templates: usize,
+    permilles: &[usize],
+    seed: u64,
+    threads: Option<usize>,
+) -> Vec<E2eRow> {
+    permilles.iter().map(|&pm| run_one(statements, templates, pm, seed, threads)).collect()
+}
+
+/// Render rows as an aligned console table.
+pub fn render(rows: &[E2eRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>9} {:>9} {:>7} {:>7} {:>11} {:>11} {:>11} {:>7} {:>7} {:>9}\n",
+        "stmts", "templates", "edited", "threads", "legacy_us", "pipeline_us", "warm_us",
+        "cold_x", "warm_x", "identical"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>9} {:>9} {:>7} {:>7} {:>11} {:>11} {:>11} {:>6.1}x {:>6.1}x {:>9}\n",
+            r.statements,
+            r.templates,
+            r.edited,
+            r.threads,
+            r.legacy_micros,
+            r.pipeline_micros,
+            r.warm_micros,
+            r.cold_speedup(),
+            r.warm_speedup(),
+            r.identical,
+        ));
+    }
+    out
+}
+
+/// Render rows as a JSON document (written to `BENCH_e2e.json`).
+pub fn to_json(rows: &[E2eRow]) -> String {
+    let mut out =
+        String::from("{\n  \"experiment\": \"parse_once_frontend_e2e\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"statements\": {}, \"templates\": {}, \"edited\": {}, \"threads\": {}, \
+             \"detections\": {}, \"identical\": {}, \
+             \"legacy_micros\": {}, \"pipeline_micros\": {}, \"warm_micros\": {}, \
+             \"split_micros\": {}, \"parse_micros\": {}, \"annotate_micros\": {}, \
+             \"context_micros\": {}, \"unique_texts\": {}, \
+             \"incremental_hits\": {}, \"incremental_misses\": {}, \
+             \"cold_speedup\": {:.2}, \"warm_speedup\": {:.2}, \
+             \"warm_vs_pipeline\": {:.2}}}{}\n",
+            r.statements,
+            r.templates,
+            r.edited,
+            r.threads,
+            r.detections,
+            r.identical,
+            r.legacy_micros,
+            r.pipeline_micros,
+            r.warm_micros,
+            r.frontend.split_micros,
+            r.frontend.parse_micros,
+            r.frontend.annotate_micros,
+            r.frontend.context_micros,
+            r.frontend.unique_texts,
+            r.incremental_hits,
+            r.incremental_misses,
+            r.cold_speedup(),
+            r.warm_speedup(),
+            r.warm_vs_pipeline(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outputs_identical_at_small_scale() {
+        let _serial = crate::harness::TIMING_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let r = run_one(400, 50, 10, 0xE2E, None);
+        assert!(r.identical, "all three configurations must agree");
+        assert!(r.detections > 0);
+        assert!(r.edited > 0, "edit rate must actually edit something");
+        assert!(r.incremental_hits > 0, "warm run must hit the cache");
+    }
+
+    #[test]
+    fn edit_script_is_deterministic_and_bounded() {
+        let script = workload_script(1_000, 50, 1);
+        let (a, na) = edit_script(&script, 10, 7);
+        let (b, nb) = edit_script(&script, 10, 7);
+        assert_eq!(a, b);
+        assert_eq!(na, nb);
+        assert!(na > 0 && na < 100, "~1% of 1000 expected, got {na}");
+        let (c, nc) = edit_script(&script, 0, 7);
+        assert_eq!(nc, 0);
+        // Zero edits reproduces the script modulo trailing newline.
+        assert_eq!(c.trim_end(), script.trim_end());
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let _serial = crate::harness::TIMING_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let rows = run(&[150], 20, 20, 3, None);
+        let j = to_json(&rows);
+        assert!(j.contains("\"statements\": 150"));
+        assert!(j.contains("warm_speedup"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

@@ -132,15 +132,24 @@ fn best_of<T>(mut f: impl FnMut() -> T) -> (T, u128) {
     (last.unwrap(), best)
 }
 
-/// Run the experiment at one workload size.
-pub fn run_one(statements: usize, templates: usize, seed: u64) -> ThroughputRow {
+/// Run the experiment at one workload size. `threads` overrides the
+/// parallel configuration's worker count (`None` = all cores). The
+/// recorded `threads` value is always read back from the stats of the
+/// timed parallel run — the count actually used, never an assumption.
+pub fn run_one(
+    statements: usize,
+    templates: usize,
+    seed: u64,
+    threads: Option<usize>,
+) -> ThroughputRow {
     let script = workload_script(statements, templates, seed);
     let ctx = ContextBuilder::new().add_script(&script).build();
     let det = Detector::default();
+    let par_opts = BatchOptions { parallel: true, threads };
 
     let (seq, seq_micros) = best_of(|| det.detect(&ctx));
     let (batch, batch_micros) = best_of(|| det.detect_batch(&ctx, &BatchOptions::sequential()));
-    let (par, parallel_micros) = best_of(|| det.detect_batch(&ctx, &BatchOptions::default()));
+    let (par, parallel_micros) = best_of(|| det.detect_batch(&ctx, &par_opts));
 
     let seq_key = report_key(&seq);
     let identical =
@@ -159,8 +168,13 @@ pub fn run_one(statements: usize, templates: usize, seed: u64) -> ThroughputRow 
 }
 
 /// Run the experiment over several workload sizes.
-pub fn run(sizes: &[usize], templates: usize, seed: u64) -> Vec<ThroughputRow> {
-    sizes.iter().map(|&n| run_one(n, templates, seed)).collect()
+pub fn run(
+    sizes: &[usize],
+    templates: usize,
+    seed: u64,
+    threads: Option<usize>,
+) -> Vec<ThroughputRow> {
+    sizes.iter().map(|&n| run_one(n, templates, seed, threads)).collect()
 }
 
 /// Render rows as an aligned console table.
@@ -237,7 +251,7 @@ mod tests {
     #[test]
     fn outputs_identical_at_small_scale() {
         let _serial = crate::harness::TIMING_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-        let r = run_one(300, 50, 42);
+        let r = run_one(300, 50, 42, None);
         assert!(r.identical, "batch output must match sequential");
         assert!(r.detections > 0);
     }
@@ -245,7 +259,7 @@ mod tests {
     #[test]
     fn json_is_well_formed_enough() {
         let _serial = crate::harness::TIMING_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-        let rows = run(&[100], 20, 1);
+        let rows = run(&[100], 20, 1, None);
         let j = to_json(&rows);
         assert!(j.contains("\"statements\": 100"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());

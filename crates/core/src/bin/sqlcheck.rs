@@ -11,8 +11,15 @@
 //!   --summary            per-kind histogram instead of full listing
 //!   --parallel           batch engine: template dedup + threaded detection
 //!   --threads N          worker threads for --parallel (default: all cores)
-//!   --stats              batch engine + dedup/threading statistics on stderr
+//!   --stats              batch engine + dedup/phase-timing stats on stderr
+//!   --cache              batch engine + incremental detection cache
 //! ```
+//!
+//! Note on `--cache`: the cache pays off across *repeated*
+//! `check_workload` calls on one `SqlCheck` instance (the library API);
+//! a single CLI invocation performs one check, so `--cache --stats`
+//! reports the miss/insert side only — useful for inspecting cache
+//! behaviour, not for speeding up a one-shot run.
 //!
 //! Example:
 //!
@@ -33,6 +40,7 @@ fn main() {
     let no_fix = args.iter().any(|a| a == "--no-fix");
     let summary = args.iter().any(|a| a == "--summary");
     let stats = args.iter().any(|a| a == "--stats");
+    let cache = args.iter().any(|a| a == "--cache");
     let threads = match arg_value(&args, "--threads") {
         Some(t) => match t.parse::<usize>() {
             Ok(n) if n > 0 => Some(n),
@@ -82,24 +90,36 @@ fn main() {
     if intra_only {
         tool = tool.with_detection(DetectionConfig::intra_only());
     }
-    // --parallel / --stats / --threads route through the batch engine
-    // (identical detections; template dedup + optional threading).
-    let outcome = if parallel || stats || threads.is_some() {
+    if cache {
+        tool = tool.with_cache(sqlcheck::detect::DEFAULT_CACHE_CAPACITY);
+    }
+    // --parallel / --stats / --threads / --cache route through the batch
+    // engine (identical detections; parse-once front-end, template dedup,
+    // optional threading and incremental caching).
+    let outcome = if parallel || stats || cache || threads.is_some() {
         let opts = BatchOptions { parallel, threads };
         let w = tool.check_workload(&sql, &opts);
         if stats {
             let s = &w.stats;
             eprintln!(
                 "stats: {} statement(s), {} unique template(s), {} unique text(s), \
-                 {} cache hit(s), {} thread(s), intra {}us, total {}us",
-                s.statements,
-                s.unique_templates,
-                s.unique_texts,
-                s.cache_hits,
-                s.threads,
-                s.intra_micros,
-                s.total_micros
+                 {} cache hit(s), {} thread(s)",
+                s.statements, s.unique_templates, s.unique_texts, s.cache_hits, s.threads,
             );
+            eprintln!(
+                "stats: front-end split {}us, parse {}us, annotate {}us, context {}us",
+                s.split_micros, s.parse_micros, s.annotate_micros, s.context_micros,
+            );
+            eprintln!(
+                "stats: detect group {}us, intra {}us, fanout {}us, total {}us",
+                s.group_micros, s.intra_micros, s.fanout_micros, s.total_micros,
+            );
+            if cache {
+                eprintln!(
+                    "stats: incremental cache {} hit(s), {} miss(es), {} eviction(s)",
+                    s.incremental_hits, s.incremental_misses, s.incremental_evictions,
+                );
+            }
         }
         w.outcome
     } else {
@@ -168,7 +188,7 @@ fn print_help() {
         "sqlcheck — detect, rank, and fix SQL anti-patterns (SIGMOD 2020 reproduction)\n\n\
          usage: sqlcheck [--intra-only] [--weights c1|c2] [--rank-by count] \n\
                          [--no-fix] [--summary] [--parallel] [--threads N] \n\
-                         [--stats] [FILE|-]\n\n\
+                         [--stats] [--cache] [FILE|-]\n\n\
          Reads SQL from FILE (or stdin with '-'), prints ranked anti-patterns\n\
          with suggested fixes. Exits 1 when anti-patterns are found."
     );

@@ -20,18 +20,31 @@ pub use data::{ColumnProfile, DataAnalysisConfig, DataProfile, TableProfile};
 pub use schema::{CheckInfo, ColumnInfo, FkInfo, IndexInfo, SchemaCatalog, TableInfo};
 pub use workload::{ColumnUsage, JoinEdge, WorkloadProfile};
 
+use crate::hashutil::Prehashed;
 use sqlcheck_minidb::database::Database;
 use sqlcheck_parser::annotate::{annotate, Annotations};
 use sqlcheck_parser::ast::ParsedStatement;
 use sqlcheck_parser::parse;
+use sqlcheck_parser::parser::parse_raw;
+use sqlcheck_parser::splitter::{split_spanned, RawStatement};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// One statement with its annotations, as stored in the context.
+///
+/// The parse tree and annotation digest are held behind [`Arc`]s: the
+/// parse-once front-end parses and annotates each *unique* statement text
+/// exactly once and shares the result across every duplicate occurrence.
+/// Duplicates are therefore value-identical (same text, same tree, same
+/// annotations); the only observable sharing artefact is that token
+/// *spans* of a duplicate refer to its first occurrence in the script.
 #[derive(Debug, Clone)]
 pub struct AnalyzedStatement {
-    /// The parsed statement.
-    pub parsed: ParsedStatement,
-    /// Its annotation digest.
-    pub ann: Annotations,
+    /// The parsed statement (shared across duplicate texts).
+    pub parsed: Arc<ParsedStatement>,
+    /// Its annotation digest (shared across duplicate texts).
+    pub ann: Arc<Annotations>,
     /// Literal-sensitive 128-bit content hash of the token stream
     /// (span-insensitive), precomputed at build time so batch detection
     /// can group duplicate statements in O(1) per statement without
@@ -86,11 +99,93 @@ impl Context {
     }
 }
 
-/// Builder for [`Context`].
+/// Instrumentation of one [`ContextBuilder::build_with_stats`] run: where
+/// the front-end (split → parse → annotate → context fold) spent its time,
+/// and how effective the parse-once dedup was.
+#[derive(Debug, Clone, Default)]
+pub struct FrontendStats {
+    /// Statements in the context (after splitting, duplicates included).
+    pub statements: usize,
+    /// Unique statement texts — the number of parses/annotations actually
+    /// performed when dedup is enabled.
+    pub unique_texts: usize,
+    /// Worker threads used for the parse/annotate phases (1 = sequential).
+    pub threads: usize,
+    /// Wall-clock microseconds spent splitting + fingerprinting scripts.
+    pub split_micros: u128,
+    /// Wall-clock microseconds spent grouping texts and parsing unique
+    /// statements.
+    pub parse_micros: u128,
+    /// Wall-clock microseconds spent annotating unique statements.
+    pub annotate_micros: u128,
+    /// Wall-clock microseconds spent folding schema, workload, and data
+    /// context.
+    pub context_micros: u128,
+}
+
+/// Options for the parse-once front-end.
+#[derive(Debug, Clone)]
+pub struct FrontendOptions {
+    /// Group duplicate statement texts and parse + annotate each unique
+    /// text exactly once, sharing the result via `Arc`. Output is
+    /// value-identical to the per-statement path.
+    pub dedup: bool,
+    /// Parse/annotate unique texts across scoped worker threads. Ignored
+    /// (always sequential) when the `parallel` cargo feature is disabled.
+    pub parallel: bool,
+    /// Worker-thread count; `None` uses the machine's available
+    /// parallelism.
+    pub threads: Option<usize>,
+}
+
+impl Default for FrontendOptions {
+    fn default() -> Self {
+        FrontendOptions { dedup: true, parallel: cfg!(feature = "parallel"), threads: None }
+    }
+}
+
+impl FrontendOptions {
+    /// The pre-pipeline behaviour: parse and annotate every statement
+    /// individually, single-threaded. Kept as the benchmark baseline.
+    pub fn legacy() -> Self {
+        FrontendOptions { dedup: false, parallel: false, threads: None }
+    }
+
+    /// Dedup on, threading off — the deterministic single-core pipeline.
+    pub fn sequential() -> Self {
+        FrontendOptions { dedup: true, parallel: false, threads: None }
+    }
+}
+
+/// One unique statement text during the build: its (to-be-)parsed tree,
+/// annotations, content hash, and occurrence count.
+struct UniqueEntry {
+    raw: Option<RawStatement>,
+    parsed: Option<Arc<ParsedStatement>>,
+    ann: Option<Arc<Annotations>>,
+    hash: u128,
+    count: usize,
+}
+
+/// Builder for [`Context`] — the parse-once front-end.
+///
+/// Scripts are split into independently parseable span-level chunks and
+/// content-hashed **before** parsing — no token text is even allocated
+/// for a duplicate. Unique texts are materialised at intake and then
+/// parsed + annotated exactly once at build time (optionally across
+/// scoped worker threads), with the resulting AST/annotations shared
+/// across duplicate occurrences via [`Arc`].
 #[derive(Default)]
 pub struct ContextBuilder {
-    statements: Vec<ParsedStatement>,
-    database: Option<(Database, DataAnalysisConfig)>,
+    /// Unique statement texts, in first-occurrence order.
+    uniques: Vec<UniqueEntry>,
+    /// Statement order: index into `uniques` per statement.
+    order: Vec<usize>,
+    /// Content hash → slot in `uniques` (only populated when deduping).
+    slot_of: HashMap<u128, usize, Prehashed>,
+    database: Option<(Arc<Database>, DataAnalysisConfig)>,
+    opts: FrontendOptions,
+    split_micros: u128,
 }
 
 impl ContextBuilder {
@@ -99,34 +194,128 @@ impl ContextBuilder {
         Self::default()
     }
 
-    /// Add every statement in a SQL script.
+    /// Record one intake statement with its content hash, deduping when
+    /// enabled. `make` materialises the payload only for unique texts.
+    fn intake(
+        &mut self,
+        hash: u128,
+        make: impl FnOnce() -> (Option<RawStatement>, Option<Arc<ParsedStatement>>),
+    ) {
+        if self.opts.dedup {
+            if let Some(&slot) = self.slot_of.get(&hash) {
+                self.uniques[slot].count += 1;
+                self.order.push(slot);
+                return;
+            }
+            self.slot_of.insert(hash, self.uniques.len());
+        }
+        let (raw, parsed) = make();
+        self.order.push(self.uniques.len());
+        self.uniques.push(UniqueEntry { raw, parsed, ann: None, hash, count: 1 });
+    }
+
+    /// Add every statement in a SQL script. The script is split into
+    /// span-level chunks and content-hashed now — before parsing — so
+    /// duplicate texts cost one hash lookup and share everything else.
     pub fn add_script(mut self, script: &str) -> Self {
-        self.statements.extend(parse(script));
+        let t = Instant::now();
+        for chunk in split_spanned(script) {
+            self.intake(chunk.content_hash, || (Some(chunk.materialize(script)), None));
+        }
+        self.split_micros += t.elapsed().as_micros();
         self
     }
 
-    /// Add pre-parsed statements.
+    /// Add pre-parsed statements (deduplicated against script statements
+    /// by content hash, like everything else).
     pub fn add_statements(mut self, stmts: impl IntoIterator<Item = ParsedStatement>) -> Self {
-        self.statements.extend(stmts);
+        for p in stmts {
+            self.intake(p.content_hash(), || (None, Some(Arc::new(p))));
+        }
         self
     }
 
     /// Attach a database for data analysis (the optional input of Fig 4).
-    pub fn with_database(mut self, db: Database, cfg: DataAnalysisConfig) -> Self {
+    pub fn with_database(self, db: Database, cfg: DataAnalysisConfig) -> Self {
+        self.with_shared_database(Arc::new(db), cfg)
+    }
+
+    /// Attach a shared database handle. Profiling only reads the
+    /// database, so a caller that re-checks workloads repeatedly (e.g.
+    /// [`crate::SqlCheck`] with an incremental cache) can hand the same
+    /// `Arc` to every build instead of deep-cloning tables per check.
+    pub fn with_shared_database(mut self, db: Arc<Database>, cfg: DataAnalysisConfig) -> Self {
         self.database = Some((db, cfg));
+        self
+    }
+
+    /// Configure the front-end (dedup / threading). The default parses
+    /// each unique text once, threaded when the `parallel` feature is on.
+    ///
+    /// Must be called before any statements are added: dedup happens at
+    /// intake.
+    pub fn with_frontend(mut self, opts: FrontendOptions) -> Self {
+        assert!(
+            self.order.is_empty(),
+            "with_frontend must be called before add_script/add_statements"
+        );
+        self.opts = opts;
         self
     }
 
     /// Build the context: annotate queries, fold the schema, profile the
     /// workload, and (when a database is attached) profile the data.
     pub fn build(self) -> Context {
+        self.build_with_stats().0
+    }
+
+    /// Like [`ContextBuilder::build`], also returning per-phase front-end
+    /// instrumentation.
+    pub fn build_with_stats(self) -> (Context, FrontendStats) {
+        let mut uniques = self.uniques;
+        let mut stats = FrontendStats {
+            statements: self.order.len(),
+            unique_texts: uniques.len(),
+            split_micros: self.split_micros,
+            threads: 1,
+            ..FrontendStats::default()
+        };
+
+        // Parse phase: each unique text exactly once, in parallel when
+        // allowed. Workers own disjoint contiguous chunks and write into
+        // their own slots, so the result is deterministic regardless of
+        // scheduling.
+        let t_parse = Instant::now();
+        let threads = plan_threads(&self.opts, uniques.len());
+        stats.threads = threads;
+        for_each_entry(&mut uniques, threads, |e| {
+            if let Some(raw) = e.raw.take() {
+                e.parsed = Some(Arc::new(parse_raw(raw)));
+            }
+        });
+        stats.parse_micros = t_parse.elapsed().as_micros();
+
+        // Phase 3: annotate each unique parse tree exactly once.
+        let t_ann = Instant::now();
+        for_each_entry(&mut uniques, threads, |e| {
+            let parsed = e.parsed.as_ref().expect("parsed in phase 2");
+            e.ann = Some(Arc::new(annotate(&parsed.stmt)));
+        });
+        stats.annotate_micros = t_ann.elapsed().as_micros();
+
+        // Phase 4: assemble statements in script order (duplicates share
+        // the unique entry's Arcs) and fold the context.
+        let t_ctx = Instant::now();
         let analyzed: Vec<AnalyzedStatement> = self
-            .statements
-            .into_iter()
-            .map(|parsed| {
-                let ann = annotate(&parsed.stmt);
-                let text_hash = parsed.content_hash();
-                AnalyzedStatement { parsed, ann, text_hash }
+            .order
+            .iter()
+            .map(|&slot| {
+                let u = &uniques[slot];
+                AnalyzedStatement {
+                    parsed: u.parsed.clone().expect("parsed in phase 2"),
+                    ann: u.ann.clone().expect("annotated in phase 3"),
+                    text_hash: u.hash,
+                }
             })
             .collect();
 
@@ -148,13 +337,63 @@ impl ContextBuilder {
             DataProfile::build(&db, &cfg)
         });
 
-        // Borrow, don't clone: profiling must not duplicate every parsed
-        // statement and annotation on the hot path.
-        let workload =
-            WorkloadProfile::build(analyzed.iter().map(|a| (&a.parsed.stmt, &a.ann)), &schema);
+        // Profile once per unique text, weighted by occurrence count —
+        // every profile counter is additive over statements, so this is
+        // identical to folding each duplicate individually.
+        let workload = WorkloadProfile::build_weighted(
+            uniques.iter().map(|u| {
+                (
+                    &u.parsed.as_ref().expect("parsed").stmt,
+                    u.ann.as_ref().expect("annotated").as_ref(),
+                    u.count,
+                )
+            }),
+            &schema,
+        );
+        stats.context_micros = t_ctx.elapsed().as_micros();
 
-        Context { statements: analyzed, schema, workload, data }
+        (Context { statements: analyzed, schema, workload, data }, stats)
     }
+}
+
+/// Decide the front-end worker count for this build.
+fn plan_threads(opts: &FrontendOptions, uniques: usize) -> usize {
+    if !cfg!(feature = "parallel") || !opts.parallel || uniques < 2 {
+        return 1;
+    }
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    opts.threads.unwrap_or(hw).clamp(1, uniques)
+}
+
+/// Apply `f` to every entry, across `threads` scoped workers over
+/// contiguous chunks (deterministic: each worker writes only its own
+/// slots).
+#[cfg(feature = "parallel")]
+fn for_each_entry<F>(entries: &mut [UniqueEntry], threads: usize, f: F)
+where
+    F: Fn(&mut UniqueEntry) + Sync,
+{
+    if threads <= 1 || entries.len() < 2 {
+        entries.iter_mut().for_each(f);
+        return;
+    }
+    let chunk = entries.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        let f = &f;
+        for part in entries.chunks_mut(chunk) {
+            s.spawn(move || part.iter_mut().for_each(f));
+        }
+    });
+}
+
+/// Sequential stand-in when the `parallel` feature is disabled
+/// (`plan_threads` never returns > 1 in that configuration).
+#[cfg(not(feature = "parallel"))]
+fn for_each_entry<F>(entries: &mut [UniqueEntry], _threads: usize, f: F)
+where
+    F: Fn(&mut UniqueEntry) + Sync,
+{
+    entries.iter_mut().for_each(f);
 }
 
 /// Render a minidb table schema as `CREATE TABLE` DDL so the generic

@@ -73,12 +73,25 @@ impl WorkloadProfile {
         stmts: impl IntoIterator<Item = (&'a Statement, &'a Annotations)>,
         schema: &SchemaCatalog,
     ) -> Self {
+        Self::build_weighted(stmts.into_iter().map(|(s, a)| (s, a, 1)), schema)
+    }
+
+    /// Build a profile from *unique* annotated statements, each weighted
+    /// by its occurrence count. Every profile counter is additive over
+    /// statements, so folding one representative `n` times heavier is
+    /// identical to folding `n` duplicates individually — this is what
+    /// lets the parse-once front-end profile a workload in O(unique
+    /// texts) instead of O(statements).
+    pub fn build_weighted<'a>(
+        stmts: impl IntoIterator<Item = (&'a Statement, &'a Annotations, usize)>,
+        schema: &SchemaCatalog,
+    ) -> Self {
         let mut w = WorkloadProfile::default();
-        for (stmt, ann) in stmts {
-            w.statement_count += 1;
+        for (stmt, ann, n) in stmts {
+            w.statement_count += n;
             let scope = Scope::of(stmt);
             for t in &ann.tables {
-                *w.table_refs.entry(t.to_ascii_lowercase()).or_default() += 1;
+                *w.table_refs.entry(t.to_ascii_lowercase()).or_default() += n;
             }
             for p in &ann.predicates {
                 let Some(table) = scope.resolve(p.qualifier.as_deref(), &p.column, schema) else {
@@ -86,12 +99,12 @@ impl WorkloadProfile {
                 };
                 let u = w.usage_mut(&table, &p.column);
                 match p.op.as_str() {
-                    "=" | "==" | "IN" | "<=>" => u.eq_predicates += 1,
+                    "=" | "==" | "IN" | "<=>" => u.eq_predicates += n,
                     "LIKE" | "ILIKE" | "REGEXP" | "GLOB" | "SIMILAR TO" => {
-                        u.pattern_predicates += 1
+                        u.pattern_predicates += n
                     }
                     "IS NULL" => {}
-                    _ => u.range_predicates += 1,
+                    _ => u.range_predicates += n,
                 }
             }
             for c in &ann.columns {
@@ -101,10 +114,10 @@ impl WorkloadProfile {
                 };
                 let u = w.usage_mut(&table, &c.column);
                 match c.role {
-                    Grouped => u.group_by += 1,
-                    Ordered => u.order_by += 1,
-                    Joined => u.join += 1,
-                    Written => u.writes += 1,
+                    Grouped => u.group_by += n,
+                    Ordered => u.order_by += n,
+                    Joined => u.join += n,
+                    Written => u.writes += n,
                     _ => {}
                 }
             }
@@ -123,7 +136,7 @@ impl WorkloadProfile {
                 } else {
                     JoinEdge { left: b, right: a }
                 };
-                *w.join_edges.entry(edge).or_default() += 1;
+                *w.join_edges.entry(edge).or_default() += n;
             }
         }
         w

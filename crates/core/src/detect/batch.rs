@@ -23,35 +23,13 @@
 //!    order* as the sequential path, for any input.
 
 use crate::context::Context;
+use crate::detect::cache::IncrementalCache;
 use crate::detect::{data, dedup, inter, intra, Detector};
+use crate::hashutil::Prehashed;
 use crate::report::{Detection, Locus, Report};
 use std::collections::{HashMap, HashSet};
-use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
 use std::time::Instant;
-
-/// Pass-through hasher for keys that are already high-quality hashes
-/// (the precomputed 128-bit content hash). Folding the halves is enough;
-/// running FNV output through SipHash again would only burn cycles on
-/// the hottest map in the batch path.
-#[derive(Default)]
-struct PrehashedHasher(u64);
-
-impl Hasher for PrehashedHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-    fn write(&mut self, bytes: &[u8]) {
-        // Only u128 keys are ever hashed here; fold whatever arrives.
-        for chunk in bytes.chunks(8) {
-            let mut b = [0u8; 8];
-            b[..chunk.len()].copy_from_slice(chunk);
-            self.0 ^= u64::from_le_bytes(b);
-        }
-    }
-    fn write_u128(&mut self, i: u128) {
-        self.0 = (i as u64) ^ ((i >> 64) as u64);
-    }
-}
 
 /// Options for [`Detector::detect_batch`].
 #[derive(Debug, Clone)]
@@ -100,6 +78,36 @@ pub struct BatchStats {
     pub fanout_micros: u128,
     /// Wall-clock microseconds for the whole batch detection.
     pub total_micros: u128,
+    /// Front-end: microseconds splitting + fingerprinting the script
+    /// (0 when the caller did not attach [`FrontendStats`]).
+    ///
+    /// [`FrontendStats`]: crate::context::FrontendStats
+    pub split_micros: u128,
+    /// Front-end: microseconds grouping texts + parsing unique statements.
+    pub parse_micros: u128,
+    /// Front-end: microseconds annotating unique statements.
+    pub annotate_micros: u128,
+    /// Front-end: microseconds folding schema/workload/data context.
+    pub context_micros: u128,
+    /// Incremental cache: unique texts whose intra-query detections were
+    /// reused from a previous `check_workload` call (0 without a cache).
+    pub incremental_hits: usize,
+    /// Incremental cache: unique texts analysed fresh this call.
+    pub incremental_misses: usize,
+    /// Incremental cache: entries dropped this call (capacity evictions
+    /// plus config/schema-change flushes).
+    pub incremental_evictions: usize,
+}
+
+impl BatchStats {
+    /// Fold front-end instrumentation into this record (the batch engine
+    /// itself only sees an already-built context).
+    pub fn absorb_frontend(&mut self, fe: &crate::context::FrontendStats) {
+        self.split_micros = fe.split_micros;
+        self.parse_micros = fe.parse_micros;
+        self.annotate_micros = fe.annotate_micros;
+        self.context_micros = fe.context_micros;
+    }
 }
 
 /// A [`Report`] plus the batch instrumentation that produced it.
@@ -119,12 +127,34 @@ struct Group {
     occurrences: Vec<usize>,
 }
 
+/// Intra-query results for one group this run: freshly computed (loci
+/// carry the representative's index), or replayed from the incremental
+/// cache (canonical form, statement loci zeroed).
+enum GroupResult {
+    Fresh(Vec<Detection>),
+    Cached(Arc<Vec<Detection>>),
+}
+
 impl Detector {
     /// Batched detection: like [`Detector::detect`], but runs intra-query
     /// rules once per unique statement text (grouped under template
     /// fingerprints) and optionally in parallel. The returned report is
     /// byte-identical to the sequential path, in the same order.
     pub fn detect_batch(&self, ctx: &Context, opts: &BatchOptions) -> BatchReport {
+        self.detect_batch_with(ctx, opts, None)
+    }
+
+    /// [`Detector::detect_batch`] with an optional [`IncrementalCache`]:
+    /// unique texts whose intra-query detections are cached (under the
+    /// current config + schema epoch) are replayed instead of re-analysed,
+    /// so re-checking an edited workload only pays for changed statements.
+    /// Output stays byte-identical to the sequential path either way.
+    pub fn detect_batch_with(
+        &self,
+        ctx: &Context,
+        opts: &BatchOptions,
+        mut cache: Option<&mut IncrementalCache>,
+    ) -> BatchReport {
         let t_start = Instant::now();
         let t_group = Instant::now();
         let use_context = !self.cfg.intra_only;
@@ -137,11 +167,10 @@ impl Detector {
         // 128 bits are treated as collision-free, the same assumption
         // content-addressed systems make.
         let mut groups: Vec<Group> = Vec::new();
-        let mut by_hash: HashMap<u128, usize, BuildHasherDefault<PrehashedHasher>> =
-            HashMap::with_capacity_and_hasher(
-                ctx.statements.len().min(1024),
-                BuildHasherDefault::default(),
-            );
+        let mut by_hash: HashMap<u128, usize, Prehashed> = HashMap::with_capacity_and_hasher(
+            ctx.statements.len().min(1024),
+            Prehashed::default(),
+        );
         let mut templates: HashSet<u64> = HashSet::new();
         for (idx, stmt) in ctx.statements.iter().enumerate() {
             match by_hash.entry(stmt.text_hash) {
@@ -158,42 +187,102 @@ impl Detector {
 
         let group_micros = t_group.elapsed().as_micros();
 
-        // Phase 2: intra-query rules, once per group.
+        // Phase 2: intra-query rules, once per group — consulting the
+        // incremental cache first when one is attached. Cached entries are
+        // only valid under the current (config, schema) epoch; a mismatch
+        // flushes the cache before any lookup.
         let t_intra = Instant::now();
+        let counters_before = cache.as_deref().map(|c| c.counters());
+        if let Some(c) = cache.as_deref_mut() {
+            c.ensure_epoch(self.epoch_hash(ctx));
+        }
+        let mut results: Vec<Option<GroupResult>> = Vec::with_capacity(groups.len());
+        let mut misses: Vec<usize> = Vec::new();
+        match cache.as_deref_mut() {
+            Some(c) => {
+                for (gi, g) in groups.iter().enumerate() {
+                    match c.get(ctx.statements[g.rep].text_hash) {
+                        Some(hit) => results.push(Some(GroupResult::Cached(hit))),
+                        None => {
+                            results.push(None);
+                            misses.push(gi);
+                        }
+                    }
+                }
+            }
+            None => {
+                results.resize_with(groups.len(), || None);
+                misses.extend(0..groups.len());
+            }
+        }
+
         let run_group =
             |g: &Group| intra::detect_statement(g.rep, &ctx.statements[g.rep], ctx, &self.cfg, use_context);
-        let threads = self.plan_threads(opts, groups.len());
-        let results: Vec<Vec<Detection>> = if threads > 1 {
-            run_parallel(&groups, threads, &run_group)
+        let threads = self.plan_threads(opts, misses.len());
+        let fresh: Vec<Vec<Detection>> = if threads > 1 {
+            run_parallel(&groups, &misses, threads, &run_group)
         } else {
-            groups.iter().map(run_group).collect()
+            misses.iter().map(|&gi| run_group(&groups[gi])).collect()
         };
+        for (&gi, dets) in misses.iter().zip(fresh) {
+            if let Some(c) = cache.as_deref_mut() {
+                // Canonicalize before storing: statement loci are zeroed
+                // so the entry replays correctly at any occurrence index
+                // on any later call.
+                let canonical: Vec<Detection> = dets
+                    .iter()
+                    .map(|d| {
+                        let mut d = d.clone();
+                        if let Locus::Statement { index } = &mut d.locus {
+                            *index = 0;
+                        }
+                        d
+                    })
+                    .collect();
+                c.insert(ctx.statements[groups[gi].rep].text_hash, Arc::new(canonical));
+            }
+            results[gi] = Some(GroupResult::Fresh(dets));
+        }
         let intra_micros = t_intra.elapsed().as_micros();
 
         let t_fanout = Instant::now();
-        // Phase 3: deterministic fan-out in statement order. Singleton
-        // groups move their detections (loci already correct); shared
-        // groups clone per occurrence with the locus index rewritten.
+        // Phase 3: deterministic fan-out in statement order. Fresh
+        // singleton groups move their detections (loci already correct);
+        // everything else clones per occurrence with the statement locus
+        // rewritten to the occurrence index.
         let mut group_of = vec![0usize; ctx.statements.len()];
         for (gi, g) in groups.iter().enumerate() {
             for &i in &g.occurrences {
                 group_of[i] = gi;
             }
         }
-        let mut results = results;
         let mut report = Report::default();
         let total: usize = groups
             .iter()
             .enumerate()
-            .map(|(gi, g)| g.occurrences.len() * results[gi].len())
+            .map(|(gi, g)| {
+                let n = match &results[gi] {
+                    Some(GroupResult::Fresh(v)) => v.len(),
+                    Some(GroupResult::Cached(v)) => v.len(),
+                    None => 0,
+                };
+                g.occurrences.len() * n
+            })
             .sum();
         report.detections.reserve_exact(total);
         for (idx, &gi) in group_of.iter().enumerate() {
-            if groups[gi].occurrences.len() == 1 {
-                report.detections.append(&mut results[gi]);
-                continue;
-            }
-            for d in &results[gi] {
+            let singleton = groups[gi].occurrences.len() == 1;
+            let source: &[Detection] = match results[gi].as_mut().expect("all groups resolved") {
+                GroupResult::Fresh(v) => {
+                    if singleton {
+                        report.detections.append(v);
+                        continue;
+                    }
+                    v
+                }
+                GroupResult::Cached(v) => v,
+            };
+            for d in source {
                 let mut d = d.clone();
                 if let Locus::Statement { index } = &mut d.locus {
                     *index = idx;
@@ -214,7 +303,7 @@ impl Detector {
         }
         dedup(&mut report.detections);
 
-        let stats = BatchStats {
+        let mut stats = BatchStats {
             statements: ctx.statements.len(),
             unique_templates: templates.len(),
             unique_texts: groups.len(),
@@ -224,8 +313,26 @@ impl Detector {
             intra_micros,
             fanout_micros,
             total_micros: t_start.elapsed().as_micros(),
+            ..BatchStats::default()
         };
+        if let (Some(before), Some(c)) = (counters_before, cache.as_deref()) {
+            let after = c.counters();
+            stats.incremental_hits = (after.hits - before.hits) as usize;
+            stats.incremental_misses = (after.misses - before.misses) as usize;
+            stats.incremental_evictions = (after.evictions - before.evictions) as usize;
+        }
         BatchReport { report, stats }
+    }
+
+    /// Hash of everything a cached intra-query result depends on besides
+    /// the statement text: the detection config and the schema catalog
+    /// (contextual rules consult `ctx.schema` for FP suppression), plus
+    /// data-context presence for good measure. Debug formatting is a
+    /// deterministic canonical encoding within one process — exactly the
+    /// lifetime of an [`IncrementalCache`].
+    fn epoch_hash(&self, ctx: &Context) -> u64 {
+        let encoded = format!("{:?}|{:?}|{}", self.cfg, ctx.schema, ctx.data.is_some());
+        sqlcheck_parser::fingerprint::fnv1a(encoded.as_bytes())
     }
 
     /// Decide the intra-phase worker count for this run.
@@ -238,11 +345,12 @@ impl Detector {
     }
 }
 
-/// Run `f` over every group across `threads` scoped workers, returning
-/// results in group order. Workers take groups round-robin and report
-/// `(group_index, result)` pairs, so assembly is deterministic.
+/// Run `f` over the groups selected by `misses` across `threads` scoped
+/// workers, returning results in `misses` order. Workers take items
+/// round-robin and report `(position, result)` pairs, so assembly is
+/// deterministic.
 #[cfg(feature = "parallel")]
-fn run_parallel<F>(groups: &[Group], threads: usize, f: &F) -> Vec<Vec<Detection>>
+fn run_parallel<F>(groups: &[Group], misses: &[usize], threads: usize, f: &F) -> Vec<Vec<Detection>>
 where
     F: Fn(&Group) -> Vec<Detection> + Sync,
 {
@@ -250,22 +358,22 @@ where
         let handles: Vec<_> = (0..threads)
             .map(|tid| {
                 s.spawn(move || {
-                    groups
+                    misses
                         .iter()
                         .enumerate()
                         .skip(tid)
                         .step_by(threads)
-                        .map(|(gi, g)| (gi, f(g)))
+                        .map(|(pos, &gi)| (pos, f(&groups[gi])))
                         .collect::<Vec<_>>()
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("detection worker panicked")).collect()
     });
-    let mut results: Vec<Vec<Detection>> = vec![Vec::new(); groups.len()];
+    let mut results: Vec<Vec<Detection>> = vec![Vec::new(); misses.len()];
     for part in partials {
-        for (gi, dets) in part {
-            results[gi] = dets;
+        for (pos, dets) in part {
+            results[pos] = dets;
         }
     }
     results
@@ -274,11 +382,11 @@ where
 /// Sequential stand-in when the `parallel` feature is disabled
 /// (`plan_threads` never returns > 1 in that configuration).
 #[cfg(not(feature = "parallel"))]
-fn run_parallel<F>(groups: &[Group], _threads: usize, f: &F) -> Vec<Vec<Detection>>
+fn run_parallel<F>(groups: &[Group], misses: &[usize], _threads: usize, f: &F) -> Vec<Vec<Detection>>
 where
     F: Fn(&Group) -> Vec<Detection> + Sync,
 {
-    groups.iter().map(f).collect()
+    misses.iter().map(|&gi| f(&groups[gi])).collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,192 @@
+//! Fingerprint-keyed incremental detection cache.
+//!
+//! Re-checking a workload after small edits should only pay for the
+//! statements whose text actually changed — in the spirit of update-aware
+//! incremental view maintenance (Berkholz et al.). The cache maps a
+//! statement's literal-sensitive 128-bit content hash
+//! (`AnalyzedStatement::text_hash`) to the intra-query detections of that
+//! text, stored in **canonical form** (statement loci zeroed) so a hit
+//! can be fanned out to any occurrence index on any later call.
+//!
+//! ## Validity guard
+//!
+//! Intra-query rules read the statement itself plus — in contextual mode
+//! — the schema catalog (for false-positive suppression). They never read
+//! the workload profile or the data profile, so a cached result is valid
+//! exactly as long as the detection config and the schema the statement
+//! was analysed under are unchanged. The cache therefore carries an
+//! *epoch*: a hash of `(DetectionConfig, SchemaCatalog, has-data)`. A
+//! lookup under a different epoch flushes the whole cache (counted as
+//! evictions) — conservative, but never wrong. Inter-query and
+//! data-analysis phases always run fresh and are never cached.
+//!
+//! Eviction is FIFO under a fixed entry capacity: workload re-checks
+//! touch keys in script order, so first-in is a reasonable proxy for
+//! least-likely-to-recur, and FIFO keeps the hot path allocation-free.
+
+use crate::hashutil::Prehashed;
+use crate::report::Detection;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Default entry capacity: comfortably holds the unique texts of a
+/// 100k-statement workload with room for churn.
+pub const DEFAULT_CACHE_CAPACITY: usize = 65_536;
+
+/// Cumulative counters of one [`IncrementalCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups that found a valid entry.
+    pub hits: u64,
+    /// Lookups that missed (and were then populated).
+    pub misses: u64,
+    /// Entries dropped — capacity evictions plus epoch flushes.
+    pub evictions: u64,
+}
+
+/// Detection-result cache shared across [`check_workload`] calls.
+///
+/// [`check_workload`]: crate::SqlCheck::check_workload
+#[derive(Debug, Clone)]
+pub struct IncrementalCache {
+    capacity: usize,
+    /// Epoch the stored entries are valid under; `None` until first use.
+    epoch: Option<u64>,
+    map: HashMap<u128, Arc<Vec<Detection>>, Prehashed>,
+    /// Insertion order, for FIFO eviction.
+    queue: VecDeque<u128>,
+    counters: CacheCounters,
+}
+
+impl Default for IncrementalCache {
+    fn default() -> Self {
+        Self::new(DEFAULT_CACHE_CAPACITY)
+    }
+}
+
+impl IncrementalCache {
+    /// An empty cache bounded to `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> Self {
+        IncrementalCache {
+            capacity: capacity.max(1),
+            epoch: None,
+            map: HashMap::with_hasher(Prehashed::default()),
+            queue: VecDeque::new(),
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// Align the cache to `epoch` (config + schema hash). A change
+    /// flushes every entry — counted as evictions — because contextual
+    /// intra-query rules may now decide differently for the same text.
+    pub(crate) fn ensure_epoch(&mut self, epoch: u64) {
+        if self.epoch != Some(epoch) {
+            self.counters.evictions += self.map.len() as u64;
+            self.map.clear();
+            self.queue.clear();
+            self.epoch = Some(epoch);
+        }
+    }
+
+    /// Look up the canonical detections for a statement text. Counts a
+    /// hit or a miss.
+    pub(crate) fn get(&mut self, text_hash: u128) -> Option<Arc<Vec<Detection>>> {
+        match self.map.get(&text_hash) {
+            Some(v) => {
+                self.counters.hits += 1;
+                Some(Arc::clone(v))
+            }
+            None => {
+                self.counters.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert canonical detections for a statement text, evicting FIFO
+    /// past capacity.
+    pub(crate) fn insert(&mut self, text_hash: u128, detections: Arc<Vec<Detection>>) {
+        if self.map.insert(text_hash, detections).is_none() {
+            self.queue.push_back(text_hash);
+        }
+        while self.map.len() > self.capacity {
+            let Some(oldest) = self.queue.pop_front() else { break };
+            if self.map.remove(&oldest).is_some() {
+                self.counters.evictions += 1;
+            }
+        }
+    }
+
+    /// Cumulative hit/miss/eviction counters.
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{DetectionSource, Locus};
+
+    fn det() -> Detection {
+        Detection {
+            kind: crate::anti_pattern::AntiPatternKind::ColumnWildcard,
+            locus: Locus::Statement { index: 0 },
+            message: "m".into(),
+            source: DetectionSource::IntraQuery,
+        }
+    }
+
+    #[test]
+    fn hit_miss_counters() {
+        let mut c = IncrementalCache::new(4);
+        c.ensure_epoch(1);
+        assert!(c.get(10).is_none());
+        c.insert(10, Arc::new(vec![det()]));
+        assert!(c.get(10).is_some());
+        assert_eq!(c.counters(), CacheCounters { hits: 1, misses: 1, evictions: 0 });
+    }
+
+    #[test]
+    fn epoch_change_flushes() {
+        let mut c = IncrementalCache::new(4);
+        c.ensure_epoch(1);
+        c.insert(10, Arc::new(vec![]));
+        c.insert(11, Arc::new(vec![]));
+        c.ensure_epoch(2);
+        assert!(c.is_empty());
+        assert_eq!(c.counters().evictions, 2);
+        // Same epoch again: no further flush.
+        c.insert(12, Arc::new(vec![]));
+        c.ensure_epoch(2);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_size() {
+        let mut c = IncrementalCache::new(2);
+        c.ensure_epoch(1);
+        c.insert(1, Arc::new(vec![]));
+        c.insert(2, Arc::new(vec![]));
+        c.insert(3, Arc::new(vec![]));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(1).is_none(), "oldest entry evicted");
+        assert!(c.get(3).is_some());
+        assert_eq!(c.counters().evictions, 1);
+    }
+}

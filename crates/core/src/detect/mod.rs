@@ -13,11 +13,13 @@
 //!    when a database is attached.
 
 pub mod batch;
+pub mod cache;
 pub mod data;
 pub mod inter;
 pub mod intra;
 
 pub use batch::{BatchOptions, BatchReport, BatchStats};
+pub use cache::{CacheCounters, IncrementalCache, DEFAULT_CACHE_CAPACITY};
 
 use crate::context::{Context, DataAnalysisConfig};
 use crate::report::{Detection, Locus, Report};

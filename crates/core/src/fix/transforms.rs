@@ -13,7 +13,7 @@ use sqlcheck_parser::ast::*;
 use sqlcheck_parser::render::ToSql;
 
 fn statement_at<'c>(d: &Detection, ctx: &'c Context) -> Option<&'c ParsedStatement> {
-    d.statement_index().and_then(|i| ctx.statements.get(i)).map(|a| &a.parsed)
+    d.statement_index().and_then(|i| ctx.statements.get(i)).map(|a| a.parsed.as_ref())
 }
 
 /// Implicit Columns (Example 2): add the explicit column list from the

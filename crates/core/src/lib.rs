@@ -43,9 +43,18 @@
 //!   strictly single-threaded builds), with a deterministic merge that
 //!   preserves statement order.
 //!
+//! The front-end is parse-once: scripts are split and content-hashed at
+//! the span level **before** parsing, so each unique statement text is
+//! parsed and annotated exactly once and shared across duplicates via
+//! `Arc`. Attaching [`SqlCheck::with_cache`] additionally persists
+//! intra-query results across `check_workload` calls (keyed by text
+//! hash, guarded by a config + schema epoch), so re-checking an edited
+//! workload only pays for the statements whose text changed.
+//!
 //! The batch path returns byte-identical detections, in the same order,
 //! as the sequential path — plus [`BatchStats`] instrumentation
-//! (template/dedup counts, thread usage, phase timings).
+//! (template/dedup counts, thread usage, per-phase front-end and
+//! detection timings, cache counters).
 //!
 //! ```
 //! use sqlcheck::{BatchOptions, SqlCheck};
@@ -90,13 +99,19 @@ pub mod anti_pattern;
 pub mod context;
 pub mod detect;
 pub mod fix;
+pub(crate) mod hashutil;
 pub mod rank;
 pub mod registry;
 pub mod report;
 
 pub use anti_pattern::{AntiPatternKind, Category, MetricImpact};
-pub use context::{Context, ContextBuilder, DataAnalysisConfig};
-pub use detect::{BatchOptions, BatchReport, BatchStats, DetectionConfig, Detector};
+pub use context::{
+    Context, ContextBuilder, DataAnalysisConfig, FrontendOptions, FrontendStats,
+};
+pub use detect::{
+    BatchOptions, BatchReport, BatchStats, CacheCounters, DetectionConfig, Detector,
+    IncrementalCache,
+};
 pub use fix::{Fix, FixEngine, SuggestedFix};
 pub use rank::{
     ApMetrics, InterQueryModel, MetricsTable, RankWeights, RankedDetection, Ranker, Severity,
@@ -162,12 +177,19 @@ impl CheckOutcome {
 }
 
 /// The top-level toolchain facade (Fig 4): configure, attach inputs, run.
+///
+/// The facade is reusable: [`SqlCheck::check_script`] and
+/// [`SqlCheck::check_workload`] borrow it, so the same instance can check
+/// many scripts — which is what makes the incremental detection cache
+/// ([`SqlCheck::with_cache`]) useful across re-checks of an evolving
+/// workload.
 pub struct SqlCheck {
     detector: Detector,
     ranker: Ranker,
     registry: RuleRegistry,
-    database: Option<Database>,
+    database: Option<std::sync::Arc<Database>>,
     data_cfg: DataAnalysisConfig,
+    cache: Option<IncrementalCache>,
 }
 
 impl Default for SqlCheck {
@@ -185,6 +207,7 @@ impl SqlCheck {
             registry: RuleRegistry::new(),
             database: None,
             data_cfg: DataAnalysisConfig::default(),
+            cache: None,
         }
     }
 
@@ -219,9 +242,10 @@ impl SqlCheck {
         self
     }
 
-    /// Attach a database for data analysis.
+    /// Attach a database for data analysis. The database is held behind
+    /// an `Arc` and shared (not copied) across repeated checks.
     pub fn with_database(mut self, db: Database) -> Self {
-        self.database = Some(db);
+        self.database = Some(std::sync::Arc::new(db));
         self
     }
 
@@ -237,11 +261,26 @@ impl SqlCheck {
         self
     }
 
+    /// Attach an incremental detection cache (bounded to `capacity`
+    /// unique statement texts). Subsequent [`SqlCheck::check_workload`]
+    /// calls on this instance reuse intra-query results for statements
+    /// whose text is unchanged since an earlier call — a workload
+    /// re-check after small edits only re-analyses the edited statements.
+    pub fn with_cache(mut self, capacity: usize) -> Self {
+        self.cache = Some(IncrementalCache::new(capacity));
+        self
+    }
+
+    /// Cumulative incremental-cache counters, when a cache is attached.
+    pub fn cache_counters(&self) -> Option<CacheCounters> {
+        self.cache.as_ref().map(|c| c.counters())
+    }
+
     /// Run the full pipeline over a SQL script.
-    pub fn check_script(self, script: &str) -> CheckOutcome {
+    pub fn check_script(&mut self, script: &str) -> CheckOutcome {
         let mut builder = ContextBuilder::new().add_script(script);
-        if let Some(db) = self.database {
-            builder = builder.with_database(db, self.data_cfg.clone());
+        if let Some(db) = &self.database {
+            builder = builder.with_shared_database(db.clone(), self.data_cfg.clone());
         }
         let context = builder.build();
         let mut report = self.detector.detect(&context);
@@ -253,27 +292,38 @@ impl SqlCheck {
         CheckOutcome { context, report, ranked, fixes }
     }
 
-    /// Run the full pipeline over a large workload using the batch
-    /// detection engine: template-fingerprint grouping, per-unique-text
-    /// rule execution, and (with the `parallel` feature) data-parallel
-    /// intra-query analysis. Produces the same detections as
-    /// [`SqlCheck::check_script`] plus [`BatchStats`] instrumentation.
-    pub fn check_workload(self, script: &str, opts: &BatchOptions) -> WorkloadOutcome {
-        let mut builder = ContextBuilder::new().add_script(script);
-        if let Some(db) = self.database {
-            builder = builder.with_database(db, self.data_cfg.clone());
+    /// Run the full pipeline over a large workload using the parse-once
+    /// front-end and the batch detection engine: fingerprinting before
+    /// parsing, per-unique-text parse/annotate/rule execution, (with the
+    /// `parallel` feature) data-parallel front-end and intra-query
+    /// analysis, and — when a cache is attached — incremental reuse of
+    /// detection results across calls. Produces the same detections as
+    /// [`SqlCheck::check_script`] plus [`BatchStats`] instrumentation
+    /// (batch dedup, per-phase front-end timings, cache counters).
+    pub fn check_workload(&mut self, script: &str, opts: &BatchOptions) -> WorkloadOutcome {
+        let frontend = FrontendOptions {
+            dedup: true,
+            parallel: opts.parallel,
+            threads: opts.threads,
+        };
+        let mut builder =
+            ContextBuilder::new().with_frontend(frontend).add_script(script);
+        if let Some(db) = &self.database {
+            builder = builder.with_shared_database(db.clone(), self.data_cfg.clone());
         }
-        let context = builder.build();
-        let batch = self.detector.detect_batch(&context, opts);
+        let (context, fe_stats) = builder.build_with_stats();
+        let batch = self.detector.detect_batch_with(&context, opts, self.cache.as_mut());
         let mut report = batch.report;
         report.detections.extend(self.registry.detect_all(&context));
         let ranked = self.ranker.rank(&report);
         let ordered: Vec<Detection> =
             ranked.iter().map(|r| r.detection.clone()).collect();
         let fixes = FixEngine.fix_all(&ordered, &context);
+        let mut stats = batch.stats;
+        stats.absorb_frontend(&fe_stats);
         WorkloadOutcome {
             outcome: CheckOutcome { context, report, ranked, fixes },
-            stats: batch.stats,
+            stats,
         }
     }
 }

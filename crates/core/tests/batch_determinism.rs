@@ -7,7 +7,9 @@
 //! property runs over deterministically generated random scripts: same
 //! seeds, same cases, every run.
 
-use sqlcheck::{BatchOptions, ContextBuilder, DetectionConfig, Detector};
+use sqlcheck::{
+    BatchOptions, ContextBuilder, DetectionConfig, Detector, FrontendOptions, IncrementalCache,
+};
 use sqlcheck_minidb::stats::SmallRng;
 
 /// Build a random script that is heavy on duplicate templates: a small
@@ -100,6 +102,102 @@ fn detect_batch_is_byte_identical_to_sequential() {
             &script,
             &format!("case {case} intra"),
         );
+    }
+}
+
+/// Randomly edit some statements of a script (one per line), producing
+/// texts the original never contained. DDL lines are left alone so the
+/// schema — and with it the cache epoch — stays stable; the dedicated
+/// test below covers schema-changing edits.
+fn edit_lines(script: &str, rng: &mut SmallRng) -> String {
+    let mut out = String::new();
+    for (i, line) in script.lines().enumerate() {
+        let ddl = line.starts_with("CREATE") || line.starts_with("ALTER");
+        if !line.is_empty() && !ddl && rng.gen_range(10) == 0 {
+            out.push_str(&format!("SELECT * FROM tab0 WHERE id = {};\n", 7_000_000 + i));
+        } else {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Cold sequential reference: legacy front-end (per-statement parse, no
+/// sharing) + per-statement detection.
+fn cold_reference(det: &Detector, script: &str) -> Vec<String> {
+    let ctx = ContextBuilder::new()
+        .with_frontend(FrontendOptions::legacy())
+        .add_script(script)
+        .build();
+    detections_debug(&det.detect(&ctx))
+}
+
+/// Property (satellite of the parse-once PR): parse-dedup plus a cached
+/// re-check must stay byte-identical to a cold sequential `check_script`
+/// on randomized duplicate-heavy scripts — across edits, thread counts,
+/// and detector-config switches (which must flush the cache, not poison
+/// it).
+#[test]
+fn cached_recheck_is_byte_identical_to_cold_sequential() {
+    let mut rng = SmallRng::new(0x1AC);
+    for case in 0..12 {
+        let statements = 40 + rng.gen_range(120);
+        let script = random_script(&mut rng, statements);
+        let edited = edit_lines(&script, &mut rng);
+        let det = Detector::default();
+        let mut cache = IncrementalCache::new(4096);
+
+        for (round, (sql, label)) in
+            [(&script, "cold"), (&edited, "edited"), (&script, "back")].iter().enumerate()
+        {
+            let opts = BatchOptions { parallel: true, threads: Some(1 + round % 3) };
+            let ctx = ContextBuilder::new().add_script(sql).build();
+            let got =
+                detections_debug(&det.detect_batch_with(&ctx, &opts, Some(&mut cache)).report);
+            assert_eq!(
+                cold_reference(&det, sql),
+                got,
+                "case {case} round {round} ({label}): cached batch must equal cold sequential"
+            );
+        }
+        // Rounds 2 and 3 revisit texts the cache has seen: hits required.
+        let c = cache.counters();
+        assert!(c.hits > 0, "case {case}: warm rounds must hit the cache");
+
+        // A config switch invalidates the epoch; results must follow the
+        // new config, not the cached one.
+        let intra = Detector::new(DetectionConfig::intra_only());
+        let ctx = ContextBuilder::new().add_script(&edited).build();
+        let got = detections_debug(
+            &intra.detect_batch_with(&ctx, &BatchOptions::default(), Some(&mut cache)).report,
+        );
+        assert_eq!(
+            cold_reference(&intra, &edited),
+            got,
+            "case {case}: config switch must flush, not replay stale entries"
+        );
+        assert!(cache.counters().evictions > 0, "case {case}: epoch flush counted");
+    }
+}
+
+/// DDL edits change the schema context, which contextual intra rules
+/// depend on — the cache must flush (epoch change) and re-detect.
+#[test]
+fn schema_edit_invalidates_cached_suppressions() {
+    // `tab` has no PK: No Primary Key fires on the CREATE; adding an
+    // ALTER later suppresses it. The SELECT's detections are cacheable
+    // either way, but the suppression decision depends on the schema.
+    let v1 = "CREATE TABLE tab (a INT);\nSELECT * FROM tab WHERE a = 1;\n";
+    let v2 = "CREATE TABLE tab (a INT);\nALTER TABLE tab ADD CONSTRAINT pk PRIMARY KEY (a);\nSELECT * FROM tab WHERE a = 1;\n";
+    let det = Detector::default();
+    let mut cache = IncrementalCache::new(64);
+    for sql in [v1, v2, v1] {
+        let ctx = ContextBuilder::new().add_script(sql).build();
+        let got = detections_debug(
+            &det.detect_batch_with(&ctx, &BatchOptions::default(), Some(&mut cache)).report,
+        );
+        assert_eq!(cold_reference(&det, sql), got, "schema change must invalidate");
     }
 }
 

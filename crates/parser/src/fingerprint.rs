@@ -82,9 +82,172 @@ pub fn template_of(tokens: &[Token]) -> String {
     atoms.join(" ")
 }
 
+/// How one template atom's bytes are folded before hashing.
+#[derive(Clone, Copy)]
+enum Fold {
+    /// Hash bytes as-is.
+    None,
+    /// ASCII-uppercase every byte (keywords).
+    Upper,
+    /// ASCII-lowercase every byte (bare identifiers).
+    Lower,
+}
+
+/// Streaming template hasher: produces exactly
+/// `fnv1a(template_of(tokens))` without building the template string (or
+/// any other allocation). The normalization rules live here once; the
+/// string renderer [`template_of`] is the readable counterpart and the
+/// equivalence is pinned by tests.
+struct TemplateHasher {
+    h: u64,
+    emitted_any: bool,
+    /// Last committed atom was the `?` placeholder.
+    last_q: bool,
+    /// A `,` atom is buffered, awaiting the next atom (placeholder-list
+    /// collapse needs one atom of lookahead).
+    pending_comma: bool,
+}
+
+impl TemplateHasher {
+    fn new() -> Self {
+        TemplateHasher { h: FNV_OFFSET, emitted_any: false, last_q: false, pending_comma: false }
+    }
+
+    fn eat(&mut self, b: u8) {
+        self.h ^= b as u64;
+        self.h = self.h.wrapping_mul(FNV_PRIME);
+    }
+
+    /// Commit one atom to the hash (joined by single spaces).
+    fn commit(&mut self, text: &str, fold: Fold) {
+        if self.emitted_any {
+            self.eat(b' ');
+        }
+        self.emitted_any = true;
+        for b in text.bytes() {
+            self.eat(match fold {
+                Fold::None => b,
+                Fold::Upper => b.to_ascii_uppercase(),
+                Fold::Lower => b.to_ascii_lowercase(),
+            });
+        }
+    }
+
+    fn flush_comma(&mut self) {
+        if self.pending_comma {
+            self.pending_comma = false;
+            self.commit(",", Fold::None);
+            self.last_q = false;
+        }
+    }
+
+    fn placeholder(&mut self) {
+        if self.pending_comma && self.last_q {
+            // `?, ?` collapses to `?`: drop the comma and this
+            // placeholder; the previously committed `?` stands.
+            self.pending_comma = false;
+        } else {
+            self.flush_comma();
+            self.commit("?", Fold::None);
+            self.last_q = true;
+        }
+    }
+
+    /// Feed one significant token (trivia and trailing semicolons are the
+    /// caller's responsibility).
+    fn token(&mut self, kind: TokenKind, text: &str) {
+        let (value, fold) = match kind {
+            TokenKind::StringLit | TokenKind::NumberLit | TokenKind::Param => {
+                self.placeholder();
+                return;
+            }
+            TokenKind::Keyword => (text, Fold::Upper),
+            TokenKind::Ident => (text, Fold::Lower),
+            TokenKind::QuotedIdent => (atom_value(kind, text), Fold::None),
+            _ => (text, Fold::None),
+        };
+        // The rendered template dispatches on the *atom string*, so an
+        // atom that happens to read `?` or `,` (e.g. a quoted identifier
+        // named `"?"`) participates in placeholder/list folding exactly
+        // as a literal's placeholder would. Case folds never produce
+        // these single-char atoms from anything else, so comparing the
+        // unfolded value is equivalent.
+        match value {
+            "?" => self.placeholder(),
+            "," => {
+                self.flush_comma();
+                self.pending_comma = true;
+            }
+            _ => {
+                self.flush_comma();
+                self.commit(value, fold);
+                self.last_q = false;
+            }
+        }
+    }
+
+    fn finish(mut self) -> u64 {
+        self.flush_comma();
+        self.h
+    }
+}
+
+/// The template atom string a non-literal token renders to (quoted
+/// identifiers lose their delimiters; everything else is the raw text).
+fn atom_value(kind: TokenKind, text: &str) -> &str {
+    if kind == TokenKind::QuotedIdent && text.len() >= 2 {
+        &text[1..text.len() - 1]
+    } else {
+        text
+    }
+}
+
+/// Whether a token renders to the `;` atom (the trailing-semicolon fold
+/// operates on atoms: a quoted identifier named `";"` counts, a literal
+/// never does — it renders to `?`).
+fn atom_is_semi(kind: TokenKind, text: &str) -> bool {
+    match kind {
+        TokenKind::StringLit | TokenKind::NumberLit | TokenKind::Param => false,
+        _ => atom_value(kind, text) == ";",
+    }
+}
+
+/// Streaming fingerprint over `(kind, text)` pairs — the allocation-free
+/// core shared by [`fingerprint_of`] and the span-level front-end. The
+/// caller supplies significant *and* trivia tokens in order; trivia is
+/// skipped here.
+pub fn fingerprint_parts<'t>(parts: impl Iterator<Item = (TokenKind, &'t str)> + Clone) -> u64 {
+    // Trailing-semicolon fold: count trailing significant `;` atoms so
+    // the streaming pass can stop before them.
+    let mut significant = 0usize;
+    let mut last_non_semi = 0usize;
+    for (kind, text) in parts.clone() {
+        if matches!(kind, TokenKind::Whitespace | TokenKind::Comment) {
+            continue;
+        }
+        significant += 1;
+        if !atom_is_semi(kind, text) {
+            last_non_semi = significant;
+        }
+    }
+    let mut hasher = TemplateHasher::new();
+    let mut seen = 0usize;
+    for (kind, text) in parts {
+        if matches!(kind, TokenKind::Whitespace | TokenKind::Comment) {
+            continue;
+        }
+        seen += 1;
+        if seen > last_non_semi {
+            break;
+        }
+        hasher.token(kind, text);
+    }
+    hasher.finish()
+}
+
 /// Fingerprint of a token stream: the FNV-1a hash of its template.
 pub fn fingerprint_of(tokens: &[Token]) -> u64 {
-    fnv1a(template_of(tokens).as_bytes())
+    fingerprint_parts(tokens.iter().map(|t| (t.kind, t.text.as_str())))
 }
 
 /// FNV-1a 128-bit offset basis.
@@ -100,19 +263,37 @@ const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
 /// negligible, which lets batch analysis use the hash alone as a
 /// result-cache key.
 pub fn content_hash_of(tokens: &[Token]) -> u128 {
+    content_hash_parts(tokens.iter().map(|t| (t.kind, t.text.as_str())))
+}
+
+/// Streaming content hash over `(kind, text)` pairs — the core shared by
+/// [`content_hash_of`] and the span-level front-end.
+pub fn content_hash_parts<'t>(parts: impl Iterator<Item = (TokenKind, &'t str)>) -> u128 {
     let mut h = FNV128_OFFSET;
     let mut eat = |b: u8| {
         h ^= b as u128;
         h = h.wrapping_mul(FNV128_PRIME);
     };
-    for t in tokens {
-        eat(t.kind as u8);
-        for b in t.text.as_bytes() {
+    for (kind, text) in parts {
+        eat(kind as u8);
+        for b in text.as_bytes() {
             eat(*b);
         }
         eat(0xFF); // token separator: ["ab"] must not collide with ["a","b"]
     }
     h
+}
+
+/// Content hash of span-level tokens (no text materialisation).
+/// Identical to [`content_hash_of`] over the materialised tokens.
+pub fn content_hash_spanned(src: &str, tokens: &[crate::lexer::SpannedToken]) -> u128 {
+    content_hash_parts(tokens.iter().map(|t| (t.kind, t.text(src))))
+}
+
+/// Template fingerprint of span-level tokens (no text materialisation).
+/// Identical to [`fingerprint_of`] over the materialised tokens.
+pub fn fingerprint_spanned(src: &str, tokens: &[crate::lexer::SpannedToken]) -> u64 {
+    fingerprint_parts(tokens.iter().map(|t| (t.kind, t.text(src))))
 }
 
 impl ParsedStatement {
@@ -215,6 +396,57 @@ mod tests {
     fn template_text_is_readable() {
         let t = parse_one("SELECT  *  FROM Users WHERE Name = 'N' AND id IN (1,2,3);").template();
         assert_eq!(t, "SELECT * FROM users WHERE name = ? AND id IN ( ? )");
+    }
+
+    #[test]
+    fn streaming_fingerprint_equals_template_hash() {
+        // The streaming hasher must agree byte-for-byte with hashing the
+        // rendered template string, across every normalization rule:
+        // literal folds, list collapses, case folds, quoted identifiers,
+        // comments, trailing semicolons, pathological comma runs.
+        let corpus = [
+            "SELECT * FROM t WHERE a = 1",
+            "select a, b from T where A = 'x' and b in (1, 2, 3);",
+            "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y');;",
+            "SELECT \"Weird\" FROM `t2` WHERE x LIKE '%v%' -- c\n;",
+            "UPDATE t SET a = ?, b = :name WHERE id = $1",
+            "SELECT 1,2,3,4",
+            "SELECT f(1 , 2 , 3), g( )",
+            "SELECT ',' , ';' ; ;",
+            "",
+            ";;;",
+            "SELECT a ,",
+            "SELECT * FROM t WHERE a IN (?, ?, ?) AND b IN (1)",
+            "/* only a comment */",
+            // Pathological quoted identifiers whose *atom* collides with
+            // structural characters: the rendered template dispatches on
+            // the atom string, so these must fold identically.
+            "SELECT \"?\", 1 FROM t",
+            "SELECT 1, \"?\" FROM t",
+            "SELECT a, \";\"",
+            "SELECT a \";\" ;",
+            "SELECT \",\" FROM t",
+            "SELECT 1 \",\" 2 FROM t",
+            "SELECT \"\" FROM t",
+        ];
+        for sql in corpus {
+            let p = parse_one(sql);
+            assert_eq!(
+                p.fingerprint(),
+                fnv1a(p.template().as_bytes()),
+                "streaming vs rendered template diverged on {sql:?} (template {:?})",
+                p.template()
+            );
+        }
+    }
+
+    #[test]
+    fn spanned_hashes_equal_materialized_hashes() {
+        let sql = "SELECT a, \"B\" FROM t WHERE x = 'v' AND y IN (1,2); DELETE FROM t;";
+        let toks = crate::lexer::lex_spans(sql);
+        let owned = crate::lexer::tokenize(sql);
+        assert_eq!(content_hash_spanned(sql, &toks), content_hash_of(&owned));
+        assert_eq!(fingerprint_spanned(sql, &toks), fingerprint_of(&owned));
     }
 
     #[test]

@@ -44,5 +44,7 @@ pub mod token;
 
 pub use annotate::{annotate, Annotations};
 pub use ast::{ParsedStatement, Statement};
-pub use parser::{parse, parse_one};
+pub use parser::{parse, parse_one, parse_raw};
 pub use render::ToSql;
+pub use lexer::{lex_spans, SpannedToken};
+pub use splitter::{split_fingerprinted, split_spanned, FingerprintedStatement, SpannedStatement};

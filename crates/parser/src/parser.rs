@@ -13,7 +13,7 @@ use crate::token::{Token, TokenKind};
 
 /// Parse a script into statements.
 pub fn parse(script: &str) -> Vec<ParsedStatement> {
-    split(script).into_iter().map(|raw| parse_statement(&raw)).collect()
+    split(script).into_iter().map(parse_raw).collect()
 }
 
 /// Parse a single statement. If the input contains several statements the
@@ -27,9 +27,17 @@ pub fn parse_one(sql: &str) -> ParsedStatement {
 
 /// Parse one pre-split raw statement.
 pub fn parse_statement(raw: &RawStatement) -> ParsedStatement {
+    parse_raw(raw.clone())
+}
+
+/// Parse one pre-split raw statement, consuming it. The statement's token
+/// stream moves into the result instead of being cloned — the hot variant
+/// used by the parse-once front-end, where every unique statement text is
+/// parsed exactly once.
+pub fn parse_raw(raw: RawStatement) -> ParsedStatement {
     let sig: Vec<Token> = raw.tokens.iter().filter(|t| !t.is_trivia()).cloned().collect();
     let stmt = parse_tokens(&sig);
-    ParsedStatement { stmt, tokens: raw.tokens.clone() }
+    ParsedStatement { stmt, tokens: raw.tokens }
 }
 
 fn parse_tokens(sig: &[Token]) -> Statement {

@@ -4,7 +4,8 @@
 //! stream, so that semicolons inside string literals, comments, or
 //! dollar-quoted bodies never split a statement.
 
-use crate::lexer::tokenize;
+use crate::fingerprint::{content_hash_spanned, fingerprint_spanned};
+use crate::lexer::{lex_spans, SpannedToken};
 use crate::token::{Span, Token};
 
 /// One raw statement: its tokens (trivia included) and overall span.
@@ -43,31 +44,116 @@ impl RawStatement {
 /// assert_eq!(stmts[1].text().trim(), "SELECT ';'");
 /// ```
 pub fn split(script: &str) -> Vec<RawStatement> {
-    let tokens = tokenize(script);
-    let mut stmts = Vec::new();
-    let mut current: Vec<Token> = Vec::new();
-    for tok in tokens {
-        if tok.is_punct(';') {
-            push_statement(&mut stmts, std::mem::take(&mut current));
-        } else {
-            current.push(tok);
+    split_impl(script)
+}
+
+/// One split-off statement chunk with its fingerprints computed **before
+/// any parsing happens**. This is the front door of the parse-once
+/// pipeline: chunks are independently parseable (each carries its own
+/// token stream), and the two hashes let a consumer group duplicate
+/// statement texts and parse each unique text exactly once.
+#[derive(Debug, Clone)]
+pub struct FingerprintedStatement {
+    /// The raw statement chunk (tokens + span).
+    pub raw: RawStatement,
+    /// Literal-insensitive template fingerprint
+    /// ([`crate::fingerprint::fingerprint_of`]).
+    pub fingerprint: u64,
+    /// Literal-sensitive, span-insensitive 128-bit content hash
+    /// ([`crate::fingerprint::content_hash_of`]). Equal hashes identify
+    /// statements whose parse trees and annotations are interchangeable.
+    pub content_hash: u128,
+}
+
+/// Split a script and fingerprint every chunk, without parsing anything.
+///
+/// ```
+/// use sqlcheck_parser::splitter::split_fingerprinted;
+/// let chunks = split_fingerprinted("SELECT 1; SELECT 1 ; SELECT 2;");
+/// assert_eq!(chunks.len(), 3);
+/// // Same text → same content hash; different literal → different hash
+/// // but (literals fold) the same template fingerprint.
+/// assert_eq!(chunks[0].content_hash, chunks[1].content_hash);
+/// assert_ne!(chunks[0].content_hash, chunks[2].content_hash);
+/// assert_eq!(chunks[0].fingerprint, chunks[2].fingerprint);
+/// ```
+pub fn split_fingerprinted(script: &str) -> Vec<FingerprintedStatement> {
+    split_spanned(script)
+        .into_iter()
+        .map(|s| FingerprintedStatement {
+            fingerprint: s.fingerprint(script),
+            content_hash: s.content_hash,
+            raw: s.materialize(script),
+        })
+        .collect()
+}
+
+/// One split-off statement at the span level: its span-tokens (trivia
+/// trimmed at both ends, kept inside) and its content hash — computed
+/// **before parsing and before any token text is allocated**. The
+/// allocation-free front door of the parse-once pipeline: a consumer
+/// groups duplicate texts by [`SpannedStatement::content_hash`] and
+/// [materialises](SpannedStatement::materialize) owned tokens only for
+/// the unique texts it actually parses.
+#[derive(Debug, Clone)]
+pub struct SpannedStatement {
+    /// Span-level tokens of the statement (no owned text).
+    pub tokens: Vec<SpannedToken>,
+    /// Span covering the statement in the original script.
+    pub span: Span,
+    /// Literal-sensitive 128-bit content hash
+    /// ([`crate::fingerprint::content_hash_spanned`]).
+    pub content_hash: u128,
+}
+
+impl SpannedStatement {
+    /// Literal-insensitive template fingerprint, computed from the spans
+    /// (no parsing, no allocation).
+    pub fn fingerprint(&self, script: &str) -> u64 {
+        fingerprint_spanned(script, &self.tokens)
+    }
+
+    /// Build the equivalent owned [`RawStatement`].
+    pub fn materialize(&self, script: &str) -> RawStatement {
+        RawStatement {
+            tokens: self.tokens.iter().map(|t| t.materialize(script)).collect(),
+            span: self.span,
         }
     }
-    push_statement(&mut stmts, current);
+}
+
+/// Split a script into span-level statements, computing each chunk's
+/// content hash on the way — without allocating any token text. This is
+/// what [`split`] and [`split_fingerprinted`] are built on.
+pub fn split_spanned(script: &str) -> Vec<SpannedStatement> {
+    let tokens = lex_spans(script);
+    let mut stmts = Vec::new();
+    let mut start = 0usize;
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind == crate::token::TokenKind::Punct && tok.text(script) == ";" {
+            push_spanned(script, &mut stmts, &tokens[start..i]);
+            start = i + 1;
+        }
+    }
+    push_spanned(script, &mut stmts, &tokens[start..]);
     stmts
 }
 
-fn push_statement(out: &mut Vec<RawStatement>, tokens: Vec<Token>) {
+fn push_spanned(script: &str, out: &mut Vec<SpannedStatement>, tokens: &[SpannedToken]) {
     // Trim leading/trailing trivia but keep interior trivia for lossless text.
-    let first = tokens.iter().position(|t| !t.is_trivia());
-    let Some(first) = first else { return };
+    let Some(first) = tokens.iter().position(|t| !t.is_trivia()) else { return };
     let last = tokens.iter().rposition(|t| !t.is_trivia()).unwrap();
-    let trimmed: Vec<Token> = tokens[first..=last].to_vec();
-    let span = trimmed
-        .first()
-        .map(|f| f.span.merge(trimmed.last().unwrap().span))
-        .unwrap_or(Span::new(0, 0));
-    out.push(RawStatement { tokens: trimmed, span });
+    let trimmed = &tokens[first..=last];
+    let span = trimmed[0].span.merge(trimmed[trimmed.len() - 1].span);
+    out.push(SpannedStatement {
+        tokens: trimmed.to_vec(),
+        span,
+        content_hash: content_hash_spanned(script, trimmed),
+    });
+}
+
+fn split_impl(script: &str) -> Vec<RawStatement> {
+    split_spanned(script).into_iter().map(|s| s.materialize(script)).collect()
 }
 
 #[cfg(test)]
@@ -106,6 +192,25 @@ mod tests {
         let stmts = split("SELECT 1");
         assert_eq!(stmts.len(), 1);
         assert_eq!(stmts[0].text(), "SELECT 1");
+    }
+
+    #[test]
+    fn fingerprinted_chunks_match_post_parse_hashes() {
+        // The pre-parse hashes must agree with the hashes computed from
+        // the parsed statement — consumers rely on that to skip parsing.
+        let script = "SELECT a FROM t WHERE a = 1;\
+                      select a from t where a = 2;\
+                      INSERT INTO t VALUES (1, 'x');";
+        let chunks = split_fingerprinted(script);
+        assert_eq!(chunks.len(), 3);
+        for c in &chunks {
+            let parsed = crate::parser::parse_statement(&c.raw);
+            assert_eq!(c.fingerprint, parsed.fingerprint());
+            assert_eq!(c.content_hash, parsed.content_hash());
+        }
+        // Literal-only variants share a template but not a content hash.
+        assert_eq!(chunks[0].fingerprint, chunks[1].fingerprint);
+        assert_ne!(chunks[0].content_hash, chunks[1].content_hash);
     }
 
     #[test]

@@ -188,9 +188,27 @@ pub const KEYWORDS: &[&str] = &[
 ];
 
 /// Check whether `word` is a SQL keyword (case-insensitive).
+/// Allocation-free: the uppercase fold happens byte-by-byte during the
+/// binary-search comparison (this runs once per word token lexed).
 pub fn is_keyword(word: &str) -> bool {
-    let upper = word.to_ascii_uppercase();
-    KEYWORDS.binary_search(&upper.as_str()).is_ok()
+    use std::cmp::Ordering;
+    KEYWORDS
+        .binary_search_by(|k| {
+            let mut kb = k.bytes();
+            let mut wb = word.bytes().map(|b| b.to_ascii_uppercase());
+            loop {
+                match (kb.next(), wb.next()) {
+                    (None, None) => return Ordering::Equal,
+                    (None, Some(_)) => return Ordering::Less,
+                    (Some(_), None) => return Ordering::Greater,
+                    (Some(a), Some(b)) => match a.cmp(&b) {
+                        Ordering::Equal => continue,
+                        o => return o,
+                    },
+                }
+            }
+        })
+        .is_ok()
 }
 
 #[cfg(test)]
