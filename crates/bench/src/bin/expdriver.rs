@@ -13,7 +13,8 @@
 //! expdriver user-study     # §8.3       acceptance statistics
 //! expdriver throughput     # batch detection engine vs sequential path
 //! expdriver e2e            # parse-once front-end + incremental cache
-//! expdriver incremental    # warm re-check sweep over edit rates
+//! expdriver incremental    # warm re-check sweep over edit rates + DDL edit
+//! expdriver phases         # per-phase timing of the three-phase pipeline
 //! ```
 //!
 //! `--quick` shrinks scales for a fast smoke run. `--threads N` pins the
@@ -139,6 +140,34 @@ fn main() {
             write_e2e_json(&rows);
         } else {
             check_identity(&rows);
+        }
+        // Per-table invalidation: a DDL edit to one table must keep every
+        // cache entry that only depends on the others.
+        let ddl = e2e::run_ddl_edit(if quick { 2_000 } else { 20_000 }, 10, 0xDD1, threads);
+        print!("{}", e2e::render_ddl_edit(&ddl));
+        assert!(ddl.identical, "DDL-edit warm re-check diverged from cold check");
+        assert!(ddl.hits > 0, "per-table invalidation kept no entries across a 1-table DDL edit");
+    }
+    if run_all || what == "phases" {
+        section("Phases — per-phase timing of the three-phase batch pipeline");
+        let sizes: &[usize] = if quick { &[1_000] } else { &[10_000, 100_000] };
+        let rows = phases::run(sizes, 64, 0x9A5E5, threads);
+        print!("{}", phases::render(&rows));
+        for r in &rows {
+            assert!(
+                r.identical,
+                "{} statements: batch three-phase output diverged from sequential",
+                r.statements
+            );
+        }
+        // `BENCH_throughput.json` doubles as the phases artifact when the
+        // experiment runs standalone; `all` keeps the throughput rows.
+        if !run_all {
+            let path = "BENCH_throughput.json";
+            match std::fs::write(path, phases::to_json(&rows)) {
+                Ok(()) => println!("wrote {path}"),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            }
         }
     }
     if run_all || what == "user-study" {

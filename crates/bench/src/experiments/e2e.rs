@@ -200,6 +200,66 @@ pub fn run_one(
     }
 }
 
+/// Result of the DDL-edit cache scenario: how much of the cache survives
+/// a schema edit to **one** table.
+#[derive(Debug, Clone)]
+pub struct DdlEditRow {
+    /// Statements in the workload (DDL included).
+    pub statements: usize,
+    /// Tables the workload spreads over.
+    pub tables: usize,
+    /// Incremental-cache hits on the re-check after the DDL edit. Under
+    /// whole-cache flushing this is 0; under per-table invalidation it is
+    /// every unique text not touching the edited table.
+    pub hits: usize,
+    /// Incremental-cache misses on the re-check (texts touching the
+    /// edited table, plus the edited DDL itself).
+    pub misses: usize,
+    /// Whether the warm re-check matched a cold check byte for byte.
+    pub identical: bool,
+}
+
+/// Prime a cache over a multi-table workload, edit the DDL of a single
+/// table, and re-check: per-table invalidation must keep every entry
+/// that only depends on the *other* tables (shown by the hit counter),
+/// while output stays byte-identical to a cold check.
+pub fn run_ddl_edit(statements: usize, tables: usize, seed: u64, threads: Option<usize>) -> DdlEditRow {
+    let prelude = super::phases::ddl_prelude(tables);
+    let body = workload_script(statements, tables, seed);
+    let script = format!("{prelude}{body}");
+    // The DDL edit: one table grows a column; every other table's
+    // definition is untouched.
+    let edited = script.replace(
+        "CREATE TABLE app_t0 (c0 INT PRIMARY KEY, c1 TEXT);",
+        "CREATE TABLE app_t0 (c0 INT PRIMARY KEY, c1 TEXT, c2 INT);",
+    );
+    assert_ne!(script, edited, "edit must change the DDL");
+
+    let opts = BatchOptions { parallel: true, threads };
+    let fe = FrontendOptions { dedup: true, parallel: true, threads };
+    let mut cache = IncrementalCache::default();
+    let _ = check(&script, fe.clone(), &opts, Some(&mut cache));
+    let warm = check(&edited, fe.clone(), &opts, Some(&mut cache));
+    let cold = check(&edited, FrontendOptions::legacy(), &opts, None);
+
+    DdlEditRow {
+        statements: warm.stats.statements,
+        tables,
+        hits: warm.stats.incremental_hits,
+        misses: warm.stats.incremental_misses,
+        identical: report_key(&cold.report) == report_key(&warm.report),
+    }
+}
+
+/// Render the DDL-edit scenario result.
+pub fn render_ddl_edit(r: &DdlEditRow) -> String {
+    format!(
+        "DDL edit to 1 of {} tables over {} statements: {} cache hit(s), {} miss(es), identical: {}\n\
+         (whole-cache flushing would report 0 hits here)\n",
+        r.tables, r.statements, r.hits, r.misses, r.identical
+    )
+}
+
 /// Run the experiment over several workload sizes at one edit rate.
 pub fn run(
     sizes: &[usize],
@@ -314,6 +374,18 @@ mod tests {
         assert_eq!(nc, 0);
         // Zero edits reproduces the script modulo trailing newline.
         assert_eq!(c.trim_end(), script.trim_end());
+    }
+
+    #[test]
+    fn ddl_edit_keeps_unrelated_cache_entries() {
+        let _serial = crate::harness::TIMING_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let r = run_ddl_edit(400, 10, 0xDD1, None);
+        assert!(r.identical, "warm re-check after a DDL edit must equal a cold check");
+        assert!(
+            r.hits > 0,
+            "per-table invalidation must keep entries that only depend on unedited tables"
+        );
+        assert!(r.misses > 0, "statements touching the edited table must re-analyse");
     }
 
     #[test]

@@ -15,6 +15,7 @@ pub mod experiments {
     pub mod fig3;
     pub mod fig7;
     pub mod fig8;
+    pub mod phases;
     pub mod table2;
     pub mod table345;
     pub mod throughput;

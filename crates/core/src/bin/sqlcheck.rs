@@ -111,8 +111,14 @@ fn main() {
                 s.split_micros, s.parse_micros, s.annotate_micros, s.context_micros,
             );
             eprintln!(
-                "stats: detect group {}us, intra {}us, fanout {}us, total {}us",
-                s.group_micros, s.intra_micros, s.fanout_micros, s.total_micros,
+                "stats: detect group {}us, intra {}us, fanout {}us, inter {}us, \
+                 data {}us, total {}us",
+                s.group_micros,
+                s.intra_micros,
+                s.fanout_micros,
+                s.inter_micros,
+                s.data_micros,
+                s.total_micros,
             );
             if cache {
                 eprintln!(
@@ -141,13 +147,20 @@ fn main() {
     }
 
     for (i, (r, f)) in outcome.ranked.iter().zip(&outcome.fixes).enumerate() {
+        // Per-occurrence source location: duplicate statements each point
+        // at their own bytes, not the first occurrence's.
+        let at = match r.detection.span {
+            Some(s) => format!(" [bytes {s}]"),
+            None => String::new(),
+        };
         println!(
-            "{:>3}. [{:.3}] {} ({}) @ {}",
+            "{:>3}. [{:.3}] {} ({}) @ {}{}",
             i + 1,
             r.score,
             r.detection.kind,
             r.detection.kind.category(),
-            r.detection.locus
+            r.detection.locus,
+            at
         );
         println!("     {}", r.detection.message);
         if no_fix {

@@ -27,6 +27,7 @@ use sqlcheck_parser::ast::ParsedStatement;
 use sqlcheck_parser::parse;
 use sqlcheck_parser::parser::parse_raw;
 use sqlcheck_parser::splitter::{split_spanned, RawStatement};
+use sqlcheck_parser::token::Span;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -37,8 +38,10 @@ use std::time::Instant;
 /// parse-once front-end parses and annotates each *unique* statement text
 /// exactly once and shares the result across every duplicate occurrence.
 /// Duplicates are therefore value-identical (same text, same tree, same
-/// annotations); the only observable sharing artefact is that token
-/// *spans* of a duplicate refer to its first occurrence in the script.
+/// annotations). Token *spans* inside the shared tree refer to the first
+/// occurrence; [`AnalyzedStatement::span`] is the per-occurrence side
+/// record, so consumers that need the exact source location of a
+/// duplicate (reports, fixes) read it from here, never from the tree.
 #[derive(Debug, Clone)]
 pub struct AnalyzedStatement {
     /// The parsed statement (shared across duplicate texts).
@@ -50,6 +53,10 @@ pub struct AnalyzedStatement {
     /// can group duplicate statements in O(1) per statement without
     /// re-walking tokens.
     pub text_hash: u128,
+    /// Byte range of **this occurrence** in the original script — not
+    /// shared across duplicates. Zero-length for statements added via
+    /// [`ContextBuilder::add_statements`] without source text.
+    pub span: Span,
 }
 
 /// The application context.
@@ -181,6 +188,10 @@ pub struct ContextBuilder {
     uniques: Vec<UniqueEntry>,
     /// Statement order: index into `uniques` per statement.
     order: Vec<usize>,
+    /// Per-occurrence source spans, parallel to `order`. Dedup shares the
+    /// parse tree across duplicates, but every occurrence keeps its own
+    /// span so detections and fixes can point at the exact location.
+    spans: Vec<Span>,
     /// Content hash → slot in `uniques` (only populated when deduping).
     slot_of: HashMap<u128, usize, Prehashed>,
     database: Option<(Arc<Database>, DataAnalysisConfig)>,
@@ -194,13 +205,16 @@ impl ContextBuilder {
         Self::default()
     }
 
-    /// Record one intake statement with its content hash, deduping when
-    /// enabled. `make` materialises the payload only for unique texts.
+    /// Record one intake statement with its content hash and occurrence
+    /// span, deduping when enabled. `make` materialises the payload only
+    /// for unique texts; the span is recorded for *every* occurrence.
     fn intake(
         &mut self,
         hash: u128,
+        span: Span,
         make: impl FnOnce() -> (Option<RawStatement>, Option<Arc<ParsedStatement>>),
     ) {
+        self.spans.push(span);
         if self.opts.dedup {
             if let Some(&slot) = self.slot_of.get(&hash) {
                 self.uniques[slot].count += 1;
@@ -220,7 +234,9 @@ impl ContextBuilder {
     pub fn add_script(mut self, script: &str) -> Self {
         let t = Instant::now();
         for chunk in split_spanned(script) {
-            self.intake(chunk.content_hash, || (Some(chunk.materialize(script)), None));
+            self.intake(chunk.content_hash, chunk.span, || {
+                (Some(chunk.materialize(script)), None)
+            });
         }
         self.split_micros += t.elapsed().as_micros();
         self
@@ -230,7 +246,13 @@ impl ContextBuilder {
     /// by content hash, like everything else).
     pub fn add_statements(mut self, stmts: impl IntoIterator<Item = ParsedStatement>) -> Self {
         for p in stmts {
-            self.intake(p.content_hash(), || (None, Some(Arc::new(p))));
+            let span = p
+                .tokens
+                .iter()
+                .map(|t| t.span)
+                .reduce(|a, b| a.merge(b))
+                .unwrap_or(Span::new(0, 0));
+            self.intake(p.content_hash(), span, || (None, Some(Arc::new(p))));
         }
         self
     }
@@ -309,12 +331,14 @@ impl ContextBuilder {
         let analyzed: Vec<AnalyzedStatement> = self
             .order
             .iter()
-            .map(|&slot| {
+            .zip(&self.spans)
+            .map(|(&slot, &span)| {
                 let u = &uniques[slot];
                 AnalyzedStatement {
                     parsed: u.parsed.clone().expect("parsed in phase 2"),
                     ann: u.ann.clone().expect("annotated in phase 3"),
                     text_hash: u.hash,
+                    span,
                 }
             })
             .collect();

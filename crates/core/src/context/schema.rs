@@ -273,6 +273,29 @@ impl SchemaCatalog {
             .unwrap_or(false)
     }
 
+    /// Per-table content digests: one `u64` per table name (lowercased),
+    /// covering the table's definition **and** every index declared on it
+    /// (intra-query rules consult both). Indexes on tables the catalog
+    /// does not otherwise know still get a digest under their table name,
+    /// so a statement referencing such a table is invalidated when the
+    /// index set changes. Digests are pure functions of catalog content:
+    /// two catalogs folded from the same DDL produce identical maps, so a
+    /// no-op schema reload is recognisable as such. Used by the
+    /// incremental detection cache for per-table invalidation.
+    pub fn table_digests(&self) -> BTreeMap<String, u64> {
+        use sqlcheck_parser::fingerprint::fnv1a;
+        use std::fmt::Write as _;
+        let mut encoded: BTreeMap<String, String> = BTreeMap::new();
+        for (key, info) in &self.tables {
+            let _ = write!(encoded.entry(key.clone()).or_default(), "{info:?}");
+        }
+        for idx in &self.indexes {
+            let key = idx.table.to_ascii_lowercase();
+            let _ = write!(encoded.entry(key).or_default(), "|{idx:?}");
+        }
+        encoded.into_iter().map(|(k, s)| (k, fnv1a(s.as_bytes()))).collect()
+    }
+
     /// Does a declared FK connect `(t1, c1)` to `(t2, c2)` in either
     /// direction?
     pub fn fk_between(&self, t1: &str, c1: &str, t2: &str, c2: &str) -> bool {
@@ -405,6 +428,30 @@ mod tests {
     fn drop_table_removes() {
         let c = catalog("CREATE TABLE t (a INT); DROP TABLE t;");
         assert!(c.table("t").is_none());
+    }
+
+    #[test]
+    fn table_digests_are_content_stable_and_table_local() {
+        let ddl = "CREATE TABLE a (id INT PRIMARY KEY);\
+                   CREATE TABLE b (x INT);\
+                   CREATE INDEX ib ON b (x);";
+        let d1 = catalog(ddl).table_digests();
+        let d2 = catalog(ddl).table_digests();
+        assert_eq!(d1, d2, "same DDL → identical digests (no-op reload stays warm)");
+        assert_eq!(d1.len(), 2);
+        // Editing one table changes only that table's digest.
+        let edited = catalog(
+            "CREATE TABLE a (id INT PRIMARY KEY, extra TEXT);\
+             CREATE TABLE b (x INT);\
+             CREATE INDEX ib ON b (x);",
+        )
+        .table_digests();
+        assert_ne!(d1["a"], edited["a"]);
+        assert_eq!(d1["b"], edited["b"]);
+        // An index change alone re-versions its table.
+        let dropped = catalog("CREATE TABLE a (id INT PRIMARY KEY); CREATE TABLE b (x INT);")
+            .table_digests();
+        assert_ne!(d1["b"], dropped["b"]);
     }
 
     #[test]

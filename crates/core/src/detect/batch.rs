@@ -12,22 +12,27 @@
 //!    path: several rules inspect literal *values* (leading-wildcard
 //!    `LIKE`, token-list `INSERT`s), so two statements sharing a template
 //!    can still differ in their detections.
-//! 2. **Parallelism** — unique statements are analysed across scoped
-//!    worker threads (behind the `parallel` cargo feature). Workers are
-//!    assigned groups round-robin and write into per-group slots, so the
-//!    merge is deterministic regardless of scheduling.
-//! 3. **Deterministic merge** — detections are re-emitted in statement
-//!    order, then the inter-query and data phases run exactly as in
-//!    [`Detector::detect`], followed by the same `(kind, locus)` dedup.
+//! 2. **Parallelism** — all three detection phases run on one scoped
+//!    worker-thread pool (behind the `parallel` cargo feature). The
+//!    intra-query phase slices into per-unique-text units, the
+//!    inter-query phase into per-rule units, and the data-analysis phase
+//!    into per-table units. Workers take units round-robin and report
+//!    `(position, result)` pairs, so every merge is deterministic
+//!    regardless of scheduling.
+//! 3. **Deterministic merge** — intra detections are re-emitted in
+//!    statement order, inter-query units in rule order, data units in
+//!    table order — exactly the orders the sequential [`Detector::detect`]
+//!    produces — followed by the same `(kind, locus)` dedup.
 //!    `detect_batch` therefore returns the *same detections in the same
 //!    order* as the sequential path, for any input.
 
-use crate::context::Context;
+use crate::context::{Context, TableProfile};
 use crate::detect::cache::IncrementalCache;
-use crate::detect::{data, dedup, inter, intra, Detector};
+use crate::detect::{attach_spans, data, dedup, inter, intra, Detector};
 use crate::hashutil::Prehashed;
 use crate::report::{Detection, Locus, Report};
-use std::collections::{HashMap, HashSet};
+use sqlcheck_parser::annotate::Annotations;
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -76,6 +81,14 @@ pub struct BatchStats {
     pub intra_micros: u128,
     /// Wall-clock microseconds spent fanning results out to occurrences.
     pub fanout_micros: u128,
+    /// Wall-clock microseconds spent in the inter-query phase (per-rule
+    /// units on the worker pool; 0 in intra-only mode). Explicitly
+    /// measured — no longer the implicit `total − group − intra − fanout`
+    /// residual.
+    pub inter_micros: u128,
+    /// Wall-clock microseconds spent in the data-analysis phase
+    /// (per-table units on the worker pool; 0 without a database).
+    pub data_micros: u128,
     /// Wall-clock microseconds for the whole batch detection.
     pub total_micros: u128,
     /// Front-end: microseconds splitting + fingerprinting the script
@@ -194,7 +207,7 @@ impl Detector {
         let t_intra = Instant::now();
         let counters_before = cache.as_deref().map(|c| c.counters());
         if let Some(c) = cache.as_deref_mut() {
-            c.ensure_epoch(self.epoch_hash(ctx));
+            c.ensure_epoch(self.config_epoch(ctx), ctx.schema.table_digests());
         }
         let mut results: Vec<Option<GroupResult>> = Vec::with_capacity(groups.len());
         let mut misses: Vec<usize> = Vec::new();
@@ -219,16 +232,15 @@ impl Detector {
         let run_group =
             |g: &Group| intra::detect_statement(g.rep, &ctx.statements[g.rep], ctx, &self.cfg, use_context);
         let threads = self.plan_threads(opts, misses.len());
-        let fresh: Vec<Vec<Detection>> = if threads > 1 {
-            run_parallel(&groups, &misses, threads, &run_group)
-        } else {
-            misses.iter().map(|&gi| run_group(&groups[gi])).collect()
-        };
+        let fresh: Vec<Vec<Detection>> =
+            run_units(misses.len(), threads, &|pos| run_group(&groups[misses[pos]]));
         for (&gi, dets) in misses.iter().zip(fresh) {
             if let Some(c) = cache.as_deref_mut() {
                 // Canonicalize before storing: statement loci are zeroed
-                // so the entry replays correctly at any occurrence index
-                // on any later call.
+                // and spans cleared so the entry replays correctly at any
+                // occurrence index on any later call. Each entry records
+                // the tables its statement references, for per-table
+                // invalidation across DDL edits.
                 let canonical: Vec<Detection> = dets
                     .iter()
                     .map(|d| {
@@ -236,10 +248,12 @@ impl Detector {
                         if let Locus::Statement { index } = &mut d.locus {
                             *index = 0;
                         }
+                        d.span = None;
                         d
                     })
                     .collect();
-                c.insert(ctx.statements[groups[gi].rep].text_hash, Arc::new(canonical));
+                let rep = &ctx.statements[groups[gi].rep];
+                c.insert(rep.text_hash, Arc::new(canonical), table_deps(&rep.ann));
             }
             results[gi] = Some(GroupResult::Fresh(dets));
         }
@@ -293,15 +307,39 @@ impl Detector {
 
         let fanout_micros = t_fanout.elapsed().as_micros();
 
-        // Phases 4–5: inter-query and data analysis, exactly as in the
-        // sequential path, then the shared (kind, locus) dedup.
+        // Phase 4: inter-query rules, one unit per rule on the same
+        // scoped worker pool. Units merge in rule order — exactly the
+        // order `inter::detect` appends in the sequential path.
+        let t_inter = Instant::now();
         if use_context {
-            report.detections.extend(inter::detect(ctx, &self.cfg));
+            let units = inter::RULES.len();
+            let inter_threads = self.plan_threads(opts, units);
+            for dets in run_units(units, inter_threads, &|u| inter::detect_unit(u, ctx, &self.cfg))
+            {
+                report.detections.extend(dets);
+            }
         }
+        let inter_micros = t_inter.elapsed().as_micros();
+
+        // Phase 5: data analysis, one unit per profiled table on the
+        // pool. Tables are independent under the data rules; merging in
+        // `data.tables()` order matches the sequential path.
+        let t_data = Instant::now();
         if let Some(data) = &ctx.data {
-            report.detections.extend(data::detect(data, ctx, &self.cfg));
+            let tables: Vec<&TableProfile> = data.tables().collect();
+            let data_threads = self.plan_threads(opts, tables.len());
+            for dets in
+                run_units(tables.len(), data_threads, &|u| data::detect_table(tables[u], ctx, &self.cfg))
+            {
+                report.detections.extend(dets);
+            }
         }
+        let data_micros = t_data.elapsed().as_micros();
+
+        // The shared (kind, locus) dedup, then per-occurrence source
+        // spans — both identical to the sequential path's final steps.
         dedup(&mut report.detections);
+        attach_spans(&mut report.detections, ctx);
 
         let mut stats = BatchStats {
             statements: ctx.statements.len(),
@@ -312,6 +350,8 @@ impl Detector {
             group_micros,
             intra_micros,
             fanout_micros,
+            inter_micros,
+            data_micros,
             total_micros: t_start.elapsed().as_micros(),
             ..BatchStats::default()
         };
@@ -324,14 +364,17 @@ impl Detector {
         BatchReport { report, stats }
     }
 
-    /// Hash of everything a cached intra-query result depends on besides
-    /// the statement text: the detection config and the schema catalog
-    /// (contextual rules consult `ctx.schema` for FP suppression), plus
-    /// data-context presence for good measure. Debug formatting is a
-    /// deterministic canonical encoding within one process — exactly the
-    /// lifetime of an [`IncrementalCache`].
-    fn epoch_hash(&self, ctx: &Context) -> u64 {
-        let encoded = format!("{:?}|{:?}|{}", self.cfg, ctx.schema, ctx.data.is_some());
+    /// Hash of the *non-schema* inputs a cached intra-query result
+    /// depends on besides the statement text: the detection config, plus
+    /// data-context presence for good measure. Schema validity is tracked
+    /// separately — per table — via
+    /// [`SchemaCatalog::table_digests`](crate::context::SchemaCatalog::table_digests),
+    /// so a DDL edit to one table no longer flushes entries that only
+    /// depend on others. Debug formatting is a deterministic canonical
+    /// encoding within one process — exactly the lifetime of an
+    /// [`IncrementalCache`].
+    fn config_epoch(&self, ctx: &Context) -> u64 {
+        let encoded = format!("{:?}|{}", self.cfg, ctx.data.is_some());
         sqlcheck_parser::fingerprint::fnv1a(encoded.as_bytes())
     }
 
@@ -345,48 +388,79 @@ impl Detector {
     }
 }
 
-/// Run `f` over the groups selected by `misses` across `threads` scoped
-/// workers, returning results in `misses` order. Workers take items
-/// round-robin and report `(position, result)` pairs, so assembly is
-/// deterministic.
+/// Lowercased names of every table a statement's intra-query rules might
+/// consult in the schema catalog: tables the statement references
+/// (FROM/JOIN/DML/DDL, subqueries included) **plus** every column
+/// qualifier. Qualifiers are usually aliases, but an unresolvable
+/// qualifier is looked up in the catalog as a table name by the
+/// contextual rules, so it is a (conservative) dependency too.
+fn table_deps(ann: &Annotations) -> Arc<[String]> {
+    let mut deps: BTreeSet<String> = BTreeSet::new();
+    for t in &ann.tables {
+        deps.insert(t.to_ascii_lowercase());
+    }
+    let mut add_qualifier = |q: &Option<String>| {
+        if let Some(q) = q {
+            deps.insert(q.to_ascii_lowercase());
+        }
+    };
+    for c in &ann.columns {
+        add_qualifier(&c.qualifier);
+    }
+    for p in &ann.predicates {
+        add_qualifier(&p.qualifier);
+    }
+    for j in &ann.join_conditions {
+        add_qualifier(&j.left.0);
+        if let Some(r) = &j.right {
+            add_qualifier(&r.0);
+        }
+    }
+    deps.into_iter().collect()
+}
+
+/// Run `f(0..n)` across `threads` scoped workers — the shared worker pool
+/// of every detection phase (intra texts, inter-query rules, data-
+/// analysis tables). Workers take unit indexes round-robin and report
+/// `(position, result)` pairs, so assembly is deterministic regardless of
+/// scheduling.
 #[cfg(feature = "parallel")]
-fn run_parallel<F>(groups: &[Group], misses: &[usize], threads: usize, f: &F) -> Vec<Vec<Detection>>
+fn run_units<T, F>(n: usize, threads: usize, f: &F) -> Vec<T>
 where
-    F: Fn(&Group) -> Vec<Detection> + Sync,
+    T: Send,
+    F: Fn(usize) -> T + Sync,
 {
-    let partials: Vec<Vec<(usize, Vec<Detection>)>> = std::thread::scope(|s| {
+    if threads <= 1 || n < 2 {
+        return (0..n).map(f).collect();
+    }
+    let partials: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|tid| {
                 s.spawn(move || {
-                    misses
-                        .iter()
-                        .enumerate()
-                        .skip(tid)
-                        .step_by(threads)
-                        .map(|(pos, &gi)| (pos, f(&groups[gi])))
-                        .collect::<Vec<_>>()
+                    (tid..n).step_by(threads).map(|pos| (pos, f(pos))).collect::<Vec<_>>()
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("detection worker panicked")).collect()
     });
-    let mut results: Vec<Vec<Detection>> = vec![Vec::new(); misses.len()];
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
     for part in partials {
-        for (pos, dets) in part {
-            results[pos] = dets;
+        for (pos, out) in part {
+            results[pos] = Some(out);
         }
     }
-    results
+    results.into_iter().map(|o| o.expect("every unit computed")).collect()
 }
 
 /// Sequential stand-in when the `parallel` feature is disabled
 /// (`plan_threads` never returns > 1 in that configuration).
 #[cfg(not(feature = "parallel"))]
-fn run_parallel<F>(groups: &[Group], misses: &[usize], _threads: usize, f: &F) -> Vec<Vec<Detection>>
+fn run_units<T, F>(n: usize, _threads: usize, f: &F) -> Vec<T>
 where
-    F: Fn(&Group) -> Vec<Detection> + Sync,
+    T: Send,
+    F: Fn(usize) -> T + Sync,
 {
-    misses.iter().map(|&gi| f(&groups[gi])).collect()
+    (0..n).map(f).collect()
 }
 
 #[cfg(test)]

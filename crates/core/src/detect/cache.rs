@@ -5,20 +5,32 @@
 //! incremental view maintenance (Berkholz et al.). The cache maps a
 //! statement's literal-sensitive 128-bit content hash
 //! (`AnalyzedStatement::text_hash`) to the intra-query detections of that
-//! text, stored in **canonical form** (statement loci zeroed) so a hit
-//! can be fanned out to any occurrence index on any later call.
+//! text, stored in **canonical form** (statement loci zeroed, spans
+//! cleared) so a hit can be fanned out to any occurrence index on any
+//! later call.
 //!
 //! ## Validity guard
 //!
 //! Intra-query rules read the statement itself plus — in contextual mode
 //! — the schema catalog (for false-positive suppression). They never read
 //! the workload profile or the data profile, so a cached result is valid
-//! exactly as long as the detection config and the schema the statement
-//! was analysed under are unchanged. The cache therefore carries an
-//! *epoch*: a hash of `(DetectionConfig, SchemaCatalog, has-data)`. A
-//! lookup under a different epoch flushes the whole cache (counted as
-//! evictions) — conservative, but never wrong. Inter-query and
-//! data-analysis phases always run fresh and are never cached.
+//! exactly as long as the detection config and the schema *of the tables
+//! the statement touches* are unchanged. The guard therefore has two
+//! tiers:
+//!
+//! * a **config epoch** — a hash of `(DetectionConfig, has-data)`; a
+//!   mismatch flushes the whole cache (a config switch can change any
+//!   rule's decision);
+//! * **per-table schema versions** — a content digest per catalog table
+//!   (definition + its indexes, from
+//!   [`SchemaCatalog::table_digests`](crate::context::SchemaCatalog::table_digests)).
+//!   Each entry records which tables its statement references; a DDL edit
+//!   invalidates **only the entries depending on a changed table**, and a
+//!   content-identical schema (e.g. a no-op catalog reload) invalidates
+//!   nothing, keeping the cache warm.
+//!
+//! Inter-query and data-analysis phases always run fresh and are never
+//! cached.
 //!
 //! Eviction is FIFO under a fixed entry capacity: workload re-checks
 //! touch keys in script order, so first-in is a reasonable proxy for
@@ -26,7 +38,7 @@
 
 use crate::hashutil::Prehashed;
 use crate::report::Detection;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Default entry capacity: comfortably holds the unique texts of a
@@ -40,8 +52,21 @@ pub struct CacheCounters {
     pub hits: u64,
     /// Lookups that missed (and were then populated).
     pub misses: u64,
-    /// Entries dropped — capacity evictions plus epoch flushes.
+    /// Entries dropped — capacity evictions, config flushes, and
+    /// per-table dependency invalidations.
     pub evictions: u64,
+}
+
+/// One cached analysis result with its schema dependencies.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    /// Canonical intra-query detections for the statement text.
+    detections: Arc<Vec<Detection>>,
+    /// Lowercased names of every table the statement references (tables
+    /// in FROM/JOIN/DML/DDL position plus column qualifiers, which may
+    /// resolve to tables). The entry is invalid as soon as any of these
+    /// tables' schema digests change.
+    deps: Arc<[String]>,
 }
 
 /// Detection-result cache shared across [`check_workload`] calls.
@@ -50,9 +75,12 @@ pub struct CacheCounters {
 #[derive(Debug, Clone)]
 pub struct IncrementalCache {
     capacity: usize,
-    /// Epoch the stored entries are valid under; `None` until first use.
-    epoch: Option<u64>,
-    map: HashMap<u128, Arc<Vec<Detection>>, Prehashed>,
+    /// Config epoch the stored entries are valid under; `None` until
+    /// first use.
+    config_epoch: Option<u64>,
+    /// Per-table schema digests the stored entries were analysed under.
+    table_versions: BTreeMap<String, u64>,
+    map: HashMap<u128, CacheEntry, Prehashed>,
     /// Insertion order, for FIFO eviction.
     queue: VecDeque<u128>,
     counters: CacheCounters,
@@ -69,32 +97,66 @@ impl IncrementalCache {
     pub fn new(capacity: usize) -> Self {
         IncrementalCache {
             capacity: capacity.max(1),
-            epoch: None,
+            config_epoch: None,
+            table_versions: BTreeMap::new(),
             map: HashMap::with_hasher(Prehashed::default()),
             queue: VecDeque::new(),
             counters: CacheCounters::default(),
         }
     }
 
-    /// Align the cache to `epoch` (config + schema hash). A change
-    /// flushes every entry — counted as evictions — because contextual
-    /// intra-query rules may now decide differently for the same text.
-    pub(crate) fn ensure_epoch(&mut self, epoch: u64) {
-        if self.epoch != Some(epoch) {
+    /// Align the cache to the current validity guard. A config-epoch
+    /// change flushes every entry (any rule may now decide differently
+    /// for the same text). A schema change is handled per table: only
+    /// entries depending on a table whose digest changed (including
+    /// tables that appeared or vanished) are dropped — both counted as
+    /// evictions. A content-identical schema invalidates nothing.
+    pub(crate) fn ensure_epoch(
+        &mut self,
+        config_epoch: u64,
+        table_versions: BTreeMap<String, u64>,
+    ) {
+        if self.config_epoch != Some(config_epoch) {
             self.counters.evictions += self.map.len() as u64;
             self.map.clear();
             self.queue.clear();
-            self.epoch = Some(epoch);
+            self.config_epoch = Some(config_epoch);
+            self.table_versions = table_versions;
+            return;
         }
+        if self.table_versions == table_versions {
+            return;
+        }
+        // Symmetric diff: a table changed, appeared, or vanished.
+        let changed: Vec<&String> = self
+            .table_versions
+            .iter()
+            .filter(|(k, v)| table_versions.get(*k) != Some(v))
+            .map(|(k, _)| k)
+            .chain(table_versions.keys().filter(|k| !self.table_versions.contains_key(*k)))
+            .collect();
+        let before = self.map.len();
+        self.map.retain(|_, e| !e.deps.iter().any(|d| changed.contains(&d)));
+        if self.map.len() < before {
+            self.counters.evictions += (before - self.map.len()) as u64;
+            // Purge invalidated keys from the FIFO queue too: a later
+            // re-insert of the same text would otherwise enqueue a
+            // duplicate key, and the stale front copy would make the
+            // capacity loop evict the freshly re-inserted entry as if it
+            // were the oldest.
+            let map = &self.map;
+            self.queue.retain(|k| map.contains_key(k));
+        }
+        self.table_versions = table_versions;
     }
 
     /// Look up the canonical detections for a statement text. Counts a
     /// hit or a miss.
     pub(crate) fn get(&mut self, text_hash: u128) -> Option<Arc<Vec<Detection>>> {
         match self.map.get(&text_hash) {
-            Some(v) => {
+            Some(e) => {
                 self.counters.hits += 1;
-                Some(Arc::clone(v))
+                Some(Arc::clone(&e.detections))
             }
             None => {
                 self.counters.misses += 1;
@@ -103,10 +165,15 @@ impl IncrementalCache {
         }
     }
 
-    /// Insert canonical detections for a statement text, evicting FIFO
-    /// past capacity.
-    pub(crate) fn insert(&mut self, text_hash: u128, detections: Arc<Vec<Detection>>) {
-        if self.map.insert(text_hash, detections).is_none() {
+    /// Insert canonical detections for a statement text together with the
+    /// set of tables they depend on, evicting FIFO past capacity.
+    pub(crate) fn insert(
+        &mut self,
+        text_hash: u128,
+        detections: Arc<Vec<Detection>>,
+        deps: Arc<[String]>,
+    ) {
+        if self.map.insert(text_hash, CacheEntry { detections, deps }).is_none() {
             self.queue.push_back(text_hash);
         }
         while self.map.len() > self.capacity {
@@ -149,41 +216,116 @@ mod tests {
             locus: Locus::Statement { index: 0 },
             message: "m".into(),
             source: DetectionSource::IntraQuery,
+            span: None,
         }
+    }
+
+    fn deps(tables: &[&str]) -> Arc<[String]> {
+        tables.iter().map(|t| t.to_string()).collect()
+    }
+
+    fn versions(pairs: &[(&str, u64)]) -> BTreeMap<String, u64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
     }
 
     #[test]
     fn hit_miss_counters() {
         let mut c = IncrementalCache::new(4);
-        c.ensure_epoch(1);
+        c.ensure_epoch(1, BTreeMap::new());
         assert!(c.get(10).is_none());
-        c.insert(10, Arc::new(vec![det()]));
+        c.insert(10, Arc::new(vec![det()]), deps(&["t"]));
         assert!(c.get(10).is_some());
         assert_eq!(c.counters(), CacheCounters { hits: 1, misses: 1, evictions: 0 });
     }
 
     #[test]
-    fn epoch_change_flushes() {
+    fn config_epoch_change_flushes_everything() {
         let mut c = IncrementalCache::new(4);
-        c.ensure_epoch(1);
-        c.insert(10, Arc::new(vec![]));
-        c.insert(11, Arc::new(vec![]));
-        c.ensure_epoch(2);
+        c.ensure_epoch(1, BTreeMap::new());
+        c.insert(10, Arc::new(vec![]), deps(&["a"]));
+        c.insert(11, Arc::new(vec![]), deps(&["b"]));
+        c.ensure_epoch(2, BTreeMap::new());
         assert!(c.is_empty());
         assert_eq!(c.counters().evictions, 2);
         // Same epoch again: no further flush.
-        c.insert(12, Arc::new(vec![]));
-        c.ensure_epoch(2);
+        c.insert(12, Arc::new(vec![]), deps(&[]));
+        c.ensure_epoch(2, BTreeMap::new());
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn table_change_invalidates_only_dependents() {
+        let mut c = IncrementalCache::new(8);
+        c.ensure_epoch(1, versions(&[("a", 100), ("b", 200)]));
+        c.insert(1, Arc::new(vec![]), deps(&["a"]));
+        c.insert(2, Arc::new(vec![]), deps(&["b"]));
+        c.insert(3, Arc::new(vec![]), deps(&["a", "b"]));
+        c.insert(4, Arc::new(vec![]), deps(&[]));
+        // Table `a` changes; `b` does not.
+        c.ensure_epoch(1, versions(&[("a", 101), ("b", 200)]));
+        assert!(c.get(1).is_none(), "entry on changed table dropped");
+        assert!(c.get(3).is_none(), "entry touching the changed table dropped");
+        assert!(c.get(2).is_some(), "entry on unchanged table survives");
+        assert!(c.get(4).is_some(), "schema-independent entry survives");
+        assert_eq!(c.counters().evictions, 2);
+    }
+
+    #[test]
+    fn appearing_and_vanishing_tables_invalidate_dependents() {
+        let mut c = IncrementalCache::new(8);
+        c.ensure_epoch(1, versions(&[("a", 1)]));
+        c.insert(1, Arc::new(vec![]), deps(&["a"]));
+        c.insert(2, Arc::new(vec![]), deps(&["phantom"]));
+        // `phantom` appears (a statement referenced it before it existed):
+        // the suppression decision for entry 2 may now differ.
+        c.ensure_epoch(1, versions(&[("a", 1), ("phantom", 7)]));
+        assert!(c.get(2).is_none(), "entry on newly created table dropped");
+        assert!(c.get(1).is_some());
+        // `a` vanishes.
+        c.ensure_epoch(1, versions(&[("phantom", 7)]));
+        assert!(c.get(1).is_none(), "entry on dropped table dropped");
+    }
+
+    #[test]
+    fn identical_versions_keep_cache_warm() {
+        let mut c = IncrementalCache::new(8);
+        let v = versions(&[("a", 1), ("b", 2)]);
+        c.ensure_epoch(1, v.clone());
+        c.insert(1, Arc::new(vec![det()]), deps(&["a", "b"]));
+        // Re-attaching a content-identical catalog is a no-op.
+        c.ensure_epoch(1, v);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.counters().evictions, 0);
+        assert!(c.get(1).is_some());
+    }
+
+    #[test]
+    fn reinsert_after_invalidation_does_not_poison_fifo_order() {
+        let mut c = IncrementalCache::new(2);
+        c.ensure_epoch(1, versions(&[("a", 1)]));
+        c.insert(10, Arc::new(vec![]), deps(&["a"]));
+        c.insert(20, Arc::new(vec![]), deps(&[]));
+        // `a` changes: entry 10 is invalidated (queue must drop its key).
+        c.ensure_epoch(1, versions(&[("a", 2)]));
+        assert!(c.get(10).is_none());
+        // Re-insert 10, then push past capacity with 30: the genuinely
+        // oldest entry (20) must be the one evicted — not the freshly
+        // re-inserted 10 via a stale duplicate queue key.
+        c.insert(10, Arc::new(vec![det()]), deps(&["a"]));
+        c.insert(30, Arc::new(vec![]), deps(&[]));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(10).is_some(), "re-inserted entry survives");
+        assert!(c.get(30).is_some());
+        assert!(c.get(20).is_none(), "oldest entry evicted");
     }
 
     #[test]
     fn fifo_eviction_bounds_size() {
         let mut c = IncrementalCache::new(2);
-        c.ensure_epoch(1);
-        c.insert(1, Arc::new(vec![]));
-        c.insert(2, Arc::new(vec![]));
-        c.insert(3, Arc::new(vec![]));
+        c.ensure_epoch(1, BTreeMap::new());
+        c.insert(1, Arc::new(vec![]), deps(&[]));
+        c.insert(2, Arc::new(vec![]), deps(&[]));
+        c.insert(3, Arc::new(vec![]), deps(&[]));
         assert_eq!(c.len(), 2);
         assert!(c.get(1).is_none(), "oldest entry evicted");
         assert!(c.get(3).is_some());

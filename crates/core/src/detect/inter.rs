@@ -12,20 +12,36 @@ use crate::context::Context;
 use crate::detect::DetectionConfig;
 use crate::report::{Detection, DetectionSource, Locus};
 
-/// Run all inter-query rules.
+/// One inter-query rule, as a unit the batch engine can schedule on its
+/// worker pool. All rules share this signature so the phase can be
+/// sliced; appending each unit's output in [`RULES`] order reproduces the
+/// sequential result byte for byte.
+pub(crate) type InterRule = fn(&Context, &DetectionConfig, &mut Vec<Detection>);
+
+/// The inter-query rules in their canonical output order.
+pub(crate) const RULES: &[InterRule] =
+    &[no_foreign_key, index_underuse, index_overuse, clone_table];
+
+/// Run all inter-query rules (the sequential path).
 pub fn detect(ctx: &Context, cfg: &DetectionConfig) -> Vec<Detection> {
     let mut out = Vec::new();
-    no_foreign_key(ctx, &mut out);
-    index_underuse(ctx, cfg, &mut out);
-    index_overuse(ctx, &mut out);
-    clone_table(ctx, &mut out);
+    for rule in RULES {
+        rule(ctx, cfg, &mut out);
+    }
+    out
+}
+
+/// Run the `unit`-th rule alone (the batch engine's phase slice).
+pub(crate) fn detect_unit(unit: usize, ctx: &Context, cfg: &DetectionConfig) -> Vec<Detection> {
+    let mut out = Vec::new();
+    RULES[unit](ctx, cfg, &mut out);
     out
 }
 
 /// No Foreign Key (Example 3): the workload joins two tables on columns
 /// with no declared FK between them, and one side is a primary key — the
 /// classic unenforced one-to-many relationship.
-fn no_foreign_key(ctx: &Context, out: &mut Vec<Detection>) {
+fn no_foreign_key(ctx: &Context, _cfg: &DetectionConfig, out: &mut Vec<Detection>) {
     for edge in ctx.workload.join_edges.keys() {
         let (lt, lc) = (&edge.left.0, &edge.left.1);
         let (rt, rc) = (&edge.right.0, &edge.right.1);
@@ -55,6 +71,7 @@ fn no_foreign_key(ctx: &Context, out: &mut Vec<Detection>) {
                 "queries join {ref_table}.{ref_col} to {target}'s primary key but no foreign key is declared"
             ).into(),
             source: DetectionSource::InterQuery,
+            span: None,
         });
     }
 }
@@ -92,6 +109,7 @@ fn index_underuse(ctx: &Context, cfg: &DetectionConfig, out: &mut Vec<Detection>
                 usage.eq_predicates, usage.group_by
             ).into(),
             source: DetectionSource::InterQuery,
+            span: None,
         });
     }
 }
@@ -99,7 +117,7 @@ fn index_underuse(ctx: &Context, cfg: &DetectionConfig, out: &mut Vec<Detection>
 /// Index Overuse (Example 5): an index is flagged when the workload never
 /// touches its leading column, or when it is a strict prefix of another
 /// index (the composite already serves its queries).
-fn index_overuse(ctx: &Context, out: &mut Vec<Detection>) {
+fn index_overuse(ctx: &Context, _cfg: &DetectionConfig, out: &mut Vec<Detection>) {
     let indexes = &ctx.schema.indexes;
     for (i, idx) in indexes.iter().enumerate() {
         let leading = match idx.columns.first() {
@@ -140,13 +158,14 @@ fn index_overuse(ctx: &Context, out: &mut Vec<Detection>) {
                 locus: Locus::Index { index: idx.name.clone() },
                 message: reason.into(),
                 source: DetectionSource::InterQuery,
+                span: None,
             });
         }
     }
 }
 
 /// Clone Table: several tables named `<stem>_N` / `<stem>N`.
-fn clone_table(ctx: &Context, out: &mut Vec<Detection>) {
+fn clone_table(ctx: &Context, _cfg: &DetectionConfig, out: &mut Vec<Detection>) {
     use std::collections::BTreeMap;
     let mut stems: BTreeMap<String, Vec<String>> = BTreeMap::new();
     for t in ctx.schema.tables() {
@@ -173,6 +192,7 @@ fn clone_table(ctx: &Context, out: &mut Vec<Detection>) {
                         tables.join(", ")
                     ).into(),
                     source: DetectionSource::InterQuery,
+                    span: None,
                 });
             }
         }

@@ -26,6 +26,7 @@ pub fn detect_statement(
             locus: Locus::Statement { index: idx },
             message: message.into(),
             source: DetectionSource::IntraQuery,
+            span: None,
         });
     };
 

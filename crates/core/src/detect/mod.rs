@@ -89,7 +89,21 @@ impl Detector {
             report.detections.extend(data::detect(data, ctx, &self.cfg));
         }
         dedup(&mut report.detections);
+        attach_spans(&mut report.detections, ctx);
         report
+    }
+}
+
+/// Stamp every statement-locus detection with the source span of **its
+/// own** statement occurrence. Runs as the final step of both the
+/// sequential and the batch path, after fan-out and dedup: duplicate
+/// texts share one analysis result, but each fanned-out detection's locus
+/// index is per-occurrence, so the span lookup lands on the right copy.
+pub(crate) fn attach_spans(detections: &mut [Detection], ctx: &Context) {
+    for d in detections {
+        if let Locus::Statement { index } = d.locus {
+            d.span = ctx.statements.get(index).map(|s| s.span);
+        }
     }
 }
 

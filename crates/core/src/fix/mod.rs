@@ -7,6 +7,12 @@
 //! application's context, exactly as the paper prescribes for the cases
 //! where the non-validating parse tree lacks the syntactic information to
 //! rewrite safely.
+//!
+//! Fix generation must degrade, never abort: a malformed or unmodelled
+//! AST yields "no structural fix" (falling back to textual advice), so
+//! `unwrap()` is linted against throughout this module tree.
+
+#![warn(clippy::unwrap_used)]
 
 pub mod textual;
 pub mod transforms;
@@ -91,6 +97,7 @@ impl FixEngine {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::context::ContextBuilder;

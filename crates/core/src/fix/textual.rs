@@ -152,6 +152,7 @@ fn pk_candidate(d: &Detection, ctx: &Context) -> Option<String> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::context::ContextBuilder;
@@ -182,6 +183,7 @@ mod tests {
                 locus: Locus::Application,
                 message: "".into(),
                 source: crate::report::DetectionSource::IntraQuery,
+                span: None,
             };
             assert!(!advice(&d, &ctx).is_empty());
         }

@@ -151,10 +151,10 @@ fn coalesce_ident(e: Expr, changed: &mut bool) -> Expr {
 pub fn distinct_join(d: &Detection, ctx: &Context) -> Option<Fix> {
     let parsed = statement_at(d, ctx)?;
     let Statement::Select(sel) = &parsed.stmt else { return None };
-    if !sel.distinct || sel.joins.len() != 1 || sel.from.is_none() {
+    if !sel.distinct || sel.joins.len() != 1 {
         return None;
     }
-    let from = sel.from.as_ref().unwrap();
+    let from = sel.from.as_ref()?;
     let join = &sel.joins[0];
     let on = join.on.as_ref()?;
     if join.table.subquery.is_some() || from.subquery.is_some() {
@@ -478,6 +478,7 @@ fn impacted_statements(ctx: &Context, table: &str, column: &str) -> Vec<(usize, 
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::anti_pattern::AntiPatternKind;

@@ -38,10 +38,15 @@
 //!   template group, and results fan back out to every occurrence with
 //!   corrected loci (exact text, not the fingerprint alone, keys the
 //!   result cache because some rules inspect literal values);
-//! * template groups are analysed **in parallel** with scoped threads
-//!   behind the `parallel` cargo feature (on by default; disable it for
-//!   strictly single-threaded builds), with a deterministic merge that
-//!   preserves statement order.
+//! * all three detection phases run **in parallel** on one scoped
+//!   worker-thread pool behind the `parallel` cargo feature (on by
+//!   default; disable it for strictly single-threaded builds): intra-
+//!   query rules per unique text, inter-query rules per rule, data-
+//!   analysis rules per profiled table — each with a deterministic
+//!   merge that preserves the sequential path's output order;
+//! * every statement-locus [`Detection`] (and the fix derived from it)
+//!   carries the byte [`Span`] of **its own** occurrence in the source
+//!   script, even when duplicate texts share one parse tree.
 //!
 //! The front-end is parse-once: scripts are split and content-hashed at
 //! the span level **before** parsing, so each unique statement text is
@@ -117,7 +122,7 @@ pub use rank::{
     ApMetrics, InterQueryModel, MetricsTable, RankWeights, RankedDetection, Ranker, Severity,
 };
 pub use registry::{CustomRule, RuleRegistry};
-pub use report::{Detection, DetectionSource, Locus, Report};
+pub use report::{Detection, DetectionSource, Locus, Report, Span};
 
 use sqlcheck_minidb::database::Database;
 
@@ -285,6 +290,7 @@ impl SqlCheck {
         let context = builder.build();
         let mut report = self.detector.detect(&context);
         report.detections.extend(self.registry.detect_all(&context));
+        detect::attach_spans(&mut report.detections, &context);
         let ranked = self.ranker.rank(&report);
         let ordered: Vec<Detection> =
             ranked.iter().map(|r| r.detection.clone()).collect();
@@ -315,6 +321,7 @@ impl SqlCheck {
         let batch = self.detector.detect_batch_with(&context, opts, self.cache.as_mut());
         let mut report = batch.report;
         report.detections.extend(self.registry.detect_all(&context));
+        detect::attach_spans(&mut report.detections, &context);
         let ranked = self.ranker.rank(&report);
         let ordered: Vec<Detection> =
             ranked.iter().map(|r| r.detection.clone()).collect();

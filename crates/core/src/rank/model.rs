@@ -326,6 +326,7 @@ mod tests {
             locus: Locus::Statement { index: idx },
             message: "".into(),
             source: DetectionSource::IntraQuery,
+            span: None,
         }
     }
 

@@ -95,6 +95,7 @@ mod tests {
                                 locus: Locus::Statement { index: i },
                                 message: "unbounded SELECT".into(),
                                 source: DetectionSource::InterQuery,
+                                span: None,
                             });
                         }
                     }

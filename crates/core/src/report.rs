@@ -4,6 +4,8 @@ use crate::anti_pattern::AntiPatternKind;
 use std::fmt;
 use std::sync::Arc;
 
+pub use sqlcheck_parser::token::Span;
+
 /// Where a detection is anchored.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Locus {
@@ -58,6 +60,11 @@ pub struct Detection {
     pub message: Arc<str>,
     /// Which analysis produced it (used for the intra/inter/data ablation).
     pub source: DetectionSource,
+    /// Source byte range of the statement this detection anchors to,
+    /// when the locus is a statement from an analysed script. Spans are
+    /// **per occurrence**: duplicate statement texts share one parse tree
+    /// but each detection points at its own location in the source.
+    pub span: Option<Span>,
 }
 
 /// The analysis phase that produced a detection.
@@ -130,6 +137,7 @@ mod tests {
             locus: Locus::Statement { index: 0 },
             message: "m".into(),
             source: DetectionSource::IntraQuery,
+            span: None,
         }
     }
 

@@ -201,6 +201,181 @@ fn schema_edit_invalidates_cached_suppressions() {
     }
 }
 
+/// A small database over the `tab{i}` tables the random scripts use, so
+/// the data-analysis phase has profiles to inspect.
+fn sample_database(rng: &mut SmallRng) -> sqlcheck_minidb::database::Database {
+    use sqlcheck_minidb::prelude::*;
+    let mut db = Database::new();
+    for i in 0..(2 + rng.gen_range(3)) {
+        let name = format!("dbt{i}");
+        db.create_table(
+            TableSchema::new(&name)
+                .column(Column::new("id", DataType::Int).not_null())
+                .column(Column::new("role", DataType::Text))
+                .column(Column::new("price", DataType::Float))
+                .primary_key(&["id"]),
+        )
+        .unwrap();
+        for r in 0..40 {
+            db.insert(
+                &name,
+                vec![
+                    Value::Int(r),
+                    Value::text(format!("R{}", r % 3)),
+                    Value::Float(r as f64 * 0.5),
+                ],
+            )
+            .unwrap();
+        }
+    }
+    db
+}
+
+/// Three-phase property (tentpole of the phase-slicing PR): with the
+/// inter-query and data-analysis phases sliced onto the worker pool, the
+/// batch path must stay byte-identical to the sequential path across
+/// thread counts — **with a database attached**, so all three phases do
+/// real work (the tests above never exercise the data phase).
+#[test]
+fn inter_and_data_phases_identical_across_thread_counts() {
+    use sqlcheck::DataAnalysisConfig;
+    let mut rng = SmallRng::new(0x3F4A5E);
+    for case in 0..12 {
+        let n = 30 + rng.gen_range(90);
+        let script = random_script(&mut rng, n);
+        let db = sample_database(&mut rng);
+        let ctx = ContextBuilder::new()
+            .add_script(&script)
+            .with_database(db, DataAnalysisConfig::default())
+            .build();
+        assert!(ctx.has_data(), "case {case}: data phase must be live");
+        let det = Detector::default();
+        let seq = det.detect(&ctx);
+        assert!(
+            seq.detections
+                .iter()
+                .any(|d| d.source == sqlcheck::DetectionSource::DataAnalysis),
+            "case {case}: data rules must fire"
+        );
+        assert!(
+            seq.detections
+                .iter()
+                .any(|d| d.source == sqlcheck::DetectionSource::InterQuery),
+            "case {case}: inter rules must fire"
+        );
+        let seq_key = detections_debug(&seq);
+        for threads in [1usize, 2, 3, 8] {
+            let opts = BatchOptions { parallel: true, threads: Some(threads) };
+            let batch = det.detect_batch(&ctx, &opts);
+            assert_eq!(
+                seq_key,
+                detections_debug(&batch.report),
+                "case {case}/{threads} threads: three-phase batch must equal sequential"
+            );
+        }
+    }
+}
+
+/// Per-table invalidation safety: across random DDL edits — add a
+/// column, add an index, drop a table — a cached re-check must never
+/// serve a stale result. Compared against a cold legacy-front-end check
+/// on every round.
+#[test]
+fn per_table_invalidation_never_serves_stale_results() {
+    let mut rng = SmallRng::new(0x7AB1E);
+    for case in 0..10 {
+        let n = 40 + rng.gen_range(80);
+        let base = random_script(&mut rng, n);
+        let det = Detector::default();
+        let mut cache = IncrementalCache::new(4096);
+        let mut script = base.clone();
+        for round in 0..5 {
+            // Random DDL mutation of one table per round (the statement
+            // stream is untouched, so unrelated entries could survive).
+            match rng.gen_range(4) {
+                0 => script.push_str(&format!(
+                    "ALTER TABLE tab0 ADD COLUMN extra{round} INT;\n"
+                )),
+                1 => script.push_str(&format!(
+                    "CREATE INDEX ix{case}_{round} ON tab0 (b);\n"
+                )),
+                2 => script.push_str(&format!(
+                    "CREATE TABLE fresh{case}_{round} (x INT);\n"
+                )),
+                _ => { /* no DDL change this round */ }
+            }
+            let ctx = ContextBuilder::new().add_script(&script).build();
+            let got = detections_debug(
+                &det.detect_batch_with(&ctx, &BatchOptions::default(), Some(&mut cache)).report,
+            );
+            assert_eq!(
+                cold_reference(&det, &script),
+                got,
+                "case {case} round {round}: cached re-check after DDL edits must equal cold"
+            );
+        }
+        assert!(cache.counters().hits > 0, "case {case}: re-checks must hit the cache");
+    }
+}
+
+/// Per-table invalidation effectiveness: a DDL edit to one table keeps
+/// every entry that only depends on other tables (hits), while entries on
+/// the edited table re-analyse (misses) — and a content-identical schema
+/// keeps the whole cache warm.
+#[test]
+fn ddl_edit_to_one_table_keeps_unrelated_entries() {
+    let ddl = "CREATE TABLE hot (id INT PRIMARY KEY, v TEXT);\n\
+               CREATE TABLE cold1 (id INT PRIMARY KEY, v TEXT);\n\
+               CREATE TABLE cold2 (id INT PRIMARY KEY, v TEXT);\n";
+    let mut body = String::new();
+    for i in 0..30 {
+        body.push_str(&format!("SELECT * FROM cold1 WHERE id = {i};\n"));
+        body.push_str(&format!("SELECT * FROM cold2 WHERE id = {i};\n"));
+        body.push_str(&format!("SELECT * FROM hot WHERE id = {i};\n"));
+    }
+    let script = format!("{ddl}{body}");
+    let edited = script.replace(
+        "CREATE TABLE hot (id INT PRIMARY KEY, v TEXT);",
+        "CREATE TABLE hot (id INT PRIMARY KEY, v TEXT, w INT);",
+    );
+    let det = Detector::default();
+    let mut cache = IncrementalCache::new(4096);
+
+    // Prime, then a no-op re-check: identical schema must keep the cache
+    // fully warm (every unique text hits; zero evictions).
+    let ctx = ContextBuilder::new().add_script(&script).build();
+    let first = det.detect_batch_with(&ctx, &BatchOptions::default(), Some(&mut cache));
+    assert_eq!(first.stats.incremental_hits, 0);
+    let ctx2 = ContextBuilder::new().add_script(&script).build();
+    let warm = det.detect_batch_with(&ctx2, &BatchOptions::default(), Some(&mut cache));
+    assert_eq!(
+        warm.stats.incremental_misses, 0,
+        "content-identical schema reload must not flush the cache"
+    );
+    assert_eq!(warm.stats.incremental_evictions, 0);
+    assert!(warm.stats.incremental_hits > 0);
+
+    // DDL edit to `hot` only: cold1/cold2 entries survive, hot entries
+    // (and the edited DDL text itself) re-analyse.
+    let ctx3 = ContextBuilder::new().add_script(&edited).build();
+    let after = det.detect_batch_with(&ctx3, &BatchOptions::default(), Some(&mut cache));
+    assert_eq!(
+        detections_debug(&after.report),
+        cold_reference(&det, &edited),
+        "output after DDL edit must match a cold check"
+    );
+    assert!(
+        after.stats.incremental_hits >= 60,
+        "entries on unedited tables must survive the DDL edit, got {} hits",
+        after.stats.incremental_hits
+    );
+    assert!(
+        after.stats.incremental_misses >= 30,
+        "entries on the edited table must be invalidated, got {} misses",
+        after.stats.incremental_misses
+    );
+}
+
 /// Duplicate-template-heavy scripts must actually exercise the dedup
 /// cache (the property above would pass vacuously on all-unique scripts).
 #[test]

@@ -114,6 +114,7 @@ fn custom_rule_participates_in_pipeline() {
                     locus: sqlcheck::Locus::Statement { index: i },
                     message: "custom rule".into(),
                     source: sqlcheck::DetectionSource::InterQuery,
+                    span: None,
                 })
                 .collect()
         }
