@@ -15,6 +15,7 @@
 //! expdriver e2e            # parse-once front-end + incremental cache
 //! expdriver incremental    # warm re-check sweep over edit rates + DDL edit
 //! expdriver phases         # per-phase timing of the three-phase pipeline
+//! expdriver split          # fused streaming splitter vs legacy two-pass
 //! ```
 //!
 //! `--quick` shrinks scales for a fast smoke run. `--threads N` pins the
@@ -168,6 +169,19 @@ fn main() {
                 Ok(()) => println!("wrote {path}"),
                 Err(e) => eprintln!("could not write {path}: {e}"),
             }
+        }
+    }
+    if run_all || what == "split" {
+        section("Split — fused streaming splitter vs legacy two-pass reference");
+        let sizes: &[usize] = if quick { &[2_000] } else { &[10_000, 100_000] };
+        let rows = split::run(sizes, 100, 0x5117, threads);
+        print!("{}", split::render(&rows));
+        // `run` asserts the three configurations agree before timing;
+        // reaching this point means the byte-identity gate passed.
+        let path = "BENCH_split.json";
+        match std::fs::write(path, split::to_json(&rows)) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
         }
     }
     if run_all || what == "user-study" {

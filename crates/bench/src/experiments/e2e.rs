@@ -191,6 +191,7 @@ pub fn run_one(
             unique_texts: pipeline.stats.unique_texts,
             threads: pipeline.stats.threads,
             split_micros: pipeline.stats.split_micros,
+            materialize_micros: pipeline.stats.materialize_micros,
             parse_micros: pipeline.stats.parse_micros,
             annotate_micros: pipeline.stats.annotate_micros,
             context_micros: pipeline.stats.context_micros,
@@ -317,8 +318,8 @@ pub fn to_json(rows: &[E2eRow]) -> String {
             "    {{\"statements\": {}, \"templates\": {}, \"edited\": {}, \"threads\": {}, \
              \"detections\": {}, \"identical\": {}, \
              \"legacy_micros\": {}, \"pipeline_micros\": {}, \"warm_micros\": {}, \
-             \"split_micros\": {}, \"parse_micros\": {}, \"annotate_micros\": {}, \
-             \"context_micros\": {}, \"unique_texts\": {}, \
+             \"split_micros\": {}, \"materialize_micros\": {}, \"parse_micros\": {}, \
+             \"annotate_micros\": {}, \"context_micros\": {}, \"unique_texts\": {}, \
              \"incremental_hits\": {}, \"incremental_misses\": {}, \
              \"cold_speedup\": {:.2}, \"warm_speedup\": {:.2}, \
              \"warm_vs_pipeline\": {:.2}}}{}\n",
@@ -332,6 +333,7 @@ pub fn to_json(rows: &[E2eRow]) -> String {
             r.pipeline_micros,
             r.warm_micros,
             r.frontend.split_micros,
+            r.frontend.materialize_micros,
             r.frontend.parse_micros,
             r.frontend.annotate_micros,
             r.frontend.context_micros,

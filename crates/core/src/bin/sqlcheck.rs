@@ -107,8 +107,13 @@ fn main() {
                 s.statements, s.unique_templates, s.unique_texts, s.cache_hits, s.threads,
             );
             eprintln!(
-                "stats: front-end split {}us, parse {}us, annotate {}us, context {}us",
-                s.split_micros, s.parse_micros, s.annotate_micros, s.context_micros,
+                "stats: front-end fused split {}us, materialize {}us, parse {}us, \
+                 annotate {}us, context {}us",
+                s.split_micros,
+                s.materialize_micros,
+                s.parse_micros,
+                s.annotate_micros,
+                s.context_micros,
             );
             eprintln!(
                 "stats: detect group {}us, intra {}us, fanout {}us, inter {}us, \

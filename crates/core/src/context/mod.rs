@@ -26,7 +26,8 @@ use sqlcheck_parser::annotate::{annotate, Annotations};
 use sqlcheck_parser::ast::ParsedStatement;
 use sqlcheck_parser::parse;
 use sqlcheck_parser::parser::parse_raw;
-use sqlcheck_parser::splitter::{split_spanned, RawStatement};
+use sqlcheck_parser::fingerprint::fingerprint_of;
+use sqlcheck_parser::splitter::{split_deduped, split_stream_parallel, RawStatement};
 use sqlcheck_parser::token::Span;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -53,6 +54,11 @@ pub struct AnalyzedStatement {
     /// can group duplicate statements in O(1) per statement without
     /// re-walking tokens.
     pub text_hash: u128,
+    /// Literal-insensitive template fingerprint
+    /// ([`sqlcheck_parser::fingerprint`]), computed by the fused splitter
+    /// in the same pass that lexed the statement — batch detection counts
+    /// unique templates without re-walking tokens.
+    pub template_hash: u64,
     /// Byte range of **this occurrence** in the original script — not
     /// shared across duplicates. Zero-length for statements added via
     /// [`ContextBuilder::add_statements`] without source text.
@@ -118,8 +124,15 @@ pub struct FrontendStats {
     pub unique_texts: usize,
     /// Worker threads used for the parse/annotate phases (1 = sequential).
     pub threads: usize,
-    /// Wall-clock microseconds spent splitting + fingerprinting scripts.
+    /// Wall-clock microseconds in the fused split pass: lexing, statement
+    /// splitting, content hashing, template fingerprinting, and dedup
+    /// grouping — one streaming pass over the script bytes. Excludes
+    /// unique-text materialisation ([`FrontendStats::materialize_micros`]).
     pub split_micros: u128,
+    /// Wall-clock microseconds spent materialising token streams for
+    /// unique statement texts at intake (re-lexing each unique span into
+    /// owned tokens). Previously lumped into `split_micros`.
+    pub materialize_micros: u128,
     /// Wall-clock microseconds spent grouping texts and parsing unique
     /// statements.
     pub parse_micros: u128,
@@ -165,23 +178,28 @@ impl FrontendOptions {
 }
 
 /// One unique statement text during the build: its (to-be-)parsed tree,
-/// annotations, content hash, and occurrence count.
+/// annotations, content hash, template fingerprint, and occurrence count.
 struct UniqueEntry {
     raw: Option<RawStatement>,
     parsed: Option<Arc<ParsedStatement>>,
     ann: Option<Arc<Annotations>>,
     hash: u128,
+    fingerprint: u64,
     count: usize,
 }
 
 /// Builder for [`Context`] — the parse-once front-end.
 ///
-/// Scripts are split into independently parseable span-level chunks and
-/// content-hashed **before** parsing — no token text is even allocated
-/// for a duplicate. Unique texts are materialised at intake and then
-/// parsed + annotated exactly once at build time (optionally across
-/// scoped worker threads), with the resulting AST/annotations shared
-/// across duplicate occurrences via [`Arc`].
+/// Scripts enter through the fused streaming splitter
+/// ([`sqlcheck_parser::splitter::split_stream`]): a single pass (chunked
+/// across scoped worker threads for large scripts) lexes, splits,
+/// content-hashes, and fingerprints every statement and groups duplicate
+/// texts — before parsing, and without ever materialising a token
+/// stream. Token vectors exist only for **unique** texts, which are
+/// materialised at intake and then parsed + annotated exactly once at
+/// build time (optionally across scoped worker threads), with the
+/// resulting AST/annotations shared across duplicate occurrences via
+/// [`Arc`].
 #[derive(Default)]
 pub struct ContextBuilder {
     /// Unique statement texts, in first-occurrence order.
@@ -197,6 +215,7 @@ pub struct ContextBuilder {
     database: Option<(Arc<Database>, DataAnalysisConfig)>,
     opts: FrontendOptions,
     split_micros: u128,
+    materialize_micros: u128,
 }
 
 impl ContextBuilder {
@@ -206,13 +225,14 @@ impl ContextBuilder {
     }
 
     /// Record one intake statement with its content hash and occurrence
-    /// span, deduping when enabled. `make` materialises the payload only
-    /// for unique texts; the span is recorded for *every* occurrence.
+    /// span, deduping when enabled. `make` materialises the payload (and
+    /// computes the template fingerprint) only for unique texts; the span
+    /// is recorded for *every* occurrence.
     fn intake(
         &mut self,
         hash: u128,
         span: Span,
-        make: impl FnOnce() -> (Option<RawStatement>, Option<Arc<ParsedStatement>>),
+        make: impl FnOnce() -> (Option<RawStatement>, Option<Arc<ParsedStatement>>, u64),
     ) {
         self.spans.push(span);
         if self.opts.dedup {
@@ -223,22 +243,86 @@ impl ContextBuilder {
             }
             self.slot_of.insert(hash, self.uniques.len());
         }
-        let (raw, parsed) = make();
+        let (raw, parsed, fingerprint) = make();
         self.order.push(self.uniques.len());
-        self.uniques.push(UniqueEntry { raw, parsed, ann: None, hash, count: 1 });
+        self.uniques.push(UniqueEntry { raw, parsed, ann: None, hash, fingerprint, count: 1 });
     }
 
-    /// Add every statement in a SQL script. The script is split into
-    /// span-level chunks and content-hashed now — before parsing — so
-    /// duplicate texts cost one hash lookup and share everything else.
+    /// Decide the chunk-parallel split worker count for one script.
+    fn split_threads(&self, len: usize) -> usize {
+        // Below ~16 KiB the pre-scan + spawn overhead outweighs the lex
+        // work; the chunked path stays byte-identical either way.
+        if !cfg!(feature = "parallel") || !self.opts.parallel || len < 16 * 1024 {
+            return 1;
+        }
+        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        self.opts.threads.unwrap_or(hw).max(1)
+    }
+
+    /// Add every statement in a SQL script through the fused streaming
+    /// front door: one pass (chunk-parallel for large scripts) lexes,
+    /// splits, content-hashes, and fingerprints the script, and groups
+    /// duplicate texts — before any parsing. Token streams are
+    /// materialised only for texts this builder has not seen before;
+    /// duplicates cost one map lookup at split time and nothing here.
     pub fn add_script(mut self, script: &str) -> Self {
         let t = Instant::now();
-        for chunk in split_spanned(script) {
-            self.intake(chunk.content_hash, chunk.span, || {
-                (Some(chunk.materialize(script)), None)
-            });
+        let threads = self.split_threads(script.len());
+        let mut mat_micros = 0u128;
+        if self.opts.dedup {
+            let deduped = split_deduped(script, threads);
+            // Map script-local unique slots onto builder slots,
+            // materialising only texts no earlier script contributed.
+            let mut slot_map: Vec<usize> = Vec::with_capacity(deduped.uniques.len());
+            for u in &deduped.uniques {
+                let slot = match self.slot_of.get(&u.content_hash) {
+                    Some(&slot) => slot,
+                    None => {
+                        let slot = self.uniques.len();
+                        self.slot_of.insert(u.content_hash, slot);
+                        let tm = Instant::now();
+                        let raw = u.materialize(script);
+                        mat_micros += tm.elapsed().as_micros();
+                        self.uniques.push(UniqueEntry {
+                            raw: Some(raw),
+                            parsed: None,
+                            ann: None,
+                            hash: u.content_hash,
+                            fingerprint: u.fingerprint,
+                            count: 0,
+                        });
+                        slot
+                    }
+                };
+                slot_map.push(slot);
+            }
+            for (local, span) in deduped.occurrences {
+                let slot = slot_map[local as usize];
+                self.uniques[slot].count += 1;
+                self.order.push(slot);
+                self.spans.push(span);
+            }
+        } else {
+            // Legacy mode: every occurrence keeps its own entry (and is
+            // parsed individually later).
+            for s in split_stream_parallel(script, threads) {
+                let tm = Instant::now();
+                let raw = s.materialize(script);
+                mat_micros += tm.elapsed().as_micros();
+                self.order.push(self.uniques.len());
+                self.spans.push(s.span);
+                self.uniques.push(UniqueEntry {
+                    raw: Some(raw),
+                    parsed: None,
+                    ann: None,
+                    hash: s.content_hash,
+                    fingerprint: s.fingerprint,
+                    count: 1,
+                });
+            }
         }
-        self.split_micros += t.elapsed().as_micros();
+        self.materialize_micros += mat_micros;
+        self.split_micros += t.elapsed().as_micros().saturating_sub(mat_micros);
         self
     }
 
@@ -252,7 +336,10 @@ impl ContextBuilder {
                 .map(|t| t.span)
                 .reduce(|a, b| a.merge(b))
                 .unwrap_or(Span::new(0, 0));
-            self.intake(p.content_hash(), span, || (None, Some(Arc::new(p))));
+            self.intake(p.content_hash(), span, || {
+                let fingerprint = fingerprint_of(&p.tokens);
+                (None, Some(Arc::new(p)), fingerprint)
+            });
         }
         self
     }
@@ -299,6 +386,7 @@ impl ContextBuilder {
             statements: self.order.len(),
             unique_texts: uniques.len(),
             split_micros: self.split_micros,
+            materialize_micros: self.materialize_micros,
             threads: 1,
             ..FrontendStats::default()
         };
@@ -338,6 +426,7 @@ impl ContextBuilder {
                     parsed: u.parsed.clone().expect("parsed in phase 2"),
                     ann: u.ann.clone().expect("annotated in phase 3"),
                     text_hash: u.hash,
+                    template_hash: u.fingerprint,
                     span,
                 }
             })

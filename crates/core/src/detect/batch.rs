@@ -91,11 +91,16 @@ pub struct BatchStats {
     pub data_micros: u128,
     /// Wall-clock microseconds for the whole batch detection.
     pub total_micros: u128,
-    /// Front-end: microseconds splitting + fingerprinting the script
-    /// (0 when the caller did not attach [`FrontendStats`]).
+    /// Front-end: microseconds in the fused split pass — lexing,
+    /// splitting, content hashing, template fingerprinting, and dedup
+    /// grouping in one streaming pass (0 when the caller did not attach
+    /// [`FrontendStats`]).
     ///
     /// [`FrontendStats`]: crate::context::FrontendStats
     pub split_micros: u128,
+    /// Front-end: microseconds materialising token streams for unique
+    /// statement texts at intake (no longer lumped into `split_micros`).
+    pub materialize_micros: u128,
     /// Front-end: microseconds grouping texts + parsing unique statements.
     pub parse_micros: u128,
     /// Front-end: microseconds annotating unique statements.
@@ -117,6 +122,7 @@ impl BatchStats {
     /// itself only sees an already-built context).
     pub fn absorb_frontend(&mut self, fe: &crate::context::FrontendStats) {
         self.split_micros = fe.split_micros;
+        self.materialize_micros = fe.materialize_micros;
         self.parse_micros = fe.parse_micros;
         self.annotate_micros = fe.annotate_micros;
         self.context_micros = fe.context_micros;
@@ -191,7 +197,7 @@ impl Detector {
                     groups[*e.get()].occurrences.push(idx);
                 }
                 std::collections::hash_map::Entry::Vacant(v) => {
-                    templates.insert(stmt.parsed.fingerprint());
+                    templates.insert(stmt.template_hash);
                     v.insert(groups.len());
                     groups.push(Group { rep: idx, occurrences: vec![idx] });
                 }

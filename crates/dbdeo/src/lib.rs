@@ -39,7 +39,7 @@ pub fn detect_script(script: &str) -> Vec<DbdeoDetection> {
     split(script)
         .iter()
         .enumerate()
-        .flat_map(|(i, stmt)| detect_statement(i, &stmt.text()))
+        .flat_map(|(i, stmt)| detect_statement(i, stmt.text()))
         .collect()
 }
 

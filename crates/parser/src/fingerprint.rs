@@ -108,6 +108,12 @@ struct TemplateHasher {
     pending_comma: bool,
 }
 
+impl Default for TemplateHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl TemplateHasher {
     fn new() -> Self {
         TemplateHasher { h: FNV_OFFSET, emitted_any: false, last_q: false, pending_comma: false }
@@ -195,7 +201,14 @@ impl TemplateHasher {
 /// The template atom string a non-literal token renders to (quoted
 /// identifiers lose their delimiters; everything else is the raw text).
 fn atom_value(kind: TokenKind, text: &str) -> &str {
-    if kind == TokenKind::QuotedIdent && text.len() >= 2 {
+    // The boundary check matters only for *unterminated* quoted
+    // identifiers: the lexer consumes to end-of-input, so the final byte
+    // can sit in the middle of a multi-byte character and slicing would
+    // panic — render such a token as raw text instead. (A terminated
+    // identifier always ends with its ASCII delimiter, a char boundary.
+    // Must stay in lockstep with `Token::ident_value`.)
+    if kind == TokenKind::QuotedIdent && text.len() >= 2 && text.is_char_boundary(text.len() - 1)
+    {
         &text[1..text.len() - 1]
     } else {
         text
@@ -209,6 +222,103 @@ fn atom_is_semi(kind: TokenKind, text: &str) -> bool {
     match kind {
         TokenKind::StringLit | TokenKind::NumberLit | TokenKind::Param => false,
         _ => atom_value(kind, text) == ";",
+    }
+}
+
+/// One-token-at-a-time template fingerprint — the push-style counterpart
+/// of [`fingerprint_parts`], used by the fused splitter where tokens are
+/// consumed as the lexer produces them and no token stream ever exists to
+/// iterate twice.
+///
+/// The trailing-semicolon fold needs lookahead ([`fingerprint_parts`]
+/// takes a second pass to find the last non-`;` atom); here `;` atoms are
+/// instead *deferred* — committed only once a later non-semicolon atom
+/// proves they are not trailing, and dropped at [`finish`] otherwise.
+/// Produces exactly `fingerprint_parts(tokens)` for any token sequence
+/// (equivalence pinned by tests).
+///
+/// [`finish`]: StreamingFingerprint::finish
+#[derive(Default)]
+pub struct StreamingFingerprint {
+    hasher: TemplateHasher,
+    /// `;` atoms seen but not yet proven non-trailing.
+    pending_semis: u32,
+}
+
+impl StreamingFingerprint {
+    /// Fresh hasher (empty template).
+    pub fn new() -> Self {
+        StreamingFingerprint { hasher: TemplateHasher::new(), pending_semis: 0 }
+    }
+
+    /// Feed one token. Trivia is skipped here, so the caller may push the
+    /// raw lexer stream.
+    #[inline]
+    pub fn push(&mut self, kind: TokenKind, text: &str) {
+        if matches!(kind, TokenKind::Whitespace | TokenKind::Comment) {
+            return;
+        }
+        if atom_is_semi(kind, text) {
+            self.pending_semis += 1;
+            return;
+        }
+        for _ in 0..self.pending_semis {
+            self.hasher.token(TokenKind::Punct, ";");
+        }
+        self.pending_semis = 0;
+        self.hasher.token(kind, text);
+    }
+
+    /// The fingerprint of everything pushed so far (trailing `;` atoms
+    /// folded away), resetting the hasher for the next statement.
+    pub fn finish(&mut self) -> u64 {
+        self.pending_semis = 0;
+        std::mem::take(&mut self.hasher).finish()
+    }
+}
+
+/// One-token-at-a-time content hash — the push-style counterpart of
+/// [`content_hash_parts`], used by the fused splitter. The struct is
+/// `Copy`, so a caller can snapshot the state before feeding tokens that
+/// may turn out to be excluded (trailing trivia) and keep the snapshot in
+/// O(1) instead of buffering tokens.
+#[derive(Debug, Clone, Copy)]
+pub struct ContentHasher {
+    h: u128,
+}
+
+impl Default for ContentHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ContentHasher {
+    /// Fresh hasher (empty token stream).
+    pub fn new() -> Self {
+        ContentHasher { h: FNV128_OFFSET }
+    }
+
+    /// Feed one token's kind and exact text.
+    #[inline]
+    pub fn push(&mut self, kind: TokenKind, text: &str) {
+        let mut h = self.h;
+        let mut eat = |b: u8| {
+            h ^= b as u128;
+            h = h.wrapping_mul(FNV128_PRIME);
+        };
+        eat(kind as u8);
+        for b in text.as_bytes() {
+            eat(*b);
+        }
+        eat(0xFF); // token separator: ["ab"] must not collide with ["a","b"]
+        self.h = h;
+    }
+
+    /// The hash of everything pushed so far. Identical to
+    /// [`content_hash_parts`] over the same `(kind, text)` sequence.
+    pub fn finish(&self) -> u128 {
+        self.h
     }
 }
 
@@ -447,6 +557,48 @@ mod tests {
         let owned = crate::lexer::tokenize(sql);
         assert_eq!(content_hash_spanned(sql, &toks), content_hash_of(&owned));
         assert_eq!(fingerprint_spanned(sql, &toks), fingerprint_of(&owned));
+    }
+
+    #[test]
+    fn push_hashers_equal_pull_hashers() {
+        // The push-style hashers the fused splitter feeds token-by-token
+        // must agree with the iterator-based ones on any token stream —
+        // including streams whose trailing atoms exercise the deferred
+        // `;` fold (quoted identifiers named `";"`, trailing semicolon
+        // runs, comma/semicolon interleavings).
+        let corpus = [
+            "SELECT * FROM t WHERE a = 1",
+            "select a, b from T where A = 'x' and b in (1, 2, 3);",
+            "SELECT a \";\"",
+            "SELECT a \";\" ;",
+            "SELECT a, \";\" ; ;",
+            "SELECT \";\" , \";\"",
+            "SELECT ',' , ';' ; ;",
+            "SELECT 1,2,3,4",
+            "",
+            ";;;",
+            "-- only trivia\n/* here */",
+            "SELECT \"?\", 1 FROM t ;",
+        ];
+        for sql in corpus {
+            let toks = crate::lexer::lex_spans(sql);
+            let mut fp = StreamingFingerprint::new();
+            let mut ch = ContentHasher::new();
+            for t in &toks {
+                fp.push(t.kind, t.text(sql));
+                ch.push(t.kind, t.text(sql));
+            }
+            assert_eq!(
+                fp.finish(),
+                fingerprint_spanned(sql, &toks),
+                "streaming fingerprint diverged on {sql:?}"
+            );
+            assert_eq!(
+                ch.finish(),
+                content_hash_spanned(sql, &toks),
+                "streaming content hash diverged on {sql:?}"
+            );
+        }
     }
 
     #[test]

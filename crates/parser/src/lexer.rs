@@ -5,8 +5,55 @@
 //! comments are emitted as tokens — so the original statement can always be
 //! reconstructed exactly. Both properties mirror the contract of the
 //! `sqlparse` library the paper builds on.
+//!
+//! The lexer is a *push* machine: it drives a [`TokenSink`] one token at a
+//! time and materialises nothing itself. [`lex_spans`] collects the stream
+//! into a `Vec` for callers that want it, but the fused front door
+//! ([`crate::splitter::split_stream`]) consumes tokens directly — statement
+//! splitting, content hashing, and template fingerprinting all happen in
+//! this single pass, with no whole-script token buffer. The byte loop
+//! dispatches through the [`crate::scan`] class table and crosses long runs
+//! (comments, string bodies, whitespace, words) with `memchr`-style skip
+//! loops.
 
+use crate::scan::{self, Class, F_DIGIT, F_WORD, F_WS};
 use crate::token::{is_keyword, Span, Token, TokenKind};
+
+/// Receiver of the lexer's token stream. Tokens arrive in source order as
+/// `(kind, start, end)` byte ranges over the lexed slice; the sink slices
+/// the source itself if it needs text.
+pub(crate) trait TokenSink {
+    /// When `false`, the lexer may skip keyword classification and emit
+    /// every word token as [`TokenKind::Ident`] — for sinks that only
+    /// care about token *boundaries* (e.g. the parallel-split pre-scan).
+    const CLASSIFY_WORDS: bool = true;
+
+    /// One token.
+    fn token(&mut self, kind: TokenKind, start: usize, end: usize);
+
+    /// Early-exit check, polled once per token. The default never stops.
+    #[inline]
+    fn done(&self) -> bool {
+        false
+    }
+}
+
+/// Lex `input`, pushing every token into `sink`.
+pub(crate) fn lex_into<S: TokenSink>(input: &str, sink: &mut S) {
+    Lexer { src: input, bytes: input.as_bytes(), pos: 0, sink }.run();
+}
+
+/// Sink collecting the full span-level stream.
+struct SpanSink {
+    out: Vec<SpannedToken>,
+}
+
+impl TokenSink for SpanSink {
+    #[inline]
+    fn token(&mut self, kind: TokenKind, start: usize, end: usize) {
+        self.out.push(SpannedToken { kind, span: Span::new(start, end) });
+    }
+}
 
 /// Tokenize `input` into a lossless token stream.
 ///
@@ -25,10 +72,29 @@ pub fn tokenize(input: &str) -> Vec<Token> {
         .collect()
 }
 
+/// Sink that materialises significant tokens only — trivia is filtered at
+/// the span level, before any text is allocated.
+struct SignificantSink<'a> {
+    src: &'a str,
+    out: Vec<Token>,
+}
+
+impl TokenSink for SignificantSink<'_> {
+    #[inline]
+    fn token(&mut self, kind: TokenKind, start: usize, end: usize) {
+        if !matches!(kind, TokenKind::Whitespace | TokenKind::Comment) {
+            self.out.push(Token::new(kind, &self.src[start..end], Span::new(start, end)));
+        }
+    }
+}
+
 /// Tokenize and drop whitespace/comment trivia. Convenient for detection
-/// rules that only care about the significant token sequence.
+/// rules that only care about the significant token sequence. Trivia is
+/// discarded at the span level — no text is ever allocated for it.
 pub fn tokenize_significant(input: &str) -> Vec<Token> {
-    tokenize(input).into_iter().filter(|t| !t.is_trivia()).collect()
+    let mut sink = SignificantSink { src: input, out: Vec::new() };
+    lex_into(input, &mut sink);
+    sink.out
 }
 
 /// A token at the span level: lexical class and byte range, **no owned
@@ -65,57 +131,80 @@ impl SpannedToken {
 /// text. Same classification as [`tokenize`]; `tokenize` is in fact this
 /// pass plus text materialisation.
 pub fn lex_spans(input: &str) -> Vec<SpannedToken> {
-    Lexer::new(input).run()
+    // ~2.2 bytes/token on realistic SQL; reserve once, grow rarely.
+    let mut sink = SpanSink { out: Vec::with_capacity(input.len() / 2) };
+    lex_into(input, &mut sink);
+    sink.out
 }
 
-struct Lexer<'a> {
+struct Lexer<'a, 's, S: TokenSink> {
     src: &'a str,
     bytes: &'a [u8],
     pos: usize,
-    out: Vec<SpannedToken>,
+    sink: &'s mut S,
 }
 
-impl<'a> Lexer<'a> {
-    fn new(src: &'a str) -> Self {
-        // ~2.2 bytes/token on realistic SQL; reserve once, grow rarely.
-        let cap = src.len() / 2;
-        Lexer { src, bytes: src.as_bytes(), pos: 0, out: Vec::with_capacity(cap) }
-    }
-
-    fn run(mut self) -> Vec<SpannedToken> {
+impl<S: TokenSink> Lexer<'_, '_, S> {
+    fn run(mut self) {
         while self.pos < self.bytes.len() {
             let start = self.pos;
             let b = self.bytes[self.pos];
-            match b {
-                b' ' | b'\t' | b'\r' | b'\n' => self.lex_whitespace(start),
-                b'-' if self.peek(1) == Some(b'-') => self.lex_line_comment(start),
-                b'/' if self.peek(1) == Some(b'*') => self.lex_block_comment(start),
-                b'\'' => self.lex_single_quoted(start),
-                b'"' => self.lex_delimited(start, b'"', TokenKind::QuotedIdent),
-                b'`' => self.lex_delimited(start, b'`', TokenKind::QuotedIdent),
-                b'[' => self.lex_bracket_ident(start),
-                b'$' => self.lex_dollar(start),
-                b'?' => self.emit_one(start, TokenKind::Param),
-                b'%' if matches!(self.peek(1), Some(b's') | Some(b'(')) => {
-                    self.lex_format_param(start)
+            match scan::CLASS[b as usize] {
+                Class::Ws => self.lex_whitespace(start),
+                Class::Word => self.lex_word(start),
+                Class::Digit => self.lex_number(start),
+                Class::SQuote => self.lex_single_quoted(start),
+                Class::DQuote => self.lex_delimited(start, b'"', TokenKind::QuotedIdent),
+                Class::Backtick => self.lex_delimited(start, b'`', TokenKind::QuotedIdent),
+                Class::Bracket => self.lex_bracket_ident(start),
+                Class::Dollar => self.lex_dollar(start),
+                Class::Question => self.emit_one(start, TokenKind::Param),
+                Class::Percent => {
+                    if matches!(self.peek(1), Some(b's') | Some(b'(')) {
+                        self.lex_format_param(start)
+                    } else {
+                        self.lex_operator_or_unknown(start)
+                    }
                 }
-                b':' if self
-                    .peek(1)
-                    .map(|c| c.is_ascii_alphabetic() || c == b'_')
-                    .unwrap_or(false) =>
-                {
-                    self.lex_named_param(start)
+                Class::Colon => {
+                    if self
+                        .peek(1)
+                        .map(|c| c.is_ascii_alphabetic() || c == b'_')
+                        .unwrap_or(false)
+                    {
+                        self.lex_named_param(start)
+                    } else {
+                        self.lex_operator_or_unknown(start)
+                    }
                 }
-                b'0'..=b'9' => self.lex_number(start),
-                b'.' if self.peek(1).map(|c| c.is_ascii_digit()).unwrap_or(false) => {
-                    self.lex_number(start)
+                Class::Dot => {
+                    if self.peek(1).map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                        self.lex_number(start)
+                    } else {
+                        self.emit_one(start, TokenKind::Punct)
+                    }
                 }
-                b'(' | b')' | b',' | b';' | b'.' => self.emit_one(start, TokenKind::Punct),
-                _ if b.is_ascii_alphabetic() || b == b'_' || b >= 0x80 => self.lex_word(start),
-                _ => self.lex_operator_or_unknown(start),
+                Class::Minus => {
+                    if self.peek(1) == Some(b'-') {
+                        self.lex_line_comment(start)
+                    } else {
+                        self.lex_operator_or_unknown(start)
+                    }
+                }
+                Class::Slash => {
+                    if self.peek(1) == Some(b'*') {
+                        self.lex_block_comment(start)
+                    } else {
+                        self.lex_operator_or_unknown(start)
+                    }
+                }
+                Class::Punct => self.emit_one(start, TokenKind::Punct),
+                Class::Op => self.lex_operator_or_unknown(start),
+            }
+            if self.sink.done() {
+                return;
             }
         }
-        self.out
     }
 
     fn peek(&self, ahead: usize) -> Option<u8> {
@@ -123,7 +212,7 @@ impl<'a> Lexer<'a> {
     }
 
     fn emit(&mut self, start: usize, kind: TokenKind) {
-        self.out.push(SpannedToken { kind, span: Span::new(start, self.pos) });
+        self.sink.token(kind, start, self.pos);
     }
 
     fn emit_one(&mut self, start: usize, kind: TokenKind) {
@@ -131,34 +220,49 @@ impl<'a> Lexer<'a> {
         self.emit(start, kind);
     }
 
-    fn lex_whitespace(&mut self, start: usize) {
-        while self.pos < self.bytes.len()
-            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\r' | b'\n')
-        {
-            self.pos += 1;
+    /// Jump `self.pos` to the first match of `a`/`b` at or after it, or to
+    /// end-of-input; returns the matched byte, if any.
+    fn seek2(&mut self, a: u8, b: u8) -> Option<u8> {
+        match scan::memchr2(a, b, &self.bytes[self.pos..]) {
+            Some(off) => {
+                self.pos += off;
+                Some(self.bytes[self.pos])
+            }
+            None => {
+                self.pos = self.bytes.len();
+                None
+            }
         }
+    }
+
+    fn lex_whitespace(&mut self, start: usize) {
+        self.pos = scan::skip_while(self.bytes, self.pos, F_WS);
         self.emit(start, TokenKind::Whitespace);
     }
 
     fn lex_line_comment(&mut self, start: usize) {
-        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
-            self.pos += 1;
-        }
+        self.pos = match scan::memchr(b'\n', &self.bytes[self.pos..]) {
+            Some(off) => self.pos + off,
+            None => self.bytes.len(),
+        };
         self.emit(start, TokenKind::Comment);
     }
 
     fn lex_block_comment(&mut self, start: usize) {
         self.pos += 2; // consume "/*"
         let mut depth = 1usize;
-        while self.pos < self.bytes.len() && depth > 0 {
-            if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
-                depth -= 1;
-                self.pos += 2;
-            } else if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
-                depth += 1;
-                self.pos += 2;
-            } else {
-                self.pos += 1;
+        while depth > 0 {
+            match self.seek2(b'*', b'/') {
+                Some(b'*') if self.peek(1) == Some(b'/') => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                Some(b'/') if self.peek(1) == Some(b'*') => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                Some(_) => self.pos += 1,
+                None => break,
             }
         }
         self.emit(start, TokenKind::Comment);
@@ -166,19 +270,25 @@ impl<'a> Lexer<'a> {
 
     fn lex_single_quoted(&mut self, start: usize) {
         self.pos += 1; // opening quote
-        while self.pos < self.bytes.len() {
-            if self.bytes[self.pos] == b'\'' {
-                if self.peek(1) == Some(b'\'') {
-                    self.pos += 2; // escaped quote
-                } else {
-                    self.pos += 1; // closing quote
-                    break;
+        loop {
+            match self.seek2(b'\'', b'\\') {
+                Some(b'\'') => {
+                    if self.peek(1) == Some(b'\'') {
+                        self.pos += 2; // escaped quote
+                    } else {
+                        self.pos += 1; // closing quote
+                        break;
+                    }
                 }
-            } else if self.bytes[self.pos] == b'\\' && self.pos + 1 < self.bytes.len() {
-                // Tolerate backslash escapes (MySQL); harmless elsewhere.
-                self.pos += 2;
-            } else {
-                self.pos += 1;
+                Some(_) => {
+                    // Tolerate backslash escapes (MySQL); harmless elsewhere.
+                    if self.pos + 1 < self.bytes.len() {
+                        self.pos += 2;
+                    } else {
+                        self.pos += 1;
+                    }
+                }
+                None => break,
             }
         }
         self.emit(start, TokenKind::StringLit);
@@ -186,16 +296,21 @@ impl<'a> Lexer<'a> {
 
     fn lex_delimited(&mut self, start: usize, quote: u8, kind: TokenKind) {
         self.pos += 1;
-        while self.pos < self.bytes.len() {
-            if self.bytes[self.pos] == quote {
-                if self.peek(1) == Some(quote) {
-                    self.pos += 2; // doubled delimiter escape
-                } else {
-                    self.pos += 1;
+        loop {
+            match scan::memchr(quote, &self.bytes[self.pos..]) {
+                Some(off) => {
+                    self.pos += off;
+                    if self.peek(1) == Some(quote) {
+                        self.pos += 2; // doubled delimiter escape
+                    } else {
+                        self.pos += 1;
+                        break;
+                    }
+                }
+                None => {
+                    self.pos = self.bytes.len();
                     break;
                 }
-            } else {
-                self.pos += 1;
             }
         }
         self.emit(start, kind);
@@ -206,25 +321,19 @@ impl<'a> Lexer<'a> {
         // is not a simple name..`]` is treated as an unknown/operator char
         // (e.g. the POSIX classes `[[:<:]]` appear *inside* string literals,
         // so they never reach here).
-        let mut i = self.pos + 1;
-        while i < self.bytes.len() && self.bytes[i] != b']' && self.bytes[i] != b'\n' {
-            i += 1;
-        }
-        if i < self.bytes.len() && self.bytes[i] == b']' {
-            self.pos = i + 1;
-            self.emit(start, TokenKind::QuotedIdent);
-        } else {
-            self.emit_one(start, TokenKind::Unknown);
+        match scan::memchr2(b']', b'\n', &self.bytes[self.pos + 1..]) {
+            Some(off) if self.bytes[self.pos + 1 + off] == b']' => {
+                self.pos += off + 2;
+                self.emit(start, TokenKind::QuotedIdent);
+            }
+            _ => self.emit_one(start, TokenKind::Unknown),
         }
     }
 
     fn lex_dollar(&mut self, start: usize) {
         // $1 positional param, or $tag$...$tag$ dollar-quoted string.
         if self.peek(1).map(|c| c.is_ascii_digit()).unwrap_or(false) {
-            self.pos += 1;
-            while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
-                self.pos += 1;
-            }
+            self.pos = scan::skip_while(self.bytes, self.pos + 1, F_DIGIT);
             self.emit(start, TokenKind::Param);
             return;
         }
@@ -287,7 +396,7 @@ impl<'a> Lexer<'a> {
         while self.pos < self.bytes.len() {
             let b = self.bytes[self.pos];
             if b.is_ascii_digit() {
-                self.pos += 1;
+                self.pos = scan::skip_while(self.bytes, self.pos + 1, F_DIGIT);
             } else if b == b'.' && !seen_dot && !seen_exp {
                 seen_dot = true;
                 self.pos += 1;
@@ -308,16 +417,12 @@ impl<'a> Lexer<'a> {
     }
 
     fn lex_word(&mut self, start: usize) {
-        while self.pos < self.bytes.len() {
-            let b = self.bytes[self.pos];
-            if b.is_ascii_alphanumeric() || b == b'_' || b == b'$' || b >= 0x80 {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-        let word = &self.src[start..self.pos];
-        let kind = if is_keyword(word) { TokenKind::Keyword } else { TokenKind::Ident };
+        self.pos = scan::skip_while(self.bytes, self.pos, F_WORD);
+        let kind = if S::CLASSIFY_WORDS && is_keyword(&self.src[start..self.pos]) {
+            TokenKind::Keyword
+        } else {
+            TokenKind::Ident
+        };
         self.emit(start, kind);
     }
 
@@ -441,4 +546,24 @@ mod tests {
         let lit = toks.iter().find(|t| t.kind == StringLit).unwrap();
         assert!(lit.text.contains("[[:<:]]"));
     }
+
+    #[test]
+    fn significant_filter_happens_before_materialisation() {
+        // Same significant stream as tokenize + filter, without trivia
+        // texts ever existing.
+        let sql = "  SELECT /* c */ a -- tail\n FROM t  ";
+        let via_spans: Vec<_> = tokenize_significant(sql);
+        let via_owned: Vec<_> = tokenize(sql).into_iter().filter(|t| !t.is_trivia()).collect();
+        assert_eq!(via_spans, via_owned);
+    }
+
+    #[test]
+    fn backslash_at_end_of_unterminated_string() {
+        let sql = "'abc\\";
+        let toks = tokenize(sql);
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].kind, StringLit);
+        assert_eq!(toks[0].text, sql);
+    }
 }
+

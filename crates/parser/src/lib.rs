@@ -39,6 +39,7 @@ pub mod fingerprint;
 pub mod lexer;
 pub mod parser;
 pub mod render;
+mod scan;
 pub mod splitter;
 pub mod token;
 
@@ -47,4 +48,7 @@ pub use ast::{ParsedStatement, Statement};
 pub use parser::{parse, parse_one, parse_raw};
 pub use render::ToSql;
 pub use lexer::{lex_spans, SpannedToken};
-pub use splitter::{split_fingerprinted, split_spanned, FingerprintedStatement, SpannedStatement};
+pub use splitter::{
+    split_deduped, split_fingerprinted, split_spanned, split_stream, split_stream_parallel,
+    DedupedSplit, FingerprintedStatement, SpannedStatement, SplitStatement,
+};

@@ -1,0 +1,234 @@
+//! Byte-scanning primitives for the lexer's hot loops.
+//!
+//! Two ingredients make the fused front door fast at the byte level:
+//!
+//! 1. a **byte-class table** ([`CLASS`]) so the lexer's main loop
+//!    dispatches on one table load instead of a cascade of range
+//!    comparisons, and a **flags table** ([`FLAGS`]) so run-skipping
+//!    loops (whitespace, words, digit runs) test one bit per byte;
+//! 2. **`memchr`-style skip loops** ([`memchr`], [`memchr2`]) that cross
+//!    long uninteresting regions (line comments, string bodies, quoted
+//!    identifiers) a machine word at a time (SWAR — no SIMD intrinsics,
+//!    no external crates, portable to any `usize` width).
+
+/// Lexical dispatch class of a byte — what the lexer's main loop does
+/// when a token starts with it. One entry per byte in [`CLASS`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Class {
+    /// Space, tab, CR, LF.
+    Ws,
+    /// Word start: ASCII letter, `_`, or any byte ≥ 0x80.
+    Word,
+    /// ASCII digit.
+    Digit,
+    /// `'` — single-quoted string.
+    SQuote,
+    /// `"` — quoted identifier.
+    DQuote,
+    /// `` ` `` — quoted identifier.
+    Backtick,
+    /// `[` — T-SQL bracket identifier (or unknown).
+    Bracket,
+    /// `$` — positional parameter or dollar-quoted string.
+    Dollar,
+    /// `?` — positional parameter.
+    Question,
+    /// `%` — DB-API parameter or operator.
+    Percent,
+    /// `:` — named parameter or operator.
+    Colon,
+    /// `.` — number start or punctuation.
+    Dot,
+    /// `-` — line comment or operator.
+    Minus,
+    /// `/` — block comment or operator.
+    Slash,
+    /// `(`, `)`, `,`, `;`.
+    Punct,
+    /// Everything else: operator characters and unclassifiable bytes.
+    Op,
+}
+
+const fn classify(b: u8) -> Class {
+    match b {
+        b' ' | b'\t' | b'\r' | b'\n' => Class::Ws,
+        b'\'' => Class::SQuote,
+        b'"' => Class::DQuote,
+        b'`' => Class::Backtick,
+        b'[' => Class::Bracket,
+        b'$' => Class::Dollar,
+        b'?' => Class::Question,
+        b'%' => Class::Percent,
+        b':' => Class::Colon,
+        b'.' => Class::Dot,
+        b'-' => Class::Minus,
+        b'/' => Class::Slash,
+        b'0'..=b'9' => Class::Digit,
+        b'(' | b')' | b',' | b';' => Class::Punct,
+        b'_' => Class::Word,
+        _ => {
+            if b.is_ascii_alphabetic() || b >= 0x80 {
+                Class::Word
+            } else {
+                Class::Op
+            }
+        }
+    }
+}
+
+/// Byte → dispatch class, for the lexer's main loop.
+pub(crate) static CLASS: [Class; 256] = {
+    let mut t = [Class::Op; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        t[i] = classify(i as u8);
+        i += 1;
+    }
+    t
+};
+
+/// Flag: byte is whitespace.
+pub(crate) const F_WS: u8 = 1 << 0;
+/// Flag: byte continues a word token (alphanumeric, `_`, `$`, ≥ 0x80).
+pub(crate) const F_WORD: u8 = 1 << 1;
+/// Flag: byte is an ASCII digit.
+pub(crate) const F_DIGIT: u8 = 1 << 2;
+
+/// Byte → run flags, for [`skip_while`] loops.
+pub(crate) static FLAGS: [u8; 256] = {
+    let mut t = [0u8; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let b = i as u8;
+        let mut f = 0u8;
+        if matches!(b, b' ' | b'\t' | b'\r' | b'\n') {
+            f |= F_WS;
+        }
+        if b.is_ascii_alphanumeric() || b == b'_' || b == b'$' || b >= 0x80 {
+            f |= F_WORD;
+        }
+        if b.is_ascii_digit() {
+            f |= F_DIGIT;
+        }
+        t[i] = f;
+        i += 1;
+    }
+    t
+};
+
+/// Advance `pos` past every byte whose [`FLAGS`] entry intersects `mask`.
+#[inline]
+pub(crate) fn skip_while(bytes: &[u8], mut pos: usize, mask: u8) -> usize {
+    while pos < bytes.len() && FLAGS[bytes[pos] as usize] & mask != 0 {
+        pos += 1;
+    }
+    pos
+}
+
+const WORD: usize = std::mem::size_of::<usize>();
+const LO: usize = usize::from_ne_bytes([0x01; WORD]);
+const HI: usize = usize::from_ne_bytes([0x80; WORD]);
+
+#[inline]
+fn splat(b: u8) -> usize {
+    usize::from_ne_bytes([b; WORD])
+}
+
+/// True when any byte of `w` is zero (classic SWAR zero-byte test).
+#[inline]
+fn has_zero_byte(w: usize) -> bool {
+    w.wrapping_sub(LO) & !w & HI != 0
+}
+
+#[inline]
+fn load_word(bytes: &[u8], at: usize) -> usize {
+    let mut buf = [0u8; WORD];
+    buf.copy_from_slice(&bytes[at..at + WORD]);
+    usize::from_ne_bytes(buf)
+}
+
+/// Index of the first occurrence of `needle` in `hay`, scanning a word at
+/// a time.
+#[inline]
+pub(crate) fn memchr(needle: u8, hay: &[u8]) -> Option<usize> {
+    let sp = splat(needle);
+    let mut i = 0usize;
+    while i + WORD <= hay.len() {
+        if has_zero_byte(load_word(hay, i) ^ sp) {
+            break;
+        }
+        i += WORD;
+    }
+    hay[i..].iter().position(|&b| b == needle).map(|p| i + p)
+}
+
+/// Index of the first occurrence of `a` or `b` in `hay`, scanning a word
+/// at a time.
+#[inline]
+pub(crate) fn memchr2(a: u8, b: u8, hay: &[u8]) -> Option<usize> {
+    let (sa, sb) = (splat(a), splat(b));
+    let mut i = 0usize;
+    while i + WORD <= hay.len() {
+        let w = load_word(hay, i);
+        if has_zero_byte(w ^ sa) || has_zero_byte(w ^ sb) {
+            break;
+        }
+        i += WORD;
+    }
+    hay[i..].iter().position(|&x| x == a || x == b).map(|p| i + p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memchr_agrees_with_position() {
+        let hay = b"SELECT * FROM t -- a much longer comment body without the byte\nrest";
+        for needle in [b'\n', b'S', b't', b'z', b'\0'] {
+            assert_eq!(
+                memchr(needle, hay),
+                hay.iter().position(|&b| b == needle),
+                "needle {needle:#x}"
+            );
+        }
+        assert_eq!(memchr(b'x', b""), None);
+        // Hits in the unaligned tail after word-sized strides.
+        let tail = b"aaaaaaaaab";
+        assert_eq!(memchr(b'b', tail), Some(9));
+    }
+
+    #[test]
+    fn memchr2_agrees_with_position() {
+        let hay = b"it''s a \\'string\\' body; with ; semicolons and quotes '";
+        for (a, b) in [(b'\'', b'\\'), (b';', b'\n'), (b'z', b'q'), (b'*', b'/')] {
+            assert_eq!(
+                memchr2(a, b, hay),
+                hay.iter().position(|&x| x == a || x == b),
+                "needles {a:#x} {b:#x}"
+            );
+        }
+        assert_eq!(memchr2(b'x', b'y', b"no hits here at all......."), None);
+    }
+
+    #[test]
+    fn class_table_matches_spot_checks() {
+        assert_eq!(CLASS[b' ' as usize], Class::Ws);
+        assert_eq!(CLASS[b'a' as usize], Class::Word);
+        assert_eq!(CLASS[b'_' as usize], Class::Word);
+        assert_eq!(CLASS[0xC3], Class::Word);
+        assert_eq!(CLASS[b'7' as usize], Class::Digit);
+        assert_eq!(CLASS[b';' as usize], Class::Punct);
+        assert_eq!(CLASS[b'=' as usize], Class::Op);
+        assert_eq!(CLASS[0x01], Class::Op);
+    }
+
+    #[test]
+    fn flags_cover_word_runs() {
+        assert_ne!(FLAGS[b'$' as usize] & F_WORD, 0, "lex_word consumes $");
+        assert_eq!(FLAGS[b'$' as usize] & F_WS, 0);
+        assert_eq!(skip_while(b"abc_9$ rest", 0, F_WORD), 6);
+        assert_eq!(skip_while(b"   \t\nx", 0, F_WS), 5);
+        assert_eq!(skip_while(b"123a", 0, F_DIGIT), 3);
+    }
+}

@@ -1,26 +1,54 @@
-//! Statement splitter.
+//! Statement splitter — the fused front door of the analysis pipeline.
 //!
 //! Splits a SQL script into individual statements on top of the token
 //! stream, so that semicolons inside string literals, comments, or
 //! dollar-quoted bodies never split a statement.
+//!
+//! The production path is **streaming and fused**: [`split_stream`] runs
+//! the lexer once and feeds every token straight into per-statement
+//! state — span bounds, the 128-bit content hash, and the template
+//! fingerprint are all computed *as the bytes are lexed*. No whole-script
+//! token buffer is ever built and no token is walked twice; per-statement
+//! token vectors exist only for the **unique** texts a consumer actually
+//! [materialises](SplitStatement::materialize) for parsing
+//! ([`split_deduped`] performs that grouping here, in the splitter).
+//! [`split_stream_parallel`] additionally chunks the script at safe
+//! statement boundaries (found by a quote/comment/dollar-quote-aware
+//! pre-scan) and lexes the chunks on scoped worker threads, merging
+//! deterministically — byte-identical output to the sequential pass.
+//!
+//! The original two-pass splitter ([`split_spanned`]) is kept as the
+//! readable reference implementation; property tests pin the fused path
+//! to it.
 
-use crate::fingerprint::{content_hash_spanned, fingerprint_spanned};
-use crate::lexer::{lex_spans, SpannedToken};
-use crate::token::{Span, Token};
+use crate::fingerprint::{
+    content_hash_spanned, fingerprint_spanned, ContentHasher, StreamingFingerprint,
+};
+use crate::lexer::{lex_into, lex_spans, SpannedToken, TokenSink};
+use crate::token::{Span, Token, TokenKind};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
-/// One raw statement: its tokens (trivia included) and overall span.
+/// One raw statement: its tokens (trivia included), overall span, and
+/// source text.
 #[derive(Debug, Clone)]
 pub struct RawStatement {
     /// All tokens of the statement, excluding the terminating semicolon.
     pub tokens: Vec<Token>,
     /// Span covering the statement in the original script.
     pub span: Span,
+    /// The statement's source text, sliced from the original script at
+    /// materialisation time (trivia is kept inside statements, so the
+    /// span is one contiguous slice).
+    pub source: Box<str>,
 }
 
 impl RawStatement {
-    /// The statement's source text, reconstructed from its tokens.
-    pub fn text(&self) -> String {
-        self.tokens.iter().map(|t| t.text.as_str()).collect()
+    /// The statement's source text — the script slice covered by
+    /// [`RawStatement::span`], captured at materialisation (not rebuilt
+    /// by concatenating per-token strings).
+    pub fn text(&self) -> &str {
+        &self.source
     }
 
     /// Significant (non-trivia) tokens.
@@ -44,7 +72,7 @@ impl RawStatement {
 /// assert_eq!(stmts[1].text().trim(), "SELECT ';'");
 /// ```
 pub fn split(script: &str) -> Vec<RawStatement> {
-    split_impl(script)
+    split_stream(script).into_iter().map(|s| s.materialize(script)).collect()
 }
 
 /// One split-off statement chunk with its fingerprints computed **before
@@ -78,23 +106,436 @@ pub struct FingerprintedStatement {
 /// assert_eq!(chunks[0].fingerprint, chunks[2].fingerprint);
 /// ```
 pub fn split_fingerprinted(script: &str) -> Vec<FingerprintedStatement> {
-    split_spanned(script)
+    split_stream(script)
         .into_iter()
         .map(|s| FingerprintedStatement {
-            fingerprint: s.fingerprint(script),
+            fingerprint: s.fingerprint,
             content_hash: s.content_hash,
             raw: s.materialize(script),
         })
         .collect()
 }
 
+/// One statement as emitted by the fused streaming splitter: its span and
+/// both hashes, computed in the same pass that lexed the bytes — **no
+/// tokens**. Token vectors are built only when a consumer
+/// [materialises](SplitStatement::materialize) a unique text for parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitStatement {
+    /// Span covering the statement (leading/trailing trivia trimmed) in
+    /// the original script.
+    pub span: Span,
+    /// Literal-sensitive 128-bit content hash
+    /// ([`crate::fingerprint::content_hash_of`] of the statement's
+    /// trimmed token stream).
+    pub content_hash: u128,
+    /// Literal-insensitive template fingerprint
+    /// ([`crate::fingerprint::fingerprint_of`] of the same stream).
+    pub fingerprint: u64,
+}
+
+impl SplitStatement {
+    /// Build the statement's owned token stream by re-lexing its span
+    /// (the span starts at a token boundary, so the re-lex reproduces the
+    /// original tokens exactly; spans stay script-absolute).
+    pub fn materialize(&self, script: &str) -> RawStatement {
+        materialize_span(script, self.span)
+    }
+}
+
+/// Materialise the statement covering `span` of `script`: re-lex the
+/// slice into owned tokens (script-absolute spans) and capture the source
+/// text. `span` must be a statement span produced by this module's
+/// splitters — it begins and ends on significant-token boundaries.
+pub fn materialize_span(script: &str, span: Span) -> RawStatement {
+    let slice = &script[span.start..span.end];
+    let mut sink = MaterializeSink { src: slice, base: span.start, out: Vec::new() };
+    lex_into(slice, &mut sink);
+    RawStatement { tokens: sink.out, span, source: slice.into() }
+}
+
+/// Sink building owned tokens with spans rebased to the original script.
+struct MaterializeSink<'a> {
+    src: &'a str,
+    base: usize,
+    out: Vec<Token>,
+}
+
+impl TokenSink for MaterializeSink<'_> {
+    #[inline]
+    fn token(&mut self, kind: TokenKind, start: usize, end: usize) {
+        self.out.push(Token::new(
+            kind,
+            &self.src[start..end],
+            Span::new(self.base + start, self.base + end),
+        ));
+    }
+}
+
+/// The fused streaming splitter state: receives the lexer's token stream
+/// and folds each token into the current statement's span bounds, content
+/// hash, and template fingerprint as it arrives.
+struct SplitSink<'a> {
+    chunk: &'a str,
+    bytes: &'a [u8],
+    /// Absolute offset of `chunk` within the original script.
+    offset: usize,
+    out: Vec<SplitStatement>,
+    /// A statement is open (at least one significant token seen).
+    started: bool,
+    /// Absolute span bounds of the open statement.
+    start: usize,
+    end: usize,
+    /// Running content hash, *including* any trivia fed after the last
+    /// significant token.
+    ch: ContentHasher,
+    /// Content-hash snapshot as of the last significant token — the O(1)
+    /// way to exclude trailing trivia without buffering it.
+    ch_sig: u128,
+    fp: StreamingFingerprint,
+}
+
+impl<'a> SplitSink<'a> {
+    fn new(chunk: &'a str, offset: usize) -> Self {
+        SplitSink {
+            chunk,
+            bytes: chunk.as_bytes(),
+            offset,
+            out: Vec::new(),
+            started: false,
+            start: 0,
+            end: 0,
+            ch: ContentHasher::new(),
+            ch_sig: 0,
+            fp: StreamingFingerprint::new(),
+        }
+    }
+
+    /// Close the open statement, if any (called at `;` and end-of-input).
+    fn flush(&mut self) {
+        if self.started {
+            self.started = false;
+            self.out.push(SplitStatement {
+                span: Span::new(self.start, self.end),
+                content_hash: self.ch_sig,
+                fingerprint: self.fp.finish(),
+            });
+        }
+    }
+
+    fn finish(mut self) -> Vec<SplitStatement> {
+        self.flush();
+        self.out
+    }
+}
+
+impl TokenSink for SplitSink<'_> {
+    #[inline]
+    fn token(&mut self, kind: TokenKind, start: usize, end: usize) {
+        if matches!(kind, TokenKind::Whitespace | TokenKind::Comment) {
+            // Interior trivia is part of the statement text (and hash);
+            // whether it turns out interior or trailing is only known at
+            // the next significant token, so feed it now and let the
+            // `ch_sig` snapshot discard it if nothing follows. Leading
+            // trivia (statement not started) is trimmed entirely.
+            if self.started {
+                self.ch.push(kind, &self.chunk[start..end]);
+            }
+            return;
+        }
+        if kind == TokenKind::Punct && end - start == 1 && self.bytes[start] == b';' {
+            self.flush();
+            return;
+        }
+        if !self.started {
+            self.started = true;
+            self.start = self.offset + start;
+            self.ch = ContentHasher::new();
+        }
+        let text = &self.chunk[start..end];
+        self.ch.push(kind, text);
+        self.ch_sig = self.ch.finish();
+        self.end = self.offset + end;
+        self.fp.push(kind, text);
+    }
+}
+
+/// Fused single-pass split: lex, split, content-hash, and fingerprint the
+/// script in one streaming pass. Emits the same statements (spans,
+/// hashes, fingerprints) as the two-pass [`split_spanned`] reference,
+/// without ever materialising a token stream.
+pub fn split_stream(script: &str) -> Vec<SplitStatement> {
+    split_range(script, 0, script.len())
+}
+
+fn split_range(script: &str, start: usize, end: usize) -> Vec<SplitStatement> {
+    let mut sink = SplitSink::new(&script[start..end], start);
+    lex_into(&script[start..end], &mut sink);
+    sink.finish()
+}
+
+/// Spans-only statement boundary sink — the cheapest possible split pass,
+/// used by [`split_deduped`]'s byte-level grouping. Statement spans
+/// depend only on trivia-vs-significant classification and top-level `;`
+/// tokens, so keyword lookup is skipped entirely and nothing is hashed.
+struct SpanOnlySink<'a> {
+    bytes: &'a [u8],
+    offset: usize,
+    out: Vec<Span>,
+    started: bool,
+    start: usize,
+    end: usize,
+}
+
+impl TokenSink for SpanOnlySink<'_> {
+    const CLASSIFY_WORDS: bool = false;
+
+    #[inline]
+    fn token(&mut self, kind: TokenKind, start: usize, end: usize) {
+        if matches!(kind, TokenKind::Whitespace | TokenKind::Comment) {
+            return;
+        }
+        if kind == TokenKind::Punct && end - start == 1 && self.bytes[start] == b';' {
+            if self.started {
+                self.started = false;
+                self.out.push(Span::new(self.start, self.end));
+            }
+            return;
+        }
+        if !self.started {
+            self.started = true;
+            self.start = self.offset + start;
+        }
+        self.end = self.offset + end;
+    }
+}
+
+fn split_spans_range(script: &str, start: usize, end: usize) -> Vec<Span> {
+    let chunk = &script[start..end];
+    let mut sink = SpanOnlySink {
+        bytes: chunk.as_bytes(),
+        offset: start,
+        out: Vec::new(),
+        started: false,
+        start: 0,
+        end: 0,
+    };
+    lex_into(chunk, &mut sink);
+    if sink.started {
+        sink.out.push(Span::new(sink.start, sink.end));
+    }
+    sink.out
+}
+
+/// Lex + hash the single statement covering `span` (a trimmed statement
+/// span: starts and ends on significant tokens, no top-level `;`).
+fn hash_span(script: &str, span: Span) -> SplitStatement {
+    let mut stmts = split_range(script, span.start, span.end);
+    debug_assert_eq!(stmts.len(), 1, "a statement span holds exactly one statement");
+    stmts.pop().expect("statement span holds one statement")
+}
+
+/// Pre-scan sink that records safe chunk boundaries: the end offset of
+/// the first top-level `;` at or past each target offset. "Top-level" is
+/// decided by the lexer itself (`;` consumed inside strings, comments,
+/// quoted identifiers, dollar-quoted bodies, or DB-API parameters never
+/// reaches the sink), so the boundaries resynchronise exactly where the
+/// sequential splitter ends a statement. Keyword classification is
+/// skipped (`CLASSIFY_WORDS = false`) — only token boundaries matter.
+struct BoundarySink<'a> {
+    bytes: &'a [u8],
+    targets: &'a [usize],
+    next: usize,
+    out: Vec<usize>,
+}
+
+impl TokenSink for BoundarySink<'_> {
+    const CLASSIFY_WORDS: bool = false;
+
+    #[inline]
+    fn token(&mut self, kind: TokenKind, start: usize, end: usize) {
+        if kind == TokenKind::Punct
+            && end - start == 1
+            && self.bytes[start] == b';'
+            && self.next < self.targets.len()
+            && end >= self.targets[self.next]
+        {
+            self.out.push(end);
+            while self.next < self.targets.len() && self.targets[self.next] <= end {
+                self.next += 1;
+            }
+        }
+    }
+
+    #[inline]
+    fn done(&self) -> bool {
+        self.next >= self.targets.len()
+    }
+}
+
+/// Chunk the script into at most `threads` ranges that all start right
+/// after a top-level `;` (or at 0) — every range is a whole number of
+/// statements, so per-range splits concatenate to the sequential result.
+fn chunk_ranges(script: &str, threads: usize) -> Vec<(usize, usize)> {
+    let len = script.len();
+    if threads <= 1 || len == 0 {
+        return vec![(0, len)];
+    }
+    let targets: Vec<usize> =
+        (1..threads).map(|i| (len / threads).saturating_mul(i)).filter(|&t| t > 0).collect();
+    if targets.is_empty() {
+        return vec![(0, len)];
+    }
+    let mut sink =
+        BoundarySink { bytes: script.as_bytes(), targets: &targets, next: 0, out: Vec::new() };
+    lex_into(script, &mut sink);
+    let mut ranges = Vec::with_capacity(sink.out.len() + 1);
+    let mut start = 0usize;
+    for b in sink.out {
+        if b > start && b < len {
+            ranges.push((start, b));
+            start = b;
+        }
+    }
+    ranges.push((start, len));
+    ranges
+}
+
+/// [`split_stream`] across `threads` scoped worker threads: a pre-scan
+/// finds safe chunk boundaries (statement terminators at top level), the
+/// chunks are lexed+hashed independently, and the per-chunk statements
+/// are concatenated in chunk order. Output is byte-identical to
+/// [`split_stream`] for every `threads` value. With the `parallel`
+/// feature disabled (or `threads <= 1`) the chunks are processed
+/// sequentially — same output, no thread spawns.
+pub fn split_stream_parallel(script: &str, threads: usize) -> Vec<SplitStatement> {
+    let ranges = chunk_ranges(script, threads);
+    if ranges.len() <= 1 {
+        return split_stream(script);
+    }
+    run_chunks(script, &ranges, split_range)
+}
+
+#[cfg(feature = "parallel")]
+fn run_chunks<T, F>(script: &str, ranges: &[(usize, usize)], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&str, usize, usize) -> Vec<T> + Sync,
+{
+    let chunks: Vec<Vec<T>> = std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(a, b)| s.spawn(move || f(script, a, b)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("split worker panicked")).collect()
+    });
+    chunks.into_iter().flatten().collect()
+}
+
+#[cfg(not(feature = "parallel"))]
+fn run_chunks<T, F>(script: &str, ranges: &[(usize, usize)], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&str, usize, usize) -> Vec<T> + Sync,
+{
+    ranges.iter().flat_map(|&(a, b)| f(script, a, b)).collect()
+}
+
+/// A script split and deduplicated in one step: every occurrence in
+/// script order, referencing its unique statement text.
+#[derive(Debug, Clone, Default)]
+pub struct DedupedSplit {
+    /// Unique statement texts, in first-occurrence order. Each carries
+    /// the span of its **first** occurrence.
+    pub uniques: Vec<SplitStatement>,
+    /// One `(unique_index, span)` entry per statement occurrence, in
+    /// script order.
+    pub occurrences: Vec<(u32, Span)>,
+}
+
+/// Fast non-cryptographic hasher for the dedup map's `&str` keys
+/// (FxHash-style word-folding). Collisions only cost a key comparison —
+/// the map's equality check is the exact statement bytes.
+#[derive(Default)]
+struct StrFold(u64);
+
+impl Hasher for StrFold {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        const K: u64 = 0x517c_c1b7_2722_0a95;
+        let mut h = self.0;
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let w = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            h = (h.rotate_left(5) ^ w).wrapping_mul(K);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            h = (h.rotate_left(5) ^ u64::from_le_bytes(tail)).wrapping_mul(K);
+        }
+        self.0 = h;
+    }
+    fn write_u8(&mut self, i: u8) {
+        // `str`'s Hash impl appends a 0xFF length terminator.
+        self.0 = (self.0.rotate_left(5) ^ i as u64).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+    fn write_usize(&mut self, i: usize) {
+        self.0 = (self.0.rotate_left(5) ^ i as u64).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+/// Split the script and group duplicate statement texts, hashing each
+/// **unique** text exactly once.
+///
+/// Duplicate detection needs no content hash at all: two statements are
+/// duplicates iff their trimmed source bytes are equal (equal bytes lex
+/// to equal tokens, hence equal hashes). So the per-occurrence pass is
+/// the cheapest one possible — a spans-only boundary scan (no hashing,
+/// no keyword classification), chunk-parallel for large scripts — and
+/// the fused lex+hash pass runs only once per unique text. Duplicates
+/// cost one map probe (exact byte comparison on hit) and carry nothing
+/// but their span.
+pub fn split_deduped(script: &str, threads: usize) -> DedupedSplit {
+    let ranges = chunk_ranges(script, threads);
+    let spans: Vec<Span> = if ranges.len() <= 1 {
+        split_spans_range(script, 0, script.len())
+    } else {
+        run_chunks(script, &ranges, split_spans_range)
+    };
+    let mut uniques: Vec<SplitStatement> = Vec::new();
+    let mut occurrences: Vec<(u32, Span)> = Vec::with_capacity(spans.len());
+    let mut slots: HashMap<&str, u32, BuildHasherDefault<StrFold>> =
+        HashMap::with_capacity_and_hasher(spans.len().min(1024), Default::default());
+    for span in spans {
+        let slot = match slots.entry(&script[span.start..span.end]) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let slot = uniques.len() as u32;
+                v.insert(slot);
+                uniques.push(hash_span(script, span));
+                slot
+            }
+        };
+        occurrences.push((slot, span));
+    }
+    DedupedSplit { uniques, occurrences }
+}
+
 /// One split-off statement at the span level: its span-tokens (trivia
 /// trimmed at both ends, kept inside) and its content hash — computed
-/// **before parsing and before any token text is allocated**. The
-/// allocation-free front door of the parse-once pipeline: a consumer
-/// groups duplicate texts by [`SpannedStatement::content_hash`] and
-/// [materialises](SpannedStatement::materialize) owned tokens only for
-/// the unique texts it actually parses.
+/// **before parsing and before any token text is allocated**.
+///
+/// This is the legacy two-pass representation: [`split_spanned`] keeps a
+/// whole-script token buffer and re-walks each statement's tokens to
+/// hash. The production path is the fused [`split_stream`], which emits
+/// identical spans/hashes without either; `split_spanned` remains as the
+/// readable reference implementation that the property tests pin the
+/// fused splitter against.
 #[derive(Debug, Clone)]
 pub struct SpannedStatement {
     /// Span-level tokens of the statement (no owned text).
@@ -118,13 +559,17 @@ impl SpannedStatement {
         RawStatement {
             tokens: self.tokens.iter().map(|t| t.materialize(script)).collect(),
             span: self.span,
+            source: script[self.span.start..self.span.end].into(),
         }
     }
 }
 
 /// Split a script into span-level statements, computing each chunk's
-/// content hash on the way — without allocating any token text. This is
-/// what [`split`] and [`split_fingerprinted`] are built on.
+/// content hash on the way — the **legacy two-pass reference** for the
+/// fused [`split_stream`] (lex everything into a buffer, then slice into
+/// statements and hash each slice). Kept for tests and comparison
+/// benchmarks; production consumers use [`split_stream`] /
+/// [`split_deduped`].
 pub fn split_spanned(script: &str) -> Vec<SpannedStatement> {
     let tokens = lex_spans(script);
     let mut stmts = Vec::new();
@@ -150,10 +595,6 @@ fn push_spanned(script: &str, out: &mut Vec<SpannedStatement>, tokens: &[Spanned
         span,
         content_hash: content_hash_spanned(script, trimmed),
     });
-}
-
-fn split_impl(script: &str) -> Vec<RawStatement> {
-    split_spanned(script).into_iter().map(|s| s.materialize(script)).collect()
 }
 
 #[cfg(test)]
@@ -195,6 +636,16 @@ mod tests {
     }
 
     #[test]
+    fn text_is_a_script_slice_not_a_token_concat() {
+        let script = "SELECT a /* interior ; trivia */ , b FROM t ; UPDATE t SET a = 1";
+        for s in split(script) {
+            assert_eq!(s.text(), &script[s.span.start..s.span.end]);
+            let concat: String = s.tokens.iter().map(|t| t.text.as_str()).collect();
+            assert_eq!(s.text(), concat, "slice must equal the token concatenation");
+        }
+    }
+
+    #[test]
     fn fingerprinted_chunks_match_post_parse_hashes() {
         // The pre-parse hashes must agree with the hashes computed from
         // the parsed statement — consumers rely on that to skip parsing.
@@ -214,9 +665,91 @@ mod tests {
     }
 
     #[test]
-    fn spans_index_into_original(){
+    fn spans_index_into_original() {
         let script = "SELECT a FROM t;  UPDATE t SET a = 1";
         let stmts = split(script);
         assert_eq!(&script[stmts[1].span.start..stmts[1].span.end], "UPDATE t SET a = 1");
+    }
+
+    /// Scripts stressing every construct that can hide a `;` or end a
+    /// statement early.
+    fn nasty_scripts() -> Vec<&'static str> {
+        vec![
+            "SELECT 'a;b'; SELECT 2; -- tail ; comment\nSELECT 3",
+            "SELECT 1 /* c1 ; /* nested ; */ still */; SELECT ';';;",
+            "$tag$body; with ; semis$tag$; SELECT [br;acket] FROM t;",
+            "SELECT $$;$$ , \";\" ; UPDATE \"u;u\" SET `a;a` = 1",
+            "INSERT INTO t VALUES (%(na;me)s, :p1, $1, ?);",
+            "SELECT 'unterminated ; string",
+            "$unterminated$ ; ; ;",
+            "  ; ;\t;\n ;",
+            "",
+            "SELECT a \";\" ; SELECT 1e; SELECT 1.5e+3;",
+            "SELECT * FROM t WHERE c LIKE '%;%' ESCAPE '\\'; DELETE FROM t",
+        ]
+    }
+
+    #[test]
+    fn fused_split_matches_legacy_reference() {
+        for script in nasty_scripts() {
+            let fused = split_stream(script);
+            let legacy = split_spanned(script);
+            assert_eq!(fused.len(), legacy.len(), "statement count on {script:?}");
+            for (f, l) in fused.iter().zip(&legacy) {
+                assert_eq!(f.span, l.span, "span on {script:?}");
+                assert_eq!(f.content_hash, l.content_hash, "content hash on {script:?}");
+                assert_eq!(f.fingerprint, l.fingerprint(script), "fingerprint on {script:?}");
+                // Re-lex materialisation must reproduce the legacy tokens
+                // exactly (kinds, texts, script-absolute spans).
+                let fm = f.materialize(script);
+                let lm = l.materialize(script);
+                assert_eq!(fm.tokens, lm.tokens, "tokens on {script:?}");
+                assert_eq!(fm.span, lm.span);
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_split_is_identical_across_thread_counts() {
+        let mut big = String::new();
+        for (i, s) in nasty_scripts().iter().cycle().take(200).enumerate() {
+            big.push_str(s);
+            big.push_str(&format!("; SELECT {i} FROM filler;\n"));
+        }
+        let sequential = split_stream(&big);
+        for threads in [1, 2, 3, 5, 13] {
+            assert_eq!(
+                split_stream_parallel(&big, threads),
+                sequential,
+                "chunked split diverged at {threads} thread(s)"
+            );
+        }
+    }
+
+    #[test]
+    fn deduped_split_reconstructs_the_statement_sequence() {
+        let script = "SELECT 1; SELECT 2; SELECT 1; SELECT 1; SELECT 2;";
+        let d = split_deduped(script, 1);
+        assert_eq!(d.uniques.len(), 2);
+        assert_eq!(d.occurrences.len(), 5);
+        let full = split_stream(script);
+        for ((slot, span), s) in d.occurrences.iter().zip(&full) {
+            assert_eq!(*span, s.span, "occurrence keeps its own span");
+            assert_eq!(d.uniques[*slot as usize].content_hash, s.content_hash);
+        }
+        // Uniques carry their first occurrence's span.
+        assert_eq!(d.uniques[0].span, full[0].span);
+        assert_eq!(d.uniques[1].span, full[1].span);
+    }
+
+    #[test]
+    fn boundary_prescan_never_splits_inside_tokens() {
+        // Force targets to land inside strings/comments/dollar quotes:
+        // every resulting chunk must still start right after a top-level
+        // `;`, which the byte-identity with the sequential path proves.
+        let script = "SELECT '; ; ; ; ; ; ; ;'; /* ;;;;;;;; */ SELECT $t$;;;;;;;;$t$; SELECT 2;";
+        for threads in 2..12 {
+            assert_eq!(split_stream_parallel(script, threads), split_stream(script));
+        }
     }
 }

@@ -126,7 +126,12 @@ impl Token {
         match self.kind {
             TokenKind::QuotedIdent => {
                 let t = self.text.as_str();
-                if t.len() >= 2 {
+                // The boundary check matters only for *unterminated*
+                // quoted identifiers, which run to end-of-input and can
+                // end mid-character: slicing would panic, so return the
+                // token raw. (A terminated identifier always ends with
+                // its ASCII delimiter — a char boundary.)
+                if t.len() >= 2 && t.is_char_boundary(t.len() - 1) {
                     &t[1..t.len() - 1]
                 } else {
                     t
@@ -187,28 +192,69 @@ pub const KEYWORDS: &[&str] = &[
     "WHEN", "WHERE", "WITH", "WITHOUT", "ZONE",
 ];
 
+/// Longest keyword length (`CURRENT_TIMESTAMP`); words longer than this
+/// are never keywords.
+const MAX_KEYWORD_LEN: usize = 17;
+
+/// A keyword packed for word-at-a-time comparison: its uppercased bytes
+/// in three little-endian `u64` lanes, zero-padded.
+type PackedWord = [u64; 3];
+
+fn pack_upper(word: &str) -> PackedWord {
+    let mut buf = [0u8; 24];
+    for (i, b) in word.bytes().enumerate() {
+        buf[i] = b.to_ascii_uppercase();
+    }
+    [
+        u64::from_le_bytes(buf[0..8].try_into().unwrap()),
+        u64::from_le_bytes(buf[8..16].try_into().unwrap()),
+        u64::from_le_bytes(buf[16..24].try_into().unwrap()),
+    ]
+}
+
+/// Keywords grouped by length, each group sorted for binary search on the
+/// packed representation. Built once, on first lookup.
+struct KeywordTable {
+    /// `by_len[len]` is the `packed` range holding keywords of `len` bytes.
+    by_len: [(u16, u16); MAX_KEYWORD_LEN + 1],
+    packed: Vec<PackedWord>,
+}
+
+fn build_keyword_table() -> KeywordTable {
+    let mut groups: Vec<Vec<PackedWord>> = vec![Vec::new(); MAX_KEYWORD_LEN + 1];
+    for k in KEYWORDS {
+        groups[k.len()].push(pack_upper(k));
+    }
+    let mut by_len = [(0u16, 0u16); MAX_KEYWORD_LEN + 1];
+    let mut packed = Vec::with_capacity(KEYWORDS.len());
+    for (len, mut g) in groups.into_iter().enumerate() {
+        g.sort_unstable();
+        by_len[len] = (packed.len() as u16, (packed.len() + g.len()) as u16);
+        packed.extend(g);
+    }
+    KeywordTable { by_len, packed }
+}
+
+static KEYWORD_TABLE: std::sync::OnceLock<KeywordTable> = std::sync::OnceLock::new();
+
 /// Check whether `word` is a SQL keyword (case-insensitive).
-/// Allocation-free: the uppercase fold happens byte-by-byte during the
-/// binary-search comparison (this runs once per word token lexed).
+///
+/// This is the hottest classification in the lexer (once per word token),
+/// so it compares whole machine words instead of bytes: candidates are
+/// pre-grouped by length and the uppercased word is packed into three
+/// `u64` lanes, making each binary-search probe three integer compares.
+/// Allocation-free after the first call builds the table.
 pub fn is_keyword(word: &str) -> bool {
-    use std::cmp::Ordering;
-    KEYWORDS
-        .binary_search_by(|k| {
-            let mut kb = k.bytes();
-            let mut wb = word.bytes().map(|b| b.to_ascii_uppercase());
-            loop {
-                match (kb.next(), wb.next()) {
-                    (None, None) => return Ordering::Equal,
-                    (None, Some(_)) => return Ordering::Less,
-                    (Some(_), None) => return Ordering::Greater,
-                    (Some(a), Some(b)) => match a.cmp(&b) {
-                        Ordering::Equal => continue,
-                        o => return o,
-                    },
-                }
-            }
-        })
-        .is_ok()
+    let len = word.len();
+    if !(2..=MAX_KEYWORD_LEN).contains(&len) {
+        return false;
+    }
+    let table = KEYWORD_TABLE.get_or_init(build_keyword_table);
+    let (lo, hi) = table.by_len[len];
+    if lo == hi {
+        return false;
+    }
+    table.packed[lo as usize..hi as usize].binary_search(&pack_upper(word)).is_ok()
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 use sqlcheck_parser::lexer::tokenize;
 use sqlcheck_parser::parser::{parse, parse_one};
 use sqlcheck_parser::render::ToSql;
+use sqlcheck_parser::splitter::{split_deduped, split_spanned, split_stream, split_stream_parallel};
 
 /// Deterministic xorshift64* generator for test-case synthesis.
 struct Rng(u64);
@@ -132,6 +133,119 @@ fn statement_tag_is_always_defined() {
         let sql = format!("{kw} {rest}");
         let p = parse_one(&sql);
         let _ = p.stmt.tag();
+    }
+}
+
+/// Build a random SQL-ish script stressing every construct that can hide
+/// a `;` (string literals, line/block comments, dollar quotes, bracket
+/// and quoted identifiers, DB-API parameters), plus empty statements and
+/// an optional unterminated trailing statement.
+fn random_script(rng: &mut Rng) -> String {
+    const FRAGMENTS: &[&str] = &[
+        "SELECT * FROM t WHERE a = 1",
+        "SELECT 'a;b' FROM t",
+        "SELECT 1 -- c;not a split\n, 2",
+        "SELECT /* b;lock /* nested; */ */ x FROM y",
+        "INSERT INTO t VALUES ($tag$v;1$tag$, 2)",
+        "SELECT [col;umn] FROM \"ta;ble\"",
+        "UPDATE `w;eird` SET a = %(pa;ram)s",
+        "SELECT \";\"",
+        "select a  ,  b from T where A in (1,2,3)",
+        "",
+        "   ",
+        "-- just a comment",
+        "DELETE FROM t WHERE x = :named",
+        "SELECT $$;$$",
+    ];
+    let n = rng.below(12);
+    let mut script = String::new();
+    for _ in 0..n {
+        if rng.below(8) == 0 {
+            // Raw fuzz between statements.
+            script.push_str(&rng.arbitrary_string(24));
+        } else {
+            script.push_str(FRAGMENTS[rng.below(FRAGMENTS.len())]);
+        }
+        script.push(';');
+        if rng.below(3) == 0 {
+            script.push('\n');
+        }
+    }
+    match rng.below(4) {
+        0 => script.push_str("SELECT 'trailing unterminated"),
+        1 => script.push_str("SELECT trailing_no_semi FROM t"),
+        2 => script.push_str(&rng.arbitrary_string(16)),
+        _ => {}
+    }
+    script
+}
+
+/// The fused streaming splitter must emit exactly the statements of the
+/// legacy two-pass `split_spanned` reference — same spans, same content
+/// hashes, same template fingerprints, and identical materialised token
+/// streams — on randomized scripts full of semicolon decoys.
+#[test]
+fn fused_split_equals_legacy_split_on_random_scripts() {
+    let mut rng = Rng::new(0x5B11);
+    for case in 0..CASES {
+        let script = random_script(&mut rng);
+        let fused = split_stream(&script);
+        let legacy = split_spanned(&script);
+        assert_eq!(fused.len(), legacy.len(), "case {case}: count on {script:?}");
+        for (f, l) in fused.iter().zip(&legacy) {
+            assert_eq!(f.span, l.span, "case {case}: span on {script:?}");
+            assert_eq!(f.content_hash, l.content_hash, "case {case}: hash on {script:?}");
+            assert_eq!(
+                f.fingerprint,
+                l.fingerprint(&script),
+                "case {case}: fingerprint on {script:?}"
+            );
+            assert_eq!(
+                f.materialize(&script).tokens,
+                l.materialize(&script).tokens,
+                "case {case}: materialised tokens on {script:?}"
+            );
+        }
+    }
+}
+
+/// Chunk-parallel splitting must be byte-identical to the sequential
+/// fused pass for every thread count, on arbitrary input.
+#[test]
+fn parallel_split_is_identical_across_thread_counts() {
+    let mut rng = Rng::new(0xC4A9);
+    for case in 0..CASES / 2 {
+        let script = random_script(&mut rng);
+        let sequential = split_stream(&script);
+        for threads in [2, 3, 7] {
+            assert_eq!(
+                split_stream_parallel(&script, threads),
+                sequential,
+                "case {case}: {threads} thread(s) diverged on {script:?}"
+            );
+        }
+    }
+}
+
+/// Splitter-level dedup must preserve the occurrence sequence exactly:
+/// mapping every occurrence back through its unique slot reproduces the
+/// undeduplicated stream's spans and hashes.
+#[test]
+fn deduped_split_round_trips_on_random_scripts() {
+    let mut rng = Rng::new(0xDED0);
+    for case in 0..CASES / 2 {
+        let script = random_script(&mut rng);
+        let full = split_stream(&script);
+        for threads in [1, 4] {
+            let d = split_deduped(&script, threads);
+            assert_eq!(d.occurrences.len(), full.len(), "case {case}");
+            for ((slot, span), s) in d.occurrences.iter().zip(&full) {
+                assert_eq!(*span, s.span, "case {case}: occurrence span");
+                let u = &d.uniques[*slot as usize];
+                assert_eq!(u.content_hash, s.content_hash, "case {case}: unique hash");
+                assert_eq!(u.fingerprint, s.fingerprint, "case {case}: unique fingerprint");
+            }
+        }
     }
 }
 
