@@ -80,11 +80,67 @@ impl ThroughputRow {
 /// instantiated with fixed literals, mirroring an application that
 /// re-issues the same prepared statements throughout its log.
 pub fn workload_script(statements: usize, templates: usize, seed: u64) -> String {
+    // Each template gets its own table so fingerprints stay distinct
+    // (literals fold to `?`, so varying only literals would collapse
+    // the pool onto the eight statement shapes).
+    let pool = workload_pool(templates);
+    let mut rng = SmallRng::new(seed);
+    let mut script = String::with_capacity(statements * 48);
+    for _ in 0..statements {
+        script.push_str(&pool[rng.gen_range(pool.len())]);
+        script.push_str(";\n");
+    }
+    script
+}
+
+/// Deterministically generate a **trigger-heavy** workload: the plain
+/// template pool of [`workload_script`] interleaved with compound
+/// `CREATE TRIGGER … BEGIN … END` DDL (about one statement in six), the
+/// shape of a real schema dump. Each trigger is ONE statement whose body
+/// semicolons must survive splitting — the workload exercises the
+/// splitter's block-depth state machine at scale and measures its
+/// overhead against the plain shape.
+pub fn trigger_workload_script(statements: usize, templates: usize, seed: u64) -> String {
     let mut pool: Vec<String> = Vec::with_capacity(templates);
     for k in 0..templates {
-        // Each template gets its own table so fingerprints stay distinct
-        // (literals fold to `?`, so varying only literals would collapse
-        // the pool onto the eight statement shapes).
+        pool.push(match k % 3 {
+            0 => format!(
+                "CREATE TRIGGER trg{k} AFTER INSERT ON app_t{k} FOR EACH ROW BEGIN \
+                 UPDATE app_u{k} SET c0 = c0 + 1; \
+                 DELETE FROM app_v{k} WHERE c0 = {k}; END"
+            ),
+            1 => format!(
+                "CREATE TRIGGER chk{k} BEFORE UPDATE ON app_t{k} FOR EACH ROW BEGIN \
+                 IF NEW.c0 > {k} THEN INSERT INTO app_log{k} VALUES ({k}); END IF; \
+                 SELECT CASE WHEN NEW.c1 THEN 1 ELSE 0 END; END"
+            ),
+            _ => format!(
+                "CREATE PROCEDURE proc{k}() BEGIN \
+                 INSERT INTO app_log{k} VALUES ({k}, 'p'); \
+                 UPDATE app_t{k} SET c1 = 'done' WHERE c0 = {k}; END"
+            ),
+        });
+    }
+    let trigger_pool = pool;
+    let plain_pool = workload_pool(templates);
+    let mut rng = SmallRng::new(seed);
+    let mut script = String::with_capacity(statements * 72);
+    for i in 0..statements {
+        if i % 6 == 0 {
+            script.push_str(&trigger_pool[rng.gen_range(trigger_pool.len())]);
+        } else {
+            script.push_str(&plain_pool[rng.gen_range(plain_pool.len())]);
+        }
+        script.push_str(";\n");
+    }
+    script
+}
+
+/// The plain statement pool of [`workload_script`], reusable by other
+/// workload shapes.
+fn workload_pool(templates: usize) -> Vec<String> {
+    let mut pool: Vec<String> = Vec::with_capacity(templates);
+    for k in 0..templates {
         let t = k;
         pool.push(match k % 8 {
             0 => format!("SELECT * FROM app_t{t} WHERE c0 = {k}"),
@@ -100,13 +156,7 @@ pub fn workload_script(statements: usize, templates: usize, seed: u64) -> String
             _ => format!("DELETE FROM app_t{t} WHERE c0 = {k}"),
         });
     }
-    let mut rng = SmallRng::new(seed);
-    let mut script = String::with_capacity(statements * 48);
-    for _ in 0..statements {
-        script.push_str(&pool[rng.gen_range(pool.len())]);
-        script.push_str(";\n");
-    }
-    script
+    pool
 }
 
 /// Render a report's detections for byte-identity comparison.

@@ -243,10 +243,12 @@ impl Detector {
         for (&gi, dets) in misses.iter().zip(fresh) {
             if let Some(c) = cache.as_deref_mut() {
                 // Canonicalize before storing: statement loci are zeroed
-                // and spans cleared so the entry replays correctly at any
-                // occurrence index on any later call. Each entry records
-                // the tables its statement references, for per-table
-                // invalidation across DDL edits.
+                // so the entry replays correctly at any occurrence index
+                // on any later call. Spans at this stage are statement-
+                // relative (body sub-statement ranges) and therefore
+                // already occurrence-independent — they are kept as-is.
+                // Each entry records the tables its statement references,
+                // for per-table invalidation across DDL edits.
                 let canonical: Vec<Detection> = dets
                     .iter()
                     .map(|d| {
@@ -254,7 +256,6 @@ impl Detector {
                         if let Locus::Statement { index } = &mut d.locus {
                             *index = 0;
                         }
-                        d.span = None;
                         d
                     })
                     .collect();

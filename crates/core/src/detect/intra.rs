@@ -8,16 +8,47 @@
 use crate::anti_pattern::AntiPatternKind;
 use crate::context::{AnalyzedStatement, Context};
 use crate::detect::DetectionConfig;
-use crate::report::{Detection, DetectionSource, Locus};
+use crate::report::{Detection, DetectionSource, Locus, Span};
+use sqlcheck_parser::annotate::{annotate, Annotations};
 use sqlcheck_parser::ast::*;
 
-/// Run every intra-query rule against one statement.
+/// Run every intra-query rule against one statement, fanning into the
+/// body sub-statements of compound DDL (`CREATE TRIGGER` / `CREATE
+/// PROCEDURE` / `CREATE FUNCTION`): a `SELECT *` or `ORDER BY RAND()`
+/// inside a trigger body is still an anti-pattern. Body detections carry
+/// the enclosing statement's locus plus a **statement-relative** span
+/// pointing into the body (`attach_spans` rebases it onto each
+/// occurrence's source range).
 pub fn detect_statement(
     idx: usize,
     stmt: &AnalyzedStatement,
     ctx: &Context,
     cfg: &DetectionConfig,
     use_context: bool,
+) -> Vec<Detection> {
+    let mut out = detect_one(idx, &stmt.parsed.stmt, &stmt.ann, ctx, cfg, use_context, None);
+    for b in stmt.parsed.stmt.body() {
+        // The sub-statement gets its own annotation digest, so per-
+        // statement rules (pattern predicates, wildcard, …) see only the
+        // body statement — not the aggregated trigger digest. Computed
+        // here (once per unique text on the batch path) rather than
+        // stored in the AST.
+        let sub_ann = annotate(&b.stmt);
+        out.extend(detect_one(idx, &b.stmt, &sub_ann, ctx, cfg, use_context, Some(b.span)));
+    }
+    out
+}
+
+/// The per-statement rule set. `body_span` is `Some` when `stmt` is a
+/// body sub-statement of a compound statement at index `idx`.
+fn detect_one(
+    idx: usize,
+    stmt: &Statement,
+    ann: &Annotations,
+    ctx: &Context,
+    cfg: &DetectionConfig,
+    use_context: bool,
+    body_span: Option<Span>,
 ) -> Vec<Detection> {
     let mut out = Vec::new();
     let mut push = |kind: AntiPatternKind, message: String| {
@@ -26,13 +57,13 @@ pub fn detect_statement(
             locus: Locus::Statement { index: idx },
             message: message.into(),
             source: DetectionSource::IntraQuery,
-            span: None,
+            span: body_span,
         });
     };
 
-    match &stmt.parsed.stmt {
+    match stmt {
         Statement::Select(sel) => {
-            select_rules(sel, stmt, ctx, cfg, use_context, &mut push);
+            select_rules(sel, ann, ctx, cfg, use_context, &mut push);
         }
         Statement::Insert(ins) => insert_rules(ins, &mut push),
         Statement::Update(upd) => update_rules(upd, ctx, use_context, &mut push),
@@ -49,7 +80,7 @@ pub fn detect_statement(
 
 fn select_rules(
     sel: &Select,
-    stmt: &AnalyzedStatement,
+    ann: &Annotations,
     ctx: &Context,
     cfg: &DetectionConfig,
     use_context: bool,
@@ -105,17 +136,17 @@ fn select_rules(
     }
 
     // Pattern matching: leading-wildcard LIKE or regex operators.
-    pattern_rules(stmt, push);
+    pattern_rules(ann, push);
 
     // Multi-valued attribute heuristics in queries (Example 1 / §4.1's
     // pattern rule `(id\s+regexp)|(id\s+like)`).
-    mva_query_rule(stmt, ctx, use_context, push);
+    mva_query_rule(ann, ctx, use_context, push);
 
     // Concatenate Nulls: `||` over possibly-NULL columns.
-    concat_nulls_rule(stmt, ctx, use_context, push);
+    concat_nulls_rule(sel, ann, ctx, use_context, push);
 
     // Readable password in predicates (`WHERE password = '...'`).
-    let pw_compared = stmt.ann.predicates.iter().any(|p| is_password_column(&p.column));
+    let pw_compared = ann.predicates.iter().any(|p| is_password_column(&p.column));
     if pw_compared {
         push(
             AntiPatternKind::ReadablePassword,
@@ -168,16 +199,16 @@ fn resolve_alias(sel: &Select, q: &str) -> String {
     q.to_string()
 }
 
-fn pattern_rules(stmt: &AnalyzedStatement, push: &mut impl FnMut(AntiPatternKind, String)) {
+fn pattern_rules(ann: &Annotations, push: &mut impl FnMut(AntiPatternKind, String)) {
     use sqlcheck_parser::ast::LikeOp;
     let mut worst: Option<String> = None;
-    for op in &stmt.ann.pattern_ops {
+    for op in &ann.pattern_ops {
         if matches!(op, LikeOp::Regexp | LikeOp::Similar | LikeOp::Glob) {
             worst = Some(format!("{} forces a full scan with per-row regex evaluation", op.sql()));
         }
     }
     if worst.is_none() {
-        for pat in &stmt.ann.compared_strings {
+        for pat in &ann.compared_strings {
             if pat.starts_with('%') || pat.starts_with('_') || pat.contains("[[:") {
                 worst = Some(format!(
                     "LIKE '{pat}' cannot use an index (leading wildcard)"
@@ -192,7 +223,7 @@ fn pattern_rules(stmt: &AnalyzedStatement, push: &mut impl FnMut(AntiPatternKind
 }
 
 fn mva_query_rule(
-    stmt: &AnalyzedStatement,
+    ann: &Annotations,
     ctx: &Context,
     use_context: bool,
     push: &mut impl FnMut(AntiPatternKind, String),
@@ -200,7 +231,7 @@ fn mva_query_rule(
     // Pattern predicates applied to id-list-looking columns, or patterns
     // carrying word-boundary markers, suggest a delimiter-separated list.
     let mut evidence: Option<String> = None;
-    for p in &stmt.ann.predicates {
+    for p in &ann.predicates {
         let is_pattern =
             matches!(p.op.as_str(), "LIKE" | "ILIKE" | "REGEXP" | "GLOB" | "SIMILAR TO");
         if is_pattern && id_list_column(&p.column) {
@@ -210,13 +241,13 @@ fn mva_query_rule(
             ));
         }
     }
-    for s in &stmt.ann.compared_strings {
+    for s in &ann.compared_strings {
         if s.contains("[[:<:]]") || s.contains("[[:>:]]") {
             evidence =
                 Some(format!("word-boundary pattern '{s}' searches inside a value list"));
         }
     }
-    for jc in &stmt.ann.join_conditions {
+    for jc in &ann.join_conditions {
         if jc.is_pattern {
             evidence = Some(format!(
                 "expression join on '{}' via LIKE — joining against a value list",
@@ -228,12 +259,11 @@ fn mva_query_rule(
         // Contextual suppression: address-like columns legitimately contain
         // commas (the paper's stated false-positive source).
         if use_context {
-            let suspicious_cols: Vec<&str> = stmt
-                .ann
+            let suspicious_cols: Vec<&str> = ann
                 .predicates
                 .iter()
                 .map(|p| p.column.as_str())
-                .chain(stmt.ann.join_conditions.iter().map(|j| j.left.1.as_str()))
+                .chain(ann.join_conditions.iter().map(|j| j.left.1.as_str()))
                 .collect();
             if suspicious_cols.iter().all(|c| address_like(c)) && !suspicious_cols.is_empty() {
                 return;
@@ -245,7 +275,8 @@ fn mva_query_rule(
 }
 
 fn concat_nulls_rule(
-    stmt: &AnalyzedStatement,
+    sel: &Select,
+    ann: &Annotations,
     ctx: &Context,
     use_context: bool,
     push: &mut impl FnMut(AntiPatternKind, String),
@@ -270,19 +301,17 @@ fn concat_nulls_rule(
             }
         });
     };
-    if let Statement::Select(sel) = &stmt.parsed.stmt {
-        for item in &sel.items {
-            if let SelectItem::Expr { expr, .. } = item {
-                visit(expr);
-            }
+    for item in &sel.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            visit(expr);
         }
-        if let Some(w) = &sel.where_clause {
-            visit(w);
-        }
-        for j in &sel.joins {
-            if let Some(on) = &j.on {
-                visit(on);
-            }
+    }
+    if let Some(w) = &sel.where_clause {
+        visit(w);
+    }
+    for j in &sel.joins {
+        if let Some(on) = &j.on {
+            visit(on);
         }
     }
     if concat_cols.is_empty() {
@@ -292,14 +321,8 @@ fn concat_nulls_rule(
         // Suppress when every concatenated column is provably NOT NULL.
         let all_not_null = concat_cols.iter().all(|(q, c)| {
             let table = match q {
-                Some(q) => {
-                    if let Statement::Select(sel) = &stmt.parsed.stmt {
-                        resolve_alias(sel, q)
-                    } else {
-                        q.clone()
-                    }
-                }
-                None => stmt.ann.tables.first().cloned().unwrap_or_default(),
+                Some(q) => resolve_alias(sel, q),
+                None => ann.tables.first().cloned().unwrap_or_default(),
             };
             ctx.schema
                 .table(&table)

@@ -99,22 +99,55 @@ impl Detector {
 /// sequential and the batch path, after fan-out and dedup: duplicate
 /// texts share one analysis result, but each fanned-out detection's locus
 /// index is per-occurrence, so the span lookup lands on the right copy.
+///
+/// Before this step a detection's span, when present, is **relative to
+/// its statement's start** (a body sub-statement of compound DDL);
+/// relative spans are occurrence-independent, so they survive fan-out and
+/// the incremental cache unchanged, and are rebased here onto the
+/// occurrence's absolute source range. An absent span means the
+/// detection covers the whole statement.
 pub(crate) fn attach_spans(detections: &mut [Detection], ctx: &Context) {
     for d in detections {
         if let Locus::Statement { index } = d.locus {
-            d.span = ctx.statements.get(index).map(|s| s.span);
+            d.span = ctx.statements.get(index).map(|s| match d.span {
+                Some(rel) => {
+                    crate::report::Span::new(s.span.start + rel.start, s.span.start + rel.end)
+                }
+                None => s.span,
+            });
         }
     }
 }
 
-/// Drop later detections that duplicate an earlier `(kind, locus)` pair —
-/// the same AP found by several phases is reported once, crediting the
-/// earliest (most specific) phase. Runs in O(n) via a hash set (the old
+/// Fill missing spans on externally-produced detections (custom
+/// registry rules) with their statement occurrence's span. Unlike
+/// [`attach_spans`], a span such a rule set itself is treated as
+/// **absolute** and left untouched — the statement-relative convention
+/// is internal to the intra-query body fan-out.
+pub(crate) fn attach_default_spans(detections: &mut [Detection], ctx: &Context) {
+    for d in detections {
+        if d.span.is_none() {
+            if let Locus::Statement { index } = d.locus {
+                d.span = ctx.statements.get(index).map(|s| s.span);
+            }
+        }
+    }
+}
+
+/// Drop later detections that duplicate an earlier `(kind, locus, span)`
+/// triple — the same AP found by several phases is reported once,
+/// crediting the earliest (most specific) phase. The (still relative)
+/// span participates so that the same AP kind at two different body
+/// sub-statements of one compound statement is reported per
+/// sub-statement, not collapsed. Runs in O(n) via a hash set (the old
 /// `Vec::contains` scan was quadratic and dominated large workloads).
 pub(crate) fn dedup(detections: &mut Vec<Detection>) {
-    let mut seen: HashSet<(crate::anti_pattern::AntiPatternKind, Locus)> =
-        HashSet::with_capacity(detections.len());
-    detections.retain(|d| seen.insert((d.kind, d.locus.clone())));
+    let mut seen: HashSet<(
+        crate::anti_pattern::AntiPatternKind,
+        Locus,
+        Option<crate::report::Span>,
+    )> = HashSet::with_capacity(detections.len());
+    detections.retain(|d| seen.insert((d.kind, d.locus.clone(), d.span)));
 }
 
 #[cfg(test)]

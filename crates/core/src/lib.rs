@@ -289,8 +289,12 @@ impl SqlCheck {
         }
         let context = builder.build();
         let mut report = self.detector.detect(&context);
-        report.detections.extend(self.registry.detect_all(&context));
-        detect::attach_spans(&mut report.detections, &context);
+        // Custom-rule detections get their spans attached separately: the
+        // detector's own detections already carry absolute spans (and a
+        // span a custom rule set itself is absolute and kept as-is).
+        let mut extra = self.registry.detect_all(&context);
+        detect::attach_default_spans(&mut extra, &context);
+        report.detections.extend(extra);
         let ranked = self.ranker.rank(&report);
         let ordered: Vec<Detection> =
             ranked.iter().map(|r| r.detection.clone()).collect();
@@ -320,8 +324,9 @@ impl SqlCheck {
         let (context, fe_stats) = builder.build_with_stats();
         let batch = self.detector.detect_batch_with(&context, opts, self.cache.as_mut());
         let mut report = batch.report;
-        report.detections.extend(self.registry.detect_all(&context));
-        detect::attach_spans(&mut report.detections, &context);
+        let mut extra = self.registry.detect_all(&context);
+        detect::attach_default_spans(&mut extra, &context);
+        report.detections.extend(extra);
         let ranked = self.ranker.rank(&report);
         let ordered: Vec<Detection> =
             ranked.iter().map(|r| r.detection.clone()).collect();

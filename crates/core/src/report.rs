@@ -60,10 +60,14 @@ pub struct Detection {
     pub message: Arc<str>,
     /// Which analysis produced it (used for the intra/inter/data ablation).
     pub source: DetectionSource,
-    /// Source byte range of the statement this detection anchors to,
-    /// when the locus is a statement from an analysed script. Spans are
-    /// **per occurrence**: duplicate statement texts share one parse tree
-    /// but each detection points at its own location in the source.
+    /// Source byte range this detection anchors to, when the locus is a
+    /// statement from an analysed script: the whole statement, or — for
+    /// a finding inside a compound statement's `BEGIN…END` body — the
+    /// body sub-statement. Spans are **per occurrence**: duplicate
+    /// statement texts share one parse tree but each detection points at
+    /// its own location in the source. (Internally, intra-query body
+    /// detections hold statement-relative spans until span attachment
+    /// rebases them; reported spans are always absolute.)
     pub span: Option<Span>,
 }
 

@@ -141,6 +141,13 @@ pub fn annotate(stmt: &Statement) -> Annotations {
         Statement::CreateIndex(i) => {
             a.tables.push(i.table.name().to_string());
         }
+        Statement::CreateTrigger(t) => {
+            a.tables.push(t.table.name().to_string());
+            annotate_body(&t.body, &mut a);
+        }
+        Statement::CreateRoutine(r) => {
+            annotate_body(&r.body, &mut a);
+        }
         Statement::AlterTable(t) => {
             a.tables.push(t.table.name().to_string());
         }
@@ -150,6 +157,27 @@ pub fn annotate(stmt: &Statement) -> Annotations {
         Statement::Other(_) => {}
     }
     a
+}
+
+/// Fold the annotations of a compound statement's body sub-statements
+/// into the enclosing statement's digest: a trigger whose body writes
+/// `u` and deletes from `v` *references* `u` and `v` — the per-table
+/// incremental-cache invalidation and the inter-query rules depend on
+/// body tables being surfaced here.
+fn annotate_body(body: &[BodyStatement], a: &mut Annotations) {
+    for b in body {
+        let sub = annotate(&b.stmt);
+        a.tables.extend(sub.tables);
+        a.columns.extend(sub.columns);
+        a.predicates.extend(sub.predicates);
+        a.join_conditions.extend(sub.join_conditions);
+        a.functions.extend(sub.functions);
+        a.pattern_ops.extend(sub.pattern_ops);
+        a.join_count += sub.join_count;
+        a.distinct |= sub.distinct;
+        a.wildcard |= sub.wildcard;
+        a.compared_strings.extend(sub.compared_strings);
+    }
 }
 
 fn annotate_select(s: &Select, a: &mut Annotations) {
@@ -400,6 +428,30 @@ mod tests {
         assert!(ops.contains(&"BETWEEN"));
         assert!(ops.contains(&"IS NULL"));
         assert!(ops.contains(&"LIKE"));
+    }
+
+    #[test]
+    fn trigger_body_tables_are_surfaced() {
+        // The acceptance repro: the trigger's annotations must include
+        // both body-referenced tables (u, v) plus the attached table (t),
+        // so per-table cache invalidation evicts on a DDL edit to `v`.
+        let a = ann(
+            "CREATE TRIGGER trg AFTER INSERT ON t FOR EACH ROW \
+             BEGIN UPDATE u SET a = 1; DELETE FROM v; END",
+        );
+        assert_eq!(a.tables, vec!["t", "u", "v"]);
+        assert!(a.columns.iter().any(|c| c.role == ColumnRole::Written && c.column == "a"));
+    }
+
+    #[test]
+    fn dollar_function_body_tables_are_surfaced() {
+        let a = ann(
+            "CREATE FUNCTION bump() RETURNS trigger AS $fn$ \
+             BEGIN UPDATE counters SET n = n + 1; DELETE FROM stale WHERE ts < now(); END \
+             $fn$ LANGUAGE plpgsql",
+        );
+        assert_eq!(a.tables, vec!["counters", "stale"]);
+        assert!(a.functions.contains(&"NOW".to_string()));
     }
 
     #[test]

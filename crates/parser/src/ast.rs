@@ -7,7 +7,7 @@
 //! detection rules need structure where available but must never reject a
 //! statement from an unsupported dialect.
 
-use crate::token::Token;
+use crate::token::{Span, Token};
 
 /// A parsed statement together with the raw tokens it came from.
 #[derive(Debug, Clone)]
@@ -33,6 +33,12 @@ pub enum Statement {
     CreateTable(CreateTable),
     /// `CREATE [UNIQUE] INDEX ...`
     CreateIndex(CreateIndex),
+    /// `CREATE TRIGGER ... BEGIN ... END` (or Postgres `EXECUTE
+    /// FUNCTION` form) — the body is parsed sub-statements.
+    CreateTrigger(CreateTrigger),
+    /// `CREATE PROCEDURE|FUNCTION ...` with a `BEGIN…END` or
+    /// dollar-quoted body of parsed sub-statements.
+    CreateRoutine(CreateRoutine),
     /// `ALTER TABLE ...`
     AlterTable(AlterTable),
     /// `SELECT ...` (including set operations, loosely)
@@ -55,6 +61,11 @@ impl Statement {
         match self {
             Statement::CreateTable(_) => "CREATE TABLE",
             Statement::CreateIndex(_) => "CREATE INDEX",
+            Statement::CreateTrigger(_) => "CREATE TRIGGER",
+            Statement::CreateRoutine(r) => match r.kind {
+                RoutineKind::Procedure => "CREATE PROCEDURE",
+                RoutineKind::Function => "CREATE FUNCTION",
+            },
             Statement::AlterTable(_) => "ALTER TABLE",
             Statement::Select(_) => "SELECT",
             Statement::Insert(_) => "INSERT",
@@ -71,9 +82,21 @@ impl Statement {
             self,
             Statement::CreateTable(_)
                 | Statement::CreateIndex(_)
+                | Statement::CreateTrigger(_)
+                | Statement::CreateRoutine(_)
                 | Statement::AlterTable(_)
                 | Statement::Drop(_)
         )
+    }
+
+    /// The parsed body sub-statements, when this is compound DDL
+    /// (trigger/procedure/function); empty otherwise.
+    pub fn body(&self) -> &[BodyStatement] {
+        match self {
+            Statement::CreateTrigger(t) => &t.body,
+            Statement::CreateRoutine(r) => &r.body,
+            _ => &[],
+        }
     }
 }
 
@@ -317,6 +340,69 @@ impl CreateTable {
     pub fn column(&self, name: &str) -> Option<&ColumnDef> {
         self.columns.iter().find(|c| c.name.eq_ignore_ascii_case(name))
     }
+}
+
+/// One parsed statement inside a compound-statement body (`BEGIN … END`
+/// block or dollar-quoted routine body).
+#[derive(Debug, Clone)]
+pub struct BodyStatement {
+    /// The parsed sub-statement (recursively shaped; constructs the
+    /// parser cannot model become [`Statement::Other`], like any other
+    /// statement).
+    pub stmt: Statement,
+    /// Byte range of the sub-statement **relative to the enclosing
+    /// statement's start**. Relative spans are occurrence-independent:
+    /// duplicate texts share one parse tree, and a consumer rebases
+    /// against the occurrence's own span to point into the source.
+    pub span: Span,
+}
+
+/// `CREATE TRIGGER` statement with a parsed body.
+#[derive(Debug, Clone)]
+pub struct CreateTrigger {
+    /// Trigger name.
+    pub name: ObjectName,
+    /// `BEFORE` / `AFTER` / `INSTEAD OF`, uppercased, when present.
+    pub timing: Option<String>,
+    /// Triggering events (`INSERT`, `UPDATE`, `DELETE`, `TRUNCATE`),
+    /// uppercased.
+    pub events: Vec<String>,
+    /// The table the trigger is attached to (`ON <table>`).
+    pub table: ObjectName,
+    /// `FOR EACH ROW` present.
+    pub for_each_row: bool,
+    /// `WHEN <condition>` raw text, when present (SQLite/Postgres).
+    pub when: Option<String>,
+    /// Parsed body sub-statements (from `BEGIN…END`, or the single
+    /// `EXECUTE FUNCTION …` statement in the Postgres form).
+    pub body: Vec<BodyStatement>,
+}
+
+/// Which kind of routine a [`CreateRoutine`] declares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutineKind {
+    /// `CREATE PROCEDURE`
+    Procedure,
+    /// `CREATE FUNCTION`
+    Function,
+}
+
+/// `CREATE PROCEDURE` / `CREATE FUNCTION` statement with a parsed body.
+#[derive(Debug, Clone)]
+pub struct CreateRoutine {
+    /// Procedure or function.
+    pub kind: RoutineKind,
+    /// Routine name.
+    pub name: ObjectName,
+    /// Raw parameter-list text (inside the parentheses), when present.
+    pub params: Option<String>,
+    /// `LANGUAGE <name>`, when declared (Postgres).
+    pub language: Option<String>,
+    /// Parsed body sub-statements — from a `BEGIN…END` block, a
+    /// dollar-quoted PL/pgSQL or SQL body (the splitter-level lexer keeps
+    /// the body opaque; the parser re-lexes it here), or a single
+    /// statement body.
+    pub body: Vec<BodyStatement>,
 }
 
 /// `CREATE INDEX` statement.

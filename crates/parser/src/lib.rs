@@ -35,6 +35,7 @@
 
 pub mod annotate;
 pub mod ast;
+mod block;
 pub mod fingerprint;
 pub mod lexer;
 pub mod parser;

@@ -800,15 +800,334 @@ fn parse_create(cur: &mut Cursor) -> Option<Statement> {
     if !cur.eat_keyword("CREATE") {
         return None;
     }
+    let _ = cur.eat_keywords(&["OR", "REPLACE"]);
     let unique = cur.eat_keyword("UNIQUE");
     let _ = cur.eat_keyword("TEMP") || cur.eat_keyword("TEMPORARY");
+    // MySQL `DEFINER = user@host` (also quoted forms): skip up to the
+    // object kind — DEFINER only precedes routine-ish objects.
+    if cur.eat_name_if("DEFINER") {
+        let _ = cur.take_until(|t| {
+            t.is_keyword("TRIGGER") || t.is_keyword("PROCEDURE") || t.is_keyword("FUNCTION")
+        });
+    }
     if cur.eat_keyword("TABLE") {
         return parse_create_table(cur).map(Statement::CreateTable);
     }
     if cur.eat_keyword("INDEX") {
         return parse_create_index(cur, unique).map(Statement::CreateIndex);
     }
+    if cur.eat_keyword("TRIGGER") {
+        return parse_create_trigger(cur).map(Statement::CreateTrigger);
+    }
+    if cur.eat_keyword("PROCEDURE") {
+        return parse_create_routine(cur, RoutineKind::Procedure).map(Statement::CreateRoutine);
+    }
+    if cur.eat_keyword("FUNCTION") {
+        return parse_create_routine(cur, RoutineKind::Function).map(Statement::CreateRoutine);
+    }
     None
+}
+
+// ---------------------------------------------------------------------------
+// CREATE TRIGGER / PROCEDURE / FUNCTION (compound statements)
+// ---------------------------------------------------------------------------
+
+/// Base offset for body-statement spans: sub-statement spans are stored
+/// relative to the enclosing statement's first significant token, so they
+/// stay valid for every occurrence of a duplicated text.
+fn stmt_base(cur: &Cursor) -> usize {
+    cur.toks.first().map(|t| t.span.start).unwrap_or(0)
+}
+
+/// Parse one body piece (a token slice of a compound body) into
+/// [`BodyStatement`]s with statement-relative spans. Control-flow
+/// headers (`IF <cond> THEN`, `ELSEIF … THEN`, `ELSE`, `WHILE … DO`,
+/// `LOOP`, `REPEAT`) are stripped so the *executable* statement inside
+/// the construct surfaces — a `SELECT *` behind `IF … THEN` is still a
+/// statement detection rules must see — and nested `BEGIN…END` pieces
+/// recurse into their interior statements.
+fn push_body(out: &mut Vec<BodyStatement>, toks: &[Token], base: usize) {
+    let toks = strip_construct_header(toks);
+    if toks.is_empty() {
+        return;
+    }
+    if toks[0].is_keyword("BEGIN") {
+        // Nested block: flatten its interior statements (token spans are
+        // statement-absolute, so recursion keeps spans correct).
+        let mut cur = Cursor::new(&toks[1..]);
+        out.extend(collect_body(&mut cur, base, true));
+        return;
+    }
+    let start = toks[0].span.start.saturating_sub(base);
+    let end = toks[toks.len() - 1].span.end.saturating_sub(base);
+    out.push(BodyStatement { stmt: parse_tokens(toks), span: crate::token::Span::new(start, end) });
+}
+
+/// Strip leading control-flow construct headers from a body piece, so
+/// the piece parses as the executable statement it guards:
+///
+/// * `IF <cond> THEN stmt` / `ELSEIF <cond> THEN stmt` → `stmt`
+/// * `WHILE <cond> DO stmt` → `stmt`
+/// * `ELSE stmt` / `LOOP stmt` / `REPEAT stmt` → `stmt`
+/// * `END IF|LOOP|WHILE|REPEAT` and `UNTIL <cond> END REPEAT` → nothing
+///
+/// Headers nest (`IF a THEN IF b THEN stmt`), so stripping loops.
+/// `IF(` (the MySQL function) and `IF [NOT] EXISTS` never reach here as
+/// piece heads, and a headless piece is returned unchanged.
+fn strip_construct_header(mut toks: &[Token]) -> &[Token] {
+    loop {
+        let Some(first) = toks.first() else { return toks };
+        let word = |w: &str| first.is_keyword(w);
+        if word("IF") || word("ELSEIF") {
+            match find_marker(&toks[1..], "THEN") {
+                Some(i) => toks = &toks[i + 2..],
+                None => return toks, // no THEN: not a construct header
+            }
+        } else if word("WHILE") {
+            match find_marker(&toks[1..], "DO") {
+                Some(i) => toks = &toks[i + 2..],
+                None => return toks,
+            }
+        } else if word("ELSE") || word("LOOP") || word("REPEAT") || word("THEN") {
+            toks = &toks[1..];
+        } else if word("END")
+            && toks.get(1).map(|n| {
+                ["IF", "LOOP", "WHILE", "REPEAT"]
+                    .iter()
+                    .any(|w| n.text.eq_ignore_ascii_case(w))
+            }).unwrap_or(false)
+        {
+            return &[]; // `END IF;` pieces carry no statement
+        } else if first.text.eq_ignore_ascii_case("UNTIL") {
+            return &[]; // `UNTIL <cond> END REPEAT` carries no statement
+        } else {
+            return toks;
+        }
+    }
+}
+
+/// Index of the first `marker` word at paren/CASE depth 0 (the `THEN`
+/// of an `IF` condition or the `DO` of a `WHILE` — a `CASE … THEN …
+/// END` inside the condition must not end it).
+fn find_marker(toks: &[Token], marker: &str) -> Option<usize> {
+    let mut paren = 0i32;
+    let mut case = 0i32;
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+        } else if t.is_keyword("CASE") {
+            case += 1;
+        } else if t.is_keyword("END") {
+            case -= 1;
+        } else if paren == 0
+            && case == 0
+            && (t.kind == TokenKind::Keyword || t.kind == TokenKind::Ident)
+            && t.text.eq_ignore_ascii_case(marker)
+        {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// True when `t` closes a control-flow construct after `END` (`END IF`,
+/// `END LOOP`, `END WHILE`, `END REPEAT`).
+fn ends_construct(t: &Token) -> bool {
+    ["IF", "LOOP", "WHILE", "REPEAT"].iter().any(|w| {
+        (t.kind == TokenKind::Keyword || t.kind == TokenKind::Ident)
+            && t.text.eq_ignore_ascii_case(w)
+    })
+}
+
+/// Split the statements of a compound body, honouring nested
+/// `BEGIN…END` blocks and `CASE…END` expressions — the token-level twin
+/// of the splitter's block tracker (same `BEGIN`/`CASE`/`END` accounting
+/// and `END` lookahead; control-flow constructs are not depth-counted in
+/// either, their pieces are header-stripped by [`push_body`] instead).
+/// When `in_block` is true the cursor stands right after a `BEGIN` and
+/// parsing stops at (and consumes) the matching `END`; otherwise the
+/// whole remaining stream is body text (dollar-quoted `LANGUAGE sql`
+/// bodies).
+fn collect_body(cur: &mut Cursor, base: usize, in_block: bool) -> Vec<BodyStatement> {
+    let mut depth: u32 = u32::from(in_block);
+    let mut case_depth: u32 = 0;
+    let mut body = Vec::new();
+    let mut piece = cur.pos;
+    while let Some(t) = cur.peek() {
+        if t.is_keyword("BEGIN") {
+            depth += 1;
+        } else if t.is_keyword("CASE") {
+            case_depth += 1;
+        } else if t.is_keyword("END") {
+            if cur.peek_at(1).map(ends_construct).unwrap_or(false) {
+                cur.pos += 2; // END IF & friends: no depth change
+                continue;
+            }
+            if cur.peek_at(1).map(|n| n.is_keyword("CASE")).unwrap_or(false) {
+                case_depth = case_depth.saturating_sub(1);
+                cur.pos += 2;
+                continue;
+            }
+            if case_depth > 0 {
+                case_depth -= 1;
+            } else if depth > 0 {
+                depth -= 1;
+                if in_block && depth == 0 {
+                    push_body(&mut body, &cur.toks[piece..cur.pos], base);
+                    cur.pos += 1; // consume the closing END
+                    return body;
+                }
+            }
+        } else if t.is_punct(';') && case_depth == 0 && depth == u32::from(in_block) {
+            push_body(&mut body, &cur.toks[piece..cur.pos], base);
+            cur.pos += 1;
+            piece = cur.pos;
+            continue;
+        }
+        cur.pos += 1;
+    }
+    // Unterminated block (or plain script body): keep the trailing piece.
+    push_body(&mut body, &cur.toks[piece..cur.pos], base);
+    body
+}
+
+fn parse_create_trigger(cur: &mut Cursor) -> Option<CreateTrigger> {
+    let base = stmt_base(cur);
+    let _ = cur.eat_keywords(&["IF", "NOT", "EXISTS"]);
+    let name = cur.eat_object_name()?;
+    let timing = if cur.eat_keyword("BEFORE") {
+        Some("BEFORE".to_string())
+    } else if cur.eat_keyword("AFTER") {
+        Some("AFTER".to_string())
+    } else if cur.eat_name_if("INSTEAD") {
+        let _ = cur.eat_name_if("OF");
+        Some("INSTEAD OF".to_string())
+    } else {
+        None
+    };
+    // Events up to ON: `INSERT OR UPDATE OF col, col2 OR DELETE` etc.
+    let ev_toks = cur.take_until(|t| t.is_keyword("ON"));
+    let events: Vec<String> = ev_toks
+        .iter()
+        .filter(|t| {
+            t.is_keyword("INSERT")
+                || t.is_keyword("UPDATE")
+                || t.is_keyword("DELETE")
+                || t.is_keyword("TRUNCATE")
+        })
+        .map(|t| t.upper())
+        .collect();
+    if !cur.eat_keyword("ON") {
+        return None;
+    }
+    let table = cur.eat_object_name()?;
+    let for_each_row = cur.eat_keywords(&["FOR", "EACH", "ROW"]);
+    if !for_each_row {
+        let _ = cur.eat_keywords(&["FOR", "EACH", "STATEMENT"]);
+    }
+    let when = if cur.eat_keyword("WHEN") {
+        let toks = cur
+            .take_until(|t| t.is_keyword("BEGIN") || t.text.eq_ignore_ascii_case("EXECUTE"));
+        Some(join_tokens(toks))
+    } else {
+        None
+    };
+    let mut body = Vec::new();
+    if cur.eat_keyword("BEGIN") {
+        body = collect_body(cur, base, true);
+    } else if !cur.at_end() {
+        // Postgres form: `EXECUTE FUNCTION f(...)` — a one-statement body.
+        push_body(&mut body, &cur.toks[cur.pos..], base);
+        cur.pos = cur.toks.len();
+    }
+    Some(CreateTrigger { name, timing, events, table, for_each_row, when, body })
+}
+
+fn parse_create_routine(cur: &mut Cursor, kind: RoutineKind) -> Option<CreateRoutine> {
+    let base = stmt_base(cur);
+    let _ = cur.eat_keywords(&["IF", "NOT", "EXISTS"]);
+    let name = cur.eat_object_name()?;
+    let params = cur.take_paren_group().map(join_tokens);
+    let mut language = None;
+    let mut body = Vec::new();
+    // Scan header characteristics (RETURNS type, DETERMINISTIC, AS, …)
+    // until the body: a BEGIN…END block, a dollar-quoted string, or a
+    // bare single-statement body (MySQL `CREATE PROCEDURE p() SELECT 1`).
+    while let Some(t) = cur.peek() {
+        if t.is_keyword("BEGIN") {
+            cur.pos += 1;
+            body = collect_body(cur, base, true);
+            continue;
+        }
+        if t.kind == TokenKind::StringLit && t.text.starts_with('$') && body.is_empty() {
+            body = parse_dollar_body(t, base);
+            cur.pos += 1;
+            continue;
+        }
+        if t.is_keyword("LANGUAGE") {
+            cur.pos += 1;
+            language = cur.eat_name();
+            continue;
+        }
+        if body.is_empty()
+            && (t.is_keyword("SELECT")
+                || t.is_keyword("INSERT")
+                || t.is_keyword("UPDATE")
+                || t.is_keyword("DELETE")
+                || t.is_keyword("SET")
+                || t.is_keyword("RETURN"))
+        {
+            push_body(&mut body, &cur.toks[cur.pos..], base);
+            cur.pos = cur.toks.len();
+            break;
+        }
+        cur.pos += 1;
+    }
+    Some(CreateRoutine { kind, name, params, language, body })
+}
+
+/// Re-lex and parse a dollar-quoted routine body (`$tag$ … $tag$`): the
+/// splitter keeps the body opaque (one string token), so compound
+/// statements inside it are parsed here, with spans rebased into the
+/// enclosing statement.
+fn parse_dollar_body(tok: &Token, base: usize) -> Vec<BodyStatement> {
+    let text = tok.text.as_str();
+    let tag_len = match text[1..].find('$') {
+        Some(i) => i + 2,
+        None => return Vec::new(),
+    };
+    let inner_end = if text.len() >= 2 * tag_len && text.ends_with(&text[..tag_len]) {
+        text.len() - tag_len
+    } else {
+        text.len() // unterminated dollar quote: take everything
+    };
+    let inner = &text[tag_len..inner_end];
+    // Rebase inner offsets: absolute position of the body text, then
+    // relative to the statement base (like every body span).
+    let shift = tok.span.start + tag_len;
+    let toks: Vec<Token> = crate::lexer::tokenize_significant(inner)
+        .into_iter()
+        .map(|t| {
+            Token::new(
+                t.kind,
+                t.text,
+                crate::token::Span::new(t.span.start + shift, t.span.end + shift),
+            )
+        })
+        .collect();
+    let mut cur = Cursor::new(&toks);
+    // PL/pgSQL shape: optional DECLARE section, then BEGIN … END.
+    if cur.peek_keyword("DECLARE") {
+        let _ = cur.take_until(|t| t.is_keyword("BEGIN"));
+    }
+    if cur.eat_keyword("BEGIN") {
+        collect_body(&mut cur, base, true)
+    } else {
+        // LANGUAGE sql body: a plain `;`-separated script.
+        collect_body(&mut cur, base, false)
+    }
 }
 
 fn parse_create_table(cur: &mut Cursor) -> Option<CreateTable> {
@@ -1416,6 +1735,141 @@ mod tests {
         assert!(i.unique);
         assert_eq!(i.name, "idx_zone");
         assert_eq!(i.columns, vec!["Zone_ID", "Active"]);
+    }
+
+    #[test]
+    fn create_trigger_parses_body_substatements() {
+        // The ISSUE 5 repro trigger: a real AST node, body statements
+        // parsed, spans relative to the statement start.
+        let sql = "CREATE TRIGGER trg AFTER INSERT ON t FOR EACH ROW \
+                   BEGIN UPDATE u SET a = 1; DELETE FROM v; END";
+        let p = parse_one(sql);
+        let Statement::CreateTrigger(tg) = &p.stmt else { panic!("got {:?}", p.stmt) };
+        assert!(tg.name.name_eq("trg"));
+        assert_eq!(tg.timing.as_deref(), Some("AFTER"));
+        assert_eq!(tg.events, vec!["INSERT"]);
+        assert!(tg.table.name_eq("t"));
+        assert!(tg.for_each_row);
+        assert_eq!(tg.body.len(), 2);
+        let Statement::Update(u) = &tg.body[0].stmt else { panic!() };
+        assert!(u.table.name_eq("u"));
+        let Statement::Delete(d) = &tg.body[1].stmt else { panic!() };
+        assert!(d.table.name_eq("v"));
+        // Relative spans slice the statement text at the sub-statement.
+        for (b, text) in tg.body.iter().zip(["UPDATE u SET a = 1", "DELETE FROM v"]) {
+            assert_eq!(&sql[b.span.start..b.span.end], text);
+        }
+    }
+
+    #[test]
+    fn create_trigger_with_nested_constructs() {
+        let sql = "CREATE TRIGGER t2 BEFORE UPDATE ON x FOR EACH ROW \
+                   BEGIN IF NEW.a > 0 THEN UPDATE u SET b = 1; END IF; \
+                   SELECT CASE WHEN a THEN 1 ELSE 2 END; \
+                   BEGIN DELETE FROM w; END; END";
+        let p = parse_one(sql);
+        let Statement::CreateTrigger(tg) = &p.stmt else { panic!("got {:?}", p.stmt) };
+        assert_eq!(tg.timing.as_deref(), Some("BEFORE"));
+        // Three executable body statements: the UPDATE guarded by the IF
+        // (header stripped), the SELECT, and the DELETE inside the
+        // nested block (flattened).
+        assert_eq!(tg.body.len(), 3, "{:?}", tg.body);
+        assert_eq!(tg.body[0].stmt.tag(), "UPDATE");
+        assert_eq!(tg.body[1].stmt.tag(), "SELECT");
+        assert_eq!(tg.body[2].stmt.tag(), "DELETE");
+    }
+
+    #[test]
+    fn construct_headers_are_stripped_to_executable_statements() {
+        let sql = "CREATE TRIGGER t3 AFTER INSERT ON t FOR EACH ROW BEGIN \
+                   IF NEW.a > 0 THEN SELECT * FROM big ORDER BY RAND(); END IF; \
+                   WHILE NEW.b > 0 DO INSERT INTO log VALUES (1); END WHILE; \
+                   IF CASE WHEN NEW.c THEN 1 ELSE 0 END = 1 THEN DELETE FROM d; END IF; \
+                   END";
+        let p = parse_one(sql);
+        let Statement::CreateTrigger(tg) = &p.stmt else { panic!("got {:?}", p.stmt) };
+        let tags: Vec<&str> = tg.body.iter().map(|b| b.stmt.tag()).collect();
+        assert_eq!(tags, vec!["SELECT", "INSERT", "DELETE"], "{:?}", tg.body);
+        // The stripped statement's span still slices the source exactly.
+        assert_eq!(
+            &sql[tg.body[0].span.start..tg.body[0].span.end],
+            "SELECT * FROM big ORDER BY RAND()"
+        );
+    }
+
+    #[test]
+    fn create_procedure_and_function_parse() {
+        let p = parse_one(
+            "CREATE PROCEDURE audit(IN uid INT) BEGIN INSERT INTO log VALUES (uid); END",
+        );
+        let Statement::CreateRoutine(r) = &p.stmt else { panic!("got {:?}", p.stmt) };
+        assert_eq!(r.kind, RoutineKind::Procedure);
+        assert!(r.name.name_eq("audit"));
+        assert!(r.params.as_deref().unwrap().contains("uid"));
+        assert_eq!(r.body.len(), 1);
+        assert_eq!(r.body[0].stmt.tag(), "INSERT");
+
+        let p = parse_one("CREATE OR REPLACE FUNCTION f() RETURNS INT RETURN 1");
+        let Statement::CreateRoutine(r) = &p.stmt else { panic!("got {:?}", p.stmt) };
+        assert_eq!(r.kind, RoutineKind::Function);
+    }
+
+    #[test]
+    fn dollar_quoted_plpgsql_body_is_subparsed() {
+        let sql = "CREATE FUNCTION bump() RETURNS trigger AS $fn$\n\
+                   BEGIN UPDATE counters SET n = n + 1; DELETE FROM stale; END\n\
+                   $fn$ LANGUAGE plpgsql";
+        let p = parse_one(sql);
+        let Statement::CreateRoutine(r) = &p.stmt else { panic!("got {:?}", p.stmt) };
+        assert_eq!(r.language.as_deref(), Some("plpgsql"));
+        assert_eq!(r.body.len(), 2, "{:?}", r.body);
+        assert_eq!(r.body[0].stmt.tag(), "UPDATE");
+        assert_eq!(r.body[1].stmt.tag(), "DELETE");
+        // Body spans point inside the dollar-quoted region of the source.
+        for (b, text) in
+            r.body.iter().zip(["UPDATE counters SET n = n + 1", "DELETE FROM stale"])
+        {
+            assert_eq!(&sql[b.span.start..b.span.end], text);
+        }
+    }
+
+    #[test]
+    fn dollar_quoted_sql_body_splits_statements() {
+        let p = parse_one(
+            "CREATE FUNCTION two() RETURNS void AS $$ SELECT 1; SELECT 2; $$ LANGUAGE sql",
+        );
+        let Statement::CreateRoutine(r) = &p.stmt else { panic!("got {:?}", p.stmt) };
+        assert_eq!(r.body.len(), 2);
+        assert!(r.body.iter().all(|b| b.stmt.tag() == "SELECT"));
+    }
+
+    #[test]
+    fn mysql_definer_trigger_parses() {
+        let p = parse_one(
+            "CREATE DEFINER = `root`@`localhost` TRIGGER trg BEFORE DELETE ON t \
+             FOR EACH ROW BEGIN SET @n = @n - 1; END",
+        );
+        let Statement::CreateTrigger(tg) = &p.stmt else { panic!("got {:?}", p.stmt) };
+        assert_eq!(tg.events, vec!["DELETE"]);
+        assert_eq!(tg.body.len(), 1);
+    }
+
+    #[test]
+    fn postgres_execute_function_trigger_body() {
+        let p = parse_one(
+            "CREATE TRIGGER trg AFTER UPDATE ON t FOR EACH ROW EXECUTE FUNCTION audit()",
+        );
+        let Statement::CreateTrigger(tg) = &p.stmt else { panic!("got {:?}", p.stmt) };
+        assert_eq!(tg.body.len(), 1, "{:?}", tg.body);
+        assert_eq!(tg.body[0].stmt.tag(), "OTHER");
+    }
+
+    #[test]
+    fn unterminated_trigger_body_is_tolerated() {
+        let p = parse_one("CREATE TRIGGER t1 BEFORE INSERT ON x FOR EACH ROW BEGIN SELECT 1;");
+        let Statement::CreateTrigger(tg) = &p.stmt else { panic!("got {:?}", p.stmt) };
+        assert_eq!(tg.body.len(), 1);
+        assert_eq!(tg.body[0].stmt.tag(), "SELECT");
     }
 
     #[test]

@@ -537,16 +537,25 @@ impl ToSql for Statement {
             Statement::Update(s) => s.write_sql(out),
             Statement::Delete(s) => s.write_sql(out),
             Statement::Drop(s) => s.write_sql(out),
+            // Compound DDL renders from the original token text at the
+            // ParsedStatement level (like Other): the body's dialect
+            // details (delimiters, characteristics) are not modelled
+            // losslessly enough to re-render canonically.
+            Statement::CreateTrigger(_) | Statement::CreateRoutine(_) => {}
             Statement::Other(_) => {}
         }
     }
 }
 
 impl ToSql for ParsedStatement {
-    /// `Other` statements render as their original token text; shaped
-    /// statements render canonically.
+    /// `Other` statements — and compound DDL, whose bodies are not
+    /// re-rendered canonically — render as their original token text;
+    /// shaped statements render canonically.
     fn write_sql(&self, out: &mut String) {
-        if matches!(self.stmt, Statement::Other(_)) {
+        if matches!(
+            self.stmt,
+            Statement::Other(_) | Statement::CreateTrigger(_) | Statement::CreateRoutine(_)
+        ) {
             out.push_str(&self.text());
         } else {
             self.stmt.write_sql(out);

@@ -1,8 +1,12 @@
 //! Statement splitter — the fused front door of the analysis pipeline.
 //!
 //! Splits a SQL script into individual statements on top of the token
-//! stream, so that semicolons inside string literals, comments, or
-//! dollar-quoted bodies never split a statement.
+//! stream, so that semicolons inside string literals, comments,
+//! dollar-quoted bodies, or `BEGIN…END` compound-statement bodies
+//! (trigger/procedure/function DDL — see the `block` tracker module for
+//! the state machine) never split a statement. MySQL dump `DELIMITER` directives are honoured as
+//! script-level directives: the directive line belongs to no statement
+//! and switches the active terminator.
 //!
 //! The production path is **streaming and fused**: [`split_stream`] runs
 //! the lexer once and feeds every token straight into per-statement
@@ -21,6 +25,7 @@
 //! readable reference implementation; property tests pin the fused path
 //! to it.
 
+use crate::block::{BlockTracker, SplitAction};
 use crate::fingerprint::{
     content_hash_spanned, fingerprint_spanned, ContentHasher, StreamingFingerprint,
 };
@@ -193,10 +198,14 @@ struct SplitSink<'a> {
     /// way to exclude trailing trivia without buffering it.
     ch_sig: u128,
     fp: StreamingFingerprint,
+    /// Statement-boundary state machine. `None` puts the sink in
+    /// hash-only mode (used to re-hash a single known statement span):
+    /// nothing terminates a statement, `;` is ordinary content.
+    tracker: Option<BlockTracker>,
 }
 
 impl<'a> SplitSink<'a> {
-    fn new(chunk: &'a str, offset: usize) -> Self {
+    fn new(chunk: &'a str, offset: usize, tracker: Option<BlockTracker>) -> Self {
         SplitSink {
             chunk,
             bytes: chunk.as_bytes(),
@@ -208,6 +217,7 @@ impl<'a> SplitSink<'a> {
             ch: ContentHasher::new(),
             ch_sig: 0,
             fp: StreamingFingerprint::new(),
+            tracker,
         }
     }
 
@@ -243,9 +253,25 @@ impl TokenSink for SplitSink<'_> {
             }
             return;
         }
-        if kind == TokenKind::Punct && end - start == 1 && self.bytes[start] == b';' {
-            self.flush();
-            return;
+        if let Some(tracker) = &mut self.tracker {
+            // Fast path mirrors SpanOnlySink's: plain mid-statement
+            // tokens skip the tracker call entirely.
+            if tracker.is_fast() {
+                if kind == TokenKind::Punct && end - start == 1 && self.bytes[start] == b';' {
+                    tracker.fast_terminator();
+                    self.flush();
+                    return;
+                }
+            } else {
+                match tracker.offer(self.bytes, kind, start, end) {
+                    SplitAction::Token => {}
+                    SplitAction::Terminator => {
+                        self.flush();
+                        return;
+                    }
+                    SplitAction::Directive => return,
+                }
+            }
         }
         if !self.started {
             self.started = true;
@@ -269,15 +295,16 @@ pub fn split_stream(script: &str) -> Vec<SplitStatement> {
 }
 
 fn split_range(script: &str, start: usize, end: usize) -> Vec<SplitStatement> {
-    let mut sink = SplitSink::new(&script[start..end], start);
+    let mut sink = SplitSink::new(&script[start..end], start, Some(BlockTracker::new()));
     lex_into(&script[start..end], &mut sink);
     sink.finish()
 }
 
 /// Spans-only statement boundary sink — the cheapest possible split pass,
 /// used by [`split_deduped`]'s byte-level grouping. Statement spans
-/// depend only on trivia-vs-significant classification and top-level `;`
-/// tokens, so keyword lookup is skipped entirely and nothing is hashed.
+/// depend only on trivia-vs-significant classification and the block
+/// tracker's terminator decisions, so keyword lookup is skipped entirely
+/// and nothing is hashed (the tracker compares raw word bytes itself).
 struct SpanOnlySink<'a> {
     bytes: &'a [u8],
     offset: usize,
@@ -285,9 +312,81 @@ struct SpanOnlySink<'a> {
     started: bool,
     start: usize,
     end: usize,
+    tracker: BlockTracker,
+}
+
+impl SpanOnlySink<'_> {
+    fn flush(&mut self) {
+        if self.started {
+            self.started = false;
+            self.out.push(Span::new(self.start, self.end));
+        }
+    }
+
+    /// Tracked token handling — out of line so the fast path in
+    /// [`TokenSink::token`] stays small enough to inline at every lexer
+    /// emit site (the sink body is monomorphised into the lexer loop;
+    /// bloating it regresses the whole scan).
+    #[inline(never)]
+    fn token_slow(&mut self, kind: TokenKind, start: usize, end: usize) {
+        match self.tracker.offer(self.bytes, kind, start, end) {
+            SplitAction::Token => {
+                if !self.started {
+                    self.started = true;
+                    self.start = self.offset + start;
+                }
+                self.end = self.offset + end;
+            }
+            SplitAction::Terminator => self.flush(),
+            SplitAction::Directive => {}
+        }
+    }
 }
 
 impl TokenSink for SpanOnlySink<'_> {
+    const CLASSIFY_WORDS: bool = false;
+
+    #[inline]
+    fn token(&mut self, kind: TokenKind, start: usize, end: usize) {
+        if matches!(kind, TokenKind::Whitespace | TokenKind::Comment) {
+            return;
+        }
+        // Fast path (plain mid-statement state): only `;` matters, and
+        // ordinary tokens need no tracker interaction at all.
+        if self.tracker.is_fast() {
+            if kind == TokenKind::Punct && end - start == 1 && self.bytes[start] == b';' {
+                self.tracker.fast_terminator();
+                self.flush();
+            } else {
+                if !self.started {
+                    self.started = true;
+                    self.start = self.offset + start;
+                }
+                self.end = self.offset + end;
+            }
+            return;
+        }
+        self.token_slow(kind, start, end);
+    }
+}
+
+/// Speculative spans-only sink: the pre-tracker scan (every top-level
+/// `;` terminates) plus a watch for the four words that could make block
+/// tracking matter ([`crate::block`]'s `may_need_tracking`). On a hit it
+/// aborts (via [`TokenSink::done`]) and the caller re-scans with the
+/// tracked [`SpanOnlySink`]. Plain workloads — the overwhelmingly common
+/// case — thus pay **zero** per-token tracking cost.
+struct SpeculativeSpanSink<'a> {
+    bytes: &'a [u8],
+    offset: usize,
+    out: Vec<Span>,
+    started: bool,
+    start: usize,
+    end: usize,
+    needs_tracking: bool,
+}
+
+impl TokenSink for SpeculativeSpanSink<'_> {
     const CLASSIFY_WORDS: bool = false;
 
     #[inline]
@@ -302,16 +401,46 @@ impl TokenSink for SpanOnlySink<'_> {
             }
             return;
         }
+        if kind == TokenKind::Ident && crate::block::may_need_tracking(&self.bytes[start..end])
+        {
+            self.needs_tracking = true;
+            return;
+        }
         if !self.started {
             self.started = true;
             self.start = self.offset + start;
         }
         self.end = self.offset + end;
     }
+
+    #[inline]
+    fn done(&self) -> bool {
+        self.needs_tracking
+    }
 }
 
 fn split_spans_range(script: &str, start: usize, end: usize) -> Vec<Span> {
     let chunk = &script[start..end];
+    // First pass: untracked, aborting on the first word that could make
+    // block tracking matter.
+    let mut fast = SpeculativeSpanSink {
+        bytes: chunk.as_bytes(),
+        offset: start,
+        out: Vec::new(),
+        started: false,
+        start: 0,
+        end: 0,
+        needs_tracking: false,
+    };
+    lex_into(chunk, &mut fast);
+    if !fast.needs_tracking {
+        if fast.started {
+            fast.out.push(Span::new(fast.start, fast.end));
+        }
+        return fast.out;
+    }
+    // Trigger/procedure/function/DELIMITER vocabulary present: re-scan
+    // with the full block tracker.
     let mut sink = SpanOnlySink {
         bytes: chunk.as_bytes(),
         offset: start,
@@ -319,6 +448,7 @@ fn split_spans_range(script: &str, start: usize, end: usize) -> Vec<Span> {
         started: false,
         start: 0,
         end: 0,
+        tracker: BlockTracker::new(),
     };
     lex_into(chunk, &mut sink);
     if sink.started {
@@ -328,25 +458,39 @@ fn split_spans_range(script: &str, start: usize, end: usize) -> Vec<Span> {
 }
 
 /// Lex + hash the single statement covering `span` (a trimmed statement
-/// span: starts and ends on significant tokens, no top-level `;`).
+/// span: starts and ends on significant tokens). The sink runs in
+/// hash-only mode — a compound statement's body semicolons (or, under a
+/// custom `DELIMITER`, embedded top-level-looking `;`) are ordinary
+/// statement content, exactly as the tracked pass treated them.
 fn hash_span(script: &str, span: Span) -> SplitStatement {
-    let mut stmts = split_range(script, span.start, span.end);
+    let mut sink = SplitSink::new(&script[span.start..span.end], span.start, None);
+    lex_into(&script[span.start..span.end], &mut sink);
+    let mut stmts = sink.finish();
     debug_assert_eq!(stmts.len(), 1, "a statement span holds exactly one statement");
     stmts.pop().expect("statement span holds one statement")
 }
 
 /// Pre-scan sink that records safe chunk boundaries: the end offset of
-/// the first top-level `;` at or past each target offset. "Top-level" is
-/// decided by the lexer itself (`;` consumed inside strings, comments,
-/// quoted identifiers, dollar-quoted bodies, or DB-API parameters never
-/// reaches the sink), so the boundaries resynchronise exactly where the
-/// sequential splitter ends a statement. Keyword classification is
-/// skipped (`CLASSIFY_WORDS = false`) — only token boundaries matter.
+/// the first top-level statement terminator at or past each target
+/// offset. "Top-level" is decided by the lexer (`;` consumed inside
+/// strings, comments, quoted identifiers, dollar-quoted bodies, or
+/// DB-API parameters never reaches the sink) **and** by the shared
+/// [`BlockTracker`] (`;` inside a `BEGIN…END` body is not a terminator),
+/// so the boundaries resynchronise exactly where the sequential splitter
+/// ends a statement. Keyword classification is skipped
+/// (`CLASSIFY_WORDS = false`) — the tracker compares word bytes itself.
+///
+/// A `DELIMITER` directive makes the sink bail (`bail = true`): the
+/// active custom delimiter would have to be threaded into every later
+/// chunk, so such scripts are split sequentially instead — same output,
+/// no chunking.
 struct BoundarySink<'a> {
     bytes: &'a [u8],
     targets: &'a [usize],
     next: usize,
     out: Vec<usize>,
+    tracker: BlockTracker,
+    bail: bool,
 }
 
 impl TokenSink for BoundarySink<'_> {
@@ -354,9 +498,25 @@ impl TokenSink for BoundarySink<'_> {
 
     #[inline]
     fn token(&mut self, kind: TokenKind, start: usize, end: usize) {
-        if kind == TokenKind::Punct
-            && end - start == 1
-            && self.bytes[start] == b';'
+        if matches!(kind, TokenKind::Whitespace | TokenKind::Comment) {
+            return;
+        }
+        let terminator = if self.tracker.is_fast() {
+            if kind == TokenKind::Punct && end - start == 1 && self.bytes[start] == b';' {
+                self.tracker.fast_terminator();
+                true
+            } else {
+                return;
+            }
+        } else {
+            let action = self.tracker.offer(self.bytes, kind, start, end);
+            if self.tracker.saw_directive() {
+                self.bail = true;
+                return;
+            }
+            action == SplitAction::Terminator
+        };
+        if terminator
             && self.next < self.targets.len()
             && end >= self.targets[self.next]
         {
@@ -369,13 +529,15 @@ impl TokenSink for BoundarySink<'_> {
 
     #[inline]
     fn done(&self) -> bool {
-        self.next >= self.targets.len()
+        self.bail || self.next >= self.targets.len()
     }
 }
 
 /// Chunk the script into at most `threads` ranges that all start right
 /// after a top-level `;` (or at 0) — every range is a whole number of
-/// statements, so per-range splits concatenate to the sequential result.
+/// statements (never the middle of a `BEGIN…END` body), so per-range
+/// splits concatenate to the sequential result. Scripts containing a
+/// `DELIMITER` directive fall back to one sequential range.
 fn chunk_ranges(script: &str, threads: usize) -> Vec<(usize, usize)> {
     let len = script.len();
     if threads <= 1 || len == 0 {
@@ -386,9 +548,18 @@ fn chunk_ranges(script: &str, threads: usize) -> Vec<(usize, usize)> {
     if targets.is_empty() {
         return vec![(0, len)];
     }
-    let mut sink =
-        BoundarySink { bytes: script.as_bytes(), targets: &targets, next: 0, out: Vec::new() };
+    let mut sink = BoundarySink {
+        bytes: script.as_bytes(),
+        targets: &targets,
+        next: 0,
+        out: Vec::new(),
+        tracker: BlockTracker::new(),
+        bail: false,
+    };
     lex_into(script, &mut sink);
+    if sink.bail {
+        return vec![(0, len)];
+    }
     let mut ranges = Vec::with_capacity(sink.out.len() + 1);
     let mut start = 0usize;
     for b in sink.out {
@@ -572,12 +743,24 @@ impl SpannedStatement {
 /// [`split_deduped`].
 pub fn split_spanned(script: &str) -> Vec<SpannedStatement> {
     let tokens = lex_spans(script);
+    let bytes = script.as_bytes();
+    let mut tracker = BlockTracker::new();
     let mut stmts = Vec::new();
     let mut start = 0usize;
     for (i, tok) in tokens.iter().enumerate() {
-        if tok.kind == crate::token::TokenKind::Punct && tok.text(script) == ";" {
-            push_spanned(script, &mut stmts, &tokens[start..i]);
-            start = i + 1;
+        if tok.is_trivia() {
+            continue;
+        }
+        match tracker.offer(bytes, tok.kind, tok.span.start, tok.span.end) {
+            SplitAction::Token => {}
+            SplitAction::Terminator | SplitAction::Directive => {
+                // Directive tokens (a `DELIMITER` line, or the trailing
+                // bytes of a multi-byte terminator) sit between
+                // statements, so the slice before them holds trivia at
+                // most and `push_spanned` drops it.
+                push_spanned(script, &mut stmts, &tokens[start..i]);
+                start = i + 1;
+            }
         }
     }
     push_spanned(script, &mut stmts, &tokens[start..]);
@@ -686,6 +869,24 @@ mod tests {
             "",
             "SELECT a \";\" ; SELECT 1e; SELECT 1.5e+3;",
             "SELECT * FROM t WHERE c LIKE '%;%' ESCAPE '\\'; DELETE FROM t",
+            // Compound statements: body semicolons are not terminators.
+            "CREATE TRIGGER trg AFTER INSERT ON t FOR EACH ROW \
+             BEGIN UPDATE u SET a = 1; DELETE FROM v; END; SELECT 1;",
+            "CREATE PROCEDURE p() BEGIN IF a THEN SELECT 1; END IF; \
+             SELECT CASE WHEN b THEN 'x;y' ELSE 2 END; END; SELECT 2;",
+            // Decoys that must NOT open a block.
+            "BEGIN; SELECT 1; COMMIT; BEGIN TRANSACTION; SELECT 2;",
+            "CREATE TABLE t (begin INT, end INT); SELECT end FROM t;",
+            "SELECT CASE WHEN a = 1 THEN 'x;y' ELSE b END FROM t; SELECT 2;",
+            // Tolerant degradation: orphan END, unterminated BEGIN.
+            "END; SELECT 1; END IF;",
+            "CREATE TRIGGER t1 BEFORE UPDATE ON x FOR EACH ROW BEGIN SELECT 1;",
+            // DELIMITER directives (mysqldump style).
+            "DELIMITER ;;\nCREATE TRIGGER tr BEFORE INSERT ON t FOR EACH ROW \
+             BEGIN SET @a = 1; END ;;\nDELIMITER ;\nSELECT 1;",
+            "DELIMITER //\nSELECT 1; SELECT 2 //\nDELIMITER ;\nSELECT 3;",
+            "DELIMITER GO\nSELECT agony FROM t GO\nDELIMITER ;\nSELECT 1;",
+            "DELIMITER ;;",
         ]
     }
 
@@ -740,6 +941,100 @@ mod tests {
         // Uniques carry their first occurrence's span.
         assert_eq!(d.uniques[0].span, full[0].span);
         assert_eq!(d.uniques[1].span, full[1].span);
+    }
+
+    #[test]
+    fn trigger_body_survives_splitting() {
+        // The ISSUE 5 repro: the trigger is ONE statement, the trailing
+        // SELECT another — the body semicolons must not split.
+        let script = "CREATE TRIGGER trg AFTER INSERT ON t FOR EACH ROW \
+                      BEGIN UPDATE u SET a = 1; DELETE FROM v; END; SELECT 1;";
+        let stmts = split(script);
+        assert_eq!(stmts.len(), 2, "{stmts:?}");
+        assert!(stmts[0].text().starts_with("CREATE TRIGGER"));
+        assert!(stmts[0].text().ends_with("END"));
+        assert_eq!(stmts[1].text(), "SELECT 1");
+    }
+
+    #[test]
+    fn delimiter_directive_is_honoured_and_excluded() {
+        let script = "DELIMITER ;;\n\
+                      CREATE TRIGGER tr BEFORE INSERT ON t FOR EACH ROW\n\
+                      BEGIN\n  SET @c = @c + 1;\nEND ;;\n\
+                      DELIMITER ;\n\
+                      SELECT 1;";
+        let stmts = split(script);
+        assert_eq!(stmts.len(), 2, "{stmts:?}");
+        assert!(stmts[0].text().starts_with("CREATE TRIGGER"));
+        assert!(!stmts[0].text().contains("DELIMITER"));
+        assert_eq!(stmts[1].text(), "SELECT 1");
+    }
+
+    #[test]
+    fn custom_delimiter_makes_bare_semicolons_ordinary_text() {
+        let script = "DELIMITER //\nSELECT 1; SELECT 2 //\nSELECT 3 //";
+        let stmts = split(script);
+        assert_eq!(stmts.len(), 2, "{stmts:?}");
+        assert_eq!(stmts[0].text(), "SELECT 1; SELECT 2");
+        assert_eq!(stmts[1].text(), "SELECT 3");
+    }
+
+    #[test]
+    fn orphan_end_and_unterminated_begin_degrade_tolerantly() {
+        // A bare END is its own one-word statement; trailing statements
+        // survive.
+        let stmts = split("END; SELECT 1;");
+        assert_eq!(stmts.len(), 2);
+        assert_eq!(stmts[0].text(), "END");
+        assert_eq!(stmts[1].text(), "SELECT 1");
+        // An unterminated BEGIN runs to EOF as one tolerant statement —
+        // nothing panics, nothing is dropped.
+        let stmts = split("CREATE TRIGGER t1 BEFORE UPDATE ON x FOR EACH ROW BEGIN SELECT 1;");
+        assert_eq!(stmts.len(), 1);
+        assert!(stmts[0].text().ends_with("SELECT 1;"));
+    }
+
+    #[test]
+    fn transaction_begin_and_case_end_are_not_blocks() {
+        assert_eq!(split("BEGIN; SELECT 1; COMMIT;").len(), 3);
+        assert_eq!(split("BEGIN TRANSACTION; SELECT 1;").len(), 2);
+        assert_eq!(split("SELECT CASE WHEN a THEN 1 ELSE 2 END FROM t; SELECT 2;").len(), 2);
+        assert_eq!(split("CREATE TABLE t (begin INT, end INT); SELECT 1;").len(), 2);
+    }
+
+    #[test]
+    fn boundary_prescan_never_splits_inside_trigger_bodies() {
+        // Many compound statements, so naive byte-targets land inside
+        // bodies; every path must still agree.
+        let mut big = String::new();
+        for i in 0..120 {
+            big.push_str(&format!(
+                "CREATE TRIGGER trg{i} AFTER INSERT ON t{i} FOR EACH ROW \
+                 BEGIN UPDATE u SET a = {i}; DELETE FROM v WHERE x = {i}; END;\n"
+            ));
+            big.push_str(&format!("SELECT {i} FROM filler;\n"));
+        }
+        let sequential = split_stream(&big);
+        assert_eq!(sequential.len(), 240);
+        for threads in [2, 3, 5, 8] {
+            assert_eq!(split_stream_parallel(&big, threads), sequential, "{threads} threads");
+            let d = split_deduped(&big, threads);
+            assert_eq!(d.occurrences.len(), sequential.len());
+        }
+    }
+
+    #[test]
+    fn delimiter_scripts_fall_back_to_sequential_chunking() {
+        let mut big = String::from("DELIMITER ;;\n");
+        for i in 0..100 {
+            big.push_str(&format!("SELECT {i}; SELECT {i} ;;\n"));
+        }
+        big.push_str("DELIMITER ;\nSELECT 1;");
+        let sequential = split_stream(&big);
+        assert_eq!(sequential.len(), 101);
+        for threads in [2, 4, 7] {
+            assert_eq!(split_stream_parallel(&big, threads), sequential);
+        }
     }
 
     #[test]

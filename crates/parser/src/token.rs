@@ -172,24 +172,26 @@ impl fmt::Display for Token {
 /// non-validating: treating a dialect-specific word as a keyword never
 /// rejects a statement, it only enriches the token classification.
 pub const KEYWORDS: &[&str] = &[
-    "ADD", "ALL", "ALTER", "ANALYZE", "AND", "ANY", "AS", "ASC", "AUTOINCREMENT",
-    "AUTO_INCREMENT", "BEGIN", "BETWEEN", "BIGINT", "BLOB", "BOOL", "BOOLEAN", "BY",
-    "CASCADE", "CASE", "CAST", "CHAR", "CHARACTER", "CHECK", "COLLATE", "COLUMN",
-    "COMMIT", "CONCAT", "CONSTRAINT", "CREATE", "CROSS", "CURRENT_DATE",
-    "CURRENT_TIME", "CURRENT_TIMESTAMP", "DATABASE", "DATE", "DATETIME", "DECIMAL",
-    "DEFAULT", "DELETE", "DESC", "DISTINCT", "DOUBLE", "DROP", "ELSE", "END", "ENUM",
-    "ESCAPE", "EXCEPT", "EXISTS", "EXPLAIN", "FALSE", "FLOAT", "FOREIGN", "FROM",
-    "FULL", "FUNCTION", "GLOB", "GRANT", "GROUP", "HAVING", "IF", "ILIKE", "IN",
-    "INDEX", "INNER", "INSERT", "INT", "INTEGER", "INTERSECT", "INTERVAL", "INTO",
-    "IS", "JOIN", "KEY", "LEFT", "LIKE", "LIMIT", "MATERIALIZED", "MEDIUMINT",
-    "MODIFY", "NATURAL", "NOT", "NULL", "NUMERIC", "OFFSET", "ON", "OR", "ORDER",
-    "OUTER", "PRAGMA", "PRECISION", "PRIMARY", "RAND", "RANDOM", "REAL",
-    "REFERENCES", "REGEXP", "RENAME", "REPLACE", "RESTRICT", "REVOKE", "RIGHT",
-    "RLIKE", "ROLLBACK", "ROW", "SELECT", "SERIAL", "SET", "SIMILAR", "SMALLINT",
-    "TABLE", "TEMP", "TEMPORARY", "TEXT", "THEN", "TIME", "TIMESTAMP", "TIMESTAMPTZ",
-    "TINYINT", "TO", "TRANSACTION", "TRIGGER", "TRUE", "TRUNCATE", "UNION", "UNIQUE",
-    "UNSIGNED", "UPDATE", "USING", "VACUUM", "VALUES", "VARCHAR", "VARYING", "VIEW",
-    "WHEN", "WHERE", "WITH", "WITHOUT", "ZONE",
+    "ADD", "AFTER", "ALL", "ALTER", "ANALYZE", "AND", "ANY", "AS", "ASC",
+    "AUTOINCREMENT", "AUTO_INCREMENT", "BEFORE", "BEGIN", "BETWEEN", "BIGINT", "BLOB",
+    "BOOL", "BOOLEAN", "BY", "CASCADE", "CASE", "CAST", "CHAR", "CHARACTER", "CHECK",
+    "COLLATE", "COLUMN", "COMMIT", "CONCAT", "CONSTRAINT", "CREATE", "CROSS",
+    "CURRENT_DATE", "CURRENT_TIME", "CURRENT_TIMESTAMP", "DATABASE", "DATE",
+    "DATETIME", "DECIMAL", "DECLARE", "DEFAULT", "DELETE", "DESC", "DISTINCT",
+    "DOUBLE", "DROP", "EACH", "ELSE", "ELSEIF", "END", "ENUM", "ESCAPE", "EXCEPT",
+    "EXISTS", "EXPLAIN", "FALSE", "FLOAT", "FOR", "FOREIGN", "FROM", "FULL",
+    "FUNCTION", "GLOB", "GRANT", "GROUP", "HAVING", "IF", "ILIKE", "IN", "INDEX",
+    "INNER", "INSERT", "INT", "INTEGER", "INTERSECT", "INTERVAL", "INTO", "IS",
+    "JOIN", "KEY", "LANGUAGE", "LEFT", "LIKE", "LIMIT", "LOOP", "MATERIALIZED",
+    "MEDIUMINT", "MODIFY", "NATURAL", "NOT", "NULL", "NUMERIC", "OFFSET", "ON", "OR",
+    "ORDER", "OUTER", "PRAGMA", "PRECISION", "PRIMARY", "PROCEDURE", "RAND", "RANDOM",
+    "REAL", "REFERENCES", "REGEXP", "RENAME", "REPEAT", "REPLACE", "RESTRICT",
+    "RETURN", "RETURNS", "REVOKE", "RIGHT", "RLIKE", "ROLLBACK", "ROW", "SELECT",
+    "SERIAL", "SET", "SIMILAR", "SMALLINT", "TABLE", "TEMP", "TEMPORARY", "TEXT",
+    "THEN", "TIME", "TIMESTAMP", "TIMESTAMPTZ", "TINYINT", "TO", "TRANSACTION",
+    "TRIGGER", "TRUE", "TRUNCATE", "UNION", "UNIQUE", "UNSIGNED", "UPDATE", "USING",
+    "VACUUM", "VALUES", "VARCHAR", "VARYING", "VIEW", "WHEN", "WHERE", "WHILE",
+    "WITH", "WITHOUT", "ZONE",
 ];
 
 /// Longest keyword length (`CURRENT_TIMESTAMP`); words longer than this

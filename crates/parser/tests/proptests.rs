@@ -138,8 +138,9 @@ fn statement_tag_is_always_defined() {
 
 /// Build a random SQL-ish script stressing every construct that can hide
 /// a `;` (string literals, line/block comments, dollar quotes, bracket
-/// and quoted identifiers, DB-API parameters), plus empty statements and
-/// an optional unterminated trailing statement.
+/// and quoted identifiers, DB-API parameters, `BEGIN…END` compound
+/// bodies, `CASE…END` decoys, `DELIMITER` directives), plus empty
+/// statements and an optional unterminated trailing statement.
 fn random_script(rng: &mut Rng) -> String {
     const FRAGMENTS: &[&str] = &[
         "SELECT * FROM t WHERE a = 1",
@@ -156,6 +157,24 @@ fn random_script(rng: &mut Rng) -> String {
         "-- just a comment",
         "DELETE FROM t WHERE x = :named",
         "SELECT $$;$$",
+        // Compound statements and their decoys: the block-depth state
+        // machine must keep every split path byte-identical on these.
+        "CREATE TRIGGER trg AFTER INSERT ON t FOR EACH ROW \
+         BEGIN UPDATE u SET a = 1; DELETE FROM v; END",
+        "CREATE PROCEDURE p() BEGIN IF a THEN SELECT 1; END IF; \
+         SELECT CASE WHEN b THEN 'x;y' END; END",
+        "create trigger T2 before update on X for each row begin set a = 1; end",
+        "SELECT CASE WHEN a = 1 THEN 'x;y' ELSE b END FROM t",
+        "CREATE TABLE decoy (begin INT, end INT, [case] TEXT)",
+        "BEGIN TRANSACTION",
+        "BEGIN",
+        "COMMIT",
+        "END",
+        "END IF",
+        "CREATE TRIGGER dangling BEFORE DELETE ON t FOR EACH ROW BEGIN SELECT 1",
+        "DELIMITER ;;\nSELECT 1; SELECT 2 ;;\nDELIMITER ;\n",
+        "DELIMITER //\nUPDATE t SET a = 'x;y' //\nDELIMITER ;\n",
+        "DELIMITER ;;",
     ];
     let n = rng.below(12);
     let mut script = String::new();
