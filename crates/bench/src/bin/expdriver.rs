@@ -16,10 +16,12 @@
 //! expdriver incremental    # warm re-check sweep over edit rates + DDL edit
 //! expdriver phases         # per-phase timing of the three-phase pipeline
 //! expdriver split          # fused streaming splitter vs legacy two-pass
+//! expdriver scaling        # speedup-vs-threads curves (plain/trigger/skewed)
 //! ```
 //!
 //! `--quick` shrinks scales for a fast smoke run. `--threads N` pins the
-//! worker count of the parallel configurations (default: all cores).
+//! worker count of the parallel configurations; `--threads 0` (and the
+//! default) auto-detects via `available_parallelism`.
 
 use sqlcheck_bench::experiments::*;
 use sqlcheck_workload::github::CorpusConfig;
@@ -29,11 +31,14 @@ use sqlcheck_workload::user_study::StudyConfig;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    // `--threads 0` means auto-detect, same as omitting the flag: the
+    // thread planners treat `None` as `available_parallelism`.
     let threads: Option<usize> = args
         .iter()
         .position(|a| a == "--threads")
         .and_then(|i| args.get(i + 1))
-        .and_then(|t| t.parse().ok());
+        .and_then(|t| t.parse().ok())
+        .filter(|&t: &usize| t != 0);
     let what = args
         .iter()
         .enumerate()
@@ -180,6 +185,51 @@ fn main() {
         // reaching this point means the byte-identity gate passed.
         let path = "BENCH_split.json";
         match std::fs::write(path, split::to_json(&rows)) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+    if run_all || what == "scaling" {
+        section("Scaling — speedup vs threads (plain / trigger / skewed workloads)");
+        let (n, templates) = if quick { (2_000, 50) } else { (100_000, 100) };
+        let rows = scaling::run(n, templates, 0x5CA1E0, threads);
+        print!("{}", scaling::render(&rows));
+        // `run` asserts byte-identity at every point before returning;
+        // re-assert on the rows so the artifact can never record a
+        // divergence even if the panic path changes.
+        for r in &rows {
+            for p in &r.points {
+                assert!(
+                    p.identical,
+                    "{} at {} thread(s): output diverged from the sequential reference",
+                    r.workload, p.requested
+                );
+            }
+        }
+        // Speedup is only a meaningful expectation when the host has
+        // cores to scale onto; the identity gate above holds regardless.
+        if let Some(hw) = rows.first().map(|r| r.hw_threads) {
+            if hw >= 4 {
+                for r in &rows {
+                    if let Some(p) = r.at(4) {
+                        assert!(
+                            p.speedup_vs_1 >= 1.5,
+                            "{}: expected scaling at 4 threads on a {}-core host, got {:.2}x",
+                            r.workload,
+                            hw,
+                            p.speedup_vs_1
+                        );
+                    }
+                }
+            } else {
+                println!(
+                    "(host has {hw} core(s): speedup expectations skipped; \
+                     byte-identity asserted at every point)"
+                );
+            }
+        }
+        let path = "BENCH_scaling.json";
+        match std::fs::write(path, scaling::to_json(&rows)) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => eprintln!("could not write {path}: {e}"),
         }

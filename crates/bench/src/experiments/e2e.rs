@@ -34,8 +34,10 @@ pub struct E2eRow {
     pub templates: usize,
     /// Statements whose text was edited for the warm re-check.
     pub edited: usize,
-    /// Threads used by the pipeline front-end.
+    /// Effective threads used by the pipeline front-end.
     pub threads: usize,
+    /// Threads the caller requested (0 = auto-detect).
+    pub requested_threads: usize,
     /// Detections produced (identical across all configurations).
     pub detections: usize,
     /// Whether all configurations produced byte-identical reports.
@@ -125,7 +127,7 @@ fn check(
     script: &str,
     fe: FrontendOptions,
     opts: &BatchOptions,
-    cache: Option<&mut IncrementalCache>,
+    cache: Option<&IncrementalCache>,
 ) -> sqlcheck::BatchReport {
     let (ctx, fe_stats) =
         ContextBuilder::new().with_frontend(fe).add_script(script).build_with_stats();
@@ -162,12 +164,12 @@ pub fn run_one(
     // Warm: prime a cache with the original workload, then re-check the
     // edited variant. Each timed repetition starts from a freshly cloned
     // primed cache so later reps don't measure a fully warmed cache.
-    let mut primed = IncrementalCache::default();
-    let _ = check(&script, pipeline_fe.clone(), &opts, Some(&mut primed));
+    let primed = IncrementalCache::default();
+    let _ = check(&script, pipeline_fe.clone(), &opts, Some(&primed));
     let mut caches: Vec<IncrementalCache> = (0..REPS).map(|_| primed.clone()).collect();
     let (warm, warm_micros) = best_of(|| {
-        let mut c = caches.pop().unwrap_or_else(|| primed.clone());
-        check(&edited_script, pipeline_fe.clone(), &opts, Some(&mut c))
+        let c = caches.pop().unwrap_or_else(|| primed.clone());
+        check(&edited_script, pipeline_fe.clone(), &opts, Some(&c))
     });
 
     // Byte-identity: pipeline ≡ legacy on the original workload, and the
@@ -181,6 +183,7 @@ pub fn run_one(
         templates,
         edited,
         threads: pipeline.stats.threads,
+        requested_threads: threads.unwrap_or(0),
         detections: legacy.report.detections.len(),
         identical,
         legacy_micros,
@@ -238,9 +241,9 @@ pub fn run_ddl_edit(statements: usize, tables: usize, seed: u64, threads: Option
 
     let opts = BatchOptions { parallel: true, threads };
     let fe = FrontendOptions { dedup: true, parallel: true, threads };
-    let mut cache = IncrementalCache::default();
-    let _ = check(&script, fe.clone(), &opts, Some(&mut cache));
-    let warm = check(&edited, fe.clone(), &opts, Some(&mut cache));
+    let cache = IncrementalCache::default();
+    let _ = check(&script, fe.clone(), &opts, Some(&cache));
+    let warm = check(&edited, fe.clone(), &opts, Some(&cache));
     let cold = check(&edited, FrontendOptions::legacy(), &opts, None);
 
     DdlEditRow {
@@ -316,6 +319,7 @@ pub fn to_json(rows: &[E2eRow]) -> String {
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"statements\": {}, \"templates\": {}, \"edited\": {}, \"threads\": {}, \
+             \"requested_threads\": {}, \
              \"detections\": {}, \"identical\": {}, \
              \"legacy_micros\": {}, \"pipeline_micros\": {}, \"warm_micros\": {}, \
              \"split_micros\": {}, \"materialize_micros\": {}, \"parse_micros\": {}, \
@@ -327,6 +331,7 @@ pub fn to_json(rows: &[E2eRow]) -> String {
             r.templates,
             r.edited,
             r.threads,
+            r.requested_threads,
             r.detections,
             r.identical,
             r.legacy_micros,

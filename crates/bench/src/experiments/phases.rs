@@ -179,7 +179,8 @@ pub fn to_json(rows: &[PhaseRow]) -> String {
         let s = &r.stats;
         out.push_str(&format!(
             "    {{\"statements\": {}, \"templates\": {}, \"profiled_tables\": {}, \
-             \"threads\": {}, \"detections\": {}, \"identical\": {}, \
+             \"threads\": {}, \"requested_threads\": {}, \
+             \"detections\": {}, \"identical\": {}, \
              \"seq_micros\": {}, \"batch_micros\": {}, \
              \"split_micros\": {}, \"parse_micros\": {}, \"annotate_micros\": {}, \
              \"context_micros\": {}, \"group_micros\": {}, \"intra_micros\": {}, \
@@ -189,6 +190,7 @@ pub fn to_json(rows: &[PhaseRow]) -> String {
             r.templates,
             r.profiled_tables,
             s.threads,
+            s.requested_threads,
             r.detections,
             r.identical,
             r.seq_micros,

@@ -1,0 +1,306 @@
+//! **Scaling experiment** — speedup-vs-threads curves of the full
+//! split + three-phase detection pipeline.
+//!
+//! Earlier experiments measured one parallel configuration; this one
+//! sweeps the worker count over `{1, 2, 4, available_parallelism}` and
+//! records a point per count, per workload shape:
+//!
+//! * `plain` — the template-heavy statement stream (uniform unit costs;
+//!   any scheduler balances it);
+//! * `trigger` — ~1 in 6 statements is compound `BEGIN…END` DDL (mildly
+//!   non-uniform costs);
+//! * `skewed` — one hot template at ~90% of occurrences plus one giant
+//!   trigger body: the adversarial shape where static round-robin
+//!   assignment serializes behind the giant unit and only cost-aware
+//!   self-scheduling keeps the pool busy.
+//!
+//! Every point runs the **whole** pipeline — chunk-parallel split +
+//! parse/annotate + batch detection — at its pinned thread count, and is
+//! asserted **byte-identical** to the single-thread baseline (which is
+//! itself checked against the sequential [`Detector::detect`] reference)
+//! before any timing is reported. The per-worker busy-time spread from
+//! [`BatchStats`] rides along so scheduling skew is visible in the
+//! artifact, not inferred.
+//!
+//! Speedups are meaningful only when the host actually has cores to
+//! scale onto: each point records the machine's `available_parallelism`
+//! alongside the requested and effective thread counts, and the identity
+//! gate (unlike the speedup expectation) holds on any host.
+
+use super::throughput::script_for_shape;
+use sqlcheck::{BatchOptions, ContextBuilder, Detector, FrontendOptions, Report};
+use std::time::Instant;
+
+/// One measured (workload, thread-count) point.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Worker threads this point pinned (the sweep value).
+    pub requested: usize,
+    /// Effective worker threads the batch engine used (clamped to unit
+    /// count; equals `requested` on all but degenerate workloads).
+    pub effective: usize,
+    /// Wall-clock microseconds: front-end (split + parse + annotate +
+    /// context fold) at this thread count.
+    pub frontend_micros: u128,
+    /// Wall-clock microseconds: batch detection at this thread count.
+    pub detect_micros: u128,
+    /// Wall-clock microseconds: front-end + detection end to end.
+    pub total_micros: u128,
+    /// End-to-end speedup vs this workload's 1-thread point.
+    pub speedup_vs_1: f64,
+    /// Whether this point's detections matched the baseline byte for
+    /// byte.
+    pub identical: bool,
+    /// Busiest worker's cumulative busy micros across detection phases.
+    pub worker_busy_max: u128,
+    /// Least-busy worker's cumulative busy micros.
+    pub worker_busy_min: u128,
+}
+
+/// The scaling curve of one workload shape.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Workload shape: `"plain"`, `"trigger"`, or `"skewed"`.
+    pub workload: &'static str,
+    /// Statements in the workload.
+    pub statements: usize,
+    /// Unique templates the workload draws from.
+    pub templates: usize,
+    /// Unique statement texts (intra-phase unit count).
+    pub unique_texts: usize,
+    /// The host's `available_parallelism` when the sweep ran — the
+    /// context every speedup must be read against.
+    pub hw_threads: usize,
+    /// One point per swept thread count, ascending.
+    pub points: Vec<ScalingPoint>,
+}
+
+impl ScalingRow {
+    /// The point measured at `requested` threads, if swept.
+    pub fn at(&self, requested: usize) -> Option<&ScalingPoint> {
+        self.points.iter().find(|p| p.requested == requested)
+    }
+}
+
+fn report_key(r: &Report) -> Vec<String> {
+    r.detections.iter().map(|d| format!("{d:?}")).collect()
+}
+
+/// Repetitions per measurement; the minimum observation is reported
+/// (noise-robust: preemption and hypervisor steal only ever add time).
+const REPS: usize = 3;
+
+/// The thread counts to sweep on a host with `hw` cores: 1, 2, 4, and
+/// `hw`, deduplicated and sorted (a 1-core host still sweeps 2 and 4 —
+/// oversubscribed points that prove correctness, not speed).
+pub fn sweep_points(hw: usize) -> Vec<usize> {
+    let mut pts = vec![1, 2, 4, hw.max(1)];
+    pts.sort_unstable();
+    pts.dedup();
+    pts
+}
+
+/// One full pipeline run (front-end + batch detection) pinned to
+/// `threads` workers, returning the batch report plus the front-end and
+/// detection wall-clock micros of this single run.
+fn check_at(script: &str, threads: usize) -> (sqlcheck::BatchReport, u128, u128) {
+    let fe = FrontendOptions { dedup: true, parallel: threads > 1, threads: Some(threads) };
+    let opts = BatchOptions { parallel: threads > 1, threads: Some(threads) };
+    let t_fe = Instant::now();
+    let (ctx, fe_stats) =
+        ContextBuilder::new().with_frontend(fe).add_script(script).build_with_stats();
+    let frontend_micros = t_fe.elapsed().as_micros();
+    let t_det = Instant::now();
+    let mut batch = Detector::default().detect_batch_with(&ctx, &opts, None);
+    let detect_micros = t_det.elapsed().as_micros();
+    batch.stats.absorb_frontend(&fe_stats);
+    (batch, frontend_micros, detect_micros)
+}
+
+/// Sweep one workload shape across thread counts. `max_threads` caps the
+/// sweep (`None` = the full `{1, 2, 4, hw}` ladder) — CI uses a cap of 2
+/// for a fast byte-identity gate. Panics if any point's detections
+/// diverge from the sequential reference — byte-identity is the gate
+/// that makes the timings worth reading.
+pub fn run_one(
+    workload: &'static str,
+    statements: usize,
+    templates: usize,
+    seed: u64,
+    max_threads: Option<usize>,
+) -> ScalingRow {
+    let script = script_for_shape(workload, statements, templates, seed);
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    // Ground truth: the sequential detector over the plainly-built
+    // context. Every swept point must reproduce this byte for byte.
+    let ref_ctx = ContextBuilder::new().add_script(&script).build();
+    let ref_key = report_key(&Detector::default().detect(&ref_ctx));
+
+    let mut ladder = sweep_points(hw);
+    if let Some(cap) = max_threads {
+        ladder.retain(|&t| t <= cap.max(1));
+        if !ladder.contains(&cap.max(1)) {
+            ladder.push(cap.max(1));
+        }
+    }
+    let mut points: Vec<ScalingPoint> = Vec::new();
+    let mut base_total: u128 = 0;
+    let mut row_stats = None;
+    for requested in ladder {
+        let mut best_fe = u128::MAX;
+        let mut best_det = u128::MAX;
+        let mut best_total = u128::MAX;
+        let mut last = None;
+        for _ in 0..REPS {
+            let (batch, fe_us, det_us) = check_at(&script, requested);
+            best_fe = best_fe.min(fe_us);
+            best_det = best_det.min(det_us);
+            best_total = best_total.min(fe_us + det_us);
+            last = Some(batch);
+        }
+        let batch = last.expect("REPS > 0");
+        let identical = report_key(&batch.report) == ref_key;
+        assert!(
+            identical,
+            "{workload}/{statements} at {requested} thread(s): \
+             batch output diverged from the sequential reference"
+        );
+        if requested == 1 {
+            base_total = best_total;
+        }
+        points.push(ScalingPoint {
+            requested,
+            effective: batch.stats.threads,
+            frontend_micros: best_fe,
+            detect_micros: best_det,
+            total_micros: best_total,
+            speedup_vs_1: base_total as f64 / best_total.max(1) as f64,
+            identical,
+            worker_busy_max: batch.stats.worker_busy_max(),
+            worker_busy_min: batch.stats.worker_busy_min(),
+        });
+        row_stats = Some((batch.stats.statements, batch.stats.unique_texts));
+    }
+    let (stmts, unique_texts) = row_stats.expect("at least one sweep point");
+    ScalingRow { workload, statements: stmts, templates, unique_texts, hw_threads: hw, points }
+}
+
+/// Sweep all three workload shapes at one size.
+pub fn run(
+    statements: usize,
+    templates: usize,
+    seed: u64,
+    max_threads: Option<usize>,
+) -> Vec<ScalingRow> {
+    ["plain", "trigger", "skewed"]
+        .into_iter()
+        .map(|w| run_one(w, statements, templates, seed, max_threads))
+        .collect()
+}
+
+/// Render rows as an aligned console table (one line per point).
+pub fn render(rows: &[ScalingRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>8} {:>9} {:>4} {:>9} {:>9} {:>10} {:>10} {:>10} {:>8} {:>10} {:>10} {:>9}\n",
+        "workload", "stmts", "hw", "requested", "effective", "front_us", "detect_us",
+        "total_us", "speedup", "busy_max", "busy_min", "identical"
+    ));
+    for r in rows {
+        for p in &r.points {
+            out.push_str(&format!(
+                "{:>8} {:>9} {:>4} {:>9} {:>9} {:>10} {:>10} {:>10} {:>7.2}x {:>10} {:>10} {:>9}\n",
+                r.workload,
+                r.statements,
+                r.hw_threads,
+                p.requested,
+                p.effective,
+                p.frontend_micros,
+                p.detect_micros,
+                p.total_micros,
+                p.speedup_vs_1,
+                p.worker_busy_max,
+                p.worker_busy_min,
+                p.identical,
+            ));
+        }
+    }
+    out
+}
+
+/// Render rows as a JSON document (written to `BENCH_scaling.json`) —
+/// one JSON row per (workload, thread-count) point.
+pub fn to_json(rows: &[ScalingRow]) -> String {
+    let mut out =
+        String::from("{\n  \"experiment\": \"multicore_scaling\",\n  \"rows\": [\n");
+    let total: usize = rows.iter().map(|r| r.points.len()).sum();
+    let mut i = 0;
+    for r in rows {
+        for p in &r.points {
+            i += 1;
+            out.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"statements\": {}, \"templates\": {}, \
+                 \"unique_texts\": {}, \"hw_threads\": {}, \
+                 \"requested_threads\": {}, \"threads\": {}, \
+                 \"frontend_micros\": {}, \"detect_micros\": {}, \"total_micros\": {}, \
+                 \"speedup_vs_1\": {:.2}, \"worker_busy_max_micros\": {}, \
+                 \"worker_busy_min_micros\": {}, \"identical\": {}}}{}\n",
+                r.workload,
+                r.statements,
+                r.templates,
+                r.unique_texts,
+                r.hw_threads,
+                p.requested,
+                p.effective,
+                p.frontend_micros,
+                p.detect_micros,
+                p.total_micros,
+                p.speedup_vs_1,
+                p.worker_busy_max,
+                p.worker_busy_min,
+                p.identical,
+                if i == total { "" } else { "," }
+            ));
+        }
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_points_dedup_and_sort() {
+        assert_eq!(sweep_points(1), vec![1, 2, 4]);
+        assert_eq!(sweep_points(2), vec![1, 2, 4]);
+        assert_eq!(sweep_points(4), vec![1, 2, 4]);
+        assert_eq!(sweep_points(8), vec![1, 2, 4, 8]);
+        assert_eq!(sweep_points(3), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn all_points_identical_at_small_scale() {
+        let _serial = crate::harness::TIMING_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // run_one asserts identity internally; surviving it is the test.
+        for r in run(300, 30, 0x5CA1E, Some(2)) {
+            assert!(r.points.iter().all(|p| p.identical), "{} row", r.workload);
+            assert!(r.points.iter().any(|p| p.requested == 1), "baseline point present");
+            assert_eq!(r.statements, 300, "{} row statement count", r.workload);
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let _serial = crate::harness::TIMING_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let rows = run(150, 20, 3, Some(2));
+        let j = to_json(&rows);
+        assert!(j.contains("\"workload\": \"skewed\""));
+        assert!(j.contains("\"hw_threads\""));
+        assert!(j.contains("\"identical\": true"));
+        assert!(!j.contains("\"identical\": false"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

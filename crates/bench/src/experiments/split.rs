@@ -25,15 +25,16 @@
 
 use sqlcheck_parser::splitter::{split_deduped, split_spanned, split_stream, split_stream_parallel};
 use sqlcheck_parser::SplitStatement;
-use super::throughput::{trigger_workload_script, workload_script};
+use super::throughput::script_for_shape;
 use std::time::Instant;
 
 /// One measured workload size.
 #[derive(Debug, Clone)]
 pub struct SplitRow {
-    /// Workload shape: `"plain"` (template statements only) or
-    /// `"trigger"` (~1 in 6 statements is compound trigger/procedure DDL
-    /// whose `BEGIN…END` body exercises the block-depth state machine).
+    /// Workload shape: `"plain"` (template statements only), `"trigger"`
+    /// (~1 in 6 statements is compound trigger/procedure DDL whose
+    /// `BEGIN…END` body exercises the block-depth state machine), or
+    /// `"skewed"` (one hot template at ~90% plus one giant trigger body).
     pub workload: &'static str,
     /// Statements in the script.
     pub statements: usize,
@@ -41,8 +42,10 @@ pub struct SplitRow {
     pub templates: usize,
     /// Script size in bytes.
     pub bytes: usize,
-    /// Threads used by the parallel configuration.
+    /// Effective threads used by the parallel configuration.
     pub threads: usize,
+    /// Threads the caller requested (0 = auto-detect).
+    pub requested_threads: usize,
     /// Whether all three configurations emitted identical statements.
     pub identical: bool,
     /// Wall-clock microseconds: legacy two-pass splitter (+ per-statement
@@ -165,11 +168,7 @@ pub fn run_one(
     seed: u64,
     threads: Option<usize>,
 ) -> SplitRow {
-    let script = match workload {
-        "plain" => workload_script(statements, templates, seed),
-        "trigger" => trigger_workload_script(statements, templates, seed),
-        other => panic!("unknown split workload shape {other:?} (use \"plain\" or \"trigger\")"),
-    };
+    let script = script_for_shape(workload, statements, templates, seed);
     let par_threads = threads
         .or_else(|| std::thread::available_parallelism().map(|n| n.get()).ok())
         .unwrap_or(1);
@@ -187,6 +186,7 @@ pub fn run_one(
         templates,
         bytes: script.len(),
         threads: par_threads,
+        requested_threads: threads.unwrap_or(0),
         identical: true, // asserted above; a divergence panics before this
         legacy_micros,
         fused_micros,
@@ -204,7 +204,7 @@ pub fn run(sizes: &[usize], templates: usize, seed: u64, threads: Option<usize>)
     // All plain rows first: they are the cross-PR regression reference,
     // so they must run under the same process conditions (allocator
     // state, touched memory) as before the trigger shape existed.
-    for workload in ["plain", "trigger"] {
+    for workload in ["plain", "trigger", "skewed"] {
         for &n in sizes {
             rows.push(run_one(workload, n, templates, seed, threads));
         }
@@ -246,7 +246,7 @@ pub fn to_json(rows: &[SplitRow]) -> String {
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"workload\": \"{}\", \"statements\": {}, \"templates\": {}, \"bytes\": {}, \
-             \"threads\": {}, \
+             \"threads\": {}, \"requested_threads\": {}, \
              \"identical\": {}, \"legacy_micros\": {}, \"fused_micros\": {}, \
              \"deduped_micros\": {}, \"parallel_micros\": {}, \"legacy_mb_per_s\": {:.1}, \
              \"fused_mb_per_s\": {:.1}, \"parallel_mb_per_s\": {:.1}, \
@@ -257,6 +257,7 @@ pub fn to_json(rows: &[SplitRow]) -> String {
             r.templates,
             r.bytes,
             r.threads,
+            r.requested_threads,
             r.identical,
             r.legacy_micros,
             r.fused_micros,
@@ -295,6 +296,13 @@ mod tests {
         let r = run_one("trigger", 480, 30, 0x5117, None);
         assert!(r.identical);
         assert_eq!(r.statements, 480);
+    }
+
+    #[test]
+    fn skewed_workload_agrees_including_giant_statement() {
+        let r = run_one("skewed", 300, 30, 0x5117, None);
+        assert!(r.identical);
+        assert_eq!(r.statements, 300, "the giant body must stay one statement");
     }
 
     #[test]

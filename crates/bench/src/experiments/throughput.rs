@@ -21,6 +21,8 @@ use std::time::Instant;
 /// One measured workload size.
 #[derive(Debug, Clone)]
 pub struct ThroughputRow {
+    /// Workload shape: `"plain"`, `"trigger"`, or `"skewed"`.
+    pub workload: &'static str,
     /// Statements in the workload.
     pub statements: usize,
     /// Unique templates the workload draws from.
@@ -35,8 +37,10 @@ pub struct ThroughputRow {
     pub batch_micros: u128,
     /// Wall-clock microseconds: batch path, all threads.
     pub parallel_micros: u128,
-    /// Threads used by the parallel configuration.
+    /// Effective threads used by the parallel configuration.
     pub threads: usize,
+    /// Threads the caller requested (0 = auto-detect).
+    pub requested_threads: usize,
 }
 
 impl ThroughputRow {
@@ -136,6 +140,66 @@ pub fn trigger_workload_script(statements: usize, templates: usize, seed: u64) -
     script
 }
 
+/// Deterministically generate a **skewed** workload — the adversarial
+/// shape for any static work partitioner:
+///
+/// * ~90% of the statements instantiate **one hot template** with a
+///   distinct literal each (distinct texts, so they are distinct intra
+///   units — all cheap, all under one fingerprint);
+/// * exactly one statement, placed mid-script, is a **giant trigger
+///   body** (hundreds of `BEGIN…END` sub-statements) — a single intra
+///   unit that costs orders of magnitude more than its neighbours;
+/// * the rest draw from the plain template pool.
+///
+/// Round-robin assignment hands the giant unit to whichever worker its
+/// index lands on and that worker finishes last; cost-aware
+/// self-scheduling starts it first and fills the other workers with the
+/// cheap hot-template units.
+pub fn skewed_workload_script(statements: usize, templates: usize, seed: u64) -> String {
+    let plain_pool = workload_pool(templates);
+    let mut rng = SmallRng::new(seed);
+    let giant_at = statements / 2;
+    let mut script = String::with_capacity(statements * 56);
+    for i in 0..statements {
+        if i == giant_at && statements > 0 {
+            // One giant compound statement: ~400 body sub-statements.
+            script.push_str("CREATE PROCEDURE giant_migration() BEGIN ");
+            for k in 0..400 {
+                script.push_str(&format!(
+                    "UPDATE app_t{} SET c0 = c0 + {k} WHERE c1 LIKE '%m{k}%'; ",
+                    k % 97
+                ));
+            }
+            script.push_str("END");
+        } else if rng.gen_range(10) < 9 {
+            // The hot template: same shape, fresh literal per occurrence.
+            script.push_str(&format!("SELECT c0, c1 FROM app_hot WHERE c0 = {i}"));
+        } else {
+            script.push_str(&plain_pool[rng.gen_range(plain_pool.len())]);
+        }
+        script.push_str(";\n");
+    }
+    script
+}
+
+/// The script for one named workload shape (`plain`, `trigger`, or
+/// `skewed`) — the tag every bench row carries.
+pub fn script_for_shape(
+    workload: &str,
+    statements: usize,
+    templates: usize,
+    seed: u64,
+) -> String {
+    match workload {
+        "plain" => workload_script(statements, templates, seed),
+        "trigger" => trigger_workload_script(statements, templates, seed),
+        "skewed" => skewed_workload_script(statements, templates, seed),
+        other => {
+            panic!("unknown workload shape {other:?} (use \"plain\", \"trigger\", or \"skewed\")")
+        }
+    }
+}
+
 /// The plain statement pool of [`workload_script`], reusable by other
 /// workload shapes.
 fn workload_pool(templates: usize) -> Vec<String> {
@@ -187,12 +251,13 @@ fn best_of<T>(mut f: impl FnMut() -> T) -> (T, u128) {
 /// recorded `threads` value is always read back from the stats of the
 /// timed parallel run — the count actually used, never an assumption.
 pub fn run_one(
+    workload: &'static str,
     statements: usize,
     templates: usize,
     seed: u64,
     threads: Option<usize>,
 ) -> ThroughputRow {
-    let script = workload_script(statements, templates, seed);
+    let script = script_for_shape(workload, statements, templates, seed);
     let ctx = ContextBuilder::new().add_script(&script).build();
     let det = Detector::default();
     let par_opts = BatchOptions { parallel: true, threads };
@@ -206,7 +271,8 @@ pub fn run_one(
         seq_key == report_key(&batch.report) && seq_key == report_key(&par.report);
 
     ThroughputRow {
-        statements,
+        workload,
+        statements: ctx.len(),
         templates,
         detections: seq.detections.len(),
         identical,
@@ -214,30 +280,40 @@ pub fn run_one(
         batch_micros,
         parallel_micros,
         threads: par.stats.threads,
+        requested_threads: threads.unwrap_or(0),
     }
 }
 
-/// Run the experiment over several workload sizes.
+/// Run the experiment over several workload sizes. The plain rows come
+/// first (the cross-PR regression reference), then the skewed shape
+/// where the scheduler's cost-awareness shows.
 pub fn run(
     sizes: &[usize],
     templates: usize,
     seed: u64,
     threads: Option<usize>,
 ) -> Vec<ThroughputRow> {
-    sizes.iter().map(|&n| run_one(n, templates, seed, threads)).collect()
+    let mut rows = Vec::with_capacity(sizes.len() * 2);
+    for workload in ["plain", "skewed"] {
+        for &n in sizes {
+            rows.push(run_one(workload, n, templates, seed, threads));
+        }
+    }
+    rows
 }
 
 /// Render rows as an aligned console table.
 pub fn render(rows: &[ThroughputRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:>10} {:>10} {:>7} {:>12} {:>12} {:>12} {:>8} {:>9} {:>9}\n",
-        "stmts", "templates", "threads", "seq st/s", "batch st/s", "par st/s", "batch_x",
-        "par_x", "identical"
+        "{:>8} {:>10} {:>10} {:>7} {:>12} {:>12} {:>12} {:>8} {:>9} {:>9}\n",
+        "workload", "stmts", "templates", "threads", "seq st/s", "batch st/s", "par st/s",
+        "batch_x", "par_x", "identical"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:>10} {:>10} {:>7} {:>12.0} {:>12.0} {:>12.0} {:>7.1}x {:>8.1}x {:>9}\n",
+            "{:>8} {:>10} {:>10} {:>7} {:>12.0} {:>12.0} {:>12.0} {:>7.1}x {:>8.1}x {:>9}\n",
+            r.workload,
             r.statements,
             r.templates,
             r.threads,
@@ -257,15 +333,18 @@ pub fn to_json(rows: &[ThroughputRow]) -> String {
     let mut out = String::from("{\n  \"experiment\": \"batch_detection_throughput\",\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"statements\": {}, \"templates\": {}, \"threads\": {}, \
+            "    {{\"workload\": \"{}\", \"statements\": {}, \"templates\": {}, \
+             \"threads\": {}, \"requested_threads\": {}, \
              \"detections\": {}, \"identical\": {}, \
              \"seq_micros\": {}, \"batch_micros\": {}, \"parallel_micros\": {}, \
              \"seq_stmts_per_sec\": {:.1}, \"batch_stmts_per_sec\": {:.1}, \
              \"parallel_stmts_per_sec\": {:.1}, \
              \"batch_speedup\": {:.2}, \"parallel_speedup\": {:.2}}}{}\n",
+            r.workload,
             r.statements,
             r.templates,
             r.threads,
+            r.requested_threads,
             r.detections,
             r.identical,
             r.seq_micros,
@@ -301,9 +380,34 @@ mod tests {
     #[test]
     fn outputs_identical_at_small_scale() {
         let _serial = crate::harness::TIMING_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-        let r = run_one(300, 50, 42, None);
+        let r = run_one("plain", 300, 50, 42, None);
         assert!(r.identical, "batch output must match sequential");
         assert!(r.detections > 0);
+    }
+
+    #[test]
+    fn skewed_workload_has_hot_template_and_one_giant_statement() {
+        let script = skewed_workload_script(600, 40, 0x5EED);
+        let parsed = sqlcheck_parser::parse(&script);
+        assert_eq!(parsed.len(), 600, "giant trigger body must stay one statement");
+        // The hot template dominates: one fingerprint covers ~90%.
+        let mut by_fp: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for p in &parsed {
+            *by_fp.entry(p.fingerprint()).or_default() += 1;
+        }
+        let hottest = by_fp.values().copied().max().unwrap();
+        assert!(hottest > 500, "hot template should cover ~90%, got {hottest}/600");
+        // And the giant statement dwarfs the median.
+        let giant = script.lines().map(str::len).max().unwrap();
+        assert!(giant > 10_000, "giant statement present ({giant} bytes)");
+    }
+
+    #[test]
+    fn skewed_outputs_identical_at_small_scale() {
+        let _serial = crate::harness::TIMING_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let r = run_one("skewed", 300, 30, 7, None);
+        assert!(r.identical, "skewed batch output must match sequential");
+        assert_eq!(r.workload, "skewed");
     }
 
     #[test]

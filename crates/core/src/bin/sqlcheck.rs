@@ -10,7 +10,8 @@
 //!   --no-fix             detection + ranking only
 //!   --summary            per-kind histogram instead of full listing
 //!   --parallel           batch engine: template dedup + threaded detection
-//!   --threads N          worker threads for --parallel (default: all cores)
+//!   --threads N          worker threads for --parallel (0 or omitted:
+//!                        auto-detect all cores)
 //!   --stats              batch engine + dedup/phase-timing stats on stderr
 //!   --cache              batch engine + incremental detection cache
 //! ```
@@ -41,18 +42,28 @@ fn main() {
     let summary = args.iter().any(|a| a == "--summary");
     let stats = args.iter().any(|a| a == "--stats");
     let cache = args.iter().any(|a| a == "--cache");
+    // `--threads 0` means auto-detect (`available_parallelism`), the
+    // same as leaving the worker count to `--parallel`.
+    let mut threads_given = false;
     let threads = match arg_value(&args, "--threads") {
         Some(t) => match t.parse::<usize>() {
-            Ok(n) if n > 0 => Some(n),
+            Ok(0) => {
+                threads_given = true;
+                None
+            }
+            Ok(n) => {
+                threads_given = true;
+                Some(n)
+            }
             _ => {
-                eprintln!("sqlcheck: --threads expects a positive integer, got '{t}'");
+                eprintln!("sqlcheck: --threads expects a non-negative integer, got '{t}'");
                 std::process::exit(2);
             }
         },
         None => None,
     };
-    // An explicit thread count implies parallel execution.
-    let parallel = args.iter().any(|a| a == "--parallel") || threads.is_some();
+    // An explicit thread count (auto included) implies parallel execution.
+    let parallel = args.iter().any(|a| a == "--parallel") || threads_given;
     let weights = match arg_value(&args, "--weights").unwrap_or("c1").to_ascii_lowercase().as_str()
     {
         "c2" => RankWeights::C2,
@@ -96,15 +107,20 @@ fn main() {
     // --parallel / --stats / --threads / --cache route through the batch
     // engine (identical detections; parse-once front-end, template dedup,
     // optional threading and incremental caching).
-    let outcome = if parallel || stats || cache || threads.is_some() {
+    let outcome = if parallel || stats || cache {
         let opts = BatchOptions { parallel, threads };
         let w = tool.check_workload(&sql, &opts);
         if stats {
             let s = &w.stats;
             eprintln!(
                 "stats: {} statement(s), {} unique template(s), {} unique text(s), \
-                 {} cache hit(s), {} thread(s)",
-                s.statements, s.unique_templates, s.unique_texts, s.cache_hits, s.threads,
+                 {} cache hit(s), {} thread(s) ({} requested; 0 = auto)",
+                s.statements,
+                s.unique_templates,
+                s.unique_texts,
+                s.cache_hits,
+                s.threads,
+                s.requested_threads,
             );
             eprintln!(
                 "stats: front-end fused split {}us, materialize {}us, parse {}us, \
@@ -124,6 +140,12 @@ fn main() {
                 s.inter_micros,
                 s.data_micros,
                 s.total_micros,
+            );
+            eprintln!(
+                "stats: worker busy max {}us, min {}us across {} worker(s)",
+                s.worker_busy_max(),
+                s.worker_busy_min(),
+                s.worker_busy_micros.len(),
             );
             if cache {
                 eprintln!(

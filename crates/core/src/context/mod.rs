@@ -251,7 +251,9 @@ impl ContextBuilder {
     /// Decide the chunk-parallel split worker count for one script.
     fn split_threads(&self, len: usize) -> usize {
         // Below ~16 KiB the pre-scan + spawn overhead outweighs the lex
-        // work; the chunked path stays byte-identical either way.
+        // work; the chunked path stays byte-identical either way. For
+        // larger scripts the splitter additionally size-clamps the chunk
+        // count so every chunk carries at least ~16 KiB.
         if !cfg!(feature = "parallel") || !self.opts.parallel || len < 16 * 1024 {
             return 1;
         }

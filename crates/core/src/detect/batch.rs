@@ -16,9 +16,14 @@
 //!    worker-thread pool (behind the `parallel` cargo feature). The
 //!    intra-query phase slices into per-unique-text units, the
 //!    inter-query phase into per-rule units, and the data-analysis phase
-//!    into per-table units. Workers take units round-robin and report
-//!    `(position, result)` pairs, so every merge is deterministic
-//!    regardless of scheduling.
+//!    into per-table units. Units carry a **cost estimate** (statement
+//!    bytes × occurrence count for intra, table row count for data) and
+//!    workers pull them largest-first from a shared cursor
+//!    ([`schedule::run_units_weighted`]) — cost-aware self-scheduling, so
+//!    a skewed workload (one giant trigger body, one hot template) no
+//!    longer serializes behind whichever worker round-robin happened to
+//!    hand the big unit. Workers report `(position, result)` pairs, so
+//!    every merge is deterministic regardless of scheduling.
 //! 3. **Deterministic merge** — intra detections are re-emitted in
 //!    statement order, inter-query units in rule order, data units in
 //!    table order — exactly the orders the sequential [`Detector::detect`]
@@ -28,6 +33,7 @@
 
 use crate::context::{Context, TableProfile};
 use crate::detect::cache::IncrementalCache;
+use crate::detect::schedule::{self, run_units_weighted};
 use crate::detect::{attach_spans, data, dedup, inter, intra, Detector};
 use crate::hashutil::Prehashed;
 use crate::report::{Detection, Locus, Report};
@@ -73,8 +79,17 @@ pub struct BatchStats {
     /// Statements whose intra-query results were reused from an earlier
     /// identical statement (`statements - unique_texts`).
     pub cache_hits: usize,
-    /// Worker threads used for the intra-query phase (1 = sequential).
+    /// Worker threads used for the intra-query phase (1 = sequential) —
+    /// the *effective* count after clamping to unit count and hardware.
     pub threads: usize,
+    /// Worker threads the caller asked for: 0 when the caller left the
+    /// count to auto-detection (`BatchOptions::threads == None`).
+    pub requested_threads: usize,
+    /// Cumulative wall-clock busy micros per worker, summed across every
+    /// scheduled phase (intra, inter, data), indexed by worker id. The
+    /// max/min spread shows scheduling skew directly — see
+    /// [`BatchStats::worker_busy_max`] / [`BatchStats::worker_busy_min`].
+    pub worker_busy_micros: Vec<u128>,
     /// Wall-clock microseconds spent grouping statements.
     pub group_micros: u128,
     /// Wall-clock microseconds spent in the intra-query phase.
@@ -127,6 +142,16 @@ impl BatchStats {
         self.annotate_micros = fe.annotate_micros;
         self.context_micros = fe.context_micros;
     }
+
+    /// Busiest worker's cumulative busy micros (0 when nothing ran).
+    pub fn worker_busy_max(&self) -> u128 {
+        self.worker_busy_micros.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Least-busy worker's cumulative busy micros (0 when nothing ran).
+    pub fn worker_busy_min(&self) -> u128 {
+        self.worker_busy_micros.iter().copied().min().unwrap_or(0)
+    }
 }
 
 /// A [`Report`] plus the batch instrumentation that produced it.
@@ -172,7 +197,7 @@ impl Detector {
         &self,
         ctx: &Context,
         opts: &BatchOptions,
-        mut cache: Option<&mut IncrementalCache>,
+        cache: Option<&IncrementalCache>,
     ) -> BatchReport {
         let t_start = Instant::now();
         let t_group = Instant::now();
@@ -211,13 +236,13 @@ impl Detector {
         // only valid under the current (config, schema) epoch; a mismatch
         // flushes the cache before any lookup.
         let t_intra = Instant::now();
-        let counters_before = cache.as_deref().map(|c| c.counters());
-        if let Some(c) = cache.as_deref_mut() {
+        let counters_before = cache.map(|c| c.counters());
+        if let Some(c) = cache {
             c.ensure_epoch(self.config_epoch(ctx), ctx.schema.table_digests());
         }
         let mut results: Vec<Option<GroupResult>> = Vec::with_capacity(groups.len());
         let mut misses: Vec<usize> = Vec::new();
-        match cache.as_deref_mut() {
+        match cache {
             Some(c) => {
                 for (gi, g) in groups.iter().enumerate() {
                     match c.get(ctx.statements[g.rep].text_hash) {
@@ -238,10 +263,22 @@ impl Detector {
         let run_group =
             |g: &Group| intra::detect_statement(g.rep, &ctx.statements[g.rep], ctx, &self.cfg, use_context);
         let threads = self.plan_threads(opts, misses.len());
-        let fresh: Vec<Vec<Detection>> =
-            run_units(misses.len(), threads, &|pos| run_group(&groups[misses[pos]]));
-        for (&gi, dets) in misses.iter().zip(fresh) {
-            if let Some(c) = cache.as_deref_mut() {
+        // Intra cost estimate: statement bytes × occurrence count. Bytes
+        // track per-text rule cost (token count, body sub-statements of a
+        // giant trigger); the occurrence multiplier biases hot templates
+        // to the front so their results are ready when fan-out starts.
+        let intra_cost = |pos: usize| {
+            let g = &groups[misses[pos]];
+            let s = &ctx.statements[g.rep];
+            ((s.span.end - s.span.start).max(16) as u64)
+                .saturating_mul(g.occurrences.len() as u64)
+        };
+        let mut worker_busy_micros: Vec<u128> = Vec::new();
+        let intra_run =
+            run_units_weighted(misses.len(), threads, intra_cost, &|pos| run_group(&groups[misses[pos]]));
+        schedule::fold_worker_micros(&mut worker_busy_micros, &intra_run.worker_micros);
+        for (&gi, dets) in misses.iter().zip(intra_run.results) {
+            if let Some(c) = cache {
                 // Canonicalize before storing: statement loci are zeroed
                 // so the entry replays correctly at any occurrence index
                 // on any later call. Spans at this stage are statement-
@@ -321,8 +358,14 @@ impl Detector {
         if use_context {
             let units = inter::RULES.len();
             let inter_threads = self.plan_threads(opts, units);
-            for dets in run_units(units, inter_threads, &|u| inter::detect_unit(u, ctx, &self.cfg))
-            {
+            // Every inter-query rule scans the whole workload, so the
+            // estimate is uniform — LPT degrades to in-order
+            // self-scheduling, which is exactly right here.
+            let inter_run = run_units_weighted(units, inter_threads, |_| 1, &|u| {
+                inter::detect_unit(u, ctx, &self.cfg)
+            });
+            schedule::fold_worker_micros(&mut worker_busy_micros, &inter_run.worker_micros);
+            for dets in inter_run.results {
                 report.detections.extend(dets);
             }
         }
@@ -335,9 +378,15 @@ impl Detector {
         if let Some(data) = &ctx.data {
             let tables: Vec<&TableProfile> = data.tables().collect();
             let data_threads = self.plan_threads(opts, tables.len());
-            for dets in
-                run_units(tables.len(), data_threads, &|u| data::detect_table(tables[u], ctx, &self.cfg))
-            {
+            // Data-rule cost scales with sampled rows per table.
+            let data_run = run_units_weighted(
+                tables.len(),
+                data_threads,
+                |u| tables[u].row_count.max(1) as u64,
+                &|u| data::detect_table(tables[u], ctx, &self.cfg),
+            );
+            schedule::fold_worker_micros(&mut worker_busy_micros, &data_run.worker_micros);
+            for dets in data_run.results {
                 report.detections.extend(dets);
             }
         }
@@ -354,6 +403,8 @@ impl Detector {
             unique_texts: groups.len(),
             cache_hits: ctx.statements.len() - groups.len(),
             threads,
+            requested_threads: opts.threads.unwrap_or(0),
+            worker_busy_micros,
             group_micros,
             intra_micros,
             fanout_micros,
@@ -362,7 +413,7 @@ impl Detector {
             total_micros: t_start.elapsed().as_micros(),
             ..BatchStats::default()
         };
-        if let (Some(before), Some(c)) = (counters_before, cache.as_deref()) {
+        if let (Some(before), Some(c)) = (counters_before, cache) {
             let after = c.counters();
             stats.incremental_hits = (after.hits - before.hits) as usize;
             stats.incremental_misses = (after.misses - before.misses) as usize;
@@ -424,50 +475,6 @@ fn table_deps(ann: &Annotations) -> Arc<[String]> {
         }
     }
     deps.into_iter().collect()
-}
-
-/// Run `f(0..n)` across `threads` scoped workers — the shared worker pool
-/// of every detection phase (intra texts, inter-query rules, data-
-/// analysis tables). Workers take unit indexes round-robin and report
-/// `(position, result)` pairs, so assembly is deterministic regardless of
-/// scheduling.
-#[cfg(feature = "parallel")]
-fn run_units<T, F>(n: usize, threads: usize, f: &F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    if threads <= 1 || n < 2 {
-        return (0..n).map(f).collect();
-    }
-    let partials: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|tid| {
-                s.spawn(move || {
-                    (tid..n).step_by(threads).map(|pos| (pos, f(pos))).collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("detection worker panicked")).collect()
-    });
-    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    for part in partials {
-        for (pos, out) in part {
-            results[pos] = Some(out);
-        }
-    }
-    results.into_iter().map(|o| o.expect("every unit computed")).collect()
-}
-
-/// Sequential stand-in when the `parallel` feature is disabled
-/// (`plan_threads` never returns > 1 in that configuration).
-#[cfg(not(feature = "parallel"))]
-fn run_units<T, F>(n: usize, _threads: usize, f: &F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    (0..n).map(f).collect()
 }
 
 #[cfg(test)]

@@ -1,4 +1,5 @@
-//! Fingerprint-keyed incremental detection cache.
+//! Fingerprint-keyed incremental detection cache, sharded for
+//! concurrency.
 //!
 //! Re-checking a workload after small edits should only pay for the
 //! statements whose text actually changed — in the spirit of update-aware
@@ -6,8 +7,24 @@
 //! statement's literal-sensitive 128-bit content hash
 //! (`AnalyzedStatement::text_hash`) to the intra-query detections of that
 //! text, stored in **canonical form** (statement loci zeroed, spans
-//! cleared) so a hit can be fanned out to any occurrence index on any
-//! later call.
+//! statement-relative) so a hit can be fanned out to any occurrence index
+//! on any later call.
+//!
+//! ## Sharding
+//!
+//! Entries are distributed over `N` **lock-striped shards** by content
+//! hash. Every shard carries its own `RwLock`-protected map + FIFO queue
+//! and its own atomic hit/miss/eviction counters, so concurrent
+//! `check_workload` calls from many sessions sharing one cache (via
+//! [`SqlCheck::with_shared_cache`]) contend per shard, not on one
+//! structure — and the read-mostly path (lookups) takes **shared** locks
+//! only, never an exclusive one. Which shard a key lands on is invisible
+//! to callers: hits, misses, and invalidation-driven evictions are
+//! per-key decisions, so their totals are identical for 1 shard and for
+//! N (property-tested). Only *capacity* eviction is approximate under
+//! sharding: the capacity is enforced per shard (`⌈capacity / N⌉` each),
+//! so a pathologically skewed key distribution can evict slightly before
+//! a single global FIFO would have.
 //!
 //! ## Validity guard
 //!
@@ -19,8 +36,8 @@
 //! tiers:
 //!
 //! * a **config epoch** — a hash of `(DetectionConfig, has-data)`; a
-//!   mismatch flushes the whole cache (a config switch can change any
-//!   rule's decision);
+//!   mismatch flushes every shard (a config switch can change any rule's
+//!   decision);
 //! * **per-table schema versions** — a content digest per catalog table
 //!   (definition + its indexes, from
 //!   [`SchemaCatalog::table_digests`](crate::context::SchemaCatalog::table_digests)).
@@ -29,23 +46,41 @@
 //!   content-identical schema (e.g. a no-op catalog reload) invalidates
 //!   nothing, keeping the cache warm.
 //!
+//! The epoch check itself is read-mostly too: when the incoming epoch
+//! matches the stored one — every warm re-check — the guard takes a
+//! shared lock and returns without touching any shard.
+//!
 //! Inter-query and data-analysis phases always run fresh and are never
 //! cached.
 //!
-//! Eviction is FIFO under a fixed entry capacity: workload re-checks
-//! touch keys in script order, so first-in is a reasonable proxy for
-//! least-likely-to-recur, and FIFO keeps the hot path allocation-free.
+//! Eviction is FIFO under the per-shard entry capacity: workload
+//! re-checks touch keys in script order, so first-in is a reasonable
+//! proxy for least-likely-to-recur, and FIFO keeps the hot path
+//! allocation-free.
+//!
+//! [`SqlCheck::with_shared_cache`]: crate::SqlCheck::with_shared_cache
 
 use crate::hashutil::Prehashed;
 use crate::report::Detection;
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Default entry capacity: comfortably holds the unique texts of a
 /// 100k-statement workload with room for churn.
 pub const DEFAULT_CACHE_CAPACITY: usize = 65_536;
 
-/// Cumulative counters of one [`IncrementalCache`].
+/// Default shard count: enough lock striping that a handful of
+/// concurrent sessions rarely collide, small enough that per-shard
+/// FIFO capacity stays meaningful.
+pub const DEFAULT_CACHE_SHARDS: usize = 16;
+
+/// Smallest per-shard FIFO capacity worth striping for; requested shard
+/// counts are clamped so each shard holds at least this many entries.
+const MIN_SHARD_CAPACITY: usize = 64;
+
+/// Cumulative counters of one [`IncrementalCache`], aggregated across
+/// shards.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheCounters {
     /// Lookups that found a valid entry.
@@ -69,21 +104,46 @@ struct CacheEntry {
     deps: Arc<[String]>,
 }
 
-/// Detection-result cache shared across [`check_workload`] calls.
-///
-/// [`check_workload`]: crate::SqlCheck::check_workload
-#[derive(Debug, Clone)]
-pub struct IncrementalCache {
-    capacity: usize,
+/// The lock-protected interior of one shard.
+#[derive(Debug, Clone, Default)]
+struct ShardState {
+    map: HashMap<u128, CacheEntry, Prehashed>,
+    /// Insertion order, for FIFO eviction.
+    queue: VecDeque<u128>,
+}
+
+/// One lock stripe: its entries plus its share of the counters. The
+/// counters are atomics so the hit path never needs the write lock.
+#[derive(Debug, Default)]
+struct Shard {
+    state: RwLock<ShardState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// The validity guard shared by all shards.
+#[derive(Debug, Clone, Default)]
+struct EpochState {
     /// Config epoch the stored entries are valid under; `None` until
     /// first use.
     config_epoch: Option<u64>,
     /// Per-table schema digests the stored entries were analysed under.
     table_versions: BTreeMap<String, u64>,
-    map: HashMap<u128, CacheEntry, Prehashed>,
-    /// Insertion order, for FIFO eviction.
-    queue: VecDeque<u128>,
-    counters: CacheCounters,
+}
+
+/// Detection-result cache shared across [`check_workload`] calls — and,
+/// behind an [`Arc`], across concurrent sessions: every method takes
+/// `&self`, lookups only ever acquire shared locks, and writes contend
+/// per shard.
+///
+/// [`check_workload`]: crate::SqlCheck::check_workload
+#[derive(Debug)]
+pub struct IncrementalCache {
+    capacity: usize,
+    shard_capacity: usize,
+    shards: Box<[Shard]>,
+    epoch: RwLock<EpochState>,
 }
 
 impl Default for IncrementalCache {
@@ -92,116 +152,215 @@ impl Default for IncrementalCache {
     }
 }
 
-impl IncrementalCache {
-    /// An empty cache bounded to `capacity` entries (min 1).
-    pub fn new(capacity: usize) -> Self {
+impl Clone for IncrementalCache {
+    /// Deep copy: entries, FIFO order, counters, and epoch. Takes each
+    /// shard's read lock in turn, so cloning a cache that is concurrently
+    /// written produces *some* consistent-per-shard snapshot.
+    fn clone(&self) -> Self {
+        let shards: Vec<Shard> = self
+            .shards
+            .iter()
+            .map(|s| Shard {
+                state: RwLock::new(read_lock(&s.state).clone()),
+                hits: AtomicU64::new(s.hits.load(Ordering::Relaxed)),
+                misses: AtomicU64::new(s.misses.load(Ordering::Relaxed)),
+                evictions: AtomicU64::new(s.evictions.load(Ordering::Relaxed)),
+            })
+            .collect();
         IncrementalCache {
-            capacity: capacity.max(1),
-            config_epoch: None,
-            table_versions: BTreeMap::new(),
-            map: HashMap::with_hasher(Prehashed::default()),
-            queue: VecDeque::new(),
-            counters: CacheCounters::default(),
+            capacity: self.capacity,
+            shard_capacity: self.shard_capacity,
+            shards: shards.into_boxed_slice(),
+            epoch: RwLock::new(read_lock(&self.epoch).clone()),
+        }
+    }
+}
+
+/// Acquire a read lock, recovering from poisoning (a panicked worker
+/// cannot corrupt the map structurally — every mutation completes or the
+/// entry simply stays absent).
+fn read_lock<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Acquire a write lock, recovering from poisoning.
+fn write_lock<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
+}
+
+impl IncrementalCache {
+    /// An empty cache bounded to `capacity` entries (min 1), striped over
+    /// [`DEFAULT_CACHE_SHARDS`] shards.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, DEFAULT_CACHE_SHARDS)
+    }
+
+    /// An empty cache striped over `shards` lock shards (min 1). The
+    /// capacity is enforced per shard at `⌈capacity / shards⌉` entries,
+    /// so the total never exceeds `capacity + shards − 1`. The shard
+    /// count is clamped so every shard holds at least
+    /// [`MIN_SHARD_CAPACITY`] entries — striping a tiny cache would turn
+    /// its FIFO bound into per-key roulette for no concurrency win.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let capacity = capacity.max(1);
+        let n = shards.max(1).min(capacity.div_ceil(MIN_SHARD_CAPACITY).max(1));
+        IncrementalCache {
+            capacity,
+            shard_capacity: capacity.div_ceil(n),
+            shards: (0..n).map(|_| Shard::default()).collect(),
+            epoch: RwLock::new(EpochState::default()),
         }
     }
 
+    /// The shard a content hash lands on. The 64-bit fold is pushed
+    /// through a splitmix64 finalizer before the remainder: the shard
+    /// index must stay uniform even for structured hashes, and must not
+    /// correlate with the bits [`Prehashed`] feeds the in-shard map
+    /// (identical low bits would cluster every shard's map buckets).
+    fn shard_of(&self, text_hash: u128) -> &Shard {
+        let mut x = (text_hash >> 64) as u64 ^ (text_hash as u64);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        &self.shards[(x % self.shards.len() as u64) as usize]
+    }
+
     /// Align the cache to the current validity guard. A config-epoch
-    /// change flushes every entry (any rule may now decide differently
+    /// change flushes every shard (any rule may now decide differently
     /// for the same text). A schema change is handled per table: only
     /// entries depending on a table whose digest changed (including
     /// tables that appeared or vanished) are dropped — both counted as
-    /// evictions. A content-identical schema invalidates nothing.
+    /// evictions. A content-identical guard — every warm re-check — takes
+    /// a shared lock and touches nothing.
     pub(crate) fn ensure_epoch(
-        &mut self,
+        &self,
         config_epoch: u64,
         table_versions: BTreeMap<String, u64>,
     ) {
-        if self.config_epoch != Some(config_epoch) {
-            self.counters.evictions += self.map.len() as u64;
-            self.map.clear();
-            self.queue.clear();
-            self.config_epoch = Some(config_epoch);
-            self.table_versions = table_versions;
+        {
+            let e = read_lock(&self.epoch);
+            if e.config_epoch == Some(config_epoch) && e.table_versions == table_versions {
+                return;
+            }
+        }
+        // Holding the epoch write lock across the shard sweep makes the
+        // guard transition atomic with respect to other `ensure_epoch`
+        // callers (concurrent sessions checking under the same config and
+        // schema all take the shared-lock fast path above).
+        let mut e = write_lock(&self.epoch);
+        if e.config_epoch != Some(config_epoch) {
+            for shard in self.shards.iter() {
+                let mut st = write_lock(&shard.state);
+                shard.evictions.fetch_add(st.map.len() as u64, Ordering::Relaxed);
+                st.map.clear();
+                st.queue.clear();
+            }
+            e.config_epoch = Some(config_epoch);
+            e.table_versions = table_versions;
             return;
         }
-        if self.table_versions == table_versions {
-            return;
+        if e.table_versions == table_versions {
+            return; // another session already aligned the guard
         }
         // Symmetric diff: a table changed, appeared, or vanished.
-        let changed: Vec<&String> = self
+        let changed: Vec<&String> = e
             .table_versions
             .iter()
             .filter(|(k, v)| table_versions.get(*k) != Some(v))
             .map(|(k, _)| k)
-            .chain(table_versions.keys().filter(|k| !self.table_versions.contains_key(*k)))
+            .chain(table_versions.keys().filter(|k| !e.table_versions.contains_key(*k)))
             .collect();
-        let before = self.map.len();
-        self.map.retain(|_, e| !e.deps.iter().any(|d| changed.contains(&d)));
-        if self.map.len() < before {
-            self.counters.evictions += (before - self.map.len()) as u64;
-            // Purge invalidated keys from the FIFO queue too: a later
-            // re-insert of the same text would otherwise enqueue a
-            // duplicate key, and the stale front copy would make the
-            // capacity loop evict the freshly re-inserted entry as if it
-            // were the oldest.
-            let map = &self.map;
-            self.queue.retain(|k| map.contains_key(k));
+        for shard in self.shards.iter() {
+            let mut st = write_lock(&shard.state);
+            let before = st.map.len();
+            st.map.retain(|_, entry| !entry.deps.iter().any(|d| changed.contains(&d)));
+            if st.map.len() < before {
+                shard.evictions.fetch_add((before - st.map.len()) as u64, Ordering::Relaxed);
+                // Purge invalidated keys from the FIFO queue too: a later
+                // re-insert of the same text would otherwise enqueue a
+                // duplicate key, and the stale front copy would make the
+                // capacity loop evict the freshly re-inserted entry as if
+                // it were the oldest.
+                let ShardState { map, queue } = &mut *st;
+                queue.retain(|k| map.contains_key(k));
+            }
         }
-        self.table_versions = table_versions;
+        drop(changed);
+        e.table_versions = table_versions;
     }
 
     /// Look up the canonical detections for a statement text. Counts a
-    /// hit or a miss.
-    pub(crate) fn get(&mut self, text_hash: u128) -> Option<Arc<Vec<Detection>>> {
-        match self.map.get(&text_hash) {
+    /// hit or a miss. Takes the shard's **read** lock only — concurrent
+    /// lookups (the warm-path bulk of every re-check) never serialize.
+    pub(crate) fn get(&self, text_hash: u128) -> Option<Arc<Vec<Detection>>> {
+        let shard = self.shard_of(text_hash);
+        let st = read_lock(&shard.state);
+        match st.map.get(&text_hash) {
             Some(e) => {
-                self.counters.hits += 1;
+                shard.hits.fetch_add(1, Ordering::Relaxed);
                 Some(Arc::clone(&e.detections))
             }
             None => {
-                self.counters.misses += 1;
+                shard.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
     /// Insert canonical detections for a statement text together with the
-    /// set of tables they depend on, evicting FIFO past capacity.
+    /// set of tables they depend on, evicting FIFO past the shard
+    /// capacity.
     pub(crate) fn insert(
-        &mut self,
+        &self,
         text_hash: u128,
         detections: Arc<Vec<Detection>>,
         deps: Arc<[String]>,
     ) {
-        if self.map.insert(text_hash, CacheEntry { detections, deps }).is_none() {
-            self.queue.push_back(text_hash);
+        let shard = self.shard_of(text_hash);
+        let mut st = write_lock(&shard.state);
+        if st.map.insert(text_hash, CacheEntry { detections, deps }).is_none() {
+            st.queue.push_back(text_hash);
         }
-        while self.map.len() > self.capacity {
-            let Some(oldest) = self.queue.pop_front() else { break };
-            if self.map.remove(&oldest).is_some() {
-                self.counters.evictions += 1;
+        while st.map.len() > self.shard_capacity {
+            let Some(oldest) = st.queue.pop_front() else { break };
+            if st.map.remove(&oldest).is_some() {
+                shard.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
 
-    /// Cumulative hit/miss/eviction counters.
+    /// Cumulative hit/miss/eviction counters, summed across shards.
     pub fn counters(&self) -> CacheCounters {
-        self.counters
+        let mut c = CacheCounters::default();
+        for s in self.shards.iter() {
+            c.hits += s.hits.load(Ordering::Relaxed);
+            c.misses += s.misses.load(Ordering::Relaxed);
+            c.evictions += s.evictions.load(Ordering::Relaxed);
+        }
+        c
     }
 
-    /// Entries currently cached.
+    /// Entries currently cached, summed across shards.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.shards.iter().map(|s| read_lock(&s.state).map.len()).sum()
     }
 
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.shards.iter().all(|s| read_lock(&s.state).map.is_empty())
     }
 
-    /// Entry capacity.
+    /// Total entry capacity (enforced per shard, see
+    /// [`IncrementalCache::with_shards`]).
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Number of lock shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
     }
 }
 
@@ -230,7 +389,7 @@ mod tests {
 
     #[test]
     fn hit_miss_counters() {
-        let mut c = IncrementalCache::new(4);
+        let c = IncrementalCache::new(4);
         c.ensure_epoch(1, BTreeMap::new());
         assert!(c.get(10).is_none());
         c.insert(10, Arc::new(vec![det()]), deps(&["t"]));
@@ -240,7 +399,7 @@ mod tests {
 
     #[test]
     fn config_epoch_change_flushes_everything() {
-        let mut c = IncrementalCache::new(4);
+        let c = IncrementalCache::new(4);
         c.ensure_epoch(1, BTreeMap::new());
         c.insert(10, Arc::new(vec![]), deps(&["a"]));
         c.insert(11, Arc::new(vec![]), deps(&["b"]));
@@ -255,7 +414,7 @@ mod tests {
 
     #[test]
     fn table_change_invalidates_only_dependents() {
-        let mut c = IncrementalCache::new(8);
+        let c = IncrementalCache::new(8);
         c.ensure_epoch(1, versions(&[("a", 100), ("b", 200)]));
         c.insert(1, Arc::new(vec![]), deps(&["a"]));
         c.insert(2, Arc::new(vec![]), deps(&["b"]));
@@ -272,7 +431,7 @@ mod tests {
 
     #[test]
     fn appearing_and_vanishing_tables_invalidate_dependents() {
-        let mut c = IncrementalCache::new(8);
+        let c = IncrementalCache::new(8);
         c.ensure_epoch(1, versions(&[("a", 1)]));
         c.insert(1, Arc::new(vec![]), deps(&["a"]));
         c.insert(2, Arc::new(vec![]), deps(&["phantom"]));
@@ -288,7 +447,7 @@ mod tests {
 
     #[test]
     fn identical_versions_keep_cache_warm() {
-        let mut c = IncrementalCache::new(8);
+        let c = IncrementalCache::new(8);
         let v = versions(&[("a", 1), ("b", 2)]);
         c.ensure_epoch(1, v.clone());
         c.insert(1, Arc::new(vec![det()]), deps(&["a", "b"]));
@@ -301,7 +460,8 @@ mod tests {
 
     #[test]
     fn reinsert_after_invalidation_does_not_poison_fifo_order() {
-        let mut c = IncrementalCache::new(2);
+        // One shard so FIFO age is global and the scenario deterministic.
+        let c = IncrementalCache::with_shards(2, 1);
         c.ensure_epoch(1, versions(&[("a", 1)]));
         c.insert(10, Arc::new(vec![]), deps(&["a"]));
         c.insert(20, Arc::new(vec![]), deps(&[]));
@@ -321,7 +481,7 @@ mod tests {
 
     #[test]
     fn fifo_eviction_bounds_size() {
-        let mut c = IncrementalCache::new(2);
+        let c = IncrementalCache::with_shards(2, 1);
         c.ensure_epoch(1, BTreeMap::new());
         c.insert(1, Arc::new(vec![]), deps(&[]));
         c.insert(2, Arc::new(vec![]), deps(&[]));
@@ -330,5 +490,59 @@ mod tests {
         assert!(c.get(1).is_none(), "oldest entry evicted");
         assert!(c.get(3).is_some());
         assert_eq!(c.counters().evictions, 1);
+    }
+
+    #[test]
+    fn shard_count_does_not_change_per_key_semantics() {
+        // The same operation sequence against 1-shard and N-shard caches
+        // (ample capacity) must produce identical hit/miss/eviction
+        // totals and identical surviving keys.
+        let run = |shards: usize| {
+            let c = IncrementalCache::with_shards(1024, shards);
+            c.ensure_epoch(7, versions(&[("a", 1), ("b", 2)]));
+            for k in 0..64u128 {
+                assert!(c.get(k).is_none());
+                let dep: &[&str] = if k % 3 == 0 { &["a"] } else { &["b"] };
+                c.insert(k, Arc::new(vec![det()]), deps(dep));
+            }
+            for k in 0..64u128 {
+                assert!(c.get(k).is_some());
+            }
+            // Invalidate table `a`: exactly the k % 3 == 0 entries drop.
+            c.ensure_epoch(7, versions(&[("a", 9), ("b", 2)]));
+            for k in 0..64u128 {
+                assert_eq!(c.get(k).is_some(), k % 3 != 0, "key {k}");
+            }
+            (c.counters(), c.len())
+        };
+        let (c1, l1) = run(1);
+        for n in [2, 3, 16, 64] {
+            assert_eq!(run(n), (c1, l1), "{n} shards must match 1 shard");
+        }
+    }
+
+    #[test]
+    fn concurrent_reads_and_writes_are_safe() {
+        let c = IncrementalCache::new(4096);
+        c.ensure_epoch(1, BTreeMap::new());
+        for k in 0..256u128 {
+            c.insert(k, Arc::new(vec![det()]), deps(&["t"]));
+        }
+        std::thread::scope(|s| {
+            for t in 0..4u128 {
+                let c = &c;
+                s.spawn(move || {
+                    for round in 0..50u128 {
+                        for k in 0..256u128 {
+                            let _ = c.get(k);
+                        }
+                        c.insert(1000 + t * 100 + round, Arc::new(vec![]), deps(&[]));
+                    }
+                });
+            }
+        });
+        let counters = c.counters();
+        assert_eq!(counters.hits, 4 * 50 * 256, "every pre-inserted key hits");
+        assert_eq!(c.len(), 256 + 4 * 50);
     }
 }

@@ -17,9 +17,10 @@ pub mod cache;
 pub mod data;
 pub mod inter;
 pub mod intra;
+pub(crate) mod schedule;
 
 pub use batch::{BatchOptions, BatchReport, BatchStats};
-pub use cache::{CacheCounters, IncrementalCache, DEFAULT_CACHE_CAPACITY};
+pub use cache::{CacheCounters, IncrementalCache, DEFAULT_CACHE_CAPACITY, DEFAULT_CACHE_SHARDS};
 
 use crate::context::{Context, DataAnalysisConfig};
 use crate::report::{Detection, Locus, Report};

@@ -1,0 +1,185 @@
+//! Cost-aware work scheduling for the batch detection worker pool.
+//!
+//! The round-robin runner the batch engine started with assigned unit
+//! `i` to worker `i % threads` up front. That is perfectly balanced only
+//! when every unit costs the same — and real workloads are skewed: one
+//! giant trigger body among thousands of small statements, one hot
+//! template carrying most of the occurrences. Under round-robin the
+//! worker that drew the giant unit finishes last while the others idle,
+//! and adding cores stops helping.
+//!
+//! This module replaces that with **self-scheduling over an LPT order**
+//! (Longest Processing Time first — the classic greedy makespan
+//! heuristic):
+//!
+//! 1. Unit indexes are sorted by a caller-supplied **cost estimate**,
+//!    descending (stable, so equal-cost units keep their natural order).
+//! 2. Workers pull the next unpulled unit from a shared atomic cursor —
+//!    a single-queue work-stealing discipline: no worker idles while
+//!    units remain, and the most expensive units start first, so the
+//!    tail of the schedule is made of the cheapest work.
+//! 3. Every worker reports `(position, result)` pairs; the merge
+//!    reassembles results **in unit order**, so output is deterministic
+//!    and byte-identical to a sequential run regardless of how the pull
+//!    order interleaved.
+//!
+//! Each worker also records its wall-clock **busy time**, so scheduling
+//! skew is observable (max vs min worker micros in `BatchStats`) rather
+//! than inferred from end-to-end timings.
+
+use std::time::Instant;
+
+/// The results of one scheduled phase plus per-worker instrumentation.
+pub(crate) struct UnitRun<T> {
+    /// Per-unit results, in unit order (index `i` holds `f(i)`).
+    pub results: Vec<T>,
+    /// Wall-clock busy micros per worker, indexed by worker id. A
+    /// sequential run reports one entry. Workers that never pulled a
+    /// unit report (close to) zero.
+    pub worker_micros: Vec<u128>,
+}
+
+/// Run `f(0..n)` across `threads` scoped workers using cost-aware
+/// self-scheduling: units are pulled largest-estimated-cost first from a
+/// shared cursor. `cost_of(i)` is the caller's relative cost estimate for
+/// unit `i` — any monotone proxy works (bytes, rows, occurrence counts);
+/// only the ordering matters. Results come back in unit order, so every
+/// merge built on top is deterministic regardless of scheduling.
+#[cfg(feature = "parallel")]
+pub(crate) fn run_units_weighted<T, F>(
+    n: usize,
+    threads: usize,
+    cost_of: impl Fn(usize) -> u64,
+    f: &F,
+) -> UnitRun<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    if threads <= 1 || n < 2 {
+        let t = Instant::now();
+        let results: Vec<T> = (0..n).map(f).collect();
+        return UnitRun { results, worker_micros: vec![t.elapsed().as_micros()] };
+    }
+
+    // LPT order: most expensive units first. Stable sort keeps the
+    // natural order among equal estimates, which also makes a uniform
+    // cost function degrade to plain in-order self-scheduling.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(cost_of(i)));
+
+    let cursor = AtomicUsize::new(0);
+    let (partials, worker_micros): (Vec<Vec<(usize, T)>>, Vec<u128>) =
+        std::thread::scope(|s| {
+            let order = &order;
+            let cursor = &cursor;
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(move || {
+                        let t = Instant::now();
+                        let mut out: Vec<(usize, T)> = Vec::new();
+                        loop {
+                            let k = cursor.fetch_add(1, Ordering::Relaxed);
+                            if k >= n {
+                                break;
+                            }
+                            let pos = order[k];
+                            out.push((pos, f(pos)));
+                        }
+                        (out, t.elapsed().as_micros())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("detection worker panicked"))
+                .unzip()
+        });
+
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for part in partials {
+        for (pos, out) in part {
+            results[pos] = Some(out);
+        }
+    }
+    UnitRun {
+        results: results.into_iter().map(|o| o.expect("every unit computed")).collect(),
+        worker_micros,
+    }
+}
+
+/// Sequential stand-in when the `parallel` feature is disabled (the
+/// thread planners never return > 1 in that configuration).
+#[cfg(not(feature = "parallel"))]
+pub(crate) fn run_units_weighted<T, F>(
+    n: usize,
+    _threads: usize,
+    _cost_of: impl Fn(usize) -> u64,
+    f: &F,
+) -> UnitRun<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let t = Instant::now();
+    let results: Vec<T> = (0..n).map(f).collect();
+    UnitRun { results, worker_micros: vec![t.elapsed().as_micros()] }
+}
+
+/// Fold one phase's per-worker busy times into a cumulative per-worker
+/// ledger (element-wise sum, extending with new workers as needed). The
+/// ledger spans all scheduled phases of one batch run, so `--stats` can
+/// report max/min worker busy time for the whole detection.
+pub(crate) fn fold_worker_micros(ledger: &mut Vec<u128>, phase: &[u128]) {
+    if ledger.len() < phase.len() {
+        ledger.resize(phase.len(), 0);
+    }
+    for (acc, &b) in ledger.iter_mut().zip(phase) {
+        *acc += b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_unit_order() {
+        for threads in [1, 2, 3, 8] {
+            let run = run_units_weighted(10, threads, |i| (10 - i) as u64, &|i| i * 3);
+            assert_eq!(run.results, (0..10).map(|i| i * 3).collect::<Vec<_>>(), "{threads}");
+            assert!(!run.worker_micros.is_empty());
+        }
+    }
+
+    #[test]
+    fn skewed_costs_do_not_change_output() {
+        // One giant unit (index 7) plus uniform small ones: LPT pulls it
+        // first, but the merged output must stay in unit order.
+        let cost = |i: usize| if i == 7 { 1_000_000 } else { 1 };
+        for threads in [1, 2, 4] {
+            let run = run_units_weighted(20, threads, cost, &|i| format!("u{i}"));
+            let want: Vec<String> = (0..20).map(|i| format!("u{i}")).collect();
+            assert_eq!(run.results, want, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let run = run_units_weighted(0, 4, |_| 1, &|i| i);
+        assert!(run.results.is_empty());
+        let run = run_units_weighted(1, 4, |_| 1, &|i| i + 100);
+        assert_eq!(run.results, vec![100]);
+    }
+
+    #[test]
+    fn worker_ledger_folds_elementwise() {
+        let mut ledger = vec![5, 5];
+        fold_worker_micros(&mut ledger, &[1, 2, 3]);
+        assert_eq!(ledger, vec![6, 7, 3]);
+        fold_worker_micros(&mut ledger, &[]);
+        assert_eq!(ledger, vec![6, 7, 3]);
+    }
+}

@@ -115,7 +115,7 @@ pub use context::{
 };
 pub use detect::{
     BatchOptions, BatchReport, BatchStats, CacheCounters, DetectionConfig, Detector,
-    IncrementalCache,
+    IncrementalCache, DEFAULT_CACHE_SHARDS,
 };
 pub use fix::{Fix, FixEngine, SuggestedFix};
 pub use rank::{
@@ -194,7 +194,7 @@ pub struct SqlCheck {
     registry: RuleRegistry,
     database: Option<std::sync::Arc<Database>>,
     data_cfg: DataAnalysisConfig,
-    cache: Option<IncrementalCache>,
+    cache: Option<std::sync::Arc<IncrementalCache>>,
 }
 
 impl Default for SqlCheck {
@@ -272,7 +272,20 @@ impl SqlCheck {
     /// whose text is unchanged since an earlier call — a workload
     /// re-check after small edits only re-analyses the edited statements.
     pub fn with_cache(mut self, capacity: usize) -> Self {
-        self.cache = Some(IncrementalCache::new(capacity));
+        self.cache = Some(std::sync::Arc::new(IncrementalCache::new(capacity)));
+        self
+    }
+
+    /// Attach an **externally shared** incremental cache. The cache is
+    /// lock-striped by content-hash shard, so many `SqlCheck` instances —
+    /// one per session/thread — can point at the same `Arc` and
+    /// concurrently warm each other's re-checks without contending on a
+    /// single structure (the lookup path takes shared locks only). All
+    /// sessions must check under the same detection config and schema:
+    /// the cache's validity epoch is global, and a config/schema switch
+    /// by one session invalidates affected entries for all.
+    pub fn with_shared_cache(mut self, cache: std::sync::Arc<IncrementalCache>) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -282,7 +295,7 @@ impl SqlCheck {
     }
 
     /// Run the full pipeline over a SQL script.
-    pub fn check_script(&mut self, script: &str) -> CheckOutcome {
+    pub fn check_script(&self, script: &str) -> CheckOutcome {
         let mut builder = ContextBuilder::new().add_script(script);
         if let Some(db) = &self.database {
             builder = builder.with_shared_database(db.clone(), self.data_cfg.clone());
@@ -310,7 +323,7 @@ impl SqlCheck {
     /// detection results across calls. Produces the same detections as
     /// [`SqlCheck::check_script`] plus [`BatchStats`] instrumentation
     /// (batch dedup, per-phase front-end timings, cache counters).
-    pub fn check_workload(&mut self, script: &str, opts: &BatchOptions) -> WorkloadOutcome {
+    pub fn check_workload(&self, script: &str, opts: &BatchOptions) -> WorkloadOutcome {
         let frontend = FrontendOptions {
             dedup: true,
             parallel: opts.parallel,
@@ -322,7 +335,7 @@ impl SqlCheck {
             builder = builder.with_shared_database(db.clone(), self.data_cfg.clone());
         }
         let (context, fe_stats) = builder.build_with_stats();
-        let batch = self.detector.detect_batch_with(&context, opts, self.cache.as_mut());
+        let batch = self.detector.detect_batch_with(&context, opts, self.cache.as_deref());
         let mut report = batch.report;
         let mut extra = self.registry.detect_all(&context);
         detect::attach_default_spans(&mut extra, &context);

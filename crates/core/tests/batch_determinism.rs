@@ -146,7 +146,7 @@ fn cached_recheck_is_byte_identical_to_cold_sequential() {
         let script = random_script(&mut rng, statements);
         let edited = edit_lines(&script, &mut rng);
         let det = Detector::default();
-        let mut cache = IncrementalCache::new(4096);
+        let cache = IncrementalCache::new(4096);
 
         for (round, (sql, label)) in
             [(&script, "cold"), (&edited, "edited"), (&script, "back")].iter().enumerate()
@@ -154,7 +154,7 @@ fn cached_recheck_is_byte_identical_to_cold_sequential() {
             let opts = BatchOptions { parallel: true, threads: Some(1 + round % 3) };
             let ctx = ContextBuilder::new().add_script(sql).build();
             let got =
-                detections_debug(&det.detect_batch_with(&ctx, &opts, Some(&mut cache)).report);
+                detections_debug(&det.detect_batch_with(&ctx, &opts, Some(&cache)).report);
             assert_eq!(
                 cold_reference(&det, sql),
                 got,
@@ -170,7 +170,7 @@ fn cached_recheck_is_byte_identical_to_cold_sequential() {
         let intra = Detector::new(DetectionConfig::intra_only());
         let ctx = ContextBuilder::new().add_script(&edited).build();
         let got = detections_debug(
-            &intra.detect_batch_with(&ctx, &BatchOptions::default(), Some(&mut cache)).report,
+            &intra.detect_batch_with(&ctx, &BatchOptions::default(), Some(&cache)).report,
         );
         assert_eq!(
             cold_reference(&intra, &edited),
@@ -191,11 +191,11 @@ fn schema_edit_invalidates_cached_suppressions() {
     let v1 = "CREATE TABLE tab (a INT);\nSELECT * FROM tab WHERE a = 1;\n";
     let v2 = "CREATE TABLE tab (a INT);\nALTER TABLE tab ADD CONSTRAINT pk PRIMARY KEY (a);\nSELECT * FROM tab WHERE a = 1;\n";
     let det = Detector::default();
-    let mut cache = IncrementalCache::new(64);
+    let cache = IncrementalCache::new(64);
     for sql in [v1, v2, v1] {
         let ctx = ContextBuilder::new().add_script(sql).build();
         let got = detections_debug(
-            &det.detect_batch_with(&ctx, &BatchOptions::default(), Some(&mut cache)).report,
+            &det.detect_batch_with(&ctx, &BatchOptions::default(), Some(&cache)).report,
         );
         assert_eq!(cold_reference(&det, sql), got, "schema change must invalidate");
     }
@@ -287,7 +287,7 @@ fn per_table_invalidation_never_serves_stale_results() {
         let n = 40 + rng.gen_range(80);
         let base = random_script(&mut rng, n);
         let det = Detector::default();
-        let mut cache = IncrementalCache::new(4096);
+        let cache = IncrementalCache::new(4096);
         let mut script = base.clone();
         for round in 0..5 {
             // Random DDL mutation of one table per round (the statement
@@ -306,7 +306,7 @@ fn per_table_invalidation_never_serves_stale_results() {
             }
             let ctx = ContextBuilder::new().add_script(&script).build();
             let got = detections_debug(
-                &det.detect_batch_with(&ctx, &BatchOptions::default(), Some(&mut cache)).report,
+                &det.detect_batch_with(&ctx, &BatchOptions::default(), Some(&cache)).report,
             );
             assert_eq!(
                 cold_reference(&det, &script),
@@ -339,15 +339,15 @@ fn ddl_edit_to_one_table_keeps_unrelated_entries() {
         "CREATE TABLE hot (id INT PRIMARY KEY, v TEXT, w INT);",
     );
     let det = Detector::default();
-    let mut cache = IncrementalCache::new(4096);
+    let cache = IncrementalCache::new(4096);
 
     // Prime, then a no-op re-check: identical schema must keep the cache
     // fully warm (every unique text hits; zero evictions).
     let ctx = ContextBuilder::new().add_script(&script).build();
-    let first = det.detect_batch_with(&ctx, &BatchOptions::default(), Some(&mut cache));
+    let first = det.detect_batch_with(&ctx, &BatchOptions::default(), Some(&cache));
     assert_eq!(first.stats.incremental_hits, 0);
     let ctx2 = ContextBuilder::new().add_script(&script).build();
-    let warm = det.detect_batch_with(&ctx2, &BatchOptions::default(), Some(&mut cache));
+    let warm = det.detect_batch_with(&ctx2, &BatchOptions::default(), Some(&cache));
     assert_eq!(
         warm.stats.incremental_misses, 0,
         "content-identical schema reload must not flush the cache"
@@ -358,7 +358,7 @@ fn ddl_edit_to_one_table_keeps_unrelated_entries() {
     // DDL edit to `hot` only: cold1/cold2 entries survive, hot entries
     // (and the edited DDL text itself) re-analyse.
     let ctx3 = ContextBuilder::new().add_script(&edited).build();
-    let after = det.detect_batch_with(&ctx3, &BatchOptions::default(), Some(&mut cache));
+    let after = det.detect_batch_with(&ctx3, &BatchOptions::default(), Some(&cache));
     assert_eq!(
         detections_debug(&after.report),
         cold_reference(&det, &edited),

@@ -96,7 +96,7 @@ fn dollar_quoted_function_body_e2e() {
                   END\n\
                   $fn$ LANGUAGE plpgsql;\n\
                   SELECT name FROM t WHERE id = 1;";
-    let mut tool = SqlCheck::new();
+    let tool = SqlCheck::new();
     let w = tool.check_workload(script, &BatchOptions::default());
     assert_eq!(w.stats.statements, 2);
     let ctx = &w.outcome.context;
@@ -131,7 +131,7 @@ fn mysqldump_delimiter_block_e2e() {
                   END ;;\n\
                   DELIMITER ;\n\
                   SELECT * FROM t;";
-    let mut tool = SqlCheck::new();
+    let tool = SqlCheck::new();
     let w = tool.check_workload(script, &BatchOptions::default());
     assert_eq!(w.stats.statements, 2, "directive lines are not statements");
     assert!(matches!(w.outcome.context.statements[0].parsed.stmt, Statement::CreateTrigger(_)));
@@ -157,7 +157,7 @@ fn cache_script(v_extra_col: bool) -> String {
 
 #[test]
 fn ddl_edit_to_body_referenced_table_evicts_trigger_entry() {
-    let mut tool = SqlCheck::new().with_cache(1024);
+    let tool = SqlCheck::new().with_cache(1024);
     let cold = tool.check_workload(&cache_script(false), &BatchOptions::default());
     assert_eq!(cold.stats.incremental_misses, 4, "all unique texts analysed cold");
 
@@ -184,7 +184,7 @@ fn cached_compound_rechecks_stay_byte_identical() {
                   SELECT 2;\n\
                   CREATE TRIGGER audit AFTER UPDATE ON t FOR EACH ROW BEGIN \
                   INSERT INTO log VALUES (1); SELECT * FROM x; END;";
-    let mut tool = SqlCheck::new().with_cache(64);
+    let tool = SqlCheck::new().with_cache(64);
     let cold = tool.check_workload(script, &BatchOptions::default());
     let warm = tool.check_workload(script, &BatchOptions::default());
     assert!(warm.stats.incremental_hits > 0);

@@ -74,7 +74,7 @@ fn detections_on_duplicates_carry_their_own_occurrence_span() {
 #[test]
 fn fixes_for_duplicates_point_at_their_own_location() {
     let occ = occurrence_texts(SCRIPT);
-    let mut tool = SqlCheck::new();
+    let tool = SqlCheck::new();
     let w = tool.check_workload(SCRIPT, &BatchOptions::default());
     let spans: Vec<(usize, usize)> = w
         .outcome
@@ -101,7 +101,7 @@ fn cached_rechecks_preserve_per_occurrence_spans() {
     // Round 1 populates the cache; round 2 replays it. The replayed
     // detections must carry round-2 occurrence spans, not canonical or
     // first-occurrence ones.
-    let mut tool = SqlCheck::new().with_cache(1024);
+    let tool = SqlCheck::new().with_cache(1024);
     let cold = tool.check_workload(SCRIPT, &BatchOptions::default());
     let warm = tool.check_workload(SCRIPT, &BatchOptions::default());
     assert!(warm.stats.incremental_hits > 0, "second round must hit the cache");

@@ -533,13 +533,24 @@ impl TokenSink for BoundarySink<'_> {
     }
 }
 
+/// Floor on the bytes a parallel split chunk should carry: below this,
+/// thread spawn + join overhead outweighs the lexing saved, so the
+/// effective chunk count is clamped to `len / MIN_CHUNK_BYTES`. The
+/// clamp is byte-identity-safe — it only changes how many boundary
+/// targets the pre-scan aims for, never where statements end.
+const MIN_CHUNK_BYTES: usize = 16 * 1024;
+
 /// Chunk the script into at most `threads` ranges that all start right
 /// after a top-level `;` (or at 0) — every range is a whole number of
 /// statements (never the middle of a `BEGIN…END` body), so per-range
-/// splits concatenate to the sequential result. Scripts containing a
-/// `DELIMITER` directive fall back to one sequential range.
+/// splits concatenate to the sequential result. The range count is
+/// additionally size-clamped so every chunk carries at least
+/// [`MIN_CHUNK_BYTES`] (oversubscribing tiny scripts only adds spawn
+/// overhead). Scripts containing a `DELIMITER` directive fall back to
+/// one sequential range.
 fn chunk_ranges(script: &str, threads: usize) -> Vec<(usize, usize)> {
     let len = script.len();
+    let threads = threads.min(len / MIN_CHUNK_BYTES);
     if threads <= 1 || len == 0 {
         return vec![(0, len)];
     }
