@@ -17,6 +17,7 @@
 //! expdriver phases         # per-phase timing of the three-phase pipeline
 //! expdriver split          # fused streaming splitter vs legacy two-pass
 //! expdriver scaling        # speedup-vs-threads curves (plain/trigger/skewed)
+//! expdriver corpus         # acceptance matrix: parse coverage on real corpora
 //! ```
 //!
 //! `--quick` shrinks scales for a fast smoke run. `--threads N` pins the
@@ -230,6 +231,19 @@ fn main() {
         }
         let path = "BENCH_scaling.json";
         match std::fs::write(path, scaling::to_json(&rows)) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+    if run_all || what == "corpus" {
+        section("Corpus — acceptance matrix: parse coverage + degradation by corpus");
+        let rows = corpus::run(quick, threads);
+        print!("{}", corpus::render(&rows));
+        // CI gate: per-corpus parse-coverage floors and zero isolated rule
+        // failures; panics (non-zero exit) on violation.
+        corpus::assert_floors(&rows);
+        let path = "BENCH_corpus.json";
+        match std::fs::write(path, corpus::to_json(&rows)) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => eprintln!("could not write {path}: {e}"),
         }

@@ -148,7 +148,7 @@ pub fn run_one(
 ) -> E2eRow {
     let script = workload_script(statements, templates, seed);
     let (edited_script, edited) = edit_script(&script, edit_permille, seed ^ 0xE017);
-    let opts = BatchOptions { parallel: true, threads };
+    let opts = BatchOptions { parallel: true, threads, ..BatchOptions::default() };
 
     // Cold, legacy front-end (the pre-pipeline baseline). Detection uses
     // the same batch options as the pipeline runs so the measured delta
@@ -157,7 +157,7 @@ pub fn run_one(
         best_of(|| check(&script, FrontendOptions::legacy(), &opts, None));
 
     // Cold, parse-once pipeline.
-    let pipeline_fe = FrontendOptions { dedup: true, parallel: true, threads };
+    let pipeline_fe = FrontendOptions { dedup: true, parallel: true, threads, ..FrontendOptions::default() };
     let (pipeline, pipeline_micros) =
         best_of(|| check(&script, pipeline_fe.clone(), &opts, None));
 
@@ -239,8 +239,8 @@ pub fn run_ddl_edit(statements: usize, tables: usize, seed: u64, threads: Option
     );
     assert_ne!(script, edited, "edit must change the DDL");
 
-    let opts = BatchOptions { parallel: true, threads };
-    let fe = FrontendOptions { dedup: true, parallel: true, threads };
+    let opts = BatchOptions { parallel: true, threads, ..BatchOptions::default() };
+    let fe = FrontendOptions { dedup: true, parallel: true, threads, ..FrontendOptions::default() };
     let cache = IncrementalCache::default();
     let _ = check(&script, fe.clone(), &opts, Some(&cache));
     let warm = check(&edited, fe.clone(), &opts, Some(&cache));

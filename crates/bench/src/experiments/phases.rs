@@ -111,7 +111,7 @@ pub fn run_one(
         .with_database(db, DataAnalysisConfig::default())
         .build_with_stats();
     let det = Detector::default();
-    let opts = BatchOptions { parallel: true, threads };
+    let opts = BatchOptions { parallel: true, threads, ..BatchOptions::default() };
 
     let (seq, seq_micros) = best_of(|| det.detect(&ctx));
     let (batch, batch_micros) = best_of(|| det.detect_batch(&ctx, &opts));

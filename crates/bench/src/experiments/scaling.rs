@@ -104,8 +104,8 @@ pub fn sweep_points(hw: usize) -> Vec<usize> {
 /// `threads` workers, returning the batch report plus the front-end and
 /// detection wall-clock micros of this single run.
 fn check_at(script: &str, threads: usize) -> (sqlcheck::BatchReport, u128, u128) {
-    let fe = FrontendOptions { dedup: true, parallel: threads > 1, threads: Some(threads) };
-    let opts = BatchOptions { parallel: threads > 1, threads: Some(threads) };
+    let fe = FrontendOptions { dedup: true, parallel: threads > 1, threads: Some(threads), ..FrontendOptions::default() };
+    let opts = BatchOptions { parallel: threads > 1, threads: Some(threads), ..BatchOptions::default() };
     let t_fe = Instant::now();
     let (ctx, fe_stats) =
         ContextBuilder::new().with_frontend(fe).add_script(script).build_with_stats();

@@ -260,7 +260,7 @@ pub fn run_one(
     let script = script_for_shape(workload, statements, templates, seed);
     let ctx = ContextBuilder::new().add_script(&script).build();
     let det = Detector::default();
-    let par_opts = BatchOptions { parallel: true, threads };
+    let par_opts = BatchOptions { parallel: true, threads, ..BatchOptions::default() };
 
     let (seq, seq_micros) = best_of(|| det.detect(&ctx));
     let (batch, batch_micros) = best_of(|| det.detect_batch(&ctx, &BatchOptions::sequential()));

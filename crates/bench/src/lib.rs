@@ -11,6 +11,7 @@ pub mod harness;
 
 /// Experiment implementations, one module per paper artefact.
 pub mod experiments {
+    pub mod corpus;
     pub mod e2e;
     pub mod fig3;
     pub mod fig7;

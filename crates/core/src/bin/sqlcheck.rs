@@ -14,6 +14,8 @@
 //!                        auto-detect all cores)
 //!   --stats              batch engine + dedup/phase-timing stats on stderr
 //!   --cache              batch engine + incremental detection cache
+//!   --fail-on-degraded   exit 3 when any statement parsed degraded or a
+//!                        rule unit failed (see --stats for details)
 //! ```
 //!
 //! Note on `--cache`: the cache pays off across *repeated*
@@ -28,7 +30,7 @@
 //! echo "INSERT INTO Users VALUES (1, 'foo')" | sqlcheck -
 //! ```
 
-use sqlcheck::{BatchOptions, DetectionConfig, Fix, InterQueryModel, RankWeights, SqlCheck};
+use sqlcheck::{BatchOptions, DetectionConfig, DiagKind, Fix, InterQueryModel, RankWeights, SqlCheck};
 use std::io::Read;
 
 fn main() {
@@ -42,6 +44,7 @@ fn main() {
     let summary = args.iter().any(|a| a == "--summary");
     let stats = args.iter().any(|a| a == "--stats");
     let cache = args.iter().any(|a| a == "--cache");
+    let fail_on_degraded = args.iter().any(|a| a == "--fail-on-degraded");
     // `--threads 0` means auto-detect (`available_parallelism`), the
     // same as leaving the worker count to `--parallel`.
     let mut threads_given = false;
@@ -108,7 +111,7 @@ fn main() {
     // engine (identical detections; parse-once front-end, template dedup,
     // optional threading and incremental caching).
     let outcome = if parallel || stats || cache {
-        let opts = BatchOptions { parallel, threads };
+        let opts = BatchOptions { parallel, threads, ..BatchOptions::default() };
         let w = tool.check_workload(&sql, &opts);
         if stats {
             let s = &w.stats;
@@ -153,15 +156,46 @@ fn main() {
                     s.incremental_hits, s.incremental_misses, s.incremental_evictions,
                 );
             }
+            eprintln!(
+                "stats: parse coverage {:.4} — {} degraded statement(s) across \
+                 {} degraded unique text(s), {} isolated rule failure(s)",
+                s.parse_coverage(),
+                s.degraded_statements,
+                s.degraded_uniques,
+                s.rule_failures,
+            );
+            let kinds: Vec<String> = DiagKind::ALL
+                .iter()
+                .filter(|k| s.diag_counts[k.index()] > 0)
+                .map(|k| format!("{} {}", k.name(), s.diag_counts[k.index()]))
+                .collect();
+            if !kinds.is_empty() {
+                eprintln!("stats: diagnostics by kind: {}", kinds.join(", "));
+            }
         }
         w.outcome
     } else {
         tool.check_script(&sql)
     };
 
+    // --fail-on-degraded: exit 3 when any degradation diagnostic other
+    // than the informational delimiter-fallback notice was emitted —
+    // detection ran, but on reduced-fidelity input. Takes precedence over
+    // the findings exit code (1).
+    let degraded_exit = fail_on_degraded
+        && outcome
+            .diagnostics
+            .iter()
+            .any(|d| d.kind != DiagKind::DelimiterFallbackSequential);
+    if degraded_exit && stats {
+        for d in &outcome.diagnostics {
+            eprintln!("degraded: {d}");
+        }
+    }
+
     if outcome.ranked.is_empty() {
         println!("no anti-patterns detected in {} statement(s)", outcome.context.len());
-        return;
+        finish(degraded_exit, false);
     }
 
     if summary {
@@ -170,7 +204,7 @@ fn main() {
             println!("{:<30} {:>6}", kind.name(), n);
         }
         println!("{:<30} {:>6}", "total", outcome.report.detections.len());
-        return;
+        finish(degraded_exit, true);
     }
 
     for (i, (r, f)) in outcome.ranked.iter().zip(&outcome.fixes).enumerate() {
@@ -207,7 +241,19 @@ fn main() {
         }
     }
     // Exit code signals findings, like familiar linters.
-    std::process::exit(1);
+    finish(degraded_exit, true);
+}
+
+/// Final exit: degraded input (3, under --fail-on-degraded) takes
+/// precedence over findings (1); a clean run exits 0.
+fn finish(degraded_exit: bool, found: bool) -> ! {
+    std::process::exit(if degraded_exit {
+        3
+    } else if found {
+        1
+    } else {
+        0
+    })
 }
 
 fn arg_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -228,8 +274,10 @@ fn print_help() {
         "sqlcheck — detect, rank, and fix SQL anti-patterns (SIGMOD 2020 reproduction)\n\n\
          usage: sqlcheck [--intra-only] [--weights c1|c2] [--rank-by count] \n\
                          [--no-fix] [--summary] [--parallel] [--threads N] \n\
-                         [--stats] [--cache] [FILE|-]\n\n\
+                         [--stats] [--cache] [--fail-on-degraded] [FILE|-]\n\n\
          Reads SQL from FILE (or stdin with '-'), prints ranked anti-patterns\n\
-         with suggested fixes. Exits 1 when anti-patterns are found."
+         with suggested fixes. Exits 1 when anti-patterns are found; with\n\
+         --fail-on-degraded, exits 3 when any statement parsed degraded or a\n\
+         rule unit was isolated after a panic."
     );
 }

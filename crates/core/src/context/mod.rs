@@ -24,8 +24,9 @@ use crate::hashutil::Prehashed;
 use sqlcheck_minidb::database::Database;
 use sqlcheck_parser::annotate::{annotate, Annotations};
 use sqlcheck_parser::ast::ParsedStatement;
+use sqlcheck_parser::diag::{DiagKind, Diagnostic, Limits};
 use sqlcheck_parser::parse;
-use sqlcheck_parser::parser::parse_raw;
+use sqlcheck_parser::parser::{diagnose_parsed, parse_raw_limited};
 use sqlcheck_parser::fingerprint::fingerprint_of;
 use sqlcheck_parser::splitter::{split_deduped, split_stream_parallel, RawStatement};
 use sqlcheck_parser::token::Span;
@@ -63,6 +64,10 @@ pub struct AnalyzedStatement {
     /// shared across duplicates. Zero-length for statements added via
     /// [`ContextBuilder::add_statements`] without source text.
     pub span: Span,
+    /// Degradation diagnostics from parsing this statement's unique text
+    /// (shared across duplicate occurrences). `statement` indexes are
+    /// unset here; consumers attribute the first occurrence.
+    pub diags: Arc<[Diagnostic]>,
 }
 
 /// The application context.
@@ -76,6 +81,13 @@ pub struct Context {
     pub workload: WorkloadProfile,
     /// Data profiles, when a database was attached.
     pub data: Option<DataProfile>,
+    /// Script-level degradation diagnostics not tied to one statement
+    /// (e.g. [`DiagKind::DelimiterFallbackSequential`]).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Epoch digest ([`Limits::epoch`]) of the budgets the statements
+    /// were parsed under — folded into cache validity keys, because a
+    /// budget change can alter the parse of the same statement text.
+    pub limits_epoch: u64,
 }
 
 impl Context {
@@ -156,11 +168,19 @@ pub struct FrontendOptions {
     /// Worker-thread count; `None` uses the machine's available
     /// parallelism.
     pub threads: Option<usize>,
+    /// Per-statement resource budgets; over-budget statements degrade to
+    /// `Other` with an [`DiagKind::OverLimit`] diagnostic.
+    pub limits: Limits,
 }
 
 impl Default for FrontendOptions {
     fn default() -> Self {
-        FrontendOptions { dedup: true, parallel: cfg!(feature = "parallel"), threads: None }
+        FrontendOptions {
+            dedup: true,
+            parallel: cfg!(feature = "parallel"),
+            threads: None,
+            limits: Limits::default(),
+        }
     }
 }
 
@@ -168,12 +188,12 @@ impl FrontendOptions {
     /// The pre-pipeline behaviour: parse and annotate every statement
     /// individually, single-threaded. Kept as the benchmark baseline.
     pub fn legacy() -> Self {
-        FrontendOptions { dedup: false, parallel: false, threads: None }
+        FrontendOptions { dedup: false, parallel: false, ..FrontendOptions::default() }
     }
 
     /// Dedup on, threading off — the deterministic single-core pipeline.
     pub fn sequential() -> Self {
-        FrontendOptions { dedup: true, parallel: false, threads: None }
+        FrontendOptions { parallel: false, ..FrontendOptions::default() }
     }
 }
 
@@ -183,9 +203,15 @@ struct UniqueEntry {
     raw: Option<RawStatement>,
     parsed: Option<Arc<ParsedStatement>>,
     ann: Option<Arc<Annotations>>,
+    diags: Arc<[Diagnostic]>,
     hash: u128,
     fingerprint: u64,
     count: usize,
+}
+
+/// Empty shared diagnostic slice (the common, fully-shaped case).
+fn no_diags() -> Arc<[Diagnostic]> {
+    Arc::from(Vec::new())
 }
 
 /// Builder for [`Context`] — the parse-once front-end.
@@ -216,6 +242,10 @@ pub struct ContextBuilder {
     opts: FrontendOptions,
     split_micros: u128,
     materialize_micros: u128,
+    /// Whether any added script contained a `DELIMITER` directive
+    /// (deterministic across split thread counts — see
+    /// [`sqlcheck_parser::splitter::DedupedSplit`]).
+    saw_delimiter_directive: bool,
 }
 
 impl ContextBuilder {
@@ -245,7 +275,15 @@ impl ContextBuilder {
         }
         let (raw, parsed, fingerprint) = make();
         self.order.push(self.uniques.len());
-        self.uniques.push(UniqueEntry { raw, parsed, ann: None, hash, fingerprint, count: 1 });
+        self.uniques.push(UniqueEntry {
+            raw,
+            parsed,
+            ann: None,
+            diags: no_diags(),
+            hash,
+            fingerprint,
+            count: 1,
+        });
     }
 
     /// Decide the chunk-parallel split worker count for one script.
@@ -273,6 +311,7 @@ impl ContextBuilder {
         let mut mat_micros = 0u128;
         if self.opts.dedup {
             let deduped = split_deduped(script, threads);
+            self.saw_delimiter_directive |= deduped.saw_delimiter_directive;
             // Map script-local unique slots onto builder slots,
             // materialising only texts no earlier script contributed.
             let mut slot_map: Vec<usize> = Vec::with_capacity(deduped.uniques.len());
@@ -289,6 +328,7 @@ impl ContextBuilder {
                             raw: Some(raw),
                             parsed: None,
                             ann: None,
+                            diags: no_diags(),
                             hash: u.content_hash,
                             fingerprint: u.fingerprint,
                             count: 0,
@@ -317,6 +357,7 @@ impl ContextBuilder {
                     raw: Some(raw),
                     parsed: None,
                     ann: None,
+                    diags: no_diags(),
                     hash: s.content_hash,
                     fingerprint: s.fingerprint,
                     count: 1,
@@ -400,9 +441,21 @@ impl ContextBuilder {
         let t_parse = Instant::now();
         let threads = plan_threads(&self.opts, uniques.len());
         stats.threads = threads;
+        let limits = self.opts.limits;
         for_each_entry(&mut uniques, threads, |e| {
             if let Some(raw) = e.raw.take() {
-                e.parsed = Some(Arc::new(parse_raw(raw)));
+                let (p, diags) = parse_raw_limited(raw, &limits);
+                e.parsed = Some(Arc::new(p));
+                if !diags.is_empty() {
+                    e.diags = diags.into();
+                }
+            } else if let Some(p) = &e.parsed {
+                // Pre-parsed intake (add_statements): re-derive the
+                // statement-level diagnostics from the existing tree.
+                let diags = diagnose_parsed(p);
+                if !diags.is_empty() {
+                    e.diags = diags.into();
+                }
             }
         });
         stats.parse_micros = t_parse.elapsed().as_micros();
@@ -430,6 +483,7 @@ impl ContextBuilder {
                     text_hash: u.hash,
                     template_hash: u.fingerprint,
                     span,
+                    diags: u.diags.clone(),
                 }
             })
             .collect();
@@ -467,7 +521,26 @@ impl ContextBuilder {
         );
         stats.context_micros = t_ctx.elapsed().as_micros();
 
-        (Context { statements: analyzed, schema, workload, data }, stats)
+        let mut diagnostics = Vec::new();
+        if self.saw_delimiter_directive {
+            diagnostics.push(Diagnostic::new(
+                DiagKind::DelimiterFallbackSequential,
+                "script contains a DELIMITER directive; the splitter used \
+                 the tracked (sequential-equivalent) pass",
+            ));
+        }
+
+        (
+            Context {
+                statements: analyzed,
+                schema,
+                workload,
+                data,
+                diagnostics,
+                limits_epoch: limits.epoch(),
+            },
+            stats,
+        )
     }
 }
 

@@ -38,6 +38,8 @@ use crate::detect::{attach_spans, data, dedup, inter, intra, Detector};
 use crate::hashutil::Prehashed;
 use crate::report::{Detection, Locus, Report};
 use sqlcheck_parser::annotate::Annotations;
+use sqlcheck_parser::ast::Statement;
+use sqlcheck_parser::diag::{DiagKind, Diagnostic, Limits};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
@@ -51,18 +53,26 @@ pub struct BatchOptions {
     /// Worker-thread count; `None` uses the machine's available
     /// parallelism.
     pub threads: Option<usize>,
+    /// Per-statement resource budgets, forwarded to the front-end by
+    /// [`check_workload`](crate::SqlCheck::check_workload); over-budget
+    /// statements degrade to `Other` with an `OverLimit` diagnostic.
+    pub limits: Limits,
 }
 
 impl Default for BatchOptions {
     fn default() -> Self {
-        BatchOptions { parallel: cfg!(feature = "parallel"), threads: None }
+        BatchOptions {
+            parallel: cfg!(feature = "parallel"),
+            threads: None,
+            limits: Limits::default(),
+        }
     }
 }
 
 impl BatchOptions {
     /// Force the sequential (but still deduplicating) batch path.
     pub fn sequential() -> Self {
-        BatchOptions { parallel: false, threads: None }
+        BatchOptions { parallel: false, ..BatchOptions::default() }
     }
 }
 
@@ -130,6 +140,19 @@ pub struct BatchStats {
     /// Incremental cache: entries dropped this call (capacity evictions
     /// plus config/schema-change flushes).
     pub incremental_evictions: usize,
+    /// Unique statement texts whose parse degraded to `Statement::Other`
+    /// (structural shape lost; detection power reduced).
+    pub degraded_uniques: usize,
+    /// Statements (occurrence-weighted) whose parse degraded to
+    /// `Statement::Other`.
+    pub degraded_statements: usize,
+    /// Diagnostics per kind, indexed per [`DiagKind::index`]: parse-time
+    /// diagnostics counted once per unique text, script-level events, and
+    /// detection-phase rule failures.
+    pub diag_counts: [usize; DiagKind::COUNT],
+    /// Detection-rule units that panicked and were isolated (their
+    /// output dropped, everything else unaffected).
+    pub rule_failures: usize,
 }
 
 impl BatchStats {
@@ -152,6 +175,17 @@ impl BatchStats {
     pub fn worker_busy_min(&self) -> u128 {
         self.worker_busy_micros.iter().copied().min().unwrap_or(0)
     }
+
+    /// Fraction of statements whose parse kept structural shape
+    /// (`1.0` = every statement shaped; an empty workload counts as
+    /// fully covered).
+    pub fn parse_coverage(&self) -> f64 {
+        if self.statements == 0 {
+            1.0
+        } else {
+            1.0 - self.degraded_statements as f64 / self.statements as f64
+        }
+    }
 }
 
 /// A [`Report`] plus the batch instrumentation that produced it.
@@ -161,6 +195,10 @@ pub struct BatchReport {
     pub report: Report,
     /// Instrumentation.
     pub stats: BatchStats,
+    /// Detection-phase degradation events — [`DiagKind::RuleFailed`]
+    /// entries for isolated rule-unit panics. Parse-time diagnostics
+    /// live on the context's statements, not here.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 /// One group of statements sharing an exact text (and hence a template).
@@ -231,6 +269,29 @@ impl Detector {
 
         let group_micros = t_group.elapsed().as_micros();
 
+        // Degradation accounting: parse diagnostics counted once per
+        // unique text (plus script-level events), and shaped-vs-degraded
+        // statement counts for the parse-coverage ratio. A statement is
+        // degraded when its unique text parsed to `Other` while carrying
+        // real content (a leading keyword).
+        let mut diag_counts = [0usize; DiagKind::COUNT];
+        let mut degraded_uniques = 0usize;
+        let mut degraded_statements = 0usize;
+        for g in &groups {
+            let s = &ctx.statements[g.rep];
+            for d in s.diags.iter() {
+                diag_counts[d.kind.index()] += 1;
+            }
+            if matches!(&s.parsed.stmt, Statement::Other(o) if !o.leading_keyword.is_empty()) {
+                degraded_uniques += 1;
+                degraded_statements += g.occurrences.len();
+            }
+        }
+        for d in &ctx.diagnostics {
+            diag_counts[d.kind.index()] += 1;
+        }
+        let mut diagnostics: Vec<Diagnostic> = Vec::new();
+
         // Phase 2: intra-query rules, once per group — consulting the
         // incremental cache first when one is attached. Cached entries are
         // only valid under the current (config, schema) epoch; a mismatch
@@ -277,7 +338,24 @@ impl Detector {
         let intra_run =
             run_units_weighted(misses.len(), threads, intra_cost, &|pos| run_group(&groups[misses[pos]]));
         schedule::fold_worker_micros(&mut worker_busy_micros, &intra_run.worker_micros);
-        for (&gi, dets) in misses.iter().zip(intra_run.results) {
+        for (&gi, out) in misses.iter().zip(intra_run.results) {
+            let dets = match out {
+                Ok(dets) => dets,
+                Err(p) => {
+                    // A panicking intra unit degrades to "no detections
+                    // for this group" — never cached, so a later run
+                    // (e.g. with the faulty rule fixed) re-analyses it.
+                    diagnostics.push(
+                        Diagnostic::new(
+                            DiagKind::RuleFailed,
+                            format!("intra-query unit panicked: {}", p.message),
+                        )
+                        .at(groups[gi].rep),
+                    );
+                    results[gi] = Some(GroupResult::Fresh(Vec::new()));
+                    continue;
+                }
+            };
             if let Some(c) = cache {
                 // Canonicalize before storing: statement loci are zeroed
                 // so the entry replays correctly at any occurrence index
@@ -365,8 +443,14 @@ impl Detector {
                 inter::detect_unit(u, ctx, &self.cfg)
             });
             schedule::fold_worker_micros(&mut worker_busy_micros, &inter_run.worker_micros);
-            for dets in inter_run.results {
-                report.detections.extend(dets);
+            for (u, out) in inter_run.results.into_iter().enumerate() {
+                match out {
+                    Ok(dets) => report.detections.extend(dets),
+                    Err(p) => diagnostics.push(Diagnostic::new(
+                        DiagKind::RuleFailed,
+                        format!("inter-query rule unit {u} panicked: {}", p.message),
+                    )),
+                }
             }
         }
         let inter_micros = t_inter.elapsed().as_micros();
@@ -386,8 +470,17 @@ impl Detector {
                 &|u| data::detect_table(tables[u], ctx, &self.cfg),
             );
             schedule::fold_worker_micros(&mut worker_busy_micros, &data_run.worker_micros);
-            for dets in data_run.results {
-                report.detections.extend(dets);
+            for (u, out) in data_run.results.into_iter().enumerate() {
+                match out {
+                    Ok(dets) => report.detections.extend(dets),
+                    Err(p) => diagnostics.push(Diagnostic::new(
+                        DiagKind::RuleFailed,
+                        format!(
+                            "data-analysis unit for table '{}' panicked: {}",
+                            tables[u].name, p.message
+                        ),
+                    )),
+                }
             }
         }
         let data_micros = t_data.elapsed().as_micros();
@@ -397,6 +490,8 @@ impl Detector {
         dedup(&mut report.detections);
         attach_spans(&mut report.detections, ctx);
 
+        let rule_failures = diagnostics.len();
+        diag_counts[DiagKind::RuleFailed.index()] += rule_failures;
         let mut stats = BatchStats {
             statements: ctx.statements.len(),
             unique_templates: templates.len(),
@@ -411,6 +506,10 @@ impl Detector {
             inter_micros,
             data_micros,
             total_micros: t_start.elapsed().as_micros(),
+            degraded_uniques,
+            degraded_statements,
+            diag_counts,
+            rule_failures,
             ..BatchStats::default()
         };
         if let (Some(before), Some(c)) = (counters_before, cache) {
@@ -419,7 +518,7 @@ impl Detector {
             stats.incremental_misses = (after.misses - before.misses) as usize;
             stats.incremental_evictions = (after.evictions - before.evictions) as usize;
         }
-        BatchReport { report, stats }
+        BatchReport { report, stats, diagnostics }
     }
 
     /// Hash of the *non-schema* inputs a cached intra-query result
@@ -432,7 +531,8 @@ impl Detector {
     /// encoding within one process — exactly the lifetime of an
     /// [`IncrementalCache`].
     fn config_epoch(&self, ctx: &Context) -> u64 {
-        let encoded = format!("{:?}|{}", self.cfg, ctx.data.is_some());
+        let encoded =
+            format!("{:?}|{}|{}", self.cfg, ctx.data.is_some(), ctx.limits_epoch);
         sqlcheck_parser::fingerprint::fnv1a(encoded.as_bytes())
     }
 
@@ -557,7 +657,7 @@ mod tests {
     #[test]
     fn explicit_thread_count_is_honoured() {
         let ctx = ContextBuilder::new().add_script(&script_with_duplicates()).build();
-        let opts = BatchOptions { parallel: true, threads: Some(2) };
+        let opts = BatchOptions { parallel: true, threads: Some(2), ..BatchOptions::default() };
         let b = Detector::default().detect_batch(&ctx, &opts);
         if cfg!(feature = "parallel") {
             assert_eq!(b.stats.threads, 2);

@@ -23,20 +23,56 @@
 //!    and byte-identical to a sequential run regardless of how the pull
 //!    order interleaved.
 //!
+//! **Panic isolation**: each unit executes under
+//! `catch_unwind(AssertUnwindSafe(...))`, so one panicking rule unit
+//! yields an [`UnitPanic`] for that unit alone — every other unit's
+//! result is unaffected, no worker join is ever `.expect`ed, and the
+//! deterministic merge is preserved. The sequential stand-in applies the
+//! same guard, so parallel and sequential runs fail identically.
+//!
 //! Each worker also records its wall-clock **busy time**, so scheduling
 //! skew is observable (max vs min worker micros in `BatchStats`) rather
 //! than inferred from end-to-end timings.
 
 use std::time::Instant;
 
+/// A unit whose execution panicked: the payload message, for the
+/// `RuleFailed` diagnostic the caller emits.
+#[derive(Debug, Clone)]
+pub(crate) struct UnitPanic {
+    /// Panic payload rendered as text (`&str`/`String` payloads pass
+    /// through; anything else becomes a placeholder).
+    pub message: String,
+}
+
 /// The results of one scheduled phase plus per-worker instrumentation.
 pub(crate) struct UnitRun<T> {
-    /// Per-unit results, in unit order (index `i` holds `f(i)`).
-    pub results: Vec<T>,
+    /// Per-unit results, in unit order (index `i` holds the guarded
+    /// outcome of `f(i)`).
+    pub results: Vec<Result<T, UnitPanic>>,
     /// Wall-clock busy micros per worker, indexed by worker id. A
     /// sequential run reports one entry. Workers that never pulled a
     /// unit report (close to) zero.
     pub worker_micros: Vec<u128>,
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one unit under the panic guard.
+fn guarded<T, F>(f: &F, pos: usize) -> Result<T, UnitPanic>
+where
+    F: Fn(usize) -> T,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(pos)))
+        .map_err(|p| UnitPanic { message: panic_message(p.as_ref()) })
 }
 
 /// Run `f(0..n)` across `threads` scoped workers using cost-aware
@@ -44,7 +80,9 @@ pub(crate) struct UnitRun<T> {
 /// shared cursor. `cost_of(i)` is the caller's relative cost estimate for
 /// unit `i` — any monotone proxy works (bytes, rows, occurrence counts);
 /// only the ordering matters. Results come back in unit order, so every
-/// merge built on top is deterministic regardless of scheduling.
+/// merge built on top is deterministic regardless of scheduling. A
+/// panicking unit surfaces as `Err(UnitPanic)` at its slot; all other
+/// slots are unaffected.
 #[cfg(feature = "parallel")]
 pub(crate) fn run_units_weighted<T, F>(
     n: usize,
@@ -60,7 +98,7 @@ where
 
     if threads <= 1 || n < 2 {
         let t = Instant::now();
-        let results: Vec<T> = (0..n).map(f).collect();
+        let results: Vec<_> = (0..n).map(|i| guarded(f, i)).collect();
         return UnitRun { results, worker_micros: vec![t.elapsed().as_micros()] };
     }
 
@@ -71,47 +109,62 @@ where
     order.sort_by_key(|&i| std::cmp::Reverse(cost_of(i)));
 
     let cursor = AtomicUsize::new(0);
-    let (partials, worker_micros): (Vec<Vec<(usize, T)>>, Vec<u128>) =
-        std::thread::scope(|s| {
-            let order = &order;
-            let cursor = &cursor;
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    s.spawn(move || {
-                        let t = Instant::now();
-                        let mut out: Vec<(usize, T)> = Vec::new();
-                        loop {
-                            let k = cursor.fetch_add(1, Ordering::Relaxed);
-                            if k >= n {
-                                break;
-                            }
-                            let pos = order[k];
-                            out.push((pos, f(pos)));
+    let mut worker_micros: Vec<u128> = Vec::with_capacity(threads);
+    let mut results: Vec<Option<Result<T, UnitPanic>>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let order = &order;
+        let cursor = &cursor;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(move || {
+                    let t = Instant::now();
+                    let mut out: Vec<(usize, Result<T, UnitPanic>)> = Vec::new();
+                    loop {
+                        let k = cursor.fetch_add(1, Ordering::Relaxed);
+                        if k >= n {
+                            break;
                         }
-                        (out, t.elapsed().as_micros())
-                    })
+                        let pos = order[k];
+                        out.push((pos, guarded(f, pos)));
+                    }
+                    (out, t.elapsed().as_micros())
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("detection worker panicked"))
-                .unzip()
-        });
-
-    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    for part in partials {
-        for (pos, out) in part {
-            results[pos] = Some(out);
+            })
+            .collect();
+        for h in handles {
+            // The per-unit guard means workers only die on truly
+            // unrecoverable events (a panic inside a panic payload's
+            // drop). Even then: record the worker as lost and let the
+            // merge mark its units failed — never `.expect` the join.
+            match h.join() {
+                Ok((part, micros)) => {
+                    worker_micros.push(micros);
+                    for (pos, out) in part {
+                        results[pos] = Some(out);
+                    }
+                }
+                Err(_) => worker_micros.push(0),
+            }
         }
-    }
+    });
+
     UnitRun {
-        results: results.into_iter().map(|o| o.expect("every unit computed")).collect(),
+        results: results
+            .into_iter()
+            .map(|o| {
+                o.unwrap_or_else(|| {
+                    Err(UnitPanic { message: "detection worker terminated".to_string() })
+                })
+            })
+            .collect(),
         worker_micros,
     }
 }
 
 /// Sequential stand-in when the `parallel` feature is disabled (the
-/// thread planners never return > 1 in that configuration).
+/// thread planners never return > 1 in that configuration). The panic
+/// guard applies identically, so degraded behaviour matches the
+/// threaded build.
 #[cfg(not(feature = "parallel"))]
 pub(crate) fn run_units_weighted<T, F>(
     n: usize,
@@ -124,7 +177,7 @@ where
     F: Fn(usize) -> T + Sync,
 {
     let t = Instant::now();
-    let results: Vec<T> = (0..n).map(f).collect();
+    let results: Vec<_> = (0..n).map(|i| guarded(f, i)).collect();
     UnitRun { results, worker_micros: vec![t.elapsed().as_micros()] }
 }
 
@@ -145,12 +198,16 @@ pub(crate) fn fold_worker_micros(ledger: &mut Vec<u128>, phase: &[u128]) {
 mod tests {
     use super::*;
 
+    fn ok_results<T>(run: UnitRun<T>) -> Vec<T> {
+        run.results.into_iter().map(|r| r.expect("unit must not panic")).collect()
+    }
+
     #[test]
     fn results_come_back_in_unit_order() {
         for threads in [1, 2, 3, 8] {
             let run = run_units_weighted(10, threads, |i| (10 - i) as u64, &|i| i * 3);
-            assert_eq!(run.results, (0..10).map(|i| i * 3).collect::<Vec<_>>(), "{threads}");
             assert!(!run.worker_micros.is_empty());
+            assert_eq!(ok_results(run), (0..10).map(|i| i * 3).collect::<Vec<_>>(), "{threads}");
         }
     }
 
@@ -162,7 +219,7 @@ mod tests {
         for threads in [1, 2, 4] {
             let run = run_units_weighted(20, threads, cost, &|i| format!("u{i}"));
             let want: Vec<String> = (0..20).map(|i| format!("u{i}")).collect();
-            assert_eq!(run.results, want, "{threads} threads");
+            assert_eq!(ok_results(run), want, "{threads} threads");
         }
     }
 
@@ -171,7 +228,32 @@ mod tests {
         let run = run_units_weighted(0, 4, |_| 1, &|i| i);
         assert!(run.results.is_empty());
         let run = run_units_weighted(1, 4, |_| 1, &|i| i + 100);
-        assert_eq!(run.results, vec![100]);
+        assert_eq!(ok_results(run), vec![100]);
+    }
+
+    #[test]
+    fn panicking_unit_is_isolated() {
+        // Quiet the default hook while panics are expected.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        for threads in [1, 2, 4] {
+            let run = run_units_weighted(8, threads, |_| 1, &|i| {
+                if i == 3 {
+                    panic!("injected fault at unit {i}");
+                }
+                i * 2
+            });
+            assert_eq!(run.results.len(), 8, "{threads} threads");
+            for (i, r) in run.results.iter().enumerate() {
+                if i == 3 {
+                    let e = r.as_ref().expect_err("unit 3 must fail");
+                    assert!(e.message.contains("injected fault"), "{}", e.message);
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i * 2, "{threads} threads, unit {i}");
+                }
+            }
+        }
+        std::panic::set_hook(prev);
     }
 
     #[test]

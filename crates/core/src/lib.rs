@@ -123,6 +123,7 @@ pub use rank::{
 };
 pub use registry::{CustomRule, RuleRegistry};
 pub use report::{Detection, DetectionSource, Locus, Report, Span};
+pub use sqlcheck_parser::diag::{DiagKind, Diagnostic, Limits};
 
 use sqlcheck_minidb::database::Database;
 
@@ -145,6 +146,11 @@ pub struct CheckOutcome {
     pub ranked: Vec<RankedDetection>,
     /// One suggested fix per ranked detection, in rank order.
     pub fixes: Vec<SuggestedFix>,
+    /// Degradation diagnostics: parse-time events (attributed to the
+    /// first occurrence of each unique statement text), script-level
+    /// events, and isolated rule failures. The pipeline always completes;
+    /// these describe where output quality was reduced.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl CheckOutcome {
@@ -294,6 +300,33 @@ impl SqlCheck {
         self.cache.as_ref().map(|c| c.counters())
     }
 
+    /// Run every registered custom rule, each as its own panic-isolated
+    /// unit: a panicking rule contributes a `RuleFailed` diagnostic and
+    /// no detections, while every other rule's output is unaffected.
+    /// Units run in registration order on the calling thread, so output
+    /// is deterministic and identical to the pre-isolation behaviour
+    /// whenever no rule panics.
+    fn run_registry(&self, context: &Context, diagnostics: &mut Vec<Diagnostic>) -> Vec<Detection> {
+        let run = detect::schedule::run_units_weighted(self.registry.len(), 1, |_| 1, &|i| {
+            self.registry.detect_one(i, context)
+        });
+        let mut extra = Vec::new();
+        for (i, out) in run.results.into_iter().enumerate() {
+            match out {
+                Ok(d) => extra.extend(d),
+                Err(p) => diagnostics.push(Diagnostic::new(
+                    DiagKind::RuleFailed,
+                    format!(
+                        "custom rule '{}' panicked: {}",
+                        self.registry.rule_name(i),
+                        p.message
+                    ),
+                )),
+            }
+        }
+        extra
+    }
+
     /// Run the full pipeline over a SQL script.
     pub fn check_script(&self, script: &str) -> CheckOutcome {
         let mut builder = ContextBuilder::new().add_script(script);
@@ -301,18 +334,19 @@ impl SqlCheck {
             builder = builder.with_shared_database(db.clone(), self.data_cfg.clone());
         }
         let context = builder.build();
+        let mut diagnostics = parse_diagnostics(&context);
         let mut report = self.detector.detect(&context);
         // Custom-rule detections get their spans attached separately: the
         // detector's own detections already carry absolute spans (and a
         // span a custom rule set itself is absolute and kept as-is).
-        let mut extra = self.registry.detect_all(&context);
+        let mut extra = self.run_registry(&context, &mut diagnostics);
         detect::attach_default_spans(&mut extra, &context);
         report.detections.extend(extra);
         let ranked = self.ranker.rank(&report);
         let ordered: Vec<Detection> =
             ranked.iter().map(|r| r.detection.clone()).collect();
         let fixes = FixEngine.fix_all(&ordered, &context);
-        CheckOutcome { context, report, ranked, fixes }
+        CheckOutcome { context, report, ranked, fixes, diagnostics }
     }
 
     /// Run the full pipeline over a large workload using the parse-once
@@ -328,6 +362,7 @@ impl SqlCheck {
             dedup: true,
             parallel: opts.parallel,
             threads: opts.threads,
+            limits: opts.limits,
         };
         let mut builder =
             ContextBuilder::new().with_frontend(frontend).add_script(script);
@@ -337,20 +372,42 @@ impl SqlCheck {
         let (context, fe_stats) = builder.build_with_stats();
         let batch = self.detector.detect_batch_with(&context, opts, self.cache.as_deref());
         let mut report = batch.report;
-        let mut extra = self.registry.detect_all(&context);
+        let mut stats = batch.stats;
+        let mut diagnostics = parse_diagnostics(&context);
+        diagnostics.extend(batch.diagnostics);
+        let failures_before = diagnostics.len();
+        let mut extra = self.run_registry(&context, &mut diagnostics);
+        let registry_failures = diagnostics.len() - failures_before;
+        stats.rule_failures += registry_failures;
+        stats.diag_counts[DiagKind::RuleFailed.index()] += registry_failures;
         detect::attach_default_spans(&mut extra, &context);
         report.detections.extend(extra);
         let ranked = self.ranker.rank(&report);
         let ordered: Vec<Detection> =
             ranked.iter().map(|r| r.detection.clone()).collect();
         let fixes = FixEngine.fix_all(&ordered, &context);
-        let mut stats = batch.stats;
         stats.absorb_frontend(&fe_stats);
         WorkloadOutcome {
-            outcome: CheckOutcome { context, report, ranked, fixes },
+            outcome: CheckOutcome { context, report, ranked, fixes, diagnostics },
             stats,
         }
     }
+}
+
+/// Collect the degradation diagnostics carried by a built context:
+/// script-level events first, then each unique statement text's parse
+/// diagnostics attributed to its **first occurrence** index (duplicates
+/// share one parse, so per-occurrence repetition would only amplify
+/// counts without adding information).
+fn parse_diagnostics(ctx: &Context) -> Vec<Diagnostic> {
+    let mut out = ctx.diagnostics.clone();
+    let mut seen = std::collections::HashSet::new();
+    for (idx, s) in ctx.statements.iter().enumerate() {
+        if seen.insert(s.text_hash) {
+            out.extend(s.diags.iter().map(|d| d.at(idx)));
+        }
+    }
+    out
 }
 
 /// A [`CheckOutcome`] plus the batch-engine instrumentation.

@@ -56,6 +56,17 @@ impl RuleRegistry {
         self.rules.iter().flat_map(|r| r.detect(ctx)).collect()
     }
 
+    /// Name of rule `i` (for diagnostics and reports).
+    pub fn rule_name(&self, i: usize) -> &str {
+        self.rules[i].name()
+    }
+
+    /// Run rule `i` alone — the per-unit entry point the pipeline uses to
+    /// execute custom rules under panic isolation.
+    pub fn detect_one(&self, i: usize, ctx: &Context) -> Vec<Detection> {
+        self.rules[i].detect(ctx)
+    }
+
     /// Find the repair advice for a detection, consulting rules in order.
     pub fn repair(&self, detection: &Detection) -> Option<String> {
         self.rules.iter().find_map(|r| r.repair(detection))

@@ -69,8 +69,8 @@ fn assert_batch_matches(det: &Detector, script: &str, label: &str) {
     let configs = [
         ("batch-sequential", BatchOptions::sequential()),
         ("batch-default", BatchOptions::default()),
-        ("batch-2-threads", BatchOptions { parallel: true, threads: Some(2) }),
-        ("batch-3-threads", BatchOptions { parallel: true, threads: Some(3) }),
+        ("batch-2-threads", BatchOptions { parallel: true, threads: Some(2), ..BatchOptions::default() }),
+        ("batch-3-threads", BatchOptions { parallel: true, threads: Some(3), ..BatchOptions::default() }),
     ];
     for (name, opts) in configs {
         let batch = det.detect_batch(&ctx, &opts);
@@ -151,7 +151,7 @@ fn cached_recheck_is_byte_identical_to_cold_sequential() {
         for (round, (sql, label)) in
             [(&script, "cold"), (&edited, "edited"), (&script, "back")].iter().enumerate()
         {
-            let opts = BatchOptions { parallel: true, threads: Some(1 + round % 3) };
+            let opts = BatchOptions { parallel: true, threads: Some(1 + round % 3), ..BatchOptions::default() };
             let ctx = ContextBuilder::new().add_script(sql).build();
             let got =
                 detections_debug(&det.detect_batch_with(&ctx, &opts, Some(&cache)).report);
@@ -265,7 +265,7 @@ fn inter_and_data_phases_identical_across_thread_counts() {
         );
         let seq_key = detections_debug(&seq);
         for threads in [1usize, 2, 3, 8] {
-            let opts = BatchOptions { parallel: true, threads: Some(threads) };
+            let opts = BatchOptions { parallel: true, threads: Some(threads), ..BatchOptions::default() };
             let batch = det.detect_batch(&ctx, &opts);
             assert_eq!(
                 seq_key,

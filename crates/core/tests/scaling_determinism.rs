@@ -80,7 +80,7 @@ fn skewed_batch_identical_across_thread_counts() {
         let reference = cold_reference(&det, &script);
         let cache = IncrementalCache::with_shards(4096, 8);
         for threads in [1usize, 2, 4, 8] {
-            let opts = BatchOptions { parallel: true, threads: Some(threads) };
+            let opts = BatchOptions { parallel: true, threads: Some(threads), ..BatchOptions::default() };
             let ctx = ContextBuilder::new().add_script(&script).build();
             // Cold path (no cache).
             let cold = det.detect_batch(&ctx, &opts);
@@ -197,7 +197,7 @@ fn concurrent_sessions_share_one_cache_correctly() {
             s.spawn(move || {
                 for round in 0..3 {
                     let opts =
-                        BatchOptions { parallel: true, threads: Some(1 + (t + round) % 3) };
+                        BatchOptions { parallel: true, threads: Some(1 + (t + round) % 3), ..BatchOptions::default() };
                     let ctx = ContextBuilder::new().add_script(script).build();
                     let b = det.detect_batch_with(&ctx, &opts, Some(cache));
                     assert_eq!(

@@ -36,6 +36,7 @@
 pub mod annotate;
 pub mod ast;
 mod block;
+pub mod diag;
 pub mod fingerprint;
 pub mod lexer;
 pub mod parser;
@@ -46,7 +47,8 @@ pub mod token;
 
 pub use annotate::{annotate, Annotations};
 pub use ast::{ParsedStatement, Statement};
-pub use parser::{parse, parse_one, parse_raw};
+pub use diag::{DiagKind, Diagnostic, Limits};
+pub use parser::{parse, parse_one, parse_raw, parse_raw_limited};
 pub use render::ToSql;
 pub use lexer::{lex_spans, SpannedToken};
 pub use splitter::{

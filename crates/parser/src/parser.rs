@@ -8,8 +8,12 @@
 //! coverage (§4.1 of the paper).
 
 use crate::ast::*;
+use crate::block::{BlockTracker, SplitAction};
+use crate::diag::{DiagKind, Diagnostic, Limits};
+use crate::lexer::SpannedToken;
 use crate::splitter::{split, RawStatement};
 use crate::token::{Token, TokenKind};
+use std::cell::Cell;
 
 /// Parse a script into statements.
 pub fn parse(script: &str) -> Vec<ParsedStatement> {
@@ -18,11 +22,52 @@ pub fn parse(script: &str) -> Vec<ParsedStatement> {
 
 /// Parse a single statement. If the input contains several statements the
 /// first one is returned; an all-trivia input yields `Statement::Other`.
+///
+/// The input is lexed exactly once: the token-level split below reuses
+/// the same token stream for the all-trivia fallback instead of running
+/// a second tokenize pass.
 pub fn parse_one(sql: &str) -> ParsedStatement {
-    parse(sql).into_iter().next().unwrap_or_else(|| ParsedStatement {
+    let tokens = crate::lexer::lex_spans(sql);
+    let bytes = sql.as_bytes();
+    let mut tracker = BlockTracker::new();
+    let mut start = 0usize;
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.is_trivia() {
+            continue;
+        }
+        match tracker.offer(bytes, tok.kind, tok.span.start, tok.span.end) {
+            SplitAction::Token => {}
+            SplitAction::Terminator | SplitAction::Directive => {
+                if tokens[start..i].iter().any(|t| !t.is_trivia()) {
+                    return parse_raw(materialize_slice(sql, &tokens[start..i]));
+                }
+                start = i + 1;
+            }
+        }
+    }
+    if tokens[start..].iter().any(|t| !t.is_trivia()) {
+        return parse_raw(materialize_slice(sql, &tokens[start..]));
+    }
+    // All-trivia input: no statement to parse; the already-lexed token
+    // stream is preserved as-is.
+    ParsedStatement {
         stmt: Statement::Other(OtherStatement { leading_keyword: String::new() }),
-        tokens: crate::lexer::tokenize(sql),
-    })
+        tokens: tokens.iter().map(|t| t.materialize(sql)).collect(),
+    }
+}
+
+/// Build a [`RawStatement`] from a span-token slice holding at least one
+/// significant token (leading/trailing trivia trimmed, interior kept).
+fn materialize_slice(script: &str, tokens: &[SpannedToken]) -> RawStatement {
+    let first = tokens.iter().position(|t| !t.is_trivia()).unwrap_or(0);
+    let last = tokens.iter().rposition(|t| !t.is_trivia()).unwrap_or(0);
+    let trimmed = &tokens[first..=last];
+    let span = trimmed[0].span.merge(trimmed[trimmed.len() - 1].span);
+    RawStatement {
+        tokens: trimmed.iter().map(|t| t.materialize(script)).collect(),
+        span,
+        source: script[span.start..span.end].into(),
+    }
 }
 
 /// Parse one pre-split raw statement.
@@ -33,11 +78,178 @@ pub fn parse_statement(raw: &RawStatement) -> ParsedStatement {
 /// Parse one pre-split raw statement, consuming it. The statement's token
 /// stream moves into the result instead of being cloned — the hot variant
 /// used by the parse-once front-end, where every unique statement text is
-/// parsed exactly once.
+/// parsed exactly once. Default [`Limits`] apply; diagnostics are
+/// discarded (use [`parse_raw_limited`] to observe them).
 pub fn parse_raw(raw: RawStatement) -> ParsedStatement {
+    parse_raw_limited(raw, &Limits::default()).0
+}
+
+// ---------------------------------------------------------------------------
+// Budgeted parsing + degradation diagnostics
+// ---------------------------------------------------------------------------
+
+// Per-statement parse state lives in thread-locals rather than being
+// threaded through every mutually-recursive parse function: the state is
+// armed/cleared at each statement's parse entry (`parse_raw_limited`), so
+// results stay deterministic regardless of which worker thread parses
+// which unique statement.
+thread_local! {
+    /// Current expression/subquery recursion depth.
+    static EXPR_DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// Active `Limits::max_expr_depth`.
+    static EXPR_DEPTH_LIMIT: Cell<u32> = const { Cell::new(128) };
+    /// Current nested-`BEGIN` flattening depth inside a compound body.
+    static BLOCK_NEST: Cell<u32> = const { Cell::new(0) };
+    /// Active `Limits::max_block_depth`.
+    static BLOCK_NEST_LIMIT: Cell<u32> = const { Cell::new(64) };
+    /// A sub-expression fell back to `Expr::Raw`.
+    static EXPR_DEGRADED: Cell<bool> = const { Cell::new(false) };
+    /// A recursion budget was exhausted (expression or block depth).
+    static DEPTH_HIT: Cell<bool> = const { Cell::new(false) };
+    /// A compound body's `BEGIN` block never closed before end of input.
+    static UNTERMINATED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// RAII recursion ticket: holding one means a depth slot was acquired;
+/// dropping it releases the slot. `None` means the budget is exhausted —
+/// the caller falls back to its total `Raw`/`Other` path.
+struct DepthTicket(&'static std::thread::LocalKey<Cell<u32>>);
+
+impl std::ops::Drop for DepthTicket {
+    fn drop(&mut self) {
+        self.0.with(|d| d.set(d.get().saturating_sub(1)));
+    }
+}
+
+fn enter(
+    depth: &'static std::thread::LocalKey<Cell<u32>>,
+    limit: &'static std::thread::LocalKey<Cell<u32>>,
+) -> Option<DepthTicket> {
+    let cur = depth.with(Cell::get);
+    if cur >= limit.with(Cell::get) {
+        DEPTH_HIT.with(|f| f.set(true));
+        return None;
+    }
+    depth.with(|d| d.set(cur + 1));
+    Some(DepthTicket(depth))
+}
+
+fn enter_expr() -> Option<DepthTicket> {
+    enter(&EXPR_DEPTH, &EXPR_DEPTH_LIMIT)
+}
+
+fn enter_block() -> Option<DepthTicket> {
+    enter(&BLOCK_NEST, &BLOCK_NEST_LIMIT)
+}
+
+/// Parse one pre-split raw statement under explicit resource budgets,
+/// reporting every degradation the parse suffered.
+///
+/// The parse is still **total** — budgets never produce errors. A
+/// statement over the byte/token budget skips the structural parse
+/// entirely (degrading to [`Statement::Other`] with an
+/// [`DiagKind::OverLimit`] diagnostic); recursion budgets flatten the
+/// offending sub-tree to `Expr::Raw` / a flat body piece. Diagnostics
+/// carry no statement index — callers that know the statement's position
+/// attach it via [`Diagnostic::at`].
+pub fn parse_raw_limited(raw: RawStatement, limits: &Limits) -> (ParsedStatement, Vec<Diagnostic>) {
+    let mut diags = Vec::new();
     let sig: Vec<Token> = raw.tokens.iter().filter(|t| !t.is_trivia()).cloned().collect();
+    if raw.source.len() > limits.max_statement_bytes || raw.tokens.len() > limits.max_tokens {
+        let leading = sig.first().map(|t| t.upper()).unwrap_or_default();
+        diags.push(Diagnostic::new(
+            DiagKind::OverLimit,
+            format!(
+                "statement skipped structural parse: {} bytes / {} tokens exceeds budget \
+                 ({} bytes / {} tokens)",
+                raw.source.len(),
+                raw.tokens.len(),
+                limits.max_statement_bytes,
+                limits.max_tokens,
+            ),
+        ));
+        let stmt = Statement::Other(OtherStatement { leading_keyword: leading });
+        return (ParsedStatement { stmt, tokens: raw.tokens }, diags);
+    }
+
+    // Arm the recursion budgets and clear the degradation flags. Depth
+    // counters are reset defensively: tickets rebalance them on every
+    // normal path, but a caller-side `catch_unwind` must not leak depth
+    // into the next statement parsed on this thread.
+    EXPR_DEPTH_LIMIT.with(|l| l.set(limits.max_expr_depth));
+    BLOCK_NEST_LIMIT.with(|l| l.set(limits.max_block_depth));
+    EXPR_DEPTH.with(|d| d.set(0));
+    BLOCK_NEST.with(|d| d.set(0));
+    EXPR_DEGRADED.with(|f| f.set(false));
+    DEPTH_HIT.with(|f| f.set(false));
+    UNTERMINATED.with(|f| f.set(false));
+
     let stmt = parse_tokens(&sig);
-    ParsedStatement { stmt, tokens: raw.tokens }
+
+    let expr_degraded = EXPR_DEGRADED.with(Cell::get);
+    let depth_hit = DEPTH_HIT.with(Cell::get);
+    let unterminated = UNTERMINATED.with(Cell::get);
+    let is_other = matches!(stmt, Statement::Other(_));
+    let leading = sig.first().map(|t| t.upper()).unwrap_or_default();
+    let orphan_end = is_other && leading == "END";
+    if orphan_end {
+        diags.push(Diagnostic::new(
+            DiagKind::OrphanEnd,
+            "statement begins with END matching no open block",
+        ));
+    }
+    if unterminated {
+        diags.push(Diagnostic::new(
+            DiagKind::UnterminatedBlock,
+            "compound body opened a block that never closed; trailing piece kept",
+        ));
+    }
+    if depth_hit {
+        diags.push(Diagnostic::new(
+            DiagKind::OverLimit,
+            format!(
+                "recursion budget exhausted (max expression depth {}, max block depth {}); \
+                 sub-tree flattened",
+                limits.max_expr_depth, limits.max_block_depth,
+            ),
+        ));
+    }
+    if is_other && !sig.is_empty() && !orphan_end {
+        diags.push(Diagnostic::new(
+            DiagKind::ParseDegraded,
+            format!("statement fell back to Other (leading keyword {leading:?})"),
+        ));
+    } else if expr_degraded {
+        diags.push(Diagnostic::new(
+            DiagKind::ParseDegraded,
+            "sub-expression fell back to Raw",
+        ));
+    }
+    (ParsedStatement { stmt, tokens: raw.tokens }, diags)
+}
+
+/// Re-derive the statement-level diagnostics of an already-parsed
+/// statement (no parse flags available — used for pre-parsed intake
+/// paths). Sub-expression degradation is not re-detected here.
+pub fn diagnose_parsed(p: &ParsedStatement) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if let Statement::Other(o) = &p.stmt {
+        if o.leading_keyword == "END" {
+            diags.push(Diagnostic::new(
+                DiagKind::OrphanEnd,
+                "statement begins with END matching no open block",
+            ));
+        } else if !o.leading_keyword.is_empty() {
+            diags.push(Diagnostic::new(
+                DiagKind::ParseDegraded,
+                format!(
+                    "statement fell back to Other (leading keyword {:?})",
+                    o.leading_keyword
+                ),
+            ));
+        }
+    }
+    diags
 }
 
 fn parse_tokens(sig: &[Token]) -> Statement {
@@ -273,6 +485,9 @@ fn is_join_or_clause_boundary(t: &Token) -> bool {
 }
 
 fn parse_select(cur: &mut Cursor) -> Option<Select> {
+    // Depth guard: derived tables (`FROM (SELECT …)`) recurse here
+    // without passing through `parse_prefix`.
+    let _depth = enter_expr()?;
     if !cur.eat_keyword("SELECT") {
         return None;
     }
@@ -493,7 +708,10 @@ pub fn parse_expr_tokens(toks: &[Token]) -> Expr {
     let mut cur = Cursor::new(toks);
     match parse_expr_bp(&mut cur, 0) {
         Some(e) if cur.at_end() => e,
-        _ => Expr::Raw(join_tokens(toks)),
+        _ => {
+            EXPR_DEGRADED.with(|f| f.set(true));
+            Expr::Raw(join_tokens(toks))
+        }
     }
 }
 
@@ -624,6 +842,10 @@ fn parse_like_in_between(cur: &mut Cursor, lhs: Expr, negated: bool) -> Option<E
 }
 
 fn parse_prefix(cur: &mut Cursor) -> Option<Expr> {
+    // Depth guard: every expression recursion path passes through here
+    // (unary chains, nested parens, subqueries via the paren branch), so
+    // one ticket bounds the stack for the whole expression grammar.
+    let _depth = enter_expr()?;
     let tok = cur.peek()?;
     match tok.kind {
         TokenKind::Keyword => {
@@ -853,10 +1075,14 @@ fn push_body(out: &mut Vec<BodyStatement>, toks: &[Token], base: usize) {
     }
     if toks[0].is_keyword("BEGIN") {
         // Nested block: flatten its interior statements (token spans are
-        // statement-absolute, so recursion keeps spans correct).
-        let mut cur = Cursor::new(&toks[1..]);
-        out.extend(collect_body(&mut cur, base, true));
-        return;
+        // statement-absolute, so recursion keeps spans correct). Past the
+        // nesting budget the block is kept as one flat `Other` piece
+        // instead of recursing further.
+        if let Some(_nest) = enter_block() {
+            let mut cur = Cursor::new(&toks[1..]);
+            out.extend(collect_body(&mut cur, base, true));
+            return;
+        }
     }
     let start = toks[0].span.start.saturating_sub(base);
     let end = toks[toks.len() - 1].span.end.saturating_sub(base);
@@ -989,6 +1215,12 @@ fn collect_body(cur: &mut Cursor, base: usize, in_block: bool) -> Vec<BodyStatem
         cur.pos += 1;
     }
     // Unterminated block (or plain script body): keep the trailing piece.
+    if in_block {
+        // The matching END is only ever consumed by the early return
+        // above, so falling through with `in_block` means the block ran
+        // to end of input unclosed.
+        UNTERMINATED.with(|f| f.set(true));
+    }
     push_body(&mut body, &cur.toks[piece..cur.pos], base);
     body
 }

@@ -419,10 +419,16 @@ impl TokenSink for SpeculativeSpanSink<'_> {
     }
 }
 
-fn split_spans_range(script: &str, start: usize, end: usize) -> Vec<Span> {
+/// Spans-only split of a range, plus whether a `DELIMITER` directive was
+/// processed in the range. The flag is a property of the script bytes
+/// (directives are recognised at statement starts, and chunk boundaries
+/// are statement boundaries), so OR-ing it over any chunking of the
+/// script yields the same answer — deterministic across thread counts.
+fn split_spans_range_diag(script: &str, start: usize, end: usize) -> (Vec<Span>, bool) {
     let chunk = &script[start..end];
     // First pass: untracked, aborting on the first word that could make
-    // block tracking matter.
+    // block tracking matter. Completing it means no DELIMITER word
+    // exists in the range at all.
     let mut fast = SpeculativeSpanSink {
         bytes: chunk.as_bytes(),
         offset: start,
@@ -437,7 +443,7 @@ fn split_spans_range(script: &str, start: usize, end: usize) -> Vec<Span> {
         if fast.started {
             fast.out.push(Span::new(fast.start, fast.end));
         }
-        return fast.out;
+        return (fast.out, false);
     }
     // Trigger/procedure/function/DELIMITER vocabulary present: re-scan
     // with the full block tracker.
@@ -454,7 +460,8 @@ fn split_spans_range(script: &str, start: usize, end: usize) -> Vec<Span> {
     if sink.started {
         sink.out.push(Span::new(sink.start, sink.end));
     }
-    sink.out
+    let saw_directive = sink.tracker.saw_directive();
+    (sink.out, saw_directive)
 }
 
 /// Lex + hash the single statement covering `span` (a trimmed statement
@@ -608,9 +615,17 @@ where
         let f = &f;
         let handles: Vec<_> = ranges
             .iter()
-            .map(|&(a, b)| s.spawn(move || f(script, a, b)))
+            .map(|&(a, b)| (s.spawn(move || f(script, a, b)), a, b))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("split worker panicked")).collect()
+        handles
+            .into_iter()
+            // A worker that panicked has its range re-split on the
+            // calling thread: if the panic was transient (allocation
+            // pressure) the result is still produced, and if it is
+            // deterministic it propagates here exactly as the sequential
+            // path would — never an opaque join `.expect`.
+            .map(|(h, a, b)| h.join().unwrap_or_else(|_| f(script, a, b)))
+            .collect()
     });
     chunks.into_iter().flatten().collect()
 }
@@ -634,6 +649,11 @@ pub struct DedupedSplit {
     /// One `(unique_index, span)` entry per statement occurrence, in
     /// script order.
     pub occurrences: Vec<(u32, Span)>,
+    /// The script contains a `DELIMITER` directive — chunk-parallel
+    /// splitting fell back to (or would fall back to) a single
+    /// sequential pass. Deterministic across thread counts: it is a
+    /// property of the script, not of the chunking.
+    pub saw_delimiter_directive: bool,
 }
 
 /// Fast non-cryptographic hasher for the dedup map's `&str` keys
@@ -684,10 +704,19 @@ impl Hasher for StrFold {
 /// but their span.
 pub fn split_deduped(script: &str, threads: usize) -> DedupedSplit {
     let ranges = chunk_ranges(script, threads);
+    let saw_directive = std::sync::atomic::AtomicBool::new(false);
     let spans: Vec<Span> = if ranges.len() <= 1 {
-        split_spans_range(script, 0, script.len())
+        let (spans, saw) = split_spans_range_diag(script, 0, script.len());
+        saw_directive.store(saw, std::sync::atomic::Ordering::Relaxed);
+        spans
     } else {
-        run_chunks(script, &ranges, split_spans_range)
+        run_chunks(script, &ranges, |s, a, b| {
+            let (spans, saw) = split_spans_range_diag(s, a, b);
+            if saw {
+                saw_directive.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
+            spans
+        })
     };
     let mut uniques: Vec<SplitStatement> = Vec::new();
     let mut occurrences: Vec<(u32, Span)> = Vec::with_capacity(spans.len());
@@ -705,7 +734,11 @@ pub fn split_deduped(script: &str, threads: usize) -> DedupedSplit {
         };
         occurrences.push((slot, span));
     }
-    DedupedSplit { uniques, occurrences }
+    DedupedSplit {
+        uniques,
+        occurrences,
+        saw_delimiter_directive: saw_directive.into_inner(),
+    }
 }
 
 /// One split-off statement at the span level: its span-tokens (trivia
