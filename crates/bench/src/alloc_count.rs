@@ -1,0 +1,86 @@
+//! Allocation observability: a counting global allocator.
+//!
+//! Enabled with the `count-allocs` feature, this wraps [`std::alloc::System`]
+//! and counts every allocation (and reallocation) with a relaxed atomic.
+//! The bench harness samples the counter around measured regions to emit
+//! `allocs_per_stmt` columns next to the MB/s numbers — the arena/interner
+//! work is a heap-traffic reduction first and a wall-clock win second, so
+//! the benches record both.
+//!
+//! With the feature off, [`alloc_count`] always returns 0 and
+//! [`allocs_per_stmt`] returns `None`; nothing is installed and the system
+//! allocator is untouched (counting costs one relaxed atomic increment per
+//! allocation, which is noise for the parse path but still opt-in).
+
+#[cfg(feature = "count-allocs")]
+mod imp {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    /// Counts allocations, delegates everything to [`System`].
+    struct CountingAlloc;
+
+    // SAFETY: pure delegation to `System`; the counter has no effect on
+    // the returned memory.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc_zeroed(layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            // A realloc is new heap traffic (a grow usually moves), so it
+            // counts: Vec-growth churn is exactly what the arena removes.
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+
+    pub fn alloc_count() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+
+    pub const COUNTING: bool = true;
+}
+
+#[cfg(not(feature = "count-allocs"))]
+mod imp {
+    pub fn alloc_count() -> u64 {
+        0
+    }
+
+    pub const COUNTING: bool = false;
+}
+
+/// Total heap allocations (including reallocations) since process start.
+/// Always 0 without the `count-allocs` feature.
+pub fn alloc_count() -> u64 {
+    imp::alloc_count()
+}
+
+/// Whether allocation counting is compiled in.
+pub const COUNTING: bool = imp::COUNTING;
+
+/// Allocations per statement across a measured region, or `None` when
+/// counting is compiled out (so JSON rows can omit the column rather than
+/// report a misleading 0).
+pub fn allocs_per_stmt(before: u64, after: u64, statements: usize) -> Option<f64> {
+    if !COUNTING || statements == 0 {
+        return None;
+    }
+    Some((after - before) as f64 / statements as f64)
+}

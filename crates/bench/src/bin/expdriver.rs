@@ -18,6 +18,7 @@
 //! expdriver split          # fused streaming splitter vs legacy two-pass
 //! expdriver scaling        # speedup-vs-threads curves (plain/trigger/skewed)
 //! expdriver corpus         # acceptance matrix: parse coverage on real corpora
+//! expdriver splitfile FILE # split configurations over a real dump (mmap'd)
 //! ```
 //!
 //! `--quick` shrinks scales for a fast smoke run. `--threads N` pins the
@@ -46,6 +47,38 @@ fn main() {
         .find(|(i, a)| !(a.starts_with("--") || *i > 0 && args[i - 1] == "--threads"))
         .map(|(_, a)| a.as_str())
         .unwrap_or("all");
+
+    if what == "splitfile" {
+        let path = args
+            .iter()
+            .enumerate()
+            .find(|(i, a)| {
+                !(a.starts_with("--") || a.as_str() == "splitfile" || *i > 0 && args[i - 1] == "--threads")
+            })
+            .map(|(_, a)| a.as_str());
+        let Some(path) = path else {
+            eprintln!("expdriver splitfile: missing FILE argument");
+            std::process::exit(2);
+        };
+        // Memory-mapped on Unix: the splitter reads the page cache
+        // directly, so dump size is bounded by address space, not RAM.
+        let script = match sqlcheck::input::read_script(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("expdriver splitfile: cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        section("Split — external script (fused vs legacy, byte-identity gated)");
+        println!(
+            "{} bytes from {path} ({})",
+            script.len(),
+            if script.is_mapped() { "memory-mapped" } else { "buffered read" },
+        );
+        let rows = vec![split::run_script(&script, threads)];
+        print!("{}", split::render(&rows));
+        return;
+    }
 
     let run_all = what == "all";
     if run_all || what == "fig3" {

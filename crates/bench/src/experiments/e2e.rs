@@ -23,6 +23,7 @@ use sqlcheck::{
     Report,
 };
 use super::throughput::workload_script;
+use crate::alloc_count::{alloc_count, allocs_per_stmt};
 use std::time::Instant;
 
 /// One measured workload configuration.
@@ -55,6 +56,16 @@ pub struct E2eRow {
     pub incremental_hits: usize,
     /// Incremental-cache misses during the warm re-check (edited texts).
     pub incremental_misses: usize,
+    /// Median observation for the pipeline configuration (noise context
+    /// for the reported min).
+    pub pipeline_median_micros: u128,
+    /// Relative spread `(max-min)/min` of the pipeline observations,
+    /// percent.
+    pub pipeline_spread_pct: f64,
+    /// Heap allocations per **unique** statement across one cold
+    /// pipeline check (front-end + batch detection). `None` when the
+    /// `count-allocs` feature is compiled out.
+    pub allocs_per_stmt: Option<f64>,
 }
 
 impl E2eRow {
@@ -111,15 +122,26 @@ fn report_key(r: &Report) -> Vec<String> {
 const REPS: usize = 3;
 
 fn best_of<T>(mut f: impl FnMut() -> T) -> (T, u128) {
-    let mut best = u128::MAX;
+    let (out, s) = sample_full(&mut f);
+    (out, s.0)
+}
+
+/// Time `f` REPS times; return the last output plus
+/// `(min, median, spread_pct)` of the observations.
+fn sample_full<T>(f: &mut impl FnMut() -> T) -> (T, (u128, u128, f64)) {
+    let mut obs = Vec::with_capacity(REPS);
     let mut last = None;
     for _ in 0..REPS {
         let t = Instant::now();
         let out = f();
-        best = best.min(t.elapsed().as_micros());
+        obs.push(t.elapsed().as_micros());
         last = Some(out);
     }
-    (last.unwrap(), best)
+    obs.sort_unstable();
+    let min = obs[0];
+    let max = obs[obs.len() - 1];
+    let spread = if min == 0 { 0.0 } else { (max - min) as f64 * 100.0 / min as f64 };
+    (last.unwrap(), (min, obs[obs.len() / 2], spread))
 }
 
 /// One full end-to-end check: front-end + batch detection.
@@ -158,8 +180,14 @@ pub fn run_one(
 
     // Cold, parse-once pipeline.
     let pipeline_fe = FrontendOptions { dedup: true, parallel: true, threads, ..FrontendOptions::default() };
-    let (pipeline, pipeline_micros) =
-        best_of(|| check(&script, pipeline_fe.clone(), &opts, None));
+    let (pipeline, (pipeline_micros, pipeline_median_micros, pipeline_spread_pct)) =
+        sample_full(&mut || check(&script, pipeline_fe.clone(), &opts, None));
+
+    // Heap traffic per unique statement across one cold pipeline check
+    // (only meaningful with the counting allocator compiled in).
+    let a0 = alloc_count();
+    let alloc_run = check(&script, pipeline_fe.clone(), &opts, None);
+    let allocs = allocs_per_stmt(a0, alloc_count(), alloc_run.stats.unique_texts.max(1));
 
     // Warm: prime a cache with the original workload, then re-check the
     // edited variant. Each timed repetition starts from a freshly cloned
@@ -201,6 +229,9 @@ pub fn run_one(
         },
         incremental_hits: warm.stats.incremental_hits,
         incremental_misses: warm.stats.incremental_misses,
+        pipeline_median_micros,
+        pipeline_spread_pct,
+        allocs_per_stmt: allocs,
     }
 }
 
@@ -322,6 +353,8 @@ pub fn to_json(rows: &[E2eRow]) -> String {
              \"requested_threads\": {}, \
              \"detections\": {}, \"identical\": {}, \
              \"legacy_micros\": {}, \"pipeline_micros\": {}, \"warm_micros\": {}, \
+             \"pipeline_median_micros\": {}, \"pipeline_spread_pct\": {:.1}, \
+             \"allocs_per_stmt\": {}, \
              \"split_micros\": {}, \"materialize_micros\": {}, \"parse_micros\": {}, \
              \"annotate_micros\": {}, \"context_micros\": {}, \"unique_texts\": {}, \
              \"incremental_hits\": {}, \"incremental_misses\": {}, \
@@ -337,6 +370,9 @@ pub fn to_json(rows: &[E2eRow]) -> String {
             r.legacy_micros,
             r.pipeline_micros,
             r.warm_micros,
+            r.pipeline_median_micros,
+            r.pipeline_spread_pct,
+            r.allocs_per_stmt.map(|a| format!("{a:.1}")).unwrap_or_else(|| "null".into()),
             r.frontend.split_micros,
             r.frontend.materialize_micros,
             r.frontend.parse_micros,

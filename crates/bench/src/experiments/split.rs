@@ -23,10 +23,11 @@
 //! (spans, content hashes, template fingerprints) before any timing is
 //! reported.
 
+use crate::alloc_count::{alloc_count, allocs_per_stmt};
+use crate::harness::{sample_of, Sample};
 use sqlcheck_parser::splitter::{split_deduped, split_spanned, split_stream, split_stream_parallel};
 use sqlcheck_parser::SplitStatement;
 use super::throughput::script_for_shape;
-use std::time::Instant;
 
 /// One measured workload size.
 #[derive(Debug, Clone)]
@@ -58,6 +59,23 @@ pub struct SplitRow {
     pub deduped_micros: u128,
     /// Wall-clock microseconds: fused splitter over parallel chunks.
     pub parallel_micros: u128,
+    /// Median observation for the legacy configuration (noise context
+    /// for the min that the headline numbers report).
+    pub legacy_median_micros: u128,
+    /// Median observation for the fused configuration.
+    pub fused_median_micros: u128,
+    /// Median observation for the deduping configuration.
+    pub deduped_median_micros: u128,
+    /// Median observation for the parallel configuration.
+    pub parallel_median_micros: u128,
+    /// Relative spread `(max-min)/min` of the fused observations, percent
+    /// — the per-row measurement of the host noise the README warns
+    /// about.
+    pub fused_spread_pct: f64,
+    /// Heap allocations per **unique** statement on the parse-once path
+    /// (fused split+dedup, then one structural parse per unique text).
+    /// `None` when the `count-allocs` feature is compiled out.
+    pub allocs_per_stmt: Option<f64>,
 }
 
 impl SplitRow {
@@ -147,17 +165,37 @@ pub fn assert_equivalence(script: &str, threads: Option<usize>) -> usize {
 /// Repetitions per measurement; the minimum observation is reported
 /// (noise-robust: preemption and hypervisor steal only ever add time —
 /// 9 reps because steal windows on the shared VM are long enough that 5
-/// back-to-back runs often all land inside one).
+/// back-to-back runs often all land inside one). The median and spread
+/// of the same observations are carried alongside as noise context.
 const REPS: usize = 9;
 
-fn best_of<T>(mut f: impl FnMut() -> T) -> u128 {
-    let mut best = u128::MAX;
-    for _ in 0..REPS {
-        let t = Instant::now();
-        std::hint::black_box(f());
-        best = best.min(t.elapsed().as_micros());
+fn measure<T>(f: impl FnMut() -> T) -> Sample {
+    sample_of(REPS, f)
+}
+
+/// Ceiling for `allocs_per_stmt` on the plain workload, asserted whenever
+/// counting is compiled in (the CI regression gate). The Box/Vec AST
+/// baseline sat at ~60–190 allocations per unique statement; the
+/// interned-token + arena path measures ~10–20, so 32 keeps ≥3× headroom
+/// over the measured value while still failing loudly if per-node heap
+/// traffic creeps back in.
+pub const PLAIN_ALLOCS_PER_STMT_CEILING: f64 = 32.0;
+
+/// Allocations per unique statement on the parse-once path: fused
+/// split+dedup, then one structural parse per unique text — the intake
+/// work `ContextBuilder::add_script` performs per unique statement.
+/// `None` when the `count-allocs` feature is compiled out.
+fn measure_allocs_per_stmt(script: &str) -> Option<f64> {
+    let d = split_deduped(script, 1);
+    // Warm thread-local parse state so one-time setup is not billed.
+    if let Some(u) = d.uniques.first() {
+        std::hint::black_box(sqlcheck_parser::parse_one(&script[u.span.start..u.span.end]));
     }
-    best
+    let before = alloc_count();
+    for u in &d.uniques {
+        std::hint::black_box(sqlcheck_parser::parse_one(&script[u.span.start..u.span.end]));
+    }
+    allocs_per_stmt(before, alloc_count(), d.uniques.len())
 }
 
 /// Run the experiment at one workload size and shape.
@@ -175,10 +213,19 @@ pub fn run_one(
 
     let stmt_count = assert_equivalence(&script, threads);
 
-    let legacy_micros = best_of(|| legacy_statements(&script));
-    let fused_micros = best_of(|| split_stream(&script));
-    let deduped_micros = best_of(|| split_deduped(&script, 1));
-    let parallel_micros = best_of(|| split_stream_parallel(&script, par_threads));
+    let legacy = measure(|| legacy_statements(&script));
+    let fused = measure(|| split_stream(&script));
+    let deduped = measure(|| split_deduped(&script, 1));
+    let parallel = measure(|| split_stream_parallel(&script, par_threads));
+    let allocs = measure_allocs_per_stmt(&script);
+    if workload == "plain" {
+        if let Some(a) = allocs {
+            assert!(
+                a <= PLAIN_ALLOCS_PER_STMT_CEILING,
+                "allocs_per_stmt regression: {a:.1} > ceiling {PLAIN_ALLOCS_PER_STMT_CEILING}"
+            );
+        }
+    }
 
     SplitRow {
         workload,
@@ -188,10 +235,51 @@ pub fn run_one(
         threads: par_threads,
         requested_threads: threads.unwrap_or(0),
         identical: true, // asserted above; a divergence panics before this
-        legacy_micros,
-        fused_micros,
-        deduped_micros,
-        parallel_micros,
+        legacy_micros: legacy.min_micros,
+        fused_micros: fused.min_micros,
+        deduped_micros: deduped.min_micros,
+        parallel_micros: parallel.min_micros,
+        legacy_median_micros: legacy.median_micros,
+        fused_median_micros: fused.median_micros,
+        deduped_median_micros: deduped.median_micros,
+        parallel_median_micros: parallel.median_micros,
+        fused_spread_pct: fused.spread_pct(),
+        allocs_per_stmt: allocs,
+    }
+}
+
+/// Run the split configurations over an externally supplied script (the
+/// `expdriver splitfile FILE` path — typically a memory-mapped real dump
+/// via [`sqlcheck::input::read_script`]). Same equivalence gate and
+/// measurements as [`run_one`]; `templates` is reported as 0 (unknown).
+pub fn run_script(script: &str, threads: Option<usize>) -> SplitRow {
+    let par_threads = threads
+        .or_else(|| std::thread::available_parallelism().map(|n| n.get()).ok())
+        .unwrap_or(1);
+    let stmt_count = assert_equivalence(script, threads);
+    let legacy = measure(|| legacy_statements(script));
+    let fused = measure(|| split_stream(script));
+    let deduped = measure(|| split_deduped(script, 1));
+    let parallel = measure(|| split_stream_parallel(script, par_threads));
+    let allocs = measure_allocs_per_stmt(script);
+    SplitRow {
+        workload: "file",
+        statements: stmt_count,
+        templates: 0,
+        bytes: script.len(),
+        threads: par_threads,
+        requested_threads: threads.unwrap_or(0),
+        identical: true,
+        legacy_micros: legacy.min_micros,
+        fused_micros: fused.min_micros,
+        deduped_micros: deduped.min_micros,
+        parallel_micros: parallel.min_micros,
+        legacy_median_micros: legacy.median_micros,
+        fused_median_micros: fused.median_micros,
+        deduped_median_micros: deduped.median_micros,
+        parallel_median_micros: parallel.median_micros,
+        fused_spread_pct: fused.spread_pct(),
+        allocs_per_stmt: allocs,
     }
 }
 
@@ -216,24 +304,27 @@ pub fn run(sizes: &[usize], templates: usize, seed: u64, threads: Option<usize>)
 pub fn render(rows: &[SplitRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:>8} {:>9} {:>10} {:>11} {:>10} {:>10} {:>10} {:>8} {:>8} {:>7} {:>7} {:>9}\n",
-        "workload", "stmts", "bytes", "legacy_us", "fused_us", "dedup_us", "par_us", "leg_MBs",
-        "fus_MBs", "fused_x", "dedup_x", "identical"
+        "{:>8} {:>9} {:>10} {:>11} {:>10} {:>9} {:>7} {:>10} {:>10} {:>8} {:>8} {:>7} {:>7} {:>7} {:>9}\n",
+        "workload", "stmts", "bytes", "legacy_us", "fused_us", "fused_med", "spread%", "dedup_us",
+        "par_us", "leg_MBs", "fus_MBs", "fused_x", "dedup_x", "allocs", "identical"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:>8} {:>9} {:>10} {:>11} {:>10} {:>10} {:>10} {:>8.1} {:>8.1} {:>6.1}x {:>6.1}x {:>9}\n",
+            "{:>8} {:>9} {:>10} {:>11} {:>10} {:>9} {:>6.0}% {:>10} {:>10} {:>8.1} {:>8.1} {:>6.1}x {:>6.1}x {:>7} {:>9}\n",
             r.workload,
             r.statements,
             r.bytes,
             r.legacy_micros,
             r.fused_micros,
+            r.fused_median_micros,
+            r.fused_spread_pct,
             r.deduped_micros,
             r.parallel_micros,
             r.legacy_mbps(),
             r.fused_mbps(),
             r.fused_speedup(),
             r.deduped_speedup(),
+            r.allocs_per_stmt.map(|a| format!("{a:.1}")).unwrap_or_else(|| "-".into()),
             r.identical,
         ));
     }
@@ -248,7 +339,11 @@ pub fn to_json(rows: &[SplitRow]) -> String {
             "    {{\"workload\": \"{}\", \"statements\": {}, \"templates\": {}, \"bytes\": {}, \
              \"threads\": {}, \"requested_threads\": {}, \
              \"identical\": {}, \"legacy_micros\": {}, \"fused_micros\": {}, \
-             \"deduped_micros\": {}, \"parallel_micros\": {}, \"legacy_mb_per_s\": {:.1}, \
+             \"deduped_micros\": {}, \"parallel_micros\": {}, \
+             \"legacy_median_micros\": {}, \"fused_median_micros\": {}, \
+             \"deduped_median_micros\": {}, \"parallel_median_micros\": {}, \
+             \"fused_spread_pct\": {:.1}, \"allocs_per_stmt\": {}, \
+             \"legacy_mb_per_s\": {:.1}, \
              \"fused_mb_per_s\": {:.1}, \"parallel_mb_per_s\": {:.1}, \
              \"fused_us_per_stmt\": {:.3}, \"fused_speedup\": {:.2}, \
              \"deduped_speedup\": {:.2}}}{}\n",
@@ -263,6 +358,12 @@ pub fn to_json(rows: &[SplitRow]) -> String {
             r.fused_micros,
             r.deduped_micros,
             r.parallel_micros,
+            r.legacy_median_micros,
+            r.fused_median_micros,
+            r.deduped_median_micros,
+            r.parallel_median_micros,
+            r.fused_spread_pct,
+            r.allocs_per_stmt.map(|a| format!("{a:.1}")).unwrap_or_else(|| "null".into()),
             r.legacy_mbps(),
             r.fused_mbps(),
             r.parallel_mbps(),

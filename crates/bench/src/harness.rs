@@ -97,3 +97,47 @@ fn finish(name: &str, iters: u64, elapsed: Duration) -> BenchResult {
 pub fn group(name: &str) {
     println!("\n== {name} ==");
 }
+
+/// Summary of a repeated wall-clock measurement. The experiments report
+/// the **minimum** (noise-robust on a preemptible host: steal only ever
+/// adds time) but also carry the median and the spread so the host noise
+/// the README warns about is measured per row instead of folklore.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Fastest observation, microseconds.
+    pub min_micros: u128,
+    /// Median observation, microseconds.
+    pub median_micros: u128,
+    /// Slowest observation, microseconds.
+    pub max_micros: u128,
+}
+
+impl Sample {
+    /// Relative spread of the observations: `(max - min) / min`, as a
+    /// percentage. ~0 on a quiet host; tens of percent under steal.
+    pub fn spread_pct(&self) -> f64 {
+        if self.min_micros == 0 {
+            0.0
+        } else {
+            (self.max_micros - self.min_micros) as f64 * 100.0 / self.min_micros as f64
+        }
+    }
+}
+
+/// Time `f` `reps` times and summarise the observations.
+pub fn sample_of<T>(reps: usize, mut f: impl FnMut() -> T) -> Sample {
+    assert!(reps > 0);
+    let mut obs: Vec<u128> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_micros()
+        })
+        .collect();
+    obs.sort_unstable();
+    Sample {
+        min_micros: obs[0],
+        median_micros: obs[obs.len() / 2],
+        max_micros: obs[obs.len() - 1],
+    }
+}

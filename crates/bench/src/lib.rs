@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc_count;
 pub mod harness;
 
 /// Experiment implementations, one module per paper artefact.

@@ -31,7 +31,6 @@
 //! ```
 
 use sqlcheck::{BatchOptions, DetectionConfig, DiagKind, Fix, InterQueryModel, RankWeights, SqlCheck};
-use std::io::Read;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -83,15 +82,18 @@ fn main() {
         .find(|a| !a.starts_with("--") && !is_flag_value(&args, a))
         .map(String::as_str)
         .unwrap_or("-");
+    // Files are memory-mapped (Unix): the splitter reads the page cache
+    // directly, so multi-GB dumps stream without a userspace copy.
     let sql = if input == "-" {
-        let mut buf = String::new();
-        if std::io::stdin().read_to_string(&mut buf).is_err() {
-            eprintln!("sqlcheck: failed to read stdin");
-            std::process::exit(2);
+        match sqlcheck::input::read_stdin() {
+            Ok(s) => s,
+            Err(_) => {
+                eprintln!("sqlcheck: failed to read stdin");
+                std::process::exit(2);
+            }
         }
-        buf
     } else {
-        match std::fs::read_to_string(input) {
+        match sqlcheck::input::read_script(input) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("sqlcheck: cannot read {input}: {e}");

@@ -464,7 +464,7 @@ impl ContextBuilder {
         let t_ann = Instant::now();
         for_each_entry(&mut uniques, threads, |e| {
             let parsed = e.parsed.as_ref().expect("parsed in phase 2");
-            e.ann = Some(Arc::new(annotate(&parsed.stmt)));
+            e.ann = Some(Arc::new(annotate(&parsed.stmt, &parsed.arena)));
         });
         stats.annotate_micros = t_ann.elapsed().as_micros();
 

@@ -9,13 +9,14 @@ use sqlcheck_parser::ast::{
     AlterAction, ColumnConstraint, CreateIndex, CreateTable, Statement, TableConstraintKind,
     TypeName,
 };
+use sqlcheck_parser::IStr;
 use std::collections::BTreeMap;
 
 /// A column as known to the catalog.
 #[derive(Debug, Clone)]
 pub struct ColumnInfo {
     /// Column name.
-    pub name: String,
+    pub name: IStr,
     /// Declared type, if present.
     pub type_name: Option<TypeName>,
     /// NOT NULL declared.
@@ -26,33 +27,33 @@ pub struct ColumnInfo {
 #[derive(Debug, Clone)]
 pub struct CheckInfo {
     /// Constraint name, when given.
-    pub name: Option<String>,
+    pub name: Option<IStr>,
     /// Raw check expression text.
     pub expr_text: String,
     /// `col IN (...)` shape, when recognised: `(column, values)`.
-    pub in_list: Option<(String, Vec<String>)>,
+    pub in_list: Option<(IStr, Vec<IStr>)>,
 }
 
 /// A foreign key as known to the catalog.
 #[derive(Debug, Clone)]
 pub struct FkInfo {
     /// Referencing columns.
-    pub columns: Vec<String>,
+    pub columns: Vec<IStr>,
     /// Referenced table.
-    pub ref_table: String,
+    pub ref_table: IStr,
     /// Referenced columns (may be empty, meaning the target PK).
-    pub ref_columns: Vec<String>,
+    pub ref_columns: Vec<IStr>,
 }
 
 /// A table as known to the catalog.
 #[derive(Debug, Clone, Default)]
 pub struct TableInfo {
     /// Declared name (original case).
-    pub name: String,
+    pub name: IStr,
     /// Columns in declaration order.
     pub columns: Vec<ColumnInfo>,
     /// Primary key columns.
-    pub primary_key: Vec<String>,
+    pub primary_key: Vec<IStr>,
     /// Foreign keys.
     pub foreign_keys: Vec<FkInfo>,
     /// CHECK constraints.
@@ -72,7 +73,7 @@ impl TableInfo {
 
     /// Columns with ENUM types or CHECK-IN lists — the Enumerated Types AP
     /// surface.
-    pub fn enum_like_columns(&self) -> Vec<String> {
+    pub fn enum_like_columns(&self) -> Vec<IStr> {
         let mut out = Vec::new();
         for c in &self.columns {
             if c.type_name.as_ref().map(|t| t.name == "ENUM").unwrap_or(false) {
@@ -102,11 +103,11 @@ impl TableInfo {
 #[derive(Debug, Clone)]
 pub struct IndexInfo {
     /// Index name.
-    pub name: String,
+    pub name: IStr,
     /// Indexed table.
-    pub table: String,
+    pub table: IStr,
     /// Indexed columns, in order.
-    pub columns: Vec<String>,
+    pub columns: Vec<IStr>,
     /// Unique index.
     pub unique: bool,
 }
@@ -138,7 +139,7 @@ impl SchemaCatalog {
             Statement::AlterTable(at) => {
                 let key = at.table.name().to_ascii_lowercase();
                 let entry = self.tables.entry(key).or_insert_with(|| TableInfo {
-                    name: at.table.name().to_string(),
+                    name: at.table.name().into(),
                     ..Default::default()
                 });
                 match &at.action {
@@ -156,7 +157,7 @@ impl SchemaCatalog {
                         TableConstraintKind::ForeignKey { columns, reference } => {
                             entry.foreign_keys.push(FkInfo {
                                 columns: columns.clone(),
-                                ref_table: reference.table.name().to_string(),
+                                ref_table: reference.table.name().into(),
                                 ref_columns: reference.columns.clone(),
                             });
                         }
@@ -192,7 +193,7 @@ impl SchemaCatalog {
 
     fn apply_create_table(&mut self, ct: &CreateTable) {
         let mut info = TableInfo {
-            name: ct.name.name().to_string(),
+            name: ct.name.name().into(),
             columns: ct.columns.iter().map(column_info).collect(),
             primary_key: ct.primary_key_columns(),
             foreign_keys: ct
@@ -200,7 +201,7 @@ impl SchemaCatalog {
                 .into_iter()
                 .map(|(cols, r)| FkInfo {
                     columns: cols,
-                    ref_table: r.table.name().to_string(),
+                    ref_table: r.table.name().into(),
                     ref_columns: r.columns,
                 })
                 .collect(),
@@ -235,7 +236,7 @@ impl SchemaCatalog {
     fn apply_create_index(&mut self, ci: &CreateIndex) {
         self.indexes.push(IndexInfo {
             name: ci.name.clone(),
-            table: ci.table.name().to_string(),
+            table: ci.table.name().into(),
             columns: ci.columns.clone(),
             unique: ci.unique,
         });
@@ -335,7 +336,7 @@ fn fold_column_constraints(entry: &mut TableInfo, cd: &sqlcheck_parser::ast::Col
             ColumnConstraint::PrimaryKey => entry.primary_key = vec![cd.name.clone()],
             ColumnConstraint::References(r) => entry.foreign_keys.push(FkInfo {
                 columns: vec![cd.name.clone()],
-                ref_table: r.table.name().to_string(),
+                ref_table: r.table.name().into(),
                 ref_columns: r.columns.clone(),
             }),
             ColumnConstraint::Check(ch) => entry.checks.push(CheckInfo {

@@ -255,7 +255,7 @@ mod tests {
         let parsed = parse(sql);
         let schema = SchemaCatalog::from_statements(parsed.iter().map(|p| &p.stmt));
         let stmts: Vec<_> =
-            parsed.into_iter().map(|p| (p.stmt.clone(), annotate(&p.stmt))).collect();
+            parsed.into_iter().map(|p| (p.stmt.clone(), annotate(&p.stmt, &p.arena))).collect();
         (WorkloadProfile::build(stmts.iter().map(|(s, a)| (s, a)), &schema), schema)
     }
 

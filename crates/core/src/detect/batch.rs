@@ -557,7 +557,7 @@ fn table_deps(ann: &Annotations) -> Arc<[String]> {
     for t in &ann.tables {
         deps.insert(t.to_ascii_lowercase());
     }
-    let mut add_qualifier = |q: &Option<String>| {
+    let mut add_qualifier = |q: &Option<sqlcheck_parser::IStr>| {
         if let Some(q) = q {
             deps.insert(q.to_ascii_lowercase());
         }

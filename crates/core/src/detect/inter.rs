@@ -155,7 +155,7 @@ fn index_overuse(ctx: &Context, _cfg: &DetectionConfig, out: &mut Vec<Detection>
             };
             out.push(Detection {
                 kind: AntiPatternKind::IndexOveruse,
-                locus: Locus::Index { index: idx.name.clone() },
+                locus: Locus::Index { index: idx.name.to_string() },
                 message: reason.into(),
                 source: DetectionSource::InterQuery,
                 span: None,
@@ -173,7 +173,7 @@ fn clone_table(ctx: &Context, _cfg: &DetectionConfig, out: &mut Vec<Detection>) 
         if stripped.len() < t.name.len() && !stripped.is_empty() {
             let stem = stripped.trim_end_matches('_').to_ascii_lowercase();
             if !stem.is_empty() {
-                stems.entry(stem).or_default().push(t.name.clone());
+                stems.entry(stem).or_default().push(t.name.to_string());
             }
         }
     }

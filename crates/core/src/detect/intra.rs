@@ -10,6 +10,8 @@ use crate::context::{AnalyzedStatement, Context};
 use crate::detect::DetectionConfig;
 use crate::report::{Detection, DetectionSource, Locus, Span};
 use sqlcheck_parser::annotate::{annotate, Annotations};
+use sqlcheck_parser::arena::{ExprArena, ExprId};
+use sqlcheck_parser::IStr;
 use sqlcheck_parser::ast::*;
 
 /// Run every intra-query rule against one statement, fanning into the
@@ -26,24 +28,28 @@ pub fn detect_statement(
     cfg: &DetectionConfig,
     use_context: bool,
 ) -> Vec<Detection> {
-    let mut out = detect_one(idx, &stmt.parsed.stmt, &stmt.ann, ctx, cfg, use_context, None);
+    let arena = &stmt.parsed.arena;
+    let mut out = detect_one(idx, &stmt.parsed.stmt, arena, &stmt.ann, ctx, cfg, use_context, None);
     for b in stmt.parsed.stmt.body() {
         // The sub-statement gets its own annotation digest, so per-
         // statement rules (pattern predicates, wildcard, …) see only the
         // body statement — not the aggregated trigger digest. Computed
         // here (once per unique text on the batch path) rather than
-        // stored in the AST.
-        let sub_ann = annotate(&b.stmt);
-        out.extend(detect_one(idx, &b.stmt, &sub_ann, ctx, cfg, use_context, Some(b.span)));
+        // stored in the AST. Body sub-statements share the enclosing
+        // statement's arena.
+        let sub_ann = annotate(&b.stmt, arena);
+        out.extend(detect_one(idx, &b.stmt, arena, &sub_ann, ctx, cfg, use_context, Some(b.span)));
     }
     out
 }
 
 /// The per-statement rule set. `body_span` is `Some` when `stmt` is a
 /// body sub-statement of a compound statement at index `idx`.
+#[allow(clippy::too_many_arguments)]
 fn detect_one(
     idx: usize,
     stmt: &Statement,
+    arena: &ExprArena,
     ann: &Annotations,
     ctx: &Context,
     cfg: &DetectionConfig,
@@ -63,10 +69,10 @@ fn detect_one(
 
     match stmt {
         Statement::Select(sel) => {
-            select_rules(sel, ann, ctx, cfg, use_context, &mut push);
+            select_rules(sel, arena, ann, ctx, cfg, use_context, &mut push);
         }
-        Statement::Insert(ins) => insert_rules(ins, &mut push),
-        Statement::Update(upd) => update_rules(upd, ctx, use_context, &mut push),
+        Statement::Insert(ins) => insert_rules(ins, arena, &mut push),
+        Statement::Update(upd) => update_rules(upd, arena, ctx, use_context, &mut push),
         Statement::CreateTable(ct) => create_table_rules(ct, ctx, cfg, use_context, &mut push),
         Statement::AlterTable(at) => alter_rules(at, &mut push),
         _ => {}
@@ -80,6 +86,7 @@ fn detect_one(
 
 fn select_rules(
     sel: &Select,
+    arena: &ExprArena,
     ann: &Annotations,
     ctx: &Context,
     cfg: &DetectionConfig,
@@ -97,8 +104,8 @@ fn select_rules(
 
     // Ordering by RAND.
     let rand_in_order = sel.order_by.iter().any(|o| {
-        o.expr
-            .function_calls()
+        arena
+            .function_calls(o.expr)
             .iter()
             .any(|f| f == "RAND" || f == "RANDOM" || f == "NEWID")
     });
@@ -111,7 +118,7 @@ fn select_rules(
 
     // DISTINCT + JOIN: DISTINCT papering over join-induced duplicates.
     if sel.distinct && sel.join_count() > 0 {
-        let suppressed = use_context && joins_on_unique_keys(sel, ctx);
+        let suppressed = use_context && joins_on_unique_keys(sel, arena, ctx);
         if !suppressed {
             push(
                 AntiPatternKind::DistinctJoin,
@@ -143,7 +150,7 @@ fn select_rules(
     mva_query_rule(ann, ctx, use_context, push);
 
     // Concatenate Nulls: `||` over possibly-NULL columns.
-    concat_nulls_rule(sel, ann, ctx, use_context, push);
+    concat_nulls_rule(sel, arena, ann, ctx, use_context, push);
 
     // Readable password in predicates (`WHERE password = '...'`).
     let pw_compared = ann.predicates.iter().any(|p| is_password_column(&p.column));
@@ -155,19 +162,19 @@ fn select_rules(
     }
 }
 
-fn joins_on_unique_keys(sel: &Select, ctx: &Context) -> bool {
+fn joins_on_unique_keys(sel: &Select, arena: &ExprArena, ctx: &Context) -> bool {
     // Suppress DISTINCT+JOIN when every equi-join lands on a primary key:
     // such joins cannot introduce duplicates, so DISTINCT is benign.
     let mut all_unique = true;
     let mut any = false;
     for j in &sel.joins {
-        let Some(on) = &j.on else { continue };
+        let Some(on) = j.on else { continue };
         let mut side_is_pk = false;
-        on.walk(&mut |e| {
+        arena.walk(on, &mut |e| {
             if let Expr::Binary { left, op, right } = e {
                 if op == "=" || op == "==" {
                     for side in [left, right] {
-                        if let Expr::Ident(parts) = side.as_ref() {
+                        if let Expr::Ident(parts) = arena.node(*side) {
                             if parts.len() == 2 {
                                 let (q, c) = (&parts[0], &parts[1]);
                                 let table = resolve_alias(sel, q);
@@ -276,19 +283,20 @@ fn mva_query_rule(
 
 fn concat_nulls_rule(
     sel: &Select,
+    arena: &ExprArena,
     ann: &Annotations,
     ctx: &Context,
     use_context: bool,
     push: &mut impl FnMut(AntiPatternKind, String),
 ) {
     // Find `||` over column references anywhere in the statement.
-    let mut concat_cols: Vec<(Option<String>, String)> = Vec::new();
-    let mut visit = |e: &Expr| {
-        e.walk(&mut |node| {
+    let mut concat_cols: Vec<(Option<IStr>, IStr)> = Vec::new();
+    let mut visit = |e: ExprId| {
+        arena.walk(e, &mut |node| {
             if let Expr::Binary { left, op, right } = node {
                 if op == "||" {
-                    for side in [left.as_ref(), right.as_ref()] {
-                        if let Expr::Ident(parts) = side {
+                    for side in [left, right] {
+                        if let Expr::Ident(parts) = arena.node(*side) {
                             match parts.len() {
                                 1 => concat_cols.push((None, parts[0].clone())),
                                 2 => concat_cols
@@ -303,14 +311,14 @@ fn concat_nulls_rule(
     };
     for item in &sel.items {
         if let SelectItem::Expr { expr, .. } = item {
-            visit(expr);
+            visit(*expr);
         }
     }
-    if let Some(w) = &sel.where_clause {
+    if let Some(w) = sel.where_clause {
         visit(w);
     }
     for j in &sel.joins {
-        if let Some(on) = &j.on {
+        if let Some(on) = j.on {
             visit(on);
         }
     }
@@ -322,7 +330,7 @@ fn concat_nulls_rule(
         let all_not_null = concat_cols.iter().all(|(q, c)| {
             let table = match q {
                 Some(q) => resolve_alias(sel, q),
-                None => ann.tables.first().cloned().unwrap_or_default(),
+                None => ann.tables.first().map(|t| t.to_string()).unwrap_or_default(),
             };
             ctx.schema
                 .table(&table)
@@ -351,7 +359,7 @@ fn concat_nulls_rule(
 // INSERT / UPDATE rules
 // ---------------------------------------------------------------------------
 
-fn insert_rules(ins: &Insert, push: &mut impl FnMut(AntiPatternKind, String)) {
+fn insert_rules(ins: &Insert, arena: &ExprArena, push: &mut impl FnMut(AntiPatternKind, String)) {
     if ins.columns.is_empty() && matches!(ins.source, InsertSource::Values(_)) {
         push(
             AntiPatternKind::ImplicitColumns,
@@ -364,8 +372,8 @@ fn insert_rules(ins: &Insert, push: &mut impl FnMut(AntiPatternKind, String)) {
     // MVA evidence: inserting a delimiter-separated token list.
     if let InsertSource::Values(rows) = &ins.source {
         for row in rows {
-            for e in row {
-                if let Expr::StringLit(s) = e {
+            for e in row.iter() {
+                if let Expr::StringLit(s) = arena.node(e) {
                     if looks_like_token_list(s) {
                         push(
                             AntiPatternKind::MultiValuedAttribute,
@@ -381,13 +389,14 @@ fn insert_rules(ins: &Insert, push: &mut impl FnMut(AntiPatternKind, String)) {
 
 fn update_rules(
     upd: &Update,
+    arena: &ExprArena,
     _ctx: &Context,
     _use_context: bool,
     push: &mut impl FnMut(AntiPatternKind, String),
 ) {
     for (col, val) in &upd.assignments {
         if is_password_column(col) {
-            if let Expr::StringLit(_) = val {
+            if let Expr::StringLit(_) = arena.node(*val) {
                 push(
                     AntiPatternKind::ReadablePassword,
                     format!("UPDATE stores a plain-text value into password column '{col}'"),
@@ -395,7 +404,7 @@ fn update_rules(
             }
         }
         // REPLACE() surgery on a list column is the paper's DI example.
-        if let Expr::Function { name, .. } = val {
+        if let Expr::Function { name, .. } = arena.node(*val) {
             if name.eq_ignore_ascii_case("REPLACE") && id_list_column(col) {
                 push(
                     AntiPatternKind::MultiValuedAttribute,

@@ -137,7 +137,7 @@ fn pk_candidate(d: &Detection, ctx: &Context) -> Option<String> {
     let table = match &d.locus {
         Locus::Table { table } => table.clone(),
         Locus::Statement { index } => {
-            ctx.statements.get(*index)?.ann.tables.first()?.clone()
+            ctx.statements.get(*index)?.ann.tables.first()?.to_string()
         }
         _ => return None,
     };
@@ -148,7 +148,7 @@ fn pk_candidate(d: &Detection, ctx: &Context) -> Option<String> {
             let n = c.name.to_ascii_lowercase();
             n.ends_with("_id") || n == "id" || n.ends_with("_key")
         })
-        .map(|c| c.name.clone())
+        .map(|c| c.name.to_string())
 }
 
 #[cfg(test)]

@@ -9,8 +9,10 @@
 use crate::context::Context;
 use crate::fix::Fix;
 use crate::report::{Detection, Locus};
+use sqlcheck_parser::arena::{ExprArena, ExprId, ExprRange};
 use sqlcheck_parser::ast::*;
 use sqlcheck_parser::render::ToSql;
+use sqlcheck_parser::IStr;
 
 fn statement_at<'c>(d: &Detection, ctx: &'c Context) -> Option<&'c ParsedStatement> {
     d.statement_index().and_then(|i| ctx.statements.get(i)).map(|a| a.parsed.as_ref())
@@ -32,7 +34,7 @@ pub fn implicit_columns(d: &Detection, ctx: &Context) -> Option<Fix> {
     }
     let mut fixed = ins.clone();
     fixed.columns = table.columns.iter().map(|c| c.name.clone()).collect();
-    Some(Fix::Rewrite { original: parsed.text(), fixed: fixed.to_sql() })
+    Some(Fix::Rewrite { original: parsed.text(), fixed: fixed.to_sql(&parsed.arena) })
 }
 
 /// Column Wildcard: expand `*` to the explicit column list when every
@@ -40,25 +42,29 @@ pub fn implicit_columns(d: &Detection, ctx: &Context) -> Option<Fix> {
 pub fn column_wildcard(d: &Detection, ctx: &Context) -> Option<Fix> {
     let parsed = statement_at(d, ctx)?;
     let Statement::Select(sel) = &parsed.stmt else { return None };
+    // New column-reference nodes go into a copy of the statement's arena
+    // (existing ids stay valid — the arena is append-only).
+    let mut arena = parsed.arena.clone();
     let mut fixed = sel.clone();
     let mut new_items = Vec::new();
     for item in &fixed.items {
         match item {
             SelectItem::Wildcard { qualifier } => {
-                let expansions = expand_wildcard(sel, qualifier.as_deref(), ctx)?;
+                let expansions = expand_wildcard(sel, qualifier.as_deref(), ctx, &mut arena)?;
                 new_items.extend(expansions);
             }
             other => new_items.push(other.clone()),
         }
     }
     fixed.items = new_items;
-    Some(Fix::Rewrite { original: parsed.text(), fixed: fixed.to_sql() })
+    Some(Fix::Rewrite { original: parsed.text(), fixed: fixed.to_sql(&arena) })
 }
 
 fn expand_wildcard(
     sel: &Select,
     qualifier: Option<&str>,
     ctx: &Context,
+    arena: &mut ExprArena,
 ) -> Option<Vec<SelectItem>> {
     let tables: Vec<&TableRef> = match qualifier {
         Some(q) => sel
@@ -83,11 +89,11 @@ fn expand_wildcard(
         }
         for c in &info.columns {
             let expr = if multi || qualifier.is_some() {
-                Expr::Ident(vec![t.binding().to_string(), c.name.clone()])
+                Expr::Ident(vec![t.binding().into(), c.name.clone()])
             } else {
                 Expr::ident(c.name.clone())
             };
-            items.push(SelectItem::Expr { expr, alias: None });
+            items.push(SelectItem::Expr { expr: arena.alloc(expr), alias: None });
         }
     }
     Some(items)
@@ -98,50 +104,55 @@ fn expand_wildcard(
 pub fn concatenate_nulls(d: &Detection, ctx: &Context) -> Option<Fix> {
     let parsed = statement_at(d, ctx)?;
     let Statement::Select(sel) = &parsed.stmt else { return None };
+    let mut arena = parsed.arena.clone();
     let mut fixed = sel.clone();
     let mut changed = false;
     for item in &mut fixed.items {
         if let SelectItem::Expr { expr, .. } = item {
-            let new = rewrite_concat(expr.clone(), &mut changed);
-            *expr = new;
+            *expr = rewrite_concat(&mut arena, *expr, &mut changed);
         }
     }
     if let Some(w) = fixed.where_clause.take() {
-        fixed.where_clause = Some(rewrite_concat(w, &mut changed));
+        fixed.where_clause = Some(rewrite_concat(&mut arena, w, &mut changed));
     }
     if !changed {
         return None;
     }
-    Some(Fix::Rewrite { original: parsed.text(), fixed: fixed.to_sql() })
+    Some(Fix::Rewrite { original: parsed.text(), fixed: fixed.to_sql(&arena) })
 }
 
-fn rewrite_concat(e: Expr, changed: &mut bool) -> Expr {
-    match e {
+fn rewrite_concat(arena: &mut ExprArena, id: ExprId, changed: &mut bool) -> ExprId {
+    match arena.node(id).clone() {
         Expr::Binary { left, op, right } if op == "||" => {
-            let l = coalesce_ident(rewrite_concat(*left, changed), changed);
-            let r = coalesce_ident(rewrite_concat(*right, changed), changed);
-            Expr::Binary { left: Box::new(l), op, right: Box::new(r) }
+            let l = rewrite_concat(arena, left, changed);
+            let l = coalesce_ident(arena, l, changed);
+            let r = rewrite_concat(arena, right, changed);
+            let r = coalesce_ident(arena, r, changed);
+            arena.alloc(Expr::Binary { left: l, op, right: r })
         }
-        Expr::Binary { left, op, right } => Expr::Binary {
-            left: Box::new(rewrite_concat(*left, changed)),
-            op,
-            right: Box::new(rewrite_concat(*right, changed)),
-        },
-        Expr::Paren(inner) => Expr::Paren(Box::new(rewrite_concat(*inner, changed))),
-        other => other,
+        Expr::Binary { left, op, right } => {
+            let l = rewrite_concat(arena, left, changed);
+            let r = rewrite_concat(arena, right, changed);
+            arena.alloc(Expr::Binary { left: l, op, right: r })
+        }
+        Expr::Paren(inner) => {
+            let i = rewrite_concat(arena, inner, changed);
+            arena.alloc(Expr::Paren(i))
+        }
+        _ => id,
     }
 }
 
-fn coalesce_ident(e: Expr, changed: &mut bool) -> Expr {
-    if let Expr::Ident(_) = &e {
+fn coalesce_ident(arena: &mut ExprArena, id: ExprId, changed: &mut bool) -> ExprId {
+    if let Expr::Ident(_) = arena.node(id) {
         *changed = true;
-        Expr::Function {
-            name: "COALESCE".into(),
-            args: vec![e, Expr::StringLit(String::new())],
-            distinct: false,
-        }
+        // Argument lists are contiguous runs, so re-allocate the ident
+        // next to its '' fallback.
+        let ident = arena.node(id).clone();
+        let args = arena.alloc_range([ident, Expr::StringLit(IStr::empty())]);
+        arena.alloc(Expr::Function { name: "COALESCE".into(), args, distinct: false })
     } else {
-        e
+        id
     }
 }
 
@@ -156,7 +167,7 @@ pub fn distinct_join(d: &Detection, ctx: &Context) -> Option<Fix> {
     }
     let from = sel.from.as_ref()?;
     let join = &sel.joins[0];
-    let on = join.on.as_ref()?;
+    let on = join.on?;
     if join.table.subquery.is_some() || from.subquery.is_some() {
         return None;
     }
@@ -169,7 +180,7 @@ pub fn distinct_join(d: &Detection, ctx: &Context) -> Option<Fix> {
                 if q.to_ascii_lowercase() == outer_binding => {}
             SelectItem::Wildcard { .. } => return None,
             SelectItem::Expr { expr, .. } => {
-                for (q, _) in expr.column_refs() {
+                for (q, _) in parsed.arena.column_refs(*expr) {
                     match q {
                         Some(q) if q.to_ascii_lowercase() == inner_binding => return None,
                         _ => {}
@@ -178,28 +189,30 @@ pub fn distinct_join(d: &Detection, ctx: &Context) -> Option<Fix> {
             }
         }
     }
+    let mut arena = parsed.arena.clone();
+    let one = arena.alloc(Expr::NumberLit("1".into()));
     let sub = Select {
         distinct: false,
-        items: vec![SelectItem::Expr { expr: Expr::NumberLit("1".into()), alias: None }],
+        items: vec![SelectItem::Expr { expr: one, alias: None }],
         from: Some(join.table.clone()),
         joins: vec![],
-        where_clause: Some(on.clone()),
-        group_by: vec![],
+        where_clause: Some(on),
+        group_by: ExprRange::EMPTY,
         having: None,
         order_by: vec![],
         limit: None,
         set_op_tail: None,
     };
-    let exists =
-        Expr::Unary { op: "EXISTS".into(), expr: Box::new(Expr::Subquery(Box::new(sub))) };
+    let sub_id = arena.alloc(Expr::Subquery(Box::new(sub)));
+    let exists = arena.alloc(Expr::Unary { op: "EXISTS".into(), expr: sub_id });
     let mut fixed = sel.clone();
     fixed.distinct = false;
     fixed.joins.clear();
     fixed.where_clause = Some(match fixed.where_clause.take() {
-        Some(w) => Expr::Binary { left: Box::new(w), op: "AND".into(), right: Box::new(exists) },
+        Some(w) => arena.alloc(Expr::Binary { left: w, op: "AND".into(), right: exists }),
         None => exists,
     });
-    Some(Fix::Rewrite { original: parsed.text(), fixed: fixed.to_sql() })
+    Some(Fix::Rewrite { original: parsed.text(), fixed: fixed.to_sql(&arena) })
 }
 
 /// Enumerated Types (Fig 5): introduce a lookup table and re-point the
@@ -245,7 +258,7 @@ fn enum_site(d: &Detection, ctx: &Context) -> Option<(String, String, Vec<String
                     })
                 })
                 .unwrap_or_default();
-            Some((table.clone(), column.clone(), values))
+            Some((table.clone(), column.clone(), values.iter().map(|v| v.to_string()).collect()))
         }
         Locus::Statement { index } => {
             let stmt = &ctx.statements.get(*index)?.parsed.stmt;
@@ -256,8 +269,8 @@ fn enum_site(d: &Detection, ctx: &Context) -> Option<(String, String, Vec<String
                             if let Some((col, vals)) = &ch.in_list {
                                 return Some((
                                     at.table.name().to_string(),
-                                    col.clone(),
-                                    vals.clone(),
+                                    col.to_string(),
+                                    vals.iter().map(|v| v.to_string()).collect(),
                                 ));
                             }
                         }
@@ -276,7 +289,7 @@ fn enum_site(d: &Detection, ctx: &Context) -> Option<(String, String, Vec<String
                                     .collect();
                                 return Some((
                                     ct.name.name().to_string(),
-                                    col.name.clone(),
+                                    col.name.to_string(),
                                     vals,
                                 ));
                             }
@@ -287,8 +300,8 @@ fn enum_site(d: &Detection, ctx: &Context) -> Option<(String, String, Vec<String
                             if let Some((col, vals)) = &ch.in_list {
                                 return Some((
                                     ct.name.name().to_string(),
-                                    col.clone(),
-                                    vals.clone(),
+                                    col.to_string(),
+                                    vals.iter().map(|v| v.to_string()).collect(),
                                 ));
                             }
                         }
@@ -319,7 +332,7 @@ pub fn multi_valued_attribute(d: &Detection, ctx: &Context) -> Option<Fix> {
         .schema
         .table(&table)
         .and_then(|t| t.primary_key.first().cloned())
-        .unwrap_or_else(|| format!("{table}_ID"));
+        .unwrap_or_else(|| format!("{table}_ID").into());
     let intersection = format!("{table}_{entity}");
     let statements = vec![
         format!(
@@ -356,7 +369,7 @@ fn mva_site(d: &Detection, ctx: &Context) -> Option<(String, String)> {
                     let textual =
                         col.data_type.as_ref().map(|t| t.is_textual()).unwrap_or(false);
                     if textual && crate::detect::intra::id_list_column(&col.name) {
-                        return Some((ct.name.name().to_string(), col.name.clone()));
+                        return Some((ct.name.name().to_string(), col.name.to_string()));
                     }
                 }
             }
@@ -376,7 +389,7 @@ fn mva_site(d: &Detection, ctx: &Context) -> Option<(String, String)> {
                         .map(|j| j.left.1.clone())
                 })?;
             let table = ann.tables.first()?.clone();
-            Some((table, col))
+            Some((table.into(), col.into()))
         }
         _ => None,
     }
@@ -447,7 +460,7 @@ pub fn rounding_errors(d: &Detection, ctx: &Context) -> Option<Fix> {
                     }
                 }
             }
-            changed.then(|| Fix::Rewrite { original: parsed.text(), fixed: fixed.to_sql() })
+            changed.then(|| Fix::Rewrite { original: parsed.text(), fixed: fixed.to_sql(&parsed.arena) })
         }
         _ => None,
     }

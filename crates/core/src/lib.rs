@@ -104,6 +104,7 @@ pub mod anti_pattern;
 pub mod context;
 pub mod detect;
 pub mod fix;
+pub mod input;
 pub(crate) mod hashutil;
 pub mod rank;
 pub mod registry;
@@ -118,6 +119,7 @@ pub use detect::{
     IncrementalCache, DEFAULT_CACHE_SHARDS,
 };
 pub use fix::{Fix, FixEngine, SuggestedFix};
+pub use input::{read_script, ScriptInput};
 pub use rank::{
     ApMetrics, InterQueryModel, MetricsTable, RankWeights, RankedDetection, Ranker, Severity,
 };

@@ -7,6 +7,8 @@
 //! detection rules need structure where available but must never reject a
 //! statement from an unsupported dialect.
 
+use crate::arena::{ExprArena, ExprId, ExprRange};
+use crate::istr::IStr;
 use crate::token::{Span, Token};
 
 /// A parsed statement together with the raw tokens it came from.
@@ -17,6 +19,10 @@ pub struct ParsedStatement {
     /// The original token stream (trivia included) — the fallback
     /// representation used when a fix cannot be expressed structurally.
     pub tokens: Vec<Token>,
+    /// Arena owning every expression node of `stmt`, including compound
+    /// body sub-statements. All `ExprId`/`ExprRange` indices in the tree
+    /// resolve here.
+    pub arena: ExprArena,
 }
 
 impl ParsedStatement {
@@ -105,22 +111,22 @@ impl Statement {
 pub struct OtherStatement {
     /// The leading keyword (uppercased), e.g. `PRAGMA`, `GRANT`; empty when
     /// the statement does not start with a keyword.
-    pub leading_keyword: String,
+    pub leading_keyword: IStr,
 }
 
 /// A (possibly qualified) object name such as `schema.table`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
-pub struct ObjectName(pub Vec<String>);
+pub struct ObjectName(pub Vec<IStr>);
 
 impl ObjectName {
     /// Single-part name.
-    pub fn simple(name: impl Into<String>) -> Self {
+    pub fn simple(name: impl Into<IStr>) -> Self {
         ObjectName(vec![name.into()])
     }
 
     /// The final path component (the object's own name).
     pub fn name(&self) -> &str {
-        self.0.last().map(String::as_str).unwrap_or("")
+        self.0.last().map(IStr::as_str).unwrap_or("")
     }
 
     /// Case-insensitive comparison on the final component.
@@ -141,17 +147,17 @@ impl std::fmt::Display for ObjectName {
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct TypeName {
     /// Uppercased base name (`VARCHAR`, `ENUM`, `TIMESTAMP`, ...).
-    pub name: String,
+    pub name: IStr,
     /// Raw argument texts inside parentheses (numbers or quoted strings).
-    pub args: Vec<String>,
+    pub args: Vec<IStr>,
     /// Trailing modifiers, uppercased (`UNSIGNED`, `WITH TIME ZONE`, ...).
-    pub modifiers: Vec<String>,
+    pub modifiers: Vec<IStr>,
 }
 
 impl TypeName {
     /// Construct a simple type without args.
     pub fn simple(name: &str) -> Self {
-        TypeName { name: name.to_ascii_uppercase(), ..Default::default() }
+        TypeName { name: IStr::new_upper(name), ..Default::default() }
     }
 
     /// True for textual types (`CHAR`, `VARCHAR`, `TEXT`, ...).
@@ -188,7 +194,7 @@ impl TypeName {
 #[derive(Debug, Clone)]
 pub struct ColumnDef {
     /// Column name (quoting stripped).
-    pub name: String,
+    pub name: IStr,
     /// Declared type; `None` when omitted (SQLite allows this).
     pub data_type: Option<TypeName>,
     /// Column-level constraints in declaration order.
@@ -239,7 +245,7 @@ pub struct ForeignKeyRef {
     /// Referenced table.
     pub table: ObjectName,
     /// Referenced columns (may be empty → the table's PK).
-    pub columns: Vec<String>,
+    pub columns: Vec<IStr>,
     /// Referential actions (e.g. `ON DELETE CASCADE`), raw text.
     pub actions: Vec<String>,
 }
@@ -251,14 +257,14 @@ pub struct CheckConstraint {
     pub expr_text: String,
     /// When the check has the shape `col IN ('a','b',...)` — the paper's
     /// Enumerated Types AP — the column and the permitted values.
-    pub in_list: Option<(String, Vec<String>)>,
+    pub in_list: Option<(IStr, Vec<IStr>)>,
 }
 
 /// Table-level constraint.
 #[derive(Debug, Clone)]
 pub struct TableConstraint {
     /// Optional constraint name (`CONSTRAINT name ...`).
-    pub name: Option<String>,
+    pub name: Option<IStr>,
     /// The constraint body.
     pub kind: TableConstraintKind,
 }
@@ -267,13 +273,13 @@ pub struct TableConstraint {
 #[derive(Debug, Clone)]
 pub enum TableConstraintKind {
     /// `PRIMARY KEY (cols)`
-    PrimaryKey(Vec<String>),
+    PrimaryKey(Vec<IStr>),
     /// `UNIQUE (cols)`
-    Unique(Vec<String>),
+    Unique(Vec<IStr>),
     /// `FOREIGN KEY (cols) REFERENCES table (cols)`
     ForeignKey {
         /// Referencing columns.
-        columns: Vec<String>,
+        columns: Vec<IStr>,
         /// The reference target.
         reference: ForeignKeyRef,
     },
@@ -301,7 +307,7 @@ pub struct CreateTable {
 impl CreateTable {
     /// The set of primary-key columns, from either a column-level or a
     /// table-level declaration.
-    pub fn primary_key_columns(&self) -> Vec<String> {
+    pub fn primary_key_columns(&self) -> Vec<IStr> {
         for tc in &self.constraints {
             if let TableConstraintKind::PrimaryKey(cols) = &tc.kind {
                 return cols.clone();
@@ -321,7 +327,7 @@ impl CreateTable {
 
     /// All foreign key references declared in this table (column level and
     /// table level), as `(local columns, reference)` pairs.
-    pub fn foreign_keys(&self) -> Vec<(Vec<String>, ForeignKeyRef)> {
+    pub fn foreign_keys(&self) -> Vec<(Vec<IStr>, ForeignKeyRef)> {
         let mut out = Vec::new();
         for col in &self.columns {
             if let Some(r) = col.references() {
@@ -409,11 +415,11 @@ pub struct CreateRoutine {
 #[derive(Debug, Clone)]
 pub struct CreateIndex {
     /// Index name (may be empty for anonymous dialect forms).
-    pub name: String,
+    pub name: IStr,
     /// Indexed table.
     pub table: ObjectName,
     /// Indexed columns, in order.
-    pub columns: Vec<String>,
+    pub columns: Vec<IStr>,
     /// `UNIQUE` index.
     pub unique: bool,
 }
@@ -433,11 +439,11 @@ pub enum AlterAction {
     /// `ADD [COLUMN] <def>`
     AddColumn(ColumnDef),
     /// `DROP [COLUMN] <name>`
-    DropColumn(String),
+    DropColumn(IStr),
     /// `ADD CONSTRAINT ...`
     AddConstraint(TableConstraint),
     /// `DROP CONSTRAINT [IF EXISTS] <name>`
-    DropConstraint(String),
+    DropConstraint(IStr),
     /// Anything else, preserved as text.
     Other(String),
 }
@@ -448,14 +454,14 @@ pub enum SelectItem {
     /// `*` or `t.*`
     Wildcard {
         /// Optional table qualifier (`t` in `t.*`).
-        qualifier: Option<String>,
+        qualifier: Option<IStr>,
     },
     /// An expression with an optional alias.
     Expr {
         /// The expression.
-        expr: Expr,
+        expr: ExprId,
         /// `AS alias` (or bare alias).
-        alias: Option<String>,
+        alias: Option<IStr>,
     },
 }
 
@@ -466,7 +472,7 @@ pub struct TableRef {
     /// Table name; empty when the source is a subquery.
     pub name: ObjectName,
     /// Alias, if any.
-    pub alias: Option<String>,
+    pub alias: Option<IStr>,
     /// A derived table `( SELECT ... )`, boxed to keep the struct small.
     pub subquery: Option<Box<Select>>,
 }
@@ -503,9 +509,9 @@ pub struct Join {
     /// Joined table.
     pub table: TableRef,
     /// `ON <expr>`, if present.
-    pub on: Option<Expr>,
+    pub on: Option<ExprId>,
     /// `USING (cols)`, if present.
-    pub using: Vec<String>,
+    pub using: Vec<IStr>,
 }
 
 /// `SELECT` statement (loosely parsed).
@@ -520,11 +526,11 @@ pub struct Select {
     /// JOIN clauses in order.
     pub joins: Vec<Join>,
     /// WHERE predicate.
-    pub where_clause: Option<Expr>,
+    pub where_clause: Option<ExprId>,
     /// GROUP BY expressions.
-    pub group_by: Vec<Expr>,
+    pub group_by: ExprRange,
     /// HAVING predicate.
-    pub having: Option<Expr>,
+    pub having: Option<ExprId>,
     /// ORDER BY items.
     pub order_by: Vec<OrderItem>,
     /// LIMIT expression text.
@@ -559,7 +565,7 @@ impl Select {
 #[derive(Debug, Clone)]
 pub struct OrderItem {
     /// Ordering expression.
-    pub expr: Expr,
+    pub expr: ExprId,
     /// `true` for ASC (default), `false` for DESC.
     pub asc: bool,
 }
@@ -571,7 +577,7 @@ pub struct Insert {
     pub table: ObjectName,
     /// Explicit column list; empty ⇒ implicit columns (the Implicit
     /// Columns AP).
-    pub columns: Vec<String>,
+    pub columns: Vec<IStr>,
     /// The row source.
     pub source: InsertSource,
 }
@@ -579,8 +585,8 @@ pub struct Insert {
 /// Source of inserted rows.
 #[derive(Debug, Clone)]
 pub enum InsertSource {
-    /// `VALUES (..), (..)`
-    Values(Vec<Vec<Expr>>),
+    /// `VALUES (..), (..)` — one arena range per row.
+    Values(Vec<ExprRange>),
     /// `INSERT ... SELECT`
     Select(Box<Select>),
     /// Unparsed source text.
@@ -593,9 +599,9 @@ pub struct Update {
     /// Target table.
     pub table: ObjectName,
     /// `SET col = expr` assignments.
-    pub assignments: Vec<(String, Expr)>,
+    pub assignments: Vec<(IStr, ExprId)>,
     /// WHERE predicate.
-    pub where_clause: Option<Expr>,
+    pub where_clause: Option<ExprId>,
 }
 
 /// `DELETE` statement.
@@ -604,14 +610,14 @@ pub struct Delete {
     /// Target table.
     pub table: ObjectName,
     /// WHERE predicate.
-    pub where_clause: Option<Expr>,
+    pub where_clause: Option<ExprId>,
 }
 
 /// `DROP TABLE|INDEX` statement.
 #[derive(Debug, Clone)]
 pub struct Drop {
     /// What is dropped: `TABLE`, `INDEX`, `VIEW`, ... (uppercased).
-    pub object_kind: String,
+    pub object_kind: IStr,
     /// Object name.
     pub name: ObjectName,
     /// `IF EXISTS` present.
@@ -646,84 +652,88 @@ impl LikeOp {
     }
 }
 
-/// Expression tree. Constructs the parser cannot shape fall back to
-/// [`Expr::Raw`]; every variant can be rendered back to SQL.
+/// Expression tree node. Child edges are typed indices into the
+/// statement's [`ExprArena`] ([`ExprId`] for single children,
+/// [`ExprRange`] for lists) — no per-node heap allocation. Constructs the
+/// parser cannot shape fall back to [`Expr::Raw`]; every variant can be
+/// rendered back to SQL. Traversal helpers (`walk`, `column_refs`,
+/// `function_calls`) live on [`ExprArena`], which owns the nodes.
 #[derive(Debug, Clone)]
 pub enum Expr {
     /// Possibly-qualified identifier (`a`, `t.a`).
-    Ident(Vec<String>),
+    Ident(Vec<IStr>),
     /// String literal (unescaped value).
-    StringLit(String),
+    StringLit(IStr),
     /// Numeric literal (original text).
-    NumberLit(String),
+    NumberLit(IStr),
     /// `TRUE` / `FALSE`
     BoolLit(bool),
     /// `NULL`
     Null,
     /// Bind parameter (original text, e.g. `?`, `$1`, `%s`).
-    Param(String),
+    Param(IStr),
     /// Unary operator (`NOT`, `-`).
     Unary {
         /// Operator spelling (uppercased for word operators).
-        op: String,
+        op: IStr,
         /// Operand.
-        expr: Box<Expr>,
+        expr: ExprId,
     },
     /// Binary operator.
     Binary {
         /// Left operand.
-        left: Box<Expr>,
+        left: ExprId,
         /// Operator spelling (uppercased for word operators like `AND`).
-        op: String,
+        op: IStr,
         /// Right operand.
-        right: Box<Expr>,
+        right: ExprId,
     },
     /// Function call.
     Function {
         /// Function name (original case).
-        name: String,
+        name: IStr,
         /// Arguments; a lone `*` argument is `Expr::Ident(vec!["*"])`.
-        args: Vec<Expr>,
+        args: ExprRange,
         /// `DISTINCT` inside the call.
         distinct: bool,
     },
     /// Parenthesised expression.
-    Paren(Box<Expr>),
+    Paren(ExprId),
     /// `expr [NOT] IN (list)` — subquery forms fall back to Raw.
     InList {
         /// Tested expression.
-        expr: Box<Expr>,
+        expr: ExprId,
         /// List elements.
-        list: Vec<Expr>,
+        list: ExprRange,
         /// `NOT IN`.
         negated: bool,
     },
     /// `expr [NOT] BETWEEN low AND high`
     Between {
         /// Tested expression.
-        expr: Box<Expr>,
+        expr: ExprId,
         /// Lower bound.
-        low: Box<Expr>,
+        low: ExprId,
         /// Upper bound.
-        high: Box<Expr>,
+        high: ExprId,
         /// `NOT BETWEEN`.
         negated: bool,
     },
     /// `expr [NOT] LIKE|REGEXP|... pattern`
     Like {
         /// Tested expression.
-        expr: Box<Expr>,
+        expr: ExprId,
         /// The pattern operator.
         op: LikeOp,
         /// Pattern expression.
-        pattern: Box<Expr>,
+        pattern: ExprId,
         /// Negated form.
         negated: bool,
     },
     /// `expr IS [NOT] NULL`
     IsNull {
         /// Tested expression.
-        expr: Box<Expr>,
+        expr: ExprId,
         /// `IS NOT NULL`.
         negated: bool,
     },
@@ -735,69 +745,8 @@ pub enum Expr {
 
 impl Expr {
     /// Convenience constructor for an unqualified identifier.
-    pub fn ident(name: impl Into<String>) -> Expr {
+    pub fn ident(name: impl Into<IStr>) -> Expr {
         Expr::Ident(vec![name.into()])
-    }
-
-    /// Walk the expression tree, calling `f` on every node (pre-order).
-    pub fn walk(&self, f: &mut dyn FnMut(&Expr)) {
-        f(self);
-        match self {
-            Expr::Unary { expr, .. } | Expr::Paren(expr) => expr.walk(f),
-            Expr::Binary { left, right, .. } => {
-                left.walk(f);
-                right.walk(f);
-            }
-            Expr::Function { args, .. } => {
-                for a in args {
-                    a.walk(f);
-                }
-            }
-            Expr::InList { expr, list, .. } => {
-                expr.walk(f);
-                for e in list {
-                    e.walk(f);
-                }
-            }
-            Expr::Between { expr, low, high, .. } => {
-                expr.walk(f);
-                low.walk(f);
-                high.walk(f);
-            }
-            Expr::Like { expr, pattern, .. } => {
-                expr.walk(f);
-                pattern.walk(f);
-            }
-            Expr::IsNull { expr, .. } => expr.walk(f),
-            Expr::Subquery(_) => {}
-            _ => {}
-        }
-    }
-
-    /// Collect every column reference `(qualifier, column)` in the tree.
-    pub fn column_refs(&self) -> Vec<(Option<String>, String)> {
-        let mut out = Vec::new();
-        self.walk(&mut |e| {
-            if let Expr::Ident(parts) = e {
-                match parts.len() {
-                    1 if parts[0] != "*" => out.push((None, parts[0].clone())),
-                    2 => out.push((Some(parts[0].clone()), parts[1].clone())),
-                    _ => {}
-                }
-            }
-        });
-        out
-    }
-
-    /// Collect every function name called in the tree (uppercased).
-    pub fn function_calls(&self) -> Vec<String> {
-        let mut out = Vec::new();
-        self.walk(&mut |e| {
-            if let Expr::Function { name, .. } = e {
-                out.push(name.to_ascii_uppercase());
-            }
-        });
-        out
     }
 }
 
@@ -826,19 +775,15 @@ mod tests {
 
     #[test]
     fn expr_walk_collects_columns_and_functions() {
-        let e = Expr::Binary {
-            left: Box::new(Expr::Ident(vec!["t".into(), "a".into()])),
-            op: "=".into(),
-            right: Box::new(Expr::Function {
-                name: "lower".into(),
-                args: vec![Expr::ident("b")],
-                distinct: false,
-            }),
-        };
-        let cols = e.column_refs();
+        let mut arena = ExprArena::new();
+        let left = arena.alloc(Expr::Ident(vec!["t".into(), "a".into()]));
+        let args = arena.alloc_range([Expr::ident("b")]);
+        let right = arena.alloc(Expr::Function { name: "lower".into(), args, distinct: false });
+        let e = arena.alloc(Expr::Binary { left, op: "=".into(), right });
+        let cols = arena.column_refs(e);
         assert_eq!(cols.len(), 2);
         assert_eq!(cols[0], (Some("t".into()), "a".into()));
-        assert_eq!(e.function_calls(), vec!["LOWER".to_string()]);
+        assert_eq!(arena.function_calls(e), vec!["LOWER".to_string()]);
     }
 
     #[test]

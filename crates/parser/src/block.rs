@@ -437,7 +437,7 @@ mod tests {
             .filter(|t| !t.is_trivia())
             .map(|t| {
                 let a = tracker.offer(bytes, t.kind, t.span.start, t.span.end);
-                (t.text, a)
+                (t.text.to_string(), a)
             })
             .collect()
     }

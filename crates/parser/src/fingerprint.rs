@@ -63,7 +63,7 @@ pub fn template_of(tokens: &[Token]) -> String {
             TokenKind::Keyword => t.text.to_ascii_uppercase(),
             TokenKind::Ident => t.text.to_ascii_lowercase(),
             TokenKind::QuotedIdent => t.ident_value().to_string(),
-            _ => t.text.clone(),
+            _ => t.text.to_string(),
         };
         if atom == "?" {
             // Collapse `?, ?` into `?` so variable-length literal lists
@@ -124,19 +124,58 @@ impl TemplateHasher {
         self.h = self.h.wrapping_mul(FNV_PRIME);
     }
 
-    /// Commit one atom to the hash (joined by single spaces).
+    /// Commit one atom to the hash (joined by single spaces). The fold
+    /// dispatch happens once per atom, not once per byte: each arm is a
+    /// tight xor-multiply loop the hot path stays in.
     fn commit(&mut self, text: &str, fold: Fold) {
         if self.emitted_any {
             self.eat(b' ');
         }
         self.emitted_any = true;
-        for b in text.bytes() {
-            self.eat(match fold {
-                Fold::None => b,
-                Fold::Upper => b.to_ascii_uppercase(),
-                Fold::Lower => b.to_ascii_lowercase(),
-            });
+        let mut h = self.h;
+        match fold {
+            Fold::None => {
+                for b in text.bytes() {
+                    h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+                }
+            }
+            Fold::Upper => {
+                for b in text.bytes() {
+                    h = (h ^ b.to_ascii_uppercase() as u64).wrapping_mul(FNV_PRIME);
+                }
+            }
+            Fold::Lower => {
+                for b in text.bytes() {
+                    h = (h ^ b.to_ascii_lowercase() as u64).wrapping_mul(FNV_PRIME);
+                }
+            }
         }
+        self.h = h;
+    }
+
+    /// Commit an atom whose fingerprint fold is already applied (the
+    /// interner stores keyword text uppercased, identifier text
+    /// lowercased): a pure xor-multiply loop, no case work at all.
+    fn commit_folded(&mut self, bytes: &[u8]) {
+        if self.emitted_any {
+            self.eat(b' ');
+        }
+        self.emitted_any = true;
+        let mut h = self.h;
+        for &b in bytes {
+            h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+        self.h = h;
+    }
+
+    /// Feed one word token (keyword or identifier) as prefolded bytes.
+    /// Words are never `?`, `,`, or `;` atoms (those characters are not
+    /// word-class bytes), so the placeholder/list/semicolon dispatch of
+    /// [`TemplateHasher::token`] reduces to the plain-atom arm.
+    fn word_folded(&mut self, folded: &[u8]) {
+        self.flush_comma();
+        self.commit_folded(folded);
+        self.last_q = false;
     }
 
     fn flush_comma(&mut self) {
@@ -269,6 +308,21 @@ impl StreamingFingerprint {
         self.hasher.token(kind, text);
     }
 
+    /// Feed one word token whose fingerprint fold was precomputed —
+    /// uppercase bytes for a keyword, lowercase for an identifier, which
+    /// is exactly the form [`crate::intern::Interner::folded`] stores.
+    /// Equivalent to `push(kind, text)` for any word token (pinned by
+    /// tests); the win is that the fold ran once per *unique* word at
+    /// intern time instead of once per occurrence here.
+    #[inline]
+    pub fn push_folded_word(&mut self, folded: &[u8]) {
+        for _ in 0..self.pending_semis {
+            self.hasher.token(TokenKind::Punct, ";");
+        }
+        self.pending_semis = 0;
+        self.hasher.word_folded(folded);
+    }
+
     /// The fingerprint of everything pushed so far (trailing `;` atoms
     /// folded away), resetting the hasher for the next statement.
     pub fn finish(&mut self) -> u64 {
@@ -277,14 +331,46 @@ impl StreamingFingerprint {
     }
 }
 
-/// One-token-at-a-time content hash — the push-style counterpart of
-/// [`content_hash_parts`], used by the fused splitter. The struct is
-/// `Copy`, so a caller can snapshot the state before feeding tokens that
-/// may turn out to be excluded (trailing trivia) and keep the snapshot in
-/// O(1) instead of buffering tokens.
+/// Murmur3-x64-128-style block constants for the content hash.
+const MM_C1: u64 = 0x87c3_7b91_1142_53d5;
+const MM_C2: u64 = 0x4cf5_ad43_2745_937f;
+
+/// Murmur3 64-bit finaliser: full avalanche over one word.
+#[inline]
+fn fmix64(mut k: u64) -> u64 {
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    k ^= k >> 33;
+    k
+}
+
+/// Streaming content hash — a Murmur3-x64-128-style hash over raw
+/// statement bytes, two 64-bit lanes and 16 input bytes per mixing step
+/// (the per-byte FNV-128 multiply chain this replaced was the fused
+/// splitter's single largest cost).
+///
+/// The content hash is defined over a statement's **source bytes**, not
+/// its token structure: the lexer is deterministic, so equal bytes lex
+/// to equal tokens and unequal bytes differ somewhere the 128-bit hash
+/// will see — token kinds add no discriminating power. Feeding each
+/// token's exact text in order is therefore identical to hashing the
+/// statement slice in one shot ([`content_hash_bytes`]), which is what
+/// the fused splitter does at statement flush.
+///
+/// The struct is `Copy`, so a caller can snapshot the state before
+/// feeding tokens that may turn out to be excluded (trailing trivia) and
+/// keep the snapshot in O(1) instead of buffering tokens.
 #[derive(Debug, Clone, Copy)]
 pub struct ContentHasher {
-    h: u128,
+    h1: u64,
+    h2: u64,
+    /// Partial block awaiting 16 buffered bytes.
+    buf: [u8; 16],
+    buf_len: u8,
+    /// Total bytes fed (folded into the finaliser).
+    total: u64,
 }
 
 impl Default for ContentHasher {
@@ -294,32 +380,113 @@ impl Default for ContentHasher {
 }
 
 impl ContentHasher {
-    /// Fresh hasher (empty token stream).
+    /// Fresh hasher (empty byte stream).
     pub fn new() -> Self {
-        ContentHasher { h: FNV128_OFFSET }
+        ContentHasher { h1: 0, h2: 0, buf: [0; 16], buf_len: 0, total: 0 }
     }
 
-    /// Feed one token's kind and exact text.
+    #[inline]
+    fn mix_block(&mut self, k1: u64, k2: u64) {
+        let k1 = k1.wrapping_mul(MM_C1).rotate_left(31).wrapping_mul(MM_C2);
+        self.h1 ^= k1;
+        self.h1 = self
+            .h1
+            .rotate_left(27)
+            .wrapping_add(self.h2)
+            .wrapping_mul(5)
+            .wrapping_add(0x52dc_e729);
+        let k2 = k2.wrapping_mul(MM_C2).rotate_left(33).wrapping_mul(MM_C1);
+        self.h2 ^= k2;
+        self.h2 = self
+            .h2
+            .rotate_left(31)
+            .wrapping_add(self.h1)
+            .wrapping_mul(5)
+            .wrapping_add(0x3849_5ab5);
+    }
+
+    /// Feed raw bytes. Chunking is irrelevant: any sequence of pushes
+    /// whose concatenation is equal yields the same hash.
+    #[inline]
+    pub fn push_bytes(&mut self, mut bytes: &[u8]) {
+        self.total = self.total.wrapping_add(bytes.len() as u64);
+        let bl = self.buf_len as usize;
+        if bl > 0 {
+            let need = 16 - bl;
+            if bytes.len() < need {
+                self.buf[bl..bl + bytes.len()].copy_from_slice(bytes);
+                self.buf_len += bytes.len() as u8;
+                return;
+            }
+            self.buf[bl..].copy_from_slice(&bytes[..need]);
+            bytes = &bytes[need..];
+            let k1 = u64::from_le_bytes(self.buf[..8].try_into().expect("8 bytes"));
+            let k2 = u64::from_le_bytes(self.buf[8..].try_into().expect("8 bytes"));
+            self.mix_block(k1, k2);
+            self.buf_len = 0;
+        }
+        let mut chunks = bytes.chunks_exact(16);
+        for c in &mut chunks {
+            let k1 = u64::from_le_bytes(c[..8].try_into().expect("8 bytes"));
+            let k2 = u64::from_le_bytes(c[8..].try_into().expect("8 bytes"));
+            self.mix_block(k1, k2);
+        }
+        let rem = chunks.remainder();
+        self.buf[..rem.len()].copy_from_slice(rem);
+        self.buf_len = rem.len() as u8;
+    }
+
+    /// Feed one token's exact text (`kind` carries no information — see
+    /// the type docs; the parameter is kept so push sites read uniformly
+    /// with [`StreamingFingerprint::push`]).
     #[inline]
     pub fn push(&mut self, kind: TokenKind, text: &str) {
-        let mut h = self.h;
-        let mut eat = |b: u8| {
-            h ^= b as u128;
-            h = h.wrapping_mul(FNV128_PRIME);
-        };
-        eat(kind as u8);
-        for b in text.as_bytes() {
-            eat(*b);
-        }
-        eat(0xFF); // token separator: ["ab"] must not collide with ["a","b"]
-        self.h = h;
+        let _ = kind;
+        self.push_bytes(text.as_bytes());
     }
 
     /// The hash of everything pushed so far. Identical to
-    /// [`content_hash_parts`] over the same `(kind, text)` sequence.
+    /// [`content_hash_bytes`] over the concatenated pushed bytes.
     pub fn finish(&self) -> u128 {
-        self.h
+        let tail_len = self.buf_len as usize;
+        let (mut h1, mut h2) = (self.h1, self.h2);
+        if tail_len > 8 {
+            let mut b = [0u8; 8];
+            b[..tail_len - 8].copy_from_slice(&self.buf[8..tail_len]);
+            let k2 = u64::from_le_bytes(b)
+                .wrapping_mul(MM_C2)
+                .rotate_left(33)
+                .wrapping_mul(MM_C1);
+            h2 ^= k2;
+        }
+        if tail_len > 0 {
+            let n = tail_len.min(8);
+            let mut b = [0u8; 8];
+            b[..n].copy_from_slice(&self.buf[..n]);
+            let k1 = u64::from_le_bytes(b)
+                .wrapping_mul(MM_C1)
+                .rotate_left(31)
+                .wrapping_mul(MM_C2);
+            h1 ^= k1;
+        }
+        h1 ^= self.total;
+        h2 ^= self.total;
+        h1 = h1.wrapping_add(h2);
+        h2 = h2.wrapping_add(h1);
+        h1 = fmix64(h1);
+        h2 = fmix64(h2);
+        h1 = h1.wrapping_add(h2);
+        h2 = h2.wrapping_add(h1);
+        (h1 as u128) | ((h2 as u128) << 64)
     }
+}
+
+/// One-shot content hash of raw bytes — the core the fused splitter
+/// calls once per statement span at flush (no per-token work at all).
+pub fn content_hash_bytes(bytes: &[u8]) -> u128 {
+    let mut h = ContentHasher::new();
+    h.push_bytes(bytes);
+    h.finish()
 }
 
 /// Streaming fingerprint over `(kind, text)` pairs — the allocation-free
@@ -360,38 +527,28 @@ pub fn fingerprint_of(tokens: &[Token]) -> u64 {
     fingerprint_parts(tokens.iter().map(|t| (t.kind, t.text.as_str())))
 }
 
-/// FNV-1a 128-bit offset basis.
-const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
-/// FNV-1a 128-bit prime.
-const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
-
-/// Content hash of a token stream: a 128-bit FNV-1a over every token's
-/// kind and exact text (spans excluded, so duplicate statements at
-/// different script offsets collide — by design). Unlike the fingerprint,
-/// this is **literal-sensitive**: it identifies statements whose analysis
-/// results are interchangeable. 128 bits make accidental collisions
-/// negligible, which lets batch analysis use the hash alone as a
-/// result-cache key.
+/// Content hash of a token stream: the 128-bit byte hash
+/// ([`content_hash_bytes`]) of the concatenated token texts — for a
+/// statement's token stream, exactly its source bytes (spans excluded,
+/// so duplicate statements at different script offsets collide — by
+/// design). Unlike the fingerprint, this is **literal-sensitive**: it
+/// identifies statements whose analysis results are interchangeable.
+/// 128 bits make accidental collisions negligible, which lets batch
+/// analysis use the hash alone as a result-cache key.
 pub fn content_hash_of(tokens: &[Token]) -> u128 {
     content_hash_parts(tokens.iter().map(|t| (t.kind, t.text.as_str())))
 }
 
 /// Streaming content hash over `(kind, text)` pairs — the core shared by
-/// [`content_hash_of`] and the span-level front-end.
+/// [`content_hash_of`] and the span-level front-end. Hashes the
+/// concatenated texts; kinds carry no extra information (equal bytes lex
+/// to equal kinds — see [`ContentHasher`]).
 pub fn content_hash_parts<'t>(parts: impl Iterator<Item = (TokenKind, &'t str)>) -> u128 {
-    let mut h = FNV128_OFFSET;
-    let mut eat = |b: u8| {
-        h ^= b as u128;
-        h = h.wrapping_mul(FNV128_PRIME);
-    };
-    for (kind, text) in parts {
-        eat(kind as u8);
-        for b in text.as_bytes() {
-            eat(*b);
-        }
-        eat(0xFF); // token separator: ["ab"] must not collide with ["a","b"]
+    let mut h = ContentHasher::new();
+    for (_, text) in parts {
+        h.push_bytes(text.as_bytes());
     }
-    h
+    h.finish()
 }
 
 /// Content hash of span-level tokens (no text materialisation).
@@ -599,6 +756,30 @@ mod tests {
                 "streaming content hash diverged on {sql:?}"
             );
         }
+    }
+
+    #[test]
+    fn content_hash_is_a_byte_hash() {
+        // Chunking invariance: any split of the byte stream into pushes
+        // yields the one-shot hash (the fused splitter relies on this —
+        // it hashes the whole statement slice at flush, while the
+        // token-stream front-ends push text-by-text).
+        let data =
+            b"SELECT * FROM t WHERE a = 'long literal body spanning blocks' AND b IN (1,2,3)";
+        let oneshot = content_hash_bytes(data);
+        for chunk in [1usize, 2, 3, 7, 8, 15, 16, 17, 64] {
+            let mut h = ContentHasher::new();
+            for c in data.chunks(chunk) {
+                h.push_bytes(c);
+            }
+            assert_eq!(h.finish(), oneshot, "chunk size {chunk}");
+        }
+        assert_ne!(content_hash_bytes(b"a"), content_hash_bytes(b"b"));
+        assert_ne!(content_hash_bytes(b""), content_hash_bytes(b"\0"));
+        // A statement's content hash is the hash of its source slice.
+        let sql = "SELECT a /* t */ , b FROM t";
+        let toks = crate::lexer::lex_spans(sql);
+        assert_eq!(content_hash_spanned(sql, &toks), content_hash_bytes(sql.as_bytes()));
     }
 
     #[test]

@@ -1,0 +1,294 @@
+//! Inline small string — the allocation-free carrier for token texts and
+//! AST name fields.
+//!
+//! Nearly every string the parser materialises is a short SQL lexeme: an
+//! identifier, an operator spelling, a literal. Storing each one in a
+//! heap `String` made allocation count scale with token count (~1 alloc
+//! per token, measured). [`IStr`] stores texts up to [`IStr::INLINE_CAP`]
+//! bytes inline — same 24-byte footprint as `String`, zero heap traffic —
+//! and spills longer texts to a `Box<str>`.
+//!
+//! The type derefs to `str`, so read sites (`.as_str()`, comparisons,
+//! `starts_with`, slice `join`) compile unchanged; only sites that *move*
+//! an `IStr` into a `String` context need an explicit `.to_string()`.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+
+/// A short-string-optimised immutable string.
+#[derive(Clone)]
+pub struct IStr(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    /// Texts up to `INLINE_CAP` bytes, stored in place.
+    Inline { len: u8, buf: [u8; IStr::INLINE_CAP] },
+    /// Longer texts, spilled to the heap.
+    Heap(Box<str>),
+}
+
+impl IStr {
+    /// Longest text stored without heap allocation. Chosen so the whole
+    /// type is 24 bytes — the same size as `String`.
+    pub const INLINE_CAP: usize = 22;
+
+    /// Create from a string slice; allocates only beyond
+    /// [`IStr::INLINE_CAP`] bytes.
+    #[inline]
+    pub fn new(s: &str) -> IStr {
+        if s.len() <= Self::INLINE_CAP {
+            let mut buf = [0u8; Self::INLINE_CAP];
+            buf[..s.len()].copy_from_slice(s.as_bytes());
+            IStr(Repr::Inline { len: s.len() as u8, buf })
+        } else {
+            IStr(Repr::Heap(s.into()))
+        }
+    }
+
+    /// Create the ASCII-uppercased copy of `s` — inline when it fits, so
+    /// the common `to_ascii_uppercase()` at AST construction sites stops
+    /// allocating.
+    pub fn new_upper(s: &str) -> IStr {
+        let mut out = IStr::new(s);
+        match &mut out.0 {
+            Repr::Inline { len, buf } => buf[..*len as usize].make_ascii_uppercase(),
+            Repr::Heap(b) => b.make_ascii_uppercase(),
+        }
+        out
+    }
+
+    /// The empty string (inline; never allocates).
+    #[inline]
+    pub const fn empty() -> IStr {
+        IStr(Repr::Inline { len: 0, buf: [0u8; Self::INLINE_CAP] })
+    }
+
+    /// View as `&str`.
+    #[inline]
+    pub fn as_str(&self) -> &str {
+        match &self.0 {
+            // SAFETY: the inline buffer is only ever filled from a valid
+            // `&str` prefix (whole string, ≤ INLINE_CAP bytes), so the
+            // `len` prefix is valid UTF-8.
+            Repr::Inline { len, buf } => unsafe {
+                std::str::from_utf8_unchecked(&buf[..*len as usize])
+            },
+            Repr::Heap(b) => b,
+        }
+    }
+}
+
+impl Default for IStr {
+    fn default() -> IStr {
+        IStr::empty()
+    }
+}
+
+impl Deref for IStr {
+    type Target = str;
+    #[inline]
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for IStr {
+    #[inline]
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl Borrow<str> for IStr {
+    #[inline]
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl From<&str> for IStr {
+    #[inline]
+    fn from(s: &str) -> IStr {
+        IStr::new(s)
+    }
+}
+
+impl From<&String> for IStr {
+    #[inline]
+    fn from(s: &String) -> IStr {
+        IStr::new(s)
+    }
+}
+
+impl From<String> for IStr {
+    #[inline]
+    fn from(s: String) -> IStr {
+        if s.len() <= Self::INLINE_CAP {
+            IStr::new(&s)
+        } else {
+            IStr(Repr::Heap(s.into_boxed_str()))
+        }
+    }
+}
+
+impl From<&IStr> for IStr {
+    #[inline]
+    fn from(s: &IStr) -> IStr {
+        s.clone()
+    }
+}
+
+impl From<IStr> for String {
+    #[inline]
+    fn from(s: IStr) -> String {
+        match s.0 {
+            Repr::Inline { .. } => s.as_str().to_string(),
+            Repr::Heap(b) => b.into_string(),
+        }
+    }
+}
+
+impl fmt::Debug for IStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl fmt::Display for IStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+// Equality/ordering/hashing delegate to the text, so inline and heap
+// representations of the same text are indistinguishable.
+impl PartialEq for IStr {
+    #[inline]
+    fn eq(&self, other: &IStr) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+impl Eq for IStr {}
+
+impl PartialOrd for IStr {
+    #[inline]
+    fn partial_cmp(&self, other: &IStr) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for IStr {
+    #[inline]
+    fn cmp(&self, other: &IStr) -> std::cmp::Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl Hash for IStr {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state)
+    }
+}
+
+impl PartialEq<str> for IStr {
+    #[inline]
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+impl PartialEq<&str> for IStr {
+    #[inline]
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+impl PartialEq<String> for IStr {
+    #[inline]
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+impl PartialEq<IStr> for str {
+    #[inline]
+    fn eq(&self, other: &IStr) -> bool {
+        self == other.as_str()
+    }
+}
+impl PartialEq<IStr> for &str {
+    #[inline]
+    fn eq(&self, other: &IStr) -> bool {
+        *self == other.as_str()
+    }
+}
+impl PartialEq<IStr> for String {
+    #[inline]
+    fn eq(&self, other: &IStr) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_size_as_string() {
+        assert_eq!(std::mem::size_of::<IStr>(), std::mem::size_of::<String>());
+    }
+
+    #[test]
+    fn inline_and_heap_round_trip() {
+        let short = IStr::new("id");
+        assert_eq!(short, "id");
+        assert!(matches!(short.0, Repr::Inline { .. }));
+        let exactly = IStr::new("abcdefghijklmnopqrstuv"); // 22 bytes
+        assert!(matches!(exactly.0, Repr::Inline { .. }));
+        assert_eq!(exactly.len(), 22);
+        let long = IStr::new("a_rather_long_identifier_name");
+        assert!(matches!(long.0, Repr::Heap(_)));
+        assert_eq!(long, "a_rather_long_identifier_name");
+    }
+
+    #[test]
+    fn eq_hash_ord_cross_repr() {
+        use std::collections::HashSet;
+        let a = IStr::new("tenant");
+        let b = IStr::from("tenant".to_string());
+        assert_eq!(a, b);
+        assert_eq!(a, "tenant");
+        assert_eq!("tenant", a);
+        assert_eq!(a, "tenant".to_string());
+        let mut set = HashSet::new();
+        set.insert(a.clone());
+        // Borrow<str> lets lookups use &str keys.
+        assert!(set.contains("tenant"));
+        assert!(IStr::new("a") < IStr::new("b"));
+    }
+
+    #[test]
+    fn upper_constructor() {
+        assert_eq!(IStr::new_upper("varchar"), "VARCHAR");
+        assert_eq!(IStr::new_upper("a_rather_long_identifier_name"), "A_RATHER_LONG_IDENTIFIER_NAME");
+    }
+
+    #[test]
+    fn deref_and_join() {
+        let parts = [IStr::new("t"), IStr::new("a")];
+        assert_eq!(parts.join("."), "t.a");
+        let s = IStr::new("LIKE");
+        assert!(s.starts_with("LI"));
+        assert_eq!(s.to_ascii_lowercase(), "like");
+    }
+
+    #[test]
+    fn utf8_multibyte_safe() {
+        let s = IStr::new("héllo_wörld");
+        assert_eq!(s.as_str(), "héllo_wörld");
+        let boundary = "ééééééééééé"; // 22 bytes of 2-byte chars
+        assert_eq!(boundary.len(), 22);
+        assert!(matches!(IStr::new(boundary).0, Repr::Inline { .. }));
+        assert_eq!(IStr::new(boundary), boundary);
+    }
+}

@@ -31,6 +31,17 @@ pub(crate) trait TokenSink {
     /// One token.
     fn token(&mut self, kind: TokenKind, start: usize, end: usize);
 
+    /// One word token (identifier-class byte run), delivered with its
+    /// text when `CLASSIFY_WORDS` is set. The default classifies via the
+    /// static keyword table and forwards to [`TokenSink::token`]; sinks
+    /// that carry an [`crate::intern::Interner`] override this to resolve
+    /// the word to a symbol in one hash-and-probe instead.
+    #[inline]
+    fn word(&mut self, text: &str, start: usize, end: usize) {
+        let kind = if is_keyword(text) { TokenKind::Keyword } else { TokenKind::Ident };
+        self.token(kind, start, end);
+    }
+
     /// Early-exit check, polled once per token. The default never stops.
     #[inline]
     fn done(&self) -> bool {
@@ -92,7 +103,7 @@ impl TokenSink for SignificantSink<'_> {
 /// rules that only care about the significant token sequence. Trivia is
 /// discarded at the span level — no text is ever allocated for it.
 pub fn tokenize_significant(input: &str) -> Vec<Token> {
-    let mut sink = SignificantSink { src: input, out: Vec::new() };
+    let mut sink = SignificantSink { src: input, out: Vec::with_capacity(input.len() / 4 + 4) };
     lex_into(input, &mut sink);
     sink.out
 }
@@ -236,7 +247,8 @@ impl<S: TokenSink> Lexer<'_, '_, S> {
     }
 
     fn lex_whitespace(&mut self, start: usize) {
-        self.pos = scan::skip_while(self.bytes, self.pos, F_WS);
+        // The first byte is known whitespace; skip from the second.
+        self.pos = scan::skip_while(self.bytes, self.pos + 1, F_WS);
         self.emit(start, TokenKind::Whitespace);
     }
 
@@ -417,13 +429,13 @@ impl<S: TokenSink> Lexer<'_, '_, S> {
     }
 
     fn lex_word(&mut self, start: usize) {
-        self.pos = scan::skip_while(self.bytes, self.pos, F_WORD);
-        let kind = if S::CLASSIFY_WORDS && is_keyword(&self.src[start..self.pos]) {
-            TokenKind::Keyword
+        // The first byte is known word-class; skip from the second.
+        self.pos = scan::skip_while(self.bytes, self.pos + 1, F_WORD);
+        if S::CLASSIFY_WORDS {
+            self.sink.word(&self.src[start..self.pos], start, self.pos);
         } else {
-            TokenKind::Ident
-        };
-        self.emit(start, kind);
+            self.emit(start, TokenKind::Ident);
+        }
     }
 
     fn lex_operator_or_unknown(&mut self, start: usize) {

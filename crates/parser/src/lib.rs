@@ -34,10 +34,13 @@
 #![warn(missing_docs)]
 
 pub mod annotate;
+pub mod arena;
 pub mod ast;
 mod block;
 pub mod diag;
 pub mod fingerprint;
+pub mod intern;
+pub mod istr;
 pub mod lexer;
 pub mod parser;
 pub mod render;
@@ -46,10 +49,14 @@ pub mod splitter;
 pub mod token;
 
 pub use annotate::{annotate, Annotations};
+pub use arena::{ExprArena, ExprId, ExprRange};
 pub use ast::{ParsedStatement, Statement};
 pub use diag::{DiagKind, Diagnostic, Limits};
+pub use intern::{Interner, Symbol};
+pub use istr::IStr;
 pub use parser::{parse, parse_one, parse_raw, parse_raw_limited};
 pub use render::ToSql;
+pub use token::{Kw, Span, Token, TokenKind};
 pub use lexer::{lex_spans, SpannedToken};
 pub use splitter::{
     split_deduped, split_fingerprinted, split_spanned, split_stream, split_stream_parallel,

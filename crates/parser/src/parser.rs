@@ -7,12 +7,14 @@
 //! library used by the paper, and it is what gives sqlcheck its dialect
 //! coverage (§4.1 of the paper).
 
+use crate::arena::{ExprArena, ExprId, ExprRange};
 use crate::ast::*;
 use crate::block::{BlockTracker, SplitAction};
 use crate::diag::{DiagKind, Diagnostic, Limits};
+use crate::istr::IStr;
 use crate::lexer::SpannedToken;
 use crate::splitter::{split, RawStatement};
-use crate::token::{Token, TokenKind};
+use crate::token::{Kw, Token, TokenKind};
 use std::cell::Cell;
 
 /// Parse a script into statements.
@@ -51,8 +53,9 @@ pub fn parse_one(sql: &str) -> ParsedStatement {
     // All-trivia input: no statement to parse; the already-lexed token
     // stream is preserved as-is.
     ParsedStatement {
-        stmt: Statement::Other(OtherStatement { leading_keyword: String::new() }),
+        stmt: Statement::Other(OtherStatement { leading_keyword: IStr::empty() }),
         tokens: tokens.iter().map(|t| t.materialize(sql)).collect(),
+        arena: ExprArena::new(),
     }
 }
 
@@ -94,6 +97,12 @@ pub fn parse_raw(raw: RawStatement) -> ParsedStatement {
 // results stay deterministic regardless of which worker thread parses
 // which unique statement.
 thread_local! {
+    /// Arena collecting every expression node of the statement being
+    /// parsed (including compound-body sub-statements). Armed empty at
+    /// each statement's parse entry and moved into the resulting
+    /// [`ParsedStatement`]; kept thread-local like the rest of the parse
+    /// state so the mutually-recursive parse functions need no threading.
+    static ARENA: std::cell::RefCell<ExprArena> = std::cell::RefCell::new(ExprArena::new());
     /// Current expression/subquery recursion depth.
     static EXPR_DEPTH: Cell<u32> = const { Cell::new(0) };
     /// Active `Limits::max_expr_depth`.
@@ -154,7 +163,8 @@ fn enter_block() -> Option<DepthTicket> {
 /// attach it via [`Diagnostic::at`].
 pub fn parse_raw_limited(raw: RawStatement, limits: &Limits) -> (ParsedStatement, Vec<Diagnostic>) {
     let mut diags = Vec::new();
-    let sig: Vec<Token> = raw.tokens.iter().filter(|t| !t.is_trivia()).cloned().collect();
+    let mut sig: Vec<Token> = Vec::with_capacity(raw.tokens.len());
+    sig.extend(raw.tokens.iter().filter(|t| !t.is_trivia()).cloned());
     if raw.source.len() > limits.max_statement_bytes || raw.tokens.len() > limits.max_tokens {
         let leading = sig.first().map(|t| t.upper()).unwrap_or_default();
         diags.push(Diagnostic::new(
@@ -169,7 +179,7 @@ pub fn parse_raw_limited(raw: RawStatement, limits: &Limits) -> (ParsedStatement
             ),
         ));
         let stmt = Statement::Other(OtherStatement { leading_keyword: leading });
-        return (ParsedStatement { stmt, tokens: raw.tokens }, diags);
+        return (ParsedStatement { stmt, tokens: raw.tokens, arena: ExprArena::new() }, diags);
     }
 
     // Arm the recursion budgets and clear the degradation flags. Depth
@@ -183,6 +193,10 @@ pub fn parse_raw_limited(raw: RawStatement, limits: &Limits) -> (ParsedStatement
     EXPR_DEGRADED.with(|f| f.set(false));
     DEPTH_HIT.with(|f| f.set(false));
     UNTERMINATED.with(|f| f.set(false));
+    // Pre-size the arena: expression nodes are bounded by (and usually a
+    // small fraction of) the significant token count, so one up-front
+    // reservation replaces the per-statement doubling churn.
+    ARENA.with(|a| a.borrow_mut().reserve(sig.len() / 2 + 4));
 
     let stmt = parse_tokens(&sig);
 
@@ -225,7 +239,7 @@ pub fn parse_raw_limited(raw: RawStatement, limits: &Limits) -> (ParsedStatement
             "sub-expression fell back to Raw",
         ));
     }
-    (ParsedStatement { stmt, tokens: raw.tokens }, diags)
+    (ParsedStatement { stmt, tokens: raw.tokens, arena: take_arena() }, diags)
 }
 
 /// Re-derive the statement-level diagnostics of an already-parsed
@@ -255,7 +269,7 @@ pub fn diagnose_parsed(p: &ParsedStatement) -> Vec<Diagnostic> {
 fn parse_tokens(sig: &[Token]) -> Statement {
     let cur = Cursor::new(sig);
     let Some(first) = cur.peek() else {
-        return Statement::Other(OtherStatement { leading_keyword: String::new() });
+        return Statement::Other(OtherStatement { leading_keyword: IStr::empty() });
     };
     let leading = first.upper();
     let parsed = match leading.as_str() {
@@ -269,6 +283,21 @@ fn parse_tokens(sig: &[Token]) -> Statement {
         _ => None,
     };
     parsed.unwrap_or(Statement::Other(OtherStatement { leading_keyword: leading }))
+}
+
+/// Allocate one expression node in the current statement's arena.
+fn alloc(e: Expr) -> ExprId {
+    ARENA.with(|a| a.borrow_mut().alloc(e))
+}
+
+/// Allocate a contiguous child list in the current statement's arena.
+fn alloc_range(exprs: Vec<Expr>) -> ExprRange {
+    ARENA.with(|a| a.borrow_mut().alloc_range(exprs))
+}
+
+/// Move the accumulated arena out (end of one statement's parse).
+fn take_arena() -> ExprArena {
+    ARENA.with(|a| std::mem::take(&mut *a.borrow_mut()))
 }
 
 // ---------------------------------------------------------------------------
@@ -305,8 +334,8 @@ impl<'a> Cursor<'a> {
         self.pos >= self.toks.len()
     }
 
-    fn eat_keyword(&mut self, kw: &str) -> bool {
-        if self.peek().map(|t| t.is_keyword(kw)).unwrap_or(false) {
+    fn eat_keyword(&mut self, kw: Kw) -> bool {
+        if self.peek().map(|t| t.is_kw(kw)).unwrap_or(false) {
             self.pos += 1;
             true
         } else {
@@ -314,9 +343,9 @@ impl<'a> Cursor<'a> {
         }
     }
 
-    fn eat_keywords(&mut self, kws: &[&str]) -> bool {
+    fn eat_keywords(&mut self, kws: &[Kw]) -> bool {
         let save = self.pos;
-        for kw in kws {
+        for &kw in kws {
             if !self.eat_keyword(kw) {
                 self.pos = save;
                 return false;
@@ -334,18 +363,18 @@ impl<'a> Cursor<'a> {
         }
     }
 
-    fn peek_keyword(&self, kw: &str) -> bool {
-        self.peek().map(|t| t.is_keyword(kw)).unwrap_or(false)
+    fn peek_keyword(&self, kw: Kw) -> bool {
+        self.peek().map(|t| t.is_kw(kw)).unwrap_or(false)
     }
 
     /// Consume an identifier-like token (identifier, quoted identifier, or —
     /// tolerantly — a keyword used as a name).
-    fn eat_name(&mut self) -> Option<String> {
+    fn eat_name(&mut self) -> Option<IStr> {
         let t = self.peek()?;
         match t.kind {
             TokenKind::Ident | TokenKind::QuotedIdent | TokenKind::Keyword => {
                 self.pos += 1;
-                Some(t.ident_value().to_string())
+                Some(t.ident_value().into())
             }
             _ => None,
         }
@@ -468,19 +497,20 @@ fn split_on_commas(toks: &[Token]) -> Vec<&[Token]> {
 // SELECT
 // ---------------------------------------------------------------------------
 
-const CLAUSE_STARTERS: &[&str] = &[
-    "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "OFFSET", "UNION", "EXCEPT",
-    "INTERSECT",
+const CLAUSE_STARTERS: &[Kw] = &[
+    Kw::FROM, Kw::WHERE, Kw::GROUP, Kw::HAVING, Kw::ORDER, Kw::LIMIT, Kw::OFFSET,
+    Kw::UNION, Kw::EXCEPT, Kw::INTERSECT,
 ];
-const JOIN_STARTERS: &[&str] = &["JOIN", "INNER", "LEFT", "RIGHT", "FULL", "CROSS", "NATURAL"];
+const JOIN_STARTERS: &[Kw] =
+    &[Kw::JOIN, Kw::INNER, Kw::LEFT, Kw::RIGHT, Kw::FULL, Kw::CROSS, Kw::NATURAL];
 
 fn is_clause_boundary(t: &Token) -> bool {
-    t.kind == TokenKind::Keyword && CLAUSE_STARTERS.iter().any(|k| t.is_keyword(k))
+    t.kw.is_some_and(|k| CLAUSE_STARTERS.contains(&k))
 }
 
 fn is_join_or_clause_boundary(t: &Token) -> bool {
     is_clause_boundary(t)
-        || (t.kind == TokenKind::Keyword && JOIN_STARTERS.iter().any(|k| t.is_keyword(k)))
+        || t.kw.is_some_and(|k| JOIN_STARTERS.contains(&k))
         || t.is_punct(',')
 }
 
@@ -488,11 +518,11 @@ fn parse_select(cur: &mut Cursor) -> Option<Select> {
     // Depth guard: derived tables (`FROM (SELECT …)`) recurse here
     // without passing through `parse_prefix`.
     let _depth = enter_expr()?;
-    if !cur.eat_keyword("SELECT") {
+    if !cur.eat_keyword(Kw::SELECT) {
         return None;
     }
-    let distinct = cur.eat_keyword("DISTINCT");
-    let _ = cur.eat_keyword("ALL");
+    let distinct = cur.eat_keyword(Kw::DISTINCT);
+    let _ = cur.eat_keyword(Kw::ALL);
 
     let item_toks = cur.take_until(is_clause_boundary);
     let items = split_on_commas(item_toks)
@@ -506,14 +536,14 @@ fn parse_select(cur: &mut Cursor) -> Option<Select> {
         from: None,
         joins: Vec::new(),
         where_clause: None,
-        group_by: Vec::new(),
+        group_by: ExprRange::EMPTY,
         having: None,
         order_by: Vec::new(),
         limit: None,
         set_op_tail: None,
     };
 
-    if cur.eat_keyword("FROM") {
+    if cur.eat_keyword(Kw::FROM) {
         select.from = parse_table_ref(cur);
         loop {
             if cur.eat_punct(',') {
@@ -531,14 +561,14 @@ fn parse_select(cur: &mut Cursor) -> Option<Select> {
             let Some(jt) = parse_join_type(cur) else { break };
             let Some(table) = parse_table_ref(cur) else { break };
             let mut join = Join { join_type: jt, table, on: None, using: Vec::new() };
-            if cur.eat_keyword("ON") {
+            if cur.eat_keyword(Kw::ON) {
                 let on_toks = cur.take_until(is_join_or_clause_boundary);
-                join.on = Some(parse_expr_tokens(on_toks));
-            } else if cur.eat_keyword("USING") {
+                join.on = Some(alloc(parse_expr_tokens(on_toks)));
+            } else if cur.eat_keyword(Kw::USING) {
                 if let Some(inner) = cur.take_paren_group() {
                     join.using = split_on_commas(inner)
                         .into_iter()
-                        .filter_map(|s| s.first().map(|t| t.ident_value().to_string()))
+                        .filter_map(|s| s.first().map(|t| IStr::new(t.ident_value())))
                         .collect();
                 }
             }
@@ -546,39 +576,40 @@ fn parse_select(cur: &mut Cursor) -> Option<Select> {
         }
     }
 
-    if cur.eat_keyword("WHERE") {
+    if cur.eat_keyword(Kw::WHERE) {
         let toks = cur.take_until(is_clause_boundary);
-        select.where_clause = Some(parse_expr_tokens(toks));
+        select.where_clause = Some(alloc(parse_expr_tokens(toks)));
     }
-    if cur.eat_keywords(&["GROUP", "BY"]) {
+    if cur.eat_keywords(&[Kw::GROUP, Kw::BY]) {
         let toks = cur.take_until(is_clause_boundary);
-        select.group_by =
-            split_on_commas(toks).into_iter().map(parse_expr_tokens).collect();
+        select.group_by = alloc_range(
+            split_on_commas(toks).into_iter().map(parse_expr_tokens).collect::<Vec<_>>(),
+        );
     }
-    if cur.eat_keyword("HAVING") {
+    if cur.eat_keyword(Kw::HAVING) {
         let toks = cur.take_until(is_clause_boundary);
-        select.having = Some(parse_expr_tokens(toks));
+        select.having = Some(alloc(parse_expr_tokens(toks)));
     }
-    if cur.eat_keywords(&["ORDER", "BY"]) {
+    if cur.eat_keywords(&[Kw::ORDER, Kw::BY]) {
         let toks = cur.take_until(is_clause_boundary);
         for part in split_on_commas(toks) {
             let (part, asc) = match part.last() {
-                Some(t) if t.is_keyword("DESC") => (&part[..part.len() - 1], false),
-                Some(t) if t.is_keyword("ASC") => (&part[..part.len() - 1], true),
+                Some(t) if t.is_kw(Kw::DESC) => (&part[..part.len() - 1], false),
+                Some(t) if t.is_kw(Kw::ASC) => (&part[..part.len() - 1], true),
                 _ => (part, true),
             };
-            select.order_by.push(OrderItem { expr: parse_expr_tokens(part), asc });
+            select.order_by.push(OrderItem { expr: alloc(parse_expr_tokens(part)), asc });
         }
     }
-    if cur.eat_keyword("LIMIT") {
+    if cur.eat_keyword(Kw::LIMIT) {
         let toks = cur.take_until(|t| {
-            t.is_keyword("UNION") || t.is_keyword("EXCEPT") || t.is_keyword("INTERSECT")
-                || t.is_keyword("OFFSET")
+            t.is_kw(Kw::UNION) || t.is_kw(Kw::EXCEPT) || t.is_kw(Kw::INTERSECT)
+                || t.is_kw(Kw::OFFSET)
         });
         select.limit = Some(join_tokens(toks));
-        if cur.eat_keyword("OFFSET") {
+        if cur.eat_keyword(Kw::OFFSET) {
             let off = cur.take_until(|t| {
-                t.is_keyword("UNION") || t.is_keyword("EXCEPT") || t.is_keyword("INTERSECT")
+                t.is_kw(Kw::UNION) || t.is_kw(Kw::EXCEPT) || t.is_kw(Kw::INTERSECT)
             });
             if let Some(l) = &mut select.limit {
                 l.push_str(" OFFSET ");
@@ -599,19 +630,19 @@ fn parse_select_item(toks: &[Token]) -> SelectItem {
     }
     // `t.*`
     if toks.len() == 3 && toks[1].is_punct('.') && toks[2].is_operator("*") {
-        return SelectItem::Wildcard { qualifier: Some(toks[0].ident_value().to_string()) };
+        return SelectItem::Wildcard { qualifier: Some(toks[0].ident_value().into()) };
     }
     // Trailing `AS alias` or bare alias.
     let (expr_toks, alias) = detach_alias(toks);
-    SelectItem::Expr { expr: parse_expr_tokens(expr_toks), alias }
+    SelectItem::Expr { expr: alloc(parse_expr_tokens(expr_toks)), alias }
 }
 
 /// Split `expr [AS] alias` — the alias must be a lone trailing identifier.
-fn detach_alias(toks: &[Token]) -> (&[Token], Option<String>) {
-    if toks.len() >= 3 && toks[toks.len() - 2].is_keyword("AS") {
+fn detach_alias(toks: &[Token]) -> (&[Token], Option<IStr>) {
+    if toks.len() >= 3 && toks[toks.len() - 2].is_kw(Kw::AS) {
         let alias_tok = &toks[toks.len() - 1];
         if matches!(alias_tok.kind, TokenKind::Ident | TokenKind::QuotedIdent) {
-            return (&toks[..toks.len() - 2], Some(alias_tok.ident_value().to_string()));
+            return (&toks[..toks.len() - 2], Some(alias_tok.ident_value().into()));
         }
     }
     if toks.len() >= 2 {
@@ -627,38 +658,38 @@ fn detach_alias(toks: &[Token]) -> (&[Token], Option<String>) {
         if matches!(last.kind, TokenKind::Ident | TokenKind::QuotedIdent) && prev_ends_expr {
             // Heuristic bare alias: `expr alias` where both sides are atoms
             // and the pair is not a qualified name (no dot between).
-            return (&toks[..toks.len() - 1], Some(last.ident_value().to_string()));
+            return (&toks[..toks.len() - 1], Some(last.ident_value().into()));
         }
     }
     (toks, None)
 }
 
 fn parse_join_type(cur: &mut Cursor) -> Option<JoinType> {
-    let _natural = cur.eat_keyword("NATURAL");
-    if cur.eat_keyword("JOIN") {
+    let _natural = cur.eat_keyword(Kw::NATURAL);
+    if cur.eat_keyword(Kw::JOIN) {
         return Some(JoinType::Inner);
     }
-    if cur.eat_keyword("INNER") {
-        cur.eat_keyword("JOIN");
+    if cur.eat_keyword(Kw::INNER) {
+        cur.eat_keyword(Kw::JOIN);
         return Some(JoinType::Inner);
     }
-    if cur.eat_keyword("LEFT") {
-        cur.eat_keyword("OUTER");
-        cur.eat_keyword("JOIN");
+    if cur.eat_keyword(Kw::LEFT) {
+        cur.eat_keyword(Kw::OUTER);
+        cur.eat_keyword(Kw::JOIN);
         return Some(JoinType::Left);
     }
-    if cur.eat_keyword("RIGHT") {
-        cur.eat_keyword("OUTER");
-        cur.eat_keyword("JOIN");
+    if cur.eat_keyword(Kw::RIGHT) {
+        cur.eat_keyword(Kw::OUTER);
+        cur.eat_keyword(Kw::JOIN);
         return Some(JoinType::Right);
     }
-    if cur.eat_keyword("FULL") {
-        cur.eat_keyword("OUTER");
-        cur.eat_keyword("JOIN");
+    if cur.eat_keyword(Kw::FULL) {
+        cur.eat_keyword(Kw::OUTER);
+        cur.eat_keyword(Kw::JOIN);
         return Some(JoinType::Full);
     }
-    if cur.eat_keyword("CROSS") {
-        cur.eat_keyword("JOIN");
+    if cur.eat_keyword(Kw::CROSS) {
+        cur.eat_keyword(Kw::JOIN);
         return Some(JoinType::Cross);
     }
     None
@@ -681,15 +712,15 @@ fn parse_table_ref(cur: &mut Cursor) -> Option<TableRef> {
     Some(TableRef { name, alias, subquery: None })
 }
 
-fn parse_optional_alias(cur: &mut Cursor) -> Option<String> {
-    if cur.eat_keyword("AS") {
+fn parse_optional_alias(cur: &mut Cursor) -> Option<IStr> {
+    if cur.eat_keyword(Kw::AS) {
         return cur.eat_name();
     }
     // Bare alias: an identifier that is not a clause/join keyword.
     if let Some(t) = cur.peek() {
         if matches!(t.kind, TokenKind::Ident | TokenKind::QuotedIdent) {
             cur.pos += 1;
-            return Some(t.ident_value().to_string());
+            return Some(t.ident_value().into());
         }
     }
     None
@@ -716,9 +747,11 @@ pub fn parse_expr_tokens(toks: &[Token]) -> Expr {
 }
 
 /// Parse an expression string (helper for tests and the fix engine).
-pub fn parse_expr_str(sql: &str) -> Expr {
+/// Returns the root node by value plus the arena its children live in.
+pub fn parse_expr_str(sql: &str) -> (ExprArena, Expr) {
     let toks = crate::lexer::tokenize_significant(sql);
-    parse_expr_tokens(&toks)
+    let root = parse_expr_tokens(&toks);
+    (take_arena(), root)
 }
 
 fn binding_power(tok: &Token) -> Option<(u8, &'static str)> {
@@ -755,24 +788,24 @@ fn parse_expr_bp(cur: &mut Cursor, min_bp: u8) -> Option<Expr> {
             match u.as_str() {
                 "IS" => {
                     cur.pos += 1;
-                    let negated = cur.eat_keyword("NOT");
-                    if cur.eat_keyword("NULL") {
-                        lhs = Expr::IsNull { expr: Box::new(lhs), negated };
+                    let negated = cur.eat_keyword(Kw::NOT);
+                    if cur.eat_keyword(Kw::NULL) {
+                        lhs = Expr::IsNull { expr: alloc(lhs), negated };
                         continue;
                     }
                     // IS TRUE / IS FALSE / IS DISTINCT FROM ... — raw-ish
                     let rhs = parse_prefix(cur)?;
                     lhs = Expr::Binary {
-                        left: Box::new(lhs),
+                        left: alloc(lhs),
                         op: if negated { "IS NOT".into() } else { "IS".into() },
-                        right: Box::new(rhs),
+                        right: alloc(rhs),
                     };
                     continue;
                 }
                 "NOT" | "IN" | "BETWEEN" | "LIKE" | "ILIKE" | "REGEXP" | "RLIKE" | "GLOB"
                 | "SIMILAR" => {
                     let save = cur.pos;
-                    let negated = cur.eat_keyword("NOT");
+                    let negated = cur.eat_keyword(Kw::NOT);
                     if let Some(e) = parse_like_in_between(cur, lhs.clone(), negated) {
                         lhs = e;
                         continue;
@@ -791,54 +824,54 @@ fn parse_expr_bp(cur: &mut Cursor, min_bp: u8) -> Option<Expr> {
         let _ = class;
         cur.pos += 1;
         let rhs = parse_expr_bp(cur, lbp + 1)?;
-        lhs = Expr::Binary { left: Box::new(lhs), op: op_text, right: Box::new(rhs) };
+        lhs = Expr::Binary { left: alloc(lhs), op: op_text, right: alloc(rhs) };
     }
     Some(lhs)
 }
 
 fn parse_like_in_between(cur: &mut Cursor, lhs: Expr, negated: bool) -> Option<Expr> {
-    if cur.eat_keyword("IN") {
+    if cur.eat_keyword(Kw::IN) {
         let inner = cur.take_paren_group()?;
         // Subquery IN — keep raw to stay total.
-        if inner.first().map(|t| t.is_keyword("SELECT")).unwrap_or(false) {
+        if inner.first().map(|t| t.is_kw(Kw::SELECT)).unwrap_or(false) {
             let sub = parse_select(&mut Cursor::new(inner))?;
             return Some(Expr::InList {
-                expr: Box::new(lhs),
-                list: vec![Expr::Subquery(Box::new(sub))],
+                expr: alloc(lhs),
+                list: alloc_range(vec![Expr::Subquery(Box::new(sub))]),
                 negated,
             });
         }
         let list = split_on_commas(inner).into_iter().map(parse_expr_tokens).collect();
-        return Some(Expr::InList { expr: Box::new(lhs), list, negated });
+        return Some(Expr::InList { expr: alloc(lhs), list: alloc_range(list), negated });
     }
-    if cur.eat_keyword("BETWEEN") {
+    if cur.eat_keyword(Kw::BETWEEN) {
         let low = parse_expr_bp(cur, 8)?;
-        if !cur.eat_keyword("AND") {
+        if !cur.eat_keyword(Kw::AND) {
             return None;
         }
         let high = parse_expr_bp(cur, 8)?;
         return Some(Expr::Between {
-            expr: Box::new(lhs),
-            low: Box::new(low),
-            high: Box::new(high),
+            expr: alloc(lhs),
+            low: alloc(low),
+            high: alloc(high),
             negated,
         });
     }
-    let op = if cur.eat_keyword("LIKE") {
+    let op = if cur.eat_keyword(Kw::LIKE) {
         LikeOp::Like
-    } else if cur.eat_keyword("ILIKE") {
+    } else if cur.eat_keyword(Kw::ILIKE) {
         LikeOp::ILike
-    } else if cur.eat_keyword("REGEXP") || cur.eat_keyword("RLIKE") {
+    } else if cur.eat_keyword(Kw::REGEXP) || cur.eat_keyword(Kw::RLIKE) {
         LikeOp::Regexp
-    } else if cur.eat_keyword("GLOB") {
+    } else if cur.eat_keyword(Kw::GLOB) {
         LikeOp::Glob
-    } else if cur.eat_keywords(&["SIMILAR", "TO"]) {
+    } else if cur.eat_keywords(&[Kw::SIMILAR, Kw::TO]) {
         LikeOp::Similar
     } else {
         return None;
     };
     let pattern = parse_expr_bp(cur, 8)?;
-    Some(Expr::Like { expr: Box::new(lhs), op, pattern: Box::new(pattern), negated })
+    Some(Expr::Like { expr: alloc(lhs), op, pattern: alloc(pattern), negated })
 }
 
 fn parse_prefix(cur: &mut Cursor) -> Option<Expr> {
@@ -854,7 +887,7 @@ fn parse_prefix(cur: &mut Cursor) -> Option<Expr> {
                 "NOT" => {
                     cur.pos += 1;
                     let e = parse_expr_bp(cur, 5)?;
-                    Some(Expr::Unary { op: "NOT".into(), expr: Box::new(e) })
+                    Some(Expr::Unary { op: "NOT".into(), expr: alloc(e) })
                 }
                 "NULL" => {
                     cur.pos += 1;
@@ -874,7 +907,7 @@ fn parse_prefix(cur: &mut Cursor) -> Option<Expr> {
                     let sub = parse_select(&mut Cursor::new(inner))?;
                     Some(Expr::Unary {
                         op: "EXISTS".into(),
-                        expr: Box::new(Expr::Subquery(Box::new(sub))),
+                        expr: alloc(Expr::Subquery(Box::new(sub))),
                     })
                 }
                 "CASE" => parse_case_raw(cur),
@@ -883,14 +916,14 @@ fn parse_prefix(cur: &mut Cursor) -> Option<Expr> {
                     let inner = cur.take_paren_group()?;
                     Some(Expr::Function {
                         name: "CAST".into(),
-                        args: vec![Expr::Raw(join_tokens(inner))],
+                        args: alloc_range(vec![Expr::Raw(join_tokens(inner))]),
                         distinct: false,
                     })
                 }
                 "INTERVAL" => {
                     cur.pos += 1;
                     let arg = parse_prefix(cur)?;
-                    Some(Expr::Unary { op: "INTERVAL".into(), expr: Box::new(arg) })
+                    Some(Expr::Unary { op: "INTERVAL".into(), expr: alloc(arg) })
                 }
                 // Keyword used as function (REPLACE(...), RAND(), etc.) or
                 // bare keyword-ish identifier (dialect-tolerant).
@@ -902,7 +935,7 @@ fn parse_prefix(cur: &mut Cursor) -> Option<Expr> {
                         "CURRENT_TIMESTAMP" | "CURRENT_DATE" | "CURRENT_TIME"
                     ) {
                         cur.pos += 1;
-                        Some(Expr::Function { name: u, args: vec![], distinct: false })
+                        Some(Expr::Function { name: u, args: ExprRange::EMPTY, distinct: false })
                     } else {
                         cur.pos += 1;
                         Some(Expr::ident(tok.ident_value()))
@@ -915,7 +948,7 @@ fn parse_prefix(cur: &mut Cursor) -> Option<Expr> {
                 return parse_function(cur);
             }
             // qualified identifier chain, possibly ending in `.*`
-            let mut parts = vec![tok.ident_value().to_string()];
+            let mut parts = vec![IStr::new(tok.ident_value())];
             cur.pos += 1;
             while cur.peek().map(|t| t.is_punct('.')).unwrap_or(false) {
                 if let Some(nxt) = cur.peek_at(1) {
@@ -929,7 +962,7 @@ fn parse_prefix(cur: &mut Cursor) -> Option<Expr> {
                         TokenKind::Ident | TokenKind::QuotedIdent | TokenKind::Keyword
                     ) {
                         cur.pos += 2;
-                        parts.push(nxt.ident_value().to_string());
+                        parts.push(nxt.ident_value().into());
                         continue;
                     }
                 }
@@ -954,7 +987,7 @@ fn parse_prefix(cur: &mut Cursor) -> Option<Expr> {
             if t == "-" || t == "+" || t == "~" {
                 cur.pos += 1;
                 let e = parse_expr_bp(cur, 13)?;
-                return Some(Expr::Unary { op: t, expr: Box::new(e) });
+                return Some(Expr::Unary { op: t, expr: alloc(e) });
             }
             if t == "*" {
                 cur.pos += 1;
@@ -965,12 +998,12 @@ fn parse_prefix(cur: &mut Cursor) -> Option<Expr> {
         TokenKind::Punct => {
             if tok.is_punct('(') {
                 let inner = cur.take_paren_group()?;
-                if inner.first().map(|t| t.is_keyword("SELECT")).unwrap_or(false) {
+                if inner.first().map(|t| t.is_kw(Kw::SELECT)).unwrap_or(false) {
                     let sub = parse_select(&mut Cursor::new(inner))?;
                     return Some(Expr::Subquery(Box::new(sub)));
                 }
                 let e = parse_expr_tokens(inner);
-                return Some(Expr::Paren(Box::new(e)));
+                return Some(Expr::Paren(alloc(e)));
             }
             None
         }
@@ -983,9 +1016,9 @@ fn parse_case_raw(cur: &mut Cursor) -> Option<Expr> {
     let start = cur.pos;
     let mut depth = 0i32;
     while let Some(t) = cur.next() {
-        if t.is_keyword("CASE") {
+        if t.is_kw(Kw::CASE) {
             depth += 1;
-        } else if t.is_keyword("END") {
+        } else if t.is_kw(Kw::END) {
             depth -= 1;
             if depth == 0 {
                 return Some(Expr::Raw(join_tokens(&cur.toks[start..cur.pos])));
@@ -997,10 +1030,10 @@ fn parse_case_raw(cur: &mut Cursor) -> Option<Expr> {
 
 fn parse_function(cur: &mut Cursor) -> Option<Expr> {
     let name_tok = cur.next()?;
-    let name = name_tok.ident_value().to_string();
+    let name: IStr = name_tok.ident_value().into();
     let inner = cur.take_paren_group()?;
     let mut distinct = false;
-    let arg_toks: &[Token] = if inner.first().map(|t| t.is_keyword("DISTINCT")).unwrap_or(false) {
+    let arg_toks: &[Token] = if inner.first().map(|t| t.is_kw(Kw::DISTINCT)).unwrap_or(false) {
         distinct = true;
         &inner[1..]
     } else {
@@ -1011,7 +1044,7 @@ fn parse_function(cur: &mut Cursor) -> Option<Expr> {
     } else {
         split_on_commas(arg_toks).into_iter().map(parse_expr_tokens).collect()
     };
-    Some(Expr::Function { name, args, distinct })
+    Some(Expr::Function { name, args: alloc_range(args), distinct })
 }
 
 // ---------------------------------------------------------------------------
@@ -1019,32 +1052,32 @@ fn parse_function(cur: &mut Cursor) -> Option<Expr> {
 // ---------------------------------------------------------------------------
 
 fn parse_create(cur: &mut Cursor) -> Option<Statement> {
-    if !cur.eat_keyword("CREATE") {
+    if !cur.eat_keyword(Kw::CREATE) {
         return None;
     }
-    let _ = cur.eat_keywords(&["OR", "REPLACE"]);
-    let unique = cur.eat_keyword("UNIQUE");
-    let _ = cur.eat_keyword("TEMP") || cur.eat_keyword("TEMPORARY");
+    let _ = cur.eat_keywords(&[Kw::OR, Kw::REPLACE]);
+    let unique = cur.eat_keyword(Kw::UNIQUE);
+    let _ = cur.eat_keyword(Kw::TEMP) || cur.eat_keyword(Kw::TEMPORARY);
     // MySQL `DEFINER = user@host` (also quoted forms): skip up to the
     // object kind — DEFINER only precedes routine-ish objects.
     if cur.eat_name_if("DEFINER") {
         let _ = cur.take_until(|t| {
-            t.is_keyword("TRIGGER") || t.is_keyword("PROCEDURE") || t.is_keyword("FUNCTION")
+            t.is_kw(Kw::TRIGGER) || t.is_kw(Kw::PROCEDURE) || t.is_kw(Kw::FUNCTION)
         });
     }
-    if cur.eat_keyword("TABLE") {
+    if cur.eat_keyword(Kw::TABLE) {
         return parse_create_table(cur).map(Statement::CreateTable);
     }
-    if cur.eat_keyword("INDEX") {
+    if cur.eat_keyword(Kw::INDEX) {
         return parse_create_index(cur, unique).map(Statement::CreateIndex);
     }
-    if cur.eat_keyword("TRIGGER") {
+    if cur.eat_keyword(Kw::TRIGGER) {
         return parse_create_trigger(cur).map(Statement::CreateTrigger);
     }
-    if cur.eat_keyword("PROCEDURE") {
+    if cur.eat_keyword(Kw::PROCEDURE) {
         return parse_create_routine(cur, RoutineKind::Procedure).map(Statement::CreateRoutine);
     }
-    if cur.eat_keyword("FUNCTION") {
+    if cur.eat_keyword(Kw::FUNCTION) {
         return parse_create_routine(cur, RoutineKind::Function).map(Statement::CreateRoutine);
     }
     None
@@ -1073,7 +1106,7 @@ fn push_body(out: &mut Vec<BodyStatement>, toks: &[Token], base: usize) {
     if toks.is_empty() {
         return;
     }
-    if toks[0].is_keyword("BEGIN") {
+    if toks[0].is_kw(Kw::BEGIN) {
         // Nested block: flatten its interior statements (token spans are
         // statement-absolute, so recursion keeps spans correct). Past the
         // nesting budget the block is kept as one flat `Other` piece
@@ -1103,20 +1136,20 @@ fn push_body(out: &mut Vec<BodyStatement>, toks: &[Token], base: usize) {
 fn strip_construct_header(mut toks: &[Token]) -> &[Token] {
     loop {
         let Some(first) = toks.first() else { return toks };
-        let word = |w: &str| first.is_keyword(w);
-        if word("IF") || word("ELSEIF") {
+        let word = |w: Kw| first.is_kw(w);
+        if word(Kw::IF) || word(Kw::ELSEIF) {
             match find_marker(&toks[1..], "THEN") {
                 Some(i) => toks = &toks[i + 2..],
                 None => return toks, // no THEN: not a construct header
             }
-        } else if word("WHILE") {
+        } else if word(Kw::WHILE) {
             match find_marker(&toks[1..], "DO") {
                 Some(i) => toks = &toks[i + 2..],
                 None => return toks,
             }
-        } else if word("ELSE") || word("LOOP") || word("REPEAT") || word("THEN") {
+        } else if word(Kw::ELSE) || word(Kw::LOOP) || word(Kw::REPEAT) || word(Kw::THEN) {
             toks = &toks[1..];
-        } else if word("END")
+        } else if word(Kw::END)
             && toks.get(1).map(|n| {
                 ["IF", "LOOP", "WHILE", "REPEAT"]
                     .iter()
@@ -1143,9 +1176,9 @@ fn find_marker(toks: &[Token], marker: &str) -> Option<usize> {
             paren += 1;
         } else if t.is_punct(')') {
             paren -= 1;
-        } else if t.is_keyword("CASE") {
+        } else if t.is_kw(Kw::CASE) {
             case += 1;
-        } else if t.is_keyword("END") {
+        } else if t.is_kw(Kw::END) {
             case -= 1;
         } else if paren == 0
             && case == 0
@@ -1182,16 +1215,16 @@ fn collect_body(cur: &mut Cursor, base: usize, in_block: bool) -> Vec<BodyStatem
     let mut body = Vec::new();
     let mut piece = cur.pos;
     while let Some(t) = cur.peek() {
-        if t.is_keyword("BEGIN") {
+        if t.is_kw(Kw::BEGIN) {
             depth += 1;
-        } else if t.is_keyword("CASE") {
+        } else if t.is_kw(Kw::CASE) {
             case_depth += 1;
-        } else if t.is_keyword("END") {
+        } else if t.is_kw(Kw::END) {
             if cur.peek_at(1).map(ends_construct).unwrap_or(false) {
                 cur.pos += 2; // END IF & friends: no depth change
                 continue;
             }
-            if cur.peek_at(1).map(|n| n.is_keyword("CASE")).unwrap_or(false) {
+            if cur.peek_at(1).map(|n| n.is_kw(Kw::CASE)).unwrap_or(false) {
                 case_depth = case_depth.saturating_sub(1);
                 cur.pos += 2;
                 continue;
@@ -1227,11 +1260,11 @@ fn collect_body(cur: &mut Cursor, base: usize, in_block: bool) -> Vec<BodyStatem
 
 fn parse_create_trigger(cur: &mut Cursor) -> Option<CreateTrigger> {
     let base = stmt_base(cur);
-    let _ = cur.eat_keywords(&["IF", "NOT", "EXISTS"]);
+    let _ = cur.eat_keywords(&[Kw::IF, Kw::NOT, Kw::EXISTS]);
     let name = cur.eat_object_name()?;
-    let timing = if cur.eat_keyword("BEFORE") {
+    let timing = if cur.eat_keyword(Kw::BEFORE) {
         Some("BEFORE".to_string())
-    } else if cur.eat_keyword("AFTER") {
+    } else if cur.eat_keyword(Kw::AFTER) {
         Some("AFTER".to_string())
     } else if cur.eat_name_if("INSTEAD") {
         let _ = cur.eat_name_if("OF");
@@ -1240,34 +1273,34 @@ fn parse_create_trigger(cur: &mut Cursor) -> Option<CreateTrigger> {
         None
     };
     // Events up to ON: `INSERT OR UPDATE OF col, col2 OR DELETE` etc.
-    let ev_toks = cur.take_until(|t| t.is_keyword("ON"));
+    let ev_toks = cur.take_until(|t| t.is_kw(Kw::ON));
     let events: Vec<String> = ev_toks
         .iter()
         .filter(|t| {
-            t.is_keyword("INSERT")
-                || t.is_keyword("UPDATE")
-                || t.is_keyword("DELETE")
-                || t.is_keyword("TRUNCATE")
+            t.is_kw(Kw::INSERT)
+                || t.is_kw(Kw::UPDATE)
+                || t.is_kw(Kw::DELETE)
+                || t.is_kw(Kw::TRUNCATE)
         })
-        .map(|t| t.upper())
+        .map(|t| t.upper().to_string())
         .collect();
-    if !cur.eat_keyword("ON") {
+    if !cur.eat_keyword(Kw::ON) {
         return None;
     }
     let table = cur.eat_object_name()?;
-    let for_each_row = cur.eat_keywords(&["FOR", "EACH", "ROW"]);
-    if !for_each_row {
-        let _ = cur.eat_keywords(&["FOR", "EACH", "STATEMENT"]);
-    }
-    let when = if cur.eat_keyword("WHEN") {
+    let for_each_row = cur.eat_keywords(&[Kw::FOR, Kw::EACH, Kw::ROW]);
+    // `FOR EACH STATEMENT` is not consumed here: STATEMENT is not in the
+    // keyword table (it lexes as an identifier), so the phrase never
+    // matched a keyword sequence; the body collector tolerates it.
+    let when = if cur.eat_keyword(Kw::WHEN) {
         let toks = cur
-            .take_until(|t| t.is_keyword("BEGIN") || t.text.eq_ignore_ascii_case("EXECUTE"));
+            .take_until(|t| t.is_kw(Kw::BEGIN) || t.text.eq_ignore_ascii_case("EXECUTE"));
         Some(join_tokens(toks))
     } else {
         None
     };
     let mut body = Vec::new();
-    if cur.eat_keyword("BEGIN") {
+    if cur.eat_keyword(Kw::BEGIN) {
         body = collect_body(cur, base, true);
     } else if !cur.at_end() {
         // Postgres form: `EXECUTE FUNCTION f(...)` — a one-statement body.
@@ -1279,7 +1312,7 @@ fn parse_create_trigger(cur: &mut Cursor) -> Option<CreateTrigger> {
 
 fn parse_create_routine(cur: &mut Cursor, kind: RoutineKind) -> Option<CreateRoutine> {
     let base = stmt_base(cur);
-    let _ = cur.eat_keywords(&["IF", "NOT", "EXISTS"]);
+    let _ = cur.eat_keywords(&[Kw::IF, Kw::NOT, Kw::EXISTS]);
     let name = cur.eat_object_name()?;
     let params = cur.take_paren_group().map(join_tokens);
     let mut language = None;
@@ -1288,7 +1321,7 @@ fn parse_create_routine(cur: &mut Cursor, kind: RoutineKind) -> Option<CreateRou
     // until the body: a BEGIN…END block, a dollar-quoted string, or a
     // bare single-statement body (MySQL `CREATE PROCEDURE p() SELECT 1`).
     while let Some(t) = cur.peek() {
-        if t.is_keyword("BEGIN") {
+        if t.is_kw(Kw::BEGIN) {
             cur.pos += 1;
             body = collect_body(cur, base, true);
             continue;
@@ -1298,18 +1331,18 @@ fn parse_create_routine(cur: &mut Cursor, kind: RoutineKind) -> Option<CreateRou
             cur.pos += 1;
             continue;
         }
-        if t.is_keyword("LANGUAGE") {
+        if t.is_kw(Kw::LANGUAGE) {
             cur.pos += 1;
-            language = cur.eat_name();
+            language = cur.eat_name().map(String::from);
             continue;
         }
         if body.is_empty()
-            && (t.is_keyword("SELECT")
-                || t.is_keyword("INSERT")
-                || t.is_keyword("UPDATE")
-                || t.is_keyword("DELETE")
-                || t.is_keyword("SET")
-                || t.is_keyword("RETURN"))
+            && (t.is_kw(Kw::SELECT)
+                || t.is_kw(Kw::INSERT)
+                || t.is_kw(Kw::UPDATE)
+                || t.is_kw(Kw::DELETE)
+                || t.is_kw(Kw::SET)
+                || t.is_kw(Kw::RETURN))
         {
             push_body(&mut body, &cur.toks[cur.pos..], base);
             cur.pos = cur.toks.len();
@@ -1351,10 +1384,10 @@ fn parse_dollar_body(tok: &Token, base: usize) -> Vec<BodyStatement> {
         .collect();
     let mut cur = Cursor::new(&toks);
     // PL/pgSQL shape: optional DECLARE section, then BEGIN … END.
-    if cur.peek_keyword("DECLARE") {
-        let _ = cur.take_until(|t| t.is_keyword("BEGIN"));
+    if cur.peek_keyword(Kw::DECLARE) {
+        let _ = cur.take_until(|t| t.is_kw(Kw::BEGIN));
     }
-    if cur.eat_keyword("BEGIN") {
+    if cur.eat_keyword(Kw::BEGIN) {
         collect_body(&mut cur, base, true)
     } else {
         // LANGUAGE sql body: a plain `;`-separated script.
@@ -1363,7 +1396,7 @@ fn parse_dollar_body(tok: &Token, base: usize) -> Vec<BodyStatement> {
 }
 
 fn parse_create_table(cur: &mut Cursor) -> Option<CreateTable> {
-    let if_not_exists = cur.eat_keywords(&["IF", "NOT", "EXISTS"]);
+    let if_not_exists = cur.eat_keywords(&[Kw::IF, Kw::NOT, Kw::EXISTS]);
     let name = cur.eat_object_name()?;
     let body = cur.take_paren_group()?;
     let mut columns = Vec::new();
@@ -1384,19 +1417,19 @@ fn parse_create_table(cur: &mut Cursor) -> Option<CreateTable> {
 
 fn try_parse_table_constraint(cur: &mut Cursor) -> Option<TableConstraint> {
     let mut name = None;
-    if cur.peek_keyword("CONSTRAINT") {
+    if cur.peek_keyword(Kw::CONSTRAINT) {
         cur.pos += 1;
         name = cur.eat_name();
     }
-    let kind = if cur.eat_keywords(&["PRIMARY", "KEY"]) {
+    let kind = if cur.eat_keywords(&[Kw::PRIMARY, Kw::KEY]) {
         let cols = cur.take_paren_group().map(parse_name_list).unwrap_or_default();
         TableConstraintKind::PrimaryKey(cols)
-    } else if cur.eat_keyword("UNIQUE") {
+    } else if cur.eat_keyword(Kw::UNIQUE) {
         let cols = cur.take_paren_group().map(parse_name_list)?;
         TableConstraintKind::Unique(cols)
-    } else if cur.eat_keywords(&["FOREIGN", "KEY"]) {
+    } else if cur.eat_keywords(&[Kw::FOREIGN, Kw::KEY]) {
         let cols = cur.take_paren_group().map(parse_name_list).unwrap_or_default();
-        if !cur.eat_keyword("REFERENCES") {
+        if !cur.eat_keyword(Kw::REFERENCES) {
             return Some(TableConstraint {
                 name,
                 kind: TableConstraintKind::Other(cur.rest_text()),
@@ -1404,7 +1437,7 @@ fn try_parse_table_constraint(cur: &mut Cursor) -> Option<TableConstraint> {
         }
         let reference = parse_fk_ref(cur)?;
         TableConstraintKind::ForeignKey { columns: cols, reference }
-    } else if cur.eat_keyword("CHECK") {
+    } else if cur.eat_keyword(Kw::CHECK) {
         let inner = cur.take_paren_group()?;
         TableConstraintKind::Check(parse_check(inner))
     } else {
@@ -1413,10 +1446,10 @@ fn try_parse_table_constraint(cur: &mut Cursor) -> Option<TableConstraint> {
     Some(TableConstraint { name, kind })
 }
 
-fn parse_name_list(toks: &[Token]) -> Vec<String> {
+fn parse_name_list(toks: &[Token]) -> Vec<IStr> {
     split_on_commas(toks)
         .into_iter()
-        .filter_map(|s| s.first().map(|t| t.ident_value().to_string()))
+        .filter_map(|s| s.first().map(|t| IStr::new(t.ident_value())))
         .collect()
 }
 
@@ -1428,7 +1461,7 @@ fn parse_fk_ref(cur: &mut Cursor) -> Option<ForeignKeyRef> {
         Vec::new()
     };
     let mut actions = Vec::new();
-    while cur.peek_keyword("ON") {
+    while cur.peek_keyword(Kw::ON) {
         let start = cur.pos;
         cur.pos += 1; // ON
         let evt = cur.eat_name(); // DELETE / UPDATE
@@ -1461,14 +1494,14 @@ fn parse_check(inner: &[Token]) -> CheckConstraint {
     let mut cur = Cursor::new(inner);
     let in_list = (|| {
         let col = cur.eat_name()?;
-        if !cur.eat_keyword("IN") {
+        if !cur.eat_keyword(Kw::IN) {
             return None;
         }
         let list = cur.take_paren_group()?;
         if !cur.at_end() {
             return None;
         }
-        let values: Vec<String> = split_on_commas(list)
+        let values: Vec<IStr> = split_on_commas(list)
             .iter()
             .filter_map(|s| s.first())
             .filter(|t| t.kind == TokenKind::StringLit || t.kind == TokenKind::NumberLit)
@@ -1483,9 +1516,9 @@ fn parse_check(inner: &[Token]) -> CheckConstraint {
     CheckConstraint { expr_text, in_list }
 }
 
-const COLUMN_CONSTRAINT_STARTERS: &[&str] = &[
-    "PRIMARY", "NOT", "NULL", "UNIQUE", "DEFAULT", "CHECK", "REFERENCES", "AUTO_INCREMENT",
-    "AUTOINCREMENT", "COLLATE", "CONSTRAINT",
+const COLUMN_CONSTRAINT_STARTERS: &[Kw] = &[
+    Kw::PRIMARY, Kw::NOT, Kw::NULL, Kw::UNIQUE, Kw::DEFAULT, Kw::CHECK, Kw::REFERENCES,
+    Kw::AUTO_INCREMENT, Kw::AUTOINCREMENT, Kw::COLLATE, Kw::CONSTRAINT,
 ];
 
 fn parse_column_def(cur: &mut Cursor) -> Option<ColumnDef> {
@@ -1494,9 +1527,7 @@ fn parse_column_def(cur: &mut Cursor) -> Option<ColumnDef> {
         // Tolerate keywords as column names (e.g. `key`, `order` in sloppy
         // schemas) unless it *starts* a constraint.
         TokenKind::Keyword
-            if !COLUMN_CONSTRAINT_STARTERS
-                .iter()
-                .any(|k| cur.peek().unwrap().is_keyword(k)) =>
+            if !cur.peek().unwrap().kw.is_some_and(|k| COLUMN_CONSTRAINT_STARTERS.contains(&k)) =>
         {
             cur.eat_name()?
         }
@@ -1505,27 +1536,26 @@ fn parse_column_def(cur: &mut Cursor) -> Option<ColumnDef> {
     let data_type = parse_type_name(cur);
     let mut constraints = Vec::new();
     while !cur.at_end() {
-        if cur.eat_keywords(&["PRIMARY", "KEY"]) {
+        if cur.eat_keywords(&[Kw::PRIMARY, Kw::KEY]) {
             constraints.push(ColumnConstraint::PrimaryKey);
-        } else if cur.eat_keywords(&["NOT", "NULL"]) {
+        } else if cur.eat_keywords(&[Kw::NOT, Kw::NULL]) {
             constraints.push(ColumnConstraint::NotNull);
-        } else if cur.eat_keyword("NULL") {
+        } else if cur.eat_keyword(Kw::NULL) {
             constraints.push(ColumnConstraint::Null);
-        } else if cur.eat_keyword("UNIQUE") {
+        } else if cur.eat_keyword(Kw::UNIQUE) {
             constraints.push(ColumnConstraint::Unique);
-        } else if cur.eat_keyword("AUTO_INCREMENT") || cur.eat_keyword("AUTOINCREMENT") {
+        } else if cur.eat_keyword(Kw::AUTO_INCREMENT) || cur.eat_keyword(Kw::AUTOINCREMENT) {
             constraints.push(ColumnConstraint::AutoIncrement);
-        } else if cur.eat_keyword("DEFAULT") {
+        } else if cur.eat_keyword(Kw::DEFAULT) {
             let toks = cur.take_until(|t| {
-                t.kind == TokenKind::Keyword
-                    && COLUMN_CONSTRAINT_STARTERS.iter().any(|k| t.is_keyword(k))
+                t.kw.is_some_and(|k| COLUMN_CONSTRAINT_STARTERS.contains(&k))
             });
             constraints.push(ColumnConstraint::Default(join_tokens(toks)));
-        } else if cur.eat_keyword("CHECK") {
+        } else if cur.eat_keyword(Kw::CHECK) {
             if let Some(inner) = cur.take_paren_group() {
                 constraints.push(ColumnConstraint::Check(parse_check(inner)));
             }
-        } else if cur.eat_keyword("REFERENCES") {
+        } else if cur.eat_keyword(Kw::REFERENCES) {
             if let Some(r) = parse_fk_ref(cur) {
                 constraints.push(ColumnConstraint::References(r));
             }
@@ -1548,38 +1578,38 @@ fn parse_type_name(cur: &mut Cursor) -> Option<TypeName> {
         return None;
     }
     // Words that start a constraint cannot be a type.
-    if COLUMN_CONSTRAINT_STARTERS.iter().any(|k| tok.is_keyword(k)) {
+    if tok.kw.is_some_and(|k| COLUMN_CONSTRAINT_STARTERS.contains(&k)) {
         return None;
     }
     let mut name = tok.upper();
     cur.pos += 1;
     // Two-word types: DOUBLE PRECISION, CHARACTER VARYING.
-    if name == "DOUBLE" && cur.eat_keyword("PRECISION") {
+    if name == "DOUBLE" && cur.eat_keyword(Kw::PRECISION) {
         name = "DOUBLE".into();
-    } else if name == "CHARACTER" && cur.eat_keyword("VARYING") {
+    } else if name == "CHARACTER" && cur.eat_keyword(Kw::VARYING) {
         name = "VARCHAR".into();
     }
     let mut ty = TypeName { name, args: Vec::new(), modifiers: Vec::new() };
     if cur.peek().map(|t| t.is_punct('(')).unwrap_or(false) {
         if let Some(inner) = cur.take_paren_group() {
-            ty.args = split_on_commas(inner).iter().map(|s| join_tokens(s)).collect();
+            ty.args = split_on_commas(inner).iter().map(|s| join_tokens(s).into()).collect();
         }
     }
-    if cur.eat_keyword("UNSIGNED") {
+    if cur.eat_keyword(Kw::UNSIGNED) {
         ty.modifiers.push("UNSIGNED".into());
     }
-    if cur.eat_keywords(&["WITH", "TIME", "ZONE"]) {
+    if cur.eat_keywords(&[Kw::WITH, Kw::TIME, Kw::ZONE]) {
         ty.modifiers.push("WITH TIME ZONE".into());
-    } else if cur.eat_keywords(&["WITHOUT", "TIME", "ZONE"]) {
+    } else if cur.eat_keywords(&[Kw::WITHOUT, Kw::TIME, Kw::ZONE]) {
         ty.modifiers.push("WITHOUT TIME ZONE".into());
     }
     Some(ty)
 }
 
 fn parse_create_index(cur: &mut Cursor, unique: bool) -> Option<CreateIndex> {
-    let _ = cur.eat_keywords(&["IF", "NOT", "EXISTS"]);
+    let _ = cur.eat_keywords(&[Kw::IF, Kw::NOT, Kw::EXISTS]);
     let name = cur.eat_name().unwrap_or_default();
-    if !cur.eat_keyword("ON") {
+    if !cur.eat_keyword(Kw::ON) {
         return None;
     }
     let table = cur.eat_object_name()?;
@@ -1592,38 +1622,38 @@ fn parse_create_index(cur: &mut Cursor, unique: bool) -> Option<CreateIndex> {
 // ---------------------------------------------------------------------------
 
 fn parse_alter(cur: &mut Cursor) -> Option<AlterTable> {
-    if !cur.eat_keyword("ALTER") || !cur.eat_keyword("TABLE") {
+    if !cur.eat_keyword(Kw::ALTER) || !cur.eat_keyword(Kw::TABLE) {
         return None;
     }
-    let _ = cur.eat_keywords(&["IF", "EXISTS"]);
+    let _ = cur.eat_keywords(&[Kw::IF, Kw::EXISTS]);
     let table = cur.eat_object_name()?;
-    let action = if cur.eat_keyword("ADD") {
-        if cur.peek_keyword("CONSTRAINT")
-            || cur.peek_keyword("PRIMARY")
-            || cur.peek_keyword("FOREIGN")
-            || cur.peek_keyword("UNIQUE")
-            || cur.peek_keyword("CHECK")
+    let action = if cur.eat_keyword(Kw::ADD) {
+        if cur.peek_keyword(Kw::CONSTRAINT)
+            || cur.peek_keyword(Kw::PRIMARY)
+            || cur.peek_keyword(Kw::FOREIGN)
+            || cur.peek_keyword(Kw::UNIQUE)
+            || cur.peek_keyword(Kw::CHECK)
         {
             match try_parse_table_constraint(cur) {
                 Some(tc) => AlterAction::AddConstraint(tc),
                 None => AlterAction::Other(cur.rest_text()),
             }
         } else {
-            let _ = cur.eat_keyword("COLUMN");
+            let _ = cur.eat_keyword(Kw::COLUMN);
             match parse_column_def(cur) {
                 Some(cd) => AlterAction::AddColumn(cd),
                 None => AlterAction::Other(cur.rest_text()),
             }
         }
-    } else if cur.eat_keyword("DROP") {
-        if cur.eat_keyword("CONSTRAINT") {
-            let _ = cur.eat_keywords(&["IF", "EXISTS"]);
+    } else if cur.eat_keyword(Kw::DROP) {
+        if cur.eat_keyword(Kw::CONSTRAINT) {
+            let _ = cur.eat_keywords(&[Kw::IF, Kw::EXISTS]);
             match cur.eat_name() {
                 Some(n) => AlterAction::DropConstraint(n),
                 None => AlterAction::Other(cur.rest_text()),
             }
         } else {
-            let _ = cur.eat_keyword("COLUMN");
+            let _ = cur.eat_keyword(Kw::COLUMN);
             match cur.eat_name() {
                 Some(n) => AlterAction::DropColumn(n),
                 None => AlterAction::Other(cur.rest_text()),
@@ -1636,26 +1666,28 @@ fn parse_alter(cur: &mut Cursor) -> Option<AlterTable> {
 }
 
 fn parse_insert(cur: &mut Cursor) -> Option<Insert> {
-    let _ = cur.eat_keyword("INSERT") || cur.eat_keyword("REPLACE");
-    let _ = cur.eat_keyword("OR"); // INSERT OR REPLACE / IGNORE (SQLite)
-    let _ = cur.eat_keyword("REPLACE");
+    let _ = cur.eat_keyword(Kw::INSERT) || cur.eat_keyword(Kw::REPLACE);
+    let _ = cur.eat_keyword(Kw::OR); // INSERT OR REPLACE / IGNORE (SQLite)
+    let _ = cur.eat_keyword(Kw::REPLACE);
     let _ = cur.eat_name_if("IGNORE");
-    cur.eat_keyword("INTO");
+    cur.eat_keyword(Kw::INTO);
     let table = cur.eat_object_name()?;
     let mut columns = Vec::new();
     if cur.peek().map(|t| t.is_punct('(')).unwrap_or(false) && !cur.peek_paren_is_select() {
         columns = cur.take_paren_group().map(parse_name_list).unwrap_or_default();
     }
-    let source = if cur.eat_keyword("VALUES") {
+    let source = if cur.eat_keyword(Kw::VALUES) {
         let mut rows = Vec::new();
         while let Some(inner) = cur.take_paren_group() {
-            rows.push(split_on_commas(inner).into_iter().map(parse_expr_tokens).collect());
+            rows.push(alloc_range(
+                split_on_commas(inner).into_iter().map(parse_expr_tokens).collect::<Vec<_>>(),
+            ));
             if !cur.eat_punct(',') {
                 break;
             }
         }
         InsertSource::Values(rows)
-    } else if cur.peek_keyword("SELECT") {
+    } else if cur.peek_keyword(Kw::SELECT) {
         match parse_select(cur) {
             Some(s) => InsertSource::Select(Box::new(s)),
             None => InsertSource::Raw(cur.rest_text()),
@@ -1681,32 +1713,32 @@ impl<'a> Cursor<'a> {
         if !self.peek().map(|t| t.is_punct('(')).unwrap_or(false) {
             return false;
         }
-        self.peek_at(1).map(|t| t.is_keyword("SELECT")).unwrap_or(false)
+        self.peek_at(1).map(|t| t.is_kw(Kw::SELECT)).unwrap_or(false)
     }
 }
 
 fn parse_update(cur: &mut Cursor) -> Option<Update> {
-    if !cur.eat_keyword("UPDATE") {
+    if !cur.eat_keyword(Kw::UPDATE) {
         return None;
     }
     let table = cur.eat_object_name()?;
     let _alias = parse_optional_alias(cur);
-    if !cur.eat_keyword("SET") {
+    if !cur.eat_keyword(Kw::SET) {
         return None;
     }
-    let set_toks = cur.take_until(|t| t.is_keyword("WHERE"));
+    let set_toks = cur.take_until(|t| t.is_kw(Kw::WHERE));
     let mut assignments = Vec::new();
     for part in split_on_commas(set_toks) {
         // col = expr   (col may be qualified)
         let eq = part.iter().position(|t| t.is_operator("="))?;
         let col_toks = &part[..eq];
-        let col = col_toks.last()?.ident_value().to_string();
-        let val = parse_expr_tokens(&part[eq + 1..]);
+        let col: IStr = col_toks.last()?.ident_value().into();
+        let val = alloc(parse_expr_tokens(&part[eq + 1..]));
         assignments.push((col, val));
     }
-    let where_clause = if cur.eat_keyword("WHERE") {
+    let where_clause = if cur.eat_keyword(Kw::WHERE) {
         let toks = cur.take_until(|_| false);
-        Some(parse_expr_tokens(toks))
+        Some(alloc(parse_expr_tokens(toks)))
     } else {
         None
     };
@@ -1714,14 +1746,14 @@ fn parse_update(cur: &mut Cursor) -> Option<Update> {
 }
 
 fn parse_delete(cur: &mut Cursor) -> Option<Delete> {
-    if !cur.eat_keyword("DELETE") || !cur.eat_keyword("FROM") {
+    if !cur.eat_keyword(Kw::DELETE) || !cur.eat_keyword(Kw::FROM) {
         return None;
     }
     let table = cur.eat_object_name()?;
     let _alias = parse_optional_alias(cur);
-    let where_clause = if cur.eat_keyword("WHERE") {
+    let where_clause = if cur.eat_keyword(Kw::WHERE) {
         let toks = cur.take_until(|_| false);
-        Some(parse_expr_tokens(toks))
+        Some(alloc(parse_expr_tokens(toks)))
     } else {
         None
     };
@@ -1729,7 +1761,7 @@ fn parse_delete(cur: &mut Cursor) -> Option<Delete> {
 }
 
 fn parse_drop(cur: &mut Cursor) -> Option<Drop> {
-    if !cur.eat_keyword("DROP") {
+    if !cur.eat_keyword(Kw::DROP) {
         return None;
     }
     let kind_tok = cur.next()?;
@@ -1737,7 +1769,7 @@ fn parse_drop(cur: &mut Cursor) -> Option<Drop> {
     if !matches!(object_kind.as_str(), "TABLE" | "INDEX" | "VIEW" | "TRIGGER" | "DATABASE") {
         return None;
     }
-    let if_exists = cur.eat_keywords(&["IF", "EXISTS"]);
+    let if_exists = cur.eat_keywords(&[Kw::IF, Kw::EXISTS]);
     let name = cur.eat_object_name()?;
     Some(Drop { object_kind, name, if_exists })
 }
@@ -1747,8 +1779,14 @@ mod tests {
     use super::*;
 
     fn sel(sql: &str) -> Select {
-        match parse_one(sql).stmt {
-            Statement::Select(s) => s,
+        sela(sql).0
+    }
+
+    /// Like [`sel`] but also hands back the arena for expr traversal.
+    fn sela(sql: &str) -> (Select, ExprArena) {
+        let p = parse_one(sql);
+        match p.stmt {
+            Statement::Select(s) => (s, p.arena),
             other => panic!("expected SELECT, got {other:?}"),
         }
     }
@@ -1779,28 +1817,28 @@ mod tests {
 
     #[test]
     fn select_with_join_on() {
-        let s = sel(
+        let (s, a) = sela(
             "SELECT q.Name FROM Questionnaire q JOIN Tenant t ON t.Tenant_ID = q.Tenant_ID \
              WHERE q.Editable = true",
         );
         assert_eq!(s.joins.len(), 1);
         assert_eq!(s.joins[0].table.name.name(), "Tenant");
         assert_eq!(s.joins[0].table.alias.as_deref(), Some("t"));
-        let on = s.joins[0].on.as_ref().unwrap();
-        assert_eq!(on.column_refs().len(), 2);
+        let on = s.joins[0].on.unwrap();
+        assert_eq!(a.column_refs(on).len(), 2);
     }
 
     #[test]
     fn join_with_like_expression_on_clause() {
         // The paper's Task #2 query: expression join via LIKE.
-        let s = sel(
+        let (s, a) = sela(
             "SELECT * FROM Tenants AS t JOIN Users AS u \
              ON t.User_IDs LIKE '%' || u.User_ID || '%' WHERE t.Tenant_ID = 'T1'",
         );
         assert_eq!(s.joins.len(), 1);
-        let on = s.joins[0].on.as_ref().unwrap();
+        let on = s.joins[0].on.unwrap();
         let mut saw_like = false;
-        on.walk(&mut |e| {
+        a.walk(on, &mut |e| {
             if matches!(e, Expr::Like { .. }) {
                 saw_like = true;
             }
@@ -1821,8 +1859,8 @@ mod tests {
 
     #[test]
     fn order_by_rand() {
-        let s = sel("SELECT * FROM t ORDER BY RAND()");
-        let fns = s.order_by[0].expr.function_calls();
+        let (s, a) = sela("SELECT * FROM t ORDER BY RAND()");
+        let fns = a.function_calls(s.order_by[0].expr);
         assert_eq!(fns, vec!["RAND".to_string()]);
     }
 
@@ -2120,7 +2158,7 @@ mod tests {
 
     #[test]
     fn expr_in_list() {
-        let e = parse_expr_str("role IN ('R1', 'R2')");
+        let (_a, e) = parse_expr_str("role IN ('R1', 'R2')");
         let Expr::InList { list, negated, .. } = e else { panic!() };
         assert!(!negated);
         assert_eq!(list.len(), 2);
@@ -2128,22 +2166,22 @@ mod tests {
 
     #[test]
     fn expr_not_in_and_between() {
-        let e = parse_expr_str("a NOT IN (1,2) AND b BETWEEN 1 AND 10");
+        let (a, e) = parse_expr_str("a NOT IN (1,2) AND b BETWEEN 1 AND 10");
         let Expr::Binary { left, op, right } = e else { panic!() };
         assert_eq!(op, "AND");
-        assert!(matches!(*left, Expr::InList { negated: true, .. }));
-        assert!(matches!(*right, Expr::Between { negated: false, .. }));
+        assert!(matches!(a.node(left), Expr::InList { negated: true, .. }));
+        assert!(matches!(a.node(right), Expr::Between { negated: false, .. }));
     }
 
     #[test]
     fn expr_is_null() {
-        let e = parse_expr_str("a IS NOT NULL");
+        let (_a, e) = parse_expr_str("a IS NOT NULL");
         assert!(matches!(e, Expr::IsNull { negated: true, .. }));
     }
 
     #[test]
     fn expr_concat_operator() {
-        let e = parse_expr_str("first_name || ' ' || last_name");
+        let (_a, e) = parse_expr_str("first_name || ' ' || last_name");
         let Expr::Binary { op, .. } = &e else { panic!() };
         assert_eq!(op, "||");
     }
@@ -2151,24 +2189,24 @@ mod tests {
     #[test]
     fn expr_precedence_and_or() {
         // a = 1 OR b = 2 AND c = 3  →  OR(a=1, AND(b=2, c=3))
-        let e = parse_expr_str("a = 1 OR b = 2 AND c = 3");
+        let (a, e) = parse_expr_str("a = 1 OR b = 2 AND c = 3");
         let Expr::Binary { op, right, .. } = &e else { panic!() };
         assert_eq!(op, "OR");
-        let Expr::Binary { op: rop, .. } = right.as_ref() else { panic!() };
+        let Expr::Binary { op: rop, .. } = a.node(*right) else { panic!() };
         assert_eq!(rop, "AND");
     }
 
     #[test]
     fn expr_exists_subquery() {
-        let e = parse_expr_str("EXISTS (SELECT 1 FROM t WHERE t.id = u.id)");
+        let (a, e) = parse_expr_str("EXISTS (SELECT 1 FROM t WHERE t.id = u.id)");
         let Expr::Unary { op, expr } = e else { panic!() };
         assert_eq!(op, "EXISTS");
-        assert!(matches!(*expr, Expr::Subquery(_)));
+        assert!(matches!(a.node(expr), Expr::Subquery(_)));
     }
 
     #[test]
     fn expr_unparseable_falls_back_to_raw() {
-        let e = parse_expr_str("a = = = b ~~~");
+        let (_a, e) = parse_expr_str("a = = = b ~~~");
         assert!(matches!(e, Expr::Raw(_)));
     }
 

@@ -5,19 +5,26 @@
 //! used by the application" (§6). Rendering is canonical (uppercase
 //! keywords, single spaces) rather than byte-identical to the input — the
 //! raw tokens remain available for untouched statements.
+//!
+//! Expression nodes live in the statement's [`ExprArena`], so every
+//! `write_sql` threads the arena through; the owner-level entry point is
+//! [`ParsedStatement::write_sql`](ParsedStatement), which supplies its own
+//! arena.
 
+use crate::arena::{ExprArena, ExprId};
 use crate::ast::*;
 use std::fmt::Write;
 
-/// Types renderable to SQL text.
+/// Types renderable to SQL text. `arena` resolves [`ExprId`] /
+/// [`crate::arena::ExprRange`] indices; node-free types ignore it.
 pub trait ToSql {
     /// Append SQL to `out`.
-    fn write_sql(&self, out: &mut String);
+    fn write_sql(&self, arena: &ExprArena, out: &mut String);
 
     /// Render to a fresh string.
-    fn to_sql(&self) -> String {
+    fn to_sql(&self, arena: &ExprArena) -> String {
         let mut s = String::new();
-        self.write_sql(&mut s);
+        self.write_sql(arena, &mut s);
         s
     }
 }
@@ -40,14 +47,14 @@ fn quote_string(value: &str) -> String {
 }
 
 impl ToSql for ObjectName {
-    fn write_sql(&self, out: &mut String) {
+    fn write_sql(&self, _arena: &ExprArena, out: &mut String) {
         let parts: Vec<String> = self.0.iter().map(|p| quote_ident(p)).collect();
         out.push_str(&parts.join("."));
     }
 }
 
 impl ToSql for TypeName {
-    fn write_sql(&self, out: &mut String) {
+    fn write_sql(&self, _arena: &ExprArena, out: &mut String) {
         out.push_str(&self.name);
         if !self.args.is_empty() {
             out.push('(');
@@ -61,8 +68,15 @@ impl ToSql for TypeName {
     }
 }
 
+impl ToSql for ExprId {
+    /// Render the arena node the id points at.
+    fn write_sql(&self, arena: &ExprArena, out: &mut String) {
+        arena.node(*self).write_sql(arena, out);
+    }
+}
+
 impl ToSql for Expr {
-    fn write_sql(&self, out: &mut String) {
+    fn write_sql(&self, arena: &ExprArena, out: &mut String) {
         match self {
             Expr::Ident(parts) => {
                 let rendered: Vec<String> = parts
@@ -81,12 +95,12 @@ impl ToSql for Expr {
                 if op.chars().all(|c| c.is_ascii_alphabetic()) {
                     out.push(' ');
                 }
-                expr.write_sql(out);
+                expr.write_sql(arena, out);
             }
             Expr::Binary { left, op, right } => {
-                left.write_sql(out);
+                left.write_sql(arena, out);
                 let _ = write!(out, " {op} ");
-                right.write_sql(out);
+                right.write_sql(arena, out);
             }
             Expr::Function { name, args, distinct } => {
                 out.push_str(name);
@@ -98,50 +112,50 @@ impl ToSql for Expr {
                     if i > 0 {
                         out.push_str(", ");
                     }
-                    a.write_sql(out);
+                    a.write_sql(arena, out);
                 }
                 out.push(')');
             }
             Expr::Paren(e) => {
                 out.push('(');
-                e.write_sql(out);
+                e.write_sql(arena, out);
                 out.push(')');
             }
             Expr::InList { expr, list, negated } => {
-                expr.write_sql(out);
+                expr.write_sql(arena, out);
                 out.push_str(if *negated { " NOT IN (" } else { " IN (" });
                 for (i, e) in list.iter().enumerate() {
                     if i > 0 {
                         out.push_str(", ");
                     }
-                    e.write_sql(out);
+                    e.write_sql(arena, out);
                 }
                 out.push(')');
             }
             Expr::Between { expr, low, high, negated } => {
-                expr.write_sql(out);
+                expr.write_sql(arena, out);
                 out.push_str(if *negated { " NOT BETWEEN " } else { " BETWEEN " });
-                low.write_sql(out);
+                low.write_sql(arena, out);
                 out.push_str(" AND ");
-                high.write_sql(out);
+                high.write_sql(arena, out);
             }
             Expr::Like { expr, op, pattern, negated } => {
-                expr.write_sql(out);
+                expr.write_sql(arena, out);
                 out.push(' ');
                 if *negated {
                     out.push_str("NOT ");
                 }
                 out.push_str(op.sql());
                 out.push(' ');
-                pattern.write_sql(out);
+                pattern.write_sql(arena, out);
             }
             Expr::IsNull { expr, negated } => {
-                expr.write_sql(out);
+                expr.write_sql(arena, out);
                 out.push_str(if *negated { " IS NOT NULL" } else { " IS NULL" });
             }
             Expr::Subquery(sel) => {
                 out.push('(');
-                sel.write_sql(out);
+                sel.write_sql(arena, out);
                 out.push(')');
             }
             Expr::Raw(text) => out.push_str(text),
@@ -150,7 +164,7 @@ impl ToSql for Expr {
 }
 
 impl ToSql for SelectItem {
-    fn write_sql(&self, out: &mut String) {
+    fn write_sql(&self, arena: &ExprArena, out: &mut String) {
         match self {
             SelectItem::Wildcard { qualifier: Some(q) } => {
                 out.push_str(&quote_ident(q));
@@ -158,7 +172,7 @@ impl ToSql for SelectItem {
             }
             SelectItem::Wildcard { qualifier: None } => out.push('*'),
             SelectItem::Expr { expr, alias } => {
-                expr.write_sql(out);
+                expr.write_sql(arena, out);
                 if let Some(a) = alias {
                     out.push_str(" AS ");
                     out.push_str(&quote_ident(a));
@@ -169,13 +183,13 @@ impl ToSql for SelectItem {
 }
 
 impl ToSql for TableRef {
-    fn write_sql(&self, out: &mut String) {
+    fn write_sql(&self, arena: &ExprArena, out: &mut String) {
         if let Some(sub) = &self.subquery {
             out.push('(');
-            sub.write_sql(out);
+            sub.write_sql(arena, out);
             out.push(')');
         } else {
-            self.name.write_sql(out);
+            self.name.write_sql(arena, out);
         }
         if let Some(a) = &self.alias {
             out.push_str(" AS ");
@@ -185,7 +199,7 @@ impl ToSql for TableRef {
 }
 
 impl ToSql for Join {
-    fn write_sql(&self, out: &mut String) {
+    fn write_sql(&self, arena: &ExprArena, out: &mut String) {
         let kw = match self.join_type {
             JoinType::Inner => "JOIN",
             JoinType::Left => "LEFT JOIN",
@@ -201,10 +215,10 @@ impl ToSql for Join {
             out.push_str(kw);
             out.push(' ');
         }
-        self.table.write_sql(out);
+        self.table.write_sql(arena, out);
         if let Some(on) = &self.on {
             out.push_str(" ON ");
-            on.write_sql(out);
+            on.write_sql(arena, out);
         } else if !self.using.is_empty() {
             out.push_str(" USING (");
             out.push_str(&self.using.join(", "));
@@ -214,7 +228,7 @@ impl ToSql for Join {
 }
 
 impl ToSql for Select {
-    fn write_sql(&self, out: &mut String) {
+    fn write_sql(&self, arena: &ExprArena, out: &mut String) {
         out.push_str("SELECT ");
         if self.distinct {
             out.push_str("DISTINCT ");
@@ -226,18 +240,18 @@ impl ToSql for Select {
             if i > 0 {
                 out.push_str(", ");
             }
-            item.write_sql(out);
+            item.write_sql(arena, out);
         }
         if let Some(f) = &self.from {
             out.push_str(" FROM ");
-            f.write_sql(out);
+            f.write_sql(arena, out);
         }
         for j in &self.joins {
-            j.write_sql(out);
+            j.write_sql(arena, out);
         }
         if let Some(w) = &self.where_clause {
             out.push_str(" WHERE ");
-            w.write_sql(out);
+            w.write_sql(arena, out);
         }
         if !self.group_by.is_empty() {
             out.push_str(" GROUP BY ");
@@ -245,12 +259,12 @@ impl ToSql for Select {
                 if i > 0 {
                     out.push_str(", ");
                 }
-                e.write_sql(out);
+                e.write_sql(arena, out);
             }
         }
         if let Some(h) = &self.having {
             out.push_str(" HAVING ");
-            h.write_sql(out);
+            h.write_sql(arena, out);
         }
         if !self.order_by.is_empty() {
             out.push_str(" ORDER BY ");
@@ -258,7 +272,7 @@ impl ToSql for Select {
                 if i > 0 {
                     out.push_str(", ");
                 }
-                o.expr.write_sql(out);
+                o.expr.write_sql(arena, out);
                 if !o.asc {
                     out.push_str(" DESC");
                 }
@@ -276,7 +290,7 @@ impl ToSql for Select {
 }
 
 impl ToSql for CheckConstraint {
-    fn write_sql(&self, out: &mut String) {
+    fn write_sql(&self, _arena: &ExprArena, out: &mut String) {
         out.push_str("CHECK (");
         out.push_str(&self.expr_text);
         out.push(')');
@@ -284,9 +298,9 @@ impl ToSql for CheckConstraint {
 }
 
 impl ToSql for ForeignKeyRef {
-    fn write_sql(&self, out: &mut String) {
+    fn write_sql(&self, arena: &ExprArena, out: &mut String) {
         out.push_str("REFERENCES ");
-        self.table.write_sql(out);
+        self.table.write_sql(arena, out);
         if !self.columns.is_empty() {
             out.push('(');
             let cols: Vec<String> = self.columns.iter().map(|c| quote_ident(c)).collect();
@@ -301,7 +315,7 @@ impl ToSql for ForeignKeyRef {
 }
 
 impl ToSql for ColumnConstraint {
-    fn write_sql(&self, out: &mut String) {
+    fn write_sql(&self, arena: &ExprArena, out: &mut String) {
         match self {
             ColumnConstraint::PrimaryKey => out.push_str("PRIMARY KEY"),
             ColumnConstraint::NotNull => out.push_str("NOT NULL"),
@@ -312,29 +326,29 @@ impl ToSql for ColumnConstraint {
                 out.push_str("DEFAULT ");
                 out.push_str(d);
             }
-            ColumnConstraint::Check(c) => c.write_sql(out),
-            ColumnConstraint::References(r) => r.write_sql(out),
+            ColumnConstraint::Check(c) => c.write_sql(arena, out),
+            ColumnConstraint::References(r) => r.write_sql(arena, out),
             ColumnConstraint::Other(o) => out.push_str(o),
         }
     }
 }
 
 impl ToSql for ColumnDef {
-    fn write_sql(&self, out: &mut String) {
+    fn write_sql(&self, arena: &ExprArena, out: &mut String) {
         out.push_str(&quote_ident(&self.name));
         if let Some(t) = &self.data_type {
             out.push(' ');
-            t.write_sql(out);
+            t.write_sql(arena, out);
         }
         for c in &self.constraints {
             out.push(' ');
-            c.write_sql(out);
+            c.write_sql(arena, out);
         }
     }
 }
 
 impl ToSql for TableConstraint {
-    fn write_sql(&self, out: &mut String) {
+    fn write_sql(&self, arena: &ExprArena, out: &mut String) {
         if let Some(n) = &self.name {
             out.push_str("CONSTRAINT ");
             out.push_str(&quote_ident(n));
@@ -358,21 +372,21 @@ impl ToSql for TableConstraint {
                 let cols: Vec<String> = columns.iter().map(|c| quote_ident(c)).collect();
                 out.push_str(&cols.join(", "));
                 out.push_str(") ");
-                reference.write_sql(out);
+                reference.write_sql(arena, out);
             }
-            TableConstraintKind::Check(c) => c.write_sql(out),
+            TableConstraintKind::Check(c) => c.write_sql(arena, out),
             TableConstraintKind::Other(o) => out.push_str(o),
         }
     }
 }
 
 impl ToSql for CreateTable {
-    fn write_sql(&self, out: &mut String) {
+    fn write_sql(&self, arena: &ExprArena, out: &mut String) {
         out.push_str("CREATE TABLE ");
         if self.if_not_exists {
             out.push_str("IF NOT EXISTS ");
         }
-        self.name.write_sql(out);
+        self.name.write_sql(arena, out);
         out.push_str(" (");
         let mut first = true;
         for c in &self.columns {
@@ -380,14 +394,14 @@ impl ToSql for CreateTable {
                 out.push_str(", ");
             }
             first = false;
-            c.write_sql(out);
+            c.write_sql(arena, out);
         }
         for tc in &self.constraints {
             if !first {
                 out.push_str(", ");
             }
             first = false;
-            tc.write_sql(out);
+            tc.write_sql(arena, out);
         }
         out.push(')');
         if !self.options.is_empty() {
@@ -398,7 +412,7 @@ impl ToSql for CreateTable {
 }
 
 impl ToSql for CreateIndex {
-    fn write_sql(&self, out: &mut String) {
+    fn write_sql(&self, arena: &ExprArena, out: &mut String) {
         out.push_str("CREATE ");
         if self.unique {
             out.push_str("UNIQUE ");
@@ -409,7 +423,7 @@ impl ToSql for CreateIndex {
             out.push(' ');
         }
         out.push_str("ON ");
-        self.table.write_sql(out);
+        self.table.write_sql(arena, out);
         out.push_str(" (");
         let cols: Vec<String> = self.columns.iter().map(|c| quote_ident(c)).collect();
         out.push_str(&cols.join(", "));
@@ -418,14 +432,14 @@ impl ToSql for CreateIndex {
 }
 
 impl ToSql for AlterTable {
-    fn write_sql(&self, out: &mut String) {
+    fn write_sql(&self, arena: &ExprArena, out: &mut String) {
         out.push_str("ALTER TABLE ");
-        self.table.write_sql(out);
+        self.table.write_sql(arena, out);
         out.push(' ');
         match &self.action {
             AlterAction::AddColumn(cd) => {
                 out.push_str("ADD COLUMN ");
-                cd.write_sql(out);
+                cd.write_sql(arena, out);
             }
             AlterAction::DropColumn(n) => {
                 out.push_str("DROP COLUMN ");
@@ -433,7 +447,7 @@ impl ToSql for AlterTable {
             }
             AlterAction::AddConstraint(tc) => {
                 out.push_str("ADD ");
-                tc.write_sql(out);
+                tc.write_sql(arena, out);
             }
             AlterAction::DropConstraint(n) => {
                 out.push_str("DROP CONSTRAINT IF EXISTS ");
@@ -445,9 +459,9 @@ impl ToSql for AlterTable {
 }
 
 impl ToSql for Insert {
-    fn write_sql(&self, out: &mut String) {
+    fn write_sql(&self, arena: &ExprArena, out: &mut String) {
         out.push_str("INSERT INTO ");
-        self.table.write_sql(out);
+        self.table.write_sql(arena, out);
         if !self.columns.is_empty() {
             out.push_str(" (");
             let cols: Vec<String> = self.columns.iter().map(|c| quote_ident(c)).collect();
@@ -466,14 +480,14 @@ impl ToSql for Insert {
                         if j > 0 {
                             out.push_str(", ");
                         }
-                        e.write_sql(out);
+                        e.write_sql(arena, out);
                     }
                     out.push(')');
                 }
             }
             InsertSource::Select(s) => {
                 out.push(' ');
-                s.write_sql(out);
+                s.write_sql(arena, out);
             }
             InsertSource::Raw(r) => {
                 out.push(' ');
@@ -484,9 +498,9 @@ impl ToSql for Insert {
 }
 
 impl ToSql for Update {
-    fn write_sql(&self, out: &mut String) {
+    fn write_sql(&self, arena: &ExprArena, out: &mut String) {
         out.push_str("UPDATE ");
-        self.table.write_sql(out);
+        self.table.write_sql(arena, out);
         out.push_str(" SET ");
         for (i, (col, e)) in self.assignments.iter().enumerate() {
             if i > 0 {
@@ -494,49 +508,49 @@ impl ToSql for Update {
             }
             out.push_str(&quote_ident(col));
             out.push_str(" = ");
-            e.write_sql(out);
+            e.write_sql(arena, out);
         }
         if let Some(w) = &self.where_clause {
             out.push_str(" WHERE ");
-            w.write_sql(out);
+            w.write_sql(arena, out);
         }
     }
 }
 
 impl ToSql for Delete {
-    fn write_sql(&self, out: &mut String) {
+    fn write_sql(&self, arena: &ExprArena, out: &mut String) {
         out.push_str("DELETE FROM ");
-        self.table.write_sql(out);
+        self.table.write_sql(arena, out);
         if let Some(w) = &self.where_clause {
             out.push_str(" WHERE ");
-            w.write_sql(out);
+            w.write_sql(arena, out);
         }
     }
 }
 
 impl ToSql for Drop {
-    fn write_sql(&self, out: &mut String) {
+    fn write_sql(&self, arena: &ExprArena, out: &mut String) {
         out.push_str("DROP ");
         out.push_str(&self.object_kind);
         out.push(' ');
         if self.if_exists {
             out.push_str("IF EXISTS ");
         }
-        self.name.write_sql(out);
+        self.name.write_sql(arena, out);
     }
 }
 
 impl ToSql for Statement {
-    fn write_sql(&self, out: &mut String) {
+    fn write_sql(&self, arena: &ExprArena, out: &mut String) {
         match self {
-            Statement::CreateTable(s) => s.write_sql(out),
-            Statement::CreateIndex(s) => s.write_sql(out),
-            Statement::AlterTable(s) => s.write_sql(out),
-            Statement::Select(s) => s.write_sql(out),
-            Statement::Insert(s) => s.write_sql(out),
-            Statement::Update(s) => s.write_sql(out),
-            Statement::Delete(s) => s.write_sql(out),
-            Statement::Drop(s) => s.write_sql(out),
+            Statement::CreateTable(s) => s.write_sql(arena, out),
+            Statement::CreateIndex(s) => s.write_sql(arena, out),
+            Statement::AlterTable(s) => s.write_sql(arena, out),
+            Statement::Select(s) => s.write_sql(arena, out),
+            Statement::Insert(s) => s.write_sql(arena, out),
+            Statement::Update(s) => s.write_sql(arena, out),
+            Statement::Delete(s) => s.write_sql(arena, out),
+            Statement::Drop(s) => s.write_sql(arena, out),
             // Compound DDL renders from the original token text at the
             // ParsedStatement level (like Other): the body's dialect
             // details (delimiters, characteristics) are not modelled
@@ -547,25 +561,35 @@ impl ToSql for Statement {
     }
 }
 
-impl ToSql for ParsedStatement {
+impl ParsedStatement {
+    /// Append this statement's SQL to `out`, resolving arena indices
+    /// against the statement's own [`ExprArena`].
+    ///
     /// `Other` statements — and compound DDL, whose bodies are not
     /// re-rendered canonically — render as their original token text;
     /// shaped statements render canonically.
-    fn write_sql(&self, out: &mut String) {
+    pub fn write_sql(&self, out: &mut String) {
         if matches!(
             self.stmt,
             Statement::Other(_) | Statement::CreateTrigger(_) | Statement::CreateRoutine(_)
         ) {
             out.push_str(&self.text());
         } else {
-            self.stmt.write_sql(out);
+            self.stmt.write_sql(&self.arena, out);
         }
+    }
+
+    /// Render to a fresh string (the arena-supplying counterpart of
+    /// [`ToSql::to_sql`]).
+    pub fn to_sql(&self) -> String {
+        let mut s = String::new();
+        self.write_sql(&mut s);
+        s
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::parser::parse_one;
 
     fn roundtrip(sql: &str) -> String {

@@ -27,8 +27,9 @@
 
 use crate::block::{BlockTracker, SplitAction};
 use crate::fingerprint::{
-    content_hash_spanned, fingerprint_spanned, ContentHasher, StreamingFingerprint,
+    content_hash_bytes, content_hash_spanned, fingerprint_spanned, StreamingFingerprint,
 };
+use crate::intern::Interner;
 use crate::lexer::{lex_into, lex_spans, SpannedToken, TokenSink};
 use crate::token::{Span, Token, TokenKind};
 use std::collections::HashMap;
@@ -177,9 +178,95 @@ impl TokenSink for MaterializeSink<'_> {
     }
 }
 
+/// Pass-through hasher for keys that are already uniform hashes (the
+/// memo map below keys by the 128-bit content hash).
+#[derive(Default)]
+struct HashIdentity(u64);
+
+impl Hasher for HashIdentity {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        // Called once with the u128 key's native bytes; the low half is
+        // already a full-avalanche Murmur lane.
+        let mut b = [0u8; 8];
+        let n = bytes.len().min(8);
+        b[..n].copy_from_slice(&bytes[..n]);
+        self.0 = u64::from_le_bytes(b);
+    }
+    fn write_u128(&mut self, i: u128) {
+        self.0 = i as u64;
+    }
+}
+
+/// Eager single-statement fingerprint sink: classifies, folds, and
+/// hashes in one lex pass over a statement slice. This is where the
+/// fingerprint work actually happens — once per **unique** statement
+/// text (the fused splitter's memo-miss path and the dedup intake's
+/// per-unique pass both land here). Word tokens resolve through the
+/// per-script [`Interner`]: the keyword decision is one hash-and-probe,
+/// and the fingerprint commits the symbol's stored prefolded bytes, so
+/// classification and case folding run once per unique *word*.
+struct FingerprintSink<'a, 'i> {
+    src: &'a str,
+    interner: &'i mut Interner,
+    fp: StreamingFingerprint,
+}
+
+impl TokenSink for FingerprintSink<'_, '_> {
+    #[inline]
+    fn token(&mut self, kind: TokenKind, start: usize, end: usize) {
+        if !matches!(kind, TokenKind::Whitespace | TokenKind::Comment) {
+            self.fp.push(kind, &self.src[start..end]);
+        }
+    }
+
+    #[inline]
+    fn word(&mut self, text: &str, _start: usize, _end: usize) {
+        let sym = self.interner.intern(text);
+        self.fp.push_folded_word(self.interner.folded(sym).as_bytes());
+    }
+}
+
+/// Template fingerprint of one statement slice (a trimmed statement span:
+/// starts and ends on significant tokens). Identical to
+/// [`fingerprint_spanned`] over the statement's tokens: any `;` inside
+/// the slice (compound bodies, custom-delimiter content) is ordinary
+/// statement content to the fingerprint's own trailing-semicolon fold.
+fn fingerprint_slice(slice: &str, interner: &mut Interner) -> u64 {
+    let mut sink =
+        FingerprintSink { src: slice, interner, fp: StreamingFingerprint::new() };
+    lex_into(slice, &mut sink);
+    sink.fp.finish()
+}
+
+/// Probes after which the fingerprint memo must have earned its keep:
+/// if fewer than 1 in [`MEMO_MIN_HIT_SHIFT`] statements were repeats, the
+/// workload is duplicate-poor and the memo is dropped (misses keep
+/// re-fingerprinting; output is unchanged either way).
+const MEMO_PROBATION: u32 = 4096;
+/// `hits << MEMO_MIN_HIT_SHIFT >= probes` keeps the memo alive.
+const MEMO_MIN_HIT_SHIFT: u32 = 3;
+
 /// The fused streaming splitter state: receives the lexer's token stream
-/// and folds each token into the current statement's span bounds, content
-/// hash, and template fingerprint as it arrives.
+/// and tracks the current statement's span bounds; the content hash and
+/// template fingerprint are computed at statement flush from the span's
+/// slice.
+///
+/// The fingerprint is **memoized by content hash**: real workloads
+/// re-issue the same statement texts constantly, equal bytes have equal
+/// templates, and the content hash — computed from the span slice at
+/// flush either way — already identifies equal bytes (the 128-bit hash
+/// is the pipeline's interchangeability identity, see
+/// [`crate::fingerprint`]). Each unique text is classified and
+/// fingerprinted exactly once per pass ([`fingerprint_slice`]); repeats
+/// cost one map probe. Keyword classification is therefore skipped
+/// entirely in the streaming pass (`CLASSIFY_WORDS = false`) — the per
+/// token hot path is pure boundary tracking, and runs at the lexer's
+/// unclassified speed. A short probation window drops the memo on
+/// duplicate-poor workloads so they never pay for a table they cannot
+/// hit.
 struct SplitSink<'a> {
     chunk: &'a str,
     bytes: &'a [u8],
@@ -191,21 +278,21 @@ struct SplitSink<'a> {
     /// Absolute span bounds of the open statement.
     start: usize,
     end: usize,
-    /// Running content hash, *including* any trivia fed after the last
-    /// significant token.
-    ch: ContentHasher,
-    /// Content-hash snapshot as of the last significant token — the O(1)
-    /// way to exclude trailing trivia without buffering it.
-    ch_sig: u128,
-    fp: StreamingFingerprint,
-    /// Statement-boundary state machine. `None` puts the sink in
-    /// hash-only mode (used to re-hash a single known statement span):
-    /// nothing terminates a statement, `;` is ordinary content.
-    tracker: Option<BlockTracker>,
+    /// Per-pass word interner for the fingerprint path.
+    interner: Interner,
+    /// `content_hash → fingerprint` for statements flushed by this sink.
+    memo: HashMap<u128, u64, BuildHasherDefault<HashIdentity>>,
+    /// Memo hit statistics for the probation check.
+    probes: u32,
+    hits: u32,
+    /// Cleared when probation finds the workload duplicate-poor.
+    memo_on: bool,
+    /// Statement-boundary state machine.
+    tracker: BlockTracker,
 }
 
 impl<'a> SplitSink<'a> {
-    fn new(chunk: &'a str, offset: usize, tracker: Option<BlockTracker>) -> Self {
+    fn new(chunk: &'a str, offset: usize) -> Self {
         SplitSink {
             chunk,
             bytes: chunk.as_bytes(),
@@ -214,23 +301,47 @@ impl<'a> SplitSink<'a> {
             started: false,
             start: 0,
             end: 0,
-            ch: ContentHasher::new(),
-            ch_sig: 0,
-            fp: StreamingFingerprint::new(),
-            tracker,
+            interner: Interner::new(),
+            memo: HashMap::default(),
+            probes: 0,
+            hits: 0,
+            memo_on: true,
+            tracker: BlockTracker::new(),
         }
     }
 
     /// Close the open statement, if any (called at `;` and end-of-input).
     fn flush(&mut self) {
-        if self.started {
-            self.started = false;
-            self.out.push(SplitStatement {
-                span: Span::new(self.start, self.end),
-                content_hash: self.ch_sig,
-                fingerprint: self.fp.finish(),
-            });
+        if !self.started {
+            return;
         }
+        self.started = false;
+        let slice = &self.chunk[self.start - self.offset..self.end - self.offset];
+        let content_hash = content_hash_bytes(slice.as_bytes());
+        let fingerprint = if self.memo_on {
+            self.probes += 1;
+            if let Some(&fp) = self.memo.get(&content_hash) {
+                self.hits += 1;
+                fp
+            } else {
+                let fp = fingerprint_slice(slice, &mut self.interner);
+                self.memo.insert(content_hash, fp);
+                if self.probes == MEMO_PROBATION
+                    && (self.hits << MEMO_MIN_HIT_SHIFT) < self.probes
+                {
+                    self.memo_on = false;
+                    self.memo = HashMap::default();
+                }
+                fp
+            }
+        } else {
+            fingerprint_slice(slice, &mut self.interner)
+        };
+        self.out.push(SplitStatement {
+            span: Span::new(self.start, self.end),
+            content_hash,
+            fingerprint,
+        });
     }
 
     fn finish(mut self) -> Vec<SplitStatement> {
@@ -240,49 +351,42 @@ impl<'a> SplitSink<'a> {
 }
 
 impl TokenSink for SplitSink<'_> {
+    /// Word classification happens on the fingerprint path only — see
+    /// the type docs. The streaming pass runs at unclassified lex speed.
+    const CLASSIFY_WORDS: bool = false;
+
     #[inline]
     fn token(&mut self, kind: TokenKind, start: usize, end: usize) {
         if matches!(kind, TokenKind::Whitespace | TokenKind::Comment) {
-            // Interior trivia is part of the statement text (and hash);
-            // whether it turns out interior or trailing is only known at
-            // the next significant token, so feed it now and let the
-            // `ch_sig` snapshot discard it if nothing follows. Leading
-            // trivia (statement not started) is trimmed entirely.
-            if self.started {
-                self.ch.push(kind, &self.chunk[start..end]);
-            }
+            // Trivia never moves the span's significant end, and the
+            // content hash is taken from the final span slice at flush —
+            // interior trivia is covered by the slice, trailing trivia
+            // falls outside it. Nothing to do per token.
             return;
         }
-        if let Some(tracker) = &mut self.tracker {
-            // Fast path mirrors SpanOnlySink's: plain mid-statement
-            // tokens skip the tracker call entirely.
-            if tracker.is_fast() {
-                if kind == TokenKind::Punct && end - start == 1 && self.bytes[start] == b';' {
-                    tracker.fast_terminator();
+        // Fast path mirrors SpanOnlySink's: plain mid-statement tokens
+        // skip the tracker call entirely.
+        if self.tracker.is_fast() {
+            if kind == TokenKind::Punct && end - start == 1 && self.bytes[start] == b';' {
+                self.tracker.fast_terminator();
+                self.flush();
+                return;
+            }
+        } else {
+            match self.tracker.offer(self.bytes, kind, start, end) {
+                SplitAction::Token => {}
+                SplitAction::Terminator => {
                     self.flush();
                     return;
                 }
-            } else {
-                match tracker.offer(self.bytes, kind, start, end) {
-                    SplitAction::Token => {}
-                    SplitAction::Terminator => {
-                        self.flush();
-                        return;
-                    }
-                    SplitAction::Directive => return,
-                }
+                SplitAction::Directive => return,
             }
         }
         if !self.started {
             self.started = true;
             self.start = self.offset + start;
-            self.ch = ContentHasher::new();
         }
-        let text = &self.chunk[start..end];
-        self.ch.push(kind, text);
-        self.ch_sig = self.ch.finish();
         self.end = self.offset + end;
-        self.fp.push(kind, text);
     }
 }
 
@@ -295,7 +399,7 @@ pub fn split_stream(script: &str) -> Vec<SplitStatement> {
 }
 
 fn split_range(script: &str, start: usize, end: usize) -> Vec<SplitStatement> {
-    let mut sink = SplitSink::new(&script[start..end], start, Some(BlockTracker::new()));
+    let mut sink = SplitSink::new(&script[start..end], start);
     lex_into(&script[start..end], &mut sink);
     sink.finish()
 }
@@ -465,16 +569,18 @@ fn split_spans_range_diag(script: &str, start: usize, end: usize) -> (Vec<Span>,
 }
 
 /// Lex + hash the single statement covering `span` (a trimmed statement
-/// span: starts and ends on significant tokens). The sink runs in
-/// hash-only mode — a compound statement's body semicolons (or, under a
-/// custom `DELIMITER`, embedded top-level-looking `;`) are ordinary
-/// statement content, exactly as the tracked pass treated them.
-fn hash_span(script: &str, span: Span) -> SplitStatement {
-    let mut sink = SplitSink::new(&script[span.start..span.end], span.start, None);
-    lex_into(&script[span.start..span.end], &mut sink);
-    let mut stmts = sink.finish();
-    debug_assert_eq!(stmts.len(), 1, "a statement span holds exactly one statement");
-    stmts.pop().expect("statement span holds one statement")
+/// span: starts and ends on significant tokens). The content hash covers
+/// the span's raw bytes; the fingerprint re-lexes the slice — a compound
+/// statement's body semicolons (or, under a custom `DELIMITER`, embedded
+/// top-level-looking `;`) are ordinary statement content, exactly as the
+/// tracked pass treated them.
+fn hash_span(script: &str, span: Span, interner: &mut Interner) -> SplitStatement {
+    let slice = &script[span.start..span.end];
+    SplitStatement {
+        span,
+        content_hash: content_hash_bytes(slice.as_bytes()),
+        fingerprint: fingerprint_slice(slice, interner),
+    }
 }
 
 /// Pre-scan sink that records safe chunk boundaries: the end offset of
@@ -722,13 +828,16 @@ pub fn split_deduped(script: &str, threads: usize) -> DedupedSplit {
     let mut occurrences: Vec<(u32, Span)> = Vec::with_capacity(spans.len());
     let mut slots: HashMap<&str, u32, BuildHasherDefault<StrFold>> =
         HashMap::with_capacity_and_hasher(spans.len().min(1024), Default::default());
+    // One interner for the whole script: unique statements share most of
+    // their vocabulary, so word classification amortises across them.
+    let mut interner = Interner::new();
     for span in spans {
         let slot = match slots.entry(&script[span.start..span.end]) {
             std::collections::hash_map::Entry::Occupied(e) => *e.get(),
             std::collections::hash_map::Entry::Vacant(v) => {
                 let slot = uniques.len() as u32;
                 v.insert(slot);
-                uniques.push(hash_span(script, span));
+                uniques.push(hash_span(script, span, &mut interner));
                 slot
             }
         };
@@ -1079,6 +1188,108 @@ mod tests {
         for threads in [2, 4, 7] {
             assert_eq!(split_stream_parallel(&big, threads), sequential);
         }
+    }
+
+    /// Development probe, not a test: attributes fused-splitter cost to
+    /// lexing, keyword classification, and fingerprinting. Run with
+    /// `cargo test -q -p sqlcheck-parser --release -- --ignored
+    /// profile_front_layers --nocapture`.
+    #[test]
+    #[ignore]
+    fn profile_front_layers() {
+        use crate::lexer::lex_into;
+        use std::time::Instant;
+
+        struct CountSink<const CLASSIFY: bool> {
+            n: u64,
+        }
+        impl<const CLASSIFY: bool> TokenSink for CountSink<CLASSIFY> {
+            const CLASSIFY_WORDS: bool = CLASSIFY;
+            #[inline]
+            fn token(&mut self, kind: TokenKind, _start: usize, _end: usize) {
+                self.n += kind as u64;
+            }
+        }
+        struct FpSink<'a> {
+            src: &'a str,
+            fp: StreamingFingerprint,
+            acc: u64,
+        }
+        impl TokenSink for FpSink<'_> {
+            #[inline]
+            fn token(&mut self, kind: TokenKind, start: usize, end: usize) {
+                if matches!(kind, TokenKind::Whitespace | TokenKind::Comment) {
+                    return;
+                }
+                self.fp.push(kind, &self.src[start..end]);
+                if kind == TokenKind::Punct
+                    && end - start == 1
+                    && self.src.as_bytes()[start] == b';'
+                {
+                    self.acc ^= self.fp.finish();
+                }
+            }
+        }
+        fn time<F: FnMut() -> u64>(label: &str, bytes: usize, mut f: F) {
+            let mut best = u128::MAX;
+            let mut acc = 0u64;
+            for _ in 0..7 {
+                let t = Instant::now();
+                acc ^= f();
+                best = best.min(t.elapsed().as_nanos());
+            }
+            let mbs = bytes as f64 / (best as f64 / 1e9) / 1e6;
+            println!(
+                "{label:28} {:>9.1} us  {mbs:>8.1} MB/s  (acc {acc:x})",
+                best as f64 / 1e3
+            );
+        }
+
+        let mut script = String::new();
+        let mut x = 0x5117u64;
+        for i in 0..100_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            match i % 5 {
+                0 => script.push_str(&format!(
+                    "SELECT id, name, created_at FROM users WHERE tenant_id = {} AND active = TRUE;\n",
+                    x % 10_000
+                )),
+                1 => script.push_str(&format!(
+                    "INSERT INTO events (user_id, kind, payload) VALUES ({}, 'click', 'x{}');\n",
+                    x % 9999,
+                    x % 777
+                )),
+                2 => script.push_str(&format!(
+                    "UPDATE sessions SET last_seen = '2026-01-01', hits = hits + 1 WHERE sid = '{x:x}';\n"
+                )),
+                3 => script.push_str(&format!(
+                    "SELECT a.x, b.y FROM a JOIN b ON a.id = b.a_id WHERE b.z IN ({}, {}, {});\n",
+                    x % 10,
+                    x % 100,
+                    x % 1000
+                )),
+                _ => script.push_str(&format!("DELETE FROM audit WHERE ts < {};\n", x % 50_000)),
+            }
+        }
+        let bytes = script.len();
+        println!("script: {bytes} bytes");
+        time("lex (no keyword classify)", bytes, || {
+            let mut s = CountSink::<false> { n: 0 };
+            lex_into(&script, &mut s);
+            s.n
+        });
+        time("lex (keyword classify)", bytes, || {
+            let mut s = CountSink::<true> { n: 0 };
+            lex_into(&script, &mut s);
+            s.n
+        });
+        time("lex + fingerprint", bytes, || {
+            let mut s = FpSink { src: &script, fp: StreamingFingerprint::new(), acc: 0 };
+            lex_into(&script, &mut s);
+            s.acc
+        });
+        time("split_stream (fused)", bytes, || split_stream(&script).len() as u64);
+        time("split_deduped", bytes, || split_deduped(&script, 1).uniques.len() as u64);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! parser does not model (mirroring the paper's use of the non-validating
 //! `sqlparse` library).
 
+use crate::istr::IStr;
 use std::fmt;
 
 /// Byte range of a token within the original SQL text.
@@ -77,29 +78,50 @@ pub enum TokenKind {
 
 /// A single lexed token. Owns its text so that token streams can outlive
 /// the input buffer (statements are routinely stored in the application
-/// context for inter-query analysis).
+/// context for inter-query analysis). The text is an [`IStr`]: SQL
+/// lexemes are almost always short, so ownership costs no heap
+/// allocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Token {
     /// Lexical class.
     pub kind: TokenKind,
     /// The exact source text of the token.
-    pub text: String,
+    pub text: IStr,
     /// Location in the original input.
     pub span: Span,
+    /// Integer keyword code, resolved once at construction for
+    /// [`TokenKind::Keyword`] tokens (`None` otherwise). Downstream
+    /// keyword checks ([`Token::is_kw`]) are single integer compares —
+    /// the string is never re-examined after lexing.
+    pub kw: Option<Kw>,
 }
 
 impl Token {
-    /// Construct a token.
-    pub fn new(kind: TokenKind, text: impl Into<String>, span: Span) -> Self {
-        Token { kind, text: text.into(), span }
+    /// Construct a token. Keyword tokens resolve their [`Kw`] code here,
+    /// once, so later checks never touch the text.
+    pub fn new(kind: TokenKind, text: impl Into<IStr>, span: Span) -> Self {
+        let text = text.into();
+        let kw = if kind == TokenKind::Keyword { kw_lookup(&text) } else { None };
+        Token { kind, text, span, kw }
     }
 
     /// Uppercased text, used for case-insensitive keyword comparisons.
-    pub fn upper(&self) -> String {
-        self.text.to_ascii_uppercase()
+    /// Inline (allocation-free) for any lexeme up to [`IStr::INLINE_CAP`]
+    /// bytes — every keyword qualifies.
+    pub fn upper(&self) -> IStr {
+        IStr::new_upper(&self.text)
     }
 
-    /// True if this token is the given keyword (case-insensitive).
+    /// True if this token is the given keyword — one integer compare
+    /// against the code cached at construction.
+    #[inline]
+    pub fn is_kw(&self, kw: Kw) -> bool {
+        self.kw == Some(kw)
+    }
+
+    /// True if this token is the given keyword (case-insensitive). String
+    /// flavour of [`Token::is_kw`], kept for call sites that work with
+    /// dynamic or out-of-table words.
     pub fn is_keyword(&self, kw: &str) -> bool {
         self.kind == TokenKind::Keyword && self.text.eq_ignore_ascii_case(kw)
     }
@@ -143,20 +165,25 @@ impl Token {
 
     /// The contents of a string literal with quotes stripped and `''`
     /// unescaped. Returns `None` for non-string tokens.
-    pub fn string_value(&self) -> Option<String> {
+    pub fn string_value(&self) -> Option<IStr> {
         if self.kind != TokenKind::StringLit {
             return None;
         }
         let t = self.text.as_str();
         if t.starts_with('\'') && t.ends_with('\'') && t.len() >= 2 {
-            Some(t[1..t.len() - 1].replace("''", "'"))
+            let inner = &t[1..t.len() - 1];
+            if inner.contains("''") {
+                Some(inner.replace("''", "'").into())
+            } else {
+                Some(inner.into())
+            }
         } else if let Some(rest) = t.strip_prefix('$') {
             // dollar-quoted: $tag$...$tag$
             let close = rest.find('$').map(|i| i + 2)?;
             let tag = &t[..close];
-            Some(t[close..t.len().saturating_sub(tag.len())].to_string())
+            Some(t[close..t.len().saturating_sub(tag.len())].into())
         } else {
-            Some(t.to_string())
+            Some(IStr::new(t))
         }
     }
 }
@@ -167,32 +194,75 @@ impl fmt::Display for Token {
     }
 }
 
-/// The set of words the lexer classifies as keywords. The list is
-/// intentionally broad (union of common dialects) because the parser is
-/// non-validating: treating a dialect-specific word as a keyword never
-/// rejects a statement, it only enriches the token classification.
-pub const KEYWORDS: &[&str] = &[
-    "ADD", "AFTER", "ALL", "ALTER", "ANALYZE", "AND", "ANY", "AS", "ASC",
-    "AUTOINCREMENT", "AUTO_INCREMENT", "BEFORE", "BEGIN", "BETWEEN", "BIGINT", "BLOB",
-    "BOOL", "BOOLEAN", "BY", "CASCADE", "CASE", "CAST", "CHAR", "CHARACTER", "CHECK",
-    "COLLATE", "COLUMN", "COMMIT", "CONCAT", "CONSTRAINT", "CREATE", "CROSS",
-    "CURRENT_DATE", "CURRENT_TIME", "CURRENT_TIMESTAMP", "DATABASE", "DATE",
-    "DATETIME", "DECIMAL", "DECLARE", "DEFAULT", "DELETE", "DESC", "DISTINCT",
-    "DOUBLE", "DROP", "EACH", "ELSE", "ELSEIF", "END", "ENUM", "ESCAPE", "EXCEPT",
-    "EXISTS", "EXPLAIN", "FALSE", "FLOAT", "FOR", "FOREIGN", "FROM", "FULL",
-    "FUNCTION", "GLOB", "GRANT", "GROUP", "HAVING", "IF", "ILIKE", "IN", "INDEX",
-    "INNER", "INSERT", "INT", "INTEGER", "INTERSECT", "INTERVAL", "INTO", "IS",
-    "JOIN", "KEY", "LANGUAGE", "LEFT", "LIKE", "LIMIT", "LOOP", "MATERIALIZED",
-    "MEDIUMINT", "MODIFY", "NATURAL", "NOT", "NULL", "NUMERIC", "OFFSET", "ON", "OR",
-    "ORDER", "OUTER", "PRAGMA", "PRECISION", "PRIMARY", "PROCEDURE", "RAND", "RANDOM",
-    "REAL", "REFERENCES", "REGEXP", "RENAME", "REPEAT", "REPLACE", "RESTRICT",
-    "RETURN", "RETURNS", "REVOKE", "RIGHT", "RLIKE", "ROLLBACK", "ROW", "SELECT",
-    "SERIAL", "SET", "SIMILAR", "SMALLINT", "TABLE", "TEMP", "TEMPORARY", "TEXT",
-    "THEN", "TIME", "TIMESTAMP", "TIMESTAMPTZ", "TINYINT", "TO", "TRANSACTION",
-    "TRIGGER", "TRUE", "TRUNCATE", "UNION", "UNIQUE", "UNSIGNED", "UPDATE", "USING",
-    "VACUUM", "VALUES", "VARCHAR", "VARYING", "VIEW", "WHEN", "WHERE", "WHILE",
-    "WITH", "WITHOUT", "ZONE",
-];
+/// Generates the keyword universe from one list: the string table
+/// ([`KEYWORDS`]), the dense integer code enum ([`Kw`]), and the
+/// discriminant-indexed [`Kw::LIST`] table. One source of truth means the
+/// enum discriminants, the string table, and the interner's keyword
+/// symbol space (see [`crate::intern`]) can never drift apart.
+macro_rules! define_keywords {
+    ($($kw:ident),* $(,)?) => {
+        /// The set of words the lexer classifies as keywords. The list is
+        /// intentionally broad (union of common dialects) because the parser is
+        /// non-validating: treating a dialect-specific word as a keyword never
+        /// rejects a statement, it only enriches the token classification.
+        pub const KEYWORDS: &[&str] = &[$(stringify!($kw)),*];
+
+        /// A recognised SQL keyword as a dense integer code.
+        ///
+        /// `Kw as u8` is the keyword's position in [`KEYWORDS`] and equals
+        /// the interner's keyword symbol index ([`crate::intern::Symbol`]),
+        /// so keyword identity checks anywhere in the pipeline are single
+        /// integer compares — the parser never re-hashes or re-compares
+        /// keyword strings after lexing.
+        #[allow(non_camel_case_types, missing_docs)]
+        #[repr(u8)]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub enum Kw { $($kw),* }
+
+        impl Kw {
+            /// Every keyword, indexed by discriminant (= position in
+            /// [`KEYWORDS`]).
+            pub const LIST: &'static [Kw] = &[$(Kw::$kw),*];
+        }
+    };
+}
+
+define_keywords!(
+    ADD, AFTER, ALL, ALTER, ANALYZE, AND, ANY, AS, ASC,
+    AUTOINCREMENT, AUTO_INCREMENT, BEFORE, BEGIN, BETWEEN, BIGINT, BLOB,
+    BOOL, BOOLEAN, BY, CASCADE, CASE, CAST, CHAR, CHARACTER, CHECK,
+    COLLATE, COLUMN, COMMIT, CONCAT, CONSTRAINT, CREATE, CROSS,
+    CURRENT_DATE, CURRENT_TIME, CURRENT_TIMESTAMP, DATABASE, DATE,
+    DATETIME, DECIMAL, DECLARE, DEFAULT, DELETE, DESC, DISTINCT,
+    DOUBLE, DROP, EACH, ELSE, ELSEIF, END, ENUM, ESCAPE, EXCEPT,
+    EXISTS, EXPLAIN, FALSE, FLOAT, FOR, FOREIGN, FROM, FULL,
+    FUNCTION, GLOB, GRANT, GROUP, HAVING, IF, ILIKE, IN, INDEX,
+    INNER, INSERT, INT, INTEGER, INTERSECT, INTERVAL, INTO, IS,
+    JOIN, KEY, LANGUAGE, LEFT, LIKE, LIMIT, LOOP, MATERIALIZED,
+    MEDIUMINT, MODIFY, NATURAL, NOT, NULL, NUMERIC, OFFSET, ON, OR,
+    ORDER, OUTER, PRAGMA, PRECISION, PRIMARY, PROCEDURE, RAND, RANDOM,
+    REAL, REFERENCES, REGEXP, RENAME, REPEAT, REPLACE, RESTRICT,
+    RETURN, RETURNS, REVOKE, RIGHT, RLIKE, ROLLBACK, ROW, SELECT,
+    SERIAL, SET, SIMILAR, SMALLINT, TABLE, TEMP, TEMPORARY, TEXT,
+    THEN, TIME, TIMESTAMP, TIMESTAMPTZ, TINYINT, TO, TRANSACTION,
+    TRIGGER, TRUE, TRUNCATE, UNION, UNIQUE, UNSIGNED, UPDATE, USING,
+    VACUUM, VALUES, VARCHAR, VARYING, VIEW, WHEN, WHERE, WHILE,
+    WITH, WITHOUT, ZONE,
+);
+
+impl Kw {
+    /// The keyword's canonical (uppercase) spelling.
+    pub fn text(self) -> &'static str {
+        KEYWORDS[self as usize]
+    }
+
+    /// The keyword whose position in [`KEYWORDS`] is `index`, if any.
+    /// Inverse of `kw as u8`; also maps an interner keyword symbol index
+    /// back to its code.
+    pub fn from_index(index: usize) -> Option<Kw> {
+        Kw::LIST.get(index).copied()
+    }
+}
 
 /// Longest keyword length (`CURRENT_TIMESTAMP`); words longer than this
 /// are never keywords.
@@ -215,22 +285,23 @@ fn pack_upper(word: &str) -> PackedWord {
 }
 
 /// Keywords grouped by length, each group sorted for binary search on the
-/// packed representation. Built once, on first lookup.
+/// packed representation; each entry carries its [`Kw`] code. Built once,
+/// on first lookup.
 struct KeywordTable {
     /// `by_len[len]` is the `packed` range holding keywords of `len` bytes.
     by_len: [(u16, u16); MAX_KEYWORD_LEN + 1],
-    packed: Vec<PackedWord>,
+    packed: Vec<(PackedWord, Kw)>,
 }
 
 fn build_keyword_table() -> KeywordTable {
-    let mut groups: Vec<Vec<PackedWord>> = vec![Vec::new(); MAX_KEYWORD_LEN + 1];
-    for k in KEYWORDS {
-        groups[k.len()].push(pack_upper(k));
+    let mut groups: Vec<Vec<(PackedWord, Kw)>> = vec![Vec::new(); MAX_KEYWORD_LEN + 1];
+    for (i, k) in KEYWORDS.iter().enumerate() {
+        groups[k.len()].push((pack_upper(k), Kw::LIST[i]));
     }
     let mut by_len = [(0u16, 0u16); MAX_KEYWORD_LEN + 1];
     let mut packed = Vec::with_capacity(KEYWORDS.len());
     for (len, mut g) in groups.into_iter().enumerate() {
-        g.sort_unstable();
+        g.sort_unstable_by_key(|e| e.0);
         by_len[len] = (packed.len() as u16, (packed.len() + g.len()) as u16);
         packed.extend(g);
     }
@@ -239,24 +310,29 @@ fn build_keyword_table() -> KeywordTable {
 
 static KEYWORD_TABLE: std::sync::OnceLock<KeywordTable> = std::sync::OnceLock::new();
 
-/// Check whether `word` is a SQL keyword (case-insensitive).
+/// Look up the [`Kw`] code for `word` (case-insensitive), or `None` if it
+/// is not a keyword.
 ///
 /// This is the hottest classification in the lexer (once per word token),
 /// so it compares whole machine words instead of bytes: candidates are
 /// pre-grouped by length and the uppercased word is packed into three
 /// `u64` lanes, making each binary-search probe three integer compares.
 /// Allocation-free after the first call builds the table.
-pub fn is_keyword(word: &str) -> bool {
+pub fn kw_lookup(word: &str) -> Option<Kw> {
     let len = word.len();
     if !(2..=MAX_KEYWORD_LEN).contains(&len) {
-        return false;
+        return None;
     }
     let table = KEYWORD_TABLE.get_or_init(build_keyword_table);
     let (lo, hi) = table.by_len[len];
-    if lo == hi {
-        return false;
-    }
-    table.packed[lo as usize..hi as usize].binary_search(&pack_upper(word)).is_ok()
+    let group = &table.packed[lo as usize..hi as usize];
+    let key = pack_upper(word);
+    group.binary_search_by(|e| e.0.cmp(&key)).ok().map(|i| group[i].1)
+}
+
+/// Check whether `word` is a SQL keyword (case-insensitive).
+pub fn is_keyword(word: &str) -> bool {
+    kw_lookup(word).is_some()
 }
 
 #[cfg(test)]
@@ -268,6 +344,30 @@ mod tests {
         let mut sorted = KEYWORDS.to_vec();
         sorted.sort_unstable();
         assert_eq!(sorted, KEYWORDS, "KEYWORDS must stay sorted");
+    }
+
+    #[test]
+    fn kw_codes_match_keyword_table() {
+        for (i, &k) in KEYWORDS.iter().enumerate() {
+            let kw = kw_lookup(k).expect("every table word resolves");
+            assert_eq!(kw as usize, i, "discriminant = KEYWORDS position");
+            assert_eq!(kw.text(), k);
+            assert_eq!(Kw::from_index(i), Some(kw));
+        }
+        assert_eq!(kw_lookup("tenant"), None);
+        assert_eq!(kw_lookup("select"), Some(Kw::SELECT));
+        assert_eq!(kw_lookup("SeLeCt"), Some(Kw::SELECT));
+    }
+
+    #[test]
+    fn token_caches_kw_code() {
+        let t = Token::new(TokenKind::Keyword, "Select", Span::new(0, 6));
+        assert_eq!(t.kw, Some(Kw::SELECT));
+        assert!(t.is_kw(Kw::SELECT));
+        assert!(!t.is_kw(Kw::FROM));
+        // Idents never carry a code, even for keyword-shaped text.
+        let i = Token::new(TokenKind::Ident, "select", Span::new(0, 6));
+        assert_eq!(i.kw, None);
     }
 
     #[test]

@@ -6,7 +6,6 @@
 
 use sqlcheck_parser::lexer::tokenize;
 use sqlcheck_parser::parser::{parse, parse_one};
-use sqlcheck_parser::render::ToSql;
 use sqlcheck_parser::splitter::{split_deduped, split_spanned, split_stream, split_stream_parallel};
 
 /// Deterministic xorshift64* generator for test-case synthesis.

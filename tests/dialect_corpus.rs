@@ -26,11 +26,10 @@ fn postgres_flavoured_statements() {
         assert_eq!(parsed.len(), 1, "{sql}");
     }
     // Shape checks
-    let Statement::Select(s) = stmt("SELECT * FROM t WHERE name ILIKE '%x%'") else {
-        panic!()
-    };
+    let p = parse_one("SELECT * FROM t WHERE name ILIKE '%x%'");
+    let Statement::Select(s) = &p.stmt else { panic!() };
     let mut found = false;
-    s.where_clause.unwrap().walk(&mut |e| {
+    p.arena.walk(s.where_clause.unwrap(), &mut |e| {
         if let Expr::Like { op: LikeOp::ILike, .. } = e {
             found = true;
         }
@@ -59,7 +58,7 @@ fn mysql_flavoured_statements() {
     };
     assert!(ct.name.name_eq("orders"));
     let id = ct.column("id").unwrap();
-    assert!(id.data_type.as_ref().unwrap().modifiers.contains(&"UNSIGNED".to_string()));
+    assert!(id.data_type.as_ref().unwrap().modifiers.iter().any(|m| m == "UNSIGNED"));
     assert!(id.is_primary_key());
     assert_eq!(ct.column("s").unwrap().data_type.as_ref().unwrap().name, "ENUM");
 }

@@ -121,6 +121,35 @@ fn truncated_utf8_is_total() {
     }
 }
 
+/// The arena parser itself — below the batch pipeline — is total on
+/// arbitrary and multibyte input: parse, annotate over the arena, and
+/// render, all without panicking; and parsing the same bytes twice
+/// produces structurally identical output (the thread-local arena
+/// handoff leaks nothing between statements).
+#[test]
+fn arena_parser_is_total_and_deterministic() {
+    let mut rng = SmallRng::new(0xA12E4A);
+    for case in 0..CASES {
+        let input = if case % 2 == 0 {
+            arbitrary_bytes(&mut rng, 400)
+        } else {
+            multibyte_sqlish(&mut rng)
+        };
+        let a = sqlcheck_parser::parse_one(&input);
+        let ann = sqlcheck_parser::annotate(&a.stmt, &a.arena);
+        let rendered = a.to_sql();
+        let b = sqlcheck_parser::parse_one(&input);
+        assert_eq!(
+            format!("{:?}", a.stmt),
+            format!("{:?}", b.stmt),
+            "case {case}: non-deterministic parse"
+        );
+        assert_eq!(a.arena.len(), b.arena.len(), "case {case}: arena size diverged");
+        assert_eq!(rendered, b.to_sql(), "case {case}: non-deterministic render");
+        std::hint::black_box(ann);
+    }
+}
+
 /// Pathological nesting (10k parens, deep BEGIN towers) completes in
 /// bounded time through the full pipeline and reports its own
 /// degradation instead of blowing the stack.

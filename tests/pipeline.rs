@@ -5,7 +5,6 @@ use sqlcheck::{
     AntiPatternKind, ContextBuilder, DetectionConfig, Detector, Fix, FixEngine, RankWeights,
     Ranker, SqlCheck,
 };
-use sqlcheck_parser::ToSql;
 
 #[test]
 fn fixes_reduce_detections_on_reapplication() {
