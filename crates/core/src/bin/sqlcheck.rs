@@ -154,8 +154,21 @@ fn main() {
             );
             if cache {
                 eprintln!(
-                    "stats: incremental cache {} hit(s), {} miss(es), {} eviction(s)",
-                    s.incremental_hits, s.incremental_misses, s.incremental_evictions,
+                    "stats: incremental cache {} hit(s), {} miss(es), {} eviction(s) \
+                     ({} table-granular, {} column-granular)",
+                    s.incremental_hits,
+                    s.incremental_misses,
+                    s.incremental_evictions,
+                    s.table_evictions,
+                    s.column_evictions,
+                );
+                eprintln!(
+                    "stats: unit memo inter {} reused / {} recomputed, \
+                     data {} reused / {} recomputed",
+                    s.inter_units_reused,
+                    s.inter_units_recomputed,
+                    s.data_units_reused,
+                    s.data_units_recomputed,
                 );
             }
             eprintln!(
@@ -195,7 +208,7 @@ fn main() {
         }
     }
 
-    if outcome.ranked.is_empty() {
+    if outcome.ranked().is_empty() {
         println!("no anti-patterns detected in {} statement(s)", outcome.context.len());
         finish(degraded_exit, false);
     }
@@ -209,7 +222,7 @@ fn main() {
         finish(degraded_exit, true);
     }
 
-    for (i, (r, f)) in outcome.ranked.iter().zip(&outcome.fixes).enumerate() {
+    for (i, (r, f)) in outcome.ranked().iter().zip(outcome.fixes()).enumerate() {
         // Per-occurrence source location: duplicate statements each point
         // at their own bytes, not the first occurrence's.
         let at = match r.detection.span {

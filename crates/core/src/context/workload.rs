@@ -11,7 +11,7 @@ use sqlcheck_parser::ast::{Statement, TableRef};
 use std::collections::BTreeMap;
 
 /// Usage counters for one `(table, column)` pair.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ColumnUsage {
     /// Equality predicates (`=`, `IN`).
     pub eq_predicates: usize,
@@ -51,7 +51,15 @@ pub struct JoinEdge {
 }
 
 /// Aggregated workload profile.
-#[derive(Debug, Clone, Default)]
+///
+/// Every aggregate in here is a **mergeable monoid over statements**:
+/// counters are additive, and map entries exist exactly while their
+/// supporting statements do. That is what makes the profile
+/// delta-maintainable — see [`StatementContribution`]: a warm re-check
+/// applies an edit as `retract(old unique) ⊕ insert(new unique)` instead
+/// of re-folding the whole workload, and the result is byte-identical to
+/// a from-scratch [`WorkloadProfile::build_weighted`] (property-tested).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WorkloadProfile {
     /// Per-(table-lowercase, column-lowercase) usage counters.
     usage: BTreeMap<(String, String), ColumnUsage>,
@@ -88,58 +96,156 @@ impl WorkloadProfile {
     ) -> Self {
         let mut w = WorkloadProfile::default();
         for (stmt, ann, n) in stmts {
-            w.statement_count += n;
-            let scope = Scope::of(stmt);
-            for t in &ann.tables {
-                *w.table_refs.entry(t.to_ascii_lowercase()).or_default() += n;
-            }
-            for p in &ann.predicates {
-                let Some(table) = scope.resolve(p.qualifier.as_deref(), &p.column, schema) else {
-                    continue;
-                };
-                let u = w.usage_mut(&table, &p.column);
-                match p.op.as_str() {
-                    "=" | "==" | "IN" | "<=>" => u.eq_predicates += n,
-                    "LIKE" | "ILIKE" | "REGEXP" | "GLOB" | "SIMILAR TO" => {
-                        u.pattern_predicates += n
-                    }
-                    "IS NULL" => {}
-                    _ => u.range_predicates += n,
-                }
-            }
-            for c in &ann.columns {
-                use sqlcheck_parser::annotate::ColumnRole::*;
-                let Some(table) = scope.resolve(c.qualifier.as_deref(), &c.column, schema) else {
-                    continue;
-                };
-                let u = w.usage_mut(&table, &c.column);
-                match c.role {
-                    Grouped => u.group_by += n,
-                    Ordered => u.order_by += n,
-                    Joined => u.join += n,
-                    Written => u.writes += n,
-                    _ => {}
-                }
-            }
-            for jc in &ann.join_conditions {
-                let (Some(lt), Some((rq, rc))) = (
-                    scope.resolve(jc.left.0.as_deref(), &jc.left.1, schema),
-                    jc.right.clone(),
-                ) else {
-                    continue;
-                };
-                let Some(rt) = scope.resolve(rq.as_deref(), &rc, schema) else { continue };
-                let a = (lt.to_ascii_lowercase(), jc.left.1.to_ascii_lowercase());
-                let b = (rt.to_ascii_lowercase(), rc.to_ascii_lowercase());
-                let edge = if a <= b {
-                    JoinEdge { left: a, right: b }
-                } else {
-                    JoinEdge { left: b, right: a }
-                };
-                *w.join_edges.entry(edge).or_default() += n;
-            }
+            w.fold_one(stmt, ann, n, schema);
         }
         w
+    }
+
+    /// Fold one statement into the profile with occurrence weight `n` —
+    /// the single source of truth for what a statement contributes, used
+    /// by both the from-scratch build and [`WorkloadProfile::contribution`].
+    fn fold_one(&mut self, stmt: &Statement, ann: &Annotations, n: usize, schema: &SchemaCatalog) {
+        self.statement_count += n;
+        let scope = Scope::of(stmt);
+        for t in &ann.tables {
+            *self.table_refs.entry(t.to_ascii_lowercase()).or_default() += n;
+        }
+        for p in &ann.predicates {
+            let Some(table) = scope.resolve(p.qualifier.as_deref(), &p.column, schema) else {
+                continue;
+            };
+            let u = self.usage_mut(&table, &p.column);
+            match p.op.as_str() {
+                "=" | "==" | "IN" | "<=>" => u.eq_predicates += n,
+                "LIKE" | "ILIKE" | "REGEXP" | "GLOB" | "SIMILAR TO" => {
+                    u.pattern_predicates += n
+                }
+                "IS NULL" => {}
+                _ => u.range_predicates += n,
+            }
+        }
+        for c in &ann.columns {
+            use sqlcheck_parser::annotate::ColumnRole::*;
+            let Some(table) = scope.resolve(c.qualifier.as_deref(), &c.column, schema) else {
+                continue;
+            };
+            let u = self.usage_mut(&table, &c.column);
+            match c.role {
+                Grouped => u.group_by += n,
+                Ordered => u.order_by += n,
+                Joined => u.join += n,
+                Written => u.writes += n,
+                _ => {}
+            }
+        }
+        for jc in &ann.join_conditions {
+            let (Some(lt), Some((rq, rc))) = (
+                scope.resolve(jc.left.0.as_deref(), &jc.left.1, schema),
+                jc.right.clone(),
+            ) else {
+                continue;
+            };
+            let Some(rt) = scope.resolve(rq.as_deref(), &rc, schema) else { continue };
+            let a = (lt.to_ascii_lowercase(), jc.left.1.to_ascii_lowercase());
+            let b = (rt.to_ascii_lowercase(), rc.to_ascii_lowercase());
+            let edge = if a <= b {
+                JoinEdge { left: a, right: b }
+            } else {
+                JoinEdge { left: b, right: a }
+            };
+            *self.join_edges.entry(edge).or_default() += n;
+        }
+    }
+
+    /// What one statement contributes to the profile per occurrence —
+    /// precomputed so a retained profile can apply `count` changes as
+    /// O(contribution) deltas. Resolution consults `schema` (unqualified
+    /// columns, alias fallbacks), so cached contributions are only valid
+    /// while the schema is unchanged.
+    pub fn contribution(
+        stmt: &Statement,
+        ann: &Annotations,
+        schema: &SchemaCatalog,
+    ) -> StatementContribution {
+        let mut tmp = WorkloadProfile::default();
+        tmp.fold_one(stmt, ann, 1, schema);
+        StatementContribution {
+            usage: tmp.usage.into_iter().collect(),
+            join_edges: tmp.join_edges.into_iter().collect(),
+            table_refs: tmp.table_refs.into_iter().collect(),
+        }
+    }
+
+    /// Merge `n` occurrences of a contribution into the profile
+    /// (`insert` in retract ⊕ insert). Creates usage entries exactly
+    /// like the from-scratch fold — including all-zero entries for pure
+    /// touches (e.g. `IS NULL` predicates).
+    pub fn add_contribution(&mut self, c: &StatementContribution, n: usize) {
+        self.statement_count += n;
+        for (key, u) in &c.usage {
+            let e = self.usage.entry(key.clone()).or_default();
+            e.eq_predicates += u.eq_predicates * n;
+            e.range_predicates += u.range_predicates * n;
+            e.pattern_predicates += u.pattern_predicates * n;
+            e.group_by += u.group_by * n;
+            e.order_by += u.order_by * n;
+            e.join += u.join * n;
+            e.writes += u.writes * n;
+        }
+        for (edge, k) in &c.join_edges {
+            *self.join_edges.entry(edge.clone()).or_default() += k * n;
+        }
+        for (t, k) in &c.table_refs {
+            *self.table_refs.entry(t.clone()).or_default() += k * n;
+        }
+    }
+
+    /// Retract `n` occurrences of a contribution (`retract` in retract ⊕
+    /// insert). Join-edge and table-ref entries vanish when their counts
+    /// reach zero — exactly the entries a from-scratch build would not
+    /// create. Usage entries are **not** removed here even when all
+    /// counters reach zero: an entry's existence is supported by *any*
+    /// statement touching the pair (including zero-count touches), so
+    /// the caller tracks per-key touch refcounts across its statements
+    /// and calls [`WorkloadProfile::remove_usage`] when a key's last
+    /// supporter goes away.
+    ///
+    /// Panics (in debug) on counter underflow — retracting something
+    /// never added is a caller bug.
+    pub fn sub_contribution(&mut self, c: &StatementContribution, n: usize) {
+        self.statement_count -= n;
+        for (key, u) in &c.usage {
+            let e = self.usage.get_mut(key).expect("retracting an untracked usage key");
+            e.eq_predicates -= u.eq_predicates * n;
+            e.range_predicates -= u.range_predicates * n;
+            e.pattern_predicates -= u.pattern_predicates * n;
+            e.group_by -= u.group_by * n;
+            e.order_by -= u.order_by * n;
+            e.join -= u.join * n;
+            e.writes -= u.writes * n;
+        }
+        for (edge, k) in &c.join_edges {
+            if let Some(e) = self.join_edges.get_mut(edge) {
+                *e -= k * n;
+                if *e == 0 {
+                    self.join_edges.remove(edge);
+                }
+            }
+        }
+        for (t, k) in &c.table_refs {
+            if let Some(e) = self.table_refs.get_mut(t) {
+                *e -= k * n;
+                if *e == 0 {
+                    self.table_refs.remove(t);
+                }
+            }
+        }
+    }
+
+    /// Drop a usage entry whose last supporting statement was retracted
+    /// (see [`WorkloadProfile::sub_contribution`]).
+    pub fn remove_usage(&mut self, key: &(String, String)) {
+        self.usage.remove(key);
     }
 
     fn usage_mut(&mut self, table: &str, column: &str) -> &mut ColumnUsage {
@@ -161,6 +267,30 @@ impl WorkloadProfile {
     /// Number of statements referencing a table.
     pub fn table_ref_count(&self, table: &str) -> usize {
         self.table_refs.get(&table.to_ascii_lowercase()).copied().unwrap_or(0)
+    }
+}
+
+/// The per-occurrence delta one statement contributes to a
+/// [`WorkloadProfile`] — sorted key/value pairs so two contributions of
+/// the same statement text compare equal regardless of build order.
+///
+/// Retained by warm re-check sessions: an edit retracts the old unique's
+/// contribution and inserts the new one instead of refolding the whole
+/// workload. `statement_count` is implicit (always 1 per occurrence).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatementContribution {
+    /// `(table, column)` usage counters, including all-zero pure touches.
+    pub usage: Vec<((String, String), ColumnUsage)>,
+    /// Canonicalised join edges with per-occurrence multiplicity.
+    pub join_edges: Vec<(JoinEdge, usize)>,
+    /// Referenced tables with per-occurrence multiplicity.
+    pub table_refs: Vec<(String, usize)>,
+}
+
+impl StatementContribution {
+    /// True when the statement contributes nothing beyond its count.
+    pub fn is_empty(&self) -> bool {
+        self.usage.is_empty() && self.join_edges.is_empty() && self.table_refs.is_empty()
     }
 }
 
@@ -328,5 +458,107 @@ mod tests {
         assert_eq!(w.table_ref_count("t"), 2);
         assert_eq!(w.table_ref_count("u"), 1);
         assert_eq!(w.statement_count, 3);
+    }
+
+    /// A workload script with predicates, joins, writes, grouping, and a
+    /// zero-usage touch (`IS NULL`) — every contribution shape at once.
+    const DELTA_SQL: &str = "CREATE TABLE t (a INT, b INT);\
+         CREATE TABLE u (tid INT, v INT);\
+         SELECT * FROM t WHERE a = 1 AND b > 2;\
+         SELECT * FROM t JOIN u ON t.a = u.tid WHERE v LIKE 'x%';\
+         UPDATE t SET b = 9 WHERE a = 3;\
+         SELECT a, COUNT(*) FROM t WHERE b IS NULL GROUP BY a ORDER BY a;";
+
+    fn parsed_with_anns(
+        sql: &str,
+    ) -> (Vec<(Statement, sqlcheck_parser::annotate::Annotations)>, SchemaCatalog) {
+        let parsed = parse(sql);
+        let schema = SchemaCatalog::from_statements(parsed.iter().map(|p| &p.stmt));
+        let stmts =
+            parsed.into_iter().map(|p| (p.stmt.clone(), annotate(&p.stmt, &p.arena))).collect();
+        (stmts, schema)
+    }
+
+    #[test]
+    fn delta_build_matches_build_weighted() {
+        let (stmts, schema) = parsed_with_anns(DELTA_SQL);
+        let weights = [1usize, 7, 3, 2, 5, 4];
+        let rebuilt = WorkloadProfile::build_weighted(
+            stmts.iter().zip(weights).map(|((s, a), n)| (s, a, n)),
+            &schema,
+        );
+        let mut delta = WorkloadProfile::default();
+        for ((s, a), n) in stmts.iter().zip(weights) {
+            let c = WorkloadProfile::contribution(s, a, &schema);
+            delta.add_contribution(&c, n);
+        }
+        assert_eq!(delta, rebuilt, "delta-built profile must equal the from-scratch fold");
+    }
+
+    #[test]
+    fn retract_insert_roundtrip_restores_profile() {
+        let (stmts, schema) = parsed_with_anns(DELTA_SQL);
+        let base = WorkloadProfile::build_weighted(
+            stmts.iter().map(|(s, a)| (s, a, 2usize)),
+            &schema,
+        );
+        // Retract then re-insert one statement's occurrences: the profile
+        // must come back byte-identical (no zero-entry residue because the
+        // entries are still supported by the remaining occurrence weight).
+        for (s, a) in &stmts {
+            let c = WorkloadProfile::contribution(s, a, &schema);
+            let mut w = base.clone();
+            w.sub_contribution(&c, 1);
+            w.add_contribution(&c, 1);
+            assert_eq!(w, base);
+        }
+    }
+
+    #[test]
+    fn full_retract_plus_usage_removal_reaches_empty() {
+        let (stmts, schema) = parsed_with_anns(DELTA_SQL);
+        let mut w = WorkloadProfile::build_weighted(
+            stmts.iter().map(|(s, a)| (s, a, 3usize)),
+            &schema,
+        );
+        let mut contributions = Vec::new();
+        for (s, a) in &stmts {
+            contributions.push(WorkloadProfile::contribution(s, a, &schema));
+        }
+        for c in &contributions {
+            w.sub_contribution(c, 3);
+        }
+        // Counts hit zero; join edges and table refs vanish on their own.
+        assert_eq!(w.statement_count, 0);
+        assert!(w.join_edges.is_empty());
+        assert!(w.table_refs.is_empty());
+        // Usage entries await the caller's refcount decision.
+        let keys: Vec<(String, String)> =
+            w.iter_usage().map(|(t, c, _)| (t.to_string(), c.to_string())).collect();
+        for (_, _, u) in w.iter_usage() {
+            assert_eq!(*u, ColumnUsage::default(), "all counters retracted to zero");
+        }
+        for k in &keys {
+            w.remove_usage(k);
+        }
+        assert_eq!(w, WorkloadProfile::default());
+    }
+
+    #[test]
+    fn zero_usage_touches_survive_in_contributions() {
+        // `IS NULL` creates a usage entry with all-zero counters; the
+        // contribution must carry it so delta inserts create the same
+        // entry set as a from-scratch fold (index_underuse's gate reads
+        // entry existence).
+        let (stmts, schema) =
+            parsed_with_anns("CREATE TABLE t (a INT); SELECT * FROM t WHERE a IS NULL;");
+        let (s, a) = &stmts[1];
+        let c = WorkloadProfile::contribution(s, a, &schema);
+        assert!(
+            c.usage.iter().any(|((t, col), u)| {
+                t == "t" && col == "a" && *u == ColumnUsage::default()
+            }),
+            "zero-usage touch must appear in the contribution: {c:?}"
+        );
     }
 }

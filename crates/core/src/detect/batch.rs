@@ -31,8 +31,8 @@
 //!    `detect_batch` therefore returns the *same detections in the same
 //!    order* as the sequential path, for any input.
 
-use crate::context::{Context, TableProfile};
-use crate::detect::cache::IncrementalCache;
+use crate::context::{Context, SchemaVersions, TableProfile};
+use crate::detect::cache::{DepSet, IncrementalCache, UNIT_DATA, UNIT_INTER};
 use crate::detect::schedule::{self, run_units_weighted};
 use crate::detect::{attach_spans, data, dedup, inter, intra, Detector};
 use crate::hashutil::Prehashed;
@@ -40,7 +40,9 @@ use crate::report::{Detection, Locus, Report};
 use sqlcheck_parser::annotate::Annotations;
 use sqlcheck_parser::ast::Statement;
 use sqlcheck_parser::diag::{DiagKind, Diagnostic, Limits};
+use sqlcheck_parser::fingerprint::fnv1a;
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -126,6 +128,13 @@ pub struct BatchStats {
     /// Front-end: microseconds materialising token streams for unique
     /// statement texts at intake (no longer lumped into `split_micros`).
     pub materialize_micros: u128,
+    /// Front-end: microseconds in dedup intake bookkeeping — mapping
+    /// script-local unique slots onto builder slots and recording
+    /// occurrences. Previously mis-attributed to `split_micros`, which
+    /// made warm re-checks (where the cache short-circuits
+    /// materialization but intake still walks every occurrence) look
+    /// like they were paying for cold splitting.
+    pub intake_micros: u128,
     /// Front-end: microseconds grouping texts + parsing unique statements.
     pub parse_micros: u128,
     /// Front-end: microseconds annotating unique statements.
@@ -140,6 +149,47 @@ pub struct BatchStats {
     /// Incremental cache: entries dropped this call (capacity evictions
     /// plus config/schema-change flushes).
     pub incremental_evictions: usize,
+    /// Incremental cache: evictions this call triggered by a
+    /// **whole-table** schema dependency (DDL statements, wildcard
+    /// reads).
+    pub table_evictions: usize,
+    /// Incremental cache: evictions this call triggered by a **core or
+    /// column** dependency — the column-granular tier that lets a DDL
+    /// edit to one column keep entries on its siblings warm.
+    pub column_evictions: usize,
+    /// Inter-query rule units replayed from the unit memo this call
+    /// (input digest unchanged; 0 without a cache).
+    pub inter_units_reused: usize,
+    /// Inter-query rule units actually run this call.
+    pub inter_units_recomputed: usize,
+    /// Per-table data-analysis units replayed from the unit memo this
+    /// call.
+    pub data_units_reused: usize,
+    /// Per-table data-analysis units actually run this call.
+    pub data_units_recomputed: usize,
+    /// Warm re-check ([`CheckSession::recheck`]): microseconds applying
+    /// the edit set — splicing texts, re-splitting edited statements,
+    /// parsing/annotating new unique texts. 0 on cold checks.
+    ///
+    /// [`CheckSession::recheck`]: crate::session::CheckSession::recheck
+    pub warm_edit_micros: u128,
+    /// Warm re-check: microseconds delta-maintaining the retained
+    /// context — workload aggregate retract ⊕ insert, schema refold on
+    /// DDL edits, dirty-slot discovery. 0 on cold checks.
+    pub warm_profile_micros: u128,
+    /// Warm re-check: microseconds patching the retained report —
+    /// recomputing dirty statements' detections and rebuilding the
+    /// per-statement detection slices. 0 on cold checks.
+    pub warm_patch_micros: u128,
+    /// Warm re-check: microseconds in the shared tail — memoized
+    /// inter/data units, registry rules, ranking, fixes. 0 on cold
+    /// checks.
+    pub warm_finalize_micros: u128,
+    /// Warm re-check: statements whose intra-query detections were
+    /// recomputed or re-fetched this re-check (the edit set plus, after a
+    /// DDL edit, every occurrence of a column-evicted unique text). 0 on
+    /// cold checks.
+    pub warm_dirty_statements: usize,
     /// Unique statement texts whose parse degraded to `Statement::Other`
     /// (structural shape lost; detection power reduced).
     pub degraded_uniques: usize,
@@ -161,6 +211,7 @@ impl BatchStats {
     pub fn absorb_frontend(&mut self, fe: &crate::context::FrontendStats) {
         self.split_micros = fe.split_micros;
         self.materialize_micros = fe.materialize_micros;
+        self.intake_micros = fe.intake_micros;
         self.parse_micros = fe.parse_micros;
         self.annotate_micros = fe.annotate_micros;
         self.context_micros = fe.context_micros;
@@ -298,8 +349,9 @@ impl Detector {
         // flushes the cache before any lookup.
         let t_intra = Instant::now();
         let counters_before = cache.map(|c| c.counters());
-        if let Some(c) = cache {
-            c.ensure_epoch(self.config_epoch(ctx), ctx.schema.table_digests());
+        let versions = cache.map(|_| ctx.schema.versions());
+        if let (Some(c), Some(v)) = (cache, &versions) {
+            c.ensure_epoch(self.config_epoch(ctx), v);
         }
         let mut results: Vec<Option<GroupResult>> = Vec::with_capacity(groups.len());
         let mut misses: Vec<usize> = Vec::new();
@@ -362,8 +414,10 @@ impl Detector {
                 // on any later call. Spans at this stage are statement-
                 // relative (body sub-statement ranges) and therefore
                 // already occurrence-independent — they are kept as-is.
-                // Each entry records the tables its statement references,
-                // for per-table invalidation across DDL edits.
+                // Each entry records the schema objects its statement's
+                // rules may consult — whole tables for DDL, cores +
+                // specific columns for plain statements — for
+                // column-granular invalidation across DDL edits.
                 let canonical: Vec<Detection> = dets
                     .iter()
                     .map(|d| {
@@ -375,7 +429,11 @@ impl Detector {
                     })
                     .collect();
                 let rep = &ctx.statements[groups[gi].rep];
-                c.insert(rep.text_hash, Arc::new(canonical), table_deps(&rep.ann));
+                c.insert(
+                    rep.text_hash,
+                    Arc::new(canonical),
+                    Arc::new(entry_deps(&rep.parsed.stmt, &rep.ann)),
+                );
             }
             results[gi] = Some(GroupResult::Fresh(dets));
         }
@@ -430,49 +488,115 @@ impl Detector {
         let fanout_micros = t_fanout.elapsed().as_micros();
 
         // Phase 4: inter-query rules, one unit per rule on the same
-        // scoped worker pool. Units merge in rule order — exactly the
-        // order `inter::detect` appends in the sequential path.
+        // scoped worker pool — memoized when a cache is attached: each
+        // unit is keyed by a digest of exactly the inputs it reads
+        // ([`inter_unit_digests`]), so an edit that leaves a rule's
+        // inputs byte-identical replays its detections and only dirty
+        // units are scheduled. Units merge in rule order either way —
+        // exactly the order `inter::detect` appends in the sequential
+        // path.
         let t_inter = Instant::now();
         if use_context {
             let units = inter::RULES.len();
-            let inter_threads = self.plan_threads(opts, units);
+            let mut unit_out: Vec<Option<Arc<Vec<Detection>>>> = vec![None; units];
+            let mut dirty: Vec<usize> = Vec::new();
+            let digests = match (cache, &versions) {
+                (Some(c), Some(v)) => {
+                    let digests = inter_unit_digests(ctx, v);
+                    for (u, &digest) in digests.iter().enumerate() {
+                        match c.unit_get(UNIT_INTER, u as u64, digest) {
+                            Some(hit) => unit_out[u] = Some(hit),
+                            None => dirty.push(u),
+                        }
+                    }
+                    digests
+                }
+                _ => {
+                    dirty.extend(0..units);
+                    [0; 4]
+                }
+            };
+            let inter_threads = self.plan_threads(opts, dirty.len());
             // Every inter-query rule scans the whole workload, so the
             // estimate is uniform — LPT degrades to in-order
             // self-scheduling, which is exactly right here.
-            let inter_run = run_units_weighted(units, inter_threads, |_| 1, &|u| {
-                inter::detect_unit(u, ctx, &self.cfg)
+            let inter_run = run_units_weighted(dirty.len(), inter_threads, |_| 1, &|i| {
+                inter::detect_unit(dirty[i], ctx, &self.cfg)
             });
             schedule::fold_worker_micros(&mut worker_busy_micros, &inter_run.worker_micros);
-            for (u, out) in inter_run.results.into_iter().enumerate() {
+            for (&u, out) in dirty.iter().zip(inter_run.results) {
                 match out {
-                    Ok(dets) => report.detections.extend(dets),
+                    Ok(dets) => {
+                        let dets = Arc::new(dets);
+                        if let Some(c) = cache {
+                            // Panicked units are never memoized (no Ok),
+                            // so a later run with the fault fixed re-runs
+                            // them.
+                            c.unit_put(UNIT_INTER, u as u64, digests[u], Arc::clone(&dets));
+                        }
+                        unit_out[u] = Some(dets);
+                    }
                     Err(p) => diagnostics.push(Diagnostic::new(
                         DiagKind::RuleFailed,
                         format!("inter-query rule unit {u} panicked: {}", p.message),
                     )),
                 }
             }
+            for dets in unit_out.iter().flatten() {
+                report.detections.extend(dets.iter().cloned());
+            }
         }
         let inter_micros = t_inter.elapsed().as_micros();
 
         // Phase 5: data analysis, one unit per profiled table on the
-        // pool. Tables are independent under the data rules; merging in
-        // `data.tables()` order matches the sequential path.
+        // pool — memoized per table when a cache is attached: a table's
+        // unit reads only its own `TableProfile` (plus config, covered
+        // by the epoch), so its digest is the profile content and an
+        // unchanged profile replays. Tables are independent under the
+        // data rules; merging in `data.tables()` order matches the
+        // sequential path.
         let t_data = Instant::now();
         if let Some(data) = &ctx.data {
             let tables: Vec<&TableProfile> = data.tables().collect();
-            let data_threads = self.plan_threads(opts, tables.len());
+            let mut unit_out: Vec<Option<Arc<Vec<Detection>>>> = vec![None; tables.len()];
+            let mut dirty: Vec<usize> = Vec::new();
+            let keys: Vec<(u64, u64)> = match cache {
+                Some(c) => tables
+                    .iter()
+                    .enumerate()
+                    .map(|(u, tp)| {
+                        let (id, digest) = data_unit_key(tp);
+                        match c.unit_get(UNIT_DATA, id, digest) {
+                            Some(hit) => unit_out[u] = Some(hit),
+                            None => dirty.push(u),
+                        }
+                        (id, digest)
+                    })
+                    .collect(),
+                None => {
+                    dirty.extend(0..tables.len());
+                    Vec::new()
+                }
+            };
+            let data_threads = self.plan_threads(opts, dirty.len());
             // Data-rule cost scales with sampled rows per table.
             let data_run = run_units_weighted(
-                tables.len(),
+                dirty.len(),
                 data_threads,
-                |u| tables[u].row_count.max(1) as u64,
-                &|u| data::detect_table(tables[u], ctx, &self.cfg),
+                |i| tables[dirty[i]].row_count.max(1) as u64,
+                &|i| data::detect_table(tables[dirty[i]], ctx, &self.cfg),
             );
             schedule::fold_worker_micros(&mut worker_busy_micros, &data_run.worker_micros);
-            for (u, out) in data_run.results.into_iter().enumerate() {
+            for (&u, out) in dirty.iter().zip(data_run.results) {
                 match out {
-                    Ok(dets) => report.detections.extend(dets),
+                    Ok(dets) => {
+                        let dets = Arc::new(dets);
+                        if let Some(c) = cache {
+                            let (id, digest) = keys[u];
+                            c.unit_put(UNIT_DATA, id, digest, Arc::clone(&dets));
+                        }
+                        unit_out[u] = Some(dets);
+                    }
                     Err(p) => diagnostics.push(Diagnostic::new(
                         DiagKind::RuleFailed,
                         format!(
@@ -481,6 +605,9 @@ impl Detector {
                         ),
                     )),
                 }
+            }
+            for dets in unit_out.iter().flatten() {
+                report.detections.extend(dets.iter().cloned());
             }
         }
         let data_micros = t_data.elapsed().as_micros();
@@ -517,6 +644,15 @@ impl Detector {
             stats.incremental_hits = (after.hits - before.hits) as usize;
             stats.incremental_misses = (after.misses - before.misses) as usize;
             stats.incremental_evictions = (after.evictions - before.evictions) as usize;
+            stats.table_evictions = (after.table_evictions - before.table_evictions) as usize;
+            stats.column_evictions = (after.column_evictions - before.column_evictions) as usize;
+            stats.inter_units_reused =
+                (after.inter_units_reused - before.inter_units_reused) as usize;
+            stats.inter_units_recomputed =
+                (after.inter_units_recomputed - before.inter_units_recomputed) as usize;
+            stats.data_units_reused = (after.data_units_reused - before.data_units_reused) as usize;
+            stats.data_units_recomputed =
+                (after.data_units_recomputed - before.data_units_recomputed) as usize;
         }
         BatchReport { report, stats, diagnostics }
     }
@@ -530,14 +666,14 @@ impl Detector {
     /// depend on others. Debug formatting is a deterministic canonical
     /// encoding within one process — exactly the lifetime of an
     /// [`IncrementalCache`].
-    fn config_epoch(&self, ctx: &Context) -> u64 {
+    pub(crate) fn config_epoch(&self, ctx: &Context) -> u64 {
         let encoded =
             format!("{:?}|{}|{}", self.cfg, ctx.data.is_some(), ctx.limits_epoch);
         sqlcheck_parser::fingerprint::fnv1a(encoded.as_bytes())
     }
 
     /// Decide the intra-phase worker count for this run.
-    fn plan_threads(&self, opts: &BatchOptions, groups: usize) -> usize {
+    pub(crate) fn plan_threads(&self, opts: &BatchOptions, groups: usize) -> usize {
         if !cfg!(feature = "parallel") || !opts.parallel || groups < 2 {
             return 1;
         }
@@ -546,35 +682,177 @@ impl Detector {
     }
 }
 
-/// Lowercased names of every table a statement's intra-query rules might
-/// consult in the schema catalog: tables the statement references
-/// (FROM/JOIN/DML/DDL, subqueries included) **plus** every column
-/// qualifier. Qualifiers are usually aliases, but an unresolvable
-/// qualifier is looked up in the catalog as a table name by the
-/// contextual rules, so it is a (conservative) dependency too.
-fn table_deps(ann: &Annotations) -> Arc<[String]> {
-    let mut deps: BTreeSet<String> = BTreeSet::new();
+/// The schema surface one statement's intra-query rules may consult, as
+/// a column-granular [`DepSet`].
+///
+/// The base table set is every table the statement references
+/// (FROM/JOIN/DML/DDL, subqueries and trigger/routine bodies included)
+/// **plus** every column qualifier: qualifiers are usually aliases, but
+/// an unresolvable qualifier is looked up in the catalog as a table name
+/// by the contextual rules, so it is a (conservative) dependency too.
+///
+/// * **DDL statements** record whole-table deps on the base set — their
+///   rules inspect full definitions, and DDL is rare enough that finer
+///   tracking buys nothing.
+/// * **Everything else** records a *core* dep per base table (covers the
+///   primary-key, foreign-key, and table-presence reads of
+///   `joins_on_unique_keys` / `has_primary_key` suppression) plus a
+///   *column* dep for every `(base table × referenced column)` pair.
+///   The cross product is what makes alias resolution safe without
+///   re-running it: whichever base table a qualifier actually resolves
+///   to, that `(table, column)` pair is recorded. The result: `ALTER
+///   TABLE t ADD COLUMN c` no longer evicts entries that only touch
+///   `t.a` — the gap this closes over the old whole-table `deps`.
+pub(crate) fn entry_deps(stmt: &Statement, ann: &Annotations) -> DepSet {
+    let mut base: BTreeSet<String> = BTreeSet::new();
     for t in &ann.tables {
-        deps.insert(t.to_ascii_lowercase());
+        base.insert(t.to_ascii_lowercase());
     }
-    let mut add_qualifier = |q: &Option<sqlcheck_parser::IStr>| {
-        if let Some(q) = q {
-            deps.insert(q.to_ascii_lowercase());
-        }
-    };
     for c in &ann.columns {
-        add_qualifier(&c.qualifier);
+        if let Some(q) = &c.qualifier {
+            base.insert(q.to_ascii_lowercase());
+        }
     }
     for p in &ann.predicates {
-        add_qualifier(&p.qualifier);
-    }
-    for j in &ann.join_conditions {
-        add_qualifier(&j.left.0);
-        if let Some(r) = &j.right {
-            add_qualifier(&r.0);
+        if let Some(q) = &p.qualifier {
+            base.insert(q.to_ascii_lowercase());
         }
     }
-    deps.into_iter().collect()
+    for j in &ann.join_conditions {
+        if let Some(q) = &j.left.0 {
+            base.insert(q.to_ascii_lowercase());
+        }
+        if let Some((Some(q), _)) = &j.right {
+            base.insert(q.to_ascii_lowercase());
+        }
+    }
+    if matches!(
+        stmt,
+        Statement::CreateTable(_)
+            | Statement::CreateIndex(_)
+            | Statement::AlterTable(_)
+            | Statement::Drop(_)
+    ) {
+        return DepSet { tables: base.into_iter().collect(), ..DepSet::default() };
+    }
+    let mut cols: BTreeSet<String> = BTreeSet::new();
+    for c in &ann.columns {
+        cols.insert(c.column.to_ascii_lowercase());
+    }
+    for p in &ann.predicates {
+        cols.insert(p.column.to_ascii_lowercase());
+    }
+    for j in &ann.join_conditions {
+        cols.insert(j.left.1.to_ascii_lowercase());
+        if let Some((_, rc)) = &j.right {
+            cols.insert(rc.to_ascii_lowercase());
+        }
+    }
+    let columns: Vec<(String, String)> = base
+        .iter()
+        .flat_map(|t| cols.iter().map(move |c| (t.clone(), c.clone())))
+        .collect();
+    DepSet {
+        tables: Box::default(),
+        cores: base.into_iter().collect(),
+        columns: columns.into(),
+    }
+}
+
+/// Input digests for the four inter-query rule units, in
+/// [`inter::RULES`] order. Each digest folds **exactly** the inputs its
+/// rule reads — established by inspection of `inter.rs` and locked in by
+/// the byte-identity property suites — so a workload edit that leaves a
+/// rule's inputs unchanged leaves its digest unchanged and the unit
+/// replays from the memo:
+///
+/// 0. `no_foreign_key`: the join-edge **key set** (multiplicities are
+///    never read) + each edge table's core digest (presence, primary
+///    key, declared FKs).
+/// 1. `index_underuse`: per usage entry passing the `eq_predicates > 0
+///    || group_by > 0` gate: the counts it prints, its table's full
+///    digest (covers `has_index_on`: indexes + PK), and the data-profile
+///    fields the low-cardinality refinement reads. Entries failing the
+///    gate contribute nothing — so pure count drift on cold columns
+///    (e.g. more `ORDER BY` traffic) keeps the unit clean.
+/// 2. `index_overuse`: every index definition in catalog order plus the
+///    **boolean** "leading column has reads" — count-only changes on an
+///    already-read column keep the digest stable.
+/// 3. `clone_table`: the catalog's table names, nothing else.
+///
+/// The detection config and data-analysis config are covered by the
+/// cache's config epoch, not folded here.
+pub(crate) fn inter_unit_digests(ctx: &Context, versions: &SchemaVersions) -> [u64; 4] {
+    let mut s = String::new();
+
+    // Unit 0 — no_foreign_key.
+    let mut edge_tables: BTreeSet<&str> = BTreeSet::new();
+    for edge in ctx.workload.join_edges.keys() {
+        let _ = write!(s, "{edge:?};");
+        edge_tables.insert(&edge.left.0);
+        edge_tables.insert(&edge.right.0);
+    }
+    for t in edge_tables {
+        let _ = write!(s, "{t}={:?};", versions.cores.get(t));
+    }
+    let d0 = fnv1a(s.as_bytes());
+
+    // Unit 1 — index_underuse.
+    s.clear();
+    for (t, c, u) in ctx.workload.iter_usage() {
+        if u.eq_predicates == 0 && u.group_by == 0 {
+            continue;
+        }
+        let _ = write!(
+            s,
+            "{t}.{c}:{}:{}|{:?}|",
+            u.eq_predicates,
+            u.group_by,
+            versions.tables.get(t)
+        );
+        if let Some(data) = &ctx.data {
+            match data.table(t) {
+                Some(tp) => {
+                    let _ = write!(s, "r{}", tp.row_count);
+                    if let Some(cp) = tp.column(c) {
+                        let _ = write!(s, "{:?}", cp.stats);
+                    }
+                }
+                None => s.push('-'),
+            }
+        }
+        s.push(';');
+    }
+    let d1 = fnv1a(s.as_bytes());
+
+    // Unit 2 — index_overuse.
+    s.clear();
+    for idx in &ctx.schema.indexes {
+        let used = idx.columns.first().map(|leading| {
+            ctx.workload.usage(&idx.table, leading).map(|u| u.reads() > 0).unwrap_or(false)
+        });
+        let _ = write!(s, "{idx:?}:{used:?};");
+    }
+    let d2 = fnv1a(s.as_bytes());
+
+    // Unit 3 — clone_table.
+    s.clear();
+    for t in ctx.schema.tables() {
+        let _ = write!(s, "{};", t.name);
+    }
+    let d3 = fnv1a(s.as_bytes());
+
+    [d0, d1, d2, d3]
+}
+
+/// Memo key for one per-table data-analysis unit: a stable id (hash of
+/// the lowercased table name) plus an input digest over the full
+/// `TableProfile` content — the only input `data::detect_table` reads
+/// besides the config (covered by the cache's epoch).
+pub(crate) fn data_unit_key(tp: &TableProfile) -> (u64, u64) {
+    let id = fnv1a(tp.name.to_ascii_lowercase().as_bytes());
+    let digest = fnv1a(format!("{tp:?}").as_bytes());
+    (id, digest)
 }
 
 #[cfg(test)]

@@ -71,7 +71,7 @@
 //! let w = SqlCheck::new().check_workload(&script, &BatchOptions::default());
 //! assert_eq!(w.stats.statements, 100);
 //! assert_eq!(w.stats.unique_templates, 1);
-//! assert!(!w.outcome.ranked.is_empty());
+//! assert!(!w.outcome.ranked().is_empty());
 //! ```
 //!
 //! The full pipeline, with a database attached for data analysis:
@@ -95,7 +95,7 @@
 //!     .with_weights(RankWeights::C2)
 //!     .with_database(db)
 //!     .check_script("SELECT * FROM Users WHERE role = 'R1'");
-//! assert!(!outcome.ranked.is_empty());
+//! assert!(!outcome.ranked().is_empty());
 //! ```
 
 #![warn(missing_docs)]
@@ -109,6 +109,7 @@ pub(crate) mod hashutil;
 pub mod rank;
 pub mod registry;
 pub mod report;
+pub mod session;
 
 pub use anti_pattern::{AntiPatternKind, Category, MetricImpact};
 pub use context::{
@@ -125,6 +126,7 @@ pub use rank::{
 };
 pub use registry::{CustomRule, RuleRegistry};
 pub use report::{Detection, DetectionSource, Locus, Report, Span};
+pub use session::{CheckSession, Edit};
 pub use sqlcheck_parser::diag::{DiagKind, Diagnostic, Limits};
 
 use sqlcheck_minidb::database::Database;
@@ -138,28 +140,71 @@ pub fn find_anti_patterns(sql: &str) -> Vec<Detection> {
 
 /// The result of a full sqlcheck run: the raw report, the ranked
 /// detections, and the suggested fixes, plus the context for inspection.
+///
+/// Ranking and fixes are **lazy**: computed on first access
+/// ([`CheckOutcome::ranked`] / [`CheckOutcome::fixes`]) and memoized.
+/// Both are pure functions of the report and context, so laziness is
+/// unobservable except in timing — a caller that only reads detections
+/// never pays for fix synthesis, and a warm
+/// [`CheckSession::recheck`](session::CheckSession::recheck) stays
+/// proportional to the edit set instead of re-ranking and re-fixing
+/// every detection in the workload on each edit.
 #[derive(Debug)]
 pub struct CheckOutcome {
     /// The application context that was built.
     pub context: Context,
     /// The unranked detection report.
     pub report: Report,
-    /// Ranked detections, highest impact first.
-    pub ranked: Vec<RankedDetection>,
-    /// One suggested fix per ranked detection, in rank order.
-    pub fixes: Vec<SuggestedFix>,
     /// Degradation diagnostics: parse-time events (attributed to the
     /// first occurrence of each unique statement text), script-level
     /// events, and isolated rule failures. The pipeline always completes;
     /// these describe where output quality was reduced.
     pub diagnostics: Vec<Diagnostic>,
+    /// The ranker that produced (or will lazily produce) the ranking.
+    ranker: Ranker,
+    ranked: std::sync::OnceLock<Vec<RankedDetection>>,
+    fixes: std::sync::OnceLock<Vec<SuggestedFix>>,
 }
 
 impl CheckOutcome {
+    /// Assemble an outcome with ranking and fixes pending.
+    fn new(context: Context, report: Report, diagnostics: Vec<Diagnostic>, ranker: Ranker) -> Self {
+        CheckOutcome {
+            context,
+            report,
+            diagnostics,
+            ranker,
+            ranked: std::sync::OnceLock::new(),
+            fixes: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Ranked detections, highest impact first. Computed on first access
+    /// and memoized.
+    pub fn ranked(&self) -> &[RankedDetection] {
+        self.ranked.get_or_init(|| self.ranker.rank(&self.report))
+    }
+
+    /// One suggested fix per ranked detection, in rank order. Computed
+    /// on first access (forcing the ranking too) and memoized.
+    pub fn fixes(&self) -> &[SuggestedFix] {
+        self.fixes.get_or_init(|| {
+            let ordered: Vec<Detection> =
+                self.ranked().iter().map(|r| r.detection.clone()).collect();
+            FixEngine.fix_all(&ordered, &self.context)
+        })
+    }
+
+    /// Discard any memoized ranking/fixes (the report changed).
+    pub(crate) fn invalidate_derived(&mut self) {
+        self.ranked = std::sync::OnceLock::new();
+        self.fixes = std::sync::OnceLock::new();
+    }
+
     /// Render a human-readable summary (ranked, with fixes).
     pub fn summary(&self) -> String {
         let mut out = String::new();
-        for (i, (r, f)) in self.ranked.iter().zip(&self.fixes).enumerate() {
+        for (i, (r, f)) in self.ranked().iter().zip(self.fixes()).enumerate() {
             out.push_str(&format!(
                 "{:>3}. [{:.3}] {} @ {}\n     {}\n",
                 i + 1,
@@ -344,11 +389,7 @@ impl SqlCheck {
         let mut extra = self.run_registry(&context, &mut diagnostics);
         detect::attach_default_spans(&mut extra, &context);
         report.detections.extend(extra);
-        let ranked = self.ranker.rank(&report);
-        let ordered: Vec<Detection> =
-            ranked.iter().map(|r| r.detection.clone()).collect();
-        let fixes = FixEngine.fix_all(&ordered, &context);
-        CheckOutcome { context, report, ranked, fixes, diagnostics }
+        CheckOutcome::new(context, report, diagnostics, self.ranker.clone())
     }
 
     /// Run the full pipeline over a large workload using the parse-once
@@ -384,13 +425,9 @@ impl SqlCheck {
         stats.diag_counts[DiagKind::RuleFailed.index()] += registry_failures;
         detect::attach_default_spans(&mut extra, &context);
         report.detections.extend(extra);
-        let ranked = self.ranker.rank(&report);
-        let ordered: Vec<Detection> =
-            ranked.iter().map(|r| r.detection.clone()).collect();
-        let fixes = FixEngine.fix_all(&ordered, &context);
         stats.absorb_frontend(&fe_stats);
         WorkloadOutcome {
-            outcome: CheckOutcome { context, report, ranked, fixes, diagnostics },
+            outcome: CheckOutcome::new(context, report, diagnostics, self.ranker.clone()),
             stats,
         }
     }
@@ -438,9 +475,9 @@ mod tests {
             "CREATE TABLE t (a INT, price FLOAT);\
              SELECT * FROM t WHERE price > 1;",
         );
-        assert!(!outcome.ranked.is_empty());
-        assert_eq!(outcome.ranked.len(), outcome.fixes.len());
-        for w in outcome.ranked.windows(2) {
+        assert!(!outcome.ranked().is_empty());
+        assert_eq!(outcome.ranked().len(), outcome.fixes().len());
+        for w in outcome.ranked().windows(2) {
             assert!(w[0].score >= w[1].score, "ranked descending");
         }
         assert!(!outcome.summary().is_empty());
@@ -456,7 +493,7 @@ mod tests {
         let pick_first = |w: RankWeights| {
             let outcome = SqlCheck::new().with_weights(w).check_script(sql);
             outcome
-                .ranked
+                .ranked()
                 .iter()
                 .map(|r| r.detection.kind)
                 .find(|k| {

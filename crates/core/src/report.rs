@@ -48,7 +48,7 @@ impl fmt::Display for Locus {
 }
 
 /// One detected anti-pattern occurrence.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Detection {
     /// The anti-pattern kind.
     pub kind: AntiPatternKind,

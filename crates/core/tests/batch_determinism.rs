@@ -355,8 +355,10 @@ fn ddl_edit_to_one_table_keeps_unrelated_entries() {
     assert_eq!(warm.stats.incremental_evictions, 0);
     assert!(warm.stats.incremental_hits > 0);
 
-    // DDL edit to `hot` only: cold1/cold2 entries survive, hot entries
-    // (and the edited DDL text itself) re-analyse.
+    // ADD COLUMN to `hot`: with column-granular dependency tracking,
+    // even the entries on `hot` survive — they only read `hot.id`,
+    // whose digest (and the table core) the edit leaves unchanged. Only
+    // the edited DDL text itself is new work.
     let ctx3 = ContextBuilder::new().add_script(&edited).build();
     let after = det.detect_batch_with(&ctx3, &BatchOptions::default(), Some(&cache));
     assert_eq!(
@@ -365,14 +367,48 @@ fn ddl_edit_to_one_table_keeps_unrelated_entries() {
         "output after DDL edit must match a cold check"
     );
     assert!(
-        after.stats.incremental_hits >= 60,
-        "entries on unedited tables must survive the DDL edit, got {} hits",
+        after.stats.incremental_hits >= 90,
+        "ADD COLUMN must keep entries on untouched columns warm (even on the edited table), got {} hits",
         after.stats.incremental_hits
     );
     assert!(
-        after.stats.incremental_misses >= 30,
-        "entries on the edited table must be invalidated, got {} misses",
+        after.stats.incremental_misses <= 2,
+        "only the edited DDL text re-analyses, got {} misses",
         after.stats.incremental_misses
+    );
+    assert!(
+        after.stats.table_evictions >= 1,
+        "the old CREATE TABLE entry (whole-table dep) must drop"
+    );
+
+    // Edit the column the statements actually read (`hot.id` changes
+    // type): now the `hot` entries are stale and must re-analyse, while
+    // cold1/cold2 still survive.
+    let retyped = edited.replace(
+        "CREATE TABLE hot (id INT PRIMARY KEY, v TEXT, w INT);",
+        "CREATE TABLE hot (id BIGINT PRIMARY KEY, v TEXT, w INT);",
+    );
+    let ctx4 = ContextBuilder::new().add_script(&retyped).build();
+    let after2 = det.detect_batch_with(&ctx4, &BatchOptions::default(), Some(&cache));
+    assert_eq!(
+        detections_debug(&after2.report),
+        cold_reference(&det, &retyped),
+        "output after column-type edit must match a cold check"
+    );
+    assert!(
+        after2.stats.incremental_hits >= 60,
+        "entries on unedited tables must survive, got {} hits",
+        after2.stats.incremental_hits
+    );
+    assert!(
+        after2.stats.incremental_misses >= 30,
+        "entries reading the edited column must be invalidated, got {} misses",
+        after2.stats.incremental_misses
+    );
+    assert!(
+        after2.stats.column_evictions >= 30,
+        "column-dep evictions must be classified, got {}",
+        after2.stats.column_evictions
     );
 }
 

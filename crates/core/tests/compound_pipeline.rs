@@ -166,15 +166,33 @@ fn ddl_edit_to_body_referenced_table_evicts_trigger_entry() {
     assert_eq!(warm.stats.incremental_hits, 4);
     assert_eq!(warm.stats.incremental_misses, 0);
 
-    // A DDL edit to `v` — a table referenced only from the trigger BODY —
-    // must evict the trigger's cached entry (its deps include `v`), while
-    // texts not touching `v` stay warm.
+    // ADD COLUMN to `v` — a table referenced only from the trigger
+    // BODY — leaves the trigger entry warm under column-granular deps:
+    // the body reads neither `v`'s core nor the new column, and the
+    // detections of `DELETE FROM v` cannot change. Only the edited DDL
+    // text itself is new work.
     let edited = tool.check_workload(&cache_script(true), &BatchOptions::default());
     assert_eq!(
-        edited.stats.incremental_misses, 2,
+        edited.stats.incremental_misses, 1,
+        "only the edited v-DDL text re-analyses"
+    );
+    assert_eq!(edited.stats.incremental_hits, 3, "everything else stays warm");
+
+    // Changing the type of `v.a` — a column the trigger body's deps
+    // cover (cross product of body tables × referenced columns) — must
+    // evict the trigger's cached entry, while texts not touching `v`
+    // stay warm.
+    let retyped = cache_script(true).replace(
+        "CREATE TABLE v (a INT PRIMARY KEY, b INT);",
+        "CREATE TABLE v (a BIGINT PRIMARY KEY, b INT);",
+    );
+    let after = tool.check_workload(&retyped, &BatchOptions::default());
+    assert_eq!(
+        after.stats.incremental_misses, 2,
         "edited v-DDL text + invalidated trigger entry re-analysed"
     );
-    assert_eq!(edited.stats.incremental_hits, 2, "SELECTs not touching v stay warm");
+    assert_eq!(after.stats.incremental_hits, 2, "SELECTs not touching v stay warm");
+    assert!(after.stats.column_evictions >= 1, "trigger eviction is column-classified");
 }
 
 #[test]

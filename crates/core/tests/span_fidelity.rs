@@ -78,7 +78,7 @@ fn fixes_for_duplicates_point_at_their_own_location() {
     let w = tool.check_workload(SCRIPT, &BatchOptions::default());
     let spans: Vec<(usize, usize)> = w
         .outcome
-        .fixes
+        .fixes()
         .iter()
         .filter(|f| matches!(f.detection.locus, Locus::Statement { index: 1 | 3 }))
         .filter_map(|f| f.detection.span.map(|s| (s.start, s.end)))
@@ -89,7 +89,7 @@ fn fixes_for_duplicates_point_at_their_own_location() {
     );
     // The slice of the script at each fix's span is the statement the
     // fix rewrites — the span is usable for in-place patching.
-    for f in &w.outcome.fixes {
+    for f in w.outcome.fixes() {
         if let (Some(span), sqlcheck::Fix::Rewrite { original, .. }) = (f.detection.span, &f.fix) {
             assert_eq!(&SCRIPT[span.start..span.end], original.trim_end_matches('\n'));
         }

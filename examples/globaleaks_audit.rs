@@ -31,7 +31,7 @@ fn main() {
         .with_database(db.clone())
         .check_script(&sql_trace());
     println!("\n=== top-5 under C2 (hybrid weights) — note the reordering ===");
-    for (i, r) in outcome_c2.ranked.iter().take(5).enumerate() {
+    for (i, r) in outcome_c2.ranked().iter().take(5).enumerate() {
         println!("{:>3}. [{:.3}] {} @ {}", i + 1, r.score, r.detection.kind, r.detection.locus);
     }
 

@@ -23,7 +23,7 @@ fn main() {
     let outcome = SqlCheck::new().check_script(script);
 
     let mut remaining = script.to_string();
-    for sf in &outcome.fixes {
+    for sf in outcome.fixes() {
         println!("\n[{}] {}", sf.detection.kind, sf.detection.message);
         match &sf.fix {
             Fix::Rewrite { original, fixed } => {

@@ -47,7 +47,7 @@ fn fingerprint(outcome: &CheckOutcome) -> String {
         s.push_str(&format!("{:?}|{}|{:?};", d.kind, d.detail, d.statement));
     }
     s.push('#');
-    for r in &outcome.ranked {
+    for r in outcome.ranked() {
         s.push_str(&format!("{:?};", r.detection));
     }
     s
@@ -211,9 +211,9 @@ fn faulty_rule_is_isolated_everywhere() {
                 .with_rule(Box::new(FaultyRule))
                 .check_workload(&script, &opts_at(threads));
             let clean_dets: Vec<String> =
-                clean.outcome.ranked.iter().map(|r| format!("{:?}", r.detection)).collect();
+                clean.outcome.ranked().iter().map(|r| format!("{:?}", r.detection)).collect();
             let faulty_dets: Vec<String> =
-                faulty.outcome.ranked.iter().map(|r| format!("{:?}", r.detection)).collect();
+                faulty.outcome.ranked().iter().map(|r| format!("{:?}", r.detection)).collect();
             assert_eq!(clean_dets, faulty_dets, "case {case}, {threads} thread(s)");
             assert!(
                 faulty.outcome.diagnostics.iter().any(|d| d.kind == DiagKind::RuleFailed
@@ -228,9 +228,9 @@ fn faulty_rule_is_isolated_everywhere() {
         let clean = SqlCheck::new().check_script(&script);
         let faulty = SqlCheck::new().with_rule(Box::new(FaultyRule)).check_script(&script);
         let ka: Vec<String> =
-            clean.ranked.iter().map(|r| format!("{:?}", r.detection)).collect();
+            clean.ranked().iter().map(|r| format!("{:?}", r.detection)).collect();
         let kb: Vec<String> =
-            faulty.ranked.iter().map(|r| format!("{:?}", r.detection)).collect();
+            faulty.ranked().iter().map(|r| format!("{:?}", r.detection)).collect();
         assert_eq!(ka, kb, "case {case}: check_script detections");
         assert!(faulty
             .diagnostics
@@ -250,8 +250,8 @@ fn faulty_rule_does_not_poison_the_cache() {
     let _ = cached.check_workload(script, &opts_at(2));
     let again = cached.check_workload(script, &opts_at(2));
     let base: Vec<String> =
-        baseline.outcome.ranked.iter().map(|r| format!("{:?}", r.detection)).collect();
+        baseline.outcome.ranked().iter().map(|r| format!("{:?}", r.detection)).collect();
     let warm: Vec<String> =
-        again.outcome.ranked.iter().map(|r| format!("{:?}", r.detection)).collect();
+        again.outcome.ranked().iter().map(|r| format!("{:?}", r.detection)).collect();
     assert_eq!(base, warm, "warm faulty-tool run lost or duplicated detections");
 }

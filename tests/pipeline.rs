@@ -17,7 +17,7 @@ fn fixes_reduce_detections_on_reapplication() {
     // Apply every automatic rewrite.
     let mut patched = script.to_string();
     let mut applied = 0;
-    for sf in &outcome.fixes {
+    for sf in outcome.fixes() {
         if let Fix::Rewrite { original, fixed } = &sf.fix {
             patched = patched.replace(original.trim(), fixed);
             applied += 1;

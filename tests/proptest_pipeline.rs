@@ -61,9 +61,9 @@ fn detection_is_deterministic() {
         let a = SqlCheck::new().check_script(&script);
         let b = SqlCheck::new().check_script(&script);
         let ka: Vec<_> =
-            a.ranked.iter().map(|r| (r.detection.kind, r.score.to_bits())).collect();
+            a.ranked().iter().map(|r| (r.detection.kind, r.score.to_bits())).collect();
         let kb: Vec<_> =
-            b.ranked.iter().map(|r| (r.detection.kind, r.score.to_bits())).collect();
+            b.ranked().iter().map(|r| (r.detection.kind, r.score.to_bits())).collect();
         assert_eq!(ka, kb, "case {case}");
     }
 }
@@ -85,7 +85,7 @@ fn fixes_are_well_formed() {
             vals.join(", ")
         );
         let outcome = SqlCheck::new().check_script(&script);
-        for sf in &outcome.fixes {
+        for sf in outcome.fixes() {
             match &sf.fix {
                 sqlcheck::Fix::Rewrite { original, fixed } => {
                     assert!(!fixed.is_empty(), "case {case}");
@@ -125,7 +125,7 @@ fn implicit_columns_invariant() {
         assert_eq!(found, !with_list, "case {case}");
         if !with_list {
             let fix = outcome
-                .fixes
+                .fixes()
                 .iter()
                 .find(|f| f.detection.kind == AntiPatternKind::ImplicitColumns)
                 .unwrap();
@@ -153,7 +153,7 @@ fn scores_are_normalised_and_sorted() {
         );
         let outcome = SqlCheck::new().check_script(&corpus[0].script());
         let mut prev = f64::INFINITY;
-        for r in &outcome.ranked {
+        for r in outcome.ranked() {
             assert!((0.0..=1.0).contains(&r.score), "seed {seed}: score {} range", r.score);
             assert!(r.score <= prev, "seed {seed}: monotone");
             prev = r.score;
