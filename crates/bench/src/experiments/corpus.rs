@@ -22,18 +22,22 @@
 //! degrades statements on real-shaped SQL fails the build instead of
 //! shipping as a quiet recall loss.
 
-use sqlcheck::{BatchOptions, DiagKind, SqlCheck, WorkloadOutcome};
+use sqlcheck::{BatchOptions, DiagKind, Dialect, SqlCheck, WorkloadOutcome};
 use sqlcheck_minidb::database::Database;
+use sqlcheck_workload::dialects::DialectCorpusConfig;
 use sqlcheck_workload::github::CorpusConfig;
 use sqlcheck_workload::globaleaks::Scale;
-use sqlcheck_workload::{django, github, globaleaks, kaggle};
+use sqlcheck_workload::{dialects, django, github, globaleaks, kaggle};
 use std::time::Instant;
 
 /// One corpus of the acceptance matrix.
 #[derive(Debug, Clone)]
 pub struct CorpusRow {
-    /// Corpus name: `django`, `github`, `globaleaks`, or `kaggle`.
+    /// Corpus name: `django`, `github`, `globaleaks`, `kaggle`,
+    /// `mysqldump`, or `plpgsql`.
     pub corpus: &'static str,
+    /// The dialect the corpus was checked under.
+    pub dialect: Dialect,
     /// Statements checked (occurrences, not uniques).
     pub statements: usize,
     /// Unique statement texts.
@@ -85,6 +89,9 @@ pub fn coverage_floor(corpus: &str) -> f64 {
         // The GitHub corpus deliberately mixes in malformed and
         // exotic-dialect statements; its floor is lower by design.
         "github" => 0.80,
+        // The dialect-tagged corpora (`mysqldump`, `plpgsql`) are pure
+        // idiomatic SQL for their dialect — anything under 0.95 means a
+        // dialect capability regressed, not that the corpus got harder.
         _ => 0.95,
     }
 }
@@ -104,8 +111,13 @@ fn absorb(row: &mut CorpusRow, script: &str, w: &WorkloadOutcome) {
 }
 
 fn empty_row(corpus: &'static str) -> CorpusRow {
+    empty_dialect_row(corpus, Dialect::Generic)
+}
+
+fn empty_dialect_row(corpus: &'static str, dialect: Dialect) -> CorpusRow {
     CorpusRow {
         corpus,
+        dialect,
         statements: 0,
         unique_texts: 0,
         script_bytes: 0,
@@ -163,13 +175,14 @@ fn schema_script(db: &Database) -> String {
     out
 }
 
-/// Check one script (optionally with a database attached), timed.
+/// Check one script (optionally with a database attached), timed. The
+/// row's dialect drives the front door.
 fn check_one(row: &mut CorpusRow, script: &str, db: Option<Database>, threads: Option<usize>) {
     let mut tool = SqlCheck::new();
     if let Some(db) = db {
         tool = tool.with_database(db);
     }
-    let opts = BatchOptions { threads, ..BatchOptions::default() };
+    let opts = BatchOptions { threads, dialect: row.dialect, ..BatchOptions::default() };
     let t = Instant::now();
     let w = tool.check_workload(script, &opts);
     row.micros += t.elapsed().as_micros();
@@ -222,6 +235,20 @@ pub fn run(quick: bool, threads: Option<usize>) -> Vec<CorpusRow> {
     }
     rows.push(kg);
 
+    // Dialect-tagged corpora: idiomatic scripts that would collide with
+    // the tolerant-union front door (MySQL `$$` delimiters, `#`
+    // comments) or forgo parallel splitting (Postgres scripts containing
+    // the word DELIMITER) — each checked under its own dialect, with the
+    // same coverage gate as the clean corpora.
+    let dcfg = if quick { DialectCorpusConfig::small() } else { DialectCorpusConfig::default() };
+    let mut my = empty_dialect_row("mysqldump", Dialect::MySql);
+    check_one(&mut my, &dialects::mysqldump_script(dcfg), None, threads);
+    rows.push(my);
+
+    let mut pg = empty_dialect_row("plpgsql", Dialect::Postgres);
+    check_one(&mut pg, &dialects::plpgsql_script(dcfg), None, threads);
+    rows.push(pg);
+
     rows
 }
 
@@ -229,13 +256,15 @@ pub fn run(quick: bool, threads: Option<usize>) -> Vec<CorpusRow> {
 pub fn render(rows: &[CorpusRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:>12} {:>8} {:>8} {:>9} {:>6} {:>9} {:>9} {:>6} {:>8}\n",
-        "corpus", "stmts", "uniques", "coverage", "degr", "detect", "MB/s", "fails", "floor"
+        "{:>12} {:>9} {:>8} {:>8} {:>9} {:>6} {:>9} {:>9} {:>6} {:>8}\n",
+        "corpus", "dialect", "stmts", "uniques", "coverage", "degr", "detect", "MB/s", "fails",
+        "floor"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:>12} {:>8} {:>8} {:>9.4} {:>6} {:>9} {:>9.2} {:>6} {:>8.2}\n",
+            "{:>12} {:>9} {:>8} {:>8} {:>9.4} {:>6} {:>9} {:>9.2} {:>6} {:>8.2}\n",
             r.corpus,
+            r.dialect,
             r.statements,
             r.unique_texts,
             r.parse_coverage(),
@@ -289,13 +318,15 @@ pub fn to_json(rows: &[CorpusRow]) -> String {
             .map(|k| format!("\"{}\": {}", k.name(), r.diag_counts[k.index()]))
             .collect();
         out.push_str(&format!(
-            "    {{\"corpus\": \"{}\", \"statements\": {}, \"unique_texts\": {}, \
+            "    {{\"corpus\": \"{}\", \"dialect\": \"{}\", \"statements\": {}, \
+             \"unique_texts\": {}, \
              \"script_bytes\": {}, \"detections\": {}, \
              \"degraded_statements\": {}, \"degraded_uniques\": {}, \
              \"parse_coverage\": {:.6}, \"coverage_floor\": {:.2}, \
              \"rule_failures\": {}, \"micros\": {}, \"mb_per_sec\": {:.3}, \
              \"diagnostics\": {{{}}}}}{}\n",
             r.corpus,
+            r.dialect,
             r.statements,
             r.unique_texts,
             r.script_bytes,
@@ -322,14 +353,38 @@ mod tests {
     #[test]
     fn quick_matrix_meets_floors() {
         let rows = run(true, Some(2));
-        assert_eq!(rows.len(), 4);
+        assert_eq!(rows.len(), 6);
         assert_floors(&rows);
         for r in &rows {
             assert!(r.statements > 0, "{}: corpus must not be empty", r.corpus);
         }
         let json = to_json(&rows);
         assert!(json.contains("\"corpus\": \"django\""));
+        assert!(json.contains("\"corpus\": \"mysqldump\""));
+        assert!(json.contains("\"dialect\": \"postgres\""));
         assert!(json.contains("parse_coverage"));
         assert!(!render(&rows).is_empty());
+    }
+
+    #[test]
+    fn dialect_rows_hold_the_floor_without_degradation_noise() {
+        let rows = run(true, Some(2));
+        for r in rows.iter().filter(|r| matches!(r.corpus, "mysqldump" | "plpgsql")) {
+            assert!(
+                r.parse_coverage() >= 0.95,
+                "{}: coverage {:.4}",
+                r.corpus,
+                r.parse_coverage()
+            );
+            // A Postgres script must keep chunk-parallel splitting: no
+            // delimiter-fallback diagnostic may appear.
+            if r.corpus == "plpgsql" {
+                assert_eq!(
+                    r.diag_counts[DiagKind::DelimiterFallbackSequential.index()],
+                    0,
+                    "plpgsql corpus must not trip the DELIMITER fallback"
+                );
+            }
+        }
     }
 }

@@ -14,6 +14,11 @@
 //!                        auto-detect all cores)
 //!   --stats              batch engine + dedup/phase-timing stats on stderr
 //!   --cache              batch engine + incremental detection cache
+//!   --dialect D          SQL dialect: generic (default), postgres, mysql,
+//!                        sqlite. Without this flag the dialect is guessed
+//!                        from the script (DELIMITER/backticks -> mysql,
+//!                        dollar-quoted bodies -> postgres) and the guess
+//!                        is reported as a dialect-guessed diagnostic.
 //!   --fail-on-degraded   exit 3 when any statement parsed degraded or a
 //!                        rule unit failed (see --stats for details)
 //! ```
@@ -30,7 +35,9 @@
 //! echo "INSERT INTO Users VALUES (1, 'foo')" | sqlcheck -
 //! ```
 
-use sqlcheck::{BatchOptions, DetectionConfig, DiagKind, Fix, InterQueryModel, RankWeights, SqlCheck};
+use sqlcheck::{
+    BatchOptions, DetectionConfig, DiagKind, Dialect, Fix, InterQueryModel, RankWeights, SqlCheck,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -75,6 +82,23 @@ fn main() {
         Some("count") => InterQueryModel::ByApCount,
         _ => InterQueryModel::ByScore,
     };
+    // --dialect pins the front door; leaving it off opts into
+    // auto-detection (an explicit choice always suppresses the guess).
+    let dialect_arg = arg_value(&args, "--dialect");
+    let dialect = match dialect_arg {
+        Some(name) => match Dialect::parse(name) {
+            Some(d) => d,
+            None => {
+                eprintln!(
+                    "sqlcheck: unknown dialect '{name}' (expected generic, postgres, \
+                     mysql, or sqlite)"
+                );
+                std::process::exit(2);
+            }
+        },
+        None => Dialect::Generic,
+    };
+    let detect_dialect = dialect_arg.is_none();
 
     let input = args
         .iter()
@@ -102,7 +126,11 @@ fn main() {
         }
     };
 
-    let mut tool = SqlCheck::new().with_weights(weights).with_inter_query_model(inter_model);
+    let mut tool = SqlCheck::new()
+        .with_weights(weights)
+        .with_inter_query_model(inter_model)
+        .with_dialect(dialect)
+        .with_dialect_detection(detect_dialect);
     if intra_only {
         tool = tool.with_detection(DetectionConfig::intra_only());
     }
@@ -113,10 +141,28 @@ fn main() {
     // engine (identical detections; parse-once front-end, template dedup,
     // optional threading and incremental caching).
     let outcome = if parallel || stats || cache {
-        let opts = BatchOptions { parallel, threads, ..BatchOptions::default() };
+        let opts = BatchOptions {
+            parallel,
+            threads,
+            dialect,
+            detect_dialect,
+            ..BatchOptions::default()
+        };
         let w = tool.check_workload(&sql, &opts);
         if stats {
             let s = &w.stats;
+            let resolved = w.outcome.context.dialect;
+            eprintln!(
+                "stats: dialect {} ({})",
+                resolved,
+                if dialect_arg.is_some() {
+                    "explicit"
+                } else if resolved == Dialect::Generic {
+                    "default"
+                } else {
+                    "guessed"
+                },
+            );
             eprintln!(
                 "stats: {} statement(s), {} unique template(s), {} unique text(s), \
                  {} cache hit(s), {} thread(s) ({} requested; 0 = auto)",
@@ -194,14 +240,16 @@ fn main() {
     };
 
     // --fail-on-degraded: exit 3 when any degradation diagnostic other
-    // than the informational delimiter-fallback notice was emitted —
-    // detection ran, but on reduced-fidelity input. Takes precedence over
-    // the findings exit code (1).
+    // than the informational delimiter-fallback and dialect-guessed
+    // notices was emitted — detection ran, but on reduced-fidelity
+    // input. Takes precedence over the findings exit code (1).
     let degraded_exit = fail_on_degraded
-        && outcome
-            .diagnostics
-            .iter()
-            .any(|d| d.kind != DiagKind::DelimiterFallbackSequential);
+        && outcome.diagnostics.iter().any(|d| {
+            !matches!(
+                d.kind,
+                DiagKind::DelimiterFallbackSequential | DiagKind::DialectGuessed
+            )
+        });
     if degraded_exit && stats {
         for d in &outcome.diagnostics {
             eprintln!("degraded: {d}");
@@ -279,7 +327,11 @@ fn is_flag_value(args: &[String], candidate: &String) -> bool {
     args.iter()
         .position(|a| a == candidate)
         .map(|i| {
-            i > 0 && matches!(args[i - 1].as_str(), "--weights" | "--rank-by" | "--threads")
+            i > 0
+                && matches!(
+                    args[i - 1].as_str(),
+                    "--weights" | "--rank-by" | "--threads" | "--dialect"
+                )
         })
         .unwrap_or(false)
 }
@@ -289,7 +341,8 @@ fn print_help() {
         "sqlcheck — detect, rank, and fix SQL anti-patterns (SIGMOD 2020 reproduction)\n\n\
          usage: sqlcheck [--intra-only] [--weights c1|c2] [--rank-by count] \n\
                          [--no-fix] [--summary] [--parallel] [--threads N] \n\
-                         [--stats] [--cache] [--fail-on-degraded] [FILE|-]\n\n\
+                         [--stats] [--cache] [--dialect generic|postgres|mysql|sqlite] \n\
+                         [--fail-on-degraded] [FILE|-]\n\n\
          Reads SQL from FILE (or stdin with '-'), prints ranked anti-patterns\n\
          with suggested fixes. Exits 1 when anti-patterns are found; with\n\
          --fail-on-degraded, exits 3 when any statement parsed degraded or a\n\

@@ -26,9 +26,10 @@ use sqlcheck_parser::annotate::{annotate, Annotations};
 use sqlcheck_parser::ast::ParsedStatement;
 use sqlcheck_parser::diag::{DiagKind, Diagnostic, Limits};
 use sqlcheck_parser::parse;
-use sqlcheck_parser::parser::{diagnose_parsed, parse_raw_limited};
+use sqlcheck_parser::parser::{diagnose_parsed, parse_raw_limited_dialect};
 use sqlcheck_parser::fingerprint::fingerprint_of;
-use sqlcheck_parser::splitter::{split_deduped, split_stream_parallel, RawStatement};
+use sqlcheck_parser::splitter::{split_deduped_dialect, split_stream_parallel_dialect, RawStatement};
+use sqlcheck_parser::Dialect;
 use sqlcheck_parser::token::Span;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -88,6 +89,11 @@ pub struct Context {
     /// were parsed under — folded into cache validity keys, because a
     /// budget change can alter the parse of the same statement text.
     pub limits_epoch: u64,
+    /// The dialect the statements were lexed, split, and parsed under
+    /// (after auto-detection, when enabled). Folded into cache validity
+    /// keys: the same script text splits and parses differently under a
+    /// different dialect.
+    pub dialect: Dialect,
 }
 
 impl Context {
@@ -178,6 +184,17 @@ pub struct FrontendOptions {
     /// Per-statement resource budgets; over-budget statements degrade to
     /// `Other` with an [`DiagKind::OverLimit`] diagnostic.
     pub limits: Limits,
+    /// The dialect the whole front door (lexer → splitter → parser)
+    /// applies. [`Dialect::Generic`] is the historical tolerant union
+    /// and is byte-identical to the pre-dialect behaviour.
+    pub dialect: Dialect,
+    /// Guess the dialect from the first added script's contents
+    /// ([`Dialect::detect`]) when `dialect` is [`Dialect::Generic`]. A
+    /// successful guess switches the front door for every script in this
+    /// build and emits a [`DiagKind::DialectGuessed`] diagnostic. Off by
+    /// default — library callers opt in; the CLI enables it whenever no
+    /// explicit `--dialect` is given.
+    pub detect_dialect: bool,
 }
 
 impl Default for FrontendOptions {
@@ -187,6 +204,8 @@ impl Default for FrontendOptions {
             parallel: cfg!(feature = "parallel"),
             threads: None,
             limits: Limits::default(),
+            dialect: Dialect::Generic,
+            detect_dialect: false,
         }
     }
 }
@@ -254,6 +273,14 @@ pub struct ContextBuilder {
     /// (deterministic across split thread counts — see
     /// [`sqlcheck_parser::splitter::DedupedSplit`]).
     saw_delimiter_directive: bool,
+    /// The dialect the front door settled on, fixed by the first
+    /// `add_script` call (auto-detection, when enabled, runs exactly
+    /// once — on that first script — so every script in the build is
+    /// processed under one dialect).
+    resolved_dialect: Option<Dialect>,
+    /// Pending [`DiagKind::DialectGuessed`] diagnostic, emitted into the
+    /// built context when auto-detection fired.
+    dialect_diag: Option<Diagnostic>,
 }
 
 impl ContextBuilder {
@@ -294,6 +321,32 @@ impl ContextBuilder {
         });
     }
 
+    /// Resolve the dialect for script intake. The first call fixes it:
+    /// when auto-detection is enabled and the configured dialect is
+    /// [`Dialect::Generic`], the first script's contents may switch the
+    /// front door ([`Dialect::detect`]) — recorded as a
+    /// [`DiagKind::DialectGuessed`] diagnostic on the built context.
+    fn resolve_dialect(&mut self, script: &str) -> Dialect {
+        if let Some(d) = self.resolved_dialect {
+            return d;
+        }
+        let mut d = self.opts.dialect;
+        if self.opts.detect_dialect && d == Dialect::Generic {
+            if let Some(guess) = Dialect::detect(script) {
+                d = guess;
+                self.dialect_diag = Some(Diagnostic::new(
+                    DiagKind::DialectGuessed,
+                    format!(
+                        "no dialect specified; guessed `{guess}` from script \
+                         contents (pass an explicit dialect to suppress)"
+                    ),
+                ));
+            }
+        }
+        self.resolved_dialect = Some(d);
+        d
+    }
+
     /// Decide the chunk-parallel split worker count for one script.
     fn split_threads(&self, len: usize) -> usize {
         // Below ~16 KiB the pre-scan + spawn overhead outweighs the lex
@@ -315,10 +368,11 @@ impl ContextBuilder {
     /// duplicates cost one map lookup at split time and nothing here.
     pub fn add_script(mut self, script: &str) -> Self {
         let t = Instant::now();
+        let dialect = self.resolve_dialect(script);
         let threads = self.split_threads(script.len());
         let mut mat_micros = 0u128;
         if self.opts.dedup {
-            let deduped = split_deduped(script, threads);
+            let deduped = split_deduped_dialect(script, threads, dialect);
             // The fused pass above is the split; everything below is
             // intake bookkeeping, accounted separately so warm re-checks
             // (materialization short-circuited, bookkeeping still O(
@@ -365,9 +419,9 @@ impl ContextBuilder {
         } else {
             // Legacy mode: every occurrence keeps its own entry (and is
             // parsed individually later).
-            for s in split_stream_parallel(script, threads) {
+            for s in split_stream_parallel_dialect(script, threads, dialect) {
                 let tm = Instant::now();
-                let raw = s.materialize(script);
+                let raw = s.materialize_dialect(script, dialect);
                 mat_micros += tm.elapsed().as_micros();
                 self.order.push(self.uniques.len());
                 self.spans.push(s.span);
@@ -461,9 +515,10 @@ impl ContextBuilder {
         let threads = plan_threads(&self.opts, uniques.len());
         stats.threads = threads;
         let limits = self.opts.limits;
+        let dialect = self.resolved_dialect.unwrap_or(self.opts.dialect);
         for_each_entry(&mut uniques, threads, |e| {
             if let Some(raw) = e.raw.take() {
-                let (p, diags) = parse_raw_limited(raw, &limits);
+                let (p, diags) = parse_raw_limited_dialect(raw, &limits, dialect);
                 e.parsed = Some(Arc::new(p));
                 if !diags.is_empty() {
                     e.diags = diags.into();
@@ -541,6 +596,9 @@ impl ContextBuilder {
         stats.context_micros = t_ctx.elapsed().as_micros();
 
         let mut diagnostics = Vec::new();
+        if let Some(d) = self.dialect_diag {
+            diagnostics.push(d);
+        }
         if self.saw_delimiter_directive {
             diagnostics.push(Diagnostic::new(
                 DiagKind::DelimiterFallbackSequential,
@@ -557,6 +615,7 @@ impl ContextBuilder {
                 data,
                 diagnostics,
                 limits_epoch: limits.epoch(),
+                dialect,
             },
             stats,
         )

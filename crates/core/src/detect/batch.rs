@@ -40,6 +40,7 @@ use crate::report::{Detection, Locus, Report};
 use sqlcheck_parser::annotate::Annotations;
 use sqlcheck_parser::ast::Statement;
 use sqlcheck_parser::diag::{DiagKind, Diagnostic, Limits};
+use sqlcheck_parser::Dialect;
 use sqlcheck_parser::fingerprint::fnv1a;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt::Write as _;
@@ -59,6 +60,15 @@ pub struct BatchOptions {
     /// [`check_workload`](crate::SqlCheck::check_workload); over-budget
     /// statements degrade to `Other` with an `OverLimit` diagnostic.
     pub limits: Limits,
+    /// The dialect the front door applies, forwarded to the front-end by
+    /// [`check_workload`](crate::SqlCheck::check_workload).
+    /// [`Dialect::Generic`] is byte-identical to the pre-dialect
+    /// behaviour.
+    pub dialect: Dialect,
+    /// Auto-detect the dialect from script contents when `dialect` is
+    /// [`Dialect::Generic`] (see
+    /// [`FrontendOptions::detect_dialect`](crate::FrontendOptions)).
+    pub detect_dialect: bool,
 }
 
 impl Default for BatchOptions {
@@ -67,6 +77,8 @@ impl Default for BatchOptions {
             parallel: cfg!(feature = "parallel"),
             threads: None,
             limits: Limits::default(),
+            dialect: Dialect::Generic,
+            detect_dialect: false,
         }
     }
 }
@@ -667,8 +679,13 @@ impl Detector {
     /// encoding within one process — exactly the lifetime of an
     /// [`IncrementalCache`].
     pub(crate) fn config_epoch(&self, ctx: &Context) -> u64 {
-        let encoded =
-            format!("{:?}|{}|{}", self.cfg, ctx.data.is_some(), ctx.limits_epoch);
+        let encoded = format!(
+            "{:?}|{}|{}|{:?}",
+            self.cfg,
+            ctx.data.is_some(),
+            ctx.limits_epoch,
+            ctx.dialect
+        );
         sqlcheck_parser::fingerprint::fnv1a(encoded.as_bytes())
     }
 

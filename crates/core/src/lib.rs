@@ -128,6 +128,7 @@ pub use registry::{CustomRule, RuleRegistry};
 pub use report::{Detection, DetectionSource, Locus, Report, Span};
 pub use session::{CheckSession, Edit};
 pub use sqlcheck_parser::diag::{DiagKind, Diagnostic, Limits};
+pub use sqlcheck_parser::Dialect;
 
 use sqlcheck_minidb::database::Database;
 
@@ -248,6 +249,8 @@ pub struct SqlCheck {
     database: Option<std::sync::Arc<Database>>,
     data_cfg: DataAnalysisConfig,
     cache: Option<std::sync::Arc<IncrementalCache>>,
+    dialect: Dialect,
+    detect_dialect: bool,
 }
 
 impl Default for SqlCheck {
@@ -266,7 +269,31 @@ impl SqlCheck {
             database: None,
             data_cfg: DataAnalysisConfig::default(),
             cache: None,
+            dialect: Dialect::Generic,
+            detect_dialect: false,
         }
+    }
+
+    /// Select the SQL dialect the front door (lexer → splitter → parser)
+    /// applies. The default, [`Dialect::Generic`], is the historical
+    /// tolerant union and is byte-identical to the pre-dialect
+    /// behaviour. Applies to [`SqlCheck::check_script`]; for
+    /// [`SqlCheck::check_workload`] it is the default that an explicit
+    /// [`BatchOptions::dialect`] overrides.
+    pub fn with_dialect(mut self, dialect: Dialect) -> Self {
+        self.dialect = dialect;
+        self
+    }
+
+    /// Enable dialect auto-detection ([`Dialect::detect`]): when the
+    /// configured dialect is [`Dialect::Generic`], the first script's
+    /// contents may switch the front door, recorded as a
+    /// [`DiagKind::DialectGuessed`] diagnostic. The CLI turns this on
+    /// whenever no explicit `--dialect` is given; library callers opt in
+    /// here.
+    pub fn with_dialect_detection(mut self, on: bool) -> Self {
+        self.detect_dialect = on;
+        self
     }
 
     /// Use a custom detection configuration.
@@ -376,7 +403,12 @@ impl SqlCheck {
 
     /// Run the full pipeline over a SQL script.
     pub fn check_script(&self, script: &str) -> CheckOutcome {
-        let mut builder = ContextBuilder::new().add_script(script);
+        let frontend = FrontendOptions {
+            dialect: self.dialect,
+            detect_dialect: self.detect_dialect,
+            ..FrontendOptions::default()
+        };
+        let mut builder = ContextBuilder::new().with_frontend(frontend).add_script(script);
         if let Some(db) = &self.database {
             builder = builder.with_shared_database(db.clone(), self.data_cfg.clone());
         }
@@ -401,11 +433,23 @@ impl SqlCheck {
     /// [`SqlCheck::check_script`] plus [`BatchStats`] instrumentation
     /// (batch dedup, per-phase front-end timings, cache counters).
     pub fn check_workload(&self, script: &str, opts: &BatchOptions) -> WorkloadOutcome {
+        // Explicit per-call dialect options win; an untouched default
+        // falls back to the toolchain-level setting, so a
+        // `with_dialect(...)` facade behaves the same on both entry
+        // points.
+        let (dialect, detect_dialect) =
+            if opts.dialect == Dialect::Generic && !opts.detect_dialect {
+                (self.dialect, self.detect_dialect)
+            } else {
+                (opts.dialect, opts.detect_dialect)
+            };
         let frontend = FrontendOptions {
             dedup: true,
             parallel: opts.parallel,
             threads: opts.threads,
             limits: opts.limits,
+            dialect,
+            detect_dialect,
         };
         let mut builder =
             ContextBuilder::new().with_frontend(frontend).add_script(script);

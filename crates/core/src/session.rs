@@ -33,6 +33,12 @@
 //! texts, parse diagnostics, `DELIMITER` directives, rule panics, a DDL
 //! edit without a cache) falls back to a full rebuild, which is always
 //! correct.
+//!
+//! The session is also **cost-aware**: when an edit set covers more than
+//! ~10% of the workload, the per-edit patching overhead crosses the cold
+//! path's streaming cost, so [`CheckSession::recheck`] deliberately
+//! rebuilds cold instead — counted as [`CheckSession::cold_reverts`],
+//! separately from the involuntary [`CheckSession::fallbacks`].
 
 use crate::context::{
     synthesize_ddl, SchemaCatalog, SchemaVersions, StatementContribution, WorkloadProfile,
@@ -48,8 +54,8 @@ use sqlcheck_parser::annotate::{annotate, Annotations};
 use sqlcheck_parser::ast::{ParsedStatement, Statement};
 use sqlcheck_parser::diag::{DiagKind, Diagnostic};
 use sqlcheck_parser::parse;
-use sqlcheck_parser::parser::parse_raw_limited;
-use sqlcheck_parser::splitter::split_deduped;
+use sqlcheck_parser::parser::parse_raw_limited_dialect;
+use sqlcheck_parser::splitter::split_deduped_dialect;
 use std::collections::HashMap;
 use std::mem;
 use std::sync::Arc;
@@ -151,6 +157,7 @@ pub struct CheckSession {
     state: State,
     rechecks: u64,
     fallbacks: u64,
+    cold_reverts: u64,
 }
 
 impl SqlCheck {
@@ -162,7 +169,15 @@ impl SqlCheck {
     pub fn into_session(self, script: impl Into<String>, opts: BatchOptions) -> CheckSession {
         let script = script.into();
         let state = State::init(&self, &script, &opts);
-        CheckSession { tool: self, opts, script, state, rechecks: 0, fallbacks: 0 }
+        CheckSession {
+            tool: self,
+            opts,
+            script,
+            state,
+            rechecks: 0,
+            fallbacks: 0,
+            cold_reverts: 0,
+        }
     }
 }
 
@@ -433,9 +448,23 @@ impl CheckSession {
         self.rechecks
     }
 
-    /// Re-checks that fell back to a full rebuild.
+    /// Re-checks that fell back to a full rebuild because the
+    /// incremental path could not patch safely (degraded state,
+    /// multi-statement replacement, diagnostics, rule panic). Deliberate
+    /// cost-based cold re-checks are counted separately
+    /// ([`CheckSession::cold_reverts`]).
     pub fn fallbacks(&self) -> u64 {
         self.fallbacks
+    }
+
+    /// Re-checks where the session **chose** the cold path up front: the
+    /// edit set covered more than ~10% of the workload, past the
+    /// crossover where per-edit patching overhead (splice, delta
+    /// profile, slice surgery) exceeds a straight rebuild. Not a
+    /// failure — the outcome is identical either way — so these are not
+    /// [`CheckSession::fallbacks`].
+    pub fn cold_reverts(&self) -> u64 {
+        self.cold_reverts
     }
 
     /// Apply `edits` (distinct statement indices) and re-check. The
@@ -462,13 +491,22 @@ impl CheckSession {
         let last = sorted.last().unwrap();
         assert!(last.index < n, "edit index {} out of range ({n} statements)", last.index);
 
-        let plan = if self.state.degraded { None } else { self.plan(&sorted) };
+        // Cost-based self-selection: past ~10% dirty statements the
+        // incremental path's per-edit overhead crosses the cold path's
+        // streaming cost (measured in BENCH_incremental.json) — rebuild
+        // deliberately instead of patching, counted as a cold revert.
+        let revert_cold = !self.state.degraded && edits.len() * 10 > n;
+        let plan = if self.state.degraded || revert_cold { None } else { self.plan(&sorted) };
         self.splice(&sorted);
         match plan {
             Some(plan) => {
                 if self.apply(plan, t_total).is_none() {
                     self.full_rebuild(t_total);
                 }
+            }
+            None if revert_cold => {
+                self.cold_reverts += 1;
+                self.rebuild(t_total);
             }
             None => self.full_rebuild(t_total),
         }
@@ -480,8 +518,9 @@ impl CheckSession {
     /// resolves to a (possibly fresh) slot. `None` → fallback.
     fn plan(&mut self, sorted: &[&Edit]) -> Option<Vec<Planned>> {
         let mut plan: Vec<Planned> = Vec::with_capacity(sorted.len());
+        let dialect = self.state.outcome.outcome.context.dialect;
         for e in sorted {
-            let split = split_deduped(&e.text, 1);
+            let split = split_deduped_dialect(&e.text, 1, dialect);
             if split.uniques.len() != 1
                 || split.occurrences.len() != 1
                 || split.saw_delimiter_directive
@@ -493,7 +532,8 @@ impl CheckSession {
                 Some(&slot) => slot,
                 None => {
                     let raw = u.materialize(&e.text);
-                    let (parsed, diags) = parse_raw_limited(raw, &self.opts.limits);
+                    let (parsed, diags) =
+                        parse_raw_limited_dialect(raw, &self.opts.limits, dialect);
                     if !diags.is_empty() {
                         return None;
                     }
@@ -959,6 +999,12 @@ impl CheckSession {
     /// unconditional-correctness path.
     fn full_rebuild(&mut self, t_total: Instant) {
         self.fallbacks += 1;
+        self.rebuild(t_total);
+    }
+
+    /// The rebuild itself, shared by involuntary fallbacks and
+    /// deliberate cost-based cold reverts.
+    fn rebuild(&mut self, t_total: Instant) {
         self.state = State::init(&self.tool, &self.script, &self.opts);
         self.state.outcome.stats.total_micros = t_total.elapsed().as_micros();
     }

@@ -35,11 +35,18 @@
 //! end-of-input as a single statement (the splitter's EOF flush emits
 //! it) — nothing panics and nothing is dropped.
 //!
-//! Known limits (documented in the README's dialect-coverage section):
-//! a `$$` custom delimiter collides with dollar-quoting at the lexer
-//! level, and `BEGIN ATOMIC` (SQL standard) is not recognised as a block
-//! opener.
+//! The tracker is dialect-aware ([`BlockTracker::with_dialect`]):
+//! `DELIMITER` directives are honoured only where the dialect allows them
+//! (Generic, MySQL) — under Postgres the word is an ordinary identifier,
+//! so PL/pgSQL scripts keep chunk-parallel splitting — and a
+//! statement-initial `BEGIN ATOMIC` (SQL standard, Postgres 14+ SQL-body
+//! routines) opens a block under Generic/Postgres via one token of
+//! lookahead, exactly like the deferred-`END` decision. The old `$$`
+//! custom-delimiter vs dollar-quoting collision is resolved one layer
+//! down: with dollar-quoting disabled (MySQL/SQLite) the lexer emits
+//! `$$` as an ordinary word, which the delimiter match here then sees.
 
+use crate::dialect::Dialect;
 use crate::scan::memchr;
 use crate::token::TokenKind;
 
@@ -81,6 +88,11 @@ pub(crate) struct BlockTracker {
     /// An `END` was seen and awaits its lookahead token (`END IF` vs
     /// block/CASE `END`).
     pending_end: bool,
+    /// A statement-initial `BEGIN` was seen and awaits its lookahead
+    /// token: `ATOMIC` opens a block (SQL-standard compound statement),
+    /// anything else is transaction control. Only set when the dialect
+    /// has [`Dialect::begin_atomic`].
+    pending_begin: bool,
     /// Header state of the current statement.
     header: Header,
     /// No significant token of the current statement has been seen yet.
@@ -102,6 +114,8 @@ pub(crate) struct BlockTracker {
     /// state, so the per-token cost is one boolean branch plus the `;`
     /// check — measured ~free next to the pre-tracker splitter.
     fast: bool,
+    /// Active dialect: gates `DELIMITER` directives and `BEGIN ATOMIC`.
+    dialect: Dialect,
 }
 
 impl Default for BlockTracker {
@@ -118,20 +132,22 @@ fn is_word(w: &[u8], up: &[u8]) -> bool {
 
 /// Does this word make block tracking *necessary*? The tracker diverges
 /// from naive top-level-`;` splitting only when a block is opened (which
-/// requires a `CREATE … TRIGGER|PROCEDURE|FUNCTION` header — `BEGIN`,
-/// `CASE`, and `END` are all no-ops at depth 0) or a `DELIMITER`
-/// directive changes the terminator. A chunk containing none of these
-/// four words (as word tokens; quoted identifiers and string literals
-/// never reach the tracker as words) therefore splits **identically**
-/// with and without the tracker, so scanners may run a speculative
-/// untracked pass and only re-scan tracked when this fires.
+/// requires a `CREATE … TRIGGER|PROCEDURE|FUNCTION` header or a
+/// statement-initial `BEGIN ATOMIC` — `BEGIN`, `CASE`, and `END` alone
+/// are all no-ops at depth 0) or a `DELIMITER` directive changes the
+/// terminator. A chunk containing none of these five marker words (as
+/// word tokens; quoted identifiers and string literals never reach the
+/// tracker as words) therefore splits **identically** with and without
+/// the tracker, so scanners may run a speculative untracked pass and
+/// only re-scan tracked when this fires. The set is deliberately
+/// dialect-independent: a false positive only costs a re-scan.
 #[inline]
 pub(crate) fn may_need_tracking(w: &[u8]) -> bool {
-    /// True for the first bytes of the four marker words, both cases —
+    /// True for the first bytes of the five marker words, both cases —
     /// one table load rejects the vast majority of words.
     const MARKER_START: [bool; 256] = {
         let mut t = [false; 256];
-        let s = b"tpfdTPFD";
+        let s = b"tpfdaTPFDA";
         let mut i = 0;
         while i < s.len() {
             t[s[i] as usize] = true;
@@ -140,11 +156,12 @@ pub(crate) fn may_need_tracking(w: &[u8]) -> bool {
         t
     };
     MARKER_START[w[0] as usize]
-        && matches!(w.len(), 7..=9)
+        && matches!(w.len(), 6..=9)
         && (is_word(w, b"TRIGGER")
             || is_word(w, b"PROCEDURE")
             || is_word(w, b"FUNCTION")
-            || is_word(w, b"DELIMITER"))
+            || is_word(w, b"DELIMITER")
+            || is_word(w, b"ATOMIC"))
 }
 
 /// Does the active custom delimiter match at `start`? Word-shaped
@@ -167,18 +184,26 @@ fn delimiter_matches(bytes: &[u8], start: usize, d: &[u8]) -> bool {
 }
 
 impl BlockTracker {
-    /// Fresh tracker: default `;` delimiter, top level, statement start.
+    /// Fresh tracker under [`Dialect::Generic`]: default `;` delimiter,
+    /// top level, statement start.
     pub(crate) fn new() -> Self {
+        Self::with_dialect(Dialect::Generic)
+    }
+
+    /// Fresh tracker under an explicit dialect.
+    pub(crate) fn with_dialect(dialect: Dialect) -> Self {
         BlockTracker {
             depth: 0,
             case_depth: 0,
             pending_end: false,
+            pending_begin: false,
             header: Header::Plain,
             at_stmt_start: true,
             delimiter: None,
             skip_until: 0,
             saw_directive: false,
             fast: false,
+            dialect,
         }
     }
 
@@ -189,6 +214,7 @@ impl BlockTracker {
             && self.header == Header::Plain
             && self.depth == 0
             && !self.pending_end
+            && !self.pending_begin
             && !self.at_stmt_start;
     }
 
@@ -270,6 +296,9 @@ impl BlockTracker {
                 return SplitAction::Terminator;
             }
         } else if kind == TokenKind::Punct && end - start == 1 && bytes[start] == b';' {
+            // `BEGIN;` — the lookahead token is the terminator itself, so
+            // this was transaction control, not a compound statement.
+            self.pending_begin = false;
             self.resolve_pending_bare();
             if self.depth == 0 {
                 self.reset_statement_state();
@@ -308,6 +337,19 @@ impl BlockTracker {
             None
         };
 
+        if self.pending_begin {
+            // Statement-initial `BEGIN …` lookahead: `ATOMIC` opens the
+            // SQL-standard compound block; anything else (TRANSACTION,
+            // WORK, a bare `BEGIN`) is transaction control.
+            self.pending_begin = false;
+            if let Some(w) = word {
+                if is_word(w, b"ATOMIC") {
+                    self.depth += 1;
+                    return SplitAction::Token;
+                }
+            }
+        }
+
         if self.pending_end {
             self.pending_end = false;
             if let Some(w) = word {
@@ -341,10 +383,16 @@ impl BlockTracker {
 
         if self.at_stmt_start {
             self.at_stmt_start = false;
-            if self.depth == 0 && is_word(w, b"DELIMITER") {
+            if self.depth == 0
+                && self.dialect.delimiter_directives()
+                && is_word(w, b"DELIMITER")
+            {
                 return self.directive(bytes, end);
             }
             self.header = if is_word(w, b"CREATE") { Header::Create } else { Header::Plain };
+            if self.dialect.begin_atomic() && is_word(w, b"BEGIN") {
+                self.pending_begin = true;
+            }
             return SplitAction::Token;
         }
 
@@ -417,6 +465,7 @@ impl BlockTracker {
         self.depth = 0;
         self.case_depth = 0;
         self.pending_end = false;
+        self.pending_begin = false;
         self.header = Header::Plain;
         self.at_stmt_start = true;
         self.fast = false;
@@ -428,11 +477,11 @@ mod tests {
     use super::*;
 
     /// Offer every significant token of `script` (lexed with keyword
-    /// classification) and collect the actions.
-    fn actions(script: &str) -> Vec<(String, SplitAction)> {
-        let mut tracker = BlockTracker::new();
+    /// classification under `dialect`) and collect the actions.
+    fn actions_dialect(script: &str, dialect: Dialect) -> Vec<(String, SplitAction)> {
+        let mut tracker = BlockTracker::with_dialect(dialect);
         let bytes = script.as_bytes();
-        crate::lexer::tokenize(script)
+        crate::lexer::tokenize_dialect(script, dialect)
             .into_iter()
             .filter(|t| !t.is_trivia())
             .map(|t| {
@@ -442,8 +491,19 @@ mod tests {
             .collect()
     }
 
+    fn actions(script: &str) -> Vec<(String, SplitAction)> {
+        actions_dialect(script, Dialect::Generic)
+    }
+
+    fn terminator_count_dialect(script: &str, dialect: Dialect) -> usize {
+        actions_dialect(script, dialect)
+            .iter()
+            .filter(|(_, a)| *a == SplitAction::Terminator)
+            .count()
+    }
+
     fn terminator_count(script: &str) -> usize {
-        actions(script).iter().filter(|(_, a)| *a == SplitAction::Terminator).count()
+        terminator_count_dialect(script, Dialect::Generic)
     }
 
     #[test]
@@ -499,6 +559,62 @@ mod tests {
         let term: Vec<&str> =
             acts.iter().filter(|(_, a)| *a == SplitAction::Terminator).map(|(t, _)| t.as_str()).collect();
         assert_eq!(term, vec!["GO"]);
+    }
+
+    #[test]
+    fn begin_atomic_opens_a_block() {
+        let s = "BEGIN ATOMIC UPDATE t SET a = 1; DELETE FROM u; END; SELECT 1;";
+        for d in [Dialect::Generic, Dialect::Postgres] {
+            assert_eq!(terminator_count_dialect(s, d), 2, "{d:?}");
+        }
+        // Transaction control is unaffected, ATOMIC or not.
+        assert_eq!(terminator_count("BEGIN; SELECT atomic FROM t; COMMIT;"), 3);
+        // Dialects without BEGIN ATOMIC split on every `;`.
+        assert_eq!(terminator_count_dialect(s, Dialect::MySql), 4);
+        assert_eq!(terminator_count_dialect(s, Dialect::Sqlite), 4);
+    }
+
+    #[test]
+    fn delimiter_is_a_plain_word_under_postgres() {
+        let s = "DELIMITER ;;\nSELECT 1; SELECT 2;;\n";
+        // MySQL/Generic honour the directive: one `;;` terminator.
+        assert_eq!(terminator_count_dialect(s, Dialect::MySql), 1);
+        assert_eq!(terminator_count(s), 1);
+        // Postgres treats DELIMITER as an identifier: every `;` terminates
+        // (the `;;` pairs yield empty statements the splitter drops), and
+        // no directive is recorded (chunk-parallel splitting stays on).
+        let acts = actions_dialect(s, Dialect::Postgres);
+        assert_eq!(
+            acts.iter().filter(|(_, a)| *a == SplitAction::Terminator).count(),
+            5
+        );
+        let mut tracker = BlockTracker::with_dialect(Dialect::Postgres);
+        for t in crate::lexer::tokenize_dialect(s, Dialect::Postgres) {
+            if !t.is_trivia() {
+                tracker.offer(s.as_bytes(), t.kind, t.span.start, t.span.end);
+            }
+        }
+        assert!(!tracker.saw_directive());
+    }
+
+    #[test]
+    fn mysql_dollar_delimiter_works_without_quoting_collision() {
+        let s = "DELIMITER $$\nCREATE PROCEDURE p() BEGIN SELECT 1; END$$\nSELECT 2$$\n";
+        let acts = actions_dialect(s, Dialect::MySql);
+        let term: Vec<&str> = acts
+            .iter()
+            .filter(|(_, a)| *a == SplitAction::Terminator)
+            .map(|(t, _)| t.as_str())
+            .collect();
+        assert_eq!(term, vec!["$$", "$$"]);
+    }
+
+    #[test]
+    fn atomic_is_a_tracking_marker() {
+        assert!(may_need_tracking(b"ATOMIC"));
+        assert!(may_need_tracking(b"atomic"));
+        assert!(!may_need_tracking(b"ATOM"));
+        assert!(!may_need_tracking(b"BEGIN"));
     }
 
     #[test]

@@ -36,17 +36,23 @@ pub enum DiagKind {
     /// A detection-rule unit panicked; its output was dropped and every
     /// other unit's output is unaffected.
     RuleFailed,
+    /// No dialect was specified and the front door guessed one from the
+    /// script's contents ([`crate::dialect::Dialect::detect`]); the
+    /// detail names the guessed dialect and the triggering signal.
+    /// Explicitly selecting a dialect suppresses this.
+    DialectGuessed,
 }
 
 impl DiagKind {
     /// All kinds, in stable order (indexes match [`DiagKind::index`]).
-    pub const ALL: [DiagKind; 6] = [
+    pub const ALL: [DiagKind; 7] = [
         DiagKind::ParseDegraded,
         DiagKind::UnterminatedBlock,
         DiagKind::OrphanEnd,
         DiagKind::DelimiterFallbackSequential,
         DiagKind::OverLimit,
         DiagKind::RuleFailed,
+        DiagKind::DialectGuessed,
     ];
 
     /// Number of kinds (length of [`DiagKind::ALL`]).
@@ -61,6 +67,7 @@ impl DiagKind {
             DiagKind::DelimiterFallbackSequential => 3,
             DiagKind::OverLimit => 4,
             DiagKind::RuleFailed => 5,
+            DiagKind::DialectGuessed => 6,
         }
     }
 
@@ -73,6 +80,7 @@ impl DiagKind {
             DiagKind::DelimiterFallbackSequential => "delimiter-fallback-sequential",
             DiagKind::OverLimit => "over-limit",
             DiagKind::RuleFailed => "rule-failed",
+            DiagKind::DialectGuessed => "dialect-guessed",
         }
     }
 }

@@ -16,6 +16,7 @@
 //! (comments, string bodies, whitespace, words) with `memchr`-style skip
 //! loops.
 
+use crate::dialect::Dialect;
 use crate::scan::{self, Class, F_DIGIT, F_WORD, F_WS};
 use crate::token::{is_keyword, Span, Token, TokenKind};
 
@@ -49,9 +50,9 @@ pub(crate) trait TokenSink {
     }
 }
 
-/// Lex `input`, pushing every token into `sink`.
-pub(crate) fn lex_into<S: TokenSink>(input: &str, sink: &mut S) {
-    Lexer { src: input, bytes: input.as_bytes(), pos: 0, sink }.run();
+/// Lex `input` under `dialect`, pushing every token into `sink`.
+pub(crate) fn lex_into<S: TokenSink>(input: &str, dialect: Dialect, sink: &mut S) {
+    Lexer { src: input, bytes: input.as_bytes(), pos: 0, dialect, sink }.run();
 }
 
 /// Sink collecting the full span-level stream.
@@ -77,7 +78,12 @@ impl TokenSink for SpanSink {
 /// assert_eq!(rebuilt, "SELECT * FROM t WHERE a = 'x'");
 /// ```
 pub fn tokenize(input: &str) -> Vec<Token> {
-    lex_spans(input)
+    tokenize_dialect(input, Dialect::Generic)
+}
+
+/// [`tokenize`] under an explicit [`Dialect`].
+pub fn tokenize_dialect(input: &str, dialect: Dialect) -> Vec<Token> {
+    lex_spans_dialect(input, dialect)
         .into_iter()
         .map(|t| Token::new(t.kind, &input[t.span.start..t.span.end], t.span))
         .collect()
@@ -103,8 +109,13 @@ impl TokenSink for SignificantSink<'_> {
 /// rules that only care about the significant token sequence. Trivia is
 /// discarded at the span level — no text is ever allocated for it.
 pub fn tokenize_significant(input: &str) -> Vec<Token> {
+    tokenize_significant_dialect(input, Dialect::Generic)
+}
+
+/// [`tokenize_significant`] under an explicit [`Dialect`].
+pub fn tokenize_significant_dialect(input: &str, dialect: Dialect) -> Vec<Token> {
     let mut sink = SignificantSink { src: input, out: Vec::with_capacity(input.len() / 4 + 4) };
-    lex_into(input, &mut sink);
+    lex_into(input, dialect, &mut sink);
     sink.out
 }
 
@@ -142,9 +153,14 @@ impl SpannedToken {
 /// text. Same classification as [`tokenize`]; `tokenize` is in fact this
 /// pass plus text materialisation.
 pub fn lex_spans(input: &str) -> Vec<SpannedToken> {
+    lex_spans_dialect(input, Dialect::Generic)
+}
+
+/// [`lex_spans`] under an explicit [`Dialect`].
+pub fn lex_spans_dialect(input: &str, dialect: Dialect) -> Vec<SpannedToken> {
     // ~2.2 bytes/token on realistic SQL; reserve once, grow rarely.
     let mut sink = SpanSink { out: Vec::with_capacity(input.len() / 2) };
-    lex_into(input, &mut sink);
+    lex_into(input, dialect, &mut sink);
     sink.out
 }
 
@@ -152,6 +168,7 @@ struct Lexer<'a, 's, S: TokenSink> {
     src: &'a str,
     bytes: &'a [u8],
     pos: usize,
+    dialect: Dialect,
     sink: &'s mut S,
 }
 
@@ -165,10 +182,38 @@ impl<S: TokenSink> Lexer<'_, '_, S> {
                 Class::Word => self.lex_word(start),
                 Class::Digit => self.lex_number(start),
                 Class::SQuote => self.lex_single_quoted(start),
-                Class::DQuote => self.lex_delimited(start, b'"', TokenKind::QuotedIdent),
-                Class::Backtick => self.lex_delimited(start, b'`', TokenKind::QuotedIdent),
-                Class::Bracket => self.lex_bracket_ident(start),
-                Class::Dollar => self.lex_dollar(start),
+                Class::DQuote => {
+                    // MySQL (without ANSI_QUOTES) reads "…" as a string.
+                    let kind = if self.dialect.double_quote_strings() {
+                        TokenKind::StringLit
+                    } else {
+                        TokenKind::QuotedIdent
+                    };
+                    self.lex_delimited(start, b'"', kind)
+                }
+                Class::Backtick => {
+                    if self.dialect.backtick_idents() {
+                        self.lex_delimited(start, b'`', TokenKind::QuotedIdent)
+                    } else {
+                        self.emit_one(start, TokenKind::Unknown)
+                    }
+                }
+                Class::Bracket => {
+                    if self.dialect.bracket_idents() {
+                        self.lex_bracket_ident(start)
+                    } else {
+                        self.emit_one(start, TokenKind::Unknown)
+                    }
+                }
+                Class::Dollar => {
+                    if self.dialect.dollar_quoting() {
+                        self.lex_dollar(start)
+                    } else {
+                        // '$' is F_WORD, so `$$`/`$tag$` lex as ordinary
+                        // words — exactly what MySQL custom delimiters need.
+                        self.lex_word(start)
+                    }
+                }
                 Class::Question => self.emit_one(start, TokenKind::Param),
                 Class::Percent => {
                     if matches!(self.peek(1), Some(b's') | Some(b'(')) {
@@ -210,7 +255,13 @@ impl<S: TokenSink> Lexer<'_, '_, S> {
                     }
                 }
                 Class::Punct => self.emit_one(start, TokenKind::Punct),
-                Class::Op => self.lex_operator_or_unknown(start),
+                Class::Op => {
+                    if b == b'#' && self.dialect.hash_comments() {
+                        self.lex_line_comment(start)
+                    } else {
+                        self.lex_operator_or_unknown(start)
+                    }
+                }
             }
             if self.sink.done() {
                 return;
@@ -270,8 +321,15 @@ impl<S: TokenSink> Lexer<'_, '_, S> {
                     self.pos += 2;
                 }
                 Some(b'/') if self.peek(1) == Some(b'*') => {
-                    depth += 1;
-                    self.pos += 2;
+                    if self.dialect.nested_block_comments() {
+                        depth += 1;
+                        self.pos += 2;
+                    } else {
+                        // Non-nesting dialects: an inner "/*" is comment
+                        // text; step past the '/' only, so a following
+                        // "*/" still closes.
+                        self.pos += 1;
+                    }
                 }
                 Some(_) => self.pos += 1,
                 None => break,
@@ -431,6 +489,14 @@ impl<S: TokenSink> Lexer<'_, '_, S> {
     fn lex_word(&mut self, start: usize) {
         // The first byte is known word-class; skip from the second.
         self.pos = scan::skip_while(self.bytes, self.pos + 1, F_WORD);
+        // Without dollar-quoting, an interior '$' starts a new token so a
+        // custom delimiter fused to a word (`END$$`) still matches at a
+        // token boundary. Words *starting* with '$' stay whole.
+        if !self.dialect.dollar_quoting() && self.bytes[start] != b'$' {
+            if let Some(off) = scan::memchr(b'$', &self.bytes[start + 1..self.pos]) {
+                self.pos = start + 1 + off;
+            }
+        }
         if S::CLASSIFY_WORDS {
             self.sink.word(&self.src[start..self.pos], start, self.pos);
         } else {
@@ -567,6 +633,55 @@ mod tests {
         let via_spans: Vec<_> = tokenize_significant(sql);
         let via_owned: Vec<_> = tokenize(sql).into_iter().filter(|t| !t.is_trivia()).collect();
         assert_eq!(via_spans, via_owned);
+    }
+
+    #[test]
+    fn dialect_quoting_rules() {
+        // MySQL: "…" is a string, backticks quote, brackets don't.
+        let toks = tokenize_significant_dialect("\"s\" `b` [c]", Dialect::MySql);
+        assert_eq!(toks[0].kind, StringLit);
+        assert_eq!(toks[1].kind, QuotedIdent);
+        assert!(toks[2..].iter().all(|t| t.kind != QuotedIdent));
+        // Postgres: no backticks, no brackets.
+        let toks = tokenize_significant_dialect("\"a\" `b` [c]", Dialect::Postgres);
+        assert_eq!(toks[0].kind, QuotedIdent);
+        assert!(toks[1..].iter().all(|t| t.kind != QuotedIdent));
+        // SQLite: all three quote identifiers.
+        let toks = tokenize_significant_dialect("\"a\" `b` [c]", Dialect::Sqlite);
+        assert!(toks.iter().all(|t| t.kind == QuotedIdent));
+    }
+
+    #[test]
+    fn mysql_hash_comment_and_dollar_words() {
+        let toks = tokenize_dialect("SELECT 1 # tail\n", Dialect::MySql);
+        assert!(toks.iter().any(|t| t.kind == Comment && t.text.starts_with('#')));
+        // Generic keeps '#' as an operator.
+        let toks = tokenize("SELECT 1 # tail\n");
+        assert!(toks.iter().all(|t| t.kind != Comment));
+        // With dollar-quoting off, $$ is one ordinary word token.
+        let toks = tokenize_significant_dialect("$$ x $tag$", Dialect::MySql);
+        assert_eq!(toks[0].kind, Ident);
+        assert_eq!(toks[0].text, "$$");
+        assert_eq!(toks.last().unwrap().text, "$tag$");
+    }
+
+    #[test]
+    fn non_nesting_block_comment_closes_at_first_terminator() {
+        let toks = tokenize_dialect("/* outer /* inner */ rest", Dialect::MySql);
+        assert_eq!(toks[0].kind, Comment);
+        assert_eq!(toks[0].text, "/* outer /* inner */");
+        let rebuilt: String = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(rebuilt, "/* outer /* inner */ rest");
+    }
+
+    #[test]
+    fn dialect_lexing_stays_lossless() {
+        let sql = "\"q\" `b` [c] $$ # h\n /* a /* b */ c */ 'lit' $1";
+        for d in Dialect::ALL {
+            let rebuilt: String =
+                tokenize_dialect(sql, d).iter().map(|t| t.text.as_str()).collect();
+            assert_eq!(rebuilt, sql, "{d:?}");
+        }
     }
 
     #[test]

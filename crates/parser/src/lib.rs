@@ -38,6 +38,7 @@ pub mod arena;
 pub mod ast;
 mod block;
 pub mod diag;
+pub mod dialect;
 pub mod fingerprint;
 pub mod intern;
 pub mod istr;
@@ -52,6 +53,7 @@ pub use annotate::{annotate, Annotations};
 pub use arena::{ExprArena, ExprId, ExprRange};
 pub use ast::{ParsedStatement, Statement};
 pub use diag::{DiagKind, Diagnostic, Limits};
+pub use dialect::Dialect;
 pub use intern::{Interner, Symbol};
 pub use istr::IStr;
 pub use parser::{parse, parse_one, parse_raw, parse_raw_limited};

@@ -11,6 +11,7 @@ use crate::arena::{ExprArena, ExprId, ExprRange};
 use crate::ast::*;
 use crate::block::{BlockTracker, SplitAction};
 use crate::diag::{DiagKind, Diagnostic, Limits};
+use crate::dialect::Dialect;
 use crate::istr::IStr;
 use crate::lexer::SpannedToken;
 use crate::splitter::{split, RawStatement};
@@ -29,10 +30,16 @@ pub fn parse(script: &str) -> Vec<ParsedStatement> {
 /// the same token stream for the all-trivia fallback instead of running
 /// a second tokenize pass.
 pub fn parse_one(sql: &str) -> ParsedStatement {
-    let tokens = crate::lexer::lex_spans(sql);
+    parse_one_dialect(sql, Dialect::Generic)
+}
+
+/// [`parse_one`] under an explicit [`Dialect`].
+pub fn parse_one_dialect(sql: &str, dialect: Dialect) -> ParsedStatement {
+    let tokens = crate::lexer::lex_spans_dialect(sql, dialect);
     let bytes = sql.as_bytes();
-    let mut tracker = BlockTracker::new();
+    let mut tracker = BlockTracker::with_dialect(dialect);
     let mut start = 0usize;
+    let parse = |raw| parse_raw_limited_dialect(raw, &Limits::default(), dialect).0;
     for (i, tok) in tokens.iter().enumerate() {
         if tok.is_trivia() {
             continue;
@@ -41,14 +48,14 @@ pub fn parse_one(sql: &str) -> ParsedStatement {
             SplitAction::Token => {}
             SplitAction::Terminator | SplitAction::Directive => {
                 if tokens[start..i].iter().any(|t| !t.is_trivia()) {
-                    return parse_raw(materialize_slice(sql, &tokens[start..i]));
+                    return parse(materialize_slice(sql, &tokens[start..i]));
                 }
                 start = i + 1;
             }
         }
     }
     if tokens[start..].iter().any(|t| !t.is_trivia()) {
-        return parse_raw(materialize_slice(sql, &tokens[start..]));
+        return parse(materialize_slice(sql, &tokens[start..]));
     }
     // All-trivia input: no statement to parse; the already-lexed token
     // stream is preserved as-is.
@@ -117,6 +124,16 @@ thread_local! {
     static DEPTH_HIT: Cell<bool> = const { Cell::new(false) };
     /// A compound body's `BEGIN` block never closed before end of input.
     static UNTERMINATED: Cell<bool> = const { Cell::new(false) };
+    /// Dialect of the statement being parsed: gates dialect-specific
+    /// keyword admissibility and internal re-lexes (expression strings,
+    /// dollar-quoted bodies). Armed at each statement's parse entry.
+    static DIALECT: Cell<Dialect> = const { Cell::new(Dialect::Generic) };
+}
+
+/// The dialect armed for the statement currently being parsed.
+#[inline]
+fn active_dialect() -> Dialect {
+    DIALECT.with(Cell::get)
 }
 
 /// RAII recursion ticket: holding one means a depth slot was acquired;
@@ -162,6 +179,18 @@ fn enter_block() -> Option<DepthTicket> {
 /// carry no statement index — callers that know the statement's position
 /// attach it via [`Diagnostic::at`].
 pub fn parse_raw_limited(raw: RawStatement, limits: &Limits) -> (ParsedStatement, Vec<Diagnostic>) {
+    parse_raw_limited_dialect(raw, limits, Dialect::Generic)
+}
+
+/// [`parse_raw_limited`] under an explicit [`Dialect`]: dialect-specific
+/// operators another dialect owns (`ILIKE`, `GLOB`, …) fall through to
+/// the total `Raw` path instead of shaping nodes the active dialect has
+/// no semantics for, and internal re-lexes use the dialect's rules.
+pub fn parse_raw_limited_dialect(
+    raw: RawStatement,
+    limits: &Limits,
+    dialect: Dialect,
+) -> (ParsedStatement, Vec<Diagnostic>) {
     let mut diags = Vec::new();
     let mut sig: Vec<Token> = Vec::with_capacity(raw.tokens.len());
     sig.extend(raw.tokens.iter().filter(|t| !t.is_trivia()).cloned());
@@ -186,6 +215,7 @@ pub fn parse_raw_limited(raw: RawStatement, limits: &Limits) -> (ParsedStatement
     // counters are reset defensively: tickets rebalance them on every
     // normal path, but a caller-side `catch_unwind` must not leak depth
     // into the next statement parsed on this thread.
+    DIALECT.with(|d| d.set(dialect));
     EXPR_DEPTH_LIMIT.with(|l| l.set(limits.max_expr_depth));
     BLOCK_NEST_LIMIT.with(|l| l.set(limits.max_block_depth));
     EXPR_DEPTH.with(|d| d.set(0));
@@ -749,7 +779,7 @@ pub fn parse_expr_tokens(toks: &[Token]) -> Expr {
 /// Parse an expression string (helper for tests and the fix engine).
 /// Returns the root node by value plus the arena its children live in.
 pub fn parse_expr_str(sql: &str) -> (ExprArena, Expr) {
-    let toks = crate::lexer::tokenize_significant(sql);
+    let toks = crate::lexer::tokenize_significant_dialect(sql, active_dialect());
     let root = parse_expr_tokens(&toks);
     (take_arena(), root)
 }
@@ -857,15 +887,22 @@ fn parse_like_in_between(cur: &mut Cursor, lhs: Expr, negated: bool) -> Option<E
             negated,
         });
     }
+    // Dialect-specific LIKE-family operators only shape nodes where the
+    // active dialect admits them; elsewhere the keyword is left uneaten
+    // and the caller's save/restore sends the expression to `Raw`.
+    let d = active_dialect();
+    let admits = |kw: Kw| d.admits_keyword(kw);
     let op = if cur.eat_keyword(Kw::LIKE) {
         LikeOp::Like
-    } else if cur.eat_keyword(Kw::ILIKE) {
+    } else if admits(Kw::ILIKE) && cur.eat_keyword(Kw::ILIKE) {
         LikeOp::ILike
-    } else if cur.eat_keyword(Kw::REGEXP) || cur.eat_keyword(Kw::RLIKE) {
+    } else if (admits(Kw::REGEXP) && cur.eat_keyword(Kw::REGEXP))
+        || (admits(Kw::RLIKE) && cur.eat_keyword(Kw::RLIKE))
+    {
         LikeOp::Regexp
-    } else if cur.eat_keyword(Kw::GLOB) {
+    } else if admits(Kw::GLOB) && cur.eat_keyword(Kw::GLOB) {
         LikeOp::Glob
-    } else if cur.eat_keywords(&[Kw::SIMILAR, Kw::TO]) {
+    } else if admits(Kw::SIMILAR) && cur.eat_keywords(&[Kw::SIMILAR, Kw::TO]) {
         LikeOp::Similar
     } else {
         return None;
@@ -1323,6 +1360,17 @@ fn parse_create_routine(cur: &mut Cursor, kind: RoutineKind) -> Option<CreateRou
     while let Some(t) = cur.peek() {
         if t.is_kw(Kw::BEGIN) {
             cur.pos += 1;
+            // SQL-standard `BEGIN ATOMIC` body (Postgres 14+ SQL-body
+            // routines): ATOMIC is part of the opener, not the first
+            // body statement. Not a [`Kw`] — it is an ordinary word
+            // everywhere else.
+            if active_dialect().begin_atomic() {
+                if let Some(n) = cur.peek() {
+                    if n.kind == TokenKind::Ident && n.text.eq_ignore_ascii_case("ATOMIC") {
+                        cur.pos += 1;
+                    }
+                }
+            }
             body = collect_body(cur, base, true);
             continue;
         }
@@ -1372,7 +1420,7 @@ fn parse_dollar_body(tok: &Token, base: usize) -> Vec<BodyStatement> {
     // Rebase inner offsets: absolute position of the body text, then
     // relative to the statement base (like every body span).
     let shift = tok.span.start + tag_len;
-    let toks: Vec<Token> = crate::lexer::tokenize_significant(inner)
+    let toks: Vec<Token> = crate::lexer::tokenize_significant_dialect(inner, active_dialect())
         .into_iter()
         .map(|t| {
             Token::new(

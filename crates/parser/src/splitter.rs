@@ -26,11 +26,12 @@
 //! to it.
 
 use crate::block::{BlockTracker, SplitAction};
+use crate::dialect::Dialect;
 use crate::fingerprint::{
     content_hash_bytes, content_hash_spanned, fingerprint_spanned, StreamingFingerprint,
 };
 use crate::intern::Interner;
-use crate::lexer::{lex_into, lex_spans, SpannedToken, TokenSink};
+use crate::lexer::{lex_into, lex_spans_dialect, SpannedToken, TokenSink};
 use crate::token::{Span, Token, TokenKind};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
@@ -78,7 +79,15 @@ impl RawStatement {
 /// assert_eq!(stmts[1].text().trim(), "SELECT ';'");
 /// ```
 pub fn split(script: &str) -> Vec<RawStatement> {
-    split_stream(script).into_iter().map(|s| s.materialize(script)).collect()
+    split_dialect(script, Dialect::Generic)
+}
+
+/// [`split`] under an explicit [`Dialect`].
+pub fn split_dialect(script: &str, dialect: Dialect) -> Vec<RawStatement> {
+    split_stream_dialect(script, dialect)
+        .into_iter()
+        .map(|s| s.materialize_dialect(script, dialect))
+        .collect()
 }
 
 /// One split-off statement chunk with its fingerprints computed **before
@@ -147,6 +156,13 @@ impl SplitStatement {
     pub fn materialize(&self, script: &str) -> RawStatement {
         materialize_span(script, self.span)
     }
+
+    /// [`SplitStatement::materialize`] under an explicit [`Dialect`] —
+    /// must match the dialect the statement was split under, so the
+    /// re-lex reproduces the original tokens.
+    pub fn materialize_dialect(&self, script: &str, dialect: Dialect) -> RawStatement {
+        materialize_span_dialect(script, self.span, dialect)
+    }
 }
 
 /// Materialise the statement covering `span` of `script`: re-lex the
@@ -154,9 +170,14 @@ impl SplitStatement {
 /// text. `span` must be a statement span produced by this module's
 /// splitters — it begins and ends on significant-token boundaries.
 pub fn materialize_span(script: &str, span: Span) -> RawStatement {
+    materialize_span_dialect(script, span, Dialect::Generic)
+}
+
+/// [`materialize_span`] under an explicit [`Dialect`].
+pub fn materialize_span_dialect(script: &str, span: Span, dialect: Dialect) -> RawStatement {
     let slice = &script[span.start..span.end];
     let mut sink = MaterializeSink { src: slice, base: span.start, out: Vec::new() };
-    lex_into(slice, &mut sink);
+    lex_into(slice, dialect, &mut sink);
     RawStatement { tokens: sink.out, span, source: slice.into() }
 }
 
@@ -234,10 +255,10 @@ impl TokenSink for FingerprintSink<'_, '_> {
 /// [`fingerprint_spanned`] over the statement's tokens: any `;` inside
 /// the slice (compound bodies, custom-delimiter content) is ordinary
 /// statement content to the fingerprint's own trailing-semicolon fold.
-fn fingerprint_slice(slice: &str, interner: &mut Interner) -> u64 {
+fn fingerprint_slice(slice: &str, interner: &mut Interner, dialect: Dialect) -> u64 {
     let mut sink =
         FingerprintSink { src: slice, interner, fp: StreamingFingerprint::new() };
-    lex_into(slice, &mut sink);
+    lex_into(slice, dialect, &mut sink);
     sink.fp.finish()
 }
 
@@ -289,10 +310,12 @@ struct SplitSink<'a> {
     memo_on: bool,
     /// Statement-boundary state machine.
     tracker: BlockTracker,
+    /// Dialect the pass lexes and fingerprints under.
+    dialect: Dialect,
 }
 
 impl<'a> SplitSink<'a> {
-    fn new(chunk: &'a str, offset: usize) -> Self {
+    fn new(chunk: &'a str, offset: usize, dialect: Dialect) -> Self {
         SplitSink {
             chunk,
             bytes: chunk.as_bytes(),
@@ -306,7 +329,8 @@ impl<'a> SplitSink<'a> {
             probes: 0,
             hits: 0,
             memo_on: true,
-            tracker: BlockTracker::new(),
+            tracker: BlockTracker::with_dialect(dialect),
+            dialect,
         }
     }
 
@@ -324,7 +348,7 @@ impl<'a> SplitSink<'a> {
                 self.hits += 1;
                 fp
             } else {
-                let fp = fingerprint_slice(slice, &mut self.interner);
+                let fp = fingerprint_slice(slice, &mut self.interner, self.dialect);
                 self.memo.insert(content_hash, fp);
                 if self.probes == MEMO_PROBATION
                     && (self.hits << MEMO_MIN_HIT_SHIFT) < self.probes
@@ -335,7 +359,7 @@ impl<'a> SplitSink<'a> {
                 fp
             }
         } else {
-            fingerprint_slice(slice, &mut self.interner)
+            fingerprint_slice(slice, &mut self.interner, self.dialect)
         };
         self.out.push(SplitStatement {
             span: Span::new(self.start, self.end),
@@ -395,12 +419,17 @@ impl TokenSink for SplitSink<'_> {
 /// hashes, fingerprints) as the two-pass [`split_spanned`] reference,
 /// without ever materialising a token stream.
 pub fn split_stream(script: &str) -> Vec<SplitStatement> {
-    split_range(script, 0, script.len())
+    split_stream_dialect(script, Dialect::Generic)
 }
 
-fn split_range(script: &str, start: usize, end: usize) -> Vec<SplitStatement> {
-    let mut sink = SplitSink::new(&script[start..end], start);
-    lex_into(&script[start..end], &mut sink);
+/// [`split_stream`] under an explicit [`Dialect`].
+pub fn split_stream_dialect(script: &str, dialect: Dialect) -> Vec<SplitStatement> {
+    split_range(script, 0, script.len(), dialect)
+}
+
+fn split_range(script: &str, start: usize, end: usize, dialect: Dialect) -> Vec<SplitStatement> {
+    let mut sink = SplitSink::new(&script[start..end], start, dialect);
+    lex_into(&script[start..end], dialect, &mut sink);
     sink.finish()
 }
 
@@ -475,8 +504,8 @@ impl TokenSink for SpanOnlySink<'_> {
 }
 
 /// Speculative spans-only sink: the pre-tracker scan (every top-level
-/// `;` terminates) plus a watch for the four words that could make block
-/// tracking matter ([`crate::block`]'s `may_need_tracking`). On a hit it
+/// `;` terminates) plus a watch for the marker words that could make
+/// block tracking matter ([`crate::block`]'s `may_need_tracking`). On a hit it
 /// aborts (via [`TokenSink::done`]) and the caller re-scans with the
 /// tracked [`SpanOnlySink`]. Plain workloads — the overwhelmingly common
 /// case — thus pay **zero** per-token tracking cost.
@@ -528,7 +557,12 @@ impl TokenSink for SpeculativeSpanSink<'_> {
 /// (directives are recognised at statement starts, and chunk boundaries
 /// are statement boundaries), so OR-ing it over any chunking of the
 /// script yields the same answer — deterministic across thread counts.
-fn split_spans_range_diag(script: &str, start: usize, end: usize) -> (Vec<Span>, bool) {
+fn split_spans_range_diag(
+    script: &str,
+    start: usize,
+    end: usize,
+    dialect: Dialect,
+) -> (Vec<Span>, bool) {
     let chunk = &script[start..end];
     // First pass: untracked, aborting on the first word that could make
     // block tracking matter. Completing it means no DELIMITER word
@@ -542,15 +576,15 @@ fn split_spans_range_diag(script: &str, start: usize, end: usize) -> (Vec<Span>,
         end: 0,
         needs_tracking: false,
     };
-    lex_into(chunk, &mut fast);
+    lex_into(chunk, dialect, &mut fast);
     if !fast.needs_tracking {
         if fast.started {
             fast.out.push(Span::new(fast.start, fast.end));
         }
         return (fast.out, false);
     }
-    // Trigger/procedure/function/DELIMITER vocabulary present: re-scan
-    // with the full block tracker.
+    // Trigger/procedure/function/DELIMITER/ATOMIC vocabulary present:
+    // re-scan with the full block tracker.
     let mut sink = SpanOnlySink {
         bytes: chunk.as_bytes(),
         offset: start,
@@ -558,9 +592,9 @@ fn split_spans_range_diag(script: &str, start: usize, end: usize) -> (Vec<Span>,
         started: false,
         start: 0,
         end: 0,
-        tracker: BlockTracker::new(),
+        tracker: BlockTracker::with_dialect(dialect),
     };
-    lex_into(chunk, &mut sink);
+    lex_into(chunk, dialect, &mut sink);
     if sink.started {
         sink.out.push(Span::new(sink.start, sink.end));
     }
@@ -574,12 +608,17 @@ fn split_spans_range_diag(script: &str, start: usize, end: usize) -> (Vec<Span>,
 /// statement's body semicolons (or, under a custom `DELIMITER`, embedded
 /// top-level-looking `;`) are ordinary statement content, exactly as the
 /// tracked pass treated them.
-fn hash_span(script: &str, span: Span, interner: &mut Interner) -> SplitStatement {
+fn hash_span(
+    script: &str,
+    span: Span,
+    interner: &mut Interner,
+    dialect: Dialect,
+) -> SplitStatement {
     let slice = &script[span.start..span.end];
     SplitStatement {
         span,
         content_hash: content_hash_bytes(slice.as_bytes()),
-        fingerprint: fingerprint_slice(slice, interner),
+        fingerprint: fingerprint_slice(slice, interner, dialect),
     }
 }
 
@@ -661,7 +700,7 @@ const MIN_CHUNK_BYTES: usize = 16 * 1024;
 /// [`MIN_CHUNK_BYTES`] (oversubscribing tiny scripts only adds spawn
 /// overhead). Scripts containing a `DELIMITER` directive fall back to
 /// one sequential range.
-fn chunk_ranges(script: &str, threads: usize) -> Vec<(usize, usize)> {
+fn chunk_ranges(script: &str, threads: usize, dialect: Dialect) -> Vec<(usize, usize)> {
     let len = script.len();
     let threads = threads.min(len / MIN_CHUNK_BYTES);
     if threads <= 1 || len == 0 {
@@ -677,10 +716,10 @@ fn chunk_ranges(script: &str, threads: usize) -> Vec<(usize, usize)> {
         targets: &targets,
         next: 0,
         out: Vec::new(),
-        tracker: BlockTracker::new(),
+        tracker: BlockTracker::with_dialect(dialect),
         bail: false,
     };
-    lex_into(script, &mut sink);
+    lex_into(script, dialect, &mut sink);
     if sink.bail {
         return vec![(0, len)];
     }
@@ -704,11 +743,22 @@ fn chunk_ranges(script: &str, threads: usize) -> Vec<(usize, usize)> {
 /// feature disabled (or `threads <= 1`) the chunks are processed
 /// sequentially — same output, no thread spawns.
 pub fn split_stream_parallel(script: &str, threads: usize) -> Vec<SplitStatement> {
-    let ranges = chunk_ranges(script, threads);
+    split_stream_parallel_dialect(script, threads, Dialect::Generic)
+}
+
+/// [`split_stream_parallel`] under an explicit [`Dialect`]. Scripts whose
+/// dialect does not honour `DELIMITER` directives (e.g. Postgres) never
+/// trigger the sequential fallback, even when the word appears in them.
+pub fn split_stream_parallel_dialect(
+    script: &str,
+    threads: usize,
+    dialect: Dialect,
+) -> Vec<SplitStatement> {
+    let ranges = chunk_ranges(script, threads, dialect);
     if ranges.len() <= 1 {
-        return split_stream(script);
+        return split_stream_dialect(script, dialect);
     }
-    run_chunks(script, &ranges, split_range)
+    run_chunks(script, &ranges, |s, a, b| split_range(s, a, b, dialect))
 }
 
 #[cfg(feature = "parallel")]
@@ -809,15 +859,20 @@ impl Hasher for StrFold {
 /// cost one map probe (exact byte comparison on hit) and carry nothing
 /// but their span.
 pub fn split_deduped(script: &str, threads: usize) -> DedupedSplit {
-    let ranges = chunk_ranges(script, threads);
+    split_deduped_dialect(script, threads, Dialect::Generic)
+}
+
+/// [`split_deduped`] under an explicit [`Dialect`].
+pub fn split_deduped_dialect(script: &str, threads: usize, dialect: Dialect) -> DedupedSplit {
+    let ranges = chunk_ranges(script, threads, dialect);
     let saw_directive = std::sync::atomic::AtomicBool::new(false);
     let spans: Vec<Span> = if ranges.len() <= 1 {
-        let (spans, saw) = split_spans_range_diag(script, 0, script.len());
+        let (spans, saw) = split_spans_range_diag(script, 0, script.len(), dialect);
         saw_directive.store(saw, std::sync::atomic::Ordering::Relaxed);
         spans
     } else {
         run_chunks(script, &ranges, |s, a, b| {
-            let (spans, saw) = split_spans_range_diag(s, a, b);
+            let (spans, saw) = split_spans_range_diag(s, a, b, dialect);
             if saw {
                 saw_directive.store(true, std::sync::atomic::Ordering::Relaxed);
             }
@@ -837,7 +892,7 @@ pub fn split_deduped(script: &str, threads: usize) -> DedupedSplit {
             std::collections::hash_map::Entry::Vacant(v) => {
                 let slot = uniques.len() as u32;
                 v.insert(slot);
-                uniques.push(hash_span(script, span, &mut interner));
+                uniques.push(hash_span(script, span, &mut interner, dialect));
                 slot
             }
         };
@@ -895,9 +950,15 @@ impl SpannedStatement {
 /// benchmarks; production consumers use [`split_stream`] /
 /// [`split_deduped`].
 pub fn split_spanned(script: &str) -> Vec<SpannedStatement> {
-    let tokens = lex_spans(script);
+    split_spanned_dialect(script, Dialect::Generic)
+}
+
+/// [`split_spanned`] under an explicit [`Dialect`] — the two-pass
+/// reference the per-dialect property tests pin the fused path against.
+pub fn split_spanned_dialect(script: &str, dialect: Dialect) -> Vec<SpannedStatement> {
+    let tokens = lex_spans_dialect(script, dialect);
     let bytes = script.as_bytes();
-    let mut tracker = BlockTracker::new();
+    let mut tracker = BlockTracker::with_dialect(dialect);
     let mut stmts = Vec::new();
     let mut start = 0usize;
     for (i, tok) in tokens.iter().enumerate() {
@@ -1275,17 +1336,17 @@ mod tests {
         println!("script: {bytes} bytes");
         time("lex (no keyword classify)", bytes, || {
             let mut s = CountSink::<false> { n: 0 };
-            lex_into(&script, &mut s);
+            lex_into(&script, Dialect::Generic, &mut s);
             s.n
         });
         time("lex (keyword classify)", bytes, || {
             let mut s = CountSink::<true> { n: 0 };
-            lex_into(&script, &mut s);
+            lex_into(&script, Dialect::Generic, &mut s);
             s.n
         });
         time("lex + fingerprint", bytes, || {
             let mut s = FpSink { src: &script, fp: StreamingFingerprint::new(), acc: 0 };
-            lex_into(&script, &mut s);
+            lex_into(&script, Dialect::Generic, &mut s);
             s.acc
         });
         time("split_stream (fused)", bytes, || split_stream(&script).len() as u64);

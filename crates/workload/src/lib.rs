@@ -11,13 +11,17 @@
 //! * [`kaggle`] — the 31 Kaggle databases of Table 6 for data-analysis-
 //!   only detection (Table 5);
 //! * [`django`] — the 15 Django applications of Table 7 (Table 4);
-//! * [`user_study`] — the 23-participant study of §8.3.
+//! * [`user_study`] — the 23-participant study of §8.3;
+//! * [`dialects`] — dialect-tagged synthetic corpora (mysqldump-style
+//!   and PL/pgSQL-heavy) for the per-dialect parse-coverage rows of the
+//!   acceptance matrix.
 //!
 //! Every generator is deterministic given its seed, so experiment output
 //! is reproducible run-to-run.
 
 #![warn(missing_docs)]
 
+pub mod dialects;
 pub mod django;
 pub mod github;
 pub mod globaleaks;
